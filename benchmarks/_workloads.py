@@ -1,0 +1,101 @@
+"""Workload builders and reporting for the benchmark harness.
+
+Every bench prints the paper-style rows it regenerates via
+:func:`report`; rows are also appended to ``bench_report.txt`` at the
+repository root so EXPERIMENTS.md can be refreshed from a plain run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.disc import ApplicationManifest
+from repro.primitives.keys import RSAPrivateKey
+from repro.primitives.random import DeterministicRandomSource
+from repro.primitives.rsa import generate_keypair
+from repro.xmlcore import parse_element
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "..",
+                           "bench_report.txt")
+
+LAYOUT = (
+    '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+    '<root-layout width="1920" height="1080"/>'
+    '<region regionName="main" width="1920" height="880"/>'
+    '<region regionName="menu" top="880" width="1920" height="200"/>'
+    "</layout>"
+)
+
+TIMING = (
+    '<seq xmlns="urn:bda:bdmv:interactive-cluster">'
+    '<video src="bd://BDMV/STREAM/00001.m2ts" region="main" dur="90s"/>'
+    '<par><video src="bd://BDMV/STREAM/00002.m2ts" region="main" '
+    'dur="30s"/>'
+    '<img src="bd://BDMV/AUXDATA/banner.png" region="menu" begin="2s" '
+    'dur="8s"/></par></seq>'
+)
+
+
+@dataclass
+class BenchWorld:
+    root: CertificateAuthority
+    studio: SigningIdentity
+    attacker: SigningIdentity
+    server_identity: SigningIdentity
+    trust_store: TrustStore
+    device_key: RSAPrivateKey
+
+    def fresh_rng(self, label: bytes) -> DeterministicRandomSource:
+        return DeterministicRandomSource(b"bench|" + label)
+
+
+def build_world() -> BenchWorld:
+    rng = DeterministicRandomSource(b"bench-world")
+    root = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    studio = SigningIdentity.create("CN=Contoso Studios", root, rng=rng)
+    rogue = CertificateAuthority.create_root("CN=Rogue", rng=rng)
+    attacker = SigningIdentity.create("CN=Mallory", rogue, rng=rng)
+    server_identity = SigningIdentity.create(
+        "CN=content.contoso.example", root, rng=rng,
+    )
+    return BenchWorld(
+        root=root, studio=studio, attacker=attacker,
+        server_identity=server_identity,
+        trust_store=TrustStore(roots=[root.certificate]),
+        device_key=generate_keypair(1024, rng),
+    )
+
+
+def build_manifest(name: str = "bench-app", *, scripts: int = 1,
+                   script_lines: int = 20,
+                   submarkups: int = 2) -> ApplicationManifest:
+    """A parameterized reference application (Fig 10 shape)."""
+    manifest = ApplicationManifest(name)
+    manifest.add_submarkup("layout", parse_element(LAYOUT))
+    if submarkups >= 2:
+        manifest.add_submarkup("timing", parse_element(TIMING))
+    for extra in range(max(0, submarkups - 2)):
+        manifest.add_submarkup(f"aux-{extra}", parse_element(
+            f'<aux xmlns="urn:bda:bdmv:interactive-cluster" '
+            f'n="{extra}"><item v="1"/><item v="2"/></aux>'
+        ))
+    body = "var state = 0;\n" + \
+        "state = state + 1; // tick\n" * script_lines + \
+        "function onKey(k) { state += k; return state; }\n"
+    for _ in range(scripts):
+        manifest.add_script(body)
+    return manifest
+
+
+def report(experiment: str, lines: list[str]) -> None:
+    """Print paper-style rows and append them to bench_report.txt."""
+    banner = f"\n===== {experiment} ====="
+    print(banner)
+    for line in lines:
+        print(line)
+    with open(REPORT_PATH, "a") as handle:
+        handle.write(banner + "\n")
+        for line in lines:
+            handle.write(line + "\n")

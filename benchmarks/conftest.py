@@ -1,0 +1,21 @@
+"""Benchmark fixtures: the shared world (PKI, device, trust store)."""
+
+import os
+
+import pytest
+
+from _workloads import REPORT_PATH, build_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """One PKI/device per session — key generation dominates setup."""
+    return build_world()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    """Start bench_report.txt afresh for each benchmark session."""
+    if os.path.exists(REPORT_PATH):
+        os.remove(REPORT_PATH)
+    yield

@@ -1,0 +1,114 @@
+"""ABL-GRAN — Ablation: partial protection ⇒ better performance.
+
+The conclusion's claim (§9): "The content authors may use the
+flexibility of partially signing or encrypting the applications.  For
+player platforms, this flexibility translates into better performance."
+
+Regenerated series: player-side cost (decrypt / verify) as a function
+of the protected fraction of the application, 0% → 100%.  Shape
+expectation: cost grows with the protected fraction, so partial
+protection is strictly cheaper than whole-application protection.
+"""
+
+import time
+
+import pytest
+
+from _workloads import build_manifest, report
+from repro.dsig import Signer, Verifier
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import parse_element, serialize_bytes
+from repro.xmlenc import Decryptor, Encryptor
+
+TOTAL_SUBMARKUPS = 8
+FRACTIONS = (0, 2, 4, 8)   # submarkups protected out of 8
+
+
+def fat_manifest():
+    return build_manifest("abl-gran", scripts=1, script_lines=120,
+                          submarkups=TOTAL_SUBMARKUPS).to_element()
+
+
+def _submarkups(root):
+    return [el for el in root.iter("submarkup")]
+
+
+@pytest.mark.parametrize("count", FRACTIONS)
+def test_ablgran_decrypt_fraction(world, benchmark, count):
+    key = SymmetricKey(world.fresh_rng(b"abl-key").read(16))
+    encryptor = Encryptor(rng=world.fresh_rng(b"abl-%d" % count))
+    root = fat_manifest()
+    for target in _submarkups(root)[:count]:
+        encryptor.encrypt_element(target, key, key_name="k")
+    payload = serialize_bytes(root)
+    decryptor = Decryptor(keys={"k": key})
+
+    def run():
+        tree = parse_element(payload)
+        return decryptor.decrypt_in_place(tree)
+
+    assert benchmark(run) == count
+
+
+def test_ablgran_decrypt_series(world, benchmark):
+    key = SymmetricKey(world.fresh_rng(b"abl-key").read(16))
+    decryptor = Decryptor(keys={"k": key})
+
+    def run():
+        series = {}
+        for count in FRACTIONS:
+            encryptor = Encryptor(
+                rng=world.fresh_rng(b"abl-series-%d" % count)
+            )
+            root = fat_manifest()
+            for target in _submarkups(root)[:count]:
+                encryptor.encrypt_element(target, key, key_name="k")
+            payload = serialize_bytes(root)
+            t0 = time.perf_counter()
+            for _ in range(5):
+                tree = parse_element(payload)
+                decryptor.decrypt_in_place(tree)
+            series[count] = (time.perf_counter() - t0) / 5
+        return series
+
+    series = benchmark.pedantic(run, rounds=3, iterations=1)
+    rows = [
+        f"protected {count}/{TOTAL_SUBMARKUPS} submarkups: "
+        f"unlock={t * 1e3:7.2f}ms"
+        for count, t in series.items()
+    ]
+    report("ABL-GRAN partial encryption sweep (player unlock cost)",
+           rows)
+    # More protection ⇒ more player work; full > none by a clear margin.
+    assert series[8] > series[0]
+    assert series[4] >= series[0]
+
+
+def test_ablgran_verify_series(world, benchmark):
+    signer = Signer(world.studio.key, identity=world.studio)
+    verifier = Verifier(trust_store=world.trust_store,
+                        require_trusted_key=True)
+
+    def run():
+        series = {}
+        for count in FRACTIONS:
+            root = fat_manifest()
+            for target in _submarkups(root)[:count]:
+                signer.sign_detached(f"#{target.get('Id')}",
+                                     parent=root)
+            from repro.core import verify_signatures
+            t0 = time.perf_counter()
+            reports = verify_signatures(root, verifier)
+            series[count] = time.perf_counter() - t0
+            assert len(reports) == count
+            assert all(r.valid for r in reports.values())
+        return series
+
+    series = benchmark.pedantic(run, rounds=3, iterations=1)
+    rows = [
+        f"signed {count}/{TOTAL_SUBMARKUPS} submarkups: "
+        f"verify={t * 1e3:7.2f}ms"
+        for count, t in series.items()
+    ]
+    report("ABL-GRAN partial signing sweep (player verify cost)", rows)
+    assert series[8] > series[0]

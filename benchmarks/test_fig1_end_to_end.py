@@ -1,0 +1,175 @@
+"""FIG1 — The end-to-end usage model.
+
+Fig 1: movie companies distribute HD content on discs; players at the
+consumer home play it back; applications and extensions are downloaded
+from content servers over broadband.
+
+Regenerated rows: timing for each leg of the journey — author+master,
+sign, insert+authenticate, play, launch the disc app, and the
+download/verify/execute loop — demonstrating the whole model runs.
+"""
+
+import pytest
+
+from _workloads import LAYOUT, TIMING, build_manifest, report
+from repro.core import AuthoringPipeline, ProtectionLevel, sign_disc_image
+from repro.disc import DiscAuthor
+from repro.dsig import Signer
+from repro.network import Channel, ContentServer, DownloadClient
+from repro.player import DiscPlayer
+
+
+def author_image(world, *, signed=True):
+    author = DiscAuthor("Fig1 Feature", rng=world.fresh_rng(b"fig1"))
+    clips = [author.add_clip(30.0, packets_per_second=25)
+             for _ in range(2)]
+    author.add_feature("main-feature", clips)
+    author.add_application(build_manifest("menu"))
+    image = author.master()
+    if signed:
+        sign_disc_image(
+            image, Signer(world.studio.key, identity=world.studio),
+            level=ProtectionLevel.TRACK,
+        )
+    return image
+
+
+def test_fig1_author_and_master(world, benchmark):
+    image = benchmark(lambda: author_image(world, signed=False))
+    assert image.validate_structure() == []
+
+
+def test_fig1_sign_disc(world, benchmark):
+    def run():
+        image = author_image(world, signed=False)
+        return sign_disc_image(
+            image, Signer(world.studio.key, identity=world.studio),
+            level=ProtectionLevel.TRACK,
+        )
+    result = benchmark(run)
+    assert result.stream_uris
+
+
+def test_fig1_insert_and_authenticate(world, benchmark):
+    image = author_image(world)
+    player = DiscPlayer(world.trust_store)
+    session = benchmark(lambda: player.insert_disc(image))
+    assert session.authenticated
+
+
+def test_fig1_playback_and_launch(world, benchmark):
+    image = author_image(world)
+    player = DiscPlayer(world.trust_store)
+    player.insert_disc(image)
+
+    def run():
+        playback = player.play_title("main-feature")
+        app = player.launch_disc_application("menu")
+        return playback, app
+
+    playback, app = benchmark(run)
+    assert playback.duration_s == 60.0
+    assert app.trusted
+
+
+def test_fig1_download_loop(world, benchmark):
+    pipeline = AuthoringPipeline(
+        world.studio, recipient_key=world.device_key.public_key(),
+        rng=world.fresh_rng(b"fig1-dl"),
+    )
+    manifest = build_manifest("bonus")
+    package = pipeline.build_package(manifest,
+                                     encrypt_ids=(manifest.code_id,))
+    server = ContentServer(identity=world.server_identity)
+    server.publish("/apps/bonus.pkg", package.data)
+    player = DiscPlayer(world.trust_store, device_key=world.device_key)
+
+    def run():
+        client = DownloadClient(server, Channel(),
+                                trust_store=world.trust_store)
+        application = player.download_application(
+            client, "/apps/bonus.pkg", secure=True,
+        )
+        return player.run_application(application)
+
+    session = benchmark(run)
+    assert session.trusted
+
+
+def test_fig1_whole_journey(world, benchmark):
+    server = ContentServer(identity=world.server_identity)
+    pipeline = AuthoringPipeline(
+        world.studio, recipient_key=world.device_key.public_key(),
+        rng=world.fresh_rng(b"fig1-journey"),
+    )
+    manifest = build_manifest("bonus")
+    server.publish(
+        "/apps/bonus.pkg",
+        pipeline.build_package(manifest,
+                               encrypt_ids=(manifest.code_id,)).data,
+    )
+
+    def run():
+        import time
+        legs = {}
+        t0 = time.perf_counter()
+        image = author_image(world)
+        legs["studio: author+master+sign"] = time.perf_counter() - t0
+
+        player = DiscPlayer(world.trust_store,
+                            device_key=world.device_key)
+        t0 = time.perf_counter()
+        session = player.insert_disc(image)
+        legs["player: insert+authenticate"] = time.perf_counter() - t0
+        assert session.authenticated
+
+        t0 = time.perf_counter()
+        player.play_title("main-feature")
+        player.launch_disc_application("menu")
+        legs["player: play+launch"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        client = DownloadClient(server, Channel(),
+                                trust_store=world.trust_store)
+        application = player.download_application(
+            client, "/apps/bonus.pkg", secure=True,
+        )
+        player.run_application(application)
+        legs["network: download+verify+run"] = time.perf_counter() - t0
+        return legs
+
+    legs = benchmark.pedantic(run, rounds=3, iterations=1)
+    report("FIG1 end-to-end usage model", [
+        f"{name:32s} {t * 1e3:8.1f}ms" for name, t in legs.items()
+    ])
+
+
+def test_fig1_broadcast_leg(world, benchmark):
+    """Fig 1's second delivery path: the same package over the
+    DSM-CC-style carousel, assembled and verified."""
+    from repro.core import PlaybackPipeline
+    from repro.network.broadcast import (
+        Carousel, CarouselReceiver, broadcast_until_received,
+    )
+
+    pipeline = AuthoringPipeline(
+        world.studio, recipient_key=world.device_key.public_key(),
+        rng=world.fresh_rng(b"fig1-bcast"),
+    )
+    manifest = build_manifest("ota-bonus")
+    package = pipeline.build_package(manifest,
+                                     encrypt_ids=(manifest.code_id,))
+    carousel = Carousel()
+    carousel.publish("apps/ota-bonus.pkg", package.data)
+    playback = PlaybackPipeline(trust_store=world.trust_store,
+                                device_key=world.device_key)
+
+    def run():
+        receiver = CarouselReceiver()
+        delivered = broadcast_until_received(
+            carousel, receiver, "apps/ota-bonus.pkg", start_offset=2,
+        )
+        return playback.open_package(delivered)
+
+    application = benchmark(run)
+    assert application.trusted

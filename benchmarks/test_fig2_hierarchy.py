@@ -1,0 +1,77 @@
+"""FIG2 — The markup-based content hierarchy.
+
+Fig 2: Interactive Cluster → Tracks → Playlists/Manifests → Clip Info
+→ MPEG-2 TS; the manifest splits into Markup (SubMarkups) and Code
+(Scripts).
+
+Regenerated rows: hierarchy construction/parse/walk timing as the
+cluster scales, plus the node inventory of the reference hierarchy.
+"""
+
+import pytest
+
+from _workloads import build_manifest, report
+from repro.disc import InteractiveCluster, Playlist
+from repro.xmlcore import parse_element, serialize_bytes
+
+SCALES = (2, 8, 32)
+
+
+def build_cluster(tracks: int) -> InteractiveCluster:
+    cluster = InteractiveCluster(f"Fig2 x{tracks}")
+    for index in range(tracks):
+        playlist = Playlist(f"title-{index}", playlist_id=f"pl-{index}")
+        playlist.add_item(f"{index + 1:05d}", 0.0, 30.0)
+        cluster.add_av_track(playlist)
+        cluster.add_application_track(
+            build_manifest(f"app-{index}", scripts=2)
+        )
+    return cluster
+
+
+@pytest.mark.parametrize("tracks", SCALES)
+def test_fig2_build(benchmark, tracks):
+    cluster = benchmark(lambda: build_cluster(tracks))
+    assert len(cluster.tracks) == 2 * tracks
+
+
+@pytest.mark.parametrize("tracks", SCALES)
+def test_fig2_serialize_parse(benchmark, tracks):
+    cluster = build_cluster(tracks)
+
+    def run():
+        data = serialize_bytes(cluster.to_element())
+        return InteractiveCluster.from_element(parse_element(data)), data
+
+    reparsed, data = benchmark(run)
+    assert len(reparsed.tracks) == len(cluster.tracks)
+
+
+def test_fig2_walk(benchmark):
+    root = build_cluster(16).to_element()
+    count = benchmark(lambda: sum(1 for _ in root.iter()))
+    assert count > 16 * 10
+
+
+def test_fig2_inventory(benchmark):
+    def run():
+        cluster = build_cluster(4)
+        root = cluster.to_element()
+        data = serialize_bytes(root)
+        return {
+            "tracks (av/app)": (len(cluster.av_tracks()),
+                                len(cluster.application_tracks())),
+            "playlists": len(root.findall("playlist")),
+            "manifests": len(root.findall("manifest")),
+            "submarkups": len(root.findall("submarkup")),
+            "scripts": len(root.findall("script")),
+            "elements": sum(1 for _ in root.iter()),
+            "serialized bytes": len(data),
+        }
+
+    inventory = benchmark.pedantic(run, rounds=3, iterations=1)
+    report("FIG2 content hierarchy inventory (4 titles + 4 apps)", [
+        f"{name:20s} {value}" for name, value in inventory.items()
+    ])
+    assert inventory["manifests"] == 4
+    assert inventory["scripts"] == 8

@@ -1,0 +1,86 @@
+"""FIG3 — Global Signing/Verification scenario.
+
+The paper's Fig 3: applications are signed at the creator end and
+verified by the player; "in the case of signature verification
+failure, the application is barred from being executed."
+
+Regenerated rows: per-scenario execution outcome (executed / barred)
+for the intact application and every attack, plus sign/verify timing.
+Shape expectation: 100% of intact signed applications execute, 100% of
+tampered/forged/unsigned ones are barred.
+"""
+
+import pytest
+
+from _workloads import build_manifest, report
+from repro.core import AuthoringPipeline, PlaybackPipeline
+from repro.errors import ApplicationRejectedError
+from repro.threat import (
+    inject_script, strip_signature, tamper_package_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def pipelines(world):
+    authoring = AuthoringPipeline(
+        world.studio, recipient_key=world.device_key.public_key(),
+        rng=world.fresh_rng(b"fig3"),
+    )
+    playback = PlaybackPipeline(
+        trust_store=world.trust_store, device_key=world.device_key,
+    )
+    return authoring, playback
+
+
+def test_fig3_signing_throughput(pipelines, benchmark):
+    authoring, _ = pipelines
+    manifest = build_manifest("fig3-app")
+    package = benchmark(lambda: authoring.build_package(manifest))
+    assert package.signed
+
+
+def test_fig3_verification_throughput(pipelines, benchmark):
+    authoring, playback = pipelines
+    package = authoring.build_package(build_manifest("fig3-app"))
+    application = benchmark(lambda: playback.open_package(package.data))
+    assert application.trusted
+
+
+def test_fig3_execution_outcomes(pipelines, world, benchmark):
+    """The Fig 3 decision table: who executes, who is barred."""
+    authoring, playback = pipelines
+    manifest = build_manifest("fig3-app")
+    package = authoring.build_package(manifest)
+
+    rogue = AuthoringPipeline(
+        world.attacker, recipient_key=world.device_key.public_key(),
+        rng=world.fresh_rng(b"fig3-rogue"),
+    )
+    forged = rogue.build_package(build_manifest("fig3-app"))
+
+    scenarios = {
+        "intact signed application": package.data,
+        "byte-flipped in transit": tamper_package_bytes(package.data),
+        "script injected at rest": inject_script(package.data),
+        "signature stripped": strip_signature(package.data),
+        "forged by untrusted signer": forged.data,
+    }
+
+    def run_all():
+        outcomes = {}
+        for name, data in scenarios.items():
+            try:
+                playback.open_package(data)
+                outcomes[name] = "EXECUTED"
+            except ApplicationRejectedError:
+                outcomes[name] = "BARRED"
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    rows = [f"{name:35s} -> {outcome}"
+            for name, outcome in outcomes.items()]
+    report("FIG3 global signing/verification outcomes", rows)
+    assert outcomes["intact signed application"] == "EXECUTED"
+    barred = [v for k, v in outcomes.items()
+              if k != "intact signed application"]
+    assert barred == ["BARRED"] * 4

@@ -1,0 +1,121 @@
+"""FIG8 — Encryption of the Manifest target (XML content).
+
+Fig 8: encrypting the manifest embeds the Encryption Data in the
+manifest itself.  §4 adds the performance argument: "The content could
+be encrypted and stored in parts or as a whole.  This allows
+flexibility and better performance" — e.g. decrypt only the game's
+high scores while the markup executes.
+
+Regenerated series: whole-manifest vs element vs content encryption
+(time and decrypt cost), showing partial decryption is cheaper than
+whole-manifest decryption.
+"""
+
+import time
+
+import pytest
+
+from _workloads import build_manifest, report
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import canonicalize
+from repro.xmlenc import Decryptor, Encryptor
+
+
+def fresh_manifest():
+    return build_manifest("fig8-app", scripts=4, script_lines=60,
+                          submarkups=4).to_element()
+
+
+@pytest.fixture(scope="module")
+def key(world):
+    return SymmetricKey(world.fresh_rng(b"fig8-key").read(16))
+
+
+def test_fig8_encrypt_whole_manifest(world, key, benchmark):
+    encryptor = Encryptor(rng=world.fresh_rng(b"fig8-whole"))
+
+    def run():
+        manifest = fresh_manifest()
+        return encryptor.encrypt_element(manifest, key, key_name="k",
+                                         replace=False)
+
+    node = benchmark(run)
+    assert node.get("Type", "").endswith("#Element")
+
+
+def test_fig8_encrypt_code_element_only(world, key, benchmark):
+    encryptor = Encryptor(rng=world.fresh_rng(b"fig8-code"))
+
+    def run():
+        manifest = fresh_manifest()
+        return encryptor.encrypt_element(
+            manifest.find("code"), key, key_name="k",
+        )
+
+    benchmark(run)
+
+
+def test_fig8_encrypt_scores_content_only(world, key, benchmark):
+    encryptor = Encryptor(rng=world.fresh_rng(b"fig8-scores"))
+
+    def run():
+        manifest = fresh_manifest()
+        return encryptor.encrypt_content(
+            manifest.find("submarkup"), key, key_name="k",
+        )
+
+    benchmark(run)
+
+
+def test_fig8_partial_vs_whole_decryption(world, key, benchmark):
+    """§4's performance claim, measured."""
+    encryptor = Encryptor(rng=world.fresh_rng(b"fig8-cmp"))
+    decryptor = Decryptor(keys={"k": key})
+
+    def run():
+        # Whole manifest encrypted → player must decrypt everything.
+        whole = fresh_manifest()
+        size = len(canonicalize(whole))
+        enc_whole = encryptor.encrypt_element(whole, key, key_name="k",
+                                              replace=False)
+        t0 = time.perf_counter()
+        decryptor.decrypt_nodes(enc_whole)
+        whole_time = time.perf_counter() - t0
+
+        # Only one script encrypted → player decrypts just the script.
+        partial = fresh_manifest()
+        target = partial.find("script")
+        encryptor.encrypt_element(target, key, key_name="k")
+        t0 = time.perf_counter()
+        decryptor.decrypt_in_place(partial)
+        partial_time = time.perf_counter() - t0
+        return whole_time, partial_time, size
+
+    whole_time, partial_time, size = benchmark.pedantic(
+        run, rounds=5, iterations=1,
+    )
+    report("FIG8 manifest-target encryption "
+           f"(manifest = {size} canonical bytes)", [
+               f"decrypt whole manifest:  {whole_time * 1e3:7.2f}ms",
+               f"decrypt one script only: {partial_time * 1e3:7.2f}ms",
+               f"partial/whole ratio:     "
+               f"{partial_time / whole_time:.2f}x",
+           ])
+    assert partial_time < whole_time
+
+
+def test_fig8_roundtrip_preserved(world, key, benchmark):
+    encryptor = Encryptor(rng=world.fresh_rng(b"fig8-rt"))
+    decryptor = Decryptor(keys={"k": key})
+
+    def run():
+        manifest = fresh_manifest()
+        original = canonicalize(manifest)
+        encryptor.encrypt_element(manifest.find("code"), key,
+                                  key_name="k")
+        encryptor.encrypt_content(manifest.find("submarkup"), key,
+                                  key_name="k")
+        decryptor.decrypt_in_place(manifest)
+        return canonicalize(manifest) == original
+
+    assert benchmark(run)

@@ -1,0 +1,175 @@
+"""TAB-OVH — XML security vs the binary OMA DCF baseline (ref [37]).
+
+The paper (§4): "XML based security incurs 2.5 to 5.1 times more
+overhead as compared to OMA DCF and performance wise the text based
+XML takes a back seat when compared to binary-based OMA DCF.
+Nevertheless ... in the context of a consumer electronic device like
+[an] optical disc player, this performance reduction ... would be
+within the allowable performance requirements."
+
+Regenerated table: for a payload-size sweep, the secured-object size
+under (a) XMLEnc+XMLDSig packaging and (b) the DCF-like binary
+container, the size ratio, and the processing-time ratio.
+
+Shape expectations:
+* the size ratio falls inside (or near) the cited 2.5–5.1× band for
+  application-sized payloads (hundreds of bytes to a few KB);
+* the ratio decreases monotonically as payloads grow (fixed markup
+  amortizes);
+* XML processing is slower than binary DCF processing.
+"""
+
+import time
+
+import pytest
+
+from _workloads import report
+from repro import omadcf
+from repro.dsig import (
+    ENVELOPED_SIGNATURE, Reference, Signer, Transform, Verifier,
+)
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import C14N, DSIG_NS, element, parse_element, \
+    serialize_bytes
+from repro.xmlenc import Decryptor, Encryptor
+
+PAYLOAD_SIZES = (256, 512, 1024, 2048, 8192, 65536)
+APP_SIZED = (256, 512, 1024, 2048)   # the band the claim refers to
+
+
+def _payload(world, size: int) -> bytes:
+    # Realistic application bytes: markup-ish text, not pure noise.
+    chunk = (b'<item k="score" v="1200"/><!-- padding -->'
+             b"function onKey(k){return k;}\n")
+    data = chunk * (size // len(chunk) + 1)
+    return data[:size]
+
+
+def _xml_secure(world, payload: bytes, key: SymmetricKey,
+                signer: Signer, rng) -> bytes:
+    """Package *payload* the XML-security way: EncryptedData inside a
+    signed wrapper (KeyName key info, no certificate chain — the
+    lean configuration, matching DCF's out-of-band rights object)."""
+    encryptor = Encryptor(rng=rng)
+    data, _ = encryptor.encrypt_bytes(payload, key, key_name="cek",
+                                      data_id="payload-1")
+    wrapper = element("securedObject", "urn:bda:bdmv:interactive-cluster",
+                      nsmap={None: "urn:bda:bdmv:interactive-cluster"},
+                      attrs={"Id": "obj-1"})
+    wrapper.append(data.to_element())
+    signer.sign_references(
+        [Reference(uri="#obj-1",
+                   transforms=[Transform(ENVELOPED_SIGNATURE),
+                               Transform(C14N)])],
+        parent=wrapper,
+    )
+    return serialize_bytes(wrapper)
+
+
+def _xml_open(world, packaged: bytes, key: SymmetricKey,
+              verify_key) -> bytes:
+    root = parse_element(packaged)
+    verifier = Verifier()
+    signature = root.find("Signature", DSIG_NS)
+    report_ = verifier.verify(signature, key=verify_key)
+    assert report_.valid
+    decryptor = Decryptor(keys={"cek": key})
+    from repro.xmlenc import EncryptedData
+    enc = root.find("EncryptedData")
+    return decryptor.decrypt_to_bytes(enc)
+
+
+@pytest.fixture(scope="module")
+def suite(world):
+    rng = world.fresh_rng(b"tab-ovh")
+    key = SymmetricKey(rng.read(16))
+    mac_key = rng.read(16)
+    signer = Signer(world.studio.key, key_name="studio-key")
+    verify_key = world.studio.key.public_key()
+    return rng, key, mac_key, signer, verify_key
+
+
+def _measure(world, suite, size: int):
+    rng, key, mac_key, signer, verify_key = suite
+    payload = _payload(world, size)
+
+    t0 = time.perf_counter()
+    xml_packaged = _xml_secure(world, payload, key, signer, rng)
+    xml_pack_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    recovered = _xml_open(world, xml_packaged, key, verify_key)
+    xml_open_time = time.perf_counter() - t0
+    assert recovered == payload
+
+    t0 = time.perf_counter()
+    dcf_packaged = omadcf.package(payload, key.data, mac_key=mac_key,
+                                  rng=rng)
+    dcf_pack_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dcf_recovered, _ = omadcf.unpack(dcf_packaged, key.data,
+                                     mac_key=mac_key)
+    dcf_open_time = time.perf_counter() - t0
+    assert dcf_recovered == payload
+
+    return {
+        "xml_size": len(xml_packaged), "dcf_size": len(dcf_packaged),
+        "size_ratio": len(xml_packaged) / len(dcf_packaged),
+        "xml_time": xml_pack_time + xml_open_time,
+        "dcf_time": dcf_pack_time + dcf_open_time,
+    }
+
+
+@pytest.mark.parametrize("size", PAYLOAD_SIZES)
+def test_tab_xml_packaging(world, suite, benchmark, size):
+    rng, key, _mac, signer, _verify = suite
+    payload = _payload(world, size)
+    packaged = benchmark(
+        lambda: _xml_secure(world, payload, key, signer, rng)
+    )
+    assert packaged
+
+
+@pytest.mark.parametrize("size", PAYLOAD_SIZES)
+def test_tab_dcf_packaging(world, suite, benchmark, size):
+    rng, key, mac_key, _signer, _verify = suite
+    payload = _payload(world, size)
+    packaged = benchmark(
+        lambda: omadcf.package(payload, key.data, mac_key=mac_key,
+                               rng=rng)
+    )
+    assert packaged
+
+
+def test_tab_overhead_table(world, suite, benchmark):
+    def run():
+        return {size: _measure(world, suite, size)
+                for size in PAYLOAD_SIZES}
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    rows = [
+        f"{'payload':>8s} {'XML bytes':>10s} {'DCF bytes':>10s} "
+        f"{'size ratio':>10s} {'time ratio':>10s}"
+    ]
+    for size, row in table.items():
+        time_ratio = row["xml_time"] / max(row["dcf_time"], 1e-9)
+        rows.append(
+            f"{size:8d} {row['xml_size']:10d} {row['dcf_size']:10d} "
+            f"{row['size_ratio']:10.2f} {time_ratio:10.1f}"
+        )
+    rows.append("paper's cited band (ref [37]): 2.5x - 5.1x for "
+                "application-sized payloads")
+    report("TAB-OVH XML security vs OMA DCF", rows)
+
+    ratios = [table[size]["size_ratio"] for size in PAYLOAD_SIZES]
+    # Ratio decreases as payloads grow (fixed markup amortizes).
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+    # The cited band holds for app-sized payloads.
+    in_band = [
+        table[size]["size_ratio"] for size in APP_SIZED
+        if 2.5 <= table[size]["size_ratio"] <= 5.1
+    ]
+    assert in_band, f"no app-sized ratio inside 2.5-5.1: {ratios}"
+    # Binary beats text on processing time overall (per-size timings
+    # are noisy on a shared machine; the aggregate is the claim).
+    assert sum(table[size]["xml_time"] for size in PAYLOAD_SIZES) > \
+        sum(table[size]["dcf_time"] for size in PAYLOAD_SIZES)

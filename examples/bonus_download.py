@@ -1,0 +1,132 @@
+"""Downloaded bonus content: the end-to-end scenario of Figs 1, 3 and 9.
+
+A studio packages a bonus application — signed with its certificate
+chain, code encrypted for one specific player — and publishes it on a
+content server.  The player downloads it over the TLS-like secure
+channel, verifies the signature against its root store, decrypts the
+code with its device key and executes it.
+
+Then every adversary from the threat model has a go:
+
+* a passive wiretap (sees nothing useful, twice over);
+* a man-in-the-middle on the TLS channel (handshake/record MACs fail);
+* a server-side tamperer (XMLDSig bars the application — this is what
+  TLS alone cannot stop);
+* a rogue player (cannot decrypt a package keyed to another device).
+
+Run:  python examples/bonus_download.py
+"""
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.core import AuthoringPipeline
+from repro.disc import ApplicationManifest
+from repro.errors import ApplicationRejectedError, ChannelSecurityError
+from repro.network import (
+    ActiveTamperer, Channel, ContentServer, DownloadClient,
+    PassiveWiretap,
+)
+from repro.permissions import PERM_RETURN_CHANNEL, PermissionRequestFile
+from repro.player import DiscPlayer
+from repro.primitives import DeterministicRandomSource
+from repro.primitives.rsa import generate_keypair
+from repro.threat import inject_script
+from repro.xmlcore import parse_element
+
+
+def main() -> None:
+    rng = DeterministicRandomSource(b"bonus-download")
+
+    # --- the fixed cast -------------------------------------------------------
+    root_ca = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    studio = SigningIdentity.create("CN=Contoso Studios", root_ca,
+                                    rng=rng)
+    server_identity = SigningIdentity.create(
+        "CN=content.contoso.example", root_ca, rng=rng,
+    )
+    trust = TrustStore(roots=[root_ca.certificate])
+    device_key = generate_keypair(1024, rng)
+
+    # --- studio side: package and publish (Fig 9 left) --------------------------
+    bonus = ApplicationManifest("directors-cut")
+    bonus.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<root-layout width="1920" height="1080"/>'
+        '<region regionName="main" width="1920" height="1080"/>'
+        "</layout>"
+    ))
+    bonus.add_script(
+        'player.log("director commentary enabled");'
+        'var t = network.get("cdn.contoso.example", "/titles.txt");'
+        'player.log("streaming: " + t);'
+    )
+    prf = PermissionRequestFile("directors-cut", "org.contoso")
+    prf.request(PERM_RETURN_CHANNEL, hosts=("cdn.contoso.example",))
+
+    package = AuthoringPipeline(
+        studio, recipient_key=device_key.public_key(), rng=rng,
+    ).build_package(bonus, permission_file=prf,
+                    encrypt_ids=(bonus.code_id,))
+    print(f"package: {len(package.data)} bytes, signed={package.signed}, "
+          f"encrypted regions={package.encrypted_ids}")
+
+    server = ContentServer(identity=server_identity)
+    server.publish("/apps/directors-cut.pkg", package.data)
+
+    # --- player side: download, verify, decrypt, execute (Fig 9 right) ------------
+    def cdn_fetch(host, path):
+        return b"Director's Cut Extras Vol. 1"
+
+    player = DiscPlayer(trust, device_key=device_key,
+                        network_fetch=cdn_fetch)
+    wiretap = PassiveWiretap()
+    client = DownloadClient(server, Channel([wiretap]),
+                            trust_store=trust)
+    application = player.download_application(
+        client, "/apps/directors-cut.pkg", secure=True,
+    )
+    print(f"verified: trusted={application.trusted}, "
+          f"signer={application.signer_subject}")
+    session = player.run_application(application)
+    for line in session.console:
+        print("  app:", line)
+    print("wiretap saw the script?",
+          wiretap.saw_plaintext(b"director commentary"))
+
+    # --- adversaries ----------------------------------------------------------------
+    print("\n-- adversary: man-in-the-middle on TLS --")
+    mitm = ActiveTamperer(predicate=lambda m: m[:1] == b"\x05",
+                          offset=50)
+    try:
+        player.download_application(
+            DownloadClient(server, Channel([mitm]), trust_store=trust),
+            "/apps/directors-cut.pkg", secure=True,
+        )
+    except ChannelSecurityError as exc:
+        print("caught:", exc)
+
+    print("\n-- adversary: tampering at rest on the server --")
+    evil_server = ContentServer(identity=server_identity)
+    evil_server.publish("/apps/directors-cut.pkg",
+                        inject_script(package.data, "exfiltrate()"))
+    try:
+        player.download_application(
+            DownloadClient(evil_server, Channel(), trust_store=trust),
+            "/apps/directors-cut.pkg", secure=True,
+        )
+    except ApplicationRejectedError as exc:
+        print("caught:", str(exc)[:80], "...")
+
+    print("\n-- adversary: another player replays the package --")
+    rogue_player = DiscPlayer(trust,
+                              device_key=generate_keypair(1024, rng))
+    try:
+        rogue_player.download_application(
+            DownloadClient(server, Channel(), trust_store=trust),
+            "/apps/directors-cut.pkg", secure=True,
+        )
+    except ApplicationRejectedError as exc:
+        print("caught:", str(exc)[:80], "...")
+
+
+if __name__ == "__main__":
+    main()

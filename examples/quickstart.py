@@ -1,0 +1,83 @@
+"""Quickstart: sign, verify, encrypt and decrypt a disc application.
+
+A five-minute tour of the public API:
+
+1. build a tiny PKI (root CA + studio identity) and a player trust
+   store;
+2. author an application manifest (markup + script);
+3. sign it (XMLDSig, enveloped) and verify it — then watch tampering
+   get caught;
+4. encrypt the code part (XMLEnc) and decrypt it back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.disc import ApplicationManifest
+from repro.dsig import Signer, Verifier
+from repro.primitives import DeterministicRandomSource, SymmetricKey
+from repro.xmlcore import DSIG_NS, parse_element, serialize
+from repro.xmlenc import Decryptor, Encryptor
+
+
+def main() -> None:
+    rng = DeterministicRandomSource(b"quickstart")
+
+    # 1. A tiny PKI: the disc association root signs the studio's key.
+    root_ca = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    studio = SigningIdentity.create("CN=Contoso Studios", root_ca,
+                                    rng=rng)
+    # The player ships with the root certificate installed.
+    player_trust = TrustStore(roots=[root_ca.certificate])
+
+    # 2. An interactive application: markup (layout) + code (script).
+    manifest = ApplicationManifest("quickstart-menu")
+    manifest.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<root-layout width="1920" height="1080"/>'
+        '<region regionName="main" width="1920" height="1080"/>'
+        "</layout>"
+    ))
+    manifest.add_script('player.log("hello from the disc");')
+    manifest_element = manifest.to_element()
+    print("== manifest ==")
+    print(serialize(manifest_element, pretty=True))
+
+    # 3. Sign (enveloped: the signature lives inside the manifest).
+    signer = Signer(studio.key, identity=studio)
+    signature = signer.sign_enveloped(manifest_element)
+    verifier = Verifier(trust_store=player_trust,
+                        require_trusted_key=True)
+    report = verifier.verify(signature)
+    print(f"signature valid: {report.valid} "
+          f"(signed by {report.signer_subject})")
+
+    # ... tamper with the script and verify again.
+    script_el = manifest_element.find("script")
+    script_el.children[0].data = 'player.log("EVIL");'
+    report = verifier.verify(signature)
+    print(f"after tampering:  valid={report.valid} "
+          f"({report.references[0].error})")
+    script_el.children[0].data = 'player.log("hello from the disc");'
+    print(f"after restoring:  valid={verifier.verify(signature).valid}")
+
+    # 4. Encrypt the code part under a named disc key.
+    disc_key = SymmetricKey(rng.read(16))
+    manifest_element.remove(signature)  # fresh unsigned copy for clarity
+    code_el = manifest_element.find("code")
+    Encryptor(rng=rng).encrypt_element(code_el, disc_key,
+                                       key_name="disc-key-1")
+    assert manifest_element.find("script") is None
+    print("\n== encrypted manifest (code hidden) ==")
+    print(serialize(manifest_element, pretty=True)[:400], "...")
+
+    Decryptor(keys={"disc-key-1": disc_key}).decrypt_in_place(
+        manifest_element
+    )
+    assert manifest_element.find("script") is not None
+    print("\ncode decrypted back:",
+          manifest_element.find("script").text_content().strip())
+
+
+if __name__ == "__main__":
+    main()

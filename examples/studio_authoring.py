@@ -1,0 +1,110 @@
+"""Studio disc authoring: master, sign and play back a complete disc.
+
+The content-creator half of the paper's Fig 1: a studio authors a disc
+with an A/V feature and an interactive menu, signs it at track level
+(Fig 4) including the transport streams, and a player authenticates it
+at insertion.  A tampered copy of the same disc fails authentication.
+
+Run:  python examples/studio_authoring.py
+"""
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.core import ProtectionLevel, sign_disc_image
+from repro.disc import ApplicationManifest, DiscAuthor
+from repro.dsig import Signer
+from repro.permissions import PERM_LOCAL_STORAGE, PermissionRequestFile
+from repro.player import DiscPlayer
+from repro.primitives import DeterministicRandomSource
+from repro.threat import corrupt_stream
+from repro.xmlcore import parse_element
+
+MENU_SCRIPT = """
+var visits = storage.read("visits");
+if (visits == null) visits = 0;
+visits = visits + 1;
+storage.write("visits", visits);
+player.log("welcome back, visit #" + visits);
+function onChapter(n) { return "jump to chapter " + n; }
+"""
+
+
+def author_disc(studio: SigningIdentity, rng) -> "DiscAuthor":
+    author = DiscAuthor("The Great Reproduction", rng=rng)
+
+    # Feature film: three chapters as separate clips.
+    chapters = [
+        author.add_clip(duration, packets_per_second=50)
+        for duration in (90.0, 45.0, 60.0)
+    ]
+    author.add_feature("main-feature", chapters)
+
+    # The interactive menu application.
+    menu = ApplicationManifest("menu")
+    menu.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<root-layout width="1920" height="1080"/>'
+        '<region regionName="main" width="1920" height="880"/>'
+        '<region regionName="chapters" top="880" width="1920" '
+        'height="200"/></layout>'
+    ))
+    menu.add_submarkup("timing", parse_element(
+        '<seq xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<video src="bd://BDMV/STREAM/00001.m2ts" region="main"/>'
+        '<video src="bd://BDMV/STREAM/00002.m2ts" region="main"/>'
+        "</seq>"
+    ))
+    menu.add_script(MENU_SCRIPT)
+    author.add_application(menu)
+
+    # The menu asks for local storage via a permission request file.
+    prf = PermissionRequestFile("menu", "org.contoso")
+    prf.request(PERM_LOCAL_STORAGE, quota_bytes=8192)
+    author.add_aux_file("BDMV/AUXDATA/menu.prf", prf.to_xml().encode())
+    return author
+
+
+def main() -> None:
+    rng = DeterministicRandomSource(b"studio-authoring")
+    root_ca = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    studio = SigningIdentity.create("CN=Contoso Studios", root_ca,
+                                    rng=rng)
+
+    image = author_disc(studio, rng).master()
+    print(f"mastered: {image}")
+
+    result = sign_disc_image(
+        image, Signer(studio.key, identity=studio),
+        level=ProtectionLevel.TRACK, include_streams=True,
+    )
+    print(f"signed {len(result.markup.target_ids)} tracks "
+          f"and {len(result.stream_uris)} streams")
+
+    # --- consumer side -----------------------------------------------------------
+    player = DiscPlayer(TrustStore(roots=[root_ca.certificate]))
+    session = player.insert_disc(image)
+    print(f"\ndisc authenticated: {session.authenticated}")
+
+    playback = player.play_title("main-feature")
+    print(f"played '{playback.playlist}': {playback.duration_s:.0f}s, "
+          f"{playback.total_packets} TS packets")
+
+    for _ in range(2):
+        app = player.launch_disc_application("menu")
+        print("menu said:", app.console[0])
+    print("event dispatch:", app.dispatch("onChapter", 2.0))
+
+    # --- the pirate copy ----------------------------------------------------------
+    tampered = corrupt_stream(image, "00002", offset=5000)
+    pirate_session = DiscPlayer(
+        TrustStore(roots=[root_ca.certificate])
+    ).insert_disc(tampered)
+    print(f"\ntampered copy authenticated: {pirate_session.authenticated}")
+    failing = [
+        uri for uri, report in pirate_session.signature_reports.items()
+        if not report.valid
+    ]
+    print(f"failing signatures: {failing}")
+
+
+if __name__ == "__main__":
+    main()

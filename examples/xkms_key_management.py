@@ -1,0 +1,112 @@
+"""XKMS key management — the paper's §7 integration and §9 future work.
+
+"The XKMS based Key Management could be used to convey key
+registrations and information requests to any 'trusted source (trust
+server)' and to convey responses back from the server" (§7); extending
+the prototype with XML-based key management is the paper's stated
+future work (§9).
+
+This walkthrough runs the full key lifecycle over the simulated
+network:
+
+1. a studio registers its signing key with the trust server (X-KRSS,
+   authenticated by a shared registration secret) — over the TLS-like
+   channel;
+2. a player verifies a downloaded application whose KeyInfo carries
+   only a ``ds:KeyName``, resolving the key through XKMS Locate
+   (X-KISS);
+3. the studio's key is compromised; the binding is revoked;
+4. the player's Validate check now reports the binding Invalid, and a
+   strict player refuses the (still cryptographically intact)
+   application.
+
+Run:  python examples/xkms_key_management.py
+"""
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.disc import ApplicationManifest
+from repro.dsig import Signer, Verifier
+from repro.network import Channel, ContentServer, DownloadClient
+from repro.primitives import DeterministicRandomSource
+from repro.primitives.rsa import generate_keypair
+from repro.xkms import TrustServer, XKMSClient
+from repro.xmlcore import parse_element
+
+
+def main() -> None:
+    rng = DeterministicRandomSource(b"xkms-example")
+
+    # Infrastructure: a root CA (for the TLS endpoint) and the trust
+    # server, exposed as a network service.
+    root_ca = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    server_identity = SigningIdentity.create(
+        "CN=trust.bda.example", root_ca, rng=rng,
+    )
+    player_trust = TrustStore(roots=[root_ca.certificate])
+
+    trust_server = TrustServer(
+        registration_secrets={"org.contoso.": b"contoso-reg-secret"},
+    )
+    content_server = ContentServer(identity=server_identity)
+    content_server.publish_service("xkms", trust_server.handle_xml)
+    network = DownloadClient(content_server, Channel(),
+                             trust_store=player_trust)
+
+    def xkms_transport(request_xml: str) -> str:
+        # Key management rides the mutually authenticated channel (§7).
+        return network.call("xkms", request_xml, secure=True)
+
+    xkms = XKMSClient(xkms_transport)
+
+    # 1. The studio registers its signing key.
+    studio_key = generate_keypair(1024, rng)
+    result = xkms.register("org.contoso.signing-2006",
+                           studio_key.public_key(),
+                           b"contoso-reg-secret")
+    print("register:", result.result_major)
+
+    # An unauthorized party cannot hijack the name space.
+    hijack = xkms.register("org.contoso.signing-2006",
+                           generate_keypair(1024, rng).public_key(),
+                           b"wrong-secret")
+    print("hijack attempt:", hijack.result_major)
+
+    # 2. The studio signs an application naming only the key.
+    app = ApplicationManifest("bonus")
+    app.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="100" height="100"/></layout>'
+    ))
+    app.add_script("var ok = true;")
+    manifest_element = app.to_element()
+    signer = Signer(studio_key, key_name="org.contoso.signing-2006")
+    signature = signer.sign_enveloped(manifest_element)
+
+    # The player resolves the KeyName through XKMS Locate...
+    verifier = Verifier(key_locator=xkms.locate)
+    report = verifier.verify(signature)
+    print(f"verify via XKMS Locate: valid={report.valid} "
+          f"(key source: {report.key_source})")
+
+    # ...and checks the binding's live status through Validate.
+    print("binding currently valid:",
+          xkms.validate("org.contoso.signing-2006"))
+
+    # 3. Key compromise: the studio revokes the binding.
+    revocation = xkms.revoke("org.contoso.signing-2006",
+                             b"contoso-reg-secret")
+    print("\nrevocation:", revocation.result_major)
+
+    # 4. The signature still verifies cryptographically — but the
+    # binding is dead, and a Validate-checking player refuses it.
+    report = verifier.verify(signature)
+    still_valid = xkms.validate("org.contoso.signing-2006")
+    print(f"after revocation: core signature valid={report.valid}, "
+          f"binding valid={still_valid}")
+    execute = report.valid and still_valid
+    print("player executes application:", execute)
+    assert not execute
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro -- XML security for next-generation optical disc applications.
+
+A from-scratch Python reproduction of *"XML Security in the Next
+Generation Optical Disc Context"* (Nair, Gopalakrishnan, Mauw, Moll;
+SDM 2005, LNCS 3674 -- the Secure Data Management workshop co-located
+with VLDB 2005).
+
+The library layers (bottom to top):
+
+* :mod:`repro.primitives` -- SHA-1/256, HMAC, AES, RSA, key wrap, and a
+  JCE-style provider registry (pure-Python vs accelerated backends).
+* :mod:`repro.xmlcore` -- XML parser, tree, serializer, Canonical XML
+  1.0 / Exclusive C14N, XPath-lite.
+* :mod:`repro.dsig` / :mod:`repro.xmlenc` -- XML Digital Signature and
+  XML Encryption.
+* :mod:`repro.certs` / :mod:`repro.xkms` -- certificates, trust stores,
+  XKMS key management.
+* :mod:`repro.xacml` / :mod:`repro.permissions` -- access control.
+* :mod:`repro.disc` / :mod:`repro.markup` -- the content hierarchy and
+  the SMIL/ECMAScript application runtimes.
+* :mod:`repro.network` -- content server, adversarial channels, TLS-like
+  secure transport.
+* :mod:`repro.core` -- the paper's contribution: granular protection
+  levels and the end-to-end authoring/playback pipelines.
+* :mod:`repro.player` -- the disc player tying everything together.
+* :mod:`repro.threat` -- the STRIDE model and executable attacks.
+
+See ``examples/quickstart.py`` for the guided tour.
+"""
+
+from repro.core import (
+    AuthoringPipeline, PlaybackPipeline, ProtectionLevel, SecurePackage,
+    VerifiedApplication,
+)
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.disc import ApplicationManifest, DiscAuthor, DiscImage
+from repro.dsig import Signer, Verifier
+from repro.player import DiscPlayer, InteractiveApplicationEngine
+from repro.xmlenc import Decryptor, Encryptor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthoringPipeline", "PlaybackPipeline", "SecurePackage",
+    "VerifiedApplication", "ProtectionLevel",
+    "CertificateAuthority", "SigningIdentity", "TrustStore",
+    "ApplicationManifest", "DiscAuthor", "DiscImage",
+    "Signer", "Verifier", "Encryptor", "Decryptor",
+    "DiscPlayer", "InteractiveApplicationEngine",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Certificates, authorities, chains and the player trust store."""
+
+from repro.certs.authority import CertificateAuthority, SigningIdentity
+from repro.certs.certificate import CERT_NS, Certificate
+from repro.certs.store import RevocationList, TrustStore, ValidationResult
+
+__all__ = [
+    "CERT_NS", "Certificate", "CertificateAuthority", "SigningIdentity",
+    "RevocationList", "TrustStore", "ValidationResult",
+]

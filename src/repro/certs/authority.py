@@ -1,0 +1,140 @@
+"""Certificate authorities for the content-distribution trust model.
+
+The end-to-end scenario of the paper (Fig 1, Fig 3) involves several
+signing parties — content creators, application authors, disc
+manufacturers — whose certificates chain up to root certificates baked
+into the player.  :class:`CertificateAuthority` models any party that
+can issue certificates: a self-signed root, an intermediate, or a leaf
+issuer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CertificateError
+from repro.primitives.keys import RSAPrivateKey
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.primitives.random import RandomSource, default_random
+from repro.primitives.rsa import generate_keypair
+from repro.certs.certificate import Certificate
+
+_DEFAULT_VALIDITY = 10 * 365 * 24 * 3600.0  # ten years of simulation time
+
+
+@dataclass
+class CertificateAuthority:
+    """A certificate-issuing party.
+
+    Attributes:
+        name: the authority's distinguished name (also the issuer name
+            on everything it signs).
+        key: the authority's private key.
+        certificate: the authority's own certificate (self-signed for a
+            root, issued by a parent otherwise).
+    """
+
+    name: str
+    key: RSAPrivateKey
+    certificate: Certificate
+    _provider: CryptoProvider = field(repr=False, default=None)  # type: ignore[assignment]
+    _next_serial: int = 1
+
+    @classmethod
+    def create_root(cls, name: str, key_bits: int = 1024, *,
+                    now: float = 0.0,
+                    validity: float = _DEFAULT_VALIDITY,
+                    rng: RandomSource | None = None,
+                    provider: CryptoProvider | None = None,
+                    ) -> "CertificateAuthority":
+        """Create a self-signed root authority."""
+        rng = rng or default_random()
+        provider = provider or get_provider()
+        key = generate_keypair(key_bits, rng)
+        cert = Certificate(
+            subject=name, issuer=name, serial=0,
+            public_key=key.public_key(),
+            not_before=now, not_after=now + validity,
+            is_ca=True, key_usage=("keyCertSign", "cRLSign"),
+        ).signed_by(key, provider)
+        return cls(name=name, key=key, certificate=cert, _provider=provider)
+
+    def issue(self, subject: str, public_key, *,
+              now: float = 0.0,
+              validity: float = _DEFAULT_VALIDITY,
+              is_ca: bool = False,
+              key_usage: tuple[str, ...] = ("digitalSignature",),
+              ) -> Certificate:
+        """Issue a certificate for *subject*'s *public_key*."""
+        if not self.certificate.is_ca:
+            raise CertificateError(
+                f"{self.name!r} is not a CA and cannot issue certificates"
+            )
+        serial = self._next_serial
+        self._next_serial += 1
+        cert = Certificate(
+            subject=subject, issuer=self.name, serial=serial,
+            public_key=public_key,
+            not_before=now, not_after=now + validity,
+            is_ca=is_ca, key_usage=key_usage,
+        )
+        return cert.signed_by(self.key, self._provider or get_provider())
+
+    def create_intermediate(self, name: str, key_bits: int = 1024, *,
+                            now: float = 0.0,
+                            validity: float = _DEFAULT_VALIDITY,
+                            rng: RandomSource | None = None,
+                            ) -> "CertificateAuthority":
+        """Create and certify a subordinate CA."""
+        rng = rng or default_random()
+        key = generate_keypair(key_bits, rng)
+        cert = self.issue(
+            name, key.public_key(), now=now, validity=validity,
+            is_ca=True, key_usage=("keyCertSign", "cRLSign"),
+        )
+        return CertificateAuthority(
+            name=name, key=key, certificate=cert,
+            _provider=self._provider or get_provider(),
+        )
+
+
+@dataclass
+class SigningIdentity:
+    """A leaf signer: private key plus its certificate chain.
+
+    ``chain`` runs leaf-first and excludes the root (players hold the
+    roots).  This is what a content creator or application author uses
+    with :class:`repro.dsig.Signer`.
+    """
+
+    name: str
+    key: RSAPrivateKey
+    chain: list[Certificate]
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.chain[0]
+
+    @classmethod
+    def create(cls, name: str, issuer: CertificateAuthority, *,
+               key_bits: int = 1024, now: float = 0.0,
+               validity: float = _DEFAULT_VALIDITY,
+               rng: RandomSource | None = None,
+               issuer_chain: list[Certificate] | None = None,
+               ) -> "SigningIdentity":
+        """Generate a key pair and have *issuer* certify it.
+
+        *issuer_chain* supplies the intermediate certificates between
+        the issuer and the root (issuer's own certificate is appended
+        automatically when it is not self-signed).
+        """
+        rng = rng or default_random()
+        key = generate_keypair(key_bits, rng)
+        cert = issuer.issue(name, key.public_key(), now=now,
+                            validity=validity)
+        chain = [cert]
+        if issuer.certificate.subject != issuer.certificate.issuer:
+            chain.append(issuer.certificate)
+        if issuer_chain:
+            chain.extend(issuer_chain)
+        return cls(name=name, key=key, chain=chain)

@@ -1,0 +1,210 @@
+"""XML-serialized certificates binding names to RSA public keys.
+
+The paper (§5.5) relies on certificate-based authentication: signatures
+carry certificates, and the player verifies them against "a trusted
+root certificate within the player" (the MHP-style chain model of its
+reference [8]).  Real deployments use ASN.1/DER X.509; this library
+keeps the identical *semantics* — issuer-signed bindings of subject
+name → public key with validity windows, serial numbers, basic
+constraints and key-usage bits — but serializes certificates as XML,
+which the rest of the stack can embed directly in ``ds:X509Data``-style
+structures.  (DESIGN.md §2 records this substitution.)
+
+A certificate's signature is an RSA PKCS#1 v1.5 signature over the
+canonical form (C14N) of its ``TBSCertificate`` element, mirroring the
+to-be-signed region of X.509.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CertificateError
+from repro.primitives.encoding import b64decode, b64encode
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.xmlcore import canonicalize, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+CERT_NS = "urn:repro:certificates"
+
+KEY_USAGE_FLAGS = (
+    "digitalSignature", "keyEncipherment", "keyCertSign", "cRLSign",
+)
+
+
+@dataclass
+class Certificate:
+    """An issued certificate.
+
+    Attributes:
+        subject: distinguished name of the key holder (free-form string,
+            e.g. ``"CN=Contoso Studios,O=Content Provider"``).
+        issuer: distinguished name of the signer.
+        serial: issuer-unique serial number.
+        public_key: the certified RSA public key.
+        not_before / not_after: validity window, seconds on the
+            simulation clock (any monotonic epoch).
+        is_ca: basic-constraints CA flag.
+        key_usage: enabled key-usage flags.
+        signature: issuer signature over the TBS region (``b""`` until
+            signed).
+        signature_digest: digest algorithm of the signature.
+    """
+
+    subject: str
+    issuer: str
+    serial: int
+    public_key: RSAPublicKey
+    not_before: float
+    not_after: float
+    is_ca: bool = False
+    key_usage: tuple[str, ...] = ("digitalSignature",)
+    signature: bytes = b""
+    signature_digest: str = "sha256"
+
+    def __post_init__(self):
+        if self.not_after <= self.not_before:
+            raise CertificateError("certificate validity window is empty")
+        for flag in self.key_usage:
+            if flag not in KEY_USAGE_FLAGS:
+                raise CertificateError(f"unknown key usage flag {flag!r}")
+
+    # -- serialization ----------------------------------------------------------
+
+    def tbs_element(self) -> Element:
+        """The to-be-signed region as an XML element."""
+        key = element("KeyValue", CERT_NS)
+        for name, value in self.public_key.to_dict().items():
+            key.append(element(name, CERT_NS, text=value))
+        tbs = element(
+            "TBSCertificate", CERT_NS,
+            nsmap={None: CERT_NS},
+            attrs={"serial": str(self.serial)},
+        )
+        tbs.append(element("Subject", CERT_NS, text=self.subject))
+        tbs.append(element("Issuer", CERT_NS, text=self.issuer))
+        validity = element("Validity", CERT_NS, attrs={
+            "notBefore": repr(self.not_before),
+            "notAfter": repr(self.not_after),
+        })
+        tbs.append(validity)
+        tbs.append(key)
+        constraints = element("BasicConstraints", CERT_NS,
+                              attrs={"ca": "true" if self.is_ca else "false"})
+        tbs.append(constraints)
+        usage = element("KeyUsage", CERT_NS,
+                        text=" ".join(self.key_usage))
+        tbs.append(usage)
+        return tbs
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical octets of the TBS region (the signed content)."""
+        return canonicalize(self.tbs_element())
+
+    def to_element(self) -> Element:
+        """Full certificate as an XML element."""
+        cert = element("Certificate", CERT_NS, nsmap={None: CERT_NS})
+        cert.append(self.tbs_element())
+        sig = element("SignatureValue", CERT_NS,
+                      text=b64encode(self.signature),
+                      attrs={"digest": self.signature_digest})
+        cert.append(sig)
+        return cert
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element())
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Certificate":
+        if node.local != "Certificate":
+            raise CertificateError(
+                f"expected Certificate element, got {node.local!r}"
+            )
+        tbs = node.first_child("TBSCertificate")
+        sig = node.first_child("SignatureValue")
+        if tbs is None or sig is None:
+            raise CertificateError("certificate element is incomplete")
+
+        def text_of(parent: Element, name: str) -> str:
+            child = parent.first_child(name)
+            if child is None:
+                raise CertificateError(f"certificate missing <{name}>")
+            return child.text_content()
+
+        validity = tbs.first_child("Validity")
+        key_el = tbs.first_child("KeyValue")
+        constraints = tbs.first_child("BasicConstraints")
+        if validity is None or key_el is None or constraints is None:
+            raise CertificateError("certificate element is incomplete")
+        try:
+            public_key = RSAPublicKey.from_dict({
+                "Modulus": text_of(key_el, "Modulus"),
+                "Exponent": text_of(key_el, "Exponent"),
+            })
+            cert = cls(
+                subject=text_of(tbs, "Subject"),
+                issuer=text_of(tbs, "Issuer"),
+                serial=int(tbs.get("serial", "0")),
+                public_key=public_key,
+                not_before=float(validity.get("notBefore", "0")),
+                not_after=float(validity.get("notAfter", "0")),
+                is_ca=constraints.get("ca") == "true",
+                key_usage=tuple(text_of(tbs, "KeyUsage").split()),
+                signature=b64decode(sig.text_content()),
+                signature_digest=sig.get("digest", "sha256"),
+            )
+        except (ValueError, CertificateError) as exc:
+            raise CertificateError(f"malformed certificate: {exc}") from None
+        return cert
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "Certificate":
+        return cls.from_element(parse_element(text))
+
+    # -- signing / checking -------------------------------------------------------
+
+    def signed_by(self, issuer_key: RSAPrivateKey,
+                  provider: CryptoProvider | None = None) -> "Certificate":
+        """Return a copy of this certificate signed with *issuer_key*."""
+        provider = provider or get_provider()
+        digest = provider.digest(self.signature_digest, self.tbs_bytes())
+        signature = provider.rsa_sign_digest(
+            issuer_key, digest, self.signature_digest
+        )
+        return Certificate(
+            subject=self.subject, issuer=self.issuer, serial=self.serial,
+            public_key=self.public_key, not_before=self.not_before,
+            not_after=self.not_after, is_ca=self.is_ca,
+            key_usage=self.key_usage, signature=signature,
+            signature_digest=self.signature_digest,
+        )
+
+    def check_signature(self, issuer_key: RSAPublicKey,
+                        provider: CryptoProvider | None = None) -> bool:
+        """True if the certificate's signature verifies under *issuer_key*."""
+        if not self.signature:
+            return False
+        provider = provider or get_provider()
+        digest = provider.digest(self.signature_digest, self.tbs_bytes())
+        return provider.rsa_verify_digest(
+            issuer_key, digest, self.signature, self.signature_digest
+        )
+
+    def is_valid_at(self, when: float) -> bool:
+        """True if *when* falls inside the validity window."""
+        return self.not_before <= when <= self.not_after
+
+    def allows_usage(self, usage: str) -> bool:
+        return usage in self.key_usage
+
+    def fingerprint(self) -> str:
+        """Hex SHA-256 over the canonical TBS region."""
+        from repro.primitives.sha import sha256
+        return sha256(self.tbs_bytes()).hex()[:40]
+
+    def __repr__(self):
+        return (
+            f"<Certificate subject={self.subject!r} issuer={self.issuer!r} "
+            f"serial={self.serial}>"
+        )

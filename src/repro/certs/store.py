@@ -1,0 +1,196 @@
+"""The player's trust store: root certificates, chain validation, CRLs.
+
+Models the paper's §5.5: "a mechanism for the verification of
+certificates leading to a trusted root certificate within the player."
+The store holds the trusted roots a manufacturer bakes into the device,
+plus an updatable revocation list; :meth:`TrustStore.validate_chain`
+performs path building and validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    CertificateExpiredError, CertificateRevokedError,
+    CertificateVerificationError, UntrustedRootError,
+)
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.certs.certificate import Certificate
+
+
+@dataclass
+class RevocationList:
+    """A set of revoked (issuer, serial) pairs — a minimal CRL."""
+
+    revoked: set[tuple[str, int]] = field(default_factory=set)
+
+    def revoke(self, certificate: Certificate) -> None:
+        self.revoked.add((certificate.issuer, certificate.serial))
+
+    def revoke_entry(self, issuer: str, serial: int) -> None:
+        self.revoked.add((issuer, serial))
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return (certificate.issuer, certificate.serial) in self.revoked
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of a chain validation."""
+
+    valid: bool
+    chain: list[Certificate]
+    reason: str = ""
+
+    def __bool__(self):
+        return self.valid
+
+
+class TrustStore:
+    """Root certificates plus revocation state.
+
+    Args:
+        roots: trusted (typically self-signed CA) certificates.
+        provider: crypto provider for signature checks.
+        max_chain_length: path-length cap (defence against absurd
+            chains in hostile downloads).
+    """
+
+    def __init__(self, roots: list[Certificate] | None = None,
+                 provider: CryptoProvider | None = None,
+                 max_chain_length: int = 8):
+        self._roots: dict[str, Certificate] = {}
+        self._intermediates: dict[str, list[Certificate]] = {}
+        self._provider = provider or get_provider()
+        self._crl = RevocationList()
+        self.max_chain_length = max_chain_length
+        for root in roots or []:
+            self.add_root(root)
+
+    # -- store management ---------------------------------------------------------
+
+    def add_root(self, certificate: Certificate) -> None:
+        """Trust *certificate* as an anchor (must be a self-signed CA)."""
+        if not certificate.is_ca:
+            raise CertificateVerificationError(
+                "trust anchors must be CA certificates"
+            )
+        if certificate.subject != certificate.issuer:
+            raise CertificateVerificationError(
+                "trust anchors must be self-signed"
+            )
+        if not certificate.check_signature(certificate.public_key,
+                                           self._provider):
+            raise CertificateVerificationError(
+                "trust anchor's self-signature does not verify"
+            )
+        self._roots[certificate.subject] = certificate
+
+    def add_intermediate(self, certificate: Certificate) -> None:
+        """Cache an intermediate for path building."""
+        self._intermediates.setdefault(
+            certificate.subject, []
+        ).append(certificate)
+
+    @property
+    def roots(self) -> list[Certificate]:
+        return list(self._roots.values())
+
+    @property
+    def crl(self) -> RevocationList:
+        return self._crl
+
+    def revoke(self, certificate: Certificate) -> None:
+        self._crl.revoke(certificate)
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate_chain(self, chain: list[Certificate], *,
+                       now: float = 0.0,
+                       usage: str | None = "digitalSignature",
+                       ) -> ValidationResult:
+        """Validate a leaf-first certificate chain.
+
+        Builds a path from ``chain[0]`` to one of the trusted roots —
+        using the supplied chain and any cached intermediates — and
+        checks signatures, validity windows, CA flags, key usage and
+        revocation along the way.  Returns a :class:`ValidationResult`
+        rather than raising, so callers can decide between strict and
+        advisory handling.
+        """
+        if not chain:
+            return ValidationResult(False, [], "empty certificate chain")
+        supplied = {
+            (c.subject, c.serial): c for c in chain
+        }
+        path: list[Certificate] = [chain[0]]
+        current = chain[0]
+        try:
+            if usage is not None and not current.allows_usage(usage):
+                raise CertificateVerificationError(
+                    f"leaf certificate does not allow {usage!r}"
+                )
+            while True:
+                if len(path) > self.max_chain_length:
+                    raise CertificateVerificationError(
+                        "certificate chain too long"
+                    )
+                if self._crl.is_revoked(current):
+                    raise CertificateRevokedError(
+                        f"certificate {current.subject!r} "
+                        f"(serial {current.serial}) is revoked"
+                    )
+                if not current.is_valid_at(now):
+                    raise CertificateExpiredError(
+                        f"certificate {current.subject!r} is outside its "
+                        f"validity window at t={now}"
+                    )
+                root = self._roots.get(current.issuer)
+                if root is not None:
+                    if not current.check_signature(root.public_key,
+                                                   self._provider):
+                        raise CertificateVerificationError(
+                            f"signature on {current.subject!r} does not "
+                            f"verify under root {root.subject!r}"
+                        )
+                    if self._crl.is_revoked(root):
+                        raise CertificateRevokedError(
+                            f"root {root.subject!r} is revoked"
+                        )
+                    path.append(root)
+                    return ValidationResult(True, path)
+                issuer_cert = self._find_issuer(current, supplied)
+                if issuer_cert is None:
+                    raise UntrustedRootError(
+                        f"no path from {current.subject!r} to a trusted root"
+                    )
+                if not issuer_cert.is_ca:
+                    raise CertificateVerificationError(
+                        f"issuer {issuer_cert.subject!r} is not a CA"
+                    )
+                if not issuer_cert.allows_usage("keyCertSign"):
+                    raise CertificateVerificationError(
+                        f"issuer {issuer_cert.subject!r} may not sign "
+                        "certificates"
+                    )
+                if not current.check_signature(issuer_cert.public_key,
+                                               self._provider):
+                    raise CertificateVerificationError(
+                        f"signature on {current.subject!r} does not verify "
+                        f"under {issuer_cert.subject!r}"
+                    )
+                path.append(issuer_cert)
+                current = issuer_cert
+        except CertificateVerificationError as exc:
+            return ValidationResult(False, path, str(exc))
+
+    def _find_issuer(self, certificate: Certificate,
+                     supplied: dict) -> Certificate | None:
+        for (subject, _serial), candidate in supplied.items():
+            if subject == certificate.issuer \
+                    and candidate is not certificate:
+                return candidate
+        for candidate in self._intermediates.get(certificate.issuer, []):
+            return candidate
+        return None

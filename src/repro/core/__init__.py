@@ -1,0 +1,34 @@
+"""The paper's contribution: end-to-end XML security for disc applications."""
+
+from repro.core.authoring_pipeline import AuthoringPipeline, SecurePackage
+from repro.core.decryption_transform import apply_decryption_transform
+from repro.core.disc_security import DiscSigningResult, sign_disc_image
+from repro.core.granularity import (
+    LevelProtectionResult, ProtectionLevel, count_encrypted,
+    encrypt_at_level, protection_targets, sign_at_level, verify_signatures,
+)
+from repro.core.package import (
+    PACKAGE_ID, PackageView, build_package_element, parse_package,
+)
+from repro.core.playback_pipeline import (
+    PlaybackPipeline, VerifiedApplication,
+)
+from repro.core.profiles import (
+    ALL_PROFILES, SIGNED_AND_ENCRYPTED, SIGNED_ONLY, SIGNED_TRACKS,
+    STUDIO_GRADE, UNPROTECTED, SecurityProfile, apply_profile_to_disc,
+    profile_by_name,
+)
+
+__all__ = [
+    "AuthoringPipeline", "SecurePackage", "PlaybackPipeline",
+    "VerifiedApplication", "PackageView", "parse_package",
+    "build_package_element", "PACKAGE_ID",
+    "ProtectionLevel", "LevelProtectionResult", "protection_targets",
+    "sign_at_level", "verify_signatures", "encrypt_at_level",
+    "count_encrypted", "apply_decryption_transform",
+    "sign_disc_image", "DiscSigningResult",
+    "SecurityProfile", "ALL_PROFILES", "UNPROTECTED", "SIGNED_ONLY",
+    "apply_profile_to_disc",
+    "SIGNED_TRACKS", "SIGNED_AND_ENCRYPTED", "STUDIO_GRADE",
+    "profile_by_name",
+]

@@ -1,0 +1,158 @@
+"""The player-side end-to-end security pipeline (Fig 9, right half).
+
+Order of operations on reception:
+
+1. parse the package;
+2. **verify** the signature — references carrying the Decryption
+   Transform are digested over the *decrypted* regions (minus the
+   ``dcrpt:Except`` ones), so sign-then-encrypt packages validate;
+3. if the player's policy requires a trusted signer and verification
+   fails, the application is **barred** (Fig 3);
+4. **decrypt** everything decryptable for execution;
+5. evaluate the permission request file against the platform policy —
+   trust-gated permissions are only granted to verified applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.certs.store import TrustStore
+from repro.core.package import PackageView, parse_package
+from repro.disc.manifest import ApplicationManifest
+from repro.dsig.verifier import VerificationReport, Verifier
+from repro.errors import ApplicationRejectedError, DiscFormatError
+from repro.permissions.request_file import (
+    GrantSet, PlatformPermissionPolicy,
+)
+from repro.primitives.keys import RSAPrivateKey, SymmetricKey
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.xmlcore import DISC_NS
+from repro.xmlenc.decryptor import Decryptor
+
+
+@dataclass
+class VerifiedApplication:
+    """What the engine gets to execute."""
+
+    manifest: ApplicationManifest
+    grants: GrantSet
+    trusted: bool
+    report: VerificationReport | None = None
+    signer_subject: str | None = None
+
+
+@dataclass
+class PlaybackPipeline:
+    """Opens, verifies and decrypts application packages.
+
+    Args:
+        trust_store: the player's root certificates.
+        device_key: the player's RSA private key (``rsa-1_5`` CEK
+            transport).
+        key_slots: named symmetric keys (shared KEKs, disc keys).
+        permission_policy: platform stance on permission requests.
+        require_signature: Fig 3 policy — bar applications that do not
+            verify against a trusted root.
+        now: simulation time for certificate checks.
+    """
+
+    trust_store: TrustStore
+    device_key: RSAPrivateKey | None = None
+    key_slots: dict[str, SymmetricKey] = field(default_factory=dict)
+    permission_policy: PlatformPermissionPolicy = field(
+        default_factory=PlatformPermissionPolicy
+    )
+    require_signature: bool = True
+    provider: CryptoProvider | None = None
+    now: float = 0.0
+
+    def __post_init__(self):
+        self.provider = self.provider or get_provider()
+
+    def _decryptor(self) -> Decryptor:
+        decryptor = Decryptor(provider=self.provider)
+        for name, key in self.key_slots.items():
+            decryptor.add_key(name, key)
+        if self.device_key is not None:
+            decryptor.add_rsa_key(self.device_key)
+        return decryptor
+
+    def open_package(self, data: bytes | str,
+                     *, execute_excepted: bool = True
+                     ) -> VerifiedApplication:
+        """Verify and unlock a package; raises if the player must bar it.
+
+        Args:
+            data: package bytes.
+            execute_excepted: also decrypt ``dcrpt:Except`` regions for
+                execution after verification succeeded (the signature
+                covered their ciphertext).
+
+        Raises:
+            ApplicationRejectedError: unsigned/invalid application under
+                a require-signature policy (Fig 3: "the application is
+                barred from being executed").
+        """
+        from repro.errors import XMLError
+        try:
+            view = parse_package(data)
+        except XMLError as exc:
+            raise ApplicationRejectedError(
+                f"package is not well-formed XML (corrupted or "
+                f"tampered): {exc}"
+            ) from None
+        decryptor = self._decryptor()
+        report: VerificationReport | None = None
+        signer_subject: str | None = None
+        trusted = False
+
+        if view.signature_element is not None:
+            verifier = Verifier(
+                trust_store=self.trust_store, require_trusted_key=True,
+                provider=self.provider, now=self.now,
+            )
+            report = verifier.verify(view.signature_element,
+                                     decryptor=decryptor)
+            trusted = report.valid
+            signer_subject = report.signer_subject
+            if self.require_signature and not trusted:
+                raise ApplicationRejectedError(
+                    "signature verification failed; application barred: "
+                    + "; ".join(
+                        [report.error] if report.error else []
+                        + [r.error for r in report.references
+                           if not r.valid]
+                    )
+                )
+        elif self.require_signature:
+            raise ApplicationRejectedError(
+                "unsigned application barred by player policy"
+            )
+
+        # Unlock for execution.
+        decryptor.decrypt_in_place(view.root)
+        manifest_element = view.root.first_child("manifest", DISC_NS) \
+            or view.root.find("manifest", DISC_NS) \
+            or view.root.find("manifest")
+        if manifest_element is None:
+            raise DiscFormatError(
+                "package contains no manifest after decryption"
+            )
+        manifest = ApplicationManifest.from_element(manifest_element)
+
+        grants = self._grants(view, trusted)
+        return VerifiedApplication(
+            manifest=manifest, grants=grants, trusted=trusted,
+            report=report, signer_subject=signer_subject,
+        )
+
+    def _grants(self, view: PackageView, trusted: bool) -> GrantSet:
+        if view.permission_file is None:
+            from repro.permissions.request_file import (
+                PermissionRequestFile,
+            )
+            empty = PermissionRequestFile(app_id="unknown", org_id="")
+            return self.permission_policy.decide(empty, trusted=trusted)
+        return self.permission_policy.decide(view.permission_file,
+                                             trusted=trusted)

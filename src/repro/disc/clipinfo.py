@@ -1,0 +1,62 @@
+"""Clip Information files — metadata linking playlists to stream files.
+
+In the content hierarchy (Fig 2) playlists "refer to Clip Information,
+which ultimately links to the Mpeg-2 Transport Stream file."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiscFormatError
+from repro.xmlcore import DISC_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+
+@dataclass(frozen=True)
+class ClipInfo:
+    """Metadata for one A/V clip.
+
+    Attributes:
+        clip_id: five-digit clip identifier (e.g. ``"00001"``).
+        stream_uri: disc URI of the transport stream file.
+        duration_s: presentation duration in seconds.
+        packets: number of TS packets in the stream.
+    """
+
+    clip_id: str
+    stream_uri: str
+    duration_s: float
+    packets: int
+
+    def to_element(self) -> Element:
+        return element(
+            "clipInfo", DISC_NS, nsmap={None: DISC_NS},
+            attrs={
+                "clipId": self.clip_id,
+                "stream": self.stream_uri,
+                "duration": repr(self.duration_s),
+                "packets": str(self.packets),
+            },
+        )
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "ClipInfo":
+        if node.local != "clipInfo":
+            raise DiscFormatError(f"expected clipInfo, got {node.local!r}")
+        try:
+            return cls(
+                clip_id=node.get("clipId") or "",
+                stream_uri=node.get("stream") or "",
+                duration_s=float(node.get("duration", "0")),
+                packets=int(node.get("packets", "0")),
+            )
+        except ValueError as exc:
+            raise DiscFormatError(f"malformed clipInfo: {exc}") from None
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "ClipInfo":
+        return cls.from_element(parse_element(text))

@@ -1,0 +1,94 @@
+"""Disc format profiles: BD-ROM, HD-DVD and eDVD layouts.
+
+§8: the prototype "demonstrated that XML based security and Interactive
+Application Engine can exist independent of the type [of] the Disc
+format, be it Blu-ray disc, High Definition-DVD and enhanced DVD
+(eDVD)", and §9 lists extending to other formats as future work.
+
+A :class:`DiscFormat` captures what actually differs between the
+formats for our purposes: the on-disc directory layout, the stream/clip
+file extensions, the URI scheme and the capacity.  Everything above the
+image (hierarchy markup, security, the engine) is format-agnostic —
+which is the claim, and the format-sweep tests prove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiscFormatError
+
+
+@dataclass(frozen=True)
+class DiscFormat:
+    """One optical-disc format's on-image conventions."""
+
+    name: str
+    root_dir: str            # e.g. "BDMV"
+    stream_dir: str          # subdirectory for stream files
+    clipinfo_dir: str
+    cluster_dir: str
+    auxdata_dir: str
+    stream_extension: str    # e.g. ".m2ts"
+    clipinfo_extension: str
+    uri_scheme: str          # e.g. "bd://"
+    capacity_bytes: int
+
+    def cluster_path(self) -> str:
+        return f"{self.root_dir}/{self.cluster_dir}/cluster.xml"
+
+    def stream_path(self, clip_id: str) -> str:
+        return (f"{self.root_dir}/{self.stream_dir}/"
+                f"{clip_id}{self.stream_extension}")
+
+    def clipinfo_path(self, clip_id: str) -> str:
+        return (f"{self.root_dir}/{self.clipinfo_dir}/"
+                f"{clip_id}{self.clipinfo_extension}")
+
+    def auxdata_path(self, name: str) -> str:
+        return f"{self.root_dir}/{self.auxdata_dir}/{name}"
+
+    def path_to_uri(self, path: str) -> str:
+        return self.uri_scheme + path
+
+    def uri_to_path(self, uri: str) -> str:
+        if not uri.startswith(self.uri_scheme):
+            raise DiscFormatError(
+                f"not a {self.name} disc URI: {uri!r}"
+            )
+        return uri[len(self.uri_scheme):]
+
+
+BD_ROM = DiscFormat(
+    name="BD-ROM", root_dir="BDMV", stream_dir="STREAM",
+    clipinfo_dir="CLIPINF", cluster_dir="CLUSTER",
+    auxdata_dir="AUXDATA", stream_extension=".m2ts",
+    clipinfo_extension=".clpi", uri_scheme="bd://",
+    capacity_bytes=25_000_000_000,
+)
+
+HD_DVD = DiscFormat(
+    name="HD-DVD", root_dir="HVDVD_TS", stream_dir="STREAM",
+    clipinfo_dir="CLIPINF", cluster_dir="CLUSTER",
+    auxdata_dir="ADV_OBJ", stream_extension=".evo",
+    clipinfo_extension=".vti", uri_scheme="hddvd://",
+    capacity_bytes=15_000_000_000,
+)
+
+EDVD = DiscFormat(
+    name="eDVD", root_dir="VIDEO_TS", stream_dir="STREAM",
+    clipinfo_dir="CLIPINF", cluster_dir="ENHANCED",
+    auxdata_dir="EXTRA", stream_extension=".vob",
+    clipinfo_extension=".ifo", uri_scheme="edvd://",
+    capacity_bytes=4_700_000_000,
+)
+
+ALL_FORMATS = (BD_ROM, HD_DVD, EDVD)
+
+
+def format_by_name(name: str) -> DiscFormat:
+    """Look up a registered disc format by its display name."""
+    for disc_format in ALL_FORMATS:
+        if disc_format.name == name:
+            return disc_format
+    raise KeyError(f"no disc format named {name!r}")

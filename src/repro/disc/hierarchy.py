@@ -1,0 +1,152 @@
+"""The Interactive Cluster — top of the content hierarchy (Fig 2).
+
+"At the top of the content hierarchy is the Interactive Cluster, which
+is the generic representation of packaged content, including Video,
+Audio and markup Application.  The Interactive Cluster contains several
+Tracks, which form chapters for Video/Audio Playlist and optionally
+manifest (application)."  (§2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.errors import DiscFormatError
+from repro.disc.manifest import ApplicationManifest
+from repro.disc.playlist import Playlist
+from repro.xmlcore import DISC_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+_track_ids = count(1)
+
+TRACK_AV = "av"
+TRACK_APPLICATION = "application"
+
+
+@dataclass
+class Track:
+    """One track: an A/V chapter (playlist) or an application (manifest)."""
+
+    kind: str
+    playlist: Playlist | None = None
+    manifest: ApplicationManifest | None = None
+    track_id: str = field(
+        default_factory=lambda: f"track-{next(_track_ids)}"
+    )
+    # True when the track's payload is wholly encrypted (an
+    # EncryptedData stands where the playlist/manifest would be); the
+    # structured view is opaque until the player decrypts.
+    opaque: bool = False
+
+    def __post_init__(self):
+        if self.opaque:
+            return
+        if self.kind == TRACK_AV and self.playlist is None:
+            raise DiscFormatError("an av track needs a playlist")
+        if self.kind == TRACK_APPLICATION and self.manifest is None:
+            raise DiscFormatError("an application track needs a manifest")
+        if self.kind not in (TRACK_AV, TRACK_APPLICATION):
+            raise DiscFormatError(f"unknown track kind {self.kind!r}")
+
+    def to_element(self) -> Element:
+        node = element("track", DISC_NS, attrs={
+            "kind": self.kind, "Id": self.track_id,
+        })
+        if self.playlist is not None:
+            node.append(self.playlist.to_element())
+        if self.manifest is not None:
+            node.append(self.manifest.to_element())
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Track":
+        kind = node.get("kind") or ""
+        playlist_el = node.first_child("playlist", DISC_NS) \
+            or node.first_child("playlist")
+        manifest_el = node.first_child("manifest", DISC_NS) \
+            or node.first_child("manifest")
+        opaque = (
+            playlist_el is None and manifest_el is None
+            and any(child.local == "EncryptedData"
+                    for child in node.child_elements())
+        )
+        return cls(
+            kind=kind,
+            playlist=(Playlist.from_element(playlist_el)
+                      if playlist_el is not None else None),
+            manifest=(ApplicationManifest.from_element(manifest_el)
+                      if manifest_el is not None else None),
+            track_id=node.get("Id") or f"track-{next(_track_ids)}",
+            opaque=opaque,
+        )
+
+
+@dataclass
+class InteractiveCluster:
+    """The packaged content: tracks of video/audio and applications."""
+
+    title: str
+    tracks: list[Track] = field(default_factory=list)
+    cluster_id: str = "cluster-1"
+
+    def add_av_track(self, playlist: Playlist) -> Track:
+        track = Track(TRACK_AV, playlist=playlist)
+        self.tracks.append(track)
+        return track
+
+    def add_application_track(self,
+                              manifest: ApplicationManifest) -> Track:
+        track = Track(TRACK_APPLICATION, manifest=manifest)
+        self.tracks.append(track)
+        return track
+
+    def av_tracks(self) -> list[Track]:
+        return [t for t in self.tracks if t.kind == TRACK_AV]
+
+    def application_tracks(self) -> list[Track]:
+        return [t for t in self.tracks if t.kind == TRACK_APPLICATION]
+
+    def find_application(self, name: str) -> ApplicationManifest | None:
+        for track in self.application_tracks():
+            if track.manifest is not None and track.manifest.name == name:
+                return track.manifest
+        return None
+
+    def clip_refs(self) -> list[str]:
+        """All clip references used by av tracks (for mastering checks)."""
+        refs: list[str] = []
+        for track in self.av_tracks():
+            assert track.playlist is not None
+            refs.extend(track.playlist.clip_refs())
+        return refs
+
+    def to_element(self) -> Element:
+        node = element(
+            "cluster", DISC_NS, nsmap={None: DISC_NS},
+            attrs={"Id": self.cluster_id, "title": self.title},
+        )
+        for track in self.tracks:
+            node.append(track.to_element())
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "InteractiveCluster":
+        if node.local != "cluster":
+            raise DiscFormatError(f"expected cluster, got {node.local!r}")
+        return cls(
+            title=node.get("title") or "",
+            tracks=[
+                Track.from_element(child)
+                for child in node.child_elements()
+                if child.local == "track"
+            ],
+            cluster_id=node.get("Id") or "cluster-1",
+        )
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "InteractiveCluster":
+        return cls.from_element(parse_element(text))

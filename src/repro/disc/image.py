@@ -1,0 +1,195 @@
+"""The disc image: a virtual file system standing in for a BD-ROM.
+
+The real substrate would be a mastered optical disc; the simulation
+(DESIGN.md §2) is a path → bytes mapping with the familiar BDMV-style
+layout, a ``bd://`` URI resolver (used by signature references,
+CipherReference and the player), and round-tripping to a directory on
+the host file system.
+
+Layout::
+
+    BDMV/CLUSTER/cluster.xml    the Interactive Cluster markup
+    BDMV/STREAM/<id>.m2ts       transport stream files
+    BDMV/CLIPINF/<id>.clpi      clip information files
+    BDMV/AUXDATA/...            anything else (ciphertext blobs, certs)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import DiscFormatError
+from repro.disc.clipinfo import ClipInfo
+from repro.disc.formats import BD_ROM, DiscFormat
+from repro.disc.hierarchy import InteractiveCluster
+from repro.xmlcore import parse_element
+
+CLUSTER_PATH = "BDMV/CLUSTER/cluster.xml"
+STREAM_DIR = "BDMV/STREAM"
+CLIPINF_DIR = "BDMV/CLIPINF"
+AUXDATA_DIR = "BDMV/AUXDATA"
+
+URI_SCHEME = "bd://"
+
+
+def stream_path(clip_id: str) -> str:
+    """BD-ROM stream path for *clip_id* (module-level BD default)."""
+    return f"{STREAM_DIR}/{clip_id}.m2ts"
+
+
+def clipinfo_path(clip_id: str) -> str:
+    """BD-ROM clip-info path for *clip_id* (module-level BD default)."""
+    return f"{CLIPINF_DIR}/{clip_id}.clpi"
+
+
+def path_to_uri(path: str) -> str:
+    """Disc path → ``bd://`` URI."""
+    return URI_SCHEME + path
+
+
+def uri_to_path(uri: str) -> str:
+    """``bd://`` URI → disc path."""
+    if not uri.startswith(URI_SCHEME):
+        raise DiscFormatError(f"not a disc URI: {uri!r}")
+    return uri[len(URI_SCHEME):]
+
+
+class DiscImage:
+    """An in-memory mastered disc.
+
+    Args:
+        files: initial path → bytes contents.
+        layout: the disc format conventions (default BD-ROM); all
+            structured accessors and the URI resolver follow it.
+    """
+
+    def __init__(self, files: dict[str, bytes] | None = None,
+                 layout: DiscFormat = BD_ROM):
+        self._files: dict[str, bytes] = dict(files or {})
+        self.layout = layout
+
+    # -- file access -------------------------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        if path.startswith("/") or ".." in path.split("/"):
+            raise DiscFormatError(f"illegal disc path {path!r}")
+        self._files[path] = bytes(data)
+
+    def read(self, path: str) -> bytes:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise DiscFormatError(
+                f"disc has no file {path!r}"
+            ) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._files.values())
+
+    def resolver(self, uri: str) -> bytes:
+        """Resolve a disc URI (signature/encryption references)."""
+        return self.read(self.layout.uri_to_path(uri))
+
+    # -- structured accessors ---------------------------------------------------------
+
+    def cluster_path(self) -> str:
+        return self.layout.cluster_path()
+
+    def cluster(self) -> InteractiveCluster:
+        """Parse the Interactive Cluster markup."""
+        return InteractiveCluster.from_element(
+            parse_element(self.read(self.layout.cluster_path()))
+        )
+
+    def cluster_element(self):
+        """The raw cluster element (for verification in context)."""
+        return parse_element(self.read(self.layout.cluster_path()))
+
+    def clip_info(self, clip_id: str) -> ClipInfo:
+        return ClipInfo.from_xml(
+            self.read(self.layout.clipinfo_path(clip_id))
+        )
+
+    def stream(self, clip_id: str) -> bytes:
+        return self.read(self.layout.stream_path(clip_id))
+
+    def validate_structure(self) -> list[str]:
+        """Return a list of structural problems (empty = consistent).
+
+        Checks that the cluster parses and that every referenced clip
+        has both its stream and its clip-information file.
+        """
+        problems: list[str] = []
+        if not self.exists(self.layout.cluster_path()):
+            return [f"missing {self.layout.cluster_path()}"]
+        try:
+            cluster = self.cluster()
+        except Exception as exc:
+            return [f"cluster does not parse: {exc}"]
+        for ref in cluster.clip_refs():
+            if not self.exists(self.layout.stream_path(ref)):
+                problems.append(f"clip {ref}: missing stream file")
+            if not self.exists(self.layout.clipinfo_path(ref)):
+                problems.append(f"clip {ref}: missing clip info")
+        return problems
+
+    # -- host file system round trip -----------------------------------------------------
+
+    def save_to_directory(self, directory: str) -> None:
+        """Write the image under *directory* (creating subdirectories)."""
+        for path, data in self._files.items():
+            full = os.path.join(directory, path)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "wb") as handle:
+                handle.write(data)
+
+    def save_to_file(self, path: str) -> None:
+        """Write the image as a single archive file (a stand-in for the
+        mastered ``.iso``).  Uncompressed, so signed byte identity of
+        every member is trivially preserved."""
+        import zipfile
+        with zipfile.ZipFile(path, "w",
+                             compression=zipfile.ZIP_STORED) as archive:
+            for member, data in sorted(self._files.items()):
+                archive.writestr(member, data)
+
+    @classmethod
+    def load_from_file(cls, path: str,
+                       layout: DiscFormat = BD_ROM) -> "DiscImage":
+        """Read an image written by :meth:`save_to_file`."""
+        import zipfile
+        image = cls(layout=layout)
+        try:
+            with zipfile.ZipFile(path) as archive:
+                for member in archive.namelist():
+                    image.write(member, archive.read(member))
+        except zipfile.BadZipFile as exc:
+            raise DiscFormatError(
+                f"not a disc image file: {exc}"
+            ) from None
+        return image
+
+    @classmethod
+    def load_from_directory(cls, directory: str,
+                            layout: DiscFormat = BD_ROM) -> "DiscImage":
+        """Read an image previously saved with :meth:`save_to_directory`."""
+        image = cls(layout=layout)
+        for dirpath, _dirnames, filenames in os.walk(directory):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                rel = os.path.relpath(full, directory).replace(os.sep, "/")
+                with open(full, "rb") as handle:
+                    image.write(rel, handle.read())
+        return image
+
+    def __repr__(self):
+        return (
+            f"<DiscImage files={len(self._files)} "
+            f"bytes={self.total_bytes()}>"
+        )

@@ -1,0 +1,181 @@
+"""The Application Manifest: Markup + Code (Fig 2, Fig 10).
+
+"The manifest file consists of two distinct parts, namely the Markup
+and the Code.  The Markup part captures the static composition of the
+application ... the markup part could contain 'SubMarkups' helping the
+separation of various characteristics ... the code part can contain
+none or more scripts."  (§2)
+
+Every part carries an ``Id`` so it can be a *markup target* for
+selective signing/encryption (Fig 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.errors import DiscFormatError
+from repro.xmlcore import DISC_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element, Text
+
+_ids = count(1)
+
+
+def _auto_id(prefix: str) -> str:
+    return f"{prefix}-{next(_ids)}"
+
+
+@dataclass
+class SubMarkup:
+    """One facet of the static composition (layout, timing, ...).
+
+    The body is arbitrary markup — typically SMIL-like — owned by the
+    content author.
+    """
+
+    kind: str
+    body: Element
+    submarkup_id: str = field(default_factory=lambda: _auto_id("submarkup"))
+
+    def to_element(self) -> Element:
+        node = element("submarkup", DISC_NS, attrs={
+            "kind": self.kind, "Id": self.submarkup_id,
+        })
+        node.append(self.body.copy())
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "SubMarkup":
+        bodies = node.child_elements()
+        if len(bodies) != 1:
+            raise DiscFormatError(
+                "submarkup must contain exactly one body element"
+            )
+        return cls(
+            kind=node.get("kind") or "",
+            body=bodies[0].copy(),
+            submarkup_id=node.get("Id") or _auto_id("submarkup"),
+        )
+
+
+@dataclass
+class Script:
+    """One script of the Code part (ECMAScript in the prototype, §8.1)."""
+
+    source: str
+    language: str = "ecmascript"
+    script_id: str = field(default_factory=lambda: _auto_id("script"))
+
+    def to_element(self) -> Element:
+        node = element("script", DISC_NS, attrs={
+            "language": self.language, "Id": self.script_id,
+        })
+        node.append(Text(self.source))
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Script":
+        return cls(
+            source=node.text_content(),
+            language=node.get("language", "ecmascript") or "ecmascript",
+            script_id=node.get("Id") or _auto_id("script"),
+        )
+
+
+@dataclass
+class ApplicationManifest:
+    """The Interactive Application: markup plus code.
+
+    Attributes:
+        name: human-readable application name.
+        submarkups: the Markup part's facets.
+        scripts: the Code part's scripts.
+        manifest_id / markup_id / code_id: Ids of the respective
+            markup targets (granular signing levels of Fig 5).
+    """
+
+    name: str
+    submarkups: list[SubMarkup] = field(default_factory=list)
+    scripts: list[Script] = field(default_factory=list)
+    manifest_id: str = field(default_factory=lambda: _auto_id("manifest"))
+    markup_id: str = field(default_factory=lambda: _auto_id("markup"))
+    code_id: str = field(default_factory=lambda: _auto_id("code"))
+
+    def add_submarkup(self, kind: str, body: Element) -> SubMarkup:
+        sub = SubMarkup(kind, body)
+        self.submarkups.append(sub)
+        return sub
+
+    def add_script(self, source: str,
+                   language: str = "ecmascript") -> Script:
+        script = Script(source, language)
+        self.scripts.append(script)
+        return script
+
+    def submarkup(self, kind: str) -> SubMarkup | None:
+        for sub in self.submarkups:
+            if sub.kind == kind:
+                return sub
+        return None
+
+    def to_element(self) -> Element:
+        node = element(
+            "manifest", DISC_NS, nsmap={None: DISC_NS},
+            attrs={"Id": self.manifest_id, "name": self.name},
+        )
+        markup = element("markup", DISC_NS, attrs={"Id": self.markup_id})
+        for sub in self.submarkups:
+            markup.append(sub.to_element())
+        node.append(markup)
+        code = element("code", DISC_NS, attrs={"Id": self.code_id})
+        for script in self.scripts:
+            code.append(script.to_element())
+        node.append(code)
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "ApplicationManifest":
+        if node.local != "manifest":
+            raise DiscFormatError(f"expected manifest, got {node.local!r}")
+        markup = node.first_child("markup", DISC_NS) \
+            or node.first_child("markup")
+        code = node.first_child("code", DISC_NS) or node.first_child("code")
+        if markup is None or code is None:
+            # A part may have been replaced by EncryptedData (Fig 8);
+            # the structural view treats it as empty until the player
+            # decrypts a working copy.
+            has_encrypted = any(
+                child.local == "EncryptedData"
+                for child in node.child_elements()
+            )
+            if not has_encrypted:
+                raise DiscFormatError(
+                    "manifest needs markup and code parts"
+                )
+        manifest = cls(
+            name=node.get("name") or "",
+            manifest_id=node.get("Id") or _auto_id("manifest"),
+            markup_id=(markup.get("Id") if markup is not None else None)
+            or _auto_id("markup"),
+            code_id=(code.get("Id") if code is not None else None)
+            or _auto_id("code"),
+        )
+        if markup is not None:
+            for child in markup.child_elements():
+                if child.local == "submarkup":
+                    manifest.submarkups.append(
+                        SubMarkup.from_element(child)
+                    )
+        if code is not None:
+            for child in code.child_elements():
+                if child.local == "script":
+                    manifest.scripts.append(Script.from_element(child))
+        return manifest
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "ApplicationManifest":
+        return cls.from_element(parse_element(text))

@@ -1,0 +1,91 @@
+"""Audio/Video playlists: "meta-information about the play items" (Fig 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DiscFormatError
+from repro.xmlcore import DISC_NS, element
+from repro.xmlcore.tree import Element
+
+
+@dataclass(frozen=True)
+class PlayItem:
+    """One chapter segment: a clip reference with an in/out window."""
+
+    clip_ref: str          # clip id, resolved through the clip registry
+    in_time: float = 0.0   # seconds
+    out_time: float = 0.0  # seconds; 0 means "to end of clip"
+
+    def __post_init__(self):
+        if self.in_time < 0 or (self.out_time and
+                                self.out_time < self.in_time):
+            raise DiscFormatError(
+                f"play item window [{self.in_time}, {self.out_time}] "
+                "is invalid"
+            )
+
+    def to_element(self) -> Element:
+        return element("playItem", DISC_NS, attrs={
+            "clip": self.clip_ref,
+            "in": repr(self.in_time),
+            "out": repr(self.out_time),
+        })
+
+    @classmethod
+    def from_element(cls, node: Element) -> "PlayItem":
+        try:
+            return cls(
+                clip_ref=node.get("clip") or "",
+                in_time=float(node.get("in", "0")),
+                out_time=float(node.get("out", "0")),
+            )
+        except ValueError as exc:
+            raise DiscFormatError(f"malformed playItem: {exc}") from None
+
+
+@dataclass
+class Playlist:
+    """An ordered list of play items forming the chapters of a track."""
+
+    name: str
+    items: list[PlayItem] = field(default_factory=list)
+    playlist_id: str | None = None
+
+    def add_item(self, clip_ref: str, in_time: float = 0.0,
+                 out_time: float = 0.0) -> PlayItem:
+        item = PlayItem(clip_ref, in_time, out_time)
+        self.items.append(item)
+        return item
+
+    def duration(self) -> float:
+        """Total windowed duration (items with out=0 contribute nothing —
+        the player resolves them against clip info)."""
+        return sum(
+            max(0.0, item.out_time - item.in_time) for item in self.items
+        )
+
+    def clip_refs(self) -> list[str]:
+        return [item.clip_ref for item in self.items]
+
+    def to_element(self) -> Element:
+        node = element("playlist", DISC_NS, attrs={"name": self.name})
+        if self.playlist_id:
+            node.set("Id", self.playlist_id)
+        for item in self.items:
+            node.append(item.to_element())
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Playlist":
+        if node.local != "playlist":
+            raise DiscFormatError(f"expected playlist, got {node.local!r}")
+        return cls(
+            name=node.get("name") or "",
+            items=[
+                PlayItem.from_element(child)
+                for child in node.child_elements()
+                if child.local == "playItem"
+            ],
+            playlist_id=node.get("Id"),
+        )

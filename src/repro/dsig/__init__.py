@@ -1,0 +1,40 @@
+"""XML Digital Signature (XMLDSig Core) — sign and verify markup targets."""
+
+from repro.dsig.algorithms import (
+    DIGEST_ALGORITHMS, HMAC_SHA1, HMAC_SHA256, RSA_SHA1, RSA_SHA256, SHA1,
+    SHA256, SIGNATURE_ALGORITHMS, compute_digest, compute_signature,
+    verify_signature,
+)
+from repro.dsig.keyinfo import KeyInfo
+from repro.dsig.manifest import (
+    MANIFEST_TYPE, ManifestValidation, build_manifest_element,
+    find_manifest, sign_with_manifest, validate_manifest_references,
+)
+from repro.dsig.reference import (
+    Reference, ReferenceContext, compute_reference_digest,
+    validate_reference,
+)
+from repro.dsig.signedinfo import SignedInfo
+from repro.dsig.signer import Signer
+from repro.dsig.transforms import (
+    BASE64, DECRYPT_BINARY, DECRYPT_XML, ENVELOPED_SIGNATURE,
+    KNOWN_TRANSFORMS, XPATH, Transform, TransformContext, apply_transforms,
+)
+from repro.dsig.verifier import (
+    ReferenceResult, VerificationReport, Verifier,
+)
+
+__all__ = [
+    "Signer", "Verifier", "VerificationReport", "ReferenceResult",
+    "Reference", "ReferenceContext", "SignedInfo", "KeyInfo",
+    "sign_with_manifest", "validate_manifest_references",
+    "build_manifest_element", "find_manifest", "ManifestValidation",
+    "MANIFEST_TYPE",
+    "Transform", "TransformContext", "apply_transforms",
+    "compute_digest", "compute_signature", "verify_signature",
+    "compute_reference_digest", "validate_reference",
+    "SHA1", "SHA256", "RSA_SHA1", "RSA_SHA256", "HMAC_SHA1", "HMAC_SHA256",
+    "DIGEST_ALGORITHMS", "SIGNATURE_ALGORITHMS",
+    "ENVELOPED_SIGNATURE", "BASE64", "XPATH", "DECRYPT_XML",
+    "DECRYPT_BINARY", "KNOWN_TRANSFORMS",
+]

@@ -1,0 +1,104 @@
+"""ds:KeyInfo construction and resolution.
+
+XMLDSig's KeyInfo "carries all the information needed to process the
+signature" (paper §4): a raw key value, a key name for out-of-band
+lookup, an embedded certificate chain (§5.5 certificate-based
+authentication), or a RetrievalMethod pointing elsewhere.  The verifier
+resolves these forms into a public key — optionally via an XKMS
+service and/or the player trust store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureError
+from repro.primitives.keys import RSAPublicKey
+from repro.xmlcore import DSIG_NS, element
+from repro.xmlcore.tree import Element
+from repro.certs.certificate import Certificate
+
+
+@dataclass
+class KeyInfo:
+    """The resolvable key material attached to a signature.
+
+    Any combination of fields may be present; resolution prefers
+    certificates (which can be chain-validated) over bare key values.
+    """
+
+    key_name: str | None = None
+    key_value: RSAPublicKey | None = None
+    certificates: list[Certificate] = field(default_factory=list)
+    retrieval_uri: str | None = None
+
+    def is_empty(self) -> bool:
+        return (
+            self.key_name is None and self.key_value is None
+            and not self.certificates and self.retrieval_uri is None
+        )
+
+    def to_element(self) -> Element:
+        node = element("ds:KeyInfo", DSIG_NS)
+        if self.key_name:
+            node.append(element("ds:KeyName", DSIG_NS, text=self.key_name))
+        if self.key_value is not None:
+            key_value = element("ds:KeyValue", DSIG_NS)
+            rsa_value = element("ds:RSAKeyValue", DSIG_NS)
+            fields = self.key_value.to_dict()
+            rsa_value.append(
+                element("ds:Modulus", DSIG_NS, text=fields["Modulus"])
+            )
+            rsa_value.append(
+                element("ds:Exponent", DSIG_NS, text=fields["Exponent"])
+            )
+            key_value.append(rsa_value)
+            node.append(key_value)
+        if self.certificates:
+            x509 = element("ds:X509Data", DSIG_NS)
+            for certificate in self.certificates:
+                holder = element("ds:X509Certificate", DSIG_NS)
+                holder.append(certificate.to_element())
+                x509.append(holder)
+            node.append(x509)
+        if self.retrieval_uri:
+            node.append(element(
+                "ds:RetrievalMethod", DSIG_NS,
+                attrs={"URI": self.retrieval_uri},
+            ))
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "KeyInfo":
+        info = cls()
+        name_el = node.first_child("KeyName", DSIG_NS)
+        if name_el is not None:
+            info.key_name = name_el.text_content().strip()
+        key_value_el = node.first_child("KeyValue", DSIG_NS)
+        if key_value_el is not None:
+            rsa_el = key_value_el.first_child("RSAKeyValue", DSIG_NS)
+            if rsa_el is None:
+                raise SignatureError("only RSAKeyValue key values supported")
+            modulus = rsa_el.first_child("Modulus", DSIG_NS)
+            exponent = rsa_el.first_child("Exponent", DSIG_NS)
+            if modulus is None or exponent is None:
+                raise SignatureError("RSAKeyValue missing modulus/exponent")
+            info.key_value = RSAPublicKey.from_dict({
+                "Modulus": modulus.text_content(),
+                "Exponent": exponent.text_content(),
+            })
+        x509_el = node.first_child("X509Data", DSIG_NS)
+        if x509_el is not None:
+            for holder in x509_el.child_elements():
+                if holder.local != "X509Certificate":
+                    continue
+                cert_el = holder.first_child("Certificate")
+                if cert_el is None:
+                    raise SignatureError(
+                        "X509Certificate holds no certificate element"
+                    )
+                info.certificates.append(Certificate.from_element(cert_el))
+        retrieval = node.first_child("RetrievalMethod", DSIG_NS)
+        if retrieval is not None:
+            info.retrieval_uri = retrieval.get("URI")
+        return info

@@ -1,0 +1,186 @@
+"""ds:Reference processing: dereferencing, transforms, digesting.
+
+A Reference names a *markup target* (the paper's term): the whole
+document (``URI=""``), a same-document fragment (``URI="#id"``) or an
+external resource (any other URI, resolved through a caller-supplied
+resolver — in the player this is the disc image or the network
+loader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReferenceError_, SignatureError
+from repro.primitives.encoding import b64decode, b64encode
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.xmlcore import DSIG_NS, element
+from repro.xmlcore.tree import Element
+from repro.dsig import algorithms
+from repro.dsig.transforms import (
+    Transform, TransformContext, apply_transforms, node_at_path, node_path,
+)
+
+Resolver = Callable[[str], bytes]
+
+
+@dataclass
+class Reference:
+    """One ds:Reference.
+
+    Attributes:
+        uri: the reference URI (``""``, ``"#id"``, or external);
+            ``None`` is allowed only when the application supplies the
+            target out of band.
+        transforms: ordered transform chain.
+        digest_method: DigestMethod algorithm URI.
+        digest_value: the recorded digest (filled by signing, checked by
+            verification).
+        reference_id: optional Id attribute.
+        reference_type: optional Type attribute (e.g. ``#Object``).
+    """
+
+    uri: str | None
+    transforms: list[Transform] = field(default_factory=list)
+    digest_method: str = algorithms.SHA1
+    digest_value: bytes | None = None
+    reference_id: str | None = None
+    reference_type: str | None = None
+
+    # -- XML mapping --------------------------------------------------------------
+
+    def to_element(self) -> Element:
+        node = element("ds:Reference", DSIG_NS)
+        if self.uri is not None:
+            node.set("URI", self.uri)
+        if self.reference_id:
+            node.set("Id", self.reference_id)
+        if self.reference_type:
+            node.set("Type", self.reference_type)
+        if self.transforms:
+            transforms_el = element("ds:Transforms", DSIG_NS)
+            for transform in self.transforms:
+                transforms_el.append(transform.to_element())
+            node.append(transforms_el)
+        node.append(element("ds:DigestMethod", DSIG_NS,
+                            attrs={"Algorithm": self.digest_method}))
+        node.append(element(
+            "ds:DigestValue", DSIG_NS,
+            text=b64encode(self.digest_value or b""),
+        ))
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Reference":
+        digest_method_el = node.first_child("DigestMethod", DSIG_NS)
+        digest_value_el = node.first_child("DigestValue", DSIG_NS)
+        if digest_method_el is None or digest_value_el is None:
+            raise SignatureError("ds:Reference missing digest method/value")
+        transforms: list[Transform] = []
+        transforms_el = node.first_child("Transforms", DSIG_NS)
+        if transforms_el is not None:
+            transforms = [
+                Transform.from_element(t)
+                for t in transforms_el.child_elements()
+                if t.local == "Transform"
+            ]
+        digest_text = digest_value_el.text_content()
+        return cls(
+            uri=node.get("URI"),
+            transforms=transforms,
+            digest_method=digest_method_el.get("Algorithm") or "",
+            digest_value=b64decode(digest_text) if digest_text.strip()
+            else None,
+            reference_id=node.get("Id"),
+            reference_type=node.get("Type"),
+        )
+
+
+@dataclass
+class ReferenceContext:
+    """Document context used to dereference and transform references.
+
+    Attributes:
+        root: root element of the document containing the signature
+            (``None`` for purely external references).
+        signature: the ds:Signature element being created/verified
+            (needed by the enveloped-signature transform).
+        resolver: callable mapping external URIs to bytes.
+        decryptor: decryptor for the decryption transform.
+        namespaces: prefix map for XPath transforms.
+    """
+
+    root: Element | None = None
+    signature: Element | None = None
+    resolver: Resolver | None = None
+    decryptor: object | None = None
+    namespaces: dict[str, str] = field(default_factory=dict)
+
+
+def dereference(reference: Reference,
+                context: ReferenceContext) -> tuple[object, TransformContext]:
+    """Resolve a reference URI to its input value.
+
+    Same-document references are resolved inside a *copy* of the
+    document tree, so transforms (enveloped-signature, decryption) can
+    mutate freely.  Returns ``(value, transform_context)``.
+    """
+    uri = reference.uri
+    tcontext = TransformContext(
+        decryptor=context.decryptor,
+        namespaces=dict(context.namespaces),
+    )
+    if uri is None:
+        raise ReferenceError_(
+            "reference has no URI and no out-of-band target"
+        )
+    if uri == "" or uri.startswith("#"):
+        if context.root is None:
+            raise ReferenceError_(
+                f"same-document reference {uri!r} without a document"
+            )
+        working_root = context.root.copy()
+        tcontext.working_root = working_root
+        if context.signature is not None:
+            tcontext.signature_path = node_path(context.signature)
+        if uri == "":
+            return working_root, tcontext
+        target = working_root.get_element_by_id(uri[1:])
+        if target is None:
+            raise ReferenceError_(
+                f"no element with Id {uri[1:]!r} in the document"
+            )
+        return target, tcontext
+    if context.resolver is None:
+        raise ReferenceError_(
+            f"external reference {uri!r} but no resolver configured"
+        )
+    try:
+        return context.resolver(uri), tcontext
+    except ReferenceError_:
+        raise
+    except Exception as exc:
+        raise ReferenceError_(
+            f"resolver failed for {uri!r}: {exc}"
+        ) from exc
+
+
+def compute_reference_digest(reference: Reference,
+                             context: ReferenceContext,
+                             provider: CryptoProvider | None = None) -> bytes:
+    """Dereference, transform and digest one reference."""
+    provider = provider or get_provider()
+    value, tcontext = dereference(reference, context)
+    octets = apply_transforms(value, reference.transforms, tcontext)
+    return algorithms.compute_digest(reference.digest_method, octets,
+                                     provider)
+
+
+def validate_reference(reference: Reference, context: ReferenceContext,
+                       provider: CryptoProvider | None = None) -> bool:
+    """True if the recorded digest matches a fresh computation."""
+    if reference.digest_value is None:
+        return False
+    actual = compute_reference_digest(reference, context, provider)
+    return actual == reference.digest_value

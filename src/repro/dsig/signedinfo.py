@@ -1,0 +1,68 @@
+"""ds:SignedInfo — the region the signature value actually covers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureError
+from repro.xmlcore import C14N, DSIG_NS, element
+from repro.xmlcore.tree import Element
+from repro.dsig import algorithms
+from repro.dsig.reference import Reference
+
+
+@dataclass
+class SignedInfo:
+    """Canonicalization method, signature method and references."""
+
+    c14n_method: str = C14N
+    signature_method: str = algorithms.RSA_SHA1
+    references: list[Reference] = field(default_factory=list)
+    inclusive_prefixes: tuple[str, ...] = ()
+
+    def to_element(self) -> Element:
+        node = element("ds:SignedInfo", DSIG_NS)
+        c14n_el = element("ds:CanonicalizationMethod", DSIG_NS,
+                          attrs={"Algorithm": self.c14n_method})
+        if self.inclusive_prefixes:
+            from repro.xmlcore import EXC_C14N
+            c14n_el.append(element(
+                "ec:InclusiveNamespaces", EXC_C14N,
+                nsmap={"ec": EXC_C14N},
+                attrs={"PrefixList": " ".join(self.inclusive_prefixes)},
+            ))
+        node.append(c14n_el)
+        node.append(element("ds:SignatureMethod", DSIG_NS,
+                            attrs={"Algorithm": self.signature_method}))
+        if not self.references:
+            raise SignatureError("SignedInfo needs at least one reference")
+        for reference in self.references:
+            node.append(reference.to_element())
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "SignedInfo":
+        c14n_el = node.first_child("CanonicalizationMethod", DSIG_NS)
+        method_el = node.first_child("SignatureMethod", DSIG_NS)
+        if c14n_el is None or method_el is None:
+            raise SignatureError(
+                "SignedInfo missing canonicalization or signature method"
+            )
+        prefixes: tuple[str, ...] = ()
+        from repro.xmlcore import EXC_C14N
+        inc = c14n_el.first_child("InclusiveNamespaces", EXC_C14N)
+        if inc is not None:
+            prefixes = tuple((inc.get("PrefixList") or "").split())
+        references = [
+            Reference.from_element(child)
+            for child in node.child_elements()
+            if child.local == "Reference" and child.ns_uri == DSIG_NS
+        ]
+        if not references:
+            raise SignatureError("SignedInfo contains no references")
+        return cls(
+            c14n_method=c14n_el.get("Algorithm") or "",
+            signature_method=method_el.get("Algorithm") or "",
+            references=references,
+            inclusive_prefixes=prefixes,
+        )

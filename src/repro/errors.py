@@ -1,0 +1,211 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the player can catch a single base class.  The
+hierarchy mirrors the subsystems: XML processing, cryptographic
+primitives, signature processing, encryption processing, key management,
+access control, disc/content handling and the player engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# XML substrate
+# ---------------------------------------------------------------------------
+
+class XMLError(ReproError):
+    """Base class for XML processing errors."""
+
+
+class XMLSyntaxError(XMLError):
+    """Raised when a document is not well-formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class NamespaceError(XMLError):
+    """Raised for undeclared prefixes or illegal namespace bindings."""
+
+
+class XPathError(XMLError):
+    """Raised when an XPath-lite expression cannot be parsed or evaluated."""
+
+
+class CanonicalizationError(XMLError):
+    """Raised when a node-set cannot be canonicalized."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptographic primitives
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyError_(CryptoError):
+    """Raised for malformed, mismatched or unusable key material."""
+
+
+class PaddingError(CryptoError):
+    """Raised when a padded plaintext fails to unpad (tampering or wrong key)."""
+
+
+class UnknownAlgorithmError(CryptoError):
+    """Raised when an algorithm URI or name is not registered."""
+
+
+class ProviderError(CryptoError):
+    """Raised when a crypto provider cannot satisfy a request."""
+
+
+# ---------------------------------------------------------------------------
+# XML Digital Signature
+# ---------------------------------------------------------------------------
+
+class SignatureError(ReproError):
+    """Base class for XMLDSig processing errors."""
+
+
+class SignatureFormatError(SignatureError):
+    """Raised when Signature markup is structurally invalid."""
+
+
+class ReferenceError_(SignatureError):
+    """Raised when a ds:Reference cannot be dereferenced."""
+
+
+class VerificationError(SignatureError):
+    """Raised (or reported) when signature verification fails."""
+
+
+# ---------------------------------------------------------------------------
+# XML Encryption
+# ---------------------------------------------------------------------------
+
+class EncryptionError(ReproError):
+    """Base class for XMLEnc processing errors."""
+
+
+class EncryptedDataFormatError(EncryptionError):
+    """Raised when EncryptedData/EncryptedKey markup is invalid."""
+
+
+class DecryptionError(EncryptionError):
+    """Raised when decryption fails (wrong key, tampered ciphertext)."""
+
+
+# ---------------------------------------------------------------------------
+# Certificates and key management
+# ---------------------------------------------------------------------------
+
+class CertificateError(ReproError):
+    """Base class for certificate processing errors."""
+
+
+class CertificateVerificationError(CertificateError):
+    """Raised when a certificate or chain does not verify."""
+
+
+class CertificateExpiredError(CertificateVerificationError):
+    """Raised when a certificate is outside its validity window."""
+
+
+class CertificateRevokedError(CertificateVerificationError):
+    """Raised when a certificate appears on a revocation list."""
+
+
+class UntrustedRootError(CertificateVerificationError):
+    """Raised when a chain does not terminate at a trusted root."""
+
+
+class XKMSError(ReproError):
+    """Raised for XKMS protocol failures."""
+
+
+# ---------------------------------------------------------------------------
+# Access control
+# ---------------------------------------------------------------------------
+
+class PolicyError(ReproError):
+    """Raised for malformed XACML policies or evaluation failures."""
+
+
+class PermissionDeniedError(ReproError):
+    """Raised when the platform denies a permission-gated operation."""
+
+
+# ---------------------------------------------------------------------------
+# Disc / content hierarchy
+# ---------------------------------------------------------------------------
+
+class DiscError(ReproError):
+    """Base class for disc image / content hierarchy errors."""
+
+
+class AuthoringError(DiscError):
+    """Raised when a disc cannot be authored from the given content."""
+
+
+class DiscFormatError(DiscError):
+    """Raised when a disc image is structurally invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Markup runtimes
+# ---------------------------------------------------------------------------
+
+class MarkupError(ReproError):
+    """Base class for SMIL-lite / presentation errors."""
+
+
+class ScriptError(ReproError):
+    """Base class for ECMAScript-subset interpreter errors."""
+
+
+class ScriptSyntaxError(ScriptError):
+    """Raised when a script fails to parse."""
+
+
+class ScriptRuntimeError(ScriptError):
+    """Raised when a script fails at run time."""
+
+
+# ---------------------------------------------------------------------------
+# Network / player
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Raised for simulated network failures."""
+
+
+class ChannelSecurityError(NetworkError):
+    """Raised when the TLS-like secure channel detects tampering."""
+
+
+class PlayerError(ReproError):
+    """Base class for player engine errors."""
+
+
+class ApplicationRejectedError(PlayerError):
+    """Raised when the engine bars an application from executing."""
+
+
+class LocalStorageError(PlayerError):
+    """Raised for player local-storage failures (quota, missing slot)."""

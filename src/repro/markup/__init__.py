@@ -1,0 +1,22 @@
+"""Markup runtimes: SMIL-lite presentation and the ECMAScript subset."""
+
+from repro.markup.layout import Layout, Region
+from repro.markup.script_interp import (
+    Environment, ExecutionResult, HostObject, Interpreter, ScriptFunction,
+    run_script,
+)
+from repro.markup.script_lexer import Token, tokenize
+from repro.markup.script_parser import parse_script
+from repro.markup.smil import (
+    MEDIA_KINDS, MediaItem, Presentation, ScheduledItem, TimeContainer,
+    merge_layout, parse_smil,
+)
+from repro.markup.timing import format_clock_value, parse_clock_value
+
+__all__ = [
+    "Interpreter", "HostObject", "ExecutionResult", "Environment",
+    "ScriptFunction", "run_script", "parse_script", "tokenize", "Token",
+    "Presentation", "TimeContainer", "MediaItem", "ScheduledItem",
+    "parse_smil", "merge_layout", "MEDIA_KINDS",
+    "Layout", "Region", "parse_clock_value", "format_clock_value",
+]

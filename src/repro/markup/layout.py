@@ -1,0 +1,80 @@
+"""SMIL-lite layout model: root layout and named regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MarkupError
+from repro.xmlcore import element
+from repro.xmlcore.tree import Element
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named rendering region."""
+
+    name: str
+    left: int = 0
+    top: int = 0
+    width: int = 0
+    height: int = 0
+    z_index: int = 0
+
+    def to_element(self, ns_uri: str | None = None) -> Element:
+        return element("region", ns_uri, attrs={
+            "regionName": self.name,
+            "left": str(self.left), "top": str(self.top),
+            "width": str(self.width), "height": str(self.height),
+            "z-index": str(self.z_index),
+        })
+
+
+@dataclass
+class Layout:
+    """The root layout: canvas size plus regions."""
+
+    width: int = 1920
+    height: int = 1080
+    regions: dict[str, Region] = field(default_factory=dict)
+
+    def add_region(self, region: Region) -> None:
+        if region.name in self.regions:
+            raise MarkupError(f"duplicate region {region.name!r}")
+        if region.left < 0 or region.top < 0 \
+                or region.left + region.width > self.width \
+                or region.top + region.height > self.height:
+            raise MarkupError(
+                f"region {region.name!r} exceeds the {self.width}x"
+                f"{self.height} canvas"
+            )
+        self.regions[region.name] = region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise MarkupError(f"unknown region {name!r}") from None
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Layout":
+        layout = cls()
+        root = node.first_child("root-layout") or node.first_child("rootLayout")
+        if root is not None:
+            layout.width = int(root.get("width", "1920") or 1920)
+            layout.height = int(root.get("height", "1080") or 1080)
+        for child in node.child_elements():
+            if child.local != "region":
+                continue
+            name = child.get("regionName") or child.get("name") \
+                or child.get("id") or ""
+            if not name:
+                raise MarkupError("region without a name")
+            layout.add_region(Region(
+                name=name,
+                left=int(child.get("left", "0") or 0),
+                top=int(child.get("top", "0") or 0),
+                width=int(child.get("width", "0") or 0),
+                height=int(child.get("height", "0") or 0),
+                z_index=int(child.get("z-index", "0") or 0),
+            ))
+        return layout

@@ -1,0 +1,549 @@
+"""Tree-walking interpreter for the ECMAScript subset.
+
+Runs manifest scripts against a host environment (the player exposes
+its API — local storage, presentation control, permission-gated
+resources — as host objects).  Two hardening measures reflect the
+threat model's "malicious application" concerns: a configurable
+instruction budget (runaway-script protection) and host access strictly
+limited to the objects the engine chose to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScriptRuntimeError
+from repro.markup.script_parser import parse_script
+
+_UNDEFINED = object()   # distinguish "no value" from null (None)
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class ScriptFunction:
+    """A user-defined function closed over its defining environment."""
+
+    params: list[str]
+    body: tuple
+    closure: "Environment"
+    name: str = "<anonymous>"
+
+
+class Environment:
+    """Lexical scope chain."""
+
+    def __init__(self, parent: "Environment | None" = None):
+        self.parent = parent
+        self.values: dict[str, object] = {}
+
+    def declare(self, name: str, value) -> None:
+        self.values[name] = value
+
+    def lookup(self, name: str):
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.values:
+                return scope.values[name]
+            scope = scope.parent
+        raise ScriptRuntimeError(f"{name!r} is not defined")
+
+    def assign(self, name: str, value) -> None:
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.values:
+                scope.values[name] = value
+                return
+            scope = scope.parent
+        raise ScriptRuntimeError(f"{name!r} is not defined")
+
+
+class HostObject:
+    """A host-provided object exposed to scripts.
+
+    Methods are plain callables; properties are plain values.  Scripts
+    can only reach what the embedder registers here — the engine's
+    access-control choke point.
+    """
+
+    def __init__(self, name: str, methods: dict | None = None,
+                 properties: dict | None = None):
+        self.name = name
+        self.methods = dict(methods or {})
+        self.properties = dict(properties or {})
+
+    def get_member(self, name: str):
+        if name in self.methods:
+            return self.methods[name]
+        if name in self.properties:
+            return self.properties[name]
+        raise ScriptRuntimeError(
+            f"host object {self.name!r} has no member {name!r}"
+        )
+
+    def set_member(self, name: str, value) -> None:
+        self.properties[name] = value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a script."""
+
+    globals: dict[str, object]
+    instructions: int
+    return_value: object = None
+
+
+class Interpreter:
+    """Executes parsed scripts with an instruction budget.
+
+    Args:
+        host_objects: name → :class:`HostObject` bindings visible as
+            globals.
+        max_instructions: abort threshold (``ScriptRuntimeError``) —
+            protects the player from runaway downloaded scripts.
+    """
+
+    def __init__(self, host_objects: dict[str, HostObject] | None = None,
+                 max_instructions: int = 1_000_000,
+                 include_stdlib: bool = True):
+        self.globals = Environment()
+        self.max_instructions = max_instructions
+        self._instructions = 0
+        if include_stdlib:
+            from repro.markup.script_stdlib import (
+                STANDARD_FUNCTIONS, standard_globals,
+            )
+            for name, obj in standard_globals().items():
+                self.globals.declare(name, obj)
+            for name, function in STANDARD_FUNCTIONS.items():
+                self.globals.declare(name, function)
+        for name, obj in (host_objects or {}).items():
+            self.globals.declare(name, obj)
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self, source: str) -> ExecutionResult:
+        """Parse and execute *source* in the global environment."""
+        program = parse_script(source)
+        self._instructions = 0
+        self._exec_block(program[1], self.globals)
+        return ExecutionResult(
+            globals={
+                k: v for k, v in self.globals.values.items()
+                if not isinstance(v, HostObject) and not callable(v)
+                or isinstance(v, ScriptFunction)
+            },
+            instructions=self._instructions,
+        )
+
+    def call_function(self, name: str, *args):
+        """Invoke a script-defined global function from the host side
+        (event dispatch: ``onKey``, ``onLoad`` ...)."""
+        function = self.globals.lookup(name)
+        return self._invoke(function, list(args))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._instructions += 1
+        if self._instructions > self.max_instructions:
+            raise ScriptRuntimeError(
+                f"instruction budget exceeded "
+                f"({self.max_instructions}); runaway script aborted"
+            )
+
+    def _exec_block(self, statements, env: Environment) -> None:
+        # Function declarations are hoisted (ECMA-262 §10.1.3).
+        for statement in statements:
+            if statement[0] == "funcdecl":
+                env.declare(statement[1],
+                            ScriptFunction(statement[2], statement[3],
+                                           env, name=statement[1]))
+        for statement in statements:
+            if statement[0] != "funcdecl":
+                self._exec(statement, env)
+
+    def _exec(self, node, env: Environment) -> None:
+        self._tick()
+        kind = node[0]
+        if kind == "block":
+            self._exec_block(node[1], env)
+        elif kind == "var":
+            value = None if node[2] is None else self._eval(node[2], env)
+            env.declare(node[1], value)
+        elif kind == "funcdecl":
+            env.declare(node[1], ScriptFunction(node[2], node[3], env,
+                                                name=node[1]))
+        elif kind == "exprstmt":
+            self._eval(node[1], env)
+        elif kind == "if":
+            if _truthy(self._eval(node[1], env)):
+                self._exec(node[2], env)
+            elif node[3] is not None:
+                self._exec(node[3], env)
+        elif kind == "while":
+            while _truthy(self._eval(node[1], env)):
+                self._tick()
+                try:
+                    self._exec(node[2], env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif kind == "for":
+            loop_env = Environment(env)
+            if node[1] is not None:
+                self._exec(node[1], loop_env)
+            while node[2] is None or _truthy(self._eval(node[2], loop_env)):
+                self._tick()
+                try:
+                    self._exec(node[4], loop_env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if node[3] is not None:
+                    self._exec(node[3], loop_env)
+        elif kind == "return":
+            value = None if node[1] is None else self._eval(node[1], env)
+            raise _Return(value)
+        elif kind == "break":
+            raise _Break()
+        elif kind == "continue":
+            raise _Continue()
+        else:
+            raise ScriptRuntimeError(f"unknown statement kind {kind!r}")
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def _eval(self, node, env: Environment):
+        self._tick()
+        kind = node[0]
+        if kind == "num":
+            return node[1]
+        if kind == "str":
+            return node[1]
+        if kind == "bool":
+            return node[1]
+        if kind == "null":
+            return None
+        if kind == "name":
+            return env.lookup(node[1])
+        if kind == "array":
+            return [self._eval(item, env) for item in node[1]]
+        if kind == "object":
+            return {key: self._eval(value, env) for key, value in node[1]}
+        if kind == "func":
+            return ScriptFunction(node[1], node[2], env)
+        if kind == "unary":
+            return self._eval_unary(node, env)
+        if kind == "binary":
+            return self._eval_binary(node, env)
+        if kind == "logical":
+            left = self._eval(node[2], env)
+            if node[1] == "&&":
+                return self._eval(node[3], env) if _truthy(left) else left
+            return left if _truthy(left) else self._eval(node[3], env)
+        if kind == "cond":
+            if _truthy(self._eval(node[1], env)):
+                return self._eval(node[2], env)
+            return self._eval(node[3], env)
+        if kind == "assign":
+            return self._eval_assign(node, env)
+        if kind == "postfix":
+            return self._eval_postfix(node, env)
+        if kind == "member":
+            return self._get_member(self._eval(node[1], env), node[2])
+        if kind == "index":
+            return self._get_index(
+                self._eval(node[1], env), self._eval(node[2], env),
+            )
+        if kind == "call":
+            return self._eval_call(node, env)
+        raise ScriptRuntimeError(f"unknown expression kind {kind!r}")
+
+    def _eval_unary(self, node, env):
+        operand = self._eval(node[2], env)
+        op = node[1]
+        if op == "!":
+            return not _truthy(operand)
+        if op == "-":
+            return -_number(operand)
+        if op == "+":
+            return _number(operand)
+        if op == "typeof":
+            if operand is None:
+                return "object"
+            if isinstance(operand, bool):
+                return "boolean"
+            if isinstance(operand, (int, float)):
+                return "number"
+            if isinstance(operand, str):
+                return "string"
+            if isinstance(operand, ScriptFunction) or callable(operand):
+                return "function"
+            return "object"
+        raise ScriptRuntimeError(f"unknown unary operator {op!r}")
+
+    def _eval_binary(self, node, env):
+        op = node[1]
+        left = self._eval(node[2], env)
+        right = self._eval(node[3], env)
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return _stringify(left) + _stringify(right)
+            return _number(left) + _number(right)
+        if op == "-":
+            return _number(left) - _number(right)
+        if op == "*":
+            return _number(left) * _number(right)
+        if op == "/":
+            divisor = _number(right)
+            if divisor == 0:
+                raise ScriptRuntimeError("division by zero")
+            return _number(left) / divisor
+        if op == "%":
+            divisor = _number(right)
+            if divisor == 0:
+                raise ScriptRuntimeError("modulo by zero")
+            return _number(left) % divisor
+        if op in ("==", "==="):
+            return left == right
+        if op in ("!=", "!=="):
+            return left != right
+        if op == "<":
+            return _compare(left, right) < 0
+        if op == ">":
+            return _compare(left, right) > 0
+        if op == "<=":
+            return _compare(left, right) <= 0
+        if op == ">=":
+            return _compare(left, right) >= 0
+        raise ScriptRuntimeError(f"unknown operator {op!r}")
+
+    def _eval_assign(self, node, env):
+        _kind, target, op, value_node = node
+        value = self._eval(value_node, env)
+        if op != "=":
+            current = self._eval(target, env)
+            value = self._apply_compound(op, current, value)
+        if target[0] == "name":
+            env.assign(target[1], value)
+        elif target[0] == "member":
+            obj = self._eval(target[1], env)
+            self._set_member(obj, target[2], value)
+        else:  # index
+            obj = self._eval(target[1], env)
+            index = self._eval(target[2], env)
+            self._set_index(obj, index, value)
+        return value
+
+    def _apply_compound(self, op, current, value):
+        if op == "+=":
+            if isinstance(current, str) or isinstance(value, str):
+                return _stringify(current) + _stringify(value)
+            return _number(current) + _number(value)
+        if op == "-=":
+            return _number(current) - _number(value)
+        if op == "*=":
+            return _number(current) * _number(value)
+        if op == "/=":
+            divisor = _number(value)
+            if divisor == 0:
+                raise ScriptRuntimeError("division by zero")
+            return _number(current) / divisor
+        if op == "%=":
+            divisor = _number(value)
+            if divisor == 0:
+                raise ScriptRuntimeError("modulo by zero")
+            return _number(current) % divisor
+        raise ScriptRuntimeError(f"unknown compound operator {op!r}")
+
+    def _eval_postfix(self, node, env):
+        _kind, op, target = node
+        current = _number(self._eval(target, env))
+        updated = current + 1 if op == "++" else current - 1
+        self._eval_assign(("assign", target, "=", ("num", updated)), env)
+        return current
+
+    def _eval_call(self, node, env):
+        _kind, callee, arg_nodes = node
+        args = [self._eval(arg, env) for arg in arg_nodes]
+        if callee[0] == "member":
+            obj = self._eval(callee[1], env)
+            method = self._get_member(obj, callee[2])
+            return self._invoke(method, args)
+        function = self._eval(callee, env)
+        return self._invoke(function, args)
+
+    def _invoke(self, function, args):
+        self._tick()
+        if isinstance(function, ScriptFunction):
+            env = Environment(function.closure)
+            for index, param in enumerate(function.params):
+                env.declare(param,
+                            args[index] if index < len(args) else None)
+            try:
+                self._exec(function.body, env)
+            except _Return as ret:
+                return ret.value
+            return None
+        if callable(function):
+            from repro.errors import PermissionDeniedError
+            try:
+                return function(*args)
+            except (ScriptRuntimeError, PermissionDeniedError):
+                # Platform enforcement surfaces as-is; the embedder
+                # decides what a denial means for the application.
+                raise
+            except Exception as exc:
+                raise ScriptRuntimeError(
+                    f"host call failed: {exc}"
+                ) from exc
+        raise ScriptRuntimeError(
+            f"{type(function).__name__} is not callable"
+        )
+
+    # -- member / index access -----------------------------------------------------------
+
+    def _get_member(self, obj, name: str):
+        if isinstance(obj, HostObject):
+            return obj.get_member(name)
+        if isinstance(obj, dict):
+            if name in obj:
+                return obj[name]
+            raise ScriptRuntimeError(f"object has no property {name!r}")
+        if isinstance(obj, list):
+            if name == "length":
+                return float(len(obj))
+            if name == "push":
+                return obj.append
+            raise ScriptRuntimeError(f"array has no property {name!r}")
+        if isinstance(obj, str):
+            if name == "length":
+                return float(len(obj))
+            raise ScriptRuntimeError(f"string has no property {name!r}")
+        raise ScriptRuntimeError(
+            f"cannot read property {name!r} of "
+            f"{'null' if obj is None else type(obj).__name__}"
+        )
+
+    def _set_member(self, obj, name: str, value) -> None:
+        if isinstance(obj, HostObject):
+            obj.set_member(name, value)
+        elif isinstance(obj, dict):
+            obj[name] = value
+        else:
+            raise ScriptRuntimeError(
+                f"cannot set property {name!r} on {type(obj).__name__}"
+            )
+
+    def _get_index(self, obj, index):
+        if isinstance(obj, list):
+            i = int(_number(index))
+            if not 0 <= i < len(obj):
+                return None
+            return obj[i]
+        if isinstance(obj, dict):
+            return obj.get(_stringify(index))
+        if isinstance(obj, str):
+            i = int(_number(index))
+            if not 0 <= i < len(obj):
+                return None
+            return obj[i]
+        raise ScriptRuntimeError(
+            f"cannot index {type(obj).__name__}"
+        )
+
+    def _set_index(self, obj, index, value) -> None:
+        if isinstance(obj, list):
+            i = int(_number(index))
+            if 0 <= i < len(obj):
+                obj[i] = value
+            elif i == len(obj):
+                obj.append(value)
+            else:
+                raise ScriptRuntimeError(f"array index {i} out of range")
+        elif isinstance(obj, dict):
+            obj[_stringify(index)] = value
+        else:
+            raise ScriptRuntimeError(
+                f"cannot index-assign {type(obj).__name__}"
+            )
+
+
+# -- coercion helpers -------------------------------------------------------
+
+
+def _truthy(value) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return bool(value)
+    return True
+
+
+def _number(value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise ScriptRuntimeError(
+                f"cannot convert {value!r} to a number"
+            ) from None
+    if value is None:
+        return 0.0
+    raise ScriptRuntimeError(
+        f"cannot convert {type(value).__name__} to a number"
+    )
+
+
+def _stringify(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return ",".join(_stringify(v) for v in value)
+    return str(value)
+
+
+def _compare(left, right) -> int:
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    a, b = _number(left), _number(right)
+    return (a > b) - (a < b)
+
+
+def run_script(source: str,
+               host_objects: dict[str, HostObject] | None = None,
+               max_instructions: int = 1_000_000) -> ExecutionResult:
+    """One-shot convenience: run *source* and return the result."""
+    interpreter = Interpreter(host_objects, max_instructions)
+    return interpreter.run(source)

@@ -1,0 +1,126 @@
+"""Lexer for the ECMAScript subset used in manifest Code parts.
+
+The paper's prototype scripts applications in ECMAScript (§8.1); this
+lexer/parser/interpreter triple implements the practical core of
+ECMA-262 third edition that disc applications need: variables,
+functions, control flow, arithmetic/logic, strings, arrays and host
+object calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScriptSyntaxError
+
+KEYWORDS = {
+    "var", "function", "return", "if", "else", "while", "for", "break",
+    "continue", "true", "false", "null", "new", "typeof",
+}
+
+_PUNCTUATION = [
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{", "}", "[", "]",
+    ",", ";", ".", "!", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "number" | "string" | "name" | "keyword" | "punct" | "eof"
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`ScriptSyntaxError` with line info."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise ScriptSyntaxError(f"unterminated comment at line {line}")
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and source[pos + 1].isdigit()):
+            start = pos
+            seen_dot = False
+            while pos < length and (source[pos].isdigit()
+                                    or (source[pos] == "." and not seen_dot)):
+                if source[pos] == ".":
+                    seen_dot = True
+                pos += 1
+            tokens.append(Token("number", source[start:pos], line))
+            continue
+        if ch in "'\"":
+            quote = ch
+            pos += 1
+            parts: list[str] = []
+            while True:
+                if pos >= length:
+                    raise ScriptSyntaxError(
+                        f"unterminated string at line {line}"
+                    )
+                c = source[pos]
+                if c == quote:
+                    pos += 1
+                    break
+                if c == "\n":
+                    raise ScriptSyntaxError(
+                        f"newline in string at line {line}"
+                    )
+                if c == "\\":
+                    pos += 1
+                    if pos >= length:
+                        raise ScriptSyntaxError(
+                            f"bad escape at line {line}"
+                        )
+                    escape = source[pos]
+                    parts.append({
+                        "n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                        "'": "'", '"': '"', "0": "\0",
+                    }.get(escape, escape))
+                    pos += 1
+                else:
+                    parts.append(c)
+                    pos += 1
+            tokens.append(Token("string", "".join(parts), line))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] in "_$"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line))
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, pos):
+                tokens.append(Token("punct", punct, line))
+                pos += len(punct)
+                break
+        else:
+            raise ScriptSyntaxError(
+                f"unexpected character {ch!r} at line {line}"
+            )
+    tokens.append(Token("eof", "", line))
+    return tokens

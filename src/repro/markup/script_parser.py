@@ -1,0 +1,356 @@
+"""Recursive-descent parser for the ECMAScript subset.
+
+Produces a small AST of tuples ``(node_kind, ...)`` — compact, easy to
+walk, trivially hashable for tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScriptSyntaxError
+from repro.markup.script_lexer import Token, tokenize
+
+# AST node kinds (first tuple element):
+#   program(stmts) var(name, expr|None) assign(target, op, expr)
+#   if(cond, then, else|None) while(cond, body) for(init, cond, step, body)
+#   return(expr|None) break() continue() exprstmt(expr) block(stmts)
+#   funcdecl(name, params, body)
+#   binary(op, l, r) logical(op, l, r) unary(op, x) call(callee, args)
+#   member(obj, name) index(obj, expr) name(n) num(v) str(v) bool(v)
+#   null() array(items) object(pairs) func(params, body) cond(c, a, b)
+#   postfix(op, target)
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise ScriptSyntaxError(
+                f"expected {value or kind} but found "
+                f"{actual.value or actual.kind!r} at line {actual.line}"
+            )
+        return token
+
+    # -- entry -----------------------------------------------------------------------
+
+    def parse_program(self) -> tuple:
+        statements = []
+        while not self._check("eof"):
+            statements.append(self._statement())
+        return ("program", statements)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _statement(self) -> tuple:
+        if self._accept("punct", ";"):
+            return ("block", [])
+        if self._check("punct", "{"):
+            return self._block()
+        if self._accept("keyword", "var"):
+            return self._var_statement()
+        if self._accept("keyword", "function"):
+            name = self._expect("name").value
+            params, body = self._function_rest()
+            return ("funcdecl", name, params, body)
+        if self._accept("keyword", "if"):
+            self._expect("punct", "(")
+            condition = self._expression()
+            self._expect("punct", ")")
+            then = self._statement()
+            otherwise = None
+            if self._accept("keyword", "else"):
+                otherwise = self._statement()
+            return ("if", condition, then, otherwise)
+        if self._accept("keyword", "while"):
+            self._expect("punct", "(")
+            condition = self._expression()
+            self._expect("punct", ")")
+            return ("while", condition, self._statement())
+        if self._accept("keyword", "for"):
+            return self._for_statement()
+        if self._accept("keyword", "return"):
+            value = None
+            if not self._check("punct", ";") and not self._check("punct", "}"):
+                value = self._expression()
+            self._accept("punct", ";")
+            return ("return", value)
+        if self._accept("keyword", "break"):
+            self._accept("punct", ";")
+            return ("break",)
+        if self._accept("keyword", "continue"):
+            self._accept("punct", ";")
+            return ("continue",)
+        expr = self._expression_or_assignment()
+        self._accept("punct", ";")
+        return ("exprstmt", expr)
+
+    def _block(self) -> tuple:
+        self._expect("punct", "{")
+        statements = []
+        while not self._accept("punct", "}"):
+            if self._check("eof"):
+                raise ScriptSyntaxError("unterminated block")
+            statements.append(self._statement())
+        return ("block", statements)
+
+    def _var_statement(self) -> tuple:
+        declarations = []
+        while True:
+            name = self._expect("name").value
+            initializer = None
+            if self._accept("punct", "="):
+                initializer = self._expression()
+            declarations.append(("var", name, initializer))
+            if not self._accept("punct", ","):
+                break
+        self._accept("punct", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ("block", declarations)
+
+    def _for_statement(self) -> tuple:
+        self._expect("punct", "(")
+        init = None
+        if not self._check("punct", ";"):
+            if self._accept("keyword", "var"):
+                init = self._var_statement()
+            else:
+                init = ("exprstmt", self._expression_or_assignment())
+                self._accept("punct", ";")
+        else:
+            self._next()
+        if init is not None and init[0] in ("var", "block"):
+            pass  # _var_statement consumed the ';'
+        condition = None
+        if not self._check("punct", ";"):
+            condition = self._expression()
+        self._expect("punct", ";")
+        step = None
+        if not self._check("punct", ")"):
+            step = ("exprstmt", self._expression_or_assignment())
+        self._expect("punct", ")")
+        return ("for", init, condition, step, self._statement())
+
+    def _function_rest(self) -> tuple[list[str], tuple]:
+        self._expect("punct", "(")
+        params: list[str] = []
+        if not self._check("punct", ")"):
+            while True:
+                params.append(self._expect("name").value)
+                if not self._accept("punct", ","):
+                    break
+        self._expect("punct", ")")
+        return params, self._block()
+
+    # -- expressions -------------------------------------------------------------------
+
+    _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=")
+
+    def _expression_or_assignment(self) -> tuple:
+        expr = self._expression()
+        token = self._peek()
+        if token.kind == "punct" and token.value in self._ASSIGN_OPS:
+            if expr[0] not in ("name", "member", "index"):
+                raise ScriptSyntaxError(
+                    f"invalid assignment target at line {token.line}"
+                )
+            self._next()
+            value = self._expression_or_assignment()
+            return ("assign", expr, token.value, value)
+        return expr
+
+    def _expression(self) -> tuple:
+        return self._conditional()
+
+    def _conditional(self) -> tuple:
+        condition = self._logical_or()
+        if self._accept("punct", "?"):
+            then = self._expression()
+            self._expect("punct", ":")
+            otherwise = self._expression()
+            return ("cond", condition, then, otherwise)
+        return condition
+
+    def _logical_or(self) -> tuple:
+        left = self._logical_and()
+        while self._accept("punct", "||"):
+            left = ("logical", "||", left, self._logical_and())
+        return left
+
+    def _logical_and(self) -> tuple:
+        left = self._equality()
+        while self._accept("punct", "&&"):
+            left = ("logical", "&&", left, self._equality())
+        return left
+
+    def _equality(self) -> tuple:
+        left = self._relational()
+        while True:
+            for op in ("===", "!==", "==", "!="):
+                if self._accept("punct", op):
+                    left = ("binary", op, left, self._relational())
+                    break
+            else:
+                return left
+
+    def _relational(self) -> tuple:
+        left = self._additive()
+        while True:
+            for op in ("<=", ">=", "<", ">"):
+                if self._accept("punct", op):
+                    left = ("binary", op, left, self._additive())
+                    break
+            else:
+                return left
+
+    def _additive(self) -> tuple:
+        left = self._multiplicative()
+        while True:
+            if self._accept("punct", "+"):
+                left = ("binary", "+", left, self._multiplicative())
+            elif self._accept("punct", "-"):
+                left = ("binary", "-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> tuple:
+        left = self._unary()
+        while True:
+            matched = False
+            for op in ("*", "/", "%"):
+                if self._accept("punct", op):
+                    left = ("binary", op, left, self._unary())
+                    matched = True
+                    break
+            if not matched:
+                return left
+
+    def _unary(self) -> tuple:
+        if self._accept("punct", "!"):
+            return ("unary", "!", self._unary())
+        if self._accept("punct", "-"):
+            return ("unary", "-", self._unary())
+        if self._accept("punct", "+"):
+            return ("unary", "+", self._unary())
+        if self._accept("keyword", "typeof"):
+            return ("unary", "typeof", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> tuple:
+        expr = self._call_or_member()
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("++", "--"):
+            if expr[0] not in ("name", "member", "index"):
+                raise ScriptSyntaxError(
+                    f"invalid increment target at line {token.line}"
+                )
+            self._next()
+            return ("postfix", token.value, expr)
+        return expr
+
+    def _call_or_member(self) -> tuple:
+        expr = self._primary()
+        while True:
+            if self._accept("punct", "."):
+                name = self._expect("name").value
+                expr = ("member", expr, name)
+            elif self._accept("punct", "["):
+                index = self._expression()
+                self._expect("punct", "]")
+                expr = ("index", expr, index)
+            elif self._check("punct", "("):
+                self._next()
+                args = []
+                if not self._check("punct", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept("punct", ","):
+                            break
+                self._expect("punct", ")")
+                expr = ("call", expr, args)
+            else:
+                return expr
+
+    def _primary(self) -> tuple:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            value = float(token.value)
+            return ("num", value)
+        if token.kind == "string":
+            self._next()
+            return ("str", token.value)
+        if token.kind == "name":
+            self._next()
+            return ("name", token.value)
+        if token.kind == "keyword":
+            if token.value in ("true", "false"):
+                self._next()
+                return ("bool", token.value == "true")
+            if token.value == "null":
+                self._next()
+                return ("null",)
+            if token.value == "function":
+                self._next()
+                params, body = self._function_rest()
+                return ("func", params, body)
+        if self._accept("punct", "("):
+            expr = self._expression_or_assignment()
+            self._expect("punct", ")")
+            return expr
+        if self._accept("punct", "["):
+            items = []
+            if not self._check("punct", "]"):
+                while True:
+                    items.append(self._expression())
+                    if not self._accept("punct", ","):
+                        break
+            self._expect("punct", "]")
+            return ("array", items)
+        if self._accept("punct", "{"):
+            pairs = []
+            if not self._check("punct", "}"):
+                while True:
+                    key_token = self._next()
+                    if key_token.kind not in ("name", "string", "keyword"):
+                        raise ScriptSyntaxError(
+                            f"bad object key at line {key_token.line}"
+                        )
+                    self._expect("punct", ":")
+                    pairs.append((key_token.value, self._expression()))
+                    if not self._accept("punct", ","):
+                        break
+            self._expect("punct", "}")
+            return ("object", pairs)
+        raise ScriptSyntaxError(
+            f"unexpected token {token.value or token.kind!r} "
+            f"at line {token.line}"
+        )
+
+
+def parse_script(source: str) -> tuple:
+    """Parse *source* into a program AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,140 @@
+"""Built-in globals for the ECMAScript subset (ECMA-262 3rd ed. core).
+
+The paper's prototype scripts against "the common core language
+elements of both Javascript and JScript" (§8.1); disc menu scripts lean
+on a handful of built-ins — ``Math``, the global numeric conversions,
+and string helpers.  This module provides them as host objects, kept
+deliberately deterministic: ``Math.random`` is seeded per interpreter
+(a player replays deterministically in tests), and there is no clock.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ScriptRuntimeError
+from repro.markup.script_interp import HostObject, _number, _stringify
+from repro.primitives.random import DeterministicRandomSource
+
+
+def make_math_object(seed: bytes = b"script-math") -> HostObject:
+    """An ECMA-262 ``Math`` object (seeded, deterministic random)."""
+    rng = DeterministicRandomSource(seed)
+
+    def _random() -> float:
+        return int.from_bytes(rng.read(7), "big") / float(1 << 56)
+
+    return HostObject("Math", methods={
+        "abs": lambda x: abs(_number(x)),
+        "floor": lambda x: float(math.floor(_number(x))),
+        "ceil": lambda x: float(math.ceil(_number(x))),
+        "round": lambda x: float(math.floor(_number(x) + 0.5)),
+        "min": lambda *xs: min(_number(x) for x in xs),
+        "max": lambda *xs: max(_number(x) for x in xs),
+        "pow": lambda x, y: _number(x) ** _number(y),
+        "sqrt": lambda x: math.sqrt(_number(x)),
+        "random": _random,
+    }, properties={"PI": math.pi, "E": math.e})
+
+
+def make_string_object() -> HostObject:
+    """String helpers (as a host object: ``String.substring(s, a, b)``).
+
+    The interpreter's value model has no prototypes, so the classic
+    instance methods are exposed in static form — the common JScript
+    compatibility idiom of the era.
+    """
+
+    def substring(value, start, end=None):
+        text = _stringify(value)
+        lo = max(0, int(_number(start)))
+        hi = len(text) if end is None else max(0, int(_number(end)))
+        if lo > hi:
+            lo, hi = hi, lo
+        return text[lo:hi]
+
+    def char_at(value, index):
+        text = _stringify(value)
+        i = int(_number(index))
+        return text[i] if 0 <= i < len(text) else ""
+
+    def index_of(value, needle):
+        return float(_stringify(value).find(_stringify(needle)))
+
+    def split(value, separator):
+        return _stringify(value).split(_stringify(separator))
+
+    return HostObject("String", methods={
+        "substring": substring,
+        "charAt": char_at,
+        "indexOf": index_of,
+        "split": split,
+        "toUpperCase": lambda value: _stringify(value).upper(),
+        "toLowerCase": lambda value: _stringify(value).lower(),
+        "trim": lambda value: _stringify(value).strip(),
+        "replace": lambda value, old, new: _stringify(value).replace(
+            _stringify(old), _stringify(new), 1,
+        ),
+        "length": lambda value: float(len(_stringify(value))),
+    })
+
+
+def _parse_int(value, radix=None) -> float:
+    text = _stringify(value).strip()
+    base = int(_number(radix)) if radix is not None else 10
+    negative = text.startswith("-")
+    if text[:1] in "+-":
+        text = text[1:]
+    digits = ""
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"[:base]
+    for ch in text.lower():
+        if ch not in alphabet:
+            break
+        digits += ch
+    if not digits:
+        raise ScriptRuntimeError(f"parseInt: no digits in {value!r}")
+    result = float(int(digits, base))
+    return -result if negative else result
+
+
+def _parse_float(value) -> float:
+    text = _stringify(value).strip()
+    out = ""
+    seen_dot = False
+    for index, ch in enumerate(text):
+        if ch.isdigit():
+            out += ch
+        elif ch == "." and not seen_dot:
+            seen_dot = True
+            out += ch
+        elif ch in "+-" and index == 0:
+            out += ch
+        else:
+            break
+    try:
+        return float(out)
+    except ValueError:
+        raise ScriptRuntimeError(
+            f"parseFloat: no number in {value!r}"
+        ) from None
+
+
+def standard_globals(seed: bytes = b"script-math") -> dict[str, object]:
+    """The default global environment additions for manifest scripts.
+
+    Returns host objects (``Math``, ``String``) and plain callables
+    (``parseInt``, ``parseFloat``, ``isNaN``) keyed by global name —
+    pass to :class:`repro.markup.Interpreter` / merge in the engine.
+    """
+    return {
+        "Math": make_math_object(seed),
+        "String": make_string_object(),
+    }
+
+
+STANDARD_FUNCTIONS = {
+    "parseInt": _parse_int,
+    "parseFloat": _parse_float,
+    "isNaN": lambda value: isinstance(value, float)
+    and math.isnan(value),
+}

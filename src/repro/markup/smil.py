@@ -1,0 +1,230 @@
+"""SMIL-lite presentations: timing containers, media items, scheduling.
+
+The prototype chose SMIL for the timing/layout markup (§8.1).  This
+module implements the core of the SMIL 2.0 timing model the paper's
+applications need — ``seq``/``par`` containers with ``begin``/``dur``
+on media items — and resolves a presentation into an absolute timeline
+the player's presentation layer can execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MarkupError
+from repro.markup.layout import Layout
+from repro.markup.timing import parse_clock_value
+from repro.xmlcore.tree import Element
+
+MEDIA_KINDS = ("video", "audio", "img", "text", "animation")
+
+
+@dataclass
+class MediaItem:
+    """A leaf of the timing tree: one renderable media reference."""
+
+    kind: str
+    src: str
+    region: str | None = None
+    begin: float = 0.0     # relative to the parent container
+    dur: float = 0.0       # 0 means "intrinsic": resolved by the player
+    repeat: int = 1        # SMIL repeatCount (finite only)
+
+    def __post_init__(self):
+        if self.kind not in MEDIA_KINDS:
+            raise MarkupError(f"unknown media kind {self.kind!r}")
+        if self.begin < 0 or self.dur < 0:
+            raise MarkupError("media timing cannot be negative")
+        if self.repeat < 1:
+            raise MarkupError("repeatCount must be at least 1")
+
+
+@dataclass
+class TimeContainer:
+    """A ``seq`` or ``par`` container of media items and sub-containers."""
+
+    mode: str  # "seq" | "par"
+    children: list["TimeContainer | MediaItem"] = field(
+        default_factory=list
+    )
+    begin: float = 0.0
+
+    def __post_init__(self):
+        if self.mode not in ("seq", "par"):
+            raise MarkupError(f"unknown container mode {self.mode!r}")
+
+    def add(self, child: "TimeContainer | MediaItem"):
+        self.children.append(child)
+        return child
+
+
+@dataclass(frozen=True)
+class ScheduledItem:
+    """A media item resolved to absolute presentation time."""
+
+    start: float
+    end: float
+    kind: str
+    src: str
+    region: str | None
+
+
+@dataclass
+class Presentation:
+    """A parsed SMIL-lite presentation: layout + timing tree."""
+
+    layout: Layout = field(default_factory=Layout)
+    body: TimeContainer = field(
+        default_factory=lambda: TimeContainer("seq")
+    )
+
+    def schedule(self, clip_durations: dict[str, float] | None = None
+                 ) -> list[ScheduledItem]:
+        """Resolve the timing tree into absolute start/end times.
+
+        *clip_durations* resolves intrinsic (``dur=0``) durations by
+        media ``src`` (the player passes clip-info durations).
+        Unresolvable intrinsic durations count as zero-length.
+        """
+        items: list[ScheduledItem] = []
+        self._schedule_container(self.body, 0.0, items,
+                                 clip_durations or {})
+        items.sort(key=lambda item: (item.start, item.end, item.src))
+        return items
+
+    def duration(self, clip_durations: dict[str, float] | None = None
+                 ) -> float:
+        schedule = self.schedule(clip_durations)
+        return max((item.end for item in schedule), default=0.0)
+
+    def active_at(self, when: float,
+                  clip_durations: dict[str, float] | None = None
+                  ) -> list[ScheduledItem]:
+        """Items being presented at time *when* (start ≤ t < end)."""
+        return [
+            item for item in self.schedule(clip_durations)
+            if item.start <= when < item.end
+        ]
+
+    def validate_regions(self) -> list[str]:
+        """Return names of referenced-but-undefined regions."""
+        missing: list[str] = []
+
+        def walk(node):
+            if isinstance(node, MediaItem):
+                if node.region and node.region not in self.layout.regions:
+                    missing.append(node.region)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(self.body)
+        return sorted(set(missing))
+
+    def _schedule_container(self, container: TimeContainer, start: float,
+                            out: list[ScheduledItem],
+                            durations: dict[str, float]) -> float:
+        """Schedule *container* from *start*; returns its end time."""
+        cursor = start + container.begin
+        end = cursor
+        for child in container.children:
+            if isinstance(child, MediaItem):
+                item_start = (cursor if container.mode == "seq"
+                              else start + container.begin) + child.begin
+                dur = child.dur or durations.get(child.src, 0.0)
+                item_end = item_start
+                for _iteration in range(child.repeat):
+                    out.append(ScheduledItem(
+                        start=item_end, end=item_end + dur,
+                        kind=child.kind, src=child.src,
+                        region=child.region,
+                    ))
+                    item_end += dur
+            else:
+                base = (cursor if container.mode == "seq"
+                        else start + container.begin)
+                item_end = self._schedule_container(
+                    child, base, out, durations,
+                )
+            if container.mode == "seq":
+                cursor = item_end
+            end = max(end, item_end)
+        return end
+
+
+def parse_smil(node: Element) -> Presentation:
+    """Parse a SMIL-lite document/fragment into a :class:`Presentation`.
+
+    Accepts either a full ``<smil><head><layout/></head><body/></smil>``
+    document or bare ``<layout>``/``<seq>``/``<par>`` fragments (the
+    shapes that appear as manifest sub-markups).
+    """
+    presentation = Presentation()
+    if node.local == "smil":
+        head = node.first_child("head")
+        if head is not None:
+            layout_el = head.first_child("layout")
+            if layout_el is not None:
+                presentation.layout = Layout.from_element(layout_el)
+        body = node.first_child("body")
+        if body is not None:
+            presentation.body = _parse_container_children("seq", body)
+        return presentation
+    if node.local == "layout":
+        presentation.layout = Layout.from_element(node)
+        return presentation
+    if node.local in ("seq", "par"):
+        presentation.body = _parse_container(node)
+        return presentation
+    if node.local == "body":
+        presentation.body = _parse_container_children("seq", node)
+        return presentation
+    raise MarkupError(f"cannot parse SMIL from <{node.local}>")
+
+
+def _parse_container(node: Element) -> TimeContainer:
+    container = TimeContainer(
+        node.local, begin=parse_clock_value(node.get("begin")),
+    )
+    _fill_container(container, node)
+    return container
+
+
+def _parse_container_children(mode: str, node: Element) -> TimeContainer:
+    container = TimeContainer(mode)
+    _fill_container(container, node)
+    return container
+
+
+def _fill_container(container: TimeContainer, node: Element) -> None:
+    for child in node.child_elements():
+        if child.local in ("seq", "par"):
+            container.add(_parse_container(child))
+        elif child.local in MEDIA_KINDS or child.local == "clip":
+            kind = "video" if child.local == "clip" else child.local
+            repeat_text = (child.get("repeatCount") or "1").strip()
+            if repeat_text == "indefinite":
+                raise MarkupError(
+                    "indefinite repeatCount is not allowed on the "
+                    "player (runaway presentation)"
+                )
+            try:
+                repeat = int(float(repeat_text))
+            except ValueError:
+                raise MarkupError(
+                    f"bad repeatCount {repeat_text!r}"
+                ) from None
+            container.add(MediaItem(
+                kind=kind,
+                src=child.get("src") or child.get("ref") or "",
+                region=child.get("region"),
+                begin=parse_clock_value(child.get("begin")),
+                dur=parse_clock_value(child.get("dur")),
+                repeat=repeat,
+            ))
+        # Unknown elements are ignored (SMIL's forward-compatible rule).
+
+
+def merge_layout(presentation: Presentation, layout: Layout) -> None:
+    """Attach a separately parsed layout sub-markup to a presentation."""
+    presentation.layout = layout

@@ -1,0 +1,47 @@
+"""SMIL clock-value parsing and time arithmetic."""
+
+from __future__ import annotations
+
+from repro.errors import MarkupError
+
+
+def parse_clock_value(text: str | None, default: float = 0.0) -> float:
+    """Parse a SMIL clock value into seconds.
+
+    Accepts ``"12s"``, ``"1.5s"``, ``"500ms"``, ``"2min"``, ``"1h"``,
+    bare numbers (seconds) and ``"hh:mm:ss[.f]"`` / ``"mm:ss"`` forms.
+    ``None`` or an empty string yields *default*.
+    """
+    if text is None:
+        return default
+    value = text.strip()
+    if not value:
+        return default
+    try:
+        if ":" in value:
+            parts = [float(p) for p in value.split(":")]
+            if len(parts) == 3:
+                hours, minutes, seconds = parts
+            elif len(parts) == 2:
+                hours, (minutes, seconds) = 0.0, parts
+            else:
+                raise ValueError("too many ':' fields")
+            if minutes >= 60 or seconds >= 60:
+                raise ValueError("minutes/seconds out of range")
+            return hours * 3600 + minutes * 60 + seconds
+        for suffix, scale in (("ms", 0.001), ("min", 60.0), ("h", 3600.0),
+                              ("s", 1.0)):
+            if value.endswith(suffix):
+                return float(value[: -len(suffix)]) * scale
+        return float(value)
+    except ValueError as exc:
+        raise MarkupError(f"bad clock value {text!r}: {exc}") from None
+
+
+def format_clock_value(seconds: float) -> str:
+    """Format seconds as a SMIL clock value (``"12s"`` style)."""
+    if seconds < 0:
+        raise MarkupError("clock values cannot be negative")
+    if float(seconds).is_integer():
+        return f"{int(seconds)}s"
+    return f"{seconds}s"

@@ -1,0 +1,21 @@
+"""Simulated network: channels, adversaries, content server, TLS-like SCP."""
+
+from repro.network.broadcast import (
+    Carousel, CarouselObject, CarouselReceiver, Section,
+    broadcast_until_received,
+)
+from repro.network.channel import (
+    ActiveTamperer, Adversary, Channel, Dropper, PassiveWiretap, Replacer,
+)
+from repro.network.secure import (
+    SecureClient, SecureServer, SecureSession, establish, secure_transfer,
+)
+from repro.network.server import ContentServer, DownloadClient
+
+__all__ = [
+    "Channel", "Adversary", "PassiveWiretap", "ActiveTamperer", "Replacer",
+    "Dropper", "SecureClient", "SecureServer", "SecureSession",
+    "establish", "secure_transfer", "ContentServer", "DownloadClient",
+    "Carousel", "CarouselReceiver", "CarouselObject", "Section",
+    "broadcast_until_received",
+]

@@ -1,0 +1,227 @@
+"""Broadcast delivery: a DSM-CC-style object carousel.
+
+Fig 1's other delivery path: "The movie companies distribute the HD
+content via optical discs as medium **or via HD broadcast** and ...
+additional application extensions such as bonus materials, clips etc
+could be downloaded from a content server **or a set top box in a home
+network**."  MHP (the paper's reference [8]) delivers applications over
+DVB object carousels; this module models that transport:
+
+* a :class:`Carousel` cyclically transmits fixed-size sections of its
+  objects (no return channel — the receiver cannot ask for a resend,
+  it just waits for the next cycle);
+* a :class:`CarouselReceiver` tunes in mid-cycle, assembles sections,
+  discards corrupted ones (CRC) and completes on a later cycle.
+
+Security composes unchanged: what rides the carousel is the same
+signed/encrypted application package, verified by the same player
+pipeline on assembly — the paper's format/transport independence
+argument (§8, §9).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+SECTION_PAYLOAD = 1024   # bytes of object data per section
+_HEADER = struct.Struct(">HIHH")   # object-id, version, index, total
+
+
+@dataclass(frozen=True)
+class Section:
+    """One broadcast section of a carousel object."""
+
+    object_id: int
+    version: int
+    index: int
+    total: int
+    payload: bytes
+    crc: int
+
+    def to_bytes(self) -> bytes:
+        return _HEADER.pack(self.object_id, self.version, self.index,
+                            self.total) + \
+            struct.pack(">I", self.crc) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Section":
+        if len(data) < _HEADER.size + 4:
+            raise NetworkError("truncated carousel section")
+        object_id, version, index, total = _HEADER.unpack_from(data)
+        (crc,) = struct.unpack_from(">I", data, _HEADER.size)
+        payload = data[_HEADER.size + 4:]
+        return cls(object_id, version, index, total, payload, crc)
+
+    @property
+    def intact(self) -> bool:
+        return zlib.crc32(self.payload) == self.crc
+
+
+@dataclass
+class CarouselObject:
+    """A named object broadcast on the carousel."""
+
+    object_id: int
+    name: str
+    data: bytes
+    version: int = 1
+
+    def sections(self) -> list[Section]:
+        chunks = [
+            self.data[i:i + SECTION_PAYLOAD]
+            for i in range(0, max(1, len(self.data)), SECTION_PAYLOAD)
+        ] or [b""]
+        total = len(chunks)
+        return [
+            Section(self.object_id, self.version, index, total, chunk,
+                    zlib.crc32(chunk))
+            for index, chunk in enumerate(chunks)
+        ]
+
+
+class Carousel:
+    """A cyclic broadcaster of objects.
+
+    :meth:`transmit` yields the wire bytes of one full cycle; the
+    head-end just repeats cycles forever.  Adversaries/noise are modelled
+    by the channel the caller routes sections through.
+    """
+
+    def __init__(self):
+        self._objects: dict[int, CarouselObject] = {}
+        self._directory_dirty = True
+        self._next_id = 1
+
+    def publish(self, name: str, data: bytes) -> CarouselObject:
+        """Add (or replace, bumping the version) a named object."""
+        for existing in self._objects.values():
+            if existing.name == name:
+                updated = CarouselObject(existing.object_id, name,
+                                         bytes(data),
+                                         existing.version + 1)
+                self._objects[existing.object_id] = updated
+                return updated
+        obj = CarouselObject(self._next_id, name, bytes(data))
+        self._objects[self._next_id] = obj
+        self._next_id += 1
+        return obj
+
+    def directory(self) -> dict[str, int]:
+        """Service directory: object name → id (broadcast as object 0)."""
+        return {obj.name: obj.object_id
+                for obj in self._objects.values()}
+
+    def one_cycle(self) -> list[bytes]:
+        """The wire sections of one carousel cycle (directory first)."""
+        directory_blob = "\n".join(
+            f"{name}={object_id}"
+            for name, object_id in sorted(self.directory().items())
+        ).encode("utf-8")
+        cycle: list[bytes] = [
+            section.to_bytes()
+            for section in CarouselObject(0, "<directory>",
+                                          directory_blob).sections()
+        ]
+        for obj in self._objects.values():
+            cycle.extend(s.to_bytes() for s in obj.sections())
+        return cycle
+
+
+class CarouselReceiver:
+    """Assembles carousel objects from (possibly lossy) sections.
+
+    Feed wire sections via :meth:`receive`; completed objects appear in
+    :meth:`completed`.  Corrupted sections (CRC mismatch) are dropped —
+    the missing pieces arrive on a later cycle.
+    """
+
+    def __init__(self):
+        self._partial: dict[tuple[int, int], dict[int, bytes]] = {}
+        self._totals: dict[tuple[int, int], int] = {}
+        self._complete: dict[int, tuple[int, bytes]] = {}
+        self.sections_received = 0
+        self.sections_dropped = 0
+
+    def receive(self, wire: bytes) -> None:
+        """Process one wire section (silently dropping corrupt ones)."""
+        self.sections_received += 1
+        try:
+            section = Section.from_bytes(wire)
+        except NetworkError:
+            self.sections_dropped += 1
+            return
+        if not section.intact:
+            self.sections_dropped += 1
+            return
+        key = (section.object_id, section.version)
+        existing_version = self._complete.get(section.object_id,
+                                              (0, b""))[0]
+        if section.version <= existing_version:
+            return  # already have this (or a newer) version
+        store = self._partial.setdefault(key, {})
+        store[section.index] = section.payload
+        self._totals[key] = section.total
+        if len(store) == section.total:
+            data = b"".join(store[i] for i in range(section.total))
+            self._complete[section.object_id] = (section.version, data)
+            del self._partial[key]
+
+    def completed(self, object_id: int) -> bytes | None:
+        entry = self._complete.get(object_id)
+        return entry[1] if entry else None
+
+    def directory(self) -> dict[str, int]:
+        """The assembled service directory (object 0), if received."""
+        blob = self.completed(0)
+        if blob is None:
+            return {}
+        table: dict[str, int] = {}
+        for line in blob.decode("utf-8").splitlines():
+            name, _, object_id = line.partition("=")
+            if object_id:
+                table[name] = int(object_id)
+        return table
+
+    def fetch(self, name: str) -> bytes | None:
+        """Look up a completed object by service-directory name."""
+        object_id = self.directory().get(name)
+        if object_id is None:
+            return None
+        return self.completed(object_id)
+
+
+def broadcast_until_received(carousel: Carousel,
+                             receiver: CarouselReceiver, name: str, *,
+                             channel=None, max_cycles: int = 10,
+                             start_offset: int = 0) -> bytes:
+    """Run cycles until *name* assembles (tuning in mid-cycle allowed).
+
+    *channel* (a :class:`repro.network.Channel`) may corrupt or drop
+    sections; corrupted ones are recovered on later cycles.
+
+    Raises:
+        NetworkError: if the object does not assemble in *max_cycles*.
+    """
+    first = True
+    for _cycle in range(max_cycles):
+        sections = carousel.one_cycle()
+        if first:
+            sections = sections[start_offset % max(1, len(sections)):]
+            first = False
+        for wire in sections:
+            if channel is not None:
+                try:
+                    wire = channel.transfer(wire)
+                except NetworkError:
+                    continue  # dropped in the air
+            receiver.receive(wire)
+        data = receiver.fetch(name)
+        if data is not None:
+            return data
+    raise NetworkError(
+        f"object {name!r} did not assemble in {max_cycles} cycles"
+    )

@@ -1,0 +1,113 @@
+"""Simulated transport channels with pluggable adversaries.
+
+The threat model worries about "wiretapping (man-in-the-van attack)"
+(§3.1) on the path between content server and player.  A
+:class:`Channel` moves byte messages between two parties; adversaries
+attach to it to observe (:class:`PassiveWiretap`) or modify
+(:class:`ActiveTamperer`) traffic, letting tests and benches
+demonstrate exactly what each security mechanism does and does not
+protect against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+
+
+class Adversary:
+    """Base adversary: sees every message, may replace it."""
+
+    def process(self, message: bytes) -> bytes:
+        return message
+
+
+@dataclass
+class PassiveWiretap(Adversary):
+    """Records traffic without modifying it (confidentiality threat)."""
+
+    captured: list[bytes] = field(default_factory=list)
+
+    def process(self, message: bytes) -> bytes:
+        self.captured.append(message)
+        return message
+
+    def saw_plaintext(self, needle: bytes) -> bool:
+        """Did any captured message contain *needle* in the clear?"""
+        return any(needle in message for message in self.captured)
+
+
+@dataclass
+class ActiveTamperer(Adversary):
+    """Flips a byte in messages matching a predicate (integrity threat)."""
+
+    predicate: Callable[[bytes], bool] = lambda message: True
+    offset: int = 0
+    tampered_count: int = 0
+    enabled: bool = True
+
+    def process(self, message: bytes) -> bytes:
+        if not self.enabled or not self.predicate(message):
+            return message
+        if not message:
+            return message
+        index = self.offset % len(message)
+        mutated = bytearray(message)
+        mutated[index] ^= 0x01
+        self.tampered_count += 1
+        return bytes(mutated)
+
+
+@dataclass
+class Replacer(Adversary):
+    """Substitutes entire matching messages (spoofing threat)."""
+
+    replacement: bytes = b""
+    predicate: Callable[[bytes], bool] = lambda message: True
+
+    def process(self, message: bytes) -> bytes:
+        if self.predicate(message):
+            return self.replacement
+        return message
+
+
+@dataclass
+class Dropper(Adversary):
+    """Drops matching messages (denial-of-service threat)."""
+
+    predicate: Callable[[bytes], bool] = lambda message: True
+
+    def process(self, message: bytes) -> bytes:
+        if self.predicate(message):
+            raise NetworkError("message dropped in transit")
+        return message
+
+
+class Channel:
+    """A bidirectional message pipe with an adversary stack.
+
+    Every transfer (either direction) passes through all attached
+    adversaries in order.  Statistics are kept for the benches.
+    """
+
+    def __init__(self, adversaries: list[Adversary] | None = None):
+        self.adversaries: list[Adversary] = list(adversaries or [])
+        self.messages_transferred = 0
+        self.bytes_transferred = 0
+
+    def attach(self, adversary: Adversary) -> Adversary:
+        self.adversaries.append(adversary)
+        return adversary
+
+    def transfer(self, message: bytes) -> bytes:
+        """Carry one message across the channel."""
+        if not isinstance(message, (bytes, bytearray)):
+            raise NetworkError("channel carries bytes only")
+        self.messages_transferred += 1
+        self.bytes_transferred += len(message)
+        out = bytes(message)
+        for adversary in self.adversaries:
+            out = adversary.process(out)
+        return out

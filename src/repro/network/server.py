@@ -1,0 +1,147 @@
+"""The content server of the end-to-end usage model (Fig 1, Fig 3).
+
+Hosts downloadable application packages and resources ("bonus
+materials, clips etc could be downloaded from a content server", §1)
+plus callable services (the XKMS trust service).  A
+:class:`DownloadClient` fetches resources across a :class:`Channel`,
+either in the clear or through the TLS-like secure channel.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.certs.authority import SigningIdentity
+from repro.certs.store import TrustStore
+from repro.network.channel import Channel
+from repro.network.secure import SecureClient, SecureServer, establish
+
+_REQ = 0x10
+_RESP_OK = 0x20
+_RESP_ERR = 0x21
+_CALL = 0x30
+
+
+def _encode(kind: int, *parts: bytes) -> bytes:
+    body = b"".join(struct.pack(">I", len(p)) + p for p in parts)
+    return struct.pack(">B", kind) + body
+
+
+def _decode(message: bytes) -> tuple[int, list[bytes]]:
+    if not message:
+        raise NetworkError("empty message")
+    kind = message[0]
+    parts: list[bytes] = []
+    offset = 1
+    while offset < len(message):
+        if offset + 4 > len(message):
+            raise NetworkError("truncated message")
+        (length,) = struct.unpack_from(">I", message, offset)
+        offset += 4
+        parts.append(message[offset:offset + length])
+        offset += length
+    return kind, parts
+
+
+@dataclass
+class ContentServer:
+    """Hosts resources (bytes) and services (callables).
+
+    Args:
+        identity: certificate identity for secure-channel serving.
+    """
+
+    identity: SigningIdentity | None = None
+    resources: dict[str, bytes] = field(default_factory=dict)
+    services: dict[str, Callable[[str], str]] = field(default_factory=dict)
+    request_log: list[str] = field(default_factory=list)
+
+    def publish(self, path: str, data: bytes) -> None:
+        self.resources[path] = bytes(data)
+
+    def publish_service(self, name: str,
+                        handler: Callable[[str], str]) -> None:
+        self.services[name] = handler
+
+    def handle(self, message: bytes) -> bytes:
+        """Process one request message (already off the wire)."""
+        kind, parts = _decode(message)
+        if kind == _REQ and len(parts) == 1:
+            path = parts[0].decode("utf-8")
+            self.request_log.append(f"GET {path}")
+            data = self.resources.get(path)
+            if data is None:
+                return _encode(_RESP_ERR, f"404 {path}".encode())
+            return _encode(_RESP_OK, data)
+        if kind == _CALL and len(parts) == 2:
+            name = parts[0].decode("utf-8")
+            self.request_log.append(f"CALL {name}")
+            service = self.services.get(name)
+            if service is None:
+                return _encode(_RESP_ERR, f"404 service {name}".encode())
+            try:
+                result = service(parts[1].decode("utf-8"))
+            except Exception as exc:
+                return _encode(_RESP_ERR, f"500 {exc}".encode())
+            return _encode(_RESP_OK, result.encode("utf-8"))
+        return _encode(_RESP_ERR, b"400 bad request")
+
+
+@dataclass
+class DownloadClient:
+    """Fetches from a :class:`ContentServer` over a channel.
+
+    With a *trust_store* the client can open a secure (TLS-like)
+    session; without one, transfers are cleartext and at the mercy of
+    whatever adversary sits on the channel.
+    """
+
+    server: ContentServer
+    channel: Channel = field(default_factory=Channel)
+    trust_store: TrustStore | None = None
+
+    def _roundtrip_plain(self, request: bytes) -> bytes:
+        wire_request = self.channel.transfer(request)
+        response = self.server.handle(wire_request)
+        return self.channel.transfer(response)
+
+    def _roundtrip_secure(self, request: bytes) -> bytes:
+        if self.trust_store is None:
+            raise NetworkError("secure fetch needs a trust store")
+        if self.server.identity is None:
+            raise NetworkError("server has no identity for TLS")
+        client = SecureClient(self.trust_store)
+        secure_server = SecureServer(self.server.identity)
+        client_session, server_session = establish(
+            client, secure_server, self.channel,
+        )
+        wire = self.channel.transfer(client_session.seal(request))
+        response = self.server.handle(server_session.open(wire))
+        wire = self.channel.transfer(server_session.seal(response))
+        return client_session.open(wire)
+
+    def _parse_response(self, response: bytes) -> bytes:
+        kind, parts = _decode(response)
+        if kind == _RESP_OK and parts:
+            return parts[0]
+        detail = parts[0].decode("utf-8", "replace") if parts else "?"
+        raise NetworkError(f"server error: {detail}")
+
+    def fetch(self, path: str, *, secure: bool = False) -> bytes:
+        """Download a resource."""
+        request = _encode(_REQ, path.encode("utf-8"))
+        roundtrip = self._roundtrip_secure if secure \
+            else self._roundtrip_plain
+        return self._parse_response(roundtrip(request))
+
+    def call(self, service: str, payload: str, *,
+             secure: bool = False) -> str:
+        """Invoke a hosted service (e.g. the XKMS responder)."""
+        request = _encode(_CALL, service.encode("utf-8"),
+                          payload.encode("utf-8"))
+        roundtrip = self._roundtrip_secure if secure \
+            else self._roundtrip_plain
+        return self._parse_response(roundtrip(request)).decode("utf-8")

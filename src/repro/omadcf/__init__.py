@@ -1,0 +1,11 @@
+"""Binary OMA-DCF-style container — the baseline of the paper's ref [37]."""
+
+from repro.omadcf.container import (
+    ENC_AES_128_CBC, ENC_AES_128_CTR, ENC_NULL, DCFPackage,
+    container_overhead, package, parse, unpack,
+)
+
+__all__ = [
+    "package", "unpack", "parse", "DCFPackage", "container_overhead",
+    "ENC_NULL", "ENC_AES_128_CTR", "ENC_AES_128_CBC",
+]

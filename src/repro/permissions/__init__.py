@@ -1,0 +1,15 @@
+"""MHP-style permission request files and platform grant policy."""
+
+from repro.permissions.request_file import (
+    ALL_PERMISSIONS, Grant, GrantSet, PermissionEntry,
+    PermissionRequestFile, PlatformPermissionPolicy, PERM_LOCAL_STORAGE,
+    PERM_NETWORK, PERM_OVERLAY_GRAPHICS, PERM_READ_USER_SETTINGS,
+    PERM_RETURN_CHANNEL, PERM_TUNING,
+)
+
+__all__ = [
+    "PermissionRequestFile", "PermissionEntry", "Grant", "GrantSet",
+    "PlatformPermissionPolicy", "ALL_PERMISSIONS",
+    "PERM_LOCAL_STORAGE", "PERM_RETURN_CHANNEL", "PERM_NETWORK",
+    "PERM_TUNING", "PERM_OVERLAY_GRAPHICS", "PERM_READ_USER_SETTINGS",
+]

@@ -1,0 +1,197 @@
+"""MHP-style XML permission request files (paper §4, §7).
+
+"The content provider can add the permission request file along with
+the markup as an attachment.  This will be interpreted by the platform
+and will provide access rights to the application (e.g. rights to use
+return channel or rights to dial to a particular server)."
+
+A request file asks for named permissions; the platform policy decides
+which are granted.  The grant set is what the player engine consults
+when a script touches a gated resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PermissionDeniedError, PolicyError
+from repro.xmlcore import MHP_PERMISSION_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+# The permission vocabulary (MHP 1.2-flavoured, adapted to the player).
+PERM_LOCAL_STORAGE = "local-storage"
+PERM_RETURN_CHANNEL = "return-channel"
+PERM_NETWORK = "network"
+PERM_TUNING = "tuning"
+PERM_OVERLAY_GRAPHICS = "overlay-graphics"
+PERM_READ_USER_SETTINGS = "read-user-settings"
+
+ALL_PERMISSIONS = (
+    PERM_LOCAL_STORAGE, PERM_RETURN_CHANNEL, PERM_NETWORK, PERM_TUNING,
+    PERM_OVERLAY_GRAPHICS, PERM_READ_USER_SETTINGS,
+)
+
+
+@dataclass(frozen=True)
+class PermissionEntry:
+    """One requested permission with optional qualifiers.
+
+    Qualifiers: ``hosts`` limits network/return-channel targets;
+    ``quota_bytes`` sizes a storage request.
+    """
+
+    name: str
+    hosts: tuple[str, ...] = ()
+    quota_bytes: int = 0
+
+    def __post_init__(self):
+        if self.name not in ALL_PERMISSIONS:
+            raise PolicyError(f"unknown permission {self.name!r}")
+
+
+@dataclass
+class PermissionRequestFile:
+    """A parsed permission request file."""
+
+    app_id: str
+    org_id: str
+    entries: list[PermissionEntry] = field(default_factory=list)
+
+    def request(self, name: str, *, hosts: tuple[str, ...] = (),
+                quota_bytes: int = 0) -> PermissionEntry:
+        entry = PermissionEntry(name, hosts, quota_bytes)
+        self.entries.append(entry)
+        return entry
+
+    def requested(self, name: str) -> PermissionEntry | None:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    # -- XML mapping ----------------------------------------------------------
+
+    def to_element(self) -> Element:
+        node = element(
+            "permissionrequestfile", MHP_PERMISSION_NS,
+            nsmap={None: MHP_PERMISSION_NS},
+            attrs={"appid": self.app_id, "orgid": self.org_id},
+        )
+        for entry in self.entries:
+            child = element(entry.name, MHP_PERMISSION_NS,
+                            attrs={"value": "true"})
+            if entry.hosts:
+                child.set("hosts", " ".join(entry.hosts))
+            if entry.quota_bytes:
+                child.set("quota", str(entry.quota_bytes))
+            node.append(child)
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "PermissionRequestFile":
+        if node.local != "permissionrequestfile":
+            raise PolicyError(
+                f"expected permissionrequestfile, got {node.local!r}"
+            )
+        prf = cls(app_id=node.get("appid") or "",
+                  org_id=node.get("orgid") or "")
+        for child in node.child_elements():
+            if child.get("value") != "true":
+                continue
+            prf.entries.append(PermissionEntry(
+                name=child.local,
+                hosts=tuple((child.get("hosts") or "").split()),
+                quota_bytes=int(child.get("quota", "0") or 0),
+            ))
+        return prf
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "PermissionRequestFile":
+        return cls.from_element(parse_element(text))
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A granted permission (possibly narrowed by the platform)."""
+
+    name: str
+    hosts: tuple[str, ...] = ()
+    quota_bytes: int = 0
+
+
+@dataclass
+class GrantSet:
+    """The permissions the platform actually granted an application."""
+
+    app_id: str
+    grants: dict[str, Grant] = field(default_factory=dict)
+
+    def has(self, name: str) -> bool:
+        return name in self.grants
+
+    def grant(self, name: str) -> Grant | None:
+        return self.grants.get(name)
+
+    def check(self, name: str, *, host: str | None = None,
+              bytes_needed: int = 0) -> None:
+        """Raise :class:`PermissionDeniedError` if use is not covered."""
+        granted = self.grants.get(name)
+        if granted is None:
+            raise PermissionDeniedError(
+                f"application {self.app_id!r} has no {name!r} permission"
+            )
+        if host is not None and granted.hosts \
+                and host not in granted.hosts:
+            raise PermissionDeniedError(
+                f"{name!r} permission does not cover host {host!r}"
+            )
+        if bytes_needed and granted.quota_bytes \
+                and bytes_needed > granted.quota_bytes:
+            raise PermissionDeniedError(
+                f"{name!r} quota exceeded "
+                f"({bytes_needed} > {granted.quota_bytes} bytes)"
+            )
+
+
+@dataclass
+class PlatformPermissionPolicy:
+    """The platform's stance on permission requests.
+
+    Args:
+        default_grants: permissions every application gets unasked.
+        grantable: permissions the platform is willing to grant on
+            request (others are silently refused — MHP behaviour).
+        max_storage_quota: cap applied to storage quota requests.
+        trusted_only: permissions granted only to *trusted*
+            (signature-verified) applications.
+    """
+
+    default_grants: tuple[str, ...] = (PERM_OVERLAY_GRAPHICS,)
+    grantable: tuple[str, ...] = ALL_PERMISSIONS
+    max_storage_quota: int = 1 << 20
+    trusted_only: tuple[str, ...] = (
+        PERM_LOCAL_STORAGE, PERM_RETURN_CHANNEL, PERM_NETWORK, PERM_TUNING,
+    )
+
+    def decide(self, request: PermissionRequestFile, *,
+               trusted: bool) -> GrantSet:
+        """Evaluate a request file into a :class:`GrantSet`."""
+        grants: dict[str, Grant] = {
+            name: Grant(name) for name in self.default_grants
+        }
+        for entry in request.entries:
+            if entry.name not in self.grantable:
+                continue
+            if entry.name in self.trusted_only and not trusted:
+                continue
+            quota = entry.quota_bytes
+            if entry.name == PERM_LOCAL_STORAGE:
+                quota = min(quota or self.max_storage_quota,
+                            self.max_storage_quota)
+            grants[entry.name] = Grant(
+                entry.name, hosts=entry.hosts, quota_bytes=quota,
+            )
+        return GrantSet(app_id=request.app_id, grants=grants)

@@ -1,0 +1,12 @@
+"""The player: engine, local storage, and the device facade."""
+
+from repro.player.engine import (
+    ApplicationSession, InteractiveApplicationEngine,
+)
+from repro.player.localstorage import LocalStorage
+from repro.player.player import DiscPlayer, DiscSession, PlaybackReport
+
+__all__ = [
+    "DiscPlayer", "DiscSession", "PlaybackReport",
+    "InteractiveApplicationEngine", "ApplicationSession", "LocalStorage",
+]

@@ -1,0 +1,138 @@
+"""Player local storage with per-application namespaces and quotas.
+
+The threat model's example: "a malicious application loaded from an
+external server that could corrupt the local storage of the player"
+(§1).  Storage is namespaced per application and quota-limited; the
+engine additionally gates access behind the ``local-storage``
+permission grant.  Values can be stored encrypted — the paper's game
+high-scores scenario (§4): "a Player can encrypt and store the high
+scores of a game in local storage while keeping the general
+application markup unencrypted."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LocalStorageError
+from repro.primitives.keys import SymmetricKey
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.primitives.random import RandomSource, default_random
+from repro.xmlenc import algorithms as xenc_algorithms
+
+
+@dataclass
+class LocalStorage:
+    """Quota-limited key/value storage, namespaced by application id."""
+
+    quota_bytes: int = 1 << 20
+    _data: dict[str, dict[str, bytes]] = field(default_factory=dict)
+    provider: CryptoProvider | None = None
+    rng: RandomSource | None = None
+
+    def __post_init__(self):
+        self.provider = self.provider or get_provider()
+        self.rng = self.rng or default_random()
+
+    # -- plain storage ---------------------------------------------------------------
+
+    def used_bytes(self, app_id: str) -> int:
+        space = self._data.get(app_id, {})
+        return sum(len(k.encode()) + len(v) for k, v in space.items())
+
+    def write(self, app_id: str, key: str, value: bytes) -> None:
+        space = self._data.setdefault(app_id, {})
+        projected = (self.used_bytes(app_id)
+                     - len(space.get(key, b""))
+                     + len(key.encode()) + len(value))
+        if projected > self.quota_bytes:
+            raise LocalStorageError(
+                f"quota exceeded for {app_id!r}: {projected} > "
+                f"{self.quota_bytes} bytes"
+            )
+        space[key] = bytes(value)
+
+    def read(self, app_id: str, key: str) -> bytes:
+        space = self._data.get(app_id, {})
+        try:
+            return space[key]
+        except KeyError:
+            raise LocalStorageError(
+                f"{app_id!r} has no stored value {key!r}"
+            ) from None
+
+    def delete(self, app_id: str, key: str) -> bool:
+        space = self._data.get(app_id, {})
+        return space.pop(key, None) is not None
+
+    def keys(self, app_id: str) -> list[str]:
+        return sorted(self._data.get(app_id, {}))
+
+    def wipe(self, app_id: str) -> None:
+        self._data.pop(app_id, None)
+
+    # -- persistence (the player's flash survives power cycles) ---------------------------
+
+    def save_to_directory(self, directory: str) -> None:
+        """Persist all slots under *directory* (one file per slot)."""
+        import os
+        from repro.primitives.encoding import hexencode
+        for app_id, space in self._data.items():
+            app_dir = os.path.join(directory, hexencode(
+                app_id.encode("utf-8")
+            ))
+            os.makedirs(app_dir, exist_ok=True)
+            for key, value in space.items():
+                path = os.path.join(app_dir, hexencode(
+                    key.encode("utf-8")
+                ))
+                with open(path, "wb") as handle:
+                    handle.write(value)
+
+    @classmethod
+    def load_from_directory(cls, directory: str,
+                            quota_bytes: int = 1 << 20) -> "LocalStorage":
+        """Restore storage previously saved with
+        :meth:`save_to_directory`."""
+        import os
+        from repro.primitives.encoding import hexdecode
+        storage = cls(quota_bytes=quota_bytes)
+        if not os.path.isdir(directory):
+            return storage
+        for app_hex in os.listdir(directory):
+            app_dir = os.path.join(directory, app_hex)
+            if not os.path.isdir(app_dir):
+                continue
+            app_id = hexdecode(app_hex).decode("utf-8")
+            for key_hex in os.listdir(app_dir):
+                key = hexdecode(key_hex).decode("utf-8")
+                with open(os.path.join(app_dir, key_hex), "rb") as handle:
+                    storage._data.setdefault(app_id, {})[key] = \
+                        handle.read()
+        return storage
+
+    # -- encrypted storage (the high-scores scenario) ------------------------------------
+
+    def write_encrypted(self, app_id: str, key: str, value: bytes,
+                        storage_key: SymmetricKey) -> None:
+        """Encrypt *value* under the player's storage key, then store."""
+        ciphertext = xenc_algorithms.encrypt_block_data(
+            xenc_algorithms.AES128_CBC, storage_key, value,
+            self.provider, self.rng,
+        )
+        self.write(app_id, key, b"ENC1" + ciphertext)
+
+    def read_encrypted(self, app_id: str, key: str,
+                       storage_key: SymmetricKey) -> bytes:
+        blob = self.read(app_id, key)
+        if not blob.startswith(b"ENC1"):
+            raise LocalStorageError(
+                f"{key!r} is not an encrypted slot"
+            )
+        return xenc_algorithms.decrypt_block_data(
+            xenc_algorithms.AES128_CBC, storage_key, blob[4:],
+            self.provider,
+        )
+
+    def is_encrypted(self, app_id: str, key: str) -> bool:
+        return self.read(app_id, key).startswith(b"ENC1")

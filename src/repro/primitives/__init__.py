@@ -1,0 +1,41 @@
+"""Cryptographic substrate: hashes, MACs, AES, RSA and providers.
+
+This package is the reproduction of the JCE layer under the paper's
+prototype — every algorithm the XML security stack needs, implemented
+from scratch in Python, behind a JCE-style provider registry
+(:mod:`repro.primitives.provider`).
+"""
+
+from repro.primitives.aes import AES
+from repro.primitives.des import DES, TripleDES
+from repro.primitives.encoding import (
+    b64decode, b64encode, bytes_to_int, hexdecode, hexencode, int_to_bytes,
+)
+from repro.primitives.hmac import HMAC, constant_time_equal
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey, SymmetricKey
+from repro.primitives.keywrap import unwrap_key, wrap_key
+from repro.primitives.prime import generate_prime, is_probable_prime
+from repro.primitives.provider import (
+    AcceleratedProvider, CryptoProvider, PurePythonProvider,
+    available_providers, get_provider, register_provider,
+    set_default_provider,
+)
+from repro.primitives.random import (
+    DeterministicRandomSource, RandomSource, SystemRandomSource,
+    default_random, set_default_random,
+)
+from repro.primitives.rsa import generate_keypair
+from repro.primitives.sha import SHA1, SHA256, sha1, sha256
+
+__all__ = [
+    "AES", "DES", "TripleDES", "HMAC", "SHA1", "SHA256",
+    "RSAPrivateKey", "RSAPublicKey", "SymmetricKey",
+    "CryptoProvider", "PurePythonProvider", "AcceleratedProvider",
+    "RandomSource", "SystemRandomSource", "DeterministicRandomSource",
+    "available_providers", "get_provider", "register_provider",
+    "set_default_provider", "default_random", "set_default_random",
+    "generate_keypair", "generate_prime", "is_probable_prime",
+    "b64encode", "b64decode", "hexencode", "hexdecode",
+    "int_to_bytes", "bytes_to_int", "sha1", "sha256",
+    "wrap_key", "unwrap_key", "constant_time_equal",
+]

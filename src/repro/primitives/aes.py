@@ -1,0 +1,269 @@
+"""Pure-Python AES block cipher (FIPS 197) for 128/192/256-bit keys.
+
+AES-CBC with 128/192/256-bit keys is the block-cipher family required
+by XML Encryption (``xmlenc#aes128-cbc`` etc.), and the AES key wrap is
+built on the raw block operation.  The implementation is table-driven
+(S-box plus the four T-tables) which keeps the per-block work to a few
+hundred Python operations — slow next to native code, but fast enough
+for disc-application payloads; the provider architecture
+(:mod:`repro.primitives.provider`) lets callers swap in an accelerated
+backend with identical semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KeyError_
+
+_BLOCK_SIZE = 16
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Compute the AES S-box from the GF(2^8) inverse + affine transform."""
+
+    def gf_mul(a: int, b: int) -> int:
+        p = 0
+        for _ in range(8):
+            if b & 1:
+                p ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return p
+
+    # Build inverses via exponentiation tables on generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        s = inv
+        for _ in range(4):
+            inv = ((inv << 1) | (inv >> 7)) & 0xFF
+            s ^= inv
+        s ^= 0x63
+        sbox[value] = s
+        inv_sbox[s] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def _gmul(a: int, b: int) -> int:
+    p = 0
+    while b:
+        if b & 1:
+            p ^= a
+        a = _xtime(a)
+        b >>= 1
+    return p
+
+
+def _build_tables():
+    """Build the encryption T-tables and decryption Td-tables."""
+    te = [[0] * 256 for _ in range(4)]
+    td = [[0] * 256 for _ in range(4)]
+    for i in range(256):
+        s = _SBOX[i]
+        word = (
+            (_gmul(s, 2) << 24) | (s << 16) | (s << 8) | _gmul(s, 3)
+        )
+        for t in range(4):
+            te[t][i] = ((word >> (8 * t)) | (word << (32 - 8 * t))) & 0xFFFFFFFF
+        si = _INV_SBOX[i]
+        word = (
+            (_gmul(si, 14) << 24)
+            | (_gmul(si, 9) << 16)
+            | (_gmul(si, 13) << 8)
+            | _gmul(si, 11)
+        )
+        for t in range(4):
+            td[t][i] = ((word >> (8 * t)) | (word << (32 - 8 * t))) & 0xFFFFFFFF
+    return te, td
+
+
+(_TE, _TD) = _build_tables()
+_TE0, _TE1, _TE2, _TE3 = _TE
+_TD0, _TD1, _TD2, _TD3 = _TD
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class AES:
+    """The raw AES block transformation for a fixed key.
+
+    Accepts 16-, 24- or 32-byte keys.  Only whole-block operations are
+    exposed; chaining modes live in :mod:`repro.primitives.modes`.
+    """
+
+    block_size = _BLOCK_SIZE
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise KeyError_(
+                f"AES key must be 16/24/32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._enc_keys = self._expand_key(key)
+        self._dec_keys = self._invert_key_schedule(self._enc_keys)
+
+    # -- key schedule --------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        nk = len(key) // 4
+        words = [
+            int.from_bytes(key[4 * i:4 * i + 4], "big") for i in range(nk)
+        ]
+        total = 4 * (self._rounds + 1)
+        for i in range(nk, total):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (_SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (_SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (_SBOX[(temp >> 8) & 0xFF] << 8)
+                    | _SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def _invert_key_schedule(self, enc: list[int]) -> list[int]:
+        rounds = self._rounds
+        dec = [0] * len(enc)
+        for i in range(0, len(enc), 4):
+            dec[i:i + 4] = enc[len(enc) - 4 - i:len(enc) - i]
+        # InvMixColumns on all round keys except the first and last.
+        for i in range(4, 4 * rounds):
+            w = dec[i]
+            b = w.to_bytes(4, "big")
+            mixed = bytes(
+                _gmul(b[0], m0) ^ _gmul(b[1], m1) ^ _gmul(b[2], m2)
+                ^ _gmul(b[3], m3)
+                for m0, m1, m2, m3 in (
+                    (14, 11, 13, 9),
+                    (9, 14, 11, 13),
+                    (13, 9, 14, 11),
+                    (11, 13, 9, 14),
+                )
+            )
+            dec[i] = int.from_bytes(mixed, "big")
+        return dec
+
+    # -- block operations -----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._enc_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        k = 4
+        for _ in range(self._rounds - 1):
+            t0 = (
+                _TE0[(s0 >> 24) & 0xFF] ^ _TE1[(s1 >> 16) & 0xFF]
+                ^ _TE2[(s2 >> 8) & 0xFF] ^ _TE3[s3 & 0xFF] ^ rk[k]
+            )
+            t1 = (
+                _TE0[(s1 >> 24) & 0xFF] ^ _TE1[(s2 >> 16) & 0xFF]
+                ^ _TE2[(s3 >> 8) & 0xFF] ^ _TE3[s0 & 0xFF] ^ rk[k + 1]
+            )
+            t2 = (
+                _TE0[(s2 >> 24) & 0xFF] ^ _TE1[(s3 >> 16) & 0xFF]
+                ^ _TE2[(s0 >> 8) & 0xFF] ^ _TE3[s1 & 0xFF] ^ rk[k + 2]
+            )
+            t3 = (
+                _TE0[(s3 >> 24) & 0xFF] ^ _TE1[(s0 >> 16) & 0xFF]
+                ^ _TE2[(s1 >> 8) & 0xFF] ^ _TE3[s2 & 0xFF] ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            k += 4
+        out = bytearray(16)
+        for col, s_a, s_b, s_c, s_d in (
+            (0, s0, s1, s2, s3),
+            (4, s1, s2, s3, s0),
+            (8, s2, s3, s0, s1),
+            (12, s3, s0, s1, s2),
+        ):
+            word = (
+                (_SBOX[(s_a >> 24) & 0xFF] << 24)
+                | (_SBOX[(s_b >> 16) & 0xFF] << 16)
+                | (_SBOX[(s_c >> 8) & 0xFF] << 8)
+                | _SBOX[s_d & 0xFF]
+            ) ^ rk[k + col // 4]
+            out[col:col + 4] = word.to_bytes(4, "big")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._dec_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        k = 4
+        for _ in range(self._rounds - 1):
+            t0 = (
+                _TD0[(s0 >> 24) & 0xFF] ^ _TD1[(s3 >> 16) & 0xFF]
+                ^ _TD2[(s2 >> 8) & 0xFF] ^ _TD3[s1 & 0xFF] ^ rk[k]
+            )
+            t1 = (
+                _TD0[(s1 >> 24) & 0xFF] ^ _TD1[(s0 >> 16) & 0xFF]
+                ^ _TD2[(s3 >> 8) & 0xFF] ^ _TD3[s2 & 0xFF] ^ rk[k + 1]
+            )
+            t2 = (
+                _TD0[(s2 >> 24) & 0xFF] ^ _TD1[(s1 >> 16) & 0xFF]
+                ^ _TD2[(s0 >> 8) & 0xFF] ^ _TD3[s3 & 0xFF] ^ rk[k + 2]
+            )
+            t3 = (
+                _TD0[(s3 >> 24) & 0xFF] ^ _TD1[(s2 >> 16) & 0xFF]
+                ^ _TD2[(s1 >> 8) & 0xFF] ^ _TD3[s0 & 0xFF] ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            k += 4
+        out = bytearray(16)
+        for col, s_a, s_b, s_c, s_d in (
+            (0, s0, s3, s2, s1),
+            (4, s1, s0, s3, s2),
+            (8, s2, s1, s0, s3),
+            (12, s3, s2, s1, s0),
+        ):
+            word = (
+                (_INV_SBOX[(s_a >> 24) & 0xFF] << 24)
+                | (_INV_SBOX[(s_b >> 16) & 0xFF] << 16)
+                | (_INV_SBOX[(s_c >> 8) & 0xFF] << 8)
+                | _INV_SBOX[s_d & 0xFF]
+            ) ^ rk[k + col // 4]
+            out[col:col + 4] = word.to_bytes(4, "big")
+        return bytes(out)

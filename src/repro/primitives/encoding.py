@@ -1,0 +1,118 @@
+"""Byte/text encodings used throughout the XML security stack.
+
+Base64 is the transfer encoding mandated by XMLDSig and XMLEnc for
+``DigestValue``, ``SignatureValue`` and ``CipherValue`` content; this
+module implements it from first principles (table-driven, no
+:mod:`base64` import) together with hexadecimal helpers and the
+big-endian integer conversions used by the RSA code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+_B64_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+)
+_B64_DECODE = {c: i for i, c in enumerate(_B64_ALPHABET)}
+
+
+def b64encode(data: bytes) -> str:
+    """Encode *data* as standard (RFC 4648) base64 without line breaks."""
+    out = []
+    for i in range(0, len(data) - len(data) % 3, 3):
+        n = data[i] << 16 | data[i + 1] << 8 | data[i + 2]
+        out.append(_B64_ALPHABET[n >> 18])
+        out.append(_B64_ALPHABET[(n >> 12) & 0x3F])
+        out.append(_B64_ALPHABET[(n >> 6) & 0x3F])
+        out.append(_B64_ALPHABET[n & 0x3F])
+    rem = len(data) % 3
+    if rem == 1:
+        n = data[-1] << 16
+        out.append(_B64_ALPHABET[n >> 18])
+        out.append(_B64_ALPHABET[(n >> 12) & 0x3F])
+        out.append("==")
+    elif rem == 2:
+        n = data[-2] << 16 | data[-1] << 8
+        out.append(_B64_ALPHABET[n >> 18])
+        out.append(_B64_ALPHABET[(n >> 12) & 0x3F])
+        out.append(_B64_ALPHABET[(n >> 6) & 0x3F])
+        out.append("=")
+    return "".join(out)
+
+
+def b64decode(text: str) -> bytes:
+    """Decode base64 *text*, tolerating embedded whitespace.
+
+    XMLDSig explicitly allows whitespace inside base64 element content,
+    so all XML whitespace characters are stripped before decoding.
+
+    Raises:
+        CryptoError: if *text* contains non-alphabet characters or has
+            an impossible length/padding combination.
+    """
+    compact = "".join(text.split())
+    if len(compact) % 4 != 0:
+        raise CryptoError(f"base64 length {len(compact)} is not a multiple of 4")
+    if not compact:
+        return b""
+    pad = 0
+    if compact.endswith("=="):
+        pad = 2
+    elif compact.endswith("="):
+        pad = 1
+    body = compact[: len(compact) - pad] if pad else compact
+    out = bytearray()
+    acc = 0
+    nbits = 0
+    for ch in body:
+        try:
+            acc = (acc << 6) | _B64_DECODE[ch]
+        except KeyError:
+            raise CryptoError(f"invalid base64 character {ch!r}") from None
+        nbits += 6
+        if nbits >= 8:
+            nbits -= 8
+            out.append((acc >> nbits) & 0xFF)
+    if pad == 1 and nbits != 2:
+        raise CryptoError("invalid base64 padding")
+    if pad == 2 and nbits != 4:
+        raise CryptoError("invalid base64 padding")
+    return bytes(out)
+
+
+def hexencode(data: bytes) -> str:
+    """Encode *data* as lowercase hexadecimal text."""
+    return data.hex()
+
+
+def hexdecode(text: str) -> bytes:
+    """Decode hexadecimal *text* (case-insensitive) to bytes."""
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise CryptoError(f"invalid hex string: {exc}") from None
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Convert a non-negative integer to big-endian bytes.
+
+    With *length* omitted, the minimal representation is produced
+    (``0`` encodes to a single zero byte, matching XMLDSig CryptoBinary
+    semantics after sign-stripping).
+    """
+    if value < 0:
+        raise CryptoError("cannot encode negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    try:
+        return value.to_bytes(length, "big")
+    except OverflowError:
+        raise CryptoError(
+            f"integer does not fit in {length} bytes"
+        ) from None
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Convert big-endian bytes to a non-negative integer."""
+    return int.from_bytes(data, "big")

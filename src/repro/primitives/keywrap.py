@@ -1,0 +1,65 @@
+"""AES key wrap (RFC 3394), as required by XML Encryption.
+
+XMLEnc's ``kw-aes128``/``kw-aes192``/``kw-aes256`` algorithms protect a
+symmetric content-encryption key under a key-encryption key inside an
+``<EncryptedKey>`` element.  This is the RFC 3394 construction with the
+default initial value ``A6A6A6A6A6A6A6A6``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError, DecryptionError
+from repro.primitives.aes import AES
+
+_DEFAULT_IV = b"\xA6" * 8
+
+
+def wrap_key(kek: bytes, key_data: bytes) -> bytes:
+    """Wrap *key_data* (≥16 bytes, multiple of 8) under the KEK."""
+    if len(key_data) < 16 or len(key_data) % 8:
+        raise CryptoError(
+            "key data for AES key wrap must be a multiple of 8 bytes, "
+            f"at least 16; got {len(key_data)}"
+        )
+    cipher = AES(kek)
+    n = len(key_data) // 8
+    a = _DEFAULT_IV
+    r = [key_data[8 * i:8 * i + 8] for i in range(n)]
+    for j in range(6):
+        for i in range(n):
+            block = cipher.encrypt_block(a + r[i])
+            t = n * j + i + 1
+            a = bytes(
+                x ^ y for x, y in zip(block[:8], t.to_bytes(8, "big"))
+            )
+            r[i] = block[8:]
+    return a + b"".join(r)
+
+
+def unwrap_key(kek: bytes, wrapped: bytes) -> bytes:
+    """Unwrap and integrity-check a key wrapped with :func:`wrap_key`.
+
+    Raises:
+        DecryptionError: when the integrity check fails (wrong KEK or
+            tampered wrapped key).
+    """
+    if len(wrapped) < 24 or len(wrapped) % 8:
+        raise CryptoError(
+            f"wrapped key length {len(wrapped)} is invalid for AES key wrap"
+        )
+    cipher = AES(kek)
+    n = len(wrapped) // 8 - 1
+    a = wrapped[:8]
+    r = [wrapped[8 * (i + 1):8 * (i + 2)] for i in range(n)]
+    for j in range(5, -1, -1):
+        for i in range(n - 1, -1, -1):
+            t = n * j + i + 1
+            a_masked = bytes(
+                x ^ y for x, y in zip(a, t.to_bytes(8, "big"))
+            )
+            block = cipher.decrypt_block(a_masked + r[i])
+            a = block[:8]
+            r[i] = block[8:]
+    if a != _DEFAULT_IV:
+        raise DecryptionError("AES key unwrap integrity check failed")
+    return b"".join(r)

@@ -1,0 +1,91 @@
+"""Block-cipher chaining modes over the raw AES block operation.
+
+CBC is the mode required by XML Encryption; CTR is used by the OMA DCF
+baseline container (mirroring OMA DRM v2's AES_128_CTR content
+encryption); ECB exists only as the building block for the AES key wrap
+and for test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ecb_encrypt(cipher, plaintext: bytes) -> bytes:
+    """ECB-encrypt a whole number of blocks (no padding applied)."""
+    bs = cipher.block_size
+    if len(plaintext) % bs:
+        raise CryptoError("ECB input must be a whole number of blocks")
+    return b"".join(
+        cipher.encrypt_block(plaintext[i:i + bs])
+        for i in range(0, len(plaintext), bs)
+    )
+
+
+def ecb_decrypt(cipher, ciphertext: bytes) -> bytes:
+    """ECB-decrypt a whole number of blocks."""
+    bs = cipher.block_size
+    if len(ciphertext) % bs:
+        raise CryptoError("ECB input must be a whole number of blocks")
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i:i + bs])
+        for i in range(0, len(ciphertext), bs)
+    )
+
+
+def cbc_encrypt(cipher, plaintext: bytes, iv: bytes) -> bytes:
+    """CBC-encrypt a pre-padded plaintext under the given IV."""
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise CryptoError(f"IV must be {bs} bytes")
+    if len(plaintext) % bs:
+        raise CryptoError("CBC input must be padded to the block size")
+    out = []
+    previous = iv
+    for i in range(0, len(plaintext), bs):
+        block = cipher.encrypt_block(_xor(plaintext[i:i + bs], previous))
+        out.append(block)
+        previous = block
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """CBC-decrypt; the caller is responsible for removing padding."""
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise CryptoError(f"IV must be {bs} bytes")
+    if len(ciphertext) % bs:
+        raise CryptoError("CBC ciphertext must be a whole number of blocks")
+    out = []
+    previous = iv
+    for i in range(0, len(ciphertext), bs):
+        block = ciphertext[i:i + bs]
+        out.append(_xor(cipher.decrypt_block(block), previous))
+        previous = block
+    return b"".join(out)
+
+
+def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
+    """CTR-mode keystream XOR (encryption and decryption are identical).
+
+    The 16-byte counter block is ``nonce || counter`` where *nonce*
+    occupies the leading bytes and the big-endian counter fills the rest,
+    starting at zero.
+    """
+    bs = cipher.block_size
+    if len(nonce) >= bs:
+        raise CryptoError(f"CTR nonce must be shorter than {bs} bytes")
+    counter_width = bs - len(nonce)
+    out = bytearray()
+    counter = 0
+    for i in range(0, len(data), bs):
+        block = nonce + counter.to_bytes(counter_width, "big")
+        keystream = cipher.encrypt_block(block)
+        chunk = data[i:i + bs]
+        out.extend(x ^ y for x, y in zip(chunk, keystream))
+        counter += 1
+    return bytes(out)

@@ -1,0 +1,59 @@
+"""Block-cipher padding schemes.
+
+Two schemes appear in the XML security stack:
+
+* **PKCS#7** (RFC 5652 §6.3) — the scheme the rest of this library uses
+  by default, and the one the OMA DCF baseline container uses.
+* **XMLEnc ISO-10126-style padding** (XML Encryption §5.2) — the final
+  octet carries the pad length, the remaining pad octets are arbitrary.
+  We emit zeros for the arbitrary octets (deterministic output) and, per
+  the spec, ignore their values when unpadding.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PaddingError
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding to reach a whole number of blocks."""
+    if not 1 <= block_size <= 255:
+        raise PaddingError(f"unsupported block size {block_size}")
+    pad_len = block_size - len(data) % block_size
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding.
+
+    Raises:
+        PaddingError: on empty input, ragged length, or inconsistent
+            pad bytes — the classic symptom of a wrong key or a
+            tampered ciphertext.
+    """
+    if not data or len(data) % block_size != 0:
+        raise PaddingError("padded data length is not a whole block count")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError(f"invalid pad length {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("inconsistent PKCS#7 pad bytes")
+    return data[:-pad_len]
+
+
+def xmlenc_pad(data: bytes, block_size: int = 16) -> bytes:
+    """Apply XML Encryption §5.2 block padding (length in final octet)."""
+    if not 1 <= block_size <= 255:
+        raise PaddingError(f"unsupported block size {block_size}")
+    pad_len = block_size - len(data) % block_size
+    return data + b"\x00" * (pad_len - 1) + bytes([pad_len])
+
+
+def xmlenc_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip XML Encryption padding; only the final octet is inspected."""
+    if not data or len(data) % block_size != 0:
+        raise PaddingError("padded data length is not a whole block count")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError(f"invalid pad length {pad_len}")
+    return data[:-pad_len]

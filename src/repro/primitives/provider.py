@@ -1,0 +1,240 @@
+"""Pluggable crypto providers, mirroring the JCE provider architecture.
+
+The paper's prototype sat Apache XML Security on top of the Java
+Cryptography Extension with the bundled Sun provider.  This module
+reproduces that layering: every digest, MAC, cipher and RSA operation
+used by the XMLDSig/XMLEnc layers is routed through a
+:class:`CryptoProvider`, and providers are interchangeable at run time.
+
+Two providers ship with the library:
+
+* ``"pure"`` — :class:`PurePythonProvider`, the from-scratch
+  implementations in this package.  The default, and the reference
+  semantics.
+* ``"accelerated"`` — :class:`AcceleratedProvider`, which delegates
+  digests/HMAC to :mod:`hashlib` and AES to the ``cryptography`` package
+  when importable.  RSA stays pure (Python's :func:`pow` is already
+  C-speed).  Registered only when its backends import cleanly.
+
+The PROTO feasibility benchmark ablates the two providers against the
+paper's CE startup budget.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProviderError, UnknownAlgorithmError
+from repro.primitives import hmac as hmac_mod
+from repro.primitives import keywrap, modes, rsa, sha
+from repro.primitives.aes import AES
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey
+from repro.primitives.random import RandomSource, default_random
+
+_DIGEST_NAMES = ("sha1", "sha256")
+
+
+class CryptoProvider:
+    """Interface every provider implements.
+
+    All byte-level semantics (padding, IV handling) are owned by the
+    callers; providers perform only the raw algorithm.
+    """
+
+    name = "abstract"
+
+    # -- digests / MACs ------------------------------------------------------
+
+    def digest(self, algorithm: str, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def hmac(self, algorithm: str, key: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- AES -----------------------------------------------------------------
+
+    def aes_cbc_encrypt(self, key: bytes, iv: bytes,
+                        padded_plaintext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def aes_cbc_decrypt(self, key: bytes, iv: bytes,
+                        ciphertext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def aes_ctr(self, key: bytes, nonce: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- Triple-DES (XMLEnc's required block algorithm) ------------------------
+
+    def tripledes_cbc_encrypt(self, key: bytes, iv: bytes,
+                              padded_plaintext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def tripledes_cbc_decrypt(self, key: bytes, iv: bytes,
+                              ciphertext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def wrap_key(self, kek: bytes, key_data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def unwrap_key(self, kek: bytes, wrapped: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- RSA -----------------------------------------------------------------
+
+    def rsa_sign_digest(self, key: RSAPrivateKey, digest: bytes,
+                        digest_name: str) -> bytes:
+        raise NotImplementedError
+
+    def rsa_verify_digest(self, key: RSAPublicKey, digest: bytes,
+                          signature: bytes, digest_name: str) -> bool:
+        raise NotImplementedError
+
+    def rsa_encrypt(self, key: RSAPublicKey, plaintext: bytes,
+                    rng: RandomSource | None = None) -> bytes:
+        raise NotImplementedError
+
+    def rsa_decrypt(self, key: RSAPrivateKey, ciphertext: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class PurePythonProvider(CryptoProvider):
+    """The from-scratch implementations in :mod:`repro.primitives`."""
+
+    name = "pure"
+
+    def digest(self, algorithm, data):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return sha.new(algorithm, data).digest()
+
+    def hmac(self, algorithm, key, data):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return hmac_mod.HMAC(key, algorithm, data).digest()
+
+    def aes_cbc_encrypt(self, key, iv, padded_plaintext):
+        return modes.cbc_encrypt(AES(key), padded_plaintext, iv)
+
+    def aes_cbc_decrypt(self, key, iv, ciphertext):
+        return modes.cbc_decrypt(AES(key), ciphertext, iv)
+
+    def aes_ctr(self, key, nonce, data):
+        return modes.ctr_transform(AES(key), data, nonce)
+
+    def tripledes_cbc_encrypt(self, key, iv, padded_plaintext):
+        from repro.primitives.des import TripleDES
+        return modes.cbc_encrypt(TripleDES(key), padded_plaintext, iv)
+
+    def tripledes_cbc_decrypt(self, key, iv, ciphertext):
+        from repro.primitives.des import TripleDES
+        return modes.cbc_decrypt(TripleDES(key), ciphertext, iv)
+
+    def wrap_key(self, kek, key_data):
+        return keywrap.wrap_key(kek, key_data)
+
+    def unwrap_key(self, kek, wrapped):
+        return keywrap.unwrap_key(kek, wrapped)
+
+    def rsa_sign_digest(self, key, digest, digest_name):
+        return rsa.sign_digest(key, digest, digest_name)
+
+    def rsa_verify_digest(self, key, digest, signature, digest_name):
+        return rsa.verify_digest(key, digest, signature, digest_name)
+
+    def rsa_encrypt(self, key, plaintext, rng=None):
+        return rsa.encrypt(key, plaintext, rng or default_random())
+
+    def rsa_decrypt(self, key, ciphertext):
+        return rsa.decrypt(key, ciphertext)
+
+
+class AcceleratedProvider(PurePythonProvider):
+    """Native-backed digests and AES; pure-Python RSA.
+
+    Raises :class:`ProviderError` at construction when the native
+    backends are unavailable, so the registry can skip registration.
+    """
+
+    name = "accelerated"
+
+    def __init__(self):
+        try:
+            import hashlib
+            import hmac as std_hmac
+            from cryptography.hazmat.primitives.ciphers import (
+                Cipher, algorithms, modes as c_modes,
+            )
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise ProviderError(
+                f"accelerated backends unavailable: {exc}"
+            ) from exc
+        self._hashlib = hashlib
+        self._std_hmac = std_hmac
+        self._cipher_cls = Cipher
+        self._algorithms = algorithms
+        self._modes = c_modes
+
+    def digest(self, algorithm, data):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return self._hashlib.new(algorithm, data).digest()
+
+    def hmac(self, algorithm, key, data):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return self._std_hmac.new(key, data, algorithm).digest()
+
+    def _cipher(self, key, mode):
+        return self._cipher_cls(self._algorithms.AES(key), mode)
+
+    def aes_cbc_encrypt(self, key, iv, padded_plaintext):
+        enc = self._cipher(key, self._modes.CBC(iv)).encryptor()
+        return enc.update(padded_plaintext) + enc.finalize()
+
+    def aes_cbc_decrypt(self, key, iv, ciphertext):
+        dec = self._cipher(key, self._modes.CBC(iv)).decryptor()
+        return dec.update(ciphertext) + dec.finalize()
+
+    def aes_ctr(self, key, nonce, data):
+        counter_block = nonce + b"\x00" * (16 - len(nonce))
+        enc = self._cipher(key, self._modes.CTR(counter_block)).encryptor()
+        return enc.update(data) + enc.finalize()
+
+
+_providers: dict[str, CryptoProvider] = {}
+_default_name = "pure"
+
+
+def register_provider(provider: CryptoProvider) -> None:
+    """Add *provider* to the registry (replacing any same-named one)."""
+    _providers[provider.name] = provider
+
+
+def get_provider(name: str | None = None) -> CryptoProvider:
+    """Look up a provider by name; ``None`` returns the default."""
+    key = name or _default_name
+    try:
+        return _providers[key]
+    except KeyError:
+        raise ProviderError(f"no crypto provider named {key!r}") from None
+
+
+def available_providers() -> list[str]:
+    """Names of all registered providers."""
+    return sorted(_providers)
+
+
+def set_default_provider(name: str) -> str:
+    """Make *name* the default provider; returns the previous default."""
+    global _default_name
+    if name not in _providers:
+        raise ProviderError(f"no crypto provider named {name!r}")
+    previous = _default_name
+    _default_name = name
+    return previous
+
+
+register_provider(PurePythonProvider())
+try:
+    register_provider(AcceleratedProvider())
+except ProviderError:  # pragma: no cover - env dependent
+    pass

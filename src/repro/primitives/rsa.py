@@ -1,0 +1,172 @@
+"""RSA key generation, PKCS#1 v1.5 signatures and encryption.
+
+XMLDSig Core requires ``rsa-sha1`` (RSASSA-PKCS1-v1_5 with SHA-1) and
+XML Encryption names ``rsa-1_5`` (RSAES-PKCS1-v1_5) for key transport;
+``rsa-sha256`` is registered as the modern companion.  Everything here
+is implemented from the PKCS#1 v2.1 description: EMSA-PKCS1-v1_5
+encoding with the standard DigestInfo prefixes, EME-PKCS1-v1_5 with
+random non-zero padding, and a CRT-accelerated private-key operation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError, DecryptionError, KeyError_
+from repro.primitives import sha
+from repro.primitives.encoding import bytes_to_int, int_to_bytes
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey
+from repro.primitives.prime import generate_prime
+from repro.primitives.random import RandomSource, default_random
+
+# DER-encoded DigestInfo prefixes (AlgorithmIdentifier + OCTET STRING tag)
+# from PKCS#1 v2.1 §9.2 note 1.
+_DIGEST_INFO_PREFIX = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+}
+
+_MIN_KEY_BITS = 512  # floor so tests can use small-but-functional keys
+
+
+def generate_keypair(bits: int = 1024,
+                     rng: RandomSource | None = None,
+                     public_exponent: int = 65537) -> RSAPrivateKey:
+    """Generate an RSA key pair with a modulus of exactly *bits* bits."""
+    if bits < _MIN_KEY_BITS:
+        raise KeyError_(f"RSA modulus must be at least {_MIN_KEY_BITS} bits")
+    if bits % 2:
+        raise KeyError_("RSA modulus bit size must be even")
+    rng = rng or default_random()
+    e = public_exponent
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; pick new primes
+        return RSAPrivateKey(n=n, e=e, d=d, p=max(p, q), q=min(p, q))
+
+
+def _private_op(key: RSAPrivateKey, value: int) -> int:
+    """Compute ``value^d mod n`` (CRT-accelerated when p, q are known)."""
+    if value >= key.n:
+        raise CryptoError("RSA input out of range")
+    if key.p and key.q:
+        dp = key.d % (key.p - 1)
+        dq = key.d % (key.q - 1)
+        q_inv = pow(key.q, -1, key.p)
+        m1 = pow(value % key.p, dp, key.p)
+        m2 = pow(value % key.q, dq, key.q)
+        h = (q_inv * (m1 - m2)) % key.p
+        return m2 + h * key.q
+    return pow(value, key.d, key.n)
+
+
+def _emsa_pkcs1_v15(digest: bytes, digest_name: str, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding (PKCS#1 v2.1 §9.2)."""
+    try:
+        prefix = _DIGEST_INFO_PREFIX[digest_name]
+    except KeyError:
+        raise CryptoError(
+            f"no DigestInfo prefix for {digest_name!r}"
+        ) from None
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise CryptoError("RSA modulus too small for this digest")
+    ps = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + ps + b"\x00" + t
+
+
+def sign(key: RSAPrivateKey, message: bytes,
+         digest_name: str = "sha1") -> bytes:
+    """RSASSA-PKCS1-v1_5 signature over *message*."""
+    digest = sha.new(digest_name, message).digest()
+    return sign_digest(key, digest, digest_name)
+
+
+def sign_digest(key: RSAPrivateKey, digest: bytes,
+                digest_name: str = "sha1") -> bytes:
+    """Sign a precomputed digest (the XMLDSig core operates on digests)."""
+    em = _emsa_pkcs1_v15(digest, digest_name, key.byte_length)
+    signature = _private_op(key, bytes_to_int(em))
+    return int_to_bytes(signature, key.byte_length)
+
+
+def verify(key: RSAPublicKey, message: bytes, signature: bytes,
+           digest_name: str = "sha1") -> bool:
+    """Verify an RSASSA-PKCS1-v1_5 signature; returns ``True``/``False``."""
+    digest = sha.new(digest_name, message).digest()
+    return verify_digest(key, digest, signature, digest_name)
+
+
+def verify_digest(key: RSAPublicKey, digest: bytes, signature: bytes,
+                  digest_name: str = "sha1") -> bool:
+    """Verify a signature against a precomputed digest.
+
+    Re-encodes the expected EM and compares byte-for-byte — the
+    encoding-side comparison recommended to avoid Bleichenbacher-style
+    lenient-parsing bugs.
+    """
+    if len(signature) != key.byte_length:
+        return False
+    value = bytes_to_int(signature)
+    if value >= key.n:
+        return False
+    em = int_to_bytes(pow(value, key.e, key.n), key.byte_length)
+    try:
+        expected = _emsa_pkcs1_v15(digest, digest_name, key.byte_length)
+    except CryptoError:
+        return False
+    return em == expected
+
+
+def encrypt(key: RSAPublicKey, plaintext: bytes,
+            rng: RandomSource | None = None) -> bytes:
+    """RSAES-PKCS1-v1_5 encryption (XMLEnc ``rsa-1_5`` key transport)."""
+    rng = rng or default_random()
+    k = key.byte_length
+    if len(plaintext) > k - 11:
+        raise CryptoError(
+            f"plaintext too long for {key.bit_length}-bit RSA key"
+        )
+    ps = bytearray()
+    while len(ps) < k - len(plaintext) - 3:
+        byte = rng.read(1)
+        if byte != b"\x00":
+            ps += byte
+    em = b"\x00\x02" + bytes(ps) + b"\x00" + plaintext
+    ciphertext = pow(bytes_to_int(em), key.e, key.n)
+    return int_to_bytes(ciphertext, k)
+
+
+def decrypt(key: RSAPrivateKey, ciphertext: bytes) -> bytes:
+    """RSAES-PKCS1-v1_5 decryption.
+
+    Raises:
+        DecryptionError: when the decrypted block is not a valid
+            EME-PKCS1-v1_5 encoding (wrong key or corrupted ciphertext).
+    """
+    k = key.byte_length
+    if len(ciphertext) != k:
+        raise DecryptionError("RSA ciphertext has wrong length")
+    value = bytes_to_int(ciphertext)
+    if value >= key.n:
+        raise DecryptionError(
+            "RSA ciphertext out of range (wrong key?)"
+        )
+    em = int_to_bytes(_private_op(key, value), k)
+    if em[0] != 0 or em[1] != 2:
+        raise DecryptionError("invalid RSA encryption block")
+    try:
+        sep = em.index(b"\x00", 2)
+    except ValueError:
+        raise DecryptionError("invalid RSA encryption block") from None
+    if sep < 10:
+        raise DecryptionError("invalid RSA encryption block")
+    return em[sep + 1:]

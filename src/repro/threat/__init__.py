@@ -1,0 +1,21 @@
+"""STRIDE threat model and executable attack simulations."""
+
+from repro.threat.attacks import (
+    ENTITY_BOMB, RUNAWAY_SCRIPT, Attack, corrupt_stream, inject_script,
+    inject_wrapped_manifest,
+    mitm_channel, replay_substitution, strip_signature,
+    tamper_package_bytes, wiretap_channel,
+)
+from repro.threat.stride import (
+    THREAT_CATALOG, Requirement, StrideCategory, Threat, coverage_report,
+    threats_by_category, threats_by_requirement,
+)
+
+__all__ = [
+    "Threat", "THREAT_CATALOG", "StrideCategory", "Requirement",
+    "threats_by_category", "threats_by_requirement", "coverage_report",
+    "Attack", "tamper_package_bytes", "inject_script", "strip_signature",
+    "corrupt_stream", "inject_wrapped_manifest", "wiretap_channel",
+    "mitm_channel",
+    "replay_substitution", "RUNAWAY_SCRIPT", "ENTITY_BOMB",
+]

@@ -1,0 +1,131 @@
+"""Executable attack simulations driving the threat catalogue.
+
+Each attack takes the artefact an adversary can actually touch (package
+bytes, a channel, a disc image) and returns the attacked artefact.
+Tests and the FIG3/FIG9 benches run them against the defended pipeline
+and assert that every one is caught (or, for the no-defence baselines,
+that it is *not* — which is the point of the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.disc.image import DiscImage
+from repro.network.channel import ActiveTamperer, Channel, Replacer
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A named attack bound to a threat id from the catalogue."""
+
+    attack_id: str
+    threat_id: str
+    description: str
+    apply: Callable
+
+
+def tamper_package_bytes(data: bytes, needle: bytes = b"",
+                         replacement: bytes = b"") -> bytes:
+    """T02: modify application bytes in transit/storage.
+
+    With a *needle*, performs a targeted substitution; otherwise flips
+    a byte in the middle of the payload.
+    """
+    if needle and needle in data:
+        return data.replace(needle, replacement or b"X" * len(needle), 1)
+    index = len(data) // 2
+    mutated = bytearray(data)
+    mutated[index] ^= 0x01
+    return bytes(mutated)
+
+
+def inject_script(data: bytes, payload: str = "hostile()") -> bytes:
+    """T02/T08: splice an extra script call into a package's code part."""
+    marker = b"</script>"
+    if marker not in data:
+        return tamper_package_bytes(data)
+    return data.replace(marker, f";{payload}{marker.decode()}".encode(), 1)
+
+
+def strip_signature(data: bytes) -> bytes:
+    """T01: remove the Signature element entirely (downgrade attack)."""
+    start = data.find(b"<ds:Signature")
+    if start < 0:
+        return data
+    end = data.find(b"</ds:Signature>", start)
+    if end < 0:
+        return data
+    return data[:start] + data[end + len(b"</ds:Signature>"):]
+
+
+def corrupt_stream(image: DiscImage, clip_id: str,
+                   offset: int = 1000) -> DiscImage:
+    """T03: flip bytes inside a transport stream on a (copied) disc."""
+    attacked = DiscImage({p: image.read(p) for p in image.paths()},
+                         layout=image.layout)
+    path = image.layout.stream_path(clip_id)
+    stream = bytearray(attacked.read(path))
+    stream[offset % len(stream)] ^= 0xFF
+    attacked.write(path, bytes(stream))
+    return attacked
+
+
+def inject_wrapped_manifest(image: DiscImage, name: str,
+                            payload: str = 'player.log("EVIL");',
+                            ) -> DiscImage:
+    """T13: signature wrapping on a granularly signed disc.
+
+    Inserts an *unsigned* application track whose manifest shares the
+    target application's name, placed earlier in document order so a
+    name-based lookup finds it first — while every existing signature
+    keeps verifying.
+    """
+    from repro.disc.manifest import ApplicationManifest
+    from repro.xmlcore import DISC_NS, element, parse_element, \
+        serialize_bytes
+
+    attacked = DiscImage({p: image.read(p) for p in image.paths()},
+                         layout=image.layout)
+    cluster = attacked.cluster_element()
+    evil = ApplicationManifest(name)
+    evil.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="1" height="1"/></layout>'
+    ))
+    evil.add_script(payload)
+    track = element("track", DISC_NS, attrs={
+        "kind": "application", "Id": "track-wrapped",
+    })
+    track.append(parse_element(serialize_bytes(evil.to_element())))
+    cluster.insert(0, track)
+    attacked.write(attacked.layout.cluster_path(),
+                   serialize_bytes(cluster))
+    return attacked
+
+
+def wiretap_channel(channel: Channel):
+    """T04: attach a passive wiretap; returns it for inspection."""
+    from repro.network.channel import PassiveWiretap
+    return channel.attach(PassiveWiretap())
+
+
+def mitm_channel(channel: Channel, *, offset: int = 40) -> ActiveTamperer:
+    """T12: attach an active man-in-the-middle byte flipper."""
+    return channel.attach(ActiveTamperer(offset=offset))
+
+
+def replay_substitution(channel: Channel, replacement: bytes) -> Replacer:
+    """T01: replace server responses wholesale."""
+    return channel.attach(Replacer(replacement=replacement))
+
+
+RUNAWAY_SCRIPT = "while (true) { var x = 1; }"
+"""T10: a script that never terminates (engine budget must abort it)."""
+
+ENTITY_BOMB = (
+    '<!DOCTYPE bomb [<!ENTITY a "aaaaaaaaaa"><!ENTITY b "&a;&a;&a;">]>'
+    "<bomb>&b;</bomb>"
+)
+"""T11: a classic billion-laughs seed (parser must reject the DTD)."""

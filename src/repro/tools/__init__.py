@@ -1,0 +1,14 @@
+"""Command-line tools and key-file formats for the security stack."""
+
+from repro.tools.cli import build_parser, main
+from repro.tools.keystore import (
+    certificates_from_xml, certificates_to_xml, private_key_from_xml,
+    private_key_to_xml, public_key_from_xml, public_key_to_xml,
+)
+
+__all__ = [
+    "main", "build_parser",
+    "private_key_to_xml", "private_key_from_xml",
+    "public_key_to_xml", "public_key_from_xml",
+    "certificates_to_xml", "certificates_from_xml",
+]

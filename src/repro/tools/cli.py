@@ -1,0 +1,393 @@
+"""Command-line tools for the XML security stack.
+
+Usage: ``python -m repro.tools <command> ...``
+
+Commands:
+
+* ``keygen``    — generate an RSA key pair (private key XML to a file).
+* ``ca-init``   — create a self-signed root CA (key + certificate).
+* ``issue``     — issue a certificate for a public key.
+* ``sign``      — envelop-sign an XML document.
+* ``verify``    — verify the signature(s) in a document.
+* ``encrypt``   — encrypt an element (by Id) inside a document.
+* ``decrypt``   — decrypt every EncryptedData in a document.
+* ``c14n``      — canonicalize a document (C14N 1.0 / exclusive).
+* ``inspect``   — summarize a document's security markup.
+
+Every command reads/writes ordinary files; see ``--help`` per command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.dsig import Signer, Verifier
+from repro.errors import ReproError
+from repro.primitives.encoding import hexdecode
+from repro.primitives.keys import SymmetricKey
+from repro.primitives.random import (
+    DeterministicRandomSource, SystemRandomSource,
+)
+from repro.primitives.rsa import generate_keypair
+from repro.tools.keystore import (
+    certificates_from_xml, certificates_to_xml, private_key_from_xml,
+    private_key_to_xml,
+)
+from repro.xmlcore import (
+    C14N, C14N_WITH_COMMENTS, DSIG_NS, EXC_C14N, XMLENC_NS, canonicalize,
+    parse_document, parse_element, serialize,
+)
+from repro.xmlenc import Decryptor, Encryptor
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path: str, data: str | bytes) -> None:
+    mode = "wb" if isinstance(data, bytes) else "w"
+    with open(path, mode) as handle:
+        handle.write(data)
+
+
+def _rng(args):
+    if getattr(args, "seed", None):
+        return DeterministicRandomSource(args.seed.encode())
+    return SystemRandomSource()
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_keygen(args) -> int:
+    key = generate_keypair(args.bits, _rng(args))
+    _write(args.out, private_key_to_xml(key))
+    print(f"wrote {args.bits}-bit private key to {args.out}")
+    return 0
+
+
+def cmd_ca_init(args) -> int:
+    ca = CertificateAuthority.create_root(
+        args.name, key_bits=args.bits, rng=_rng(args),
+    )
+    _write(args.key_out, private_key_to_xml(ca.key))
+    _write(args.cert_out, certificates_to_xml([ca.certificate]))
+    print(f"root CA {args.name!r}: key -> {args.key_out}, "
+          f"certificate -> {args.cert_out}")
+    return 0
+
+
+def cmd_issue(args) -> int:
+    ca_key = private_key_from_xml(_read(args.ca_key))
+    ca_cert = certificates_from_xml(_read(args.ca_cert))[0]
+    ca = CertificateAuthority(name=ca_cert.subject, key=ca_key,
+                              certificate=ca_cert)
+    subject_key = private_key_from_xml(_read(args.subject_key))
+    certificate = ca.issue(args.subject, subject_key.public_key())
+    chain = [certificate]
+    if ca_cert.subject != ca_cert.issuer:
+        chain.append(ca_cert)
+    _write(args.out, certificates_to_xml(chain))
+    print(f"issued certificate for {args.subject!r} -> {args.out}")
+    return 0
+
+
+def _load_identity(args) -> SigningIdentity:
+    key = private_key_from_xml(_read(args.key))
+    chain = certificates_from_xml(_read(args.chain)) if args.chain else []
+    name = chain[0].subject if chain else "anonymous"
+    return SigningIdentity(name=name, key=key, chain=chain)
+
+
+def cmd_sign(args) -> int:
+    identity = _load_identity(args)
+    root = parse_element(_read(args.document))
+    signer = Signer(identity.key,
+                    identity=identity if identity.chain else None,
+                    include_key_value=not identity.chain)
+    signer.sign_enveloped(root, uri=args.uri)
+    _write(args.out or args.document, serialize(root,
+                                                xml_declaration=True))
+    print(f"signed {args.document} -> {args.out or args.document}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    root = parse_element(_read(args.document))
+    trust_store = None
+    if args.roots:
+        trust_store = TrustStore(
+            roots=certificates_from_xml(_read(args.roots))
+        )
+    verifier = Verifier(trust_store=trust_store,
+                        require_trusted_key=bool(args.roots))
+    signatures = list(root.iter("Signature", DSIG_NS))
+    if not signatures:
+        print("no signatures found", file=sys.stderr)
+        return 2
+    failures = 0
+    for signature in signatures:
+        report = verifier.verify(signature)
+        status = "VALID" if report.valid else "INVALID"
+        signer = report.signer_subject or report.key_source
+        print(f"{status}: signer={signer} "
+              f"references={[r.uri for r in report.references]}")
+        if not report.valid:
+            failures += 1
+            detail = report.error or "; ".join(
+                f"{r.uri}: {r.error}" for r in report.references
+                if not r.valid
+            )
+            if report.certificate_validation is not None \
+                    and not report.certificate_validation.valid:
+                detail += f"; chain: {report.certificate_validation.reason}"
+            print(f"  reason: {detail}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_encrypt(args) -> int:
+    root = parse_element(_read(args.document))
+    target = root.get_element_by_id(args.target_id)
+    if target is None:
+        print(f"no element with Id {args.target_id!r}", file=sys.stderr)
+        return 2
+    key = SymmetricKey(hexdecode(args.key_hex))
+    Encryptor(rng=_rng(args)).encrypt_element(
+        target, key, key_name=args.key_name,
+    )
+    _write(args.out or args.document, serialize(root,
+                                                xml_declaration=True))
+    print(f"encrypted #{args.target_id} under key {args.key_name!r}")
+    return 0
+
+
+def cmd_decrypt(args) -> int:
+    root = parse_element(_read(args.document))
+    key = SymmetricKey(hexdecode(args.key_hex))
+    decryptor = Decryptor(keys={args.key_name: key})
+    count = decryptor.decrypt_in_place(root)
+    _write(args.out or args.document, serialize(root,
+                                                xml_declaration=True))
+    print(f"decrypted {count} structure(s)")
+    return 0 if count else 2
+
+
+def cmd_package(args) -> int:
+    """Build a signed (optionally encrypted) application package."""
+    from repro.core import AuthoringPipeline
+    from repro.disc import ApplicationManifest
+    from repro.permissions import PermissionRequestFile
+    from repro.tools.keystore import public_key_from_xml
+
+    identity = _load_identity(args)
+    manifest = ApplicationManifest.from_element(
+        parse_element(_read(args.manifest))
+    )
+    permission_file = None
+    if args.permissions:
+        permission_file = PermissionRequestFile.from_xml(
+            _read(args.permissions)
+        )
+    recipient = public_key_from_xml(_read(args.recipient_key))
+    pipeline = AuthoringPipeline(identity, recipient_key=recipient,
+                                 rng=_rng(args))
+    encrypt_ids = tuple(args.encrypt_id or [])
+    if args.encrypt_code:
+        encrypt_ids = encrypt_ids + (manifest.code_id,)
+    package = pipeline.build_package(
+        manifest, permission_file=permission_file,
+        encrypt_ids=encrypt_ids,
+    )
+    _write(args.out, package.data)
+    print(f"packaged {args.manifest} -> {args.out} "
+          f"({len(package.data)} bytes, encrypted={list(encrypt_ids)})")
+    return 0
+
+
+def cmd_open_package(args) -> int:
+    """Verify/decrypt a package like a player would (Fig 9 right half)."""
+    from repro.core import PlaybackPipeline
+    from repro.errors import ApplicationRejectedError
+
+    trust_store = TrustStore(
+        roots=certificates_from_xml(_read(args.roots))
+    )
+    device_key = private_key_from_xml(_read(args.device_key)) \
+        if args.device_key else None
+    pipeline = PlaybackPipeline(trust_store=trust_store,
+                                device_key=device_key)
+    try:
+        application = pipeline.open_package(_read(args.package))
+    except ApplicationRejectedError as exc:
+        print(f"BARRED: {exc}", file=sys.stderr)
+        return 1
+    print(f"TRUSTED: signer={application.signer_subject}")
+    print(f"application: {application.manifest.name} "
+          f"({len(application.manifest.scripts)} script(s), "
+          f"{len(application.manifest.submarkups)} submarkup(s))")
+    if args.out:
+        _write(args.out, application.manifest.to_xml())
+        print(f"decrypted manifest -> {args.out}")
+    return 0
+
+
+def cmd_c14n(args) -> int:
+    document = parse_document(_read(args.document))
+    algorithm = EXC_C14N if args.exclusive else (
+        C14N_WITH_COMMENTS if args.with_comments else C14N
+    )
+    octets = canonicalize(document, algorithm)
+    if args.out:
+        _write(args.out, octets)
+    else:
+        sys.stdout.write(octets.decode("utf-8"))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    root = parse_element(_read(args.document))
+    print(f"root element: <{root.qname}> "
+          f"(namespace {root.ns_uri or '-'})")
+    print(f"elements: {sum(1 for _ in root.iter())}")
+    signatures = list(root.iter("Signature", DSIG_NS))
+    print(f"signatures: {len(signatures)}")
+    for signature in signatures:
+        uris = [
+            ref.get("URI") for ref in signature.findall("Reference",
+                                                        DSIG_NS)
+        ]
+        print(f"  - references {uris}")
+    encrypted = list(root.iter("EncryptedData", XMLENC_NS))
+    print(f"encrypted regions: {len(encrypted)}")
+    for data in encrypted:
+        print(f"  - Id={data.get('Id') or '-'} "
+              f"Type={(data.get('Type') or '-').rsplit('#', 1)[-1]}")
+    ids = sorted(
+        attr.value for el in root.iter() for attr in el.attrs
+        if attr.local in ("Id", "ID", "id")
+    )
+    print(f"addressable Ids: {ids}")
+    return 0
+
+
+# -- argument parsing ------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree for ``repro.tools``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="XML security tools for disc applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("keygen", help="generate an RSA key pair")
+    p.add_argument("--bits", type=int, default=1024)
+    p.add_argument("--seed", help="deterministic seed (tests only)")
+    p.add_argument("-o", "--out", required=True)
+    p.set_defaults(func=cmd_keygen)
+
+    p = sub.add_parser("ca-init", help="create a self-signed root CA")
+    p.add_argument("--name", required=True)
+    p.add_argument("--bits", type=int, default=1024)
+    p.add_argument("--seed")
+    p.add_argument("--key-out", required=True)
+    p.add_argument("--cert-out", required=True)
+    p.set_defaults(func=cmd_ca_init)
+
+    p = sub.add_parser("issue", help="issue a certificate")
+    p.add_argument("--ca-key", required=True)
+    p.add_argument("--ca-cert", required=True)
+    p.add_argument("--subject", required=True)
+    p.add_argument("--subject-key", required=True,
+                   help="private key file whose public half is certified")
+    p.add_argument("-o", "--out", required=True)
+    p.set_defaults(func=cmd_issue)
+
+    p = sub.add_parser("sign", help="envelop-sign an XML document")
+    p.add_argument("document")
+    p.add_argument("--key", required=True)
+    p.add_argument("--chain", help="certificate chain file")
+    p.add_argument("--uri", default="", help="reference URI (default \"\")")
+    p.add_argument("-o", "--out")
+    p.set_defaults(func=cmd_sign)
+
+    p = sub.add_parser("verify", help="verify document signatures")
+    p.add_argument("document")
+    p.add_argument("--roots", help="trusted root certificates")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("encrypt", help="encrypt an element by Id")
+    p.add_argument("document")
+    p.add_argument("--target-id", required=True)
+    p.add_argument("--key-hex", required=True,
+                   help="AES key, hex (16/24/32 bytes)")
+    p.add_argument("--key-name", default="key-1")
+    p.add_argument("--seed")
+    p.add_argument("-o", "--out")
+    p.set_defaults(func=cmd_encrypt)
+
+    p = sub.add_parser("decrypt", help="decrypt EncryptedData")
+    p.add_argument("document")
+    p.add_argument("--key-hex", required=True)
+    p.add_argument("--key-name", default="key-1")
+    p.add_argument("-o", "--out")
+    p.set_defaults(func=cmd_decrypt)
+
+    p = sub.add_parser("package",
+                       help="build a signed application package (Fig 9)")
+    p.add_argument("manifest", help="application manifest XML")
+    p.add_argument("--key", required=True)
+    p.add_argument("--chain", help="signer certificate chain")
+    p.add_argument("--recipient-key", required=True,
+                   help="player public key file (rsa-1_5 transport)")
+    p.add_argument("--permissions", help="permission request file")
+    p.add_argument("--encrypt-id", action="append",
+                   help="element Id to encrypt (repeatable)")
+    p.add_argument("--encrypt-code", action="store_true",
+                   help="encrypt the manifest's code part")
+    p.add_argument("--seed")
+    p.add_argument("-o", "--out", required=True)
+    p.set_defaults(func=cmd_package)
+
+    p = sub.add_parser("open-package",
+                       help="verify/decrypt a package like a player")
+    p.add_argument("package")
+    p.add_argument("--roots", required=True)
+    p.add_argument("--device-key", help="player private key file")
+    p.add_argument("-o", "--out", help="write the decrypted manifest")
+    p.set_defaults(func=cmd_open_package)
+
+    p = sub.add_parser("c14n", help="canonicalize a document")
+    p.add_argument("document")
+    p.add_argument("--exclusive", action="store_true")
+    p.add_argument("--with-comments", action="store_true")
+    p.add_argument("-o", "--out")
+    p.set_defaults(func=cmd_c14n)
+
+    p = sub.add_parser("inspect", help="summarize security markup")
+    p.add_argument("document")
+    p.set_defaults(func=cmd_inspect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""File formats for key material used by the CLI tools.
+
+Private keys and trust stores are XML files (consistent with the rest
+of the stack's XML-serialized certificate substitution — DESIGN.md §2).
+Treat key files like any private key: they are not encrypted at rest.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KeyError_
+from repro.primitives.encoding import b64decode, b64encode, int_to_bytes
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey
+from repro.certs.certificate import Certificate
+from repro.xmlcore import element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+KEYSTORE_NS = "urn:repro:keystore"
+
+
+def _int_el(name: str, value: int) -> Element:
+    return element(name, KEYSTORE_NS,
+                   text=b64encode(int_to_bytes(value)))
+
+
+def _int_of(parent: Element, name: str) -> int:
+    child = parent.first_child(name)
+    if child is None:
+        raise KeyError_(f"key file missing <{name}>")
+    return int.from_bytes(b64decode(child.text_content()), "big")
+
+
+def private_key_to_xml(key: RSAPrivateKey) -> str:
+    """Serialize an RSA private key (CRT components included)."""
+    node = element("RSAPrivateKey", KEYSTORE_NS,
+                   nsmap={None: KEYSTORE_NS})
+    for name, value in (("Modulus", key.n), ("Exponent", key.e),
+                        ("D", key.d), ("P", key.p), ("Q", key.q)):
+        node.append(_int_el(name, value))
+    return serialize(node, xml_declaration=True)
+
+
+def private_key_from_xml(text: str | bytes) -> RSAPrivateKey:
+    """Parse a private key file written by :func:`private_key_to_xml`."""
+    node = parse_element(text)
+    if node.local != "RSAPrivateKey":
+        raise KeyError_(f"not a private key file: <{node.local}>")
+    return RSAPrivateKey(
+        n=_int_of(node, "Modulus"), e=_int_of(node, "Exponent"),
+        d=_int_of(node, "D"), p=_int_of(node, "P"),
+        q=_int_of(node, "Q"),
+    )
+
+
+def public_key_to_xml(key: RSAPublicKey) -> str:
+    """Serialize an RSA public key to XML."""
+    node = element("RSAPublicKey", KEYSTORE_NS,
+                   nsmap={None: KEYSTORE_NS})
+    node.append(_int_el("Modulus", key.n))
+    node.append(_int_el("Exponent", key.e))
+    return serialize(node, xml_declaration=True)
+
+
+def public_key_from_xml(text: str | bytes) -> RSAPublicKey:
+    """Parse a public key file written by :func:`public_key_to_xml`."""
+    node = parse_element(text)
+    if node.local != "RSAPublicKey":
+        raise KeyError_(f"not a public key file: <{node.local}>")
+    return RSAPublicKey(n=_int_of(node, "Modulus"),
+                        e=_int_of(node, "Exponent"))
+
+
+def certificates_to_xml(certificates: list[Certificate]) -> str:
+    """A certificate bundle (chain file or root store)."""
+    node = element("CertificateBundle", KEYSTORE_NS,
+                   nsmap={None: KEYSTORE_NS})
+    for certificate in certificates:
+        node.append(certificate.to_element())
+    return serialize(node, xml_declaration=True)
+
+
+def certificates_from_xml(text: str | bytes) -> list[Certificate]:
+    """Parse a certificate bundle (or single certificate) file."""
+    node = parse_element(text)
+    if node.local == "Certificate":
+        return [Certificate.from_element(node)]
+    if node.local != "CertificateBundle":
+        raise KeyError_(
+            f"not a certificate bundle: <{node.local}>"
+        )
+    return [
+        Certificate.from_element(child)
+        for child in node.child_elements()
+        if child.local == "Certificate"
+    ]

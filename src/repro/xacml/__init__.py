@@ -1,0 +1,26 @@
+"""XACML 2.0 access control: policies, PDP/PEP, combining algorithms."""
+
+from repro.xacml.combining import (
+    ALGORITHMS, DENY_OVERRIDES, FIRST_APPLICABLE, PERMIT_OVERRIDES, combine,
+)
+from repro.xacml.model import (
+    ACTION, CATEGORIES, ENVIRONMENT, FUNC_ANYURI_EQUAL, FUNC_REGEXP_MATCH,
+    FUNC_STRING_EQUAL, RESOURCE, SUBJECT, Decision, Effect, Match, Policy,
+    Request, Rule, Target,
+)
+from repro.xacml.pdp import PDP, PEP
+from repro.xacml.rights import (
+    ALL_RIGHTS, License, RIGHT_COPY, RIGHT_EXECUTE, RIGHT_PLAY,
+    RIGHT_STORE, RightsEngine, RightsGrant,
+)
+
+__all__ = [
+    "PDP", "PEP", "Policy", "Rule", "Target", "Match", "Request",
+    "Decision", "Effect",
+    "SUBJECT", "RESOURCE", "ACTION", "ENVIRONMENT", "CATEGORIES",
+    "FUNC_STRING_EQUAL", "FUNC_REGEXP_MATCH", "FUNC_ANYURI_EQUAL",
+    "DENY_OVERRIDES", "PERMIT_OVERRIDES", "FIRST_APPLICABLE",
+    "ALGORITHMS", "combine",
+    "License", "RightsGrant", "RightsEngine", "ALL_RIGHTS",
+    "RIGHT_PLAY", "RIGHT_COPY", "RIGHT_EXECUTE", "RIGHT_STORE",
+]

@@ -1,0 +1,67 @@
+"""XACML combining algorithms (rule- and policy-level)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PolicyError
+from repro.xacml.model import Decision
+
+DENY_OVERRIDES = "deny-overrides"
+PERMIT_OVERRIDES = "permit-overrides"
+FIRST_APPLICABLE = "first-applicable"
+
+ALGORITHMS = (DENY_OVERRIDES, PERMIT_OVERRIDES, FIRST_APPLICABLE)
+
+
+def combine(algorithm: str, decisions: Iterable[Decision]) -> Decision:
+    """Combine *decisions* under the named algorithm."""
+    if algorithm == DENY_OVERRIDES:
+        return _deny_overrides(decisions)
+    if algorithm == PERMIT_OVERRIDES:
+        return _permit_overrides(decisions)
+    if algorithm == FIRST_APPLICABLE:
+        return _first_applicable(decisions)
+    raise PolicyError(f"unknown combining algorithm {algorithm!r}")
+
+
+def _deny_overrides(decisions: Iterable[Decision]) -> Decision:
+    saw_permit = False
+    saw_indeterminate = False
+    for decision in decisions:
+        if decision is Decision.DENY:
+            return Decision.DENY
+        if decision is Decision.PERMIT:
+            saw_permit = True
+        elif decision is Decision.INDETERMINATE:
+            saw_indeterminate = True
+    if saw_indeterminate:
+        # A potential (indeterminate) Deny overrides a Permit.
+        return Decision.INDETERMINATE
+    if saw_permit:
+        return Decision.PERMIT
+    return Decision.NOT_APPLICABLE
+
+
+def _permit_overrides(decisions: Iterable[Decision]) -> Decision:
+    saw_deny = False
+    saw_indeterminate = False
+    for decision in decisions:
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT
+        if decision is Decision.DENY:
+            saw_deny = True
+        elif decision is Decision.INDETERMINATE:
+            saw_indeterminate = True
+    if saw_indeterminate:
+        return Decision.INDETERMINATE
+    if saw_deny:
+        return Decision.DENY
+    return Decision.NOT_APPLICABLE
+
+
+def _first_applicable(decisions: Iterable[Decision]) -> Decision:
+    for decision in decisions:
+        if decision is not Decision.NOT_APPLICABLE:
+            return decision
+    return Decision.NOT_APPLICABLE

@@ -1,0 +1,244 @@
+"""XACML 2.0 core model: requests, targets, rules, policies.
+
+The paper (§4) points at OASIS XACML for access control: "content
+creators [can] add policies to request the disc player devices to
+provide certain rights to an application."  This module implements the
+decision core of XACML 2.0 — attribute-based targets, Permit/Deny
+rules with optional conditions, and policies with rule-combining
+algorithms — plus an XML mapping in the XACML namespace.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import PolicyError
+from repro.xmlcore import XACML_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+# Attribute categories (XACML request sections).
+SUBJECT = "Subject"
+RESOURCE = "Resource"
+ACTION = "Action"
+ENVIRONMENT = "Environment"
+
+CATEGORIES = (SUBJECT, RESOURCE, ACTION, ENVIRONMENT)
+
+# Match function identifiers (the practically used subset).
+FUNC_STRING_EQUAL = "urn:oasis:names:tc:xacml:1.0:function:string-equal"
+FUNC_REGEXP_MATCH = (
+    "urn:oasis:names:tc:xacml:1.0:function:string-regexp-match"
+)
+FUNC_ANYURI_EQUAL = "urn:oasis:names:tc:xacml:1.0:function:anyURI-equal"
+
+MATCH_FUNCTIONS = (FUNC_STRING_EQUAL, FUNC_REGEXP_MATCH, FUNC_ANYURI_EQUAL)
+
+
+class Decision(Enum):
+    """XACML decision values."""
+
+    PERMIT = "Permit"
+    DENY = "Deny"
+    NOT_APPLICABLE = "NotApplicable"
+    INDETERMINATE = "Indeterminate"
+
+
+class Effect(Enum):
+    PERMIT = "Permit"
+    DENY = "Deny"
+
+
+@dataclass
+class Request:
+    """A decision request: attributes per category.
+
+    Attribute values are lists (XACML bags): ``subject={"role":
+    ["application"], "signer": ["CN=Studio"]}``.
+    """
+
+    subject: dict[str, list[str]] = field(default_factory=dict)
+    resource: dict[str, list[str]] = field(default_factory=dict)
+    action: dict[str, list[str]] = field(default_factory=dict)
+    environment: dict[str, list[str]] = field(default_factory=dict)
+
+    def bag(self, category: str, attribute: str) -> list[str]:
+        store = {
+            SUBJECT: self.subject, RESOURCE: self.resource,
+            ACTION: self.action, ENVIRONMENT: self.environment,
+        }.get(category)
+        if store is None:
+            raise PolicyError(f"unknown category {category!r}")
+        return store.get(attribute, [])
+
+
+@dataclass(frozen=True)
+class Match:
+    """One attribute match requirement inside a target."""
+
+    category: str
+    attribute: str
+    value: str
+    function: str = FUNC_STRING_EQUAL
+
+    def __post_init__(self):
+        if self.category not in CATEGORIES:
+            raise PolicyError(f"unknown category {self.category!r}")
+        if self.function not in MATCH_FUNCTIONS:
+            raise PolicyError(f"unknown match function {self.function!r}")
+
+    def evaluate(self, request: Request) -> bool:
+        bag = request.bag(self.category, self.attribute)
+        if self.function == FUNC_REGEXP_MATCH:
+            try:
+                pattern = re.compile(self.value)
+            except re.error as exc:
+                raise PolicyError(
+                    f"bad regexp in match: {exc}"
+                ) from None
+            return any(pattern.search(candidate) for candidate in bag)
+        return self.value in bag
+
+
+@dataclass
+class Target:
+    """A conjunction of matches; an empty target matches everything."""
+
+    matches: list[Match] = field(default_factory=list)
+
+    def applies(self, request: Request) -> bool:
+        return all(match.evaluate(request) for match in self.matches)
+
+
+class Rule:
+    """A Permit/Deny rule with a target and optional condition callable.
+
+    The condition (XACML's general <Condition>) is modelled as a plain
+    callable ``Request -> bool``; exceptions map to INDETERMINATE.
+    """
+
+    def __init__(self, rule_id: str, effect: Effect,
+                 target: Target | None = None, condition=None):
+        self.rule_id = rule_id
+        self.effect = effect
+        self.target = target or Target()
+        self.condition = condition
+
+    def evaluate(self, request: Request) -> Decision:
+        if not self.target.applies(request):
+            return Decision.NOT_APPLICABLE
+        if self.condition is not None:
+            try:
+                if not self.condition(request):
+                    return Decision.NOT_APPLICABLE
+            except Exception:
+                return Decision.INDETERMINATE
+        return (Decision.PERMIT if self.effect is Effect.PERMIT
+                else Decision.DENY)
+
+
+@dataclass
+class Policy:
+    """A policy: target, rules, rule-combining algorithm id."""
+
+    policy_id: str
+    rules: list[Rule] = field(default_factory=list)
+    target: Target = field(default_factory=Target)
+    combining: str = "deny-overrides"
+    description: str = ""
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self.rules.append(rule)
+        return rule
+
+    # -- XML mapping -----------------------------------------------------------
+
+    def to_element(self) -> Element:
+        node = element(
+            "Policy", XACML_NS, nsmap={None: XACML_NS},
+            attrs={
+                "PolicyId": self.policy_id,
+                "RuleCombiningAlgId": self.combining,
+            },
+        )
+        if self.description:
+            node.append(
+                element("Description", XACML_NS, text=self.description)
+            )
+        node.append(_target_to_element(self.target))
+        for rule in self.rules:
+            rule_el = element("Rule", XACML_NS, attrs={
+                "RuleId": rule.rule_id, "Effect": rule.effect.value,
+            })
+            rule_el.append(_target_to_element(rule.target))
+            node.append(rule_el)
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "Policy":
+        if node.local != "Policy":
+            raise PolicyError(f"expected Policy, got {node.local!r}")
+        policy = cls(
+            policy_id=node.get("PolicyId") or "",
+            combining=node.get("RuleCombiningAlgId") or "deny-overrides",
+        )
+        description = node.first_child("Description")
+        if description is not None:
+            policy.description = description.text_content()
+        target_el = node.first_child("Target")
+        if target_el is not None:
+            policy.target = _target_from_element(target_el)
+        for rule_el in node.child_elements():
+            if rule_el.local != "Rule":
+                continue
+            effect_text = rule_el.get("Effect") or ""
+            try:
+                effect = Effect(effect_text)
+            except ValueError:
+                raise PolicyError(
+                    f"bad rule effect {effect_text!r}"
+                ) from None
+            rule = Rule(rule_el.get("RuleId") or "", effect)
+            rule_target = rule_el.first_child("Target")
+            if rule_target is not None:
+                rule.target = _target_from_element(rule_target)
+            policy.rules.append(rule)
+        return policy
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "Policy":
+        return cls.from_element(parse_element(text))
+
+
+def _target_to_element(target: Target) -> Element:
+    node = element("Target", XACML_NS)
+    for match in target.matches:
+        match_el = element("Match", XACML_NS, attrs={
+            "Category": match.category,
+            "AttributeId": match.attribute,
+            "MatchId": match.function,
+        })
+        match_el.append(
+            element("AttributeValue", XACML_NS, text=match.value)
+        )
+        node.append(match_el)
+    return node
+
+
+def _target_from_element(node: Element) -> Target:
+    target = Target()
+    for match_el in node.child_elements():
+        if match_el.local != "Match":
+            continue
+        value_el = match_el.first_child("AttributeValue")
+        target.matches.append(Match(
+            category=match_el.get("Category") or SUBJECT,
+            attribute=match_el.get("AttributeId") or "",
+            value=value_el.text_content() if value_el is not None else "",
+            function=match_el.get("MatchId") or FUNC_STRING_EQUAL,
+        ))
+    return target

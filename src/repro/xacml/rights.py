@@ -1,0 +1,216 @@
+"""A rights-expression extension (the paper's XRML future work, §9).
+
+"In lieu of future work ... we envision that XRML, an XML based rights
+management language proposed by OASIS, to express digital rights for
+the usage of markup-based applications and resources, can be
+investigated for digital rights management in the next generation disc
+player context."
+
+This module is that investigation, scoped to the player: a small
+rights-expression vocabulary (*licenses* granting *rights* over
+*resources* to *principals*, with validity and play-count conditions)
+that compiles down to the XACML engine already in the player — the
+rights language is surface syntax; the PDP stays the single decision
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.xacml.combining import PERMIT_OVERRIDES
+from repro.xacml.model import (
+    ACTION, Decision, Effect, Match, Policy, Request, RESOURCE, Rule,
+    SUBJECT, Target,
+)
+from repro.xacml.pdp import PDP
+from repro.xmlcore import element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+RIGHTS_NS = "urn:repro:rights:1.0"
+
+# The rights vocabulary (XrML/ODRL-flavoured verbs).
+RIGHT_PLAY = "play"
+RIGHT_COPY = "copy"
+RIGHT_EXECUTE = "execute"
+RIGHT_STORE = "store"
+
+ALL_RIGHTS = (RIGHT_PLAY, RIGHT_COPY, RIGHT_EXECUTE, RIGHT_STORE)
+
+
+@dataclass(frozen=True)
+class RightsGrant:
+    """One grant inside a license.
+
+    Attributes:
+        right: the verb (play/copy/execute/store).
+        resource: the resource URI (clip, application, storage slot).
+        principal: who may exercise it (``"*"`` = anyone).
+        not_after: expiry on the simulation clock (0 = no expiry).
+        max_uses: play-count cap (0 = unlimited).
+    """
+
+    right: str
+    resource: str
+    principal: str = "*"
+    not_after: float = 0.0
+    max_uses: int = 0
+
+    def __post_init__(self):
+        if self.right not in ALL_RIGHTS:
+            raise PolicyError(f"unknown right {self.right!r}")
+
+
+@dataclass
+class License:
+    """A signed-able rights bundle issued to a device or user."""
+
+    license_id: str
+    issuer: str
+    grants: list[RightsGrant] = field(default_factory=list)
+
+    def grant(self, right: str, resource: str, *, principal: str = "*",
+              not_after: float = 0.0, max_uses: int = 0) -> RightsGrant:
+        entry = RightsGrant(right, resource, principal, not_after,
+                            max_uses)
+        self.grants.append(entry)
+        return entry
+
+    # -- XML mapping -------------------------------------------------------------
+
+    def to_element(self) -> Element:
+        node = element("license", RIGHTS_NS, nsmap={None: RIGHTS_NS},
+                       attrs={"Id": self.license_id,
+                              "issuer": self.issuer})
+        for entry in self.grants:
+            child = element("grant", RIGHTS_NS, attrs={
+                "right": entry.right, "resource": entry.resource,
+                "principal": entry.principal,
+            })
+            if entry.not_after:
+                child.set("notAfter", repr(entry.not_after))
+            if entry.max_uses:
+                child.set("maxUses", str(entry.max_uses))
+            node.append(child)
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "License":
+        if node.local != "license":
+            raise PolicyError(f"expected license, got {node.local!r}")
+        license_ = cls(
+            license_id=node.get("Id") or "",
+            issuer=node.get("issuer") or "",
+        )
+        for child in node.child_elements():
+            if child.local != "grant":
+                continue
+            license_.grants.append(RightsGrant(
+                right=child.get("right") or "",
+                resource=child.get("resource") or "",
+                principal=child.get("principal") or "*",
+                not_after=float(child.get("notAfter", "0") or 0),
+                max_uses=int(child.get("maxUses", "0") or 0),
+            ))
+        return license_
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "License":
+        return cls.from_element(parse_element(text))
+
+
+class RightsEngine:
+    """Evaluates rights requests by compiling licenses to XACML.
+
+    Usage counting (``max_uses``) is tracked per (license, grant)
+    inside the engine — the stateful part XACML itself doesn't model.
+    """
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+        self._licenses: list[License] = []
+        self._use_counts: dict[tuple[str, int], int] = {}
+
+    def install(self, license_: License) -> None:
+        self._licenses.append(license_)
+
+    def _grant_rule(self, license_: License, index: int,
+                    entry: RightsGrant) -> Rule:
+        matches = [
+            Match(ACTION, "right", entry.right),
+            Match(RESOURCE, "resource-id", entry.resource),
+        ]
+        if entry.principal != "*":
+            matches.append(Match(SUBJECT, "principal", entry.principal))
+
+        def condition(_request: Request) -> bool:
+            if entry.not_after and self.now > entry.not_after:
+                return False
+            if entry.max_uses:
+                used = self._use_counts.get(
+                    (license_.license_id, index), 0,
+                )
+                if used >= entry.max_uses:
+                    return False
+            return True
+
+        return Rule(
+            f"{license_.license_id}-grant-{index}", Effect.PERMIT,
+            Target(matches), condition,
+        )
+
+    def _pdp(self) -> PDP:
+        policies = []
+        for license_ in self._licenses:
+            policy = Policy(license_.license_id,
+                            combining=PERMIT_OVERRIDES)
+            for index, entry in enumerate(license_.grants):
+                policy.add_rule(self._grant_rule(license_, index, entry))
+            policies.append(policy)
+        return PDP(policies, policy_combining=PERMIT_OVERRIDES)
+
+    def check(self, right: str, resource: str,
+              principal: str = "*") -> bool:
+        """Is the exercise permitted right now (no use consumed)?"""
+        request = Request(
+            subject={"principal": [principal]},
+            resource={"resource-id": [resource]},
+            action={"right": [right]},
+        )
+        return self._pdp().evaluate(request) is Decision.PERMIT
+
+    def exercise(self, right: str, resource: str,
+                 principal: str = "*") -> bool:
+        """Check and, if permitted, consume one use of the first
+        matching counted grant."""
+        if not self.check(right, resource, principal):
+            return False
+        for license_ in self._licenses:
+            for index, entry in enumerate(license_.grants):
+                if entry.right != right or entry.resource != resource:
+                    continue
+                if entry.principal not in ("*", principal):
+                    continue
+                if entry.max_uses:
+                    key = (license_.license_id, index)
+                    self._use_counts[key] = \
+                        self._use_counts.get(key, 0) + 1
+                return True
+        return True
+
+    def uses_remaining(self, license_id: str, grant_index: int
+                       ) -> int | None:
+        """Remaining uses for a counted grant (``None`` if unlimited)."""
+        for license_ in self._licenses:
+            if license_.license_id != license_id:
+                continue
+            entry = license_.grants[grant_index]
+            if not entry.max_uses:
+                return None
+            used = self._use_counts.get((license_id, grant_index), 0)
+            return max(0, entry.max_uses - used)
+        raise PolicyError(f"no license {license_id!r}")

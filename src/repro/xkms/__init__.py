@@ -1,0 +1,17 @@
+"""XKMS 2.0 key management: messages, trust server, client."""
+
+from repro.xkms.client import XKMSClient
+from repro.xkms.messages import (
+    RESULT_NO_MATCH, RESULT_RECEIVER_FAULT, RESULT_REFUSED, RESULT_SUCCESS,
+    RESULT_SENDER_FAULT, STATUS_INDETERMINATE, STATUS_INVALID, STATUS_VALID,
+    KeyBinding, XKMSRequest, XKMSResult,
+)
+from repro.xkms.server import TrustServer, authentication_proof
+
+__all__ = [
+    "XKMSClient", "TrustServer", "KeyBinding", "XKMSRequest", "XKMSResult",
+    "authentication_proof",
+    "RESULT_SUCCESS", "RESULT_NO_MATCH", "RESULT_REFUSED",
+    "RESULT_SENDER_FAULT", "RESULT_RECEIVER_FAULT",
+    "STATUS_VALID", "STATUS_INVALID", "STATUS_INDETERMINATE",
+]

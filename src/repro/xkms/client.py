@@ -1,0 +1,75 @@
+"""XKMS client used by players and authoring tools.
+
+The client speaks XML to any transport: a callable
+``request_xml -> result_xml`` — in-process server, the simulated
+network service, or a TLS-like secure channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import XKMSError
+from repro.primitives.keys import RSAPublicKey
+from repro.xkms.messages import (
+    STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
+)
+from repro.xkms.server import authentication_proof
+
+Transport = Callable[[str], str]
+
+
+@dataclass
+class XKMSClient:
+    """Convenience wrapper over the XKMS request/result exchange."""
+
+    transport: Transport
+
+    def _roundtrip(self, request: XKMSRequest) -> XKMSResult:
+        result = XKMSResult.from_xml(self.transport(request.to_xml()))
+        if result.request_id and result.request_id != request.request_id:
+            raise XKMSError(
+                "XKMS result does not answer our request "
+                f"({result.request_id!r} != {request.request_id!r})"
+            )
+        return result
+
+    def locate(self, key_name: str) -> RSAPublicKey | None:
+        """Find the public key bound to *key_name* (``None`` if absent).
+
+        Suitable as a :class:`repro.dsig.Verifier` ``key_locator``.
+        """
+        result = self._roundtrip(XKMSRequest("Locate", key_name=key_name))
+        if not result.success or not result.bindings:
+            return None
+        return result.bindings[0].key
+
+    def validate(self, key_name: str,
+                 key: RSAPublicKey | None = None) -> bool:
+        """True iff the binding exists and is currently Valid."""
+        binding = (KeyBinding(key_name, key) if key is not None else None)
+        result = self._roundtrip(XKMSRequest(
+            "Validate", key_name=key_name, binding=binding,
+        ))
+        if not result.success or not result.bindings:
+            return False
+        return result.bindings[0].status == STATUS_VALID
+
+    def register(self, key_name: str, key: RSAPublicKey,
+                 secret: bytes, use: str = "signature") -> XKMSResult:
+        """Register a binding, proving authorization with *secret*."""
+        request = XKMSRequest(
+            "Register",
+            binding=KeyBinding(key_name, key, use=use),
+            authentication=authentication_proof(secret, key_name),
+        )
+        return self._roundtrip(request)
+
+    def revoke(self, key_name: str, secret: bytes) -> XKMSResult:
+        """Revoke a binding."""
+        request = XKMSRequest(
+            "Revoke", key_name=key_name,
+            authentication=authentication_proof(secret, key_name),
+        )
+        return self._roundtrip(request)

@@ -1,0 +1,192 @@
+"""XKMS 2.0 message structures (paper ref. [33], §4 and §7).
+
+"The XKMS helps manage the sharing of the public key realizing the
+possibility of signature verification and encrypting for recipients.
+The usage of XML based message formats for key management eliminates
+the need to support other specialized public key registration and
+management protocols."
+
+Implemented: the X-KISS tier (Locate / Validate) and the X-KRSS tier
+(Register / Revoke), with the standard major result codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.errors import XKMSError
+from repro.primitives.keys import RSAPublicKey
+from repro.xmlcore import XKMS_NS, element, parse_element, serialize
+from repro.xmlcore.tree import Element
+
+# Major result codes (XKMS 2.0 §2.6.1).
+RESULT_SUCCESS = "Success"
+RESULT_NO_MATCH = "NoMatch"
+RESULT_REFUSED = "Refused"
+RESULT_SENDER_FAULT = "Sender"
+RESULT_RECEIVER_FAULT = "Receiver"
+
+# Key binding status values.
+STATUS_VALID = "Valid"
+STATUS_INVALID = "Invalid"
+STATUS_INDETERMINATE = "Indeterminate"
+
+_request_ids = count(1)
+
+
+def _next_request_id() -> str:
+    return f"xkms-req-{next(_request_ids)}"
+
+
+@dataclass
+class KeyBinding:
+    """A name ↔ key binding with a validity status."""
+
+    key_name: str
+    key: RSAPublicKey
+    status: str = STATUS_VALID
+    use: str = "signature"   # "signature" | "encryption" | "exchange"
+
+    def to_element(self) -> Element:
+        node = element("xkms:KeyBinding", XKMS_NS,
+                       nsmap={"xkms": XKMS_NS},
+                       attrs={"Status": self.status, "Use": self.use})
+        node.append(element("xkms:KeyName", XKMS_NS, text=self.key_name))
+        key_el = element("xkms:KeyValue", XKMS_NS)
+        for part, value in self.key.to_dict().items():
+            key_el.append(element(f"xkms:{part}", XKMS_NS, text=value))
+        node.append(key_el)
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "KeyBinding":
+        name_el = node.first_child("KeyName", XKMS_NS)
+        key_el = node.first_child("KeyValue", XKMS_NS)
+        if name_el is None or key_el is None:
+            raise XKMSError("KeyBinding missing name or key value")
+        modulus = key_el.first_child("Modulus", XKMS_NS)
+        exponent = key_el.first_child("Exponent", XKMS_NS)
+        if modulus is None or exponent is None:
+            raise XKMSError("KeyBinding key value incomplete")
+        return cls(
+            key_name=name_el.text_content().strip(),
+            key=RSAPublicKey.from_dict({
+                "Modulus": modulus.text_content(),
+                "Exponent": exponent.text_content(),
+            }),
+            status=node.get("Status") or STATUS_INDETERMINATE,
+            use=node.get("Use") or "signature",
+        )
+
+
+@dataclass
+class XKMSRequest:
+    """An XKMS request: Locate / Validate / Register / Revoke.
+
+    ``binding`` carries the prototype key binding for Register and the
+    queried binding for Validate; Locate and Revoke use ``key_name``.
+    """
+
+    operation: str   # "Locate" | "Validate" | "Register" | "Revoke"
+    key_name: str = ""
+    binding: KeyBinding | None = None
+    authentication: str = ""   # shared-secret proof for X-KRSS
+    request_id: str = field(default_factory=_next_request_id)
+
+    _OPERATIONS = ("Locate", "Validate", "Register", "Revoke")
+
+    def __post_init__(self):
+        if self.operation not in self._OPERATIONS:
+            raise XKMSError(f"unknown XKMS operation {self.operation!r}")
+
+    def to_element(self) -> Element:
+        node = element(
+            f"xkms:{self.operation}Request", XKMS_NS,
+            nsmap={"xkms": XKMS_NS},
+            attrs={"Id": self.request_id},
+        )
+        if self.key_name:
+            node.append(element("xkms:QueryKeyName", XKMS_NS,
+                                text=self.key_name))
+        if self.binding is not None:
+            node.append(self.binding.to_element())
+        if self.authentication:
+            node.append(element("xkms:Authentication", XKMS_NS,
+                                text=self.authentication))
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "XKMSRequest":
+        if not node.local.endswith("Request"):
+            raise XKMSError(f"not an XKMS request: {node.local!r}")
+        operation = node.local[: -len("Request")]
+        name_el = node.first_child("QueryKeyName", XKMS_NS)
+        binding_el = node.first_child("KeyBinding", XKMS_NS)
+        auth_el = node.first_child("Authentication", XKMS_NS)
+        return cls(
+            operation=operation,
+            key_name=(name_el.text_content().strip()
+                      if name_el is not None else ""),
+            binding=(KeyBinding.from_element(binding_el)
+                     if binding_el is not None else None),
+            authentication=(auth_el.text_content().strip()
+                            if auth_el is not None else ""),
+            request_id=node.get("Id") or _next_request_id(),
+        )
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "XKMSRequest":
+        return cls.from_element(parse_element(text))
+
+
+@dataclass
+class XKMSResult:
+    """An XKMS result message."""
+
+    operation: str
+    result_major: str
+    bindings: list[KeyBinding] = field(default_factory=list)
+    request_id: str = ""
+
+    @property
+    def success(self) -> bool:
+        return self.result_major == RESULT_SUCCESS
+
+    def to_element(self) -> Element:
+        node = element(
+            f"xkms:{self.operation}Result", XKMS_NS,
+            nsmap={"xkms": XKMS_NS},
+            attrs={
+                "ResultMajor": self.result_major,
+                "RequestId": self.request_id,
+            },
+        )
+        for binding in self.bindings:
+            node.append(binding.to_element())
+        return node
+
+    def to_xml(self) -> str:
+        return serialize(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, node: Element) -> "XKMSResult":
+        if not node.local.endswith("Result"):
+            raise XKMSError(f"not an XKMS result: {node.local!r}")
+        return cls(
+            operation=node.local[: -len("Result")],
+            result_major=node.get("ResultMajor") or RESULT_RECEIVER_FAULT,
+            bindings=[
+                KeyBinding.from_element(child)
+                for child in node.child_elements()
+                if child.local == "KeyBinding"
+            ],
+            request_id=node.get("RequestId") or "",
+        )
+
+    @classmethod
+    def from_xml(cls, text: str | bytes) -> "XKMSResult":
+        return cls.from_element(parse_element(text))

@@ -1,0 +1,149 @@
+"""The XKMS trust server ("trusted source" of §7).
+
+Holds registered key bindings, answers Locate/Validate queries, and
+accepts Register/Revoke operations authenticated by a shared secret
+(X-KRSS's authentication key).  Validation consults an optional
+certificate trust store so a binding's status reflects revocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XKMSError
+from repro.primitives.hmac import constant_time_equal, hmac_sha256
+from repro.primitives.keys import RSAPublicKey
+from repro.xkms.messages import (
+    RESULT_NO_MATCH, RESULT_REFUSED, RESULT_SENDER_FAULT, RESULT_SUCCESS,
+    STATUS_INVALID, STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
+)
+
+
+def authentication_proof(secret: bytes, key_name: str) -> str:
+    """Compute the X-KRSS authentication value for *key_name*."""
+    return hmac_sha256(secret, key_name.encode("utf-8")).hex()
+
+
+@dataclass
+class TrustServer:
+    """An in-process XKMS responder.
+
+    Args:
+        registration_secrets: shared secrets authorized to register or
+            revoke bindings, keyed by key-name prefix ("" = any name).
+    """
+
+    registration_secrets: dict[str, bytes] = field(default_factory=dict)
+    _bindings: dict[str, KeyBinding] = field(default_factory=dict)
+    audit_log: list[str] = field(default_factory=list)
+
+    # -- direct management (operator console) ---------------------------------------
+
+    def register_binding(self, key_name: str, key: RSAPublicKey,
+                         use: str = "signature") -> KeyBinding:
+        binding = KeyBinding(key_name, key, STATUS_VALID, use)
+        self._bindings[key_name] = binding
+        return binding
+
+    def revoke_binding(self, key_name: str) -> None:
+        binding = self._bindings.get(key_name)
+        if binding is None:
+            raise XKMSError(f"no binding named {key_name!r}")
+        binding.status = STATUS_INVALID
+
+    def binding(self, key_name: str) -> KeyBinding | None:
+        return self._bindings.get(key_name)
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def handle(self, request: XKMSRequest) -> XKMSResult:
+        """Process one XKMS request."""
+        self.audit_log.append(f"{request.operation}:{request.key_name}")
+        handler = {
+            "Locate": self._locate,
+            "Validate": self._validate,
+            "Register": self._register,
+            "Revoke": self._revoke,
+        }.get(request.operation)
+        if handler is None:
+            return XKMSResult(request.operation, RESULT_SENDER_FAULT,
+                              request_id=request.request_id)
+        return handler(request)
+
+    def handle_xml(self, request_xml: str | bytes) -> str:
+        """XML-in/XML-out entry point (what the network service wraps)."""
+        request = XKMSRequest.from_xml(request_xml)
+        return self.handle(request).to_xml()
+
+    # -- operations ---------------------------------------------------------------------
+
+    def _locate(self, request: XKMSRequest) -> XKMSResult:
+        binding = self._bindings.get(request.key_name)
+        if binding is None:
+            return XKMSResult("Locate", RESULT_NO_MATCH,
+                              request_id=request.request_id)
+        return XKMSResult("Locate", RESULT_SUCCESS, [binding],
+                          request_id=request.request_id)
+
+    def _validate(self, request: XKMSRequest) -> XKMSResult:
+        """Validate returns the binding *with its trust status*.
+
+        Unlike Locate, Validate answers "is this binding currently
+        good" — a revoked binding comes back with status Invalid.
+        """
+        queried = request.binding
+        name = queried.key_name if queried is not None else request.key_name
+        binding = self._bindings.get(name)
+        if binding is None:
+            return XKMSResult("Validate", RESULT_NO_MATCH,
+                              request_id=request.request_id)
+        if queried is not None and queried.key != binding.key:
+            # Same name, different key: report the binding as invalid.
+            reported = KeyBinding(name, queried.key, STATUS_INVALID,
+                                  queried.use)
+            return XKMSResult("Validate", RESULT_SUCCESS, [reported],
+                              request_id=request.request_id)
+        return XKMSResult("Validate", RESULT_SUCCESS, [binding],
+                          request_id=request.request_id)
+
+    def _check_authentication(self, request: XKMSRequest) -> bool:
+        if not request.authentication:
+            return False
+        name = request.key_name or (
+            request.binding.key_name if request.binding else ""
+        )
+        for prefix, secret in self.registration_secrets.items():
+            if not name.startswith(prefix):
+                continue
+            expected = authentication_proof(secret, name)
+            if constant_time_equal(expected.encode(),
+                                   request.authentication.encode()):
+                return True
+        return False
+
+    def _register(self, request: XKMSRequest) -> XKMSResult:
+        if request.binding is None:
+            return XKMSResult("Register", RESULT_SENDER_FAULT,
+                              request_id=request.request_id)
+        if not self._check_authentication(request):
+            return XKMSResult("Register", RESULT_REFUSED,
+                              request_id=request.request_id)
+        binding = KeyBinding(
+            request.binding.key_name, request.binding.key,
+            STATUS_VALID, request.binding.use,
+        )
+        self._bindings[binding.key_name] = binding
+        return XKMSResult("Register", RESULT_SUCCESS, [binding],
+                          request_id=request.request_id)
+
+    def _revoke(self, request: XKMSRequest) -> XKMSResult:
+        if not self._check_authentication(request):
+            return XKMSResult("Revoke", RESULT_REFUSED,
+                              request_id=request.request_id)
+        binding = self._bindings.get(request.key_name)
+        if binding is None:
+            return XKMSResult("Revoke", RESULT_NO_MATCH,
+                              request_id=request.request_id)
+        binding.status = STATUS_INVALID
+        return XKMSResult("Revoke", RESULT_SUCCESS, [binding],
+                          request_id=request.request_id)

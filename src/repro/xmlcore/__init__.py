@@ -1,0 +1,32 @@
+"""XML substrate: parser, tree, serializer, canonicalization, XPath-lite.
+
+Everything above this package manipulates XML exclusively through these
+types — there is no dependency on :mod:`xml.etree` or ``lxml``.
+"""
+
+from repro.xmlcore.c14n import (
+    ALL_C14N_ALGORITHMS, C14N, C14N_WITH_COMMENTS, EXC_C14N,
+    EXC_C14N_WITH_COMMENTS, canonicalize,
+)
+from repro.xmlcore.names import (
+    DISC_NS, DSIG_NS, EXC_C14N_NS, MHP_PERMISSION_NS, SMIL_NS, XACML_CTX_NS,
+    XACML_NS, XKMS_NS, XML_NS, XMLENC_NS, XMLNS_NS, split_qname,
+)
+from repro.xmlcore.parser import Parser, parse_document, parse_element
+from repro.xmlcore.serializer import serialize, serialize_bytes
+from repro.xmlcore.tree import (
+    Attr, Comment, Document, Element, Node, ProcessingInstruction, Text,
+    element,
+)
+from repro.xmlcore.xpath import find_all, find_first
+
+__all__ = [
+    "Attr", "Comment", "Document", "Element", "Node",
+    "ProcessingInstruction", "Text", "Parser",
+    "parse_document", "parse_element", "serialize", "serialize_bytes",
+    "canonicalize", "element", "find_all", "find_first", "split_qname",
+    "C14N", "C14N_WITH_COMMENTS", "EXC_C14N", "EXC_C14N_WITH_COMMENTS",
+    "ALL_C14N_ALGORITHMS",
+    "XML_NS", "XMLNS_NS", "DSIG_NS", "XMLENC_NS", "EXC_C14N_NS", "XKMS_NS",
+    "XACML_NS", "XACML_CTX_NS", "SMIL_NS", "DISC_NS", "MHP_PERMISSION_NS",
+]

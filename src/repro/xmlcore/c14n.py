@@ -1,0 +1,208 @@
+"""Canonical XML 1.0 (XML-C14N) and Exclusive XML Canonicalization.
+
+The paper (§5.4, Fig 6) motivates canonicalization precisely: XML allows
+syntactic variation among semantically equivalent documents, and hash
+functions are sensitive to syntax, so a signature must be computed over
+a canonical byte stream.  This module renders a :class:`Document` or an
+element subtree to the canonical octet sequence defined by:
+
+* Canonical XML 1.0 (W3C Recommendation, 15 March 2001) — the paper's
+  reference [32]; and
+* Exclusive XML Canonicalization 1.0 — the variant used when signed
+  subtrees are re-enveloped, with ``InclusiveNamespaces PrefixList``
+  support.
+
+Both come in with- and without-comments flavours.  Subtree
+canonicalization honours the inherited namespace context and (inclusive
+form only) inherits ``xml:*`` attributes from excluded ancestors, per
+the respective specs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CanonicalizationError
+from repro.xmlcore.escape import escape_attribute, escape_text
+from repro.xmlcore.names import XML_NS
+from repro.xmlcore.tree import (
+    Comment, Document, Element, Node, ProcessingInstruction, Text,
+)
+
+# Algorithm identifiers, as used in ds:CanonicalizationMethod/@Algorithm.
+C14N = "http://www.w3.org/TR/2001/REC-xml-c14n-20010315"
+C14N_WITH_COMMENTS = C14N + "#WithComments"
+EXC_C14N = "http://www.w3.org/2001/10/xml-exc-c14n#"
+EXC_C14N_WITH_COMMENTS = EXC_C14N + "WithComments"
+
+ALL_C14N_ALGORITHMS = (
+    C14N, C14N_WITH_COMMENTS, EXC_C14N, EXC_C14N_WITH_COMMENTS,
+)
+
+
+def canonicalize(node: Node, algorithm: str = C14N,
+                 inclusive_prefixes: tuple[str, ...] = ()) -> bytes:
+    """Render *node* (Document or Element subtree) canonically.
+
+    Args:
+        node: the document or apex element to canonicalize.
+        algorithm: one of the four C14N algorithm URIs.
+        inclusive_prefixes: for exclusive C14N, the
+            ``InclusiveNamespaces PrefixList`` entries (``"#default"``
+            names the default namespace).
+
+    Returns:
+        The canonical octet sequence (UTF-8).
+    """
+    if algorithm not in ALL_C14N_ALGORITHMS:
+        raise CanonicalizationError(f"unknown c14n algorithm {algorithm!r}")
+    exclusive = algorithm in (EXC_C14N, EXC_C14N_WITH_COMMENTS)
+    with_comments = algorithm in (C14N_WITH_COMMENTS, EXC_C14N_WITH_COMMENTS)
+    writer = _Canonicalizer(exclusive, with_comments,
+                            frozenset(inclusive_prefixes))
+    if isinstance(node, Document):
+        writer.write_document(node)
+    elif isinstance(node, Element):
+        writer.write_subtree(node)
+    else:
+        raise CanonicalizationError(
+            f"cannot canonicalize a {type(node).__name__} node"
+        )
+    return "".join(writer.out).encode("utf-8")
+
+
+class _Canonicalizer:
+    def __init__(self, exclusive: bool, with_comments: bool,
+                 inclusive_prefixes: frozenset[str]):
+        self.exclusive = exclusive
+        self.with_comments = with_comments
+        self.inclusive_prefixes = inclusive_prefixes
+        self.out: list[str] = []
+
+    # -- top-level entry points -------------------------------------------------
+
+    def write_document(self, document: Document) -> None:
+        root_seen = False
+        for child in document.children:
+            if isinstance(child, Element):
+                root_seen = True
+                self._element(child, rendered={}, apex=True)
+            elif isinstance(child, ProcessingInstruction):
+                if root_seen:
+                    self.out.append("\n")
+                self._pi(child)
+                if not root_seen:
+                    self.out.append("\n")
+            elif isinstance(child, Comment) and self.with_comments:
+                if root_seen:
+                    self.out.append("\n")
+                self._comment(child)
+                if not root_seen:
+                    self.out.append("\n")
+
+    def write_subtree(self, element: Element) -> None:
+        self._element(element, rendered={}, apex=True)
+
+    # -- node renderers ------------------------------------------------------------
+
+    def _element(self, element: Element, rendered: dict[str | None, str],
+                 apex: bool) -> None:
+        ns_axis = element.in_scope_namespaces()
+        ns_axis.pop("xml", None)  # the implicit xml binding is never emitted
+
+        if self.exclusive:
+            to_render = self._exclusive_ns(element, ns_axis, rendered)
+        else:
+            to_render = {
+                prefix: uri for prefix, uri in ns_axis.items()
+                if rendered.get(prefix) != uri
+            }
+        emit_default_undecl = (
+            None not in ns_axis and rendered.get(None) not in (None, "")
+        )
+
+        child_rendered = dict(rendered)
+        child_rendered.update(to_render)
+        if emit_default_undecl:
+            child_rendered.pop(None, None)
+
+        attrs = list(element.attrs)
+        if apex and not self.exclusive and isinstance(element.parent, Element):
+            attrs = self._inherit_xml_attributes(element, attrs)
+
+        self._check_prefixes(element, ns_axis)
+
+        self.out.append(f"<{element.qname}")
+        ns_items = sorted(to_render.items(), key=lambda kv: kv[0] or "")
+        if emit_default_undecl:
+            ns_items.insert(0, (None, ""))
+        for prefix, uri in ns_items:
+            name = f"xmlns:{prefix}" if prefix else "xmlns"
+            self.out.append(f' {name}="{escape_attribute(uri)}"')
+        for attr in sorted(attrs, key=lambda a: (a.ns_uri or "", a.local)):
+            self.out.append(
+                f' {attr.qname}="{escape_attribute(attr.value)}"'
+            )
+        self.out.append(">")
+
+        for child in element.children:
+            if isinstance(child, Element):
+                self._element(child, child_rendered, apex=False)
+            elif isinstance(child, Text):
+                self.out.append(escape_text(child.data))
+            elif isinstance(child, ProcessingInstruction):
+                self._pi(child)
+            elif isinstance(child, Comment) and self.with_comments:
+                self._comment(child)
+        self.out.append(f"</{element.qname}>")
+
+    def _exclusive_ns(self, element: Element,
+                      ns_axis: dict[str | None, str],
+                      rendered: dict[str | None, str]) -> dict[str | None, str]:
+        """Namespace nodes to render under exclusive C14N."""
+        utilized: set[str | None] = {element.prefix}
+        for attr in element.attrs:
+            if attr.prefix is not None:
+                utilized.add(attr.prefix)
+        for prefix in self.inclusive_prefixes:
+            utilized.add(None if prefix == "#default" else prefix)
+        to_render = {}
+        for prefix in utilized:
+            if prefix == "xml":
+                continue
+            if prefix in ns_axis and rendered.get(prefix) != ns_axis[prefix]:
+                to_render[prefix] = ns_axis[prefix]
+        return to_render
+
+    @staticmethod
+    def _inherit_xml_attributes(element: Element, attrs):
+        """Pull ``xml:*`` attributes from excluded ancestors (C14N §2.4)."""
+        present = {a.local for a in attrs if a.ns_uri == XML_NS}
+        inherited: dict[str, "object"] = {}
+        ancestor = element.parent
+        while isinstance(ancestor, Element):
+            for attr in ancestor.attrs:
+                if attr.ns_uri == XML_NS and attr.local not in present \
+                        and attr.local not in inherited:
+                    inherited[attr.local] = attr
+            ancestor = ancestor.parent
+        return attrs + [a.copy() for a in inherited.values()]
+
+    def _check_prefixes(self, element: Element,
+                        ns_axis: dict[str | None, str]) -> None:
+        if element.prefix and element.prefix != "xml" \
+                and element.prefix not in ns_axis:
+            raise CanonicalizationError(
+                f"element prefix {element.prefix!r} is not bound in scope"
+            )
+        for attr in element.attrs:
+            if attr.prefix and attr.prefix != "xml" \
+                    and attr.prefix not in ns_axis:
+                raise CanonicalizationError(
+                    f"attribute prefix {attr.prefix!r} is not bound in scope"
+                )
+
+    def _pi(self, pi: ProcessingInstruction) -> None:
+        data = f" {pi.data}" if pi.data else ""
+        self.out.append(f"<?{pi.target}{data}?>")
+
+    def _comment(self, comment: Comment) -> None:
+        self.out.append(f"<!--{comment.data}-->")

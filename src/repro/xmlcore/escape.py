@@ -1,0 +1,28 @@
+"""Character escaping for XML serialization and canonicalization.
+
+Canonical XML 1.0 prescribes exact escaping rules that differ between
+text nodes and attribute values; the plain serializer reuses them so a
+parse → serialize round trip is loss-free.
+"""
+
+from __future__ import annotations
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", "\r": "&#xD;"}
+_ATTR_ESCAPES = {
+    "&": "&amp;", "<": "&lt;", '"': "&quot;",
+    "\t": "&#x9;", "\n": "&#xA;", "\r": "&#xD;",
+}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data per C14N §2.3 (text nodes)."""
+    if not any(c in value for c in "&<>\r"):
+        return value
+    return "".join(_TEXT_ESCAPES.get(c, c) for c in value)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value per C14N §2.3 (attribute nodes)."""
+    if not any(c in value for c in "&<\"\t\n\r"):
+        return value
+    return "".join(_ATTR_ESCAPES.get(c, c) for c in value)

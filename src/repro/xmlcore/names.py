@@ -1,0 +1,88 @@
+"""XML name and character classes (XML 1.0, namespaces in XML).
+
+Also hosts the namespace URI constants used across the security stack —
+the XMLDSig, XMLEnc, XKMS and XACML vocabularies the paper builds on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NamespaceError
+
+# Well-known namespace URIs.
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+XMLNS_NS = "http://www.w3.org/2000/xmlns/"
+DSIG_NS = "http://www.w3.org/2000/09/xmldsig#"
+XMLENC_NS = "http://www.w3.org/2001/04/xmlenc#"
+EXC_C14N_NS = "http://www.w3.org/2001/10/xml-exc-c14n#"
+XKMS_NS = "http://www.w3.org/2002/03/xkms#"
+XACML_NS = "urn:oasis:names:tc:xacml:2.0:policy:schema:os"
+XACML_CTX_NS = "urn:oasis:names:tc:xacml:2.0:context:schema:os"
+SMIL_NS = "http://www.w3.org/2001/SMIL20/Language"
+# Vocabulary for the disc content hierarchy (our Blu-ray-style manifest).
+DISC_NS = "urn:bda:bdmv:interactive-cluster"
+MHP_PERMISSION_NS = "urn:dvb:mhp:2003:permissions"
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:-."
+
+
+def is_name_start_char(ch: str) -> bool:
+    """True if *ch* can start an XML Name (ASCII + common Unicode ranges)."""
+    code = ord(ch)
+    if ch.isalpha() or ch in _NAME_START_EXTRA:
+        return True
+    return (
+        0xC0 <= code <= 0xD6 or 0xD8 <= code <= 0xF6
+        or 0xF8 <= code <= 0x2FF or 0x370 <= code <= 0x1FFF
+        or 0x200C <= code <= 0x200D or 0x2070 <= code <= 0x218F
+        or 0x2C00 <= code <= 0x2FEF or 0x3001 <= code <= 0xD7FF
+        or 0xF900 <= code <= 0xFDCF or 0xFDF0 <= code <= 0xFFFD
+        or 0x10000 <= code <= 0xEFFFF
+    )
+
+
+def is_name_char(ch: str) -> bool:
+    """True if *ch* can appear inside an XML Name."""
+    if is_name_start_char(ch) or ch.isdigit() or ch in _NAME_EXTRA:
+        return True
+    code = ord(ch)
+    return code == 0xB7 or 0x0300 <= code <= 0x036F or 0x203F <= code <= 0x2040
+
+
+def is_valid_name(name: str) -> bool:
+    """True if *name* is a syntactically valid XML Name."""
+    if not name:
+        return False
+    if not is_name_start_char(name[0]):
+        return False
+    return all(is_name_char(c) for c in name[1:])
+
+
+def is_xml_whitespace(ch: str) -> bool:
+    """True for the four XML whitespace characters."""
+    return ch in " \t\r\n"
+
+
+def is_xml_char(ch: str) -> bool:
+    """True if *ch* is a legal XML 1.0 character."""
+    code = ord(ch)
+    return (
+        code in (0x9, 0xA, 0xD)
+        or 0x20 <= code <= 0xD7FF
+        or 0xE000 <= code <= 0xFFFD
+        or 0x10000 <= code <= 0x10FFFF
+    )
+
+
+def split_qname(qname: str) -> tuple[str | None, str]:
+    """Split ``prefix:local`` into ``(prefix, local)``.
+
+    Raises:
+        NamespaceError: for empty parts or more than one colon.
+    """
+    if ":" not in qname:
+        return None, qname
+    prefix, _, local = qname.partition(":")
+    if not prefix or not local or ":" in local:
+        raise NamespaceError(f"malformed QName {qname!r}")
+    return prefix, local

@@ -1,0 +1,426 @@
+"""A namespace-aware XML 1.0 parser built from scratch.
+
+Supports the full surface the security stack needs: elements and
+attributes with namespace processing, character/entity references,
+CDATA sections, comments, processing instructions, the XML declaration,
+and a skipped (but well-formedness-checked) DOCTYPE.  External entities
+and DTD-defined entities are deliberately rejected — the classic XML
+security posture against entity-expansion attacks, which matters for a
+player that parses downloaded applications.
+
+Errors carry 1-based line/column positions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NamespaceError, XMLSyntaxError
+from repro.xmlcore.names import (
+    XML_NS, XMLNS_NS, is_name_char, is_name_start_char, is_xml_char,
+    split_qname,
+)
+from repro.xmlcore.tree import (
+    Attr, Comment, Document, Element, ProcessingInstruction, Text,
+)
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&", "lt": "<", "gt": ">", "apos": "'", "quot": '"',
+}
+
+
+class _Scanner:
+    """Cursor over the source text with location-aware errors."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def error(self, message: str, pos: int | None = None) -> XMLSyntaxError:
+        at = self.pos if pos is None else pos
+        line = self.source.count("\n", 0, at) + 1
+        last_nl = self.source.rfind("\n", 0, at)
+        column = at - last_nl
+        return XMLSyntaxError(message, line, column)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, n: int = 1) -> str:
+        return self.source[self.pos:self.pos + n]
+
+    def advance(self, n: int = 1) -> str:
+        chunk = self.source[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def accept(self, literal: str) -> bool:
+        if self.source.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def skip_whitespace(self) -> int:
+        start = self.pos
+        while not self.eof() and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+        return self.pos - start
+
+    def read_name(self) -> str:
+        if self.eof() or not is_name_start_char(self.source[self.pos]):
+            raise self.error("expected an XML name")
+        start = self.pos
+        self.pos += 1
+        while not self.eof() and is_name_char(self.source[self.pos]):
+            self.pos += 1
+        return self.source[start:self.pos]
+
+    def read_until(self, terminator: str, what: str) -> str:
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        chunk = self.source[self.pos:end]
+        self.pos = end + len(terminator)
+        return chunk
+
+
+class Parser:
+    """Parses a complete document or a standalone element fragment."""
+
+    def __init__(self, source: str | bytes):
+        if isinstance(source, bytes):
+            source = self._decode(source)
+        # Normalize line endings per XML 1.0 §2.11 before any processing.
+        source = source.replace("\r\n", "\n").replace("\r", "\n")
+        self._scanner = _Scanner(source)
+
+    @staticmethod
+    def _decode(raw: bytes) -> str:
+        if raw.startswith(b"\xef\xbb\xbf"):
+            raw = raw[3:]
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XMLSyntaxError(f"input is not valid UTF-8: {exc}") from None
+
+    # -- entry points -----------------------------------------------------------
+
+    def parse_document(self) -> Document:
+        """Parse a full document: prolog, one root element, misc trailer."""
+        s = self._scanner
+        document = Document()
+        self._parse_prolog(document)
+        root = self._parse_element(scope=[{None: None, "xml": XML_NS}])
+        document.append(root)
+        while True:
+            s.skip_whitespace()
+            if s.eof():
+                break
+            if s.accept("<!--"):
+                document.append(Comment(self._finish_comment()))
+            elif s.accept("<?"):
+                document.append(self._finish_pi())
+            else:
+                raise s.error("content after document root")
+        return document
+
+    def parse_fragment(self) -> Element:
+        """Parse a standalone element (leading prolog allowed)."""
+        document = self.parse_document()
+        root = document.root
+        document.remove(root)
+        return root
+
+    # -- prolog -------------------------------------------------------------------
+
+    def _parse_prolog(self, document: Document) -> None:
+        s = self._scanner
+        if s.accept("<?xml"):
+            s.read_until("?>", "XML declaration")
+        seen_doctype = False
+        while True:
+            s.skip_whitespace()
+            if s.accept("<!--"):
+                document.append(Comment(self._finish_comment()))
+            elif s.peek(2) == "<?":
+                s.advance(2)
+                document.append(self._finish_pi())
+            elif s.peek(9) == "<!DOCTYPE":
+                if seen_doctype:
+                    raise s.error("multiple DOCTYPE declarations")
+                seen_doctype = True
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        """Skip a DOCTYPE declaration, rejecting entity definitions."""
+        s = self._scanner
+        s.expect("<!DOCTYPE")
+        depth = 0
+        start = s.pos
+        while True:
+            if s.eof():
+                raise s.error("unterminated DOCTYPE")
+            ch = s.advance()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                break
+        body = s.source[start:s.pos]
+        if "<!ENTITY" in body:
+            raise s.error(
+                "DTD entity definitions are not allowed "
+                "(security hardening)", start,
+            )
+
+    # -- element ------------------------------------------------------------------
+
+    def _parse_element(self, scope: list[dict[str | None, str | None]]) -> Element:
+        s = self._scanner
+        s.expect("<")
+        open_pos = s.pos
+        qname = s.read_name()
+        raw_attrs: list[tuple[str, str, int]] = []
+        while True:
+            had_space = s.skip_whitespace() > 0
+            if s.accept("/>"):
+                self_closing = True
+                break
+            if s.accept(">"):
+                self_closing = False
+                break
+            if s.eof():
+                raise s.error("unterminated start tag")
+            if not had_space:
+                raise s.error("whitespace required before attribute")
+            attr_pos = s.pos
+            attr_name = s.read_name()
+            s.skip_whitespace()
+            s.expect("=")
+            s.skip_whitespace()
+            raw_attrs.append((attr_name, self._read_attr_value(), attr_pos))
+
+        element = self._build_element(qname, raw_attrs, scope, open_pos)
+
+        if not self_closing:
+            self._parse_content(element, scope)
+            close_pos = s.pos
+            end_name = s.read_name()
+            if end_name != qname:
+                raise s.error(
+                    f"mismatched end tag </{end_name}> for <{qname}>",
+                    close_pos,
+                )
+            s.skip_whitespace()
+            s.expect(">")
+        scope.pop()
+        return element
+
+    def _build_element(self, qname: str,
+                       raw_attrs: list[tuple[str, str, int]],
+                       scope: list[dict[str | None, str | None]],
+                       open_pos: int) -> Element:
+        s = self._scanner
+        bindings: dict[str | None, str | None] = dict(scope[-1])
+        declared: dict[str | None, str] = {}
+        plain: list[tuple[str, str, int]] = []
+        seen_raw: set[str] = set()
+        for name, value, pos in raw_attrs:
+            if name in seen_raw:
+                raise s.error(f"duplicate attribute {name!r}", pos)
+            seen_raw.add(name)
+            if name == "xmlns":
+                declared[None] = value
+                bindings[None] = value or None
+            elif name.startswith("xmlns:"):
+                prefix = name[6:]
+                if prefix == "xmlns" or (prefix == "xml" and value != XML_NS):
+                    raise s.error(f"illegal namespace binding for {prefix!r}", pos)
+                if not value:
+                    raise s.error(
+                        f"cannot undeclare prefix {prefix!r} in XML 1.0", pos
+                    )
+                declared[prefix] = value
+                bindings[prefix] = value
+            else:
+                plain.append((name, value, pos))
+        scope.append(bindings)
+
+        try:
+            prefix, local = split_qname(qname)
+        except NamespaceError as exc:
+            raise s.error(str(exc), open_pos) from None
+        ns_uri = bindings.get(prefix) if prefix else bindings.get(None)
+        if prefix and ns_uri is None:
+            raise s.error(f"undeclared prefix {prefix!r}", open_pos)
+
+        element = Element(local, ns_uri, prefix)
+        element.ns_decls = declared
+
+        seen_expanded: set[tuple[str | None, str]] = set()
+        for name, value, pos in plain:
+            try:
+                a_prefix, a_local = split_qname(name)
+            except NamespaceError as exc:
+                raise s.error(str(exc), pos) from None
+            a_uri = None
+            if a_prefix is not None:
+                a_uri = bindings.get(a_prefix)
+                if a_uri is None:
+                    raise s.error(f"undeclared prefix {a_prefix!r}", pos)
+            key = (a_uri, a_local)
+            if key in seen_expanded:
+                raise s.error(
+                    f"duplicate attribute {{{a_uri}}}{a_local}", pos
+                )
+            seen_expanded.add(key)
+            element.attrs.append(Attr(a_local, value, a_prefix, a_uri))
+        return element
+
+    # -- attribute values -----------------------------------------------------------
+
+    def _read_attr_value(self) -> str:
+        s = self._scanner
+        quote = s.advance()
+        if quote not in "'\"":
+            raise s.error("attribute value must be quoted", s.pos - 1)
+        parts: list[str] = []
+        while True:
+            if s.eof():
+                raise s.error("unterminated attribute value")
+            ch = s.peek()
+            if ch == quote:
+                s.advance()
+                break
+            if ch == "<":
+                raise s.error("'<' is not allowed in attribute values")
+            if ch == "&":
+                parts.append(self._read_reference())
+            elif ch in "\t\n":
+                # Attribute-value normalization (XML 1.0 §3.3.3).
+                parts.append(" ")
+                s.advance()
+            else:
+                self._check_char(ch)
+                parts.append(ch)
+                s.advance()
+        return "".join(parts)
+
+    # -- content --------------------------------------------------------------------
+
+    def _parse_content(self, element: Element,
+                       scope: list[dict[str | None, str | None]]) -> None:
+        s = self._scanner
+        text_parts: list[str] = []
+
+        def flush_text():
+            if text_parts:
+                element.append(Text("".join(text_parts)))
+                text_parts.clear()
+
+        while True:
+            if s.eof():
+                raise s.error(f"unexpected end of input inside <{element.qname}>")
+            ch = s.peek()
+            if ch == "<":
+                if s.accept("</"):
+                    flush_text()
+                    return
+                if s.accept("<!--"):
+                    flush_text()
+                    element.append(Comment(self._finish_comment()))
+                elif s.accept("<![CDATA["):
+                    flush_text()
+                    data = s.read_until("]]>", "CDATA section")
+                    element.append(Text(data, is_cdata=True))
+                elif s.accept("<?"):
+                    flush_text()
+                    element.append(self._finish_pi())
+                else:
+                    flush_text()
+                    element.append(self._parse_element(scope))
+            elif ch == "&":
+                text_parts.append(self._read_reference())
+            elif ch == ">" and "".join(text_parts).endswith("]]"):
+                raise s.error("']]>' is not allowed in character data")
+            else:
+                self._check_char(ch)
+                text_parts.append(ch)
+                s.advance()
+
+    def _read_reference(self) -> str:
+        s = self._scanner
+        start = s.pos
+        s.expect("&")
+        if s.accept("#x") or s.accept("#X"):
+            digits = s.read_until(";", "character reference")
+            try:
+                code = int(digits, 16)
+            except ValueError:
+                raise s.error(f"bad hex character reference &#x{digits};", start)
+        elif s.accept("#"):
+            digits = s.read_until(";", "character reference")
+            try:
+                code = int(digits, 10)
+            except ValueError:
+                raise s.error(f"bad character reference &#{digits};", start)
+        else:
+            name = s.read_name()
+            s.expect(";")
+            try:
+                return _PREDEFINED_ENTITIES[name]
+            except KeyError:
+                raise s.error(
+                    f"undefined entity &{name}; (only predefined entities "
+                    "are supported)", start,
+                ) from None
+        try:
+            ch = chr(code)
+        except (ValueError, OverflowError):
+            raise s.error(f"character reference out of range", start) from None
+        if not is_xml_char(ch):
+            raise s.error(
+                f"character reference to illegal XML character U+{code:04X}",
+                start,
+            )
+        return ch
+
+    def _finish_comment(self) -> str:
+        s = self._scanner
+        data = s.read_until("-->", "comment")
+        if "--" in data or data.endswith("-"):
+            raise s.error("'--' is not allowed inside comments")
+        return data
+
+    def _finish_pi(self) -> ProcessingInstruction:
+        s = self._scanner
+        target = s.read_name()
+        if target.lower() == "xml":
+            raise s.error("processing instruction target may not be 'xml'")
+        if s.peek() == "?" :
+            s.expect("?>")
+            return ProcessingInstruction(target, "")
+        s.skip_whitespace()
+        data = s.read_until("?>", "processing instruction")
+        return ProcessingInstruction(target, data)
+
+    def _check_char(self, ch: str) -> None:
+        if not is_xml_char(ch):
+            raise self._scanner.error(
+                f"illegal XML character U+{ord(ch):04X}"
+            )
+
+
+def parse_document(source: str | bytes) -> Document:
+    """Parse *source* into a :class:`Document`."""
+    return Parser(source).parse_document()
+
+
+def parse_element(source: str | bytes) -> Element:
+    """Parse *source* and return its root :class:`Element`."""
+    return Parser(source).parse_fragment()

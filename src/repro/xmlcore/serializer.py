@@ -1,0 +1,122 @@
+"""Plain (non-canonical) XML serialization.
+
+Produces well-formed output that re-parses to an equivalent tree.
+Signature-relevant byte streams always go through
+:mod:`repro.xmlcore.c14n`; this serializer is for storage and display,
+and offers optional pretty-printing for the examples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NamespaceError
+from repro.xmlcore.escape import escape_attribute, escape_text
+from repro.xmlcore.names import XML_NS
+from repro.xmlcore.tree import (
+    Comment, Document, Element, Node, ProcessingInstruction, Text,
+)
+
+
+def serialize(node: Node, xml_declaration: bool = False,
+              pretty: bool = False) -> str:
+    """Serialize an :class:`Element` or :class:`Document` to text."""
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if pretty:
+            parts.append("\n")
+    if isinstance(node, Document):
+        for i, child in enumerate(node.children):
+            _serialize_node(child, parts, {"xml": XML_NS}, pretty, 0)
+            if pretty and i < len(node.children) - 1:
+                parts.append("\n")
+    else:
+        _serialize_node(node, parts, {"xml": XML_NS}, pretty, 0)
+    if pretty:
+        parts.append("\n")
+    return "".join(parts)
+
+
+def serialize_bytes(node: Node, xml_declaration: bool = True) -> bytes:
+    """Serialize to UTF-8 bytes (the on-disc representation)."""
+    return serialize(node, xml_declaration=xml_declaration).encode("utf-8")
+
+
+def _has_element_children(element: Element) -> bool:
+    return any(isinstance(c, Element) for c in element.children)
+
+
+def _only_whitespace_text(element: Element) -> bool:
+    return all(
+        not isinstance(c, Text) or not c.data.strip()
+        for c in element.children
+    )
+
+
+def _serialize_node(node: Node, parts: list[str],
+                    inherited: dict[str | None, str], pretty: bool,
+                    depth: int) -> None:
+    indent = "  " * depth if pretty else ""
+    if isinstance(node, Text):
+        if node.is_cdata:
+            parts.append(f"<![CDATA[{node.data}]]>")
+        else:
+            parts.append(escape_text(node.data))
+        return
+    if isinstance(node, Comment):
+        parts.append(f"{indent}<!--{node.data}-->")
+        return
+    if isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"{indent}<?{node.target}{data}?>")
+        return
+    if not isinstance(node, Element):
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+    scope = dict(inherited)
+    decls = dict(node.ns_decls)
+    scope.update({p: u for p, u in decls.items() if u})
+    if decls.get(None) == "":
+        scope.pop(None, None)
+
+    # Ensure the element's own namespace is reachable; auto-declare the
+    # binding if the tree was built programmatically without one.
+    if node.ns_uri and scope.get(node.prefix) != node.ns_uri:
+        decls[node.prefix] = node.ns_uri
+        scope[node.prefix] = node.ns_uri
+    elif node.ns_uri is None and node.prefix is None and scope.get(None):
+        decls[None] = ""
+        scope.pop(None, None)
+
+    for attr in node.attrs:
+        if attr.ns_uri and attr.ns_uri != XML_NS:
+            if attr.prefix is None:
+                raise NamespaceError(
+                    f"namespaced attribute {attr.local!r} needs a prefix"
+                )
+            if scope.get(attr.prefix) != attr.ns_uri:
+                decls[attr.prefix] = attr.ns_uri
+                scope[attr.prefix] = attr.ns_uri
+
+    parts.append(f"{indent}<{node.qname}")
+    for prefix in sorted(decls, key=lambda p: (p is not None, p or "")):
+        name = f"xmlns:{prefix}" if prefix else "xmlns"
+        parts.append(f' {name}="{escape_attribute(decls[prefix])}"')
+    for attr in node.attrs:
+        parts.append(f' {attr.qname}="{escape_attribute(attr.value)}"')
+
+    if not node.children:
+        parts.append("/>")
+        return
+    parts.append(">")
+    block = (
+        pretty and _has_element_children(node) and _only_whitespace_text(node)
+    )
+    for child in node.children:
+        if block and not isinstance(child, Text):
+            parts.append("\n")
+        if isinstance(child, Text) and block:
+            continue
+        _serialize_node(child, parts, scope, pretty and block, depth + 1)
+    if block:
+        parts.append(f"\n{indent}")
+    parts.append(f"</{node.qname}>")

@@ -1,0 +1,447 @@
+"""In-memory XML tree model (a compact DOM).
+
+The node classes here are the substrate every higher layer works on:
+the parser builds them, the serializer and the canonicalizer consume
+them, and XMLDSig/XMLEnc splice signature and encryption markup into
+them.  Namespace handling is explicit: each element records the
+namespace declarations *syntactically present* on it (``ns_decls``), and
+its resolved ``ns_uri``; in-scope namespaces are computed by walking
+parents, which is exactly the shape Canonical XML needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NamespaceError, XMLError
+from repro.xmlcore.names import XML_NS, is_valid_name, split_qname
+
+_ID_ATTRIBUTE_NAMES = ("Id", "ID", "id")
+
+
+class Node:
+    """Base class for all tree nodes."""
+
+    parent: "Element | Document | None"
+
+    def __init__(self):
+        self.parent = None
+
+    def root_document(self) -> "Document | None":
+        """Walk to the owning :class:`Document`, if any."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node if isinstance(node, Document) else None
+
+    def copy(self) -> "Node":
+        """Deep-copy this node (parent link cleared)."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """Character data.  ``is_cdata`` records CDATA origin for round trips."""
+
+    def __init__(self, data: str, is_cdata: bool = False):
+        super().__init__()
+        self.data = data
+        self.is_cdata = is_cdata
+
+    def copy(self) -> "Text":
+        return Text(self.data, self.is_cdata)
+
+    def __repr__(self):
+        return f"Text({self.data!r})"
+
+
+class Comment(Node):
+    """An XML comment."""
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+    def copy(self) -> "Comment":
+        return Comment(self.data)
+
+    def __repr__(self):
+        return f"Comment({self.data!r})"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction ``<?target data?>``."""
+
+    def __init__(self, target: str, data: str = ""):
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    def copy(self) -> "ProcessingInstruction":
+        return ProcessingInstruction(self.target, self.data)
+
+    def __repr__(self):
+        return f"PI({self.target!r}, {self.data!r})"
+
+
+@dataclass
+class Attr:
+    """A (non-namespace-declaration) attribute."""
+
+    local: str
+    value: str
+    prefix: str | None = None
+    ns_uri: str | None = None
+
+    @property
+    def qname(self) -> str:
+        return f"{self.prefix}:{self.local}" if self.prefix else self.local
+
+    def copy(self) -> "Attr":
+        return Attr(self.local, self.value, self.prefix, self.ns_uri)
+
+
+class Element(Node):
+    """An element node.
+
+    Attributes:
+        local: local name.
+        prefix: namespace prefix used in the source (or ``None``).
+        ns_uri: resolved namespace URI (or ``None``).
+        attrs: ordered list of :class:`Attr` (namespace declarations are
+            *not* stored here).
+        ns_decls: namespace declarations syntactically on this element;
+            maps prefix (``None`` for the default namespace) to URI.
+        children: ordered child nodes.
+    """
+
+    def __init__(self, local: str, ns_uri: str | None = None,
+                 prefix: str | None = None):
+        super().__init__()
+        if not is_valid_name(local) or ":" in local:
+            raise XMLError(f"invalid element local name {local!r}")
+        self.local = local
+        self.prefix = prefix
+        self.ns_uri = ns_uri
+        self.attrs: list[Attr] = []
+        self.ns_decls: dict[str | None, str] = {}
+        self.children: list[Node] = []
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def qname(self) -> str:
+        return f"{self.prefix}:{self.local}" if self.prefix else self.local
+
+    def matches(self, local: str, ns_uri: str | None = None) -> bool:
+        """Name test: local name plus (when given) namespace URI."""
+        if self.local != local:
+            return False
+        return ns_uri is None or self.ns_uri == ns_uri
+
+    # -- child management -------------------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        """Append *node* (re-parenting it) and return it."""
+        if node.parent is not None:
+            node.parent.remove(node)
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def extend(self, nodes) -> None:
+        for node in list(nodes):
+            self.append(node)
+
+    def insert(self, index: int, node: Node) -> Node:
+        if node.parent is not None:
+            node.parent.remove(node)
+        node.parent = self
+        self.children.insert(index, node)
+        return node
+
+    def remove(self, node: Node) -> None:
+        self.children.remove(node)
+        node.parent = None
+
+    def replace(self, old: Node, new: Node) -> None:
+        """Replace child *old* with *new* in place."""
+        index = self.children.index(old)
+        if new.parent is not None:
+            new.parent.remove(new)
+        self.children[index] = new
+        new.parent = self
+        old.parent = None
+
+    def index(self, node: Node) -> int:
+        return self.children.index(node)
+
+    def append_text(self, data: str) -> Text:
+        """Convenience: append a text node."""
+        text = Text(data)
+        return self.append(text)  # type: ignore[return-value]
+
+    # -- attribute access ---------------------------------------------------------
+
+    def _match_attr(self, name: str) -> Attr | None:
+        if name.startswith("{"):
+            uri, _, local = name[1:].partition("}")
+            for attr in self.attrs:
+                if attr.local == local and attr.ns_uri == uri:
+                    return attr
+            return None
+        prefix, local = split_qname(name)
+        if prefix is not None:
+            uri = self.resolve_prefix(prefix)
+            for attr in self.attrs:
+                if attr.local == local and attr.ns_uri == uri:
+                    return attr
+            return None
+        for attr in self.attrs:
+            if attr.local == local and attr.ns_uri is None:
+                return attr
+        return None
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Get an attribute value.
+
+        *name* may be a bare local name (no-namespace attribute),
+        ``prefix:local`` (prefix resolved in this element's scope) or
+        Clark notation ``{uri}local``.
+        """
+        attr = self._match_attr(name)
+        return attr.value if attr is not None else default
+
+    def set(self, name: str, value: str) -> None:
+        """Set (or overwrite) an attribute.
+
+        Accepts the same name forms as :meth:`get`.  For
+        ``prefix:local`` names the prefix must already be resolvable in
+        scope.
+        """
+        existing = self._match_attr(name)
+        if existing is not None:
+            existing.value = value
+            return
+        if name.startswith("{"):
+            uri, _, local = name[1:].partition("}")
+            prefix = self.prefix_for(uri)
+            self.attrs.append(Attr(local, value, prefix, uri))
+            return
+        prefix, local = split_qname(name)
+        if prefix is None:
+            self.attrs.append(Attr(local, value))
+        else:
+            uri = self.resolve_prefix(prefix)
+            if uri is None:
+                raise NamespaceError(
+                    f"prefix {prefix!r} is not bound in scope"
+                )
+            self.attrs.append(Attr(local, value, prefix, uri))
+
+    def delete_attr(self, name: str) -> bool:
+        """Remove an attribute if present; returns whether it existed."""
+        attr = self._match_attr(name)
+        if attr is None:
+            return False
+        self.attrs.remove(attr)
+        return True
+
+    # -- namespaces -----------------------------------------------------------
+
+    def declare_namespace(self, prefix: str | None, uri: str) -> None:
+        """Add an ``xmlns`` declaration on this element."""
+        if prefix is not None and not is_valid_name(prefix):
+            raise NamespaceError(f"invalid namespace prefix {prefix!r}")
+        self.ns_decls[prefix] = uri
+
+    def in_scope_namespaces(self) -> dict[str | None, str]:
+        """All namespace bindings in scope at this element.
+
+        The ``xml`` prefix is implicitly bound; a default-namespace
+        binding to ``""`` (an undeclaration) is dropped from the result.
+        """
+        bindings: dict[str | None, str] = {"xml": XML_NS}
+        chain: list[Element] = []
+        node: Node | None = self
+        while isinstance(node, Element):
+            chain.append(node)
+            node = node.parent
+        for element in reversed(chain):
+            bindings.update(element.ns_decls)
+        if bindings.get(None) == "":
+            del bindings[None]
+        return bindings
+
+    def resolve_prefix(self, prefix: str | None) -> str | None:
+        """Resolve *prefix* against in-scope bindings (``None`` = default)."""
+        if prefix == "xml":
+            return XML_NS
+        node: Node | None = self
+        while isinstance(node, Element):
+            if prefix in node.ns_decls:
+                uri = node.ns_decls[prefix]
+                return uri or None
+            node = node.parent
+        return None
+
+    def prefix_for(self, uri: str) -> str | None:
+        """Find an in-scope prefix bound to *uri* (``None`` if default)."""
+        for prefix, bound in self.in_scope_namespaces().items():
+            if bound == uri:
+                return prefix
+        raise NamespaceError(f"no in-scope prefix for namespace {uri!r}")
+
+    # -- traversal --------------------------------------------------------------
+
+    def iter(self, local: str | None = None, ns_uri: str | None = None):
+        """Yield this element and all descendant elements, document order.
+
+        With *local* (and optionally *ns_uri*) given, only matching
+        elements are yielded.
+        """
+        if local is None or self.matches(local, ns_uri):
+            yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter(local, ns_uri)
+
+    def child_elements(self) -> list["Element"]:
+        """Direct element children."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, local: str, ns_uri: str | None = None) -> "Element | None":
+        """First descendant element matching the name test."""
+        for element in self.iter(local, ns_uri):
+            if element is not self:
+                return element
+        return None
+
+    def findall(self, local: str, ns_uri: str | None = None) -> list["Element"]:
+        """All descendant elements matching the name test."""
+        return [e for e in self.iter(local, ns_uri) if e is not self]
+
+    def first_child(self, local: str,
+                    ns_uri: str | None = None) -> "Element | None":
+        """First *direct* child element matching the name test."""
+        for child in self.child_elements():
+            if child.matches(local, ns_uri):
+                return child
+        return None
+
+    def text_content(self) -> str:
+        """Concatenated character data of all descendant text nodes."""
+        parts = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.data)
+            elif isinstance(child, Element):
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    def get_element_by_id(self, value: str) -> "Element | None":
+        """Find the descendant-or-self element whose Id/ID/id equals *value*."""
+        for element in self.iter():
+            for attr in element.attrs:
+                if attr.local in _ID_ATTRIBUTE_NAMES and attr.value == value:
+                    return element
+        return None
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self) -> "Element":
+        clone = Element(self.local, self.ns_uri, self.prefix)
+        clone.attrs = [a.copy() for a in self.attrs]
+        clone.ns_decls = dict(self.ns_decls)
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def detached_copy(self) -> "Element":
+        """Deep copy that *pins the inherited namespace context*.
+
+        Namespace bindings that were inherited from ancestors are
+        re-declared on the copy, so the clone means the same thing
+        standing alone.  Used when moving subtrees between documents
+        (e.g. lifting a manifest out of a cluster for signing).
+        """
+        clone = self.copy()
+        inherited = self.in_scope_namespaces()
+        del inherited["xml"]
+        for prefix, uri in inherited.items():
+            clone.ns_decls.setdefault(prefix, uri)
+        return clone
+
+    def __repr__(self):
+        return f"<Element {self.qname} attrs={len(self.attrs)} children={len(self.children)}>"
+
+
+class Document(Node):
+    """A document node: optional PIs/comments around exactly one root."""
+
+    def __init__(self, root: Element | None = None):
+        super().__init__()
+        self.children: list[Node] = []
+        if root is not None:
+            self.append(root)
+
+    @property
+    def root(self) -> Element:
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        raise XMLError("document has no root element")
+
+    def append(self, node: Node) -> Node:
+        if isinstance(node, Text):
+            raise XMLError("text is not allowed at document level")
+        if isinstance(node, Element) and any(
+            isinstance(c, Element) for c in self.children
+        ):
+            raise XMLError("document already has a root element")
+        if node.parent is not None:
+            node.parent.remove(node)
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def remove(self, node: Node) -> None:
+        self.children.remove(node)
+        node.parent = None
+
+    def copy(self) -> "Document":
+        doc = Document()
+        for child in self.children:
+            doc.append(child.copy())
+        return doc
+
+    def __repr__(self):
+        try:
+            return f"<Document root={self.root.qname}>"
+        except XMLError:
+            return "<Document (empty)>"
+
+
+def element(qname: str, ns_uri: str | None = None, *,
+            attrs: dict[str, str] | None = None,
+            text: str | None = None,
+            children: list[Element] | None = None,
+            nsmap: dict[str | None, str] | None = None) -> Element:
+    """Build an element tree declaratively.
+
+    ``qname`` may be ``prefix:local``; when *ns_uri* is given, the
+    element is placed in that namespace (declared via *nsmap* or bound
+    by an ancestor at serialization time).
+    """
+    prefix, local = split_qname(qname)
+    node = Element(local, ns_uri, prefix)
+    if nsmap:
+        for p, uri in nsmap.items():
+            node.declare_namespace(p, uri)
+    if attrs:
+        for name, value in attrs.items():
+            node.set(name, value)
+    if text is not None:
+        node.append_text(text)
+    if children:
+        node.extend(children)
+    return node

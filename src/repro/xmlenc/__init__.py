@@ -1,0 +1,22 @@
+"""XML Encryption (XMLEnc Core) — encrypt/decrypt markup and data."""
+
+from repro.xmlenc.algorithms import (
+    AES128_CBC, AES192_CBC, AES256_CBC, BLOCK_ALGORITHMS, KW_AES128,
+    TRIPLEDES_CBC,
+    KW_AES192, KW_AES256, KEY_TRANSPORT_ALGORITHMS, KEY_WRAP_ALGORITHMS,
+    RSA_1_5, TYPE_CONTENT, TYPE_ELEMENT, block_key_size,
+    decrypt_block_data, encrypt_block_data, unwrap_cek, wrap_cek,
+)
+from repro.xmlenc.decryptor import Decryptor
+from repro.xmlenc.encryptor import CONTENT_WRAPPER, Encryptor
+from repro.xmlenc.structures import EncryptedData, EncryptedKey
+
+__all__ = [
+    "Encryptor", "Decryptor", "EncryptedData", "EncryptedKey",
+    "AES128_CBC", "AES192_CBC", "AES256_CBC", "TRIPLEDES_CBC",
+    "KW_AES128", "KW_AES192", "KW_AES256", "RSA_1_5",
+    "TYPE_ELEMENT", "TYPE_CONTENT",
+    "BLOCK_ALGORITHMS", "KEY_WRAP_ALGORITHMS", "KEY_TRANSPORT_ALGORITHMS",
+    "block_key_size", "encrypt_block_data", "decrypt_block_data",
+    "wrap_cek", "unwrap_cek", "CONTENT_WRAPPER",
+]

@@ -1,0 +1,182 @@
+"""The Encryptor component (Fig 11): element, content and data encryption.
+
+Covers both scenarios of the paper's §6:
+
+* **Track target** (Fig 7): arbitrary/non-XML data → EncryptedData with
+  embedded CipherValue or a CipherReference to detached ciphertext;
+* **Manifest target** (Fig 8): an XML element (or only its content) is
+  replaced *in place* by the EncryptedData markup.
+
+Keys can be named (looked up by the player from its key slots) or
+transported per-message: a fresh content-encryption key (CEK) is
+generated and wrapped for the recipient with ``kw-aes*`` or ``rsa-1_5``.
+"""
+
+from __future__ import annotations
+
+from repro.primitives.keys import RSAPublicKey, SymmetricKey
+from repro.primitives.provider import CryptoProvider, get_provider
+from repro.primitives.random import RandomSource, default_random
+from repro.xmlcore import canonicalize, serialize
+from repro.xmlcore.tree import Element
+from repro.xmlenc import algorithms
+from repro.xmlenc.structures import EncryptedData, EncryptedKey
+
+# Internal wrapper element for Type=Content ciphertext: carries the
+# parent's namespace context so the decrypted children re-parse
+# correctly.  (Documented substitution for raw-fragment serialization.)
+CONTENT_WRAPPER = "xenc-content-wrapper"
+
+
+class Encryptor:
+    """Creates EncryptedData (and EncryptedKey) structures.
+
+    Args:
+        provider: crypto provider override.
+        rng: randomness source for IVs and generated CEKs.
+    """
+
+    def __init__(self, provider: CryptoProvider | None = None,
+                 rng: RandomSource | None = None):
+        self.provider = provider or get_provider()
+        self.rng = rng or default_random()
+
+    # -- key material -----------------------------------------------------------
+
+    def generate_cek(self, algorithm: str = algorithms.AES128_CBC
+                     ) -> SymmetricKey:
+        """Generate a fresh content-encryption key for *algorithm*."""
+        return SymmetricKey(
+            self.rng.read(algorithms.block_key_size(algorithm)), "aes",
+        )
+
+    def make_encrypted_key(self, cek: SymmetricKey, kek, *,
+                           wrap_algorithm: str = algorithms.KW_AES128,
+                           kek_name: str | None = None,
+                           recipient: str | None = None) -> EncryptedKey:
+        """Wrap *cek* under *kek* for transport inside KeyInfo."""
+        wrapped = algorithms.wrap_cek(
+            wrap_algorithm, kek, cek.data, self.provider, self.rng,
+        )
+        return EncryptedKey(
+            algorithm=wrap_algorithm, cipher_value=wrapped,
+            key_name=kek_name, recipient=recipient,
+        )
+
+    # -- arbitrary data (track targets, Fig 7) ------------------------------------
+
+    def encrypt_bytes(self, plaintext: bytes, key, *,
+                      algorithm: str = algorithms.AES128_CBC,
+                      key_name: str | None = None,
+                      encrypted_key: EncryptedKey | None = None,
+                      data_id: str | None = None,
+                      mime_type: str | None = None,
+                      detached_uri: str | None = None,
+                      ) -> tuple[EncryptedData, bytes | None]:
+        """Encrypt raw bytes.
+
+        With *detached_uri* the ciphertext is returned separately (to be
+        stored at that URI) and the EncryptedData carries a
+        CipherReference; otherwise the ciphertext is embedded.
+
+        Returns:
+            ``(encrypted_data, detached_ciphertext_or_None)``.
+        """
+        ciphertext = algorithms.encrypt_block_data(
+            algorithm, key, plaintext, self.provider, self.rng,
+        )
+        if detached_uri is not None:
+            data = EncryptedData(
+                algorithm=algorithm, cipher_reference=detached_uri,
+                key_name=key_name, encrypted_key=encrypted_key,
+                data_id=data_id, mime_type=mime_type,
+            )
+            return data, ciphertext
+        data = EncryptedData(
+            algorithm=algorithm, cipher_value=ciphertext,
+            key_name=key_name, encrypted_key=encrypted_key,
+            data_id=data_id, mime_type=mime_type,
+        )
+        return data, None
+
+    # -- XML targets (manifest targets, Fig 8) --------------------------------------
+
+    def encrypt_element(self, target: Element, key, *,
+                        algorithm: str = algorithms.AES128_CBC,
+                        key_name: str | None = None,
+                        encrypted_key: EncryptedKey | None = None,
+                        data_id: str | None = None,
+                        replace: bool = True) -> Element:
+        """Encrypt *target* (Type=Element).
+
+        The element's canonical octets are encrypted; when *replace* is
+        true and the element has a parent, the EncryptedData markup is
+        spliced into its place (the embedded scenario of Fig 8).
+
+        Returns the EncryptedData element.
+        """
+        plaintext = canonicalize(target.detached_copy())
+        data, _ = self.encrypt_bytes(
+            plaintext, key, algorithm=algorithm, key_name=key_name,
+            encrypted_key=encrypted_key, data_id=data_id,
+        )
+        data.data_type = algorithms.TYPE_ELEMENT
+        node = data.to_element()
+        if replace and isinstance(target.parent, Element):
+            target.parent.replace(target, node)
+        return node
+
+    def encrypt_content(self, target: Element, key, *,
+                        algorithm: str = algorithms.AES128_CBC,
+                        key_name: str | None = None,
+                        encrypted_key: EncryptedKey | None = None,
+                        data_id: str | None = None) -> Element:
+        """Encrypt *target*'s children (Type=Content), in place.
+
+        The element itself stays visible; its content is replaced by
+        the EncryptedData markup.  This is the partial-encryption mode
+        the paper highlights (e.g. keeping the application visible but
+        hiding the high scores).
+        """
+        wrapper = Element(CONTENT_WRAPPER)
+        for prefix, uri in target.in_scope_namespaces().items():
+            if prefix != "xml":
+                wrapper.declare_namespace(prefix, uri)
+        for child in list(target.children):
+            wrapper.append(child.copy())
+        plaintext = serialize(wrapper).encode("utf-8")
+        data, _ = self.encrypt_bytes(
+            plaintext, key, algorithm=algorithm, key_name=key_name,
+            encrypted_key=encrypted_key, data_id=data_id,
+        )
+        data.data_type = algorithms.TYPE_CONTENT
+        node = data.to_element()
+        for child in list(target.children):
+            target.remove(child)
+        target.append(node)
+        return node
+
+    def session_encrypt_element(self, target: Element, kek, *,
+                                algorithm: str = algorithms.AES128_CBC,
+                                wrap_algorithm: str = algorithms.KW_AES128,
+                                kek_name: str | None = None,
+                                recipient: str | None = None,
+                                data_id: str | None = None) -> Element:
+        """Encrypt *target* under a fresh CEK wrapped for *kek*.
+
+        Convenience wrapper for the common transport pattern: generate
+        a CEK, wrap it (AES key wrap for a shared secret,
+        ``rsa-1_5`` when *kek* is an RSA public key), embed the
+        EncryptedKey in the EncryptedData's KeyInfo.
+        """
+        if isinstance(kek, RSAPublicKey):
+            wrap_algorithm = algorithms.RSA_1_5
+        cek = self.generate_cek(algorithm)
+        encrypted_key = self.make_encrypted_key(
+            cek, kek, wrap_algorithm=wrap_algorithm, kek_name=kek_name,
+            recipient=recipient,
+        )
+        return self.encrypt_element(
+            target, cek, algorithm=algorithm, encrypted_key=encrypted_key,
+            data_id=data_id,
+        )

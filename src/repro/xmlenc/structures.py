@@ -1,0 +1,181 @@
+"""EncryptedData / EncryptedKey structures and their XML mapping.
+
+This is the "Encryption Data" markup of the paper's Figs 7 and 8: the
+result of encrypting a track or manifest target, either embedded in
+the interactive cluster or "jettisoned as a separate markup" (a
+CipherReference to external ciphertext).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncryptedDataFormatError
+from repro.primitives.encoding import b64decode, b64encode
+from repro.xmlcore import DSIG_NS, XMLENC_NS, element
+from repro.xmlcore.tree import Element
+
+
+@dataclass
+class EncryptedKey:
+    """An encrypted content-encryption key.
+
+    Attributes:
+        algorithm: key-wrap or key-transport algorithm URI.
+        cipher_value: the wrapped key bytes.
+        key_name: name of the key-encryption key (ds:KeyName).
+        recipient: optional Recipient hint.
+    """
+
+    algorithm: str
+    cipher_value: bytes
+    key_name: str | None = None
+    recipient: str | None = None
+
+    def to_element(self) -> Element:
+        node = element("xenc:EncryptedKey", XMLENC_NS,
+                       nsmap={"xenc": XMLENC_NS})
+        if self.recipient:
+            node.set("Recipient", self.recipient)
+        node.append(element("xenc:EncryptionMethod", XMLENC_NS,
+                            attrs={"Algorithm": self.algorithm}))
+        if self.key_name:
+            key_info = element("ds:KeyInfo", DSIG_NS, nsmap={"ds": DSIG_NS})
+            key_info.append(
+                element("ds:KeyName", DSIG_NS, text=self.key_name)
+            )
+            node.append(key_info)
+        cipher_data = element("xenc:CipherData", XMLENC_NS)
+        cipher_data.append(element(
+            "xenc:CipherValue", XMLENC_NS,
+            text=b64encode(self.cipher_value),
+        ))
+        node.append(cipher_data)
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "EncryptedKey":
+        method = node.first_child("EncryptionMethod", XMLENC_NS)
+        if method is None or not method.get("Algorithm"):
+            raise EncryptedDataFormatError(
+                "EncryptedKey lacks an EncryptionMethod"
+            )
+        cipher_data = node.first_child("CipherData", XMLENC_NS)
+        value = cipher_data.first_child("CipherValue", XMLENC_NS) \
+            if cipher_data is not None else None
+        if value is None:
+            raise EncryptedDataFormatError("EncryptedKey lacks CipherValue")
+        key_name = None
+        key_info = node.first_child("KeyInfo", DSIG_NS)
+        if key_info is not None:
+            name_el = key_info.first_child("KeyName", DSIG_NS)
+            if name_el is not None:
+                key_name = name_el.text_content().strip()
+        return cls(
+            algorithm=method.get("Algorithm") or "",
+            cipher_value=b64decode(value.text_content()),
+            key_name=key_name,
+            recipient=node.get("Recipient"),
+        )
+
+
+@dataclass
+class EncryptedData:
+    """An xenc:EncryptedData structure.
+
+    Exactly one of ``cipher_value`` / ``cipher_reference`` is set:
+    embedded ciphertext, or a URI to externally stored ciphertext
+    (Fig 7's "jettisoned as a separate markup").
+    """
+
+    algorithm: str
+    cipher_value: bytes | None = None
+    cipher_reference: str | None = None
+    data_type: str | None = None
+    data_id: str | None = None
+    key_name: str | None = None
+    encrypted_key: EncryptedKey | None = None
+    mime_type: str | None = None
+
+    def __post_init__(self):
+        if (self.cipher_value is None) == (self.cipher_reference is None):
+            raise EncryptedDataFormatError(
+                "EncryptedData needs exactly one of CipherValue / "
+                "CipherReference"
+            )
+
+    def to_element(self) -> Element:
+        node = element("xenc:EncryptedData", XMLENC_NS,
+                       nsmap={"xenc": XMLENC_NS})
+        if self.data_id:
+            node.set("Id", self.data_id)
+        if self.data_type:
+            node.set("Type", self.data_type)
+        if self.mime_type:
+            node.set("MimeType", self.mime_type)
+        node.append(element("xenc:EncryptionMethod", XMLENC_NS,
+                            attrs={"Algorithm": self.algorithm}))
+        if self.key_name or self.encrypted_key is not None:
+            key_info = element("ds:KeyInfo", DSIG_NS, nsmap={"ds": DSIG_NS})
+            if self.key_name:
+                key_info.append(
+                    element("ds:KeyName", DSIG_NS, text=self.key_name)
+                )
+            if self.encrypted_key is not None:
+                key_info.append(self.encrypted_key.to_element())
+            node.append(key_info)
+        cipher_data = element("xenc:CipherData", XMLENC_NS)
+        if self.cipher_value is not None:
+            cipher_data.append(element(
+                "xenc:CipherValue", XMLENC_NS,
+                text=b64encode(self.cipher_value),
+            ))
+        else:
+            cipher_data.append(element(
+                "xenc:CipherReference", XMLENC_NS,
+                attrs={"URI": self.cipher_reference or ""},
+            ))
+        node.append(cipher_data)
+        return node
+
+    @classmethod
+    def from_element(cls, node: Element) -> "EncryptedData":
+        if node.local != "EncryptedData" or node.ns_uri != XMLENC_NS:
+            raise EncryptedDataFormatError(
+                f"expected xenc:EncryptedData, got {node.qname}"
+            )
+        method = node.first_child("EncryptionMethod", XMLENC_NS)
+        if method is None or not method.get("Algorithm"):
+            raise EncryptedDataFormatError(
+                "EncryptedData lacks an EncryptionMethod"
+            )
+        cipher_data = node.first_child("CipherData", XMLENC_NS)
+        if cipher_data is None:
+            raise EncryptedDataFormatError("EncryptedData lacks CipherData")
+        value_el = cipher_data.first_child("CipherValue", XMLENC_NS)
+        reference_el = cipher_data.first_child("CipherReference", XMLENC_NS)
+        key_name = None
+        encrypted_key = None
+        key_info = node.first_child("KeyInfo", DSIG_NS)
+        if key_info is not None:
+            name_el = key_info.first_child("KeyName", DSIG_NS)
+            if name_el is not None:
+                key_name = name_el.text_content().strip()
+            ek_el = key_info.first_child("EncryptedKey", XMLENC_NS)
+            if ek_el is not None:
+                encrypted_key = EncryptedKey.from_element(ek_el)
+        return cls(
+            algorithm=method.get("Algorithm") or "",
+            cipher_value=(
+                b64decode(value_el.text_content())
+                if value_el is not None else None
+            ),
+            cipher_reference=(
+                reference_el.get("URI") if reference_el is not None else None
+            ),
+            data_type=node.get("Type"),
+            data_id=node.get("Id"),
+            key_name=key_name,
+            encrypted_key=encrypted_key,
+            mime_type=node.get("MimeType"),
+        )

@@ -1,0 +1,118 @@
+"""Certificate issuance, serialization and signature checking."""
+
+import pytest
+
+from repro.certs import Certificate, CertificateAuthority, SigningIdentity
+from repro.errors import CertificateError
+from repro.primitives.rsa import generate_keypair
+
+
+def test_root_is_self_signed(pki):
+    root_cert = pki.root.certificate
+    assert root_cert.subject == root_cert.issuer
+    assert root_cert.is_ca
+    assert root_cert.check_signature(root_cert.public_key)
+
+
+def test_issued_certificate_fields(pki):
+    cert = pki.studio.certificate
+    assert cert.subject == "CN=Contoso Studios"
+    assert cert.issuer == "CN=Studio CA"
+    assert not cert.is_ca
+    assert cert.allows_usage("digitalSignature")
+    assert not cert.allows_usage("keyCertSign")
+    assert cert.check_signature(pki.intermediate.certificate.public_key)
+
+
+def test_signature_fails_under_wrong_issuer(pki):
+    cert = pki.studio.certificate
+    assert not cert.check_signature(pki.root.certificate.public_key)
+    assert not cert.check_signature(pki.rogue_root.certificate.public_key)
+
+
+def test_tampered_subject_breaks_signature(pki):
+    cert = pki.studio.certificate
+    tampered = Certificate(
+        subject="CN=Somebody Else", issuer=cert.issuer, serial=cert.serial,
+        public_key=cert.public_key, not_before=cert.not_before,
+        not_after=cert.not_after, is_ca=cert.is_ca,
+        key_usage=cert.key_usage, signature=cert.signature,
+        signature_digest=cert.signature_digest,
+    )
+    assert not tampered.check_signature(
+        pki.intermediate.certificate.public_key
+    )
+
+
+def test_xml_roundtrip(pki):
+    cert = pki.studio.certificate
+    again = Certificate.from_xml(cert.to_xml())
+    assert again.subject == cert.subject
+    assert again.serial == cert.serial
+    assert again.public_key == cert.public_key
+    assert again.fingerprint() == cert.fingerprint()
+    assert again.check_signature(pki.intermediate.certificate.public_key)
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(CertificateError):
+        Certificate.from_xml("<Certificate><Junk/></Certificate>")
+    with pytest.raises(CertificateError):
+        Certificate.from_xml("<NotACert/>")
+
+
+def test_validity_window():
+    with pytest.raises(CertificateError):
+        Certificate(
+            subject="s", issuer="i", serial=1,
+            public_key=None, not_before=10.0, not_after=5.0,  # type: ignore[arg-type]
+        )
+
+
+def test_unknown_key_usage_rejected(pki):
+    with pytest.raises(CertificateError):
+        Certificate(
+            subject="s", issuer="i", serial=1,
+            public_key=pki.studio.certificate.public_key,
+            not_before=0.0, not_after=1.0,
+            key_usage=("flyToTheMoon",),
+        )
+
+
+def test_is_valid_at(pki):
+    cert = pki.studio.certificate
+    assert cert.is_valid_at(cert.not_before)
+    assert cert.is_valid_at(cert.not_after)
+    assert not cert.is_valid_at(cert.not_after + 1)
+    assert not cert.is_valid_at(cert.not_before - 1)
+
+
+def test_non_ca_cannot_issue(pki, rng):
+    key = generate_keypair(1024, rng)
+    not_a_ca = CertificateAuthority(
+        name=pki.studio.name, key=pki.studio.key,
+        certificate=pki.studio.certificate,
+    )
+    with pytest.raises(CertificateError):
+        not_a_ca.issue("CN=Anyone", key.public_key())
+
+
+def test_serials_increment(pki):
+    rng_ca = CertificateAuthority.create_root(
+        "CN=Serial CA",
+        rng=__import__(
+            "repro.primitives.random", fromlist=["DeterministicRandomSource"]
+        ).DeterministicRandomSource(b"serial-ca"),
+    )
+    c1 = rng_ca.issue("CN=A", pki.studio.certificate.public_key)
+    c2 = rng_ca.issue("CN=B", pki.studio.certificate.public_key)
+    assert c2.serial == c1.serial + 1
+
+
+def test_identity_chain_shape(pki):
+    # Studio: leaf + intermediate (root excluded).
+    assert [c.subject for c in pki.studio.chain] == [
+        "CN=Contoso Studios", "CN=Studio CA",
+    ]
+    # Author issued directly by the root: leaf only.
+    assert [c.subject for c in pki.author.chain] == ["CN=Indie Author"]

@@ -1,0 +1,110 @@
+"""Trust store chain validation, expiry and revocation."""
+
+import pytest
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.errors import CertificateVerificationError
+from repro.primitives.random import DeterministicRandomSource
+
+
+def test_valid_chain_through_intermediate(pki, trust_store):
+    result = trust_store.validate_chain(pki.studio.chain)
+    assert result.valid
+    assert [c.subject for c in result.chain] == [
+        "CN=Contoso Studios", "CN=Studio CA", "CN=BD Root CA",
+    ]
+
+
+def test_valid_direct_chain(pki, trust_store):
+    result = trust_store.validate_chain(pki.author.chain)
+    assert result.valid
+    assert len(result.chain) == 2
+
+
+def test_untrusted_root_rejected(pki, trust_store):
+    result = trust_store.validate_chain(pki.attacker.chain)
+    assert not result.valid
+    assert "trusted root" in result.reason
+
+
+def test_empty_chain(trust_store):
+    result = trust_store.validate_chain([])
+    assert not result.valid
+
+
+def test_expired_leaf(pki, trust_store):
+    result = trust_store.validate_chain(pki.studio.chain, now=1e15)
+    assert not result.valid
+    assert "validity window" in result.reason
+
+
+def test_revoked_leaf(pki):
+    store = pki.trust_store()
+    store.revoke(pki.studio.certificate)
+    result = store.validate_chain(pki.studio.chain)
+    assert not result.valid
+    assert "revoked" in result.reason
+    # Other identities stay valid.
+    assert store.validate_chain(pki.author.chain).valid
+
+
+def test_revoked_intermediate_blocks_descendants(pki):
+    store = pki.trust_store()
+    store.revoke(pki.intermediate.certificate)
+    assert not store.validate_chain(pki.studio.chain).valid
+    assert store.validate_chain(pki.author.chain).valid
+
+
+def test_usage_enforcement(pki, trust_store):
+    # Studio's leaf allows digitalSignature but not cRLSign.
+    assert trust_store.validate_chain(pki.studio.chain).valid
+    result = trust_store.validate_chain(pki.studio.chain, usage="cRLSign")
+    assert not result.valid
+    assert "cRLSign" in result.reason
+    # usage=None skips the check entirely.
+    assert trust_store.validate_chain(pki.studio.chain, usage=None).valid
+
+
+def test_intermediate_cache_path_building(pki):
+    store = pki.trust_store()
+    store.add_intermediate(pki.intermediate.certificate)
+    # Chain with only the leaf still validates via the cache.
+    result = store.validate_chain([pki.studio.certificate])
+    assert result.valid
+
+
+def test_leaf_cannot_act_as_anchor(pki):
+    store = TrustStore()
+    with pytest.raises(CertificateVerificationError):
+        store.add_root(pki.studio.certificate)
+
+
+def test_non_self_signed_cannot_be_anchor(pki):
+    store = TrustStore()
+    with pytest.raises(CertificateVerificationError):
+        store.add_root(pki.intermediate.certificate)
+
+
+def test_chain_length_cap(pki):
+    rng = DeterministicRandomSource(b"deep-chain")
+    root = CertificateAuthority.create_root("CN=Deep Root", key_bits=512,
+                                            rng=rng)
+    store = TrustStore(roots=[root.certificate], max_chain_length=3)
+    current = root
+    chain_certs = []
+    for i in range(4):
+        current = current.create_intermediate(f"CN=Layer {i}", key_bits=512,
+                                              rng=rng)
+        chain_certs.insert(0, current.certificate)
+    leaf = SigningIdentity.create("CN=Deep Leaf", current, key_bits=512,
+                                  rng=rng, issuer_chain=chain_certs[1:])
+    result = store.validate_chain(leaf.chain + chain_certs[1:])
+    assert not result.valid
+    assert "too long" in result.reason
+
+
+def test_crl_entry_by_issuer_serial(pki):
+    store = pki.trust_store()
+    leaf = pki.studio.certificate
+    store.crl.revoke_entry(leaf.issuer, leaf.serial)
+    assert not store.validate_chain(pki.studio.chain).valid

@@ -1,0 +1,84 @@
+"""Shared fixtures: deterministic randomness and a small PKI.
+
+Key generation is the slow part of the suite, so the PKI is built once
+per session from a fixed seed; tests must not mutate the shared trust
+store (build a fresh one from ``pki.root.certificate`` when needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
+from repro.primitives.random import DeterministicRandomSource
+
+
+@dataclass
+class PKI:
+    root: CertificateAuthority
+    intermediate: CertificateAuthority
+    studio: SigningIdentity
+    author: SigningIdentity
+    rogue_root: CertificateAuthority
+    attacker: SigningIdentity
+
+    def trust_store(self) -> TrustStore:
+        return TrustStore(roots=[self.root.certificate])
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic randomness for each test."""
+    return DeterministicRandomSource(b"repro-test-seed")
+
+
+@pytest.fixture(scope="session")
+def pki() -> PKI:
+    rng = DeterministicRandomSource(b"repro-session-pki")
+    root = CertificateAuthority.create_root("CN=BD Root CA", rng=rng)
+    intermediate = root.create_intermediate("CN=Studio CA", rng=rng)
+    studio = SigningIdentity.create("CN=Contoso Studios", intermediate,
+                                    rng=rng)
+    author = SigningIdentity.create("CN=Indie Author", root, rng=rng)
+    rogue_root = CertificateAuthority.create_root("CN=Rogue Root", rng=rng)
+    attacker = SigningIdentity.create("CN=Mallory", rogue_root, rng=rng)
+    return PKI(root, intermediate, studio, author, rogue_root, attacker)
+
+
+@pytest.fixture
+def trust_store(pki) -> TrustStore:
+    return pki.trust_store()
+
+
+MANIFEST_XML = """\
+<manifest xmlns="urn:bda:bdmv:interactive-cluster" Id="manifest-1">
+  <markup Id="markup-1">
+    <submarkup kind="layout" Id="layout-1">
+      <region name="main" width="1920" height="1080"/>
+      <region name="menu" width="1920" height="200"/>
+    </submarkup>
+    <submarkup kind="timing" Id="timing-1">
+      <seq begin="0s"><clip ref="bd://clips/intro.m2ts" dur="12s"/></seq>
+    </submarkup>
+  </markup>
+  <code Id="code-1">
+    <script Id="script-1" language="ecmascript">
+      var score = 0;
+      function onKey(k) { score = score + 1; }
+    </script>
+  </code>
+</manifest>
+"""
+
+
+@pytest.fixture
+def manifest_xml() -> str:
+    return MANIFEST_XML
+
+
+@pytest.fixture
+def manifest(manifest_xml):
+    from repro.xmlcore import parse_element
+    return parse_element(manifest_xml)

@@ -1,0 +1,109 @@
+"""Applying named security profiles to mastered discs."""
+
+import pytest
+
+from repro.core import (
+    ALL_PROFILES, SIGNED_AND_ENCRYPTED, SIGNED_ONLY, SIGNED_TRACKS,
+    STUDIO_GRADE, UNPROTECTED, apply_profile_to_disc, count_encrypted,
+)
+from repro.disc import ApplicationManifest, DiscAuthor
+from repro.errors import AuthoringError
+from repro.player import DiscPlayer
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import parse_element
+
+
+def _disc(rng):
+    author = DiscAuthor("Profile Applied", rng=rng)
+    clip = author.add_clip(5.0, packets_per_second=25)
+    author.add_feature("main", [clip])
+    manifest = ApplicationManifest("menu")
+    manifest.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="1" height="1"/></layout>'
+    ))
+    manifest.add_script('player.log("up");')
+    author.add_application(manifest)
+    return author.master()
+
+
+def _key_for(profile, rng):
+    size = {"aes128-cbc": 16, "aes256-cbc": 32, "tripledes-cbc": 24}[
+        profile.encryption_algorithm.rsplit("#", 1)[-1]
+    ]
+    return SymmetricKey(rng.read(size))
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES,
+                         ids=lambda p: p.name)
+def test_every_profile_applies_and_plays(pki, trust_store, rng, profile):
+    image = _disc(rng)
+    key = _key_for(profile, rng)
+    results = apply_profile_to_disc(
+        image, profile, pki.studio, content_key=key, rng=rng,
+    )
+    assert results["profile"] == profile.name
+
+    player = DiscPlayer(trust_store, key_slots={"disc-key": key})
+    session = player.insert_disc(image)
+    # Signed profiles authenticate; the unprotected one does not.
+    assert session.authenticated == (profile.sign_level is not None)
+    app_session = player.launch_disc_application("menu")
+    assert app_session.console == ["up"]
+    assert app_session.trusted == (profile.sign_level is not None)
+
+
+def test_unprotected_leaves_cluster_untouched(pki, rng):
+    image = _disc(rng)
+    before = image.read("BDMV/CLUSTER/cluster.xml")
+    apply_profile_to_disc(image, UNPROTECTED, pki.studio, rng=rng)
+    assert image.read("BDMV/CLUSTER/cluster.xml") == before
+
+
+def test_encrypting_profiles_hide_code(pki, rng):
+    image = _disc(rng)
+    key = _key_for(SIGNED_AND_ENCRYPTED, rng)
+    apply_profile_to_disc(image, SIGNED_AND_ENCRYPTED, pki.studio,
+                          content_key=key, rng=rng)
+    cluster = image.cluster_element()
+    assert count_encrypted(cluster) == 1
+    assert b"player.log" not in image.read("BDMV/CLUSTER/cluster.xml")
+
+
+def test_studio_grade_encrypts_more(pki, rng):
+    image = _disc(rng)
+    key = _key_for(STUDIO_GRADE, rng)
+    results = apply_profile_to_disc(image, STUDIO_GRADE, pki.studio,
+                                    content_key=key, rng=rng)
+    cluster = image.cluster_element()
+    # CODE + SUBMARKUP targets.
+    assert count_encrypted(cluster) == 2
+    assert results["signed"].level is STUDIO_GRADE.sign_level
+
+
+def test_player_without_key_cannot_run_encrypted_app(pki, trust_store,
+                                                     rng):
+    image = _disc(rng)
+    key = _key_for(SIGNED_AND_ENCRYPTED, rng)
+    apply_profile_to_disc(image, SIGNED_AND_ENCRYPTED, pki.studio,
+                          content_key=key, rng=rng)
+    player = DiscPlayer(trust_store)  # no disc-key slot
+    session = player.insert_disc(image)
+    assert session.authenticated  # signature covers the ciphertext
+    from repro.errors import DecryptionError, DiscFormatError, PlayerError
+    with pytest.raises((PlayerError, DiscFormatError, DecryptionError)):
+        player.launch_disc_application("menu")
+
+
+def test_encrypting_profile_requires_key(pki, rng):
+    with pytest.raises(AuthoringError, match="content key"):
+        apply_profile_to_disc(_disc(rng), SIGNED_AND_ENCRYPTED,
+                              pki.studio, rng=rng)
+
+
+def test_signed_tracks_profile_level(pki, trust_store, rng):
+    image = _disc(rng)
+    results = apply_profile_to_disc(image, SIGNED_TRACKS, pki.studio,
+                                    rng=rng)
+    assert results["signed"].markup.target_ids  # per-track signatures
+    assert DiscPlayer(trust_store).insert_disc(image).authenticated

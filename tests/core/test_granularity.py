@@ -1,0 +1,143 @@
+"""Granular signing/encryption levels (Figs 4 and 5)."""
+
+import pytest
+
+from repro.core import (
+    ProtectionLevel, count_encrypted, encrypt_at_level,
+    protection_targets, sign_at_level, verify_signatures,
+)
+from repro.disc import ApplicationManifest, InteractiveCluster, Playlist
+from repro.dsig import Signer, Verifier
+from repro.errors import SignatureError
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import parse_element
+from repro.xmlenc import Decryptor, Encryptor
+
+
+def build_cluster() -> InteractiveCluster:
+    cluster = InteractiveCluster("Granularity Disc")
+    playlist = Playlist("main", playlist_id="pl-1")
+    playlist.add_item("00001", 0.0, 10.0)
+    cluster.add_av_track(playlist)
+    for index in range(2):
+        manifest = ApplicationManifest(f"app-{index}")
+        manifest.add_submarkup("layout", parse_element(
+            '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+            '<region regionName="main" width="1" height="1"/></layout>'
+        ))
+        manifest.add_submarkup("timing", parse_element(
+            '<seq xmlns="urn:bda:bdmv:interactive-cluster"/>'
+        ))
+        manifest.add_script(
+            "var a = 1;\n" + "a = a + 1; // advance the counter\n" * 10
+        )
+        manifest.add_script(
+            "var b = 2;\n" + "b = b * 2; // double the stake\n" * 10
+        )
+        cluster.add_application_track(manifest)
+    return cluster
+
+
+EXPECTED_TARGET_COUNTS = {
+    ProtectionLevel.CLUSTER: 1,
+    ProtectionLevel.TRACK: 3,
+    ProtectionLevel.MANIFEST: 2,
+    ProtectionLevel.MARKUP: 2,
+    ProtectionLevel.CODE: 2,
+    ProtectionLevel.SUBMARKUP: 4,
+    ProtectionLevel.SCRIPT: 4,
+}
+
+
+@pytest.mark.parametrize("level,count",
+                         sorted(EXPECTED_TARGET_COUNTS.items(),
+                                key=lambda kv: kv[0].value))
+def test_target_counts(level, count):
+    root = build_cluster().to_element()
+    assert len(protection_targets(root, level)) == count
+
+
+def test_target_without_id_rejected():
+    root = parse_element(
+        '<cluster xmlns="urn:bda:bdmv:interactive-cluster">'
+        "<track kind='av'/></cluster>"
+    )
+    with pytest.raises(SignatureError, match="Id"):
+        protection_targets(root, ProtectionLevel.TRACK)
+
+
+@pytest.mark.parametrize("level", list(ProtectionLevel))
+def test_sign_and_verify_every_level(level, pki, trust_store):
+    root = build_cluster().to_element()
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    result = sign_at_level(root, level, signer)
+    assert len(result.signatures) == EXPECTED_TARGET_COUNTS[level]
+    assert result.protected_bytes > 0
+    verifier = Verifier(trust_store=trust_store, require_trusted_key=True)
+    reports = verify_signatures(root, verifier)
+    assert len(reports) == len(result.signatures)
+    assert all(report.valid for report in reports.values())
+
+
+def test_finer_levels_protect_fewer_bytes(pki):
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    sizes = {}
+    for level in (ProtectionLevel.CLUSTER, ProtectionLevel.MANIFEST,
+                  ProtectionLevel.CODE, ProtectionLevel.SCRIPT):
+        root = build_cluster().to_element()
+        sizes[level] = sign_at_level(root, level, signer).protected_bytes
+    assert sizes[ProtectionLevel.CLUSTER] > sizes[ProtectionLevel.MANIFEST]
+    assert sizes[ProtectionLevel.MANIFEST] > sizes[ProtectionLevel.CODE]
+    # SCRIPT vs CODE is *not* asserted strictly: subtree C14N pins the
+    # inherited xmlns on every apex, so many small targets can carry
+    # more namespace bytes than fewer enclosing ones — a real property
+    # of Canonical XML worth preserving in the record.
+    assert sizes[ProtectionLevel.SCRIPT] < sizes[ProtectionLevel.MANIFEST]
+
+
+def test_selective_invalidity_reports_per_target(pki, trust_store):
+    root = build_cluster().to_element()
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    sign_at_level(root, ProtectionLevel.MANIFEST, signer)
+    # Tamper with exactly one application's script.
+    scripts = [el for el in root.iter("script")]
+    scripts[0].children[0].data = "var hacked = true;"
+    verifier = Verifier(trust_store=trust_store, require_trusted_key=True)
+    reports = verify_signatures(root, verifier)
+    validities = sorted(report.valid for report in reports.values())
+    assert validities == [False, True]
+
+
+def test_encrypt_at_level_roundtrip(rng):
+    root = build_cluster().to_element()
+    from repro.xmlcore import canonicalize
+    original = canonicalize(root)
+    key = SymmetricKey(rng.read(16))
+    encryptor = Encryptor(rng=rng)
+    result = encrypt_at_level(root, ProtectionLevel.CODE, encryptor, key,
+                              key_name="disc-key")
+    assert count_encrypted(root) == 2
+    assert len(result.target_ids) == 2
+    Decryptor(keys={"disc-key": key}).decrypt_in_place(root)
+    assert canonicalize(root) == original
+
+
+def test_cluster_level_encryption_refused(rng):
+    root = build_cluster().to_element()
+    with pytest.raises(SignatureError):
+        encrypt_at_level(root, ProtectionLevel.CLUSTER,
+                         Encryptor(rng=rng), SymmetricKey(rng.read(16)))
+
+
+def test_sign_then_encrypt_other_targets_still_verifies(pki, trust_store,
+                                                        rng):
+    """Fig 5's independence: signing CODE, encrypting SUBMARKUP."""
+    root = build_cluster().to_element()
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    sign_at_level(root, ProtectionLevel.CODE, signer)
+    key = SymmetricKey(rng.read(16))
+    encrypt_at_level(root, ProtectionLevel.SUBMARKUP, Encryptor(rng=rng),
+                     key, key_name="k")
+    verifier = Verifier(trust_store=trust_store, require_trusted_key=True)
+    reports = verify_signatures(root, verifier)
+    assert all(report.valid for report in reports.values())

@@ -1,0 +1,95 @@
+"""Disc format independence (§8/§9): the same stack on BD/HD-DVD/eDVD."""
+
+import pytest
+
+from repro.core import ProtectionLevel, sign_disc_image
+from repro.disc import (
+    ALL_FORMATS, ApplicationManifest, BD_ROM, DiscAuthor, EDVD,
+    DiscFormat, HD_DVD, format_by_name,
+)
+from repro.dsig import Signer
+from repro.errors import DiscFormatError
+from repro.player import DiscPlayer
+from repro.threat import corrupt_stream
+from repro.xmlcore import parse_element
+
+
+def test_format_registry():
+    assert format_by_name("BD-ROM") is BD_ROM
+    assert format_by_name("HD-DVD") is HD_DVD
+    assert format_by_name("eDVD") is EDVD
+    with pytest.raises(KeyError):
+        format_by_name("LaserDisc")
+    names = [f.name for f in ALL_FORMATS]
+    assert len(names) == len(set(names))
+
+
+def test_format_paths_and_uris():
+    assert BD_ROM.cluster_path() == "BDMV/CLUSTER/cluster.xml"
+    assert BD_ROM.stream_path("00001") == "BDMV/STREAM/00001.m2ts"
+    assert HD_DVD.stream_path("00001") == "HVDVD_TS/STREAM/00001.evo"
+    assert EDVD.clipinfo_path("00001") == "VIDEO_TS/CLIPINF/00001.ifo"
+    uri = HD_DVD.path_to_uri(HD_DVD.stream_path("00001"))
+    assert uri == "hddvd://HVDVD_TS/STREAM/00001.evo"
+    assert HD_DVD.uri_to_path(uri) == "HVDVD_TS/STREAM/00001.evo"
+    with pytest.raises(DiscFormatError):
+        HD_DVD.uri_to_path("bd://BDMV/STREAM/00001.m2ts")
+
+
+def test_capacity_ordering():
+    assert BD_ROM.capacity_bytes > HD_DVD.capacity_bytes > \
+        EDVD.capacity_bytes
+
+
+def _author(disc_format: DiscFormat, rng):
+    author = DiscAuthor("Format Sweep", rng=rng,
+                        disc_format=disc_format)
+    clip = author.add_clip(6.0, packets_per_second=25)
+    author.add_feature("main", [clip])
+    manifest = ApplicationManifest("menu")
+    manifest.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="1" height="1"/></layout>'
+    ))
+    manifest.add_script('player.log("format-independent");')
+    author.add_application(manifest)
+    return author.master()
+
+
+@pytest.mark.parametrize("disc_format", ALL_FORMATS,
+                         ids=lambda f: f.name)
+def test_same_stack_on_every_format(pki, trust_store, rng, disc_format):
+    """§8: 'XML based security and Interactive Application Engine can
+    exist independent of the type [of] the Disc format.'"""
+    image = _author(disc_format, rng)
+    assert image.layout is disc_format
+    assert image.exists(disc_format.cluster_path())
+    assert image.exists(disc_format.stream_path("00001"))
+
+    result = sign_disc_image(
+        image, Signer(pki.studio.key, identity=pki.studio),
+        level=ProtectionLevel.TRACK,
+    )
+    assert result.stream_uris == [
+        disc_format.path_to_uri(disc_format.stream_path("00001")),
+    ]
+
+    player = DiscPlayer(trust_store)
+    session = player.insert_disc(image)
+    assert session.authenticated
+    playback = player.play_title("main")
+    assert playback.duration_s == 6.0
+    app = player.launch_disc_application("menu")
+    assert app.trusted
+    assert app.console == ["format-independent"]
+
+    # Tamper detection also holds on every format.
+    tampered = corrupt_stream(image, "00001")
+    assert not DiscPlayer(trust_store).insert_disc(tampered).authenticated
+
+
+def test_clip_uris_carry_the_format_scheme(rng):
+    image = _author(EDVD, rng)
+    info = image.clip_info("00001")
+    assert info.stream_uri.startswith("edvd://")
+    assert image.resolver(info.stream_uri) == image.stream("00001")

@@ -1,0 +1,129 @@
+"""Content hierarchy model (Fig 2): cluster, tracks, playlists, manifests."""
+
+import pytest
+
+from repro.disc import (
+    ApplicationManifest, ClipInfo, InteractiveCluster, PlayItem, Playlist,
+    Script, SubMarkup, Track, TRACK_APPLICATION, TRACK_AV,
+)
+from repro.errors import DiscFormatError
+from repro.xmlcore import canonicalize, parse_element
+
+
+def sample_manifest():
+    manifest = ApplicationManifest("game")
+    manifest.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="10" height="10"/></layout>'
+    ))
+    manifest.add_submarkup("timing", parse_element(
+        '<seq xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<video src="bd://x" dur="5s"/></seq>'
+    ))
+    manifest.add_script("var a = 1;")
+    manifest.add_script("function f() { return 2; }")
+    return manifest
+
+
+def test_manifest_structure():
+    manifest = sample_manifest()
+    assert manifest.submarkup("layout") is not None
+    assert manifest.submarkup("timing") is not None
+    assert manifest.submarkup("nope") is None
+    assert len(manifest.scripts) == 2
+    assert manifest.manifest_id and manifest.markup_id and manifest.code_id
+
+
+def test_manifest_xml_roundtrip():
+    manifest = sample_manifest()
+    again = ApplicationManifest.from_xml(manifest.to_xml())
+    assert again.name == "game"
+    assert again.manifest_id == manifest.manifest_id
+    assert [s.kind for s in again.submarkups] == ["layout", "timing"]
+    assert [s.source for s in again.scripts] == \
+        [s.source for s in manifest.scripts]
+    assert canonicalize(again.to_element()) == \
+        canonicalize(manifest.to_element())
+
+
+def test_manifest_requires_markup_and_code():
+    with pytest.raises(DiscFormatError):
+        ApplicationManifest.from_xml("<manifest name='x'/>")
+
+
+def test_submarkup_single_body():
+    with pytest.raises(DiscFormatError):
+        SubMarkup.from_element(parse_element(
+            "<submarkup kind='layout'><a/><b/></submarkup>"
+        ))
+
+
+def test_ids_are_unique():
+    a = ApplicationManifest("a")
+    b = ApplicationManifest("b")
+    assert a.manifest_id != b.manifest_id
+    s1 = a.add_script("1;")
+    s2 = a.add_script("2;")
+    assert s1.script_id != s2.script_id
+
+
+def test_playlist_model():
+    playlist = Playlist("main")
+    playlist.add_item("00001", 0.0, 60.0)
+    playlist.add_item("00002", 10.0, 40.0)
+    assert playlist.duration() == 90.0
+    assert playlist.clip_refs() == ["00001", "00002"]
+
+
+def test_play_item_window_validation():
+    with pytest.raises(DiscFormatError):
+        PlayItem("00001", 10.0, 5.0)
+    with pytest.raises(DiscFormatError):
+        PlayItem("00001", -1.0)
+
+
+def test_playlist_xml_roundtrip():
+    playlist = Playlist("chapters", playlist_id="pl-1")
+    playlist.add_item("00001", 0.0, 30.0)
+    again = Playlist.from_element(
+        parse_element(
+            __import__("repro.xmlcore", fromlist=["serialize"]).serialize(
+                playlist.to_element()
+            )
+        )
+    )
+    assert again.name == "chapters"
+    assert again.playlist_id == "pl-1"
+    assert again.items == playlist.items
+
+
+def test_clipinfo_roundtrip():
+    info = ClipInfo("00007", "bd://BDMV/STREAM/00007.m2ts", 42.5, 1234)
+    again = ClipInfo.from_xml(info.to_xml())
+    assert again == info
+
+
+def test_track_kind_validation():
+    with pytest.raises(DiscFormatError):
+        Track(TRACK_AV)          # av without playlist
+    with pytest.raises(DiscFormatError):
+        Track(TRACK_APPLICATION)  # app without manifest
+    with pytest.raises(DiscFormatError):
+        Track("bogus", playlist=Playlist("x"))
+
+
+def test_cluster_model_and_roundtrip():
+    cluster = InteractiveCluster("My Disc")
+    playlist = Playlist("main")
+    playlist.add_item("00001", 0.0, 10.0)
+    cluster.add_av_track(playlist)
+    cluster.add_application_track(sample_manifest())
+    assert len(cluster.av_tracks()) == 1
+    assert len(cluster.application_tracks()) == 1
+    assert cluster.find_application("game") is not None
+    assert cluster.find_application("nope") is None
+    assert cluster.clip_refs() == ["00001"]
+    again = InteractiveCluster.from_xml(cluster.to_xml())
+    assert again.title == "My Disc"
+    assert canonicalize(again.to_element()) == \
+        canonicalize(cluster.to_element())

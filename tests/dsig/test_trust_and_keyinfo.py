@@ -1,0 +1,129 @@
+"""Key resolution policy and KeyInfo handling (Fig 3 execution policy)."""
+
+import pytest
+
+from repro.dsig import KeyInfo, Signer, Verifier
+from repro.dsig.keyinfo import KeyInfo as KeyInfoClass
+from repro.xmlcore import DSIG_NS, parse_element, serialize
+
+
+def test_untrusted_signer_barred(pki, trust_store, manifest):
+    """Fig 3: verification failure bars the application."""
+    signer = Signer(pki.attacker.key, identity=pki.attacker)
+    signature = signer.sign_enveloped(manifest)
+    verifier = Verifier(trust_store=trust_store, require_trusted_key=True)
+    report = verifier.verify(signature)
+    assert not report.valid
+    assert report.signature_valid  # cryptographically fine...
+    assert not report.certificate_validation.valid  # ...but untrusted
+
+
+def test_bare_key_value_refused_when_trust_required(pki, trust_store,
+                                                    manifest):
+    signer = Signer(pki.studio.key, include_key_value=True)
+    signature = signer.sign_enveloped(manifest)
+    strict = Verifier(trust_store=trust_store, require_trusted_key=True)
+    report = strict.verify(signature)
+    assert not report.valid
+    assert "trusted root" in report.error
+    # A lenient verifier accepts the bare key.
+    lenient = Verifier()
+    assert lenient.verify(signature).valid
+    assert lenient.verify(signature).key_source == "key-value"
+
+
+def test_explicit_key_overrides_keyinfo(pki, manifest):
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    signature = signer.sign_enveloped(manifest)
+    verifier = Verifier()
+    report = verifier.verify(signature, key=pki.studio.key.public_key())
+    assert report.valid
+    assert report.key_source == "explicit"
+    # Wrong explicit key fails core validation.
+    report = verifier.verify(signature, key=pki.author.key.public_key())
+    assert not report.signature_valid
+
+
+def test_key_name_lookup(pki, manifest):
+    signer = Signer(pki.studio.key, key_name="studio-signing-key-1")
+    signature = signer.sign_enveloped(manifest)
+
+    def locator(name):
+        if name == "studio-signing-key-1":
+            return pki.studio.key.public_key()
+        return None
+
+    verifier = Verifier(key_locator=locator)
+    report = verifier.verify(signature)
+    assert report.valid
+    assert report.key_source == "key-name"
+
+
+def test_key_name_lookup_failure(pki, manifest):
+    signer = Signer(pki.studio.key, key_name="unknown-key")
+    signature = signer.sign_enveloped(manifest)
+    verifier = Verifier(key_locator=lambda name: None)
+    report = verifier.verify(signature)
+    assert not report.valid
+    assert "could not be located" in report.error
+
+
+def test_no_key_at_all(pki, manifest):
+    signer = Signer(pki.studio.key)  # empty KeyInfo
+    signature = signer.sign_enveloped(manifest)
+    report = Verifier().verify(signature)
+    assert not report.valid
+    assert "no KeyInfo" in report.error
+
+
+def test_keyinfo_xml_roundtrip(pki):
+    info = KeyInfoClass(
+        key_name="the-key",
+        key_value=pki.studio.key.public_key(),
+        certificates=list(pki.studio.chain),
+        retrieval_uri="http://trust.example/keys/1",
+    )
+    again = KeyInfoClass.from_element(
+        parse_element(serialize(info.to_element()))
+    )
+    assert again.key_name == "the-key"
+    assert again.key_value == pki.studio.key.public_key()
+    assert [c.subject for c in again.certificates] == \
+        [c.subject for c in pki.studio.chain]
+    assert again.retrieval_uri == "http://trust.example/keys/1"
+
+
+def test_certificate_chain_embedded_in_signature(pki, manifest):
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    signature = signer.sign_enveloped(manifest)
+    x509 = signature.find("X509Data", DSIG_NS)
+    assert x509 is not None
+    certs = x509.findall("X509Certificate", DSIG_NS)
+    assert len(certs) == 2  # leaf + intermediate
+
+
+def test_expired_certificate_at_verification_time(pki, trust_store,
+                                                  manifest):
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    signature = signer.sign_enveloped(manifest)
+    late = Verifier(trust_store=trust_store, require_trusted_key=True,
+                    now=1e15)
+    report = late.verify(signature)
+    assert not report.valid
+    assert "validity window" in report.certificate_validation.reason
+
+
+def test_revoked_certificate(pki, manifest):
+    store = pki.trust_store()
+    signer = Signer(pki.studio.key, identity=pki.studio)
+    signature = signer.sign_enveloped(manifest)
+    verifier = Verifier(trust_store=store, require_trusted_key=True)
+    assert verifier.verify(signature).valid
+    store.revoke(pki.studio.certificate)
+    assert not verifier.verify(signature).valid
+
+
+def test_not_a_signature_element():
+    report = Verifier().verify(parse_element("<NotASignature/>"))
+    assert not report.valid
+    assert "not a ds:Signature" in report.error

@@ -1,0 +1,214 @@
+"""Full-system integration: the paper's Figs 1, 3 and 9 as one test suite.
+
+Studio authors and signs a disc; a player authenticates it, plays the
+feature and runs the menu application; the studio then publishes a
+signed+encrypted bonus application which the player downloads over the
+TLS-like channel, verifies, decrypts and executes — with adversaries on
+every path.
+"""
+
+import pytest
+
+from repro.certs import SigningIdentity
+from repro.core import (
+    AuthoringPipeline, ProtectionLevel, sign_disc_image,
+)
+from repro.disc import ApplicationManifest, DiscAuthor
+from repro.dsig import Signer
+from repro.errors import ApplicationRejectedError, ChannelSecurityError
+from repro.network import (
+    ActiveTamperer, Channel, ContentServer, DownloadClient,
+    PassiveWiretap,
+)
+from repro.permissions import (
+    PERM_LOCAL_STORAGE, PERM_RETURN_CHANNEL, PermissionRequestFile,
+)
+from repro.player import DiscPlayer
+from repro.primitives.random import DeterministicRandomSource
+from repro.primitives.rsa import generate_keypair
+from repro.xmlcore import parse_element
+
+LAYOUT = (
+    '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+    '<root-layout width="1920" height="1080"/>'
+    '<region regionName="main" width="1920" height="880"/>'
+    '<region regionName="menu" top="880" width="1920" height="200"/>'
+    "</layout>"
+)
+
+MENU_SCRIPT = """
+var launches = storage.read("launches");
+if (launches == null) launches = 0;
+launches = launches + 1;
+storage.write("launches", launches);
+player.log("menu launch #" + launches);
+function onSelect(item) { return "selected:" + item; }
+"""
+
+BONUS_SCRIPT = """
+player.log("deleted scenes unlocked on " + player.model);
+var teaser = network.get("cdn.studio.example", "/teasers/next.txt");
+player.log(teaser);
+"""
+
+
+@pytest.fixture(scope="module")
+def world(pki):
+    """The fixed cast: device key, disc, content server."""
+    rng = DeterministicRandomSource(b"integration-world")
+    device_key = generate_keypair(1024, rng)
+
+    # --- studio authors the disc ------------------------------------------------
+    author = DiscAuthor("Blockbuster", rng=rng)
+    feature = author.add_clip(30.0, packets_per_second=25)
+    trailer = author.add_clip(5.0, packets_per_second=25)
+    author.add_feature("main-feature", [trailer, feature])
+    menu = ApplicationManifest("menu")
+    menu.add_submarkup("layout", parse_element(LAYOUT))
+    menu.add_submarkup("timing", parse_element(
+        '<seq xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<video src="bd://BDMV/STREAM/00001.m2ts" region="main"/>'
+        "</seq>"
+    ))
+    menu.add_script(MENU_SCRIPT)
+    author.add_application(menu)
+    prf = PermissionRequestFile("menu", "org.studio")
+    prf.request(PERM_LOCAL_STORAGE, quota_bytes=4096)
+    author.add_aux_file("BDMV/AUXDATA/menu.prf", prf.to_xml().encode())
+    image = author.master()
+    sign_disc_image(image, Signer(pki.studio.key, identity=pki.studio),
+                    level=ProtectionLevel.TRACK)
+
+    # --- studio publishes the bonus app -------------------------------------------
+    bonus = ApplicationManifest("deleted-scenes")
+    bonus.add_submarkup("layout", parse_element(LAYOUT))
+    bonus.add_script(BONUS_SCRIPT)
+    bonus_prf = PermissionRequestFile("deleted-scenes", "org.studio")
+    bonus_prf.request(PERM_RETURN_CHANNEL,
+                      hosts=("cdn.studio.example",))
+    pipeline = AuthoringPipeline(
+        pki.studio, recipient_key=device_key.public_key(), rng=rng,
+    )
+    package = pipeline.build_package(
+        bonus, permission_file=bonus_prf,
+        encrypt_ids=(bonus.code_id,),
+    )
+
+    identity = SigningIdentity.create(
+        "CN=content.studio.example", pki.root,
+        rng=DeterministicRandomSource(b"integration-server"),
+    )
+    server = ContentServer(identity=identity)
+    server.publish("/apps/deleted-scenes.pkg", package.data)
+    return {
+        "device_key": device_key, "image": image, "server": server,
+        "package": package,
+    }
+
+
+def make_player(pki, world, **kwargs):
+    def network_fetch(host, path):
+        if host == "cdn.studio.example" and path == "/teasers/next.txt":
+            return b"Coming soon: Blockbuster II"
+        raise KeyError(f"{host}{path}")
+
+    return DiscPlayer(pki.trust_store(), device_key=world["device_key"],
+                      network_fetch=network_fetch, **kwargs)
+
+
+def test_disc_flow(pki, world):
+    player = make_player(pki, world)
+    session = player.insert_disc(world["image"])
+    assert session.authenticated
+
+    playback = player.play_title("main-feature")
+    assert playback.duration_s == 35.0
+    assert [item.src for item in playback.items] == [
+        "bd://BDMV/STREAM/00002.m2ts", "bd://BDMV/STREAM/00001.m2ts",
+    ]
+
+    first = player.launch_disc_application("menu")
+    assert first.trusted
+    assert first.console == ["menu launch #1"]
+    assert first.timeline  # SMIL timing scheduled
+    second = player.launch_disc_application("menu")
+    assert second.console == ["menu launch #2"]  # storage persisted
+    assert second.dispatch("onSelect", "chapter-3") == \
+        "selected:chapter-3"
+
+
+def test_download_flow_clean_channel(pki, world):
+    player = make_player(pki, world)
+    wiretap = PassiveWiretap()
+    client = DownloadClient(world["server"], Channel([wiretap]),
+                            trust_store=pki.trust_store())
+    application = player.download_application(
+        client, "/apps/deleted-scenes.pkg", secure=True,
+    )
+    assert application.trusted
+    assert application.signer_subject == "CN=Contoso Studios"
+    # TLS hid the transfer AND XMLEnc hid the script inside the package.
+    assert not wiretap.saw_plaintext(b"deleted scenes unlocked")
+
+    session = player.run_application(application)
+    assert session.console == [
+        "deleted scenes unlocked on RBD-1000",
+        "Coming soon: Blockbuster II",
+    ]
+    assert session.network_ops == ["get:cdn.studio.example/teasers/next.txt"]
+
+
+def test_download_flow_insecure_channel_still_protected(pki, world):
+    """Without TLS the package is still signed+encrypted — XML security
+    is persistent (§4); only the transfer itself is observable."""
+    player = make_player(pki, world)
+    wiretap = PassiveWiretap()
+    client = DownloadClient(world["server"], Channel([wiretap]),
+                            trust_store=pki.trust_store())
+    application = player.download_application(
+        client, "/apps/deleted-scenes.pkg", secure=False,
+    )
+    assert application.trusted
+    # The wiretap saw the package... but not the encrypted script.
+    assert wiretap.saw_plaintext(b"applicationPackage")
+    assert not wiretap.saw_plaintext(b"deleted scenes unlocked")
+
+
+def test_download_flow_mitm_on_tls(pki, world):
+    player = make_player(pki, world)
+    tamperer = ActiveTamperer(predicate=lambda m: m[:1] == b"\x05",
+                              offset=60)
+    client = DownloadClient(world["server"], Channel([tamperer]),
+                            trust_store=pki.trust_store())
+    with pytest.raises(ChannelSecurityError):
+        player.download_application(client, "/apps/deleted-scenes.pkg",
+                                    secure=True)
+
+
+def test_download_flow_tampered_at_rest(pki, world):
+    """Tampering *on the server* defeats TLS but not XMLDSig (Fig 3)."""
+    from repro.threat import inject_script
+    player = make_player(pki, world)
+    evil_server = ContentServer(identity=world["server"].identity)
+    evil_server.publish(
+        "/apps/deleted-scenes.pkg",
+        inject_script(world["package"].data, "stealEverything()"),
+    )
+    client = DownloadClient(evil_server, Channel(),
+                            trust_store=pki.trust_store())
+    with pytest.raises(ApplicationRejectedError):
+        player.download_application(client, "/apps/deleted-scenes.pkg",
+                                    secure=True)
+
+
+def test_foreign_player_cannot_decrypt(pki, world, rng):
+    """A different device lacks the CEK transport key (content binding)."""
+    other_device = generate_keypair(1024, rng)
+    other_player = DiscPlayer(pki.trust_store(),
+                              device_key=other_device)
+    client = DownloadClient(world["server"], Channel(),
+                            trust_store=pki.trust_store())
+    with pytest.raises(ApplicationRejectedError):
+        other_player.download_application(
+            client, "/apps/deleted-scenes.pkg", secure=True,
+        )

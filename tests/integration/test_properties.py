@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests on the security invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dsig import Signer, Verifier
+from repro.primitives.keys import SymmetricKey
+from repro.primitives.random import DeterministicRandomSource
+from repro.xmlcore import DSIG_NS, canonicalize, parse_element, serialize
+from repro.xmlcore.tree import Element, Text
+from repro.xmlenc import Decryptor, Encryptor
+
+_names = st.sampled_from(
+    ["track", "manifest", "markup", "code", "submarkup", "clip"]
+)
+_texts = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs", "Cc")),
+    max_size=24,
+)
+
+
+@st.composite
+def payload_trees(draw, depth=0):
+    """Random disc-vocabulary-ish element trees."""
+    node = Element(draw(_names))
+    for key in draw(st.lists(
+        st.sampled_from(["kind", "name", "dur", "ref"]),
+        unique=True, max_size=2,
+    )):
+        node.set(key, draw(_texts))
+    if depth < 2:
+        for child in draw(st.lists(payload_trees(depth=depth + 1),
+                                   max_size=3)):
+            node.append(child)
+    if draw(st.booleans()):
+        node.append(Text(draw(_texts)))
+    return node
+
+
+_slow = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@_slow
+@given(tree=payload_trees())
+def test_any_tree_signs_and_verifies(pki, tree):
+    """Invariant: sign ∘ verify = true for arbitrary well-formed markup,
+    including across a serialize/parse round trip."""
+    holder = Element("holder")
+    holder.append(tree)
+    signer = Signer(pki.studio.key, include_key_value=True)
+    signer.sign_enveloped(holder)
+    reparsed = parse_element(serialize(holder))
+    signature = reparsed.find("Signature", DSIG_NS)
+    assert Verifier().verify(signature).valid
+
+
+@_slow
+@given(tree=payload_trees(), flip=st.integers(min_value=0, max_value=7))
+def test_any_attribute_tamper_detected(pki, tree, flip):
+    """Invariant: any post-signing attribute mutation breaks the
+    signature."""
+    holder = Element("holder")
+    holder.append(tree)
+    signer = Signer(pki.studio.key, include_key_value=True)
+    signature = signer.sign_enveloped(holder)
+    # Mutate some attribute (or add one) outside the signature.
+    tree.set("tampered", str(flip))
+    assert not Verifier().verify(signature).valid
+
+
+@_slow
+@given(tree=payload_trees(), seed=st.binary(min_size=4, max_size=8))
+def test_any_tree_encrypts_and_decrypts(tree, seed):
+    """Invariant: decrypt ∘ encrypt = identity on canonical form, even
+    through a serialization round trip."""
+    holder = Element("holder")
+    holder.append(tree)
+    original = canonicalize(holder)
+    rng = DeterministicRandomSource(seed)
+    key = SymmetricKey(rng.read(16))
+    Encryptor(rng=rng).encrypt_element(tree, key, key_name="k")
+    assert canonicalize(holder) != original
+    transported = parse_element(serialize(holder))
+    Decryptor(keys={"k": key}).decrypt_in_place(transported)
+    assert canonicalize(transported) == original
+
+
+@_slow
+@given(data=st.binary(max_size=512), seed=st.binary(min_size=4,
+                                                    max_size=8))
+def test_secure_channel_roundtrip_property(pki, trust_store, data, seed):
+    """Invariant: the TLS-like channel is transparent to payloads and
+    opaque to wiretaps."""
+    from repro.certs import SigningIdentity
+    from repro.network import (
+        Channel, PassiveWiretap, SecureClient, SecureServer,
+        secure_transfer,
+    )
+    identity = SigningIdentity.create(
+        "CN=prop-server", pki.root, rng=DeterministicRandomSource(seed),
+    )
+    wiretap = PassiveWiretap()
+    received = secure_transfer(
+        SecureClient(trust_store,
+                     rng=DeterministicRandomSource(seed + b"c")),
+        SecureServer(identity, rng=DeterministicRandomSource(seed + b"s")),
+        Channel([wiretap]), data,
+    )
+    assert received == data
+    if len(data) >= 24:
+        assert not wiretap.saw_plaintext(data)
+
+
+@_slow
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=50),
+                          st.floats(min_value=0, max_value=50)),
+                min_size=1, max_size=6))
+def test_smil_seq_schedule_invariants(items):
+    """Invariant: seq items are contiguous and ordered; duration is the
+    sum of the item durations."""
+    from repro.markup import MediaItem, Presentation, TimeContainer
+    body = TimeContainer("seq")
+    for begin_offset, dur in items:
+        body.add(MediaItem("video", "x", dur=dur))
+    presentation = Presentation(body=body)
+    schedule = presentation.schedule()
+    cursor = 0.0
+    for item, (_b, dur) in zip(schedule, items):
+        assert item.start >= cursor - 1e-9
+        assert abs((item.end - item.start) - dur) < 1e-9
+        cursor = item.end
+    assert abs(presentation.duration() - sum(d for _, d in items)) < 1e-6

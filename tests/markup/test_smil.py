@@ -1,0 +1,207 @@
+"""SMIL-lite layout, timing and scheduling."""
+
+import pytest
+
+from repro.errors import MarkupError
+from repro.markup import (
+    Layout, MediaItem, Presentation, Region, TimeContainer,
+    format_clock_value, parse_clock_value, parse_smil,
+)
+from repro.xmlcore import parse_element
+
+
+# -- clock values ----------------------------------------------------------------
+
+@pytest.mark.parametrize("text,expected", [
+    ("12s", 12.0), ("1.5s", 1.5), ("500ms", 0.5), ("2min", 120.0),
+    ("1h", 3600.0), ("90", 90.0), ("00:01:30", 90.0), ("01:00:00", 3600.0),
+    ("02:30", 150.0), ("00:00:10.5", 10.5), ("", 0.0),
+])
+def test_parse_clock_values(text, expected):
+    assert parse_clock_value(text) == expected
+
+
+def test_parse_clock_default():
+    assert parse_clock_value(None, default=7.0) == 7.0
+
+
+@pytest.mark.parametrize("bad", ["abc", "1:2:3:4", "00:99:00", "12q"])
+def test_bad_clock_values(bad):
+    with pytest.raises(MarkupError):
+        parse_clock_value(bad)
+
+
+def test_format_clock_value():
+    assert format_clock_value(12.0) == "12s"
+    assert format_clock_value(1.5) == "1.5s"
+    with pytest.raises(MarkupError):
+        format_clock_value(-1)
+
+
+# -- layout ------------------------------------------------------------------------
+
+def test_layout_regions():
+    layout = Layout(width=100, height=100)
+    layout.add_region(Region("a", 0, 0, 50, 50))
+    assert layout.region("a").width == 50
+    with pytest.raises(MarkupError):
+        layout.add_region(Region("a", 0, 0, 10, 10))  # duplicate
+    with pytest.raises(MarkupError):
+        layout.add_region(Region("big", 60, 60, 50, 50))  # overflows
+    with pytest.raises(MarkupError):
+        layout.region("missing")
+
+
+def test_layout_from_xml():
+    layout = Layout.from_element(parse_element(
+        '<layout><root-layout width="640" height="480"/>'
+        '<region regionName="menu" top="400" width="640" height="80" '
+        'z-index="2"/></layout>'
+    ))
+    assert layout.width == 640
+    assert layout.region("menu").z_index == 2
+
+
+def test_region_requires_name():
+    with pytest.raises(MarkupError, match="name"):
+        Layout.from_element(parse_element(
+            "<layout><region width='1' height='1'/></layout>"
+        ))
+
+
+# -- scheduling ---------------------------------------------------------------------
+
+def test_seq_schedule():
+    presentation = parse_smil(parse_element(
+        '<seq><video src="a" dur="10s"/><video src="b" dur="5s"/></seq>'
+    ))
+    schedule = presentation.schedule()
+    assert [(i.src, i.start, i.end) for i in schedule] == [
+        ("a", 0.0, 10.0), ("b", 10.0, 15.0),
+    ]
+    assert presentation.duration() == 15.0
+
+
+def test_par_schedule():
+    presentation = parse_smil(parse_element(
+        '<par><video src="a" dur="10s"/>'
+        '<img src="b" begin="2s" dur="3s"/></par>'
+    ))
+    schedule = {i.src: (i.start, i.end) for i in presentation.schedule()}
+    assert schedule == {"a": (0.0, 10.0), "b": (2.0, 5.0)}
+
+
+def test_nested_containers():
+    presentation = parse_smil(parse_element(
+        '<seq><video src="intro" dur="4s"/>'
+        '<par><video src="main" dur="20s"/>'
+        '<seq><img src="m1" dur="2s"/><img src="m2" dur="2s"/></seq>'
+        "</par>"
+        '<text src="credits" dur="6s"/></seq>'
+    ))
+    schedule = {i.src: (i.start, i.end) for i in presentation.schedule()}
+    assert schedule["intro"] == (0.0, 4.0)
+    assert schedule["main"] == (4.0, 24.0)
+    assert schedule["m1"] == (4.0, 6.0)
+    assert schedule["m2"] == (6.0, 8.0)
+    assert schedule["credits"] == (24.0, 30.0)
+
+
+def test_intrinsic_durations_resolved():
+    presentation = parse_smil(parse_element(
+        '<seq><video src="clip-1"/><video src="clip-2" dur="5s"/></seq>'
+    ))
+    schedule = presentation.schedule({"clip-1": 42.0})
+    assert schedule[0].end == 42.0
+    assert schedule[1].start == 42.0
+
+
+def test_full_smil_document():
+    presentation = parse_smil(parse_element(
+        "<smil><head><layout>"
+        '<root-layout width="100" height="100"/>'
+        '<region regionName="main" width="100" height="100"/>'
+        "</layout></head>"
+        '<body><video src="v" region="main" dur="1s"/></body></smil>'
+    ))
+    assert presentation.layout.width == 100
+    assert presentation.validate_regions() == []
+    assert presentation.duration() == 1.0
+
+
+def test_missing_region_detected():
+    presentation = parse_smil(parse_element(
+        '<smil><head><layout><root-layout width="10" height="10"/>'
+        "</layout></head>"
+        '<body><video src="v" region="ghost" dur="1s"/></body></smil>'
+    ))
+    assert presentation.validate_regions() == ["ghost"]
+
+
+def test_unknown_media_kind_rejected():
+    with pytest.raises(MarkupError):
+        MediaItem("hologram", "src")
+
+
+def test_negative_timing_rejected():
+    with pytest.raises(MarkupError):
+        MediaItem("video", "x", begin=-1.0)
+
+
+def test_unknown_container_mode():
+    with pytest.raises(MarkupError):
+        TimeContainer("excl")
+
+
+def test_unknown_root_element():
+    with pytest.raises(MarkupError):
+        parse_smil(parse_element("<unknown/>"))
+
+
+def test_unknown_children_ignored():
+    presentation = parse_smil(parse_element(
+        '<seq><metadata/><video src="a" dur="1s"/></seq>'
+    ))
+    assert len(presentation.schedule()) == 1
+
+
+def test_active_at():
+    presentation = parse_smil(parse_element(
+        '<seq><video src="a" dur="10s"/>'
+        '<par><video src="b" dur="10s"/>'
+        '<img src="c" begin="2s" dur="4s"/></par></seq>'
+    ))
+    assert [i.src for i in presentation.active_at(5.0)] == ["a"]
+    active = {i.src for i in presentation.active_at(13.0)}
+    assert active == {"b", "c"}
+    assert [i.src for i in presentation.active_at(17.0)] == ["b"]
+    assert presentation.active_at(99.0) == []
+    # Boundary semantics: start inclusive, end exclusive.
+    assert [i.src for i in presentation.active_at(0.0)] == ["a"]
+    assert "a" not in {i.src for i in presentation.active_at(10.0)}
+
+
+def test_repeat_count():
+    presentation = parse_smil(parse_element(
+        '<seq><video src="loop" dur="3s" repeatCount="3"/>'
+        '<video src="next" dur="2s"/></seq>'
+    ))
+    schedule = presentation.schedule()
+    assert [(i.src, i.start, i.end) for i in schedule] == [
+        ("loop", 0.0, 3.0), ("loop", 3.0, 6.0), ("loop", 6.0, 9.0),
+        ("next", 9.0, 11.0),
+    ]
+    assert presentation.duration() == 11.0
+
+
+def test_repeat_count_rejections():
+    with pytest.raises(MarkupError, match="indefinite"):
+        parse_smil(parse_element(
+            '<seq><video src="x" dur="1s" repeatCount="indefinite"/></seq>'
+        ))
+    with pytest.raises(MarkupError, match="repeatCount"):
+        parse_smil(parse_element(
+            '<seq><video src="x" dur="1s" repeatCount="often"/></seq>'
+        ))
+    with pytest.raises(MarkupError, match="at least 1"):
+        MediaItem("video", "x", repeat=0)

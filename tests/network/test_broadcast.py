@@ -1,0 +1,173 @@
+"""The broadcast object carousel (Fig 1's second delivery path)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import Channel
+from repro.network.broadcast import (
+    Carousel, CarouselObject, CarouselReceiver, SECTION_PAYLOAD, Section,
+    broadcast_until_received,
+)
+from repro.network.channel import ActiveTamperer, Dropper
+
+
+@pytest.fixture
+def carousel(rng):
+    carousel = Carousel()
+    carousel.publish("apps/bonus.pkg", rng.read(5000))
+    carousel.publish("banners/today.png", rng.read(700))
+    return carousel
+
+
+def test_single_cycle_assembly(carousel, rng):
+    receiver = CarouselReceiver()
+    for wire in carousel.one_cycle():
+        receiver.receive(wire)
+    assert receiver.directory() == {
+        "apps/bonus.pkg": 1, "banners/today.png": 2,
+    }
+    assert len(receiver.fetch("apps/bonus.pkg")) == 5000
+    assert len(receiver.fetch("banners/today.png")) == 700
+    assert receiver.fetch("ghost") is None
+
+
+def test_mid_cycle_tune_in(carousel):
+    """Tuning in halfway: completion needs the next cycle."""
+    receiver = CarouselReceiver()
+    data = broadcast_until_received(
+        carousel, receiver, "apps/bonus.pkg", start_offset=4,
+    )
+    assert len(data) == 5000
+
+
+def test_corrupted_sections_recovered_next_cycle(carousel):
+    # Burst noise: every other section is corrupted during the first
+    # cycle only (a transient interference burst).
+    calls = {"n": 0}
+
+    def burst(message):
+        calls["n"] += 1
+        return calls["n"] <= 8 and calls["n"] % 2 == 0
+
+    flaky = Channel([ActiveTamperer(predicate=burst, offset=80)])
+    receiver = CarouselReceiver()
+    data = broadcast_until_received(
+        carousel, receiver, "apps/bonus.pkg", channel=flaky,
+    )
+    assert len(data) == 5000
+    assert receiver.sections_dropped > 0
+
+
+def test_dropped_sections_recovered(carousel):
+    calls = {"n": 0}
+
+    def drop_every_fifth(message):
+        calls["n"] += 1
+        return calls["n"] % 5 == 0
+
+    lossy = Channel([Dropper(predicate=drop_every_fifth)])
+    receiver = CarouselReceiver()
+    data = broadcast_until_received(
+        carousel, receiver, "banners/today.png", channel=lossy,
+    )
+    assert len(data) == 700
+
+
+def test_version_bump_replaces_object(carousel, rng):
+    receiver = CarouselReceiver()
+    for wire in carousel.one_cycle():
+        receiver.receive(wire)
+    old = receiver.fetch("apps/bonus.pkg")
+    updated = rng.read(3000)
+    obj = carousel.publish("apps/bonus.pkg", updated)
+    assert obj.version == 2
+    for wire in carousel.one_cycle():
+        receiver.receive(wire)
+    assert receiver.fetch("apps/bonus.pkg") == updated != old
+
+
+def test_stale_version_ignored(rng):
+    """Old-version sections arriving late cannot roll an object back."""
+    carousel = Carousel()
+    carousel.publish("x", b"version-one")
+    old_cycle = carousel.one_cycle()
+    carousel.publish("x", b"version-two!")
+    receiver = CarouselReceiver()
+    for wire in carousel.one_cycle():
+        receiver.receive(wire)
+    for wire in old_cycle:   # replayed stale broadcast
+        receiver.receive(wire)
+    assert receiver.fetch("x") == b"version-two!"
+
+
+def test_section_roundtrip_and_crc():
+    obj = CarouselObject(7, "thing", b"A" * (SECTION_PAYLOAD + 10))
+    sections = obj.sections()
+    assert len(sections) == 2
+    for section in sections:
+        again = Section.from_bytes(section.to_bytes())
+        assert again == section
+        assert again.intact
+    broken = bytearray(sections[0].to_bytes())
+    broken[-1] ^= 0xFF
+    assert not Section.from_bytes(bytes(broken)).intact
+
+
+def test_empty_object():
+    obj = CarouselObject(1, "empty", b"")
+    receiver = CarouselReceiver()
+    for section in obj.sections():
+        receiver.receive(section.to_bytes())
+    assert receiver.completed(1) == b""
+
+
+def test_timeout_when_never_complete():
+    carousel = Carousel()
+    carousel.publish("x", b"data")
+    # A channel that kills every section.
+    black_hole = Channel([Dropper()])
+    with pytest.raises(NetworkError, match="did not assemble"):
+        broadcast_until_received(carousel, CarouselReceiver(), "x",
+                                 channel=black_hole, max_cycles=3)
+
+
+def test_signed_package_over_broadcast(pki, trust_store, rng):
+    """The Fig 1 composition: the same signed+encrypted package rides
+    the carousel and verifies identically on assembly."""
+    from repro.core import AuthoringPipeline, PlaybackPipeline
+    from repro.disc import ApplicationManifest
+    from repro.primitives.rsa import generate_keypair
+    from repro.xmlcore import parse_element
+
+    device_key = generate_keypair(1024, rng)
+    manifest = ApplicationManifest("broadcast-app")
+    manifest.add_submarkup("layout", parse_element(
+        '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+        '<region regionName="main" width="1" height="1"/></layout>'
+    ))
+    manifest.add_script("var viaBroadcast = true;")
+    package = AuthoringPipeline(
+        pki.studio, recipient_key=device_key.public_key(), rng=rng,
+    ).build_package(manifest, encrypt_ids=(manifest.code_id,))
+
+    carousel = Carousel()
+    carousel.publish("apps/broadcast-app.pkg", package.data)
+    receiver = CarouselReceiver()
+    calls = {"n": 0}
+
+    def first_cycle_noise(message):
+        calls["n"] += 1
+        return calls["n"] <= 3   # a burst at tune-in time
+
+    noisy = Channel([ActiveTamperer(predicate=first_cycle_noise,
+                                    offset=100)])
+    delivered = broadcast_until_received(
+        carousel, receiver, "apps/broadcast-app.pkg", channel=noisy,
+    )
+    assert delivered == package.data  # CRC + recycle healed the noise
+
+    playback = PlaybackPipeline(trust_store=trust_store,
+                                device_key=device_key)
+    application = playback.open_package(delivered)
+    assert application.trusted
+    assert "viaBroadcast" in application.manifest.scripts[0].source

@@ -1,0 +1,190 @@
+"""Channels, adversaries, content server and the TLS-like secure channel."""
+
+import pytest
+
+from repro.certs import SigningIdentity
+from repro.errors import ChannelSecurityError, NetworkError
+from repro.network import (
+    ActiveTamperer, Channel, ContentServer, Dropper, DownloadClient,
+    PassiveWiretap, Replacer, SecureClient, SecureServer, establish,
+    secure_transfer,
+)
+
+
+@pytest.fixture
+def server_identity(pki):
+    return SigningIdentity.create(
+        "CN=content.studio.example", pki.root,
+        rng=__import__(
+            "repro.primitives.random",
+            fromlist=["DeterministicRandomSource"],
+        ).DeterministicRandomSource(b"server-ident"),
+    )
+
+
+@pytest.fixture
+def content_server(server_identity):
+    server = ContentServer(identity=server_identity)
+    server.publish("/apps/bonus.pkg", b"<pkg>bonus payload</pkg>")
+    server.publish_service("echo", lambda text: f"echo:{text}")
+    return server
+
+
+# -- channel / adversaries ------------------------------------------------------
+
+def test_channel_statistics():
+    channel = Channel()
+    channel.transfer(b"abc")
+    channel.transfer(b"defgh")
+    assert channel.messages_transferred == 2
+    assert channel.bytes_transferred == 8
+
+
+def test_channel_rejects_non_bytes():
+    with pytest.raises(NetworkError):
+        Channel().transfer("text")  # type: ignore[arg-type]
+
+
+def test_wiretap_records():
+    wiretap = PassiveWiretap()
+    channel = Channel([wiretap])
+    channel.transfer(b"hello secret world")
+    assert wiretap.saw_plaintext(b"secret")
+    assert not wiretap.saw_plaintext(b"absent")
+
+
+def test_tamperer_flips_matching():
+    tamperer = ActiveTamperer(predicate=lambda m: m.startswith(b"T"),
+                              offset=1)
+    channel = Channel([tamperer])
+    assert channel.transfer(b"Target") != b"Target"
+    assert channel.transfer(b"skip") == b"skip"
+    assert tamperer.tampered_count == 1
+
+
+def test_replacer_and_dropper():
+    channel = Channel([Replacer(replacement=b"spoofed",
+                                predicate=lambda m: m == b"original")])
+    assert channel.transfer(b"original") == b"spoofed"
+    assert channel.transfer(b"other") == b"other"
+    dropping = Channel([Dropper(predicate=lambda m: b"kill" in m)])
+    with pytest.raises(NetworkError):
+        dropping.transfer(b"kill this")
+
+
+# -- content server --------------------------------------------------------------
+
+def test_plain_fetch(content_server):
+    client = DownloadClient(content_server, Channel())
+    assert client.fetch("/apps/bonus.pkg") == b"<pkg>bonus payload</pkg>"
+    assert content_server.request_log == ["GET /apps/bonus.pkg"]
+
+
+def test_fetch_404(content_server):
+    client = DownloadClient(content_server, Channel())
+    with pytest.raises(NetworkError, match="404"):
+        client.fetch("/missing")
+
+
+def test_service_call(content_server):
+    client = DownloadClient(content_server, Channel())
+    assert client.call("echo", "ping") == "echo:ping"
+    with pytest.raises(NetworkError, match="404 service"):
+        client.call("nothing", "x")
+
+
+def test_failing_service_returns_500(content_server):
+    def broken(_text: str) -> str:
+        raise RuntimeError("backend exploded")
+    content_server.publish_service("broken", broken)
+    client = DownloadClient(content_server, Channel())
+    with pytest.raises(NetworkError, match="500"):
+        client.call("broken", "x")
+
+
+# -- secure channel ----------------------------------------------------------------
+
+def test_handshake_and_record_roundtrip(pki, trust_store,
+                                        server_identity):
+    client = SecureClient(trust_store)
+    server = SecureServer(server_identity)
+    channel = Channel()
+    received = secure_transfer(client, server, channel,
+                               b"premium request")
+    assert received == b"premium request"
+
+
+def test_secure_channel_hides_payload(pki, trust_store, server_identity):
+    wiretap = PassiveWiretap()
+    channel = Channel([wiretap])
+    secure_transfer(SecureClient(trust_store),
+                    SecureServer(server_identity), channel,
+                    b"CONFIDENTIAL-APP-SOURCE")
+    assert not wiretap.saw_plaintext(b"CONFIDENTIAL-APP-SOURCE")
+
+
+def test_untrusted_server_rejected(pki, trust_store):
+    from repro.primitives.random import DeterministicRandomSource
+    rogue_identity = SigningIdentity.create(
+        "CN=content.studio.example", pki.rogue_root,
+        rng=DeterministicRandomSource(b"rogue-ident"),
+    )
+    with pytest.raises(ChannelSecurityError, match="rejected"):
+        establish(SecureClient(trust_store),
+                  SecureServer(rogue_identity), Channel())
+
+
+def test_record_tampering_detected(pki, trust_store, server_identity):
+    client_session, server_session = establish(
+        SecureClient(trust_store), SecureServer(server_identity),
+        Channel(),
+    )
+    record = bytearray(client_session.seal(b"payload"))
+    record[20] ^= 0x01
+    with pytest.raises(ChannelSecurityError, match="MAC failure"):
+        server_session.open(bytes(record))
+
+
+def test_replay_detected(pki, trust_store, server_identity):
+    client_session, server_session = establish(
+        SecureClient(trust_store), SecureServer(server_identity),
+        Channel(),
+    )
+    record = client_session.seal(b"one")
+    assert server_session.open(record) == b"one"
+    with pytest.raises(ChannelSecurityError, match="replay"):
+        server_session.open(record)
+
+
+def test_handshake_tampering_detected(pki, trust_store, server_identity):
+    # Flip a byte in the key-exchange message (kind 3).
+    tamperer = ActiveTamperer(predicate=lambda m: m[:1] == b"\x03",
+                              offset=30)
+    with pytest.raises(ChannelSecurityError):
+        establish(SecureClient(trust_store),
+                  SecureServer(server_identity), Channel([tamperer]))
+
+
+def test_secure_fetch_through_download_client(content_server,
+                                              trust_store):
+    wiretap = PassiveWiretap()
+    client = DownloadClient(content_server, Channel([wiretap]),
+                            trust_store=trust_store)
+    data = client.fetch("/apps/bonus.pkg", secure=True)
+    assert data == b"<pkg>bonus payload</pkg>"
+    assert not wiretap.saw_plaintext(b"bonus payload")
+
+
+def test_secure_fetch_requires_trust_store(content_server):
+    client = DownloadClient(content_server, Channel())
+    with pytest.raises(NetworkError, match="trust store"):
+        client.fetch("/apps/bonus.pkg", secure=True)
+
+
+def test_tls_protects_transit_only(content_server, trust_store):
+    """The paper's §4 argument: TLS ends at the endpoint —
+    delivered bytes carry no residual protection, unlike XMLEnc."""
+    client = DownloadClient(content_server, Channel(),
+                            trust_store=trust_store)
+    data = client.fetch("/apps/bonus.pkg", secure=True)
+    assert b"bonus payload" in data  # at rest: fully readable

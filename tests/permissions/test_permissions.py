@@ -1,0 +1,112 @@
+"""MHP-style permission request files and platform grant policy."""
+
+import pytest
+
+from repro.errors import PermissionDeniedError, PolicyError
+from repro.permissions import (
+    ALL_PERMISSIONS, PERM_LOCAL_STORAGE, PERM_NETWORK,
+    PERM_OVERLAY_GRAPHICS, PERM_RETURN_CHANNEL, PERM_TUNING,
+    PermissionEntry, PermissionRequestFile, PlatformPermissionPolicy,
+)
+
+
+def sample_request() -> PermissionRequestFile:
+    prf = PermissionRequestFile("0x4001", "org.contoso")
+    prf.request(PERM_LOCAL_STORAGE, quota_bytes=4096)
+    prf.request(PERM_RETURN_CHANNEL,
+                hosts=("content.contoso.example", "cdn.contoso.example"))
+    prf.request(PERM_TUNING)
+    return prf
+
+
+def test_unknown_permission_rejected():
+    with pytest.raises(PolicyError):
+        PermissionEntry("fly-to-the-moon")
+
+
+def test_xml_roundtrip():
+    prf = sample_request()
+    again = PermissionRequestFile.from_xml(prf.to_xml())
+    assert again.app_id == "0x4001"
+    assert again.org_id == "org.contoso"
+    assert again.entries == prf.entries
+    assert again.requested(PERM_LOCAL_STORAGE).quota_bytes == 4096
+    assert again.requested(PERM_NETWORK) is None
+
+
+def test_value_false_entries_ignored():
+    xml = (
+        '<permissionrequestfile xmlns="urn:dvb:mhp:2003:permissions" '
+        'appid="a" orgid="o">'
+        '<local-storage value="false"/>'
+        '<return-channel value="true"/></permissionrequestfile>'
+    )
+    prf = PermissionRequestFile.from_xml(xml)
+    assert prf.requested("local-storage") is None
+    assert prf.requested("return-channel") is not None
+
+
+def test_trusted_application_gets_requested_grants():
+    policy = PlatformPermissionPolicy()
+    grants = policy.decide(sample_request(), trusted=True)
+    assert grants.has(PERM_LOCAL_STORAGE)
+    assert grants.has(PERM_RETURN_CHANNEL)
+    assert grants.has(PERM_TUNING)
+    assert grants.has(PERM_OVERLAY_GRAPHICS)  # default grant
+
+
+def test_untrusted_application_denied_sensitive_grants():
+    policy = PlatformPermissionPolicy()
+    grants = policy.decide(sample_request(), trusted=False)
+    assert not grants.has(PERM_LOCAL_STORAGE)
+    assert not grants.has(PERM_RETURN_CHANNEL)
+    assert grants.has(PERM_OVERLAY_GRAPHICS)  # defaults survive
+
+
+def test_unrequested_permissions_not_granted():
+    policy = PlatformPermissionPolicy()
+    grants = policy.decide(sample_request(), trusted=True)
+    assert not grants.has(PERM_NETWORK)
+
+
+def test_platform_caps_storage_quota():
+    policy = PlatformPermissionPolicy(max_storage_quota=1024)
+    prf = PermissionRequestFile("a", "o")
+    prf.request(PERM_LOCAL_STORAGE, quota_bytes=10_000_000)
+    grants = policy.decide(prf, trusted=True)
+    assert grants.grant(PERM_LOCAL_STORAGE).quota_bytes == 1024
+
+
+def test_non_grantable_silently_refused():
+    policy = PlatformPermissionPolicy(
+        grantable=(PERM_LOCAL_STORAGE,),
+    )
+    grants = policy.decide(sample_request(), trusted=True)
+    assert grants.has(PERM_LOCAL_STORAGE)
+    assert not grants.has(PERM_TUNING)
+
+
+def test_grant_checks():
+    policy = PlatformPermissionPolicy()
+    grants = policy.decide(sample_request(), trusted=True)
+    grants.check(PERM_LOCAL_STORAGE, bytes_needed=100)
+    grants.check(PERM_RETURN_CHANNEL, host="cdn.contoso.example")
+    with pytest.raises(PermissionDeniedError, match="no 'network'"):
+        grants.check(PERM_NETWORK)
+    with pytest.raises(PermissionDeniedError, match="does not cover"):
+        grants.check(PERM_RETURN_CHANNEL, host="evil.example")
+    with pytest.raises(PermissionDeniedError, match="quota"):
+        grants.check(PERM_LOCAL_STORAGE, bytes_needed=10_000_000)
+
+
+def test_unqualified_host_grant_covers_all():
+    policy = PlatformPermissionPolicy()
+    prf = PermissionRequestFile("a", "o")
+    prf.request(PERM_RETURN_CHANNEL)  # no hosts qualifier
+    grants = policy.decide(prf, trusted=True)
+    grants.check(PERM_RETURN_CHANNEL, host="anywhere.example")
+
+
+def test_all_permissions_constant_consistent():
+    for name in ALL_PERMISSIONS:
+        PermissionEntry(name)  # none raise

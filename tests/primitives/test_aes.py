@@ -1,0 +1,106 @@
+"""AES cross-validation against the ``cryptography`` package and FIPS 197."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CryptoError, KeyError_
+from repro.primitives import modes
+from repro.primitives.aes import AES
+
+from cryptography.hazmat.primitives.ciphers import (
+    Cipher, algorithms as c_algorithms, modes as c_modes,
+)
+
+# FIPS 197 appendix C known-answer tests.
+FIPS_197 = [
+    (bytes(range(16)), bytes.fromhex("00112233445566778899aabbccddeeff"),
+     bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")),
+    (bytes(range(24)), bytes.fromhex("00112233445566778899aabbccddeeff"),
+     bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")),
+    (bytes(range(32)), bytes.fromhex("00112233445566778899aabbccddeeff"),
+     bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_197)
+def test_fips197_known_answers(key, plaintext, ciphertext):
+    cipher = AES(key)
+    assert cipher.encrypt_block(plaintext) == ciphertext
+    assert cipher.decrypt_block(ciphertext) == plaintext
+
+
+@pytest.mark.parametrize("key_size", [16, 24, 32])
+def test_block_roundtrip(key_size, rng):
+    cipher = AES(rng.read(key_size))
+    block = rng.read(16)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_invalid_key_sizes():
+    for bad in (0, 8, 15, 17, 33):
+        with pytest.raises(KeyError_):
+            AES(b"\x00" * bad)
+
+
+def test_invalid_block_size(rng):
+    cipher = AES(rng.read(16))
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    iv=st.binary(min_size=16, max_size=16),
+    blocks=st.integers(min_value=1, max_value=8),
+    seed=st.binary(min_size=1, max_size=8),
+)
+def test_cbc_matches_cryptography(key, iv, blocks, seed):
+    plaintext = (seed * (16 * blocks))[: 16 * blocks]
+    ours = modes.cbc_encrypt(AES(key), plaintext, iv)
+    native = Cipher(c_algorithms.AES(key), c_modes.CBC(iv)).encryptor()
+    assert ours == native.update(plaintext) + native.finalize()
+    assert modes.cbc_decrypt(AES(key), ours, iv) == plaintext
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=32, max_size=32),
+    nonce=st.binary(min_size=8, max_size=8),
+    data=st.binary(max_size=200),
+)
+def test_ctr_matches_cryptography(key, nonce, data):
+    ours = modes.ctr_transform(AES(key), data, nonce)
+    native = Cipher(
+        c_algorithms.AES(key), c_modes.CTR(nonce + b"\x00" * 8)
+    ).encryptor()
+    assert ours == native.update(data) + native.finalize()
+    # CTR is an involution.
+    assert modes.ctr_transform(AES(key), ours, nonce) == data
+
+
+def test_cbc_rejects_bad_iv_and_ragged_input(rng):
+    cipher = AES(rng.read(16))
+    with pytest.raises(CryptoError):
+        modes.cbc_encrypt(cipher, b"\x00" * 16, b"short-iv")
+    with pytest.raises(CryptoError):
+        modes.cbc_encrypt(cipher, b"\x00" * 15, b"\x00" * 16)
+    with pytest.raises(CryptoError):
+        modes.cbc_decrypt(cipher, b"\x00" * 15, b"\x00" * 16)
+
+
+def test_ecb_roundtrip_and_errors(rng):
+    cipher = AES(rng.read(16))
+    data = rng.read(64)
+    assert modes.ecb_decrypt(cipher, modes.ecb_encrypt(cipher, data)) == data
+    with pytest.raises(CryptoError):
+        modes.ecb_encrypt(cipher, b"ragged")
+
+
+def test_ctr_nonce_too_long(rng):
+    with pytest.raises(CryptoError):
+        modes.ctr_transform(AES(rng.read(16)), b"data", b"\x00" * 16)

@@ -1,0 +1,98 @@
+"""DES / Triple-DES known-answer tests and cross-validation."""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyError_
+from repro.primitives import modes
+from repro.primitives.des import DES, TripleDES
+
+
+def test_fips46_known_answer():
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    ciphertext = cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF"))
+    assert ciphertext.hex().upper() == "85E813540F0AB405"
+    assert cipher.decrypt_block(ciphertext) == \
+        bytes.fromhex("0123456789ABCDEF")
+
+
+def test_des_weak_key_is_involutive():
+    # The all-zero key is a classic DES weak key: E == D.
+    cipher = DES(b"\x00" * 8)
+    block = bytes(range(8))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    assert cipher.encrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_key_size_validation():
+    with pytest.raises(KeyError_):
+        DES(b"short")
+    with pytest.raises(KeyError_):
+        TripleDES(b"\x00" * 16)
+
+
+def test_3des_degenerates_to_des_with_equal_keys(rng):
+    key = rng.read(8)
+    single = DES(key)
+    triple = TripleDES(key * 3)
+    block = rng.read(8)
+    assert triple.encrypt_block(block) == single.encrypt_block(block)
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=24, max_size=24),
+       block=st.binary(min_size=8, max_size=8))
+def test_3des_matches_cryptography(key, block):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            from cryptography.hazmat.decrepit.ciphers.algorithms import (
+                TripleDES as NativeTDES,
+            )
+        except ImportError:  # pragma: no cover
+            from cryptography.hazmat.primitives.ciphers.algorithms import (
+                TripleDES as NativeTDES,
+            )
+        from cryptography.hazmat.primitives.ciphers import Cipher, modes as cm
+        native = Cipher(NativeTDES(key), cm.ECB()).encryptor()
+        expected = native.update(block) + native.finalize()
+    ours = TripleDES(key).encrypt_block(block)
+    assert ours == expected
+    assert TripleDES(key).decrypt_block(ours) == block
+
+
+def test_3des_cbc_mode_roundtrip(rng):
+    cipher = TripleDES(rng.read(24))
+    iv = rng.read(8)
+    plaintext = rng.read(64)
+    ciphertext = modes.cbc_encrypt(cipher, plaintext, iv)
+    assert modes.cbc_decrypt(cipher, ciphertext, iv) == plaintext
+
+
+def test_xmlenc_tripledes_roundtrip(rng, manifest):
+    from repro.primitives.keys import SymmetricKey
+    from repro.xmlcore import canonicalize
+    from repro.xmlenc import Decryptor, Encryptor, TRIPLEDES_CBC
+    key = SymmetricKey(rng.read(24))
+    original = canonicalize(manifest)
+    Encryptor(rng=rng).encrypt_element(
+        manifest.find("code"), key, algorithm=TRIPLEDES_CBC,
+        key_name="k",
+    )
+    Decryptor(keys={"k": key}).decrypt_in_place(manifest)
+    assert canonicalize(manifest) == original
+
+
+def test_provider_tripledes_agrees(rng):
+    from repro.primitives.provider import available_providers, get_provider
+    key = rng.read(24)
+    iv = rng.read(8)
+    padded = rng.read(32)
+    reference = get_provider("pure")
+    expected = reference.tripledes_cbc_encrypt(key, iv, padded)
+    assert reference.tripledes_cbc_decrypt(key, iv, expected) == padded
+    for name in available_providers():
+        provider = get_provider(name)
+        assert provider.tripledes_cbc_encrypt(key, iv, padded) == expected

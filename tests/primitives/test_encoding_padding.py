@@ -1,0 +1,93 @@
+"""Base64/hex/int encodings and the two padding schemes."""
+
+import base64
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CryptoError, PaddingError
+from repro.primitives import encoding, padding
+
+
+@given(st.binary(max_size=512))
+def test_b64_roundtrip_and_interop(data):
+    encoded = encoding.b64encode(data)
+    assert encoded == base64.b64encode(data).decode()
+    assert encoding.b64decode(encoded) == data
+
+
+def test_b64_tolerates_whitespace():
+    encoded = encoding.b64encode(b"hello world, disc player")
+    broken = "\n  ".join([encoded[:8], encoded[8:16], encoded[16:]])
+    assert encoding.b64decode(broken) == b"hello world, disc player"
+
+
+@pytest.mark.parametrize("bad", ["a", "ab!c", "====", "QUJD=A==", "QQ=A"])
+def test_b64_rejects_garbage(bad):
+    with pytest.raises(CryptoError):
+        encoding.b64decode(bad)
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_hex_roundtrip(data):
+    assert encoding.hexdecode(encoding.hexencode(data)) == data
+
+
+def test_hex_rejects_garbage():
+    with pytest.raises(CryptoError):
+        encoding.hexdecode("zz")
+
+
+@given(st.integers(min_value=0, max_value=2 ** 256))
+def test_int_bytes_roundtrip(value):
+    assert encoding.bytes_to_int(encoding.int_to_bytes(value)) == value
+
+
+def test_int_to_bytes_fixed_length():
+    assert encoding.int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+    assert encoding.int_to_bytes(0) == b"\x00"
+    with pytest.raises(CryptoError):
+        encoding.int_to_bytes(256, 1)
+    with pytest.raises(CryptoError):
+        encoding.int_to_bytes(-1)
+
+
+@given(st.binary(max_size=100))
+def test_pkcs7_roundtrip(data):
+    padded = padding.pkcs7_pad(data, 16)
+    assert len(padded) % 16 == 0
+    assert len(padded) > len(data)
+    assert padding.pkcs7_unpad(padded, 16) == data
+
+
+@given(st.binary(max_size=100))
+def test_xmlenc_roundtrip(data):
+    padded = padding.xmlenc_pad(data, 16)
+    assert len(padded) % 16 == 0
+    assert padding.xmlenc_unpad(padded, 16) == data
+
+
+def test_pkcs7_detects_corruption():
+    padded = bytearray(padding.pkcs7_pad(b"data", 16))
+    padded[-2] ^= 0x01  # flip a pad byte
+    with pytest.raises(PaddingError):
+        padding.pkcs7_unpad(bytes(padded), 16)
+
+
+def test_xmlenc_ignores_arbitrary_pad_bytes():
+    padded = bytearray(padding.xmlenc_pad(b"data", 16))
+    padded[-2] ^= 0xAA  # arbitrary pad octets are not inspected
+    assert padding.xmlenc_unpad(bytes(padded), 16) == b"data"
+
+
+@pytest.mark.parametrize("unpad", [padding.pkcs7_unpad,
+                                   padding.xmlenc_unpad])
+def test_unpad_rejects_bad_lengths(unpad):
+    with pytest.raises(PaddingError):
+        unpad(b"", 16)
+    with pytest.raises(PaddingError):
+        unpad(b"x" * 15, 16)
+    with pytest.raises(PaddingError):
+        unpad(b"\x00" * 16, 16)   # pad length 0 is invalid
+    with pytest.raises(PaddingError):
+        unpad(b"\x11" * 16, 16)   # pad length 17 > block size

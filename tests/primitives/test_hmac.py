@@ -1,0 +1,64 @@
+"""HMAC cross-validation against the standard library and RFC 2202."""
+
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.primitives.hmac import (
+    HMAC, constant_time_equal, hmac_sha1, hmac_sha256,
+)
+
+RFC2202_SHA1 = [
+    (b"\x0b" * 20, b"Hi There", "b617318655057264e28bc0b6fb378c8ef146be00"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"),
+    (b"\xaa" * 20, b"\xdd" * 50, "125d7342b9ac11cd91a39af48aa17b4f63f175d3"),
+]
+
+
+@pytest.mark.parametrize("key,message,expected", RFC2202_SHA1)
+def test_rfc2202_vectors(key, message, expected):
+    assert hmac_sha1(key, message).hex() == expected
+
+
+def test_rfc4231_sha256_vector():
+    mac = hmac_sha256(b"\x0b" * 20, b"Hi There")
+    assert mac.hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+@given(st.binary(min_size=1, max_size=200), st.binary(max_size=2048))
+def test_matches_stdlib_sha1(key, data):
+    assert hmac_sha1(key, data) == std_hmac.new(key, data, "sha1").digest()
+
+
+@given(st.binary(min_size=1, max_size=200), st.binary(max_size=2048))
+def test_matches_stdlib_sha256(key, data):
+    assert hmac_sha256(key, data) == \
+        std_hmac.new(key, data, "sha256").digest()
+
+
+def test_long_key_is_hashed_first():
+    key = b"k" * 200  # longer than the 64-byte block size
+    assert hmac_sha1(key, b"m") == std_hmac.new(key, b"m", "sha1").digest()
+
+
+def test_incremental_interface():
+    mac = HMAC(b"key", "sha256")
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert mac.digest() == hmac_sha256(b"key", b"part one part two")
+
+
+def test_digest_size():
+    assert HMAC(b"k", "sha1").digest_size == 20
+    assert HMAC(b"k", "sha256").digest_size == 32
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"sane")
+    assert not constant_time_equal(b"short", b"longer")
+    assert constant_time_equal(b"", b"")

@@ -1,0 +1,110 @@
+"""AES key wrap (RFC 3394) and the provider registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from cryptography.hazmat.primitives.keywrap import aes_key_wrap
+
+from repro.errors import CryptoError, DecryptionError, ProviderError
+from repro.primitives import keywrap
+from repro.primitives.provider import (
+    AcceleratedProvider, PurePythonProvider, available_providers,
+    get_provider, set_default_provider,
+)
+
+
+def test_rfc3394_vector_4_1():
+    kek = bytes.fromhex("000102030405060708090A0B0C0D0E0F")
+    key_data = bytes.fromhex("00112233445566778899AABBCCDDEEFF")
+    wrapped = keywrap.wrap_key(kek, key_data)
+    assert wrapped.hex().upper() == (
+        "1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5"
+    )
+    assert keywrap.unwrap_key(kek, wrapped) == key_data
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kek=st.binary(min_size=16, max_size=16),
+    key_data=st.binary(min_size=16, max_size=40).filter(
+        lambda b: len(b) % 8 == 0
+    ),
+)
+def test_wrap_matches_cryptography(kek, key_data):
+    assert keywrap.wrap_key(kek, key_data) == aes_key_wrap(kek, key_data)
+
+
+def test_unwrap_detects_wrong_kek(rng):
+    kek = rng.read(16)
+    wrapped = keywrap.wrap_key(kek, rng.read(16))
+    with pytest.raises(DecryptionError):
+        keywrap.unwrap_key(rng.read(16), wrapped)
+
+
+def test_unwrap_detects_tampering(rng):
+    kek = rng.read(16)
+    wrapped = bytearray(keywrap.wrap_key(kek, rng.read(16)))
+    wrapped[3] ^= 0x80
+    with pytest.raises(DecryptionError):
+        keywrap.unwrap_key(kek, bytes(wrapped))
+
+
+def test_wrap_rejects_short_or_ragged_keys(rng):
+    with pytest.raises(CryptoError):
+        keywrap.wrap_key(rng.read(16), b"\x00" * 8)
+    with pytest.raises(CryptoError):
+        keywrap.wrap_key(rng.read(16), b"\x00" * 17)
+    with pytest.raises(CryptoError):
+        keywrap.unwrap_key(rng.read(16), b"\x00" * 12)
+
+
+# -- provider registry -------------------------------------------------------
+
+
+def test_registry_contains_pure():
+    assert "pure" in available_providers()
+    assert isinstance(get_provider("pure"), PurePythonProvider)
+
+
+def test_unknown_provider():
+    with pytest.raises(ProviderError):
+        get_provider("no-such-backend")
+    with pytest.raises(ProviderError):
+        set_default_provider("no-such-backend")
+
+
+def test_default_provider_switching():
+    previous = set_default_provider("pure")
+    try:
+        assert get_provider().name == "pure"
+    finally:
+        set_default_provider(previous)
+
+
+@pytest.mark.parametrize("name", ["pure", "accelerated"])
+def test_providers_agree(name, rng):
+    if name not in available_providers():
+        pytest.skip(f"{name} provider not available")
+    provider = get_provider(name)
+    reference = get_provider("pure")
+    data = rng.read(333)
+    key = rng.read(16)
+    iv = rng.read(16)
+    assert provider.digest("sha1", data) == reference.digest("sha1", data)
+    assert provider.digest("sha256", data) == \
+        reference.digest("sha256", data)
+    assert provider.hmac("sha256", key, data) == \
+        reference.hmac("sha256", key, data)
+    padded = data + b"\x00" * (16 - len(data) % 16)
+    assert provider.aes_cbc_encrypt(key, iv, padded) == \
+        reference.aes_cbc_encrypt(key, iv, padded)
+    assert provider.aes_ctr(key, iv[:8], data) == \
+        reference.aes_ctr(key, iv[:8], data)
+    assert provider.wrap_key(key, key + key) == \
+        reference.wrap_key(key, key + key)
+
+
+def test_provider_rejects_unknown_digest():
+    from repro.errors import UnknownAlgorithmError
+    with pytest.raises(UnknownAlgorithmError):
+        get_provider("pure").digest("md5", b"")

@@ -1,0 +1,127 @@
+"""RSA key generation, signatures and encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CryptoError, DecryptionError, KeyError_
+from repro.primitives import rsa
+from repro.primitives.keys import RSAPrivateKey, RSAPublicKey
+from repro.primitives.random import DeterministicRandomSource
+
+from cryptography.hazmat.primitives import hashes
+from cryptography.hazmat.primitives.asymmetric import (
+    padding as c_padding, rsa as c_rsa,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa.generate_keypair(
+        1024, DeterministicRandomSource(b"rsa-module-key")
+    )
+
+
+def test_keypair_structure(key):
+    assert key.bit_length == 1024
+    assert key.p * key.q == key.n
+    assert key.p > key.q
+    phi = (key.p - 1) * (key.q - 1)
+    assert (key.e * key.d) % phi == 1
+
+
+def test_keygen_rejects_bad_sizes(rng):
+    with pytest.raises(KeyError_):
+        rsa.generate_keypair(256, rng)
+    with pytest.raises(KeyError_):
+        rsa.generate_keypair(1023, rng)
+
+
+def test_sign_verify_roundtrip(key):
+    message = b"application manifest bytes"
+    for digest in ("sha1", "sha256"):
+        signature = rsa.sign(key, message, digest)
+        assert rsa.verify(key.public_key(), message, signature, digest)
+        assert not rsa.verify(key.public_key(), message + b"!", signature,
+                              digest)
+
+
+def test_signature_is_deterministic(key):
+    assert rsa.sign(key, b"m") == rsa.sign(key, b"m")
+
+
+def test_signature_interops_with_cryptography(key):
+    message = b"interop check"
+    signature = rsa.sign(key, message, "sha256")
+    public = c_rsa.RSAPublicNumbers(key.e, key.n).public_key()
+    public.verify(signature, message, c_padding.PKCS1v15(),
+                  hashes.SHA256())
+
+
+def test_cryptography_signature_verifies_here(key):
+    private = c_rsa.RSAPrivateNumbers(
+        p=key.p, q=key.q,
+        d=key.d,
+        dmp1=key.d % (key.p - 1), dmq1=key.d % (key.q - 1),
+        iqmp=pow(key.q, -1, key.p),
+        public_numbers=c_rsa.RSAPublicNumbers(key.e, key.n),
+    ).private_key()
+    signature = private.sign(b"cross", c_padding.PKCS1v15(), hashes.SHA1())
+    assert rsa.verify(key.public_key(), b"cross", signature, "sha1")
+
+
+def test_wrong_key_rejects(key, rng):
+    other = rsa.generate_keypair(1024, rng)
+    signature = rsa.sign(key, b"m")
+    assert not rsa.verify(other.public_key(), b"m", signature)
+
+
+def test_crt_matches_plain_exponentiation(key):
+    no_crt = RSAPrivateKey(n=key.n, e=key.e, d=key.d)
+    message = b"crt equivalence"
+    assert rsa.sign(key, message) == rsa.sign(no_crt, message)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=100))
+def test_encrypt_decrypt_roundtrip(plaintext):
+    key = _SHARED_KEY
+    rng = DeterministicRandomSource(plaintext + b"|pad")
+    ciphertext = rsa.encrypt(key.public_key(), plaintext, rng)
+    assert rsa.decrypt(key, ciphertext) == plaintext
+
+
+_SHARED_KEY = rsa.generate_keypair(
+    1024, DeterministicRandomSource(b"hypothesis-shared")
+)
+
+
+def test_encrypt_length_limit(key, rng):
+    limit = key.byte_length - 11
+    rsa.encrypt(key.public_key(), b"x" * limit, rng)
+    with pytest.raises(CryptoError):
+        rsa.encrypt(key.public_key(), b"x" * (limit + 1), rng)
+
+
+def test_decrypt_rejects_garbage(key, rng):
+    with pytest.raises(DecryptionError):
+        rsa.decrypt(key, b"\x00" * key.byte_length)
+    with pytest.raises(DecryptionError):
+        rsa.decrypt(key, b"short")
+
+
+def test_tampered_ciphertext_rejected_or_garbled(key, rng):
+    plaintext = b"session-key-material"
+    ciphertext = bytearray(rsa.encrypt(key.public_key(), plaintext, rng))
+    ciphertext[5] ^= 0xFF
+    try:
+        recovered = rsa.decrypt(key, bytes(ciphertext))
+    except DecryptionError:
+        return
+    assert recovered != plaintext
+
+
+def test_public_key_serialization_roundtrip(key):
+    public = key.public_key()
+    again = RSAPublicKey.from_dict(public.to_dict())
+    assert again == public
+    assert public.fingerprint() == again.fingerprint()

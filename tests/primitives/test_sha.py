@@ -1,0 +1,98 @@
+"""SHA-1/SHA-256 cross-validation against hashlib and FIPS vectors."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.primitives import sha
+
+FIPS_VECTORS_SHA1 = [
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+]
+
+FIPS_VECTORS_SHA256 = [
+    (
+        b"abc",
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+    ),
+    (
+        b"",
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+    ),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", FIPS_VECTORS_SHA1)
+def test_sha1_fips_vectors(message, expected):
+    assert sha.sha1(message).hex() == expected
+
+
+@pytest.mark.parametrize("message,expected", FIPS_VECTORS_SHA256)
+def test_sha256_fips_vectors(message, expected):
+    assert sha.sha256(message).hex() == expected
+
+
+def test_million_a_sha1():
+    assert sha.sha1(b"a" * 1_000_000).hex() == \
+        "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+
+
+@given(st.binary(max_size=4096))
+def test_sha1_matches_hashlib(data):
+    assert sha.sha1(data) == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=4096))
+def test_sha256_matches_hashlib(data):
+    assert sha.sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.binary(max_size=512), st.binary(max_size=512),
+       st.binary(max_size=512))
+def test_incremental_update_equals_one_shot(a, b, c):
+    h = sha.SHA256()
+    h.update(a)
+    h.update(b)
+    h.update(c)
+    assert h.digest() == sha.sha256(a + b + c)
+
+
+def test_digest_is_nondestructive():
+    h = sha.SHA1(b"partial")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" more")
+    assert h.digest() == sha.sha1(b"partial more")
+
+
+def test_copy_is_independent():
+    h = sha.SHA256(b"shared prefix ")
+    clone = h.copy()
+    h.update(b"left")
+    clone.update(b"right")
+    assert h.digest() == sha.sha256(b"shared prefix left")
+    assert clone.digest() == sha.sha256(b"shared prefix right")
+
+
+def test_new_by_name_and_unknown():
+    assert sha.new("sha1", b"x").digest() == sha.sha1(b"x")
+    assert sha.new("SHA256", b"x").digest() == sha.sha256(b"x")
+    with pytest.raises(ValueError):
+        sha.new("md5")
+
+
+def test_block_boundary_lengths():
+    for n in (55, 56, 57, 63, 64, 65, 119, 120, 128):
+        data = bytes(range(256))[:n] * 1
+        assert sha.sha1(data) == hashlib.sha1(data).digest()
+        assert sha.sha256(data) == hashlib.sha256(data).digest()

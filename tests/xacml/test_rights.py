@@ -1,0 +1,115 @@
+"""The XRML-style rights extension (paper §9 future work)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.xacml.rights import (
+    ALL_RIGHTS, License, RIGHT_COPY, RIGHT_EXECUTE, RIGHT_PLAY,
+    RightsEngine, RightsGrant,
+)
+
+
+def studio_license() -> License:
+    license_ = License("lic-001", "CN=Contoso Studios")
+    license_.grant(RIGHT_PLAY, "bd://BDMV/STREAM/00001.m2ts")
+    license_.grant(RIGHT_EXECUTE, "app:menu")
+    license_.grant(RIGHT_PLAY, "bd://BDMV/STREAM/bonus.m2ts",
+                   max_uses=2)
+    license_.grant(RIGHT_COPY, "bd://BDMV/STREAM/00001.m2ts",
+                   principal="device:RBD-1000-0001")
+    license_.grant(RIGHT_PLAY, "app:rental", not_after=100.0)
+    return license_
+
+
+def test_unknown_right_rejected():
+    with pytest.raises(PolicyError):
+        RightsGrant("broadcast", "x")
+
+
+def test_xml_roundtrip():
+    license_ = studio_license()
+    again = License.from_xml(license_.to_xml())
+    assert again.license_id == "lic-001"
+    assert again.issuer == "CN=Contoso Studios"
+    assert again.grants == license_.grants
+
+
+def test_basic_permissions():
+    engine = RightsEngine()
+    engine.install(studio_license())
+    assert engine.check(RIGHT_PLAY, "bd://BDMV/STREAM/00001.m2ts")
+    assert engine.check(RIGHT_EXECUTE, "app:menu")
+    # Rights not granted are denied.
+    assert not engine.check(RIGHT_COPY, "app:menu")
+    assert not engine.check(RIGHT_PLAY, "bd://BDMV/STREAM/other.m2ts")
+
+
+def test_principal_scoping():
+    engine = RightsEngine()
+    engine.install(studio_license())
+    assert engine.check(RIGHT_COPY, "bd://BDMV/STREAM/00001.m2ts",
+                        principal="device:RBD-1000-0001")
+    assert not engine.check(RIGHT_COPY, "bd://BDMV/STREAM/00001.m2ts",
+                            principal="device:other")
+
+
+def test_expiry():
+    engine = RightsEngine(now=50.0)
+    engine.install(studio_license())
+    assert engine.check(RIGHT_PLAY, "app:rental")
+    engine.now = 150.0
+    assert not engine.check(RIGHT_PLAY, "app:rental")
+
+
+def test_play_count():
+    engine = RightsEngine()
+    engine.install(studio_license())
+    resource = "bd://BDMV/STREAM/bonus.m2ts"
+    assert engine.uses_remaining("lic-001", 2) == 2
+    assert engine.exercise(RIGHT_PLAY, resource)
+    assert engine.exercise(RIGHT_PLAY, resource)
+    assert engine.uses_remaining("lic-001", 2) == 0
+    # Third play is refused.
+    assert not engine.exercise(RIGHT_PLAY, resource)
+
+
+def test_uncounted_grants_unlimited():
+    engine = RightsEngine()
+    engine.install(studio_license())
+    for _ in range(5):
+        assert engine.exercise(RIGHT_EXECUTE, "app:menu")
+    assert engine.uses_remaining("lic-001", 1) is None
+
+
+def test_multiple_licenses_permit_overrides():
+    engine = RightsEngine()
+    engine.install(studio_license())
+    extra = License("lic-002", "CN=Retailer")
+    extra.grant(RIGHT_PLAY, "bd://BDMV/STREAM/other.m2ts")
+    engine.install(extra)
+    assert engine.check(RIGHT_PLAY, "bd://BDMV/STREAM/other.m2ts")
+    assert engine.check(RIGHT_PLAY, "bd://BDMV/STREAM/00001.m2ts")
+
+
+def test_license_can_be_signed(pki, trust_store):
+    """Licenses ride the same XMLDSig machinery as everything else."""
+    from repro.dsig import Signer, Verifier
+    node = studio_license().to_element()
+    signature = Signer(pki.studio.key,
+                       identity=pki.studio).sign_enveloped(node)
+    verifier = Verifier(trust_store=trust_store, require_trusted_key=True)
+    assert verifier.verify(signature).valid
+    # Tampering a grant is caught.
+    node.child_elements()[0].set("right", "copy")
+    assert not verifier.verify(signature).valid
+
+
+def test_unknown_license_lookup():
+    engine = RightsEngine()
+    with pytest.raises(PolicyError):
+        engine.uses_remaining("ghost", 0)
+
+
+def test_all_rights_constant():
+    for right in ALL_RIGHTS:
+        RightsGrant(right, "x")

@@ -1,0 +1,174 @@
+"""XACML model, combining algorithms, PDP/PEP."""
+
+import pytest
+
+from repro.errors import PermissionDeniedError, PolicyError
+from repro.xacml import (
+    ACTION, DENY_OVERRIDES, FIRST_APPLICABLE, FUNC_REGEXP_MATCH,
+    PERMIT_OVERRIDES, PDP, PEP, Decision, Effect, Match, Policy, Request,
+    RESOURCE, Rule, SUBJECT, Target, combine,
+)
+
+
+def platform_policy() -> Policy:
+    policy = Policy("platform", combining=DENY_OVERRIDES,
+                    description="Player platform resource policy")
+    policy.add_rule(Rule("permit-trusted-storage", Effect.PERMIT, Target([
+        Match(SUBJECT, "trust-level", "trusted"),
+        Match(RESOURCE, "resource-id", "local-storage"),
+    ])))
+    policy.add_rule(Rule("permit-graphics", Effect.PERMIT, Target([
+        Match(RESOURCE, "resource-id", "graphics-plane"),
+    ])))
+    policy.add_rule(Rule("deny-tuner", Effect.DENY, Target([
+        Match(RESOURCE, "resource-id", "tuner"),
+    ])))
+    return policy
+
+
+def request(trust="trusted", resource="local-storage",
+            action="write") -> Request:
+    return Request(
+        subject={"trust-level": [trust]},
+        resource={"resource-id": [resource]},
+        action={"action-id": [action]},
+    )
+
+
+def test_permit_and_deny():
+    pdp = PDP([platform_policy()])
+    assert pdp.evaluate(request()) is Decision.PERMIT
+    assert pdp.evaluate(request(trust="untrusted")) is \
+        Decision.NOT_APPLICABLE
+    assert pdp.evaluate(request(resource="tuner")) is Decision.DENY
+
+
+def test_empty_target_matches_everything():
+    policy = Policy("allow-all")
+    policy.add_rule(Rule("r", Effect.PERMIT))
+    assert PDP([policy]).evaluate(Request()) is Decision.PERMIT
+
+
+def test_deny_overrides_within_policy():
+    policy = Policy("mixed", combining=DENY_OVERRIDES)
+    policy.add_rule(Rule("p", Effect.PERMIT))
+    policy.add_rule(Rule("d", Effect.DENY))
+    assert PDP([policy]).evaluate(Request()) is Decision.DENY
+
+
+def test_permit_overrides_within_policy():
+    policy = Policy("mixed", combining=PERMIT_OVERRIDES)
+    policy.add_rule(Rule("d", Effect.DENY))
+    policy.add_rule(Rule("p", Effect.PERMIT))
+    assert PDP([policy]).evaluate(Request()) is Decision.PERMIT
+
+
+def test_first_applicable_order_matters():
+    policy = Policy("ordered", combining=FIRST_APPLICABLE)
+    policy.add_rule(Rule("specific-deny", Effect.DENY, Target([
+        Match(SUBJECT, "role", "guest"),
+    ])))
+    policy.add_rule(Rule("general-permit", Effect.PERMIT))
+    pdp = PDP([policy])
+    assert pdp.evaluate(Request(subject={"role": ["guest"]})) is \
+        Decision.DENY
+    assert pdp.evaluate(Request(subject={"role": ["admin"]})) is \
+        Decision.PERMIT
+
+
+def test_regexp_match():
+    policy = Policy("hosts")
+    policy.add_rule(Rule("r", Effect.PERMIT, Target([
+        Match(RESOURCE, "host", r".*\.contoso\.example$",
+              FUNC_REGEXP_MATCH),
+    ])))
+    pdp = PDP([policy])
+    ok = Request(resource={"host": ["cdn.contoso.example"]})
+    bad = Request(resource={"host": ["contoso.example.evil.net"]})
+    assert pdp.evaluate(ok) is Decision.PERMIT
+    assert pdp.evaluate(bad) is Decision.NOT_APPLICABLE
+
+
+def test_bad_regexp_is_indeterminate():
+    policy = Policy("broken")
+    policy.add_rule(Rule("r", Effect.PERMIT, Target([
+        Match(RESOURCE, "host", "([", FUNC_REGEXP_MATCH),
+    ])))
+    assert PDP([policy]).evaluate(
+        Request(resource={"host": ["x"]})
+    ) is Decision.INDETERMINATE
+
+
+def test_condition_callable():
+    rule = Rule("quota", Effect.PERMIT,
+                condition=lambda req: int(
+                    req.bag(ACTION, "bytes")[0]
+                ) <= 1024)
+    policy = Policy("p", rules=[rule])
+    pdp = PDP([policy])
+    assert pdp.evaluate(Request(action={"bytes": ["100"]})) is \
+        Decision.PERMIT
+    assert pdp.evaluate(Request(action={"bytes": ["9999"]})) is \
+        Decision.NOT_APPLICABLE
+    # An erroring condition is INDETERMINATE.
+    assert pdp.evaluate(Request()) is Decision.INDETERMINATE
+
+
+def test_multi_policy_combination():
+    allow = Policy("allow")
+    allow.add_rule(Rule("p", Effect.PERMIT))
+    deny = Policy("deny-storage")
+    deny.add_rule(Rule("d", Effect.DENY, Target([
+        Match(RESOURCE, "resource-id", "local-storage"),
+    ])))
+    pdp = PDP([allow, deny])
+    assert pdp.evaluate(request()) is Decision.DENY
+    assert pdp.evaluate(request(resource="graphics-plane")) is \
+        Decision.PERMIT
+
+
+def test_combining_algorithm_properties():
+    P, D, N, I = (Decision.PERMIT, Decision.DENY,
+                  Decision.NOT_APPLICABLE, Decision.INDETERMINATE)
+    assert combine(DENY_OVERRIDES, [P, D, P]) is D
+    assert combine(DENY_OVERRIDES, [P, I]) is I
+    assert combine(DENY_OVERRIDES, [N, N]) is N
+    assert combine(PERMIT_OVERRIDES, [D, P]) is P
+    assert combine(PERMIT_OVERRIDES, [D, I]) is I
+    assert combine(FIRST_APPLICABLE, [N, D, P]) is D
+    assert combine(FIRST_APPLICABLE, []) is N
+    with pytest.raises(PolicyError):
+        combine("majority-vote", [P])
+
+
+def test_policy_xml_roundtrip():
+    policy = platform_policy()
+    again = Policy.from_xml(policy.to_xml())
+    assert again.policy_id == policy.policy_id
+    assert again.description == policy.description
+    assert len(again.rules) == len(policy.rules)
+    pdp = PDP([again])
+    assert pdp.evaluate(request()) is Decision.PERMIT
+    assert pdp.evaluate(request(resource="tuner")) is Decision.DENY
+
+
+def test_model_validation():
+    with pytest.raises(PolicyError):
+        Match("Galaxy", "a", "b")
+    with pytest.raises(PolicyError):
+        Match(SUBJECT, "a", "b", "urn:no-such-function")
+    with pytest.raises(PolicyError):
+        Request().bag("Galaxy", "a")
+
+
+def test_pep_enforcement_and_audit():
+    pdp = PDP([platform_policy()])
+    pep = PEP(pdp)
+    assert pep.is_permitted(request(), "storage write")
+    with pytest.raises(PermissionDeniedError):
+        pep.enforce(request(resource="tuner"), "tune channel")
+    # NOT_APPLICABLE is refused too (deny-biased PEP).
+    with pytest.raises(PermissionDeniedError):
+        pep.enforce(request(trust="untrusted"), "storage write")
+    assert len(pep.audit_log) == 3
+    assert pep.audit_log[1] == ("tune channel", Decision.DENY)

@@ -1,0 +1,143 @@
+"""XKMS messages, trust server and client."""
+
+import pytest
+
+from repro.errors import XKMSError
+from repro.primitives.rsa import generate_keypair
+from repro.xkms import (
+    KeyBinding, RESULT_NO_MATCH, RESULT_REFUSED, RESULT_SUCCESS,
+    STATUS_INVALID, STATUS_VALID, TrustServer, XKMSClient, XKMSRequest,
+    XKMSResult, authentication_proof,
+)
+
+SECRET = b"registration-secret"
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    from repro.primitives.random import DeterministicRandomSource
+    return generate_keypair(1024, DeterministicRandomSource(b"xkms-key"))
+
+
+@pytest.fixture
+def server():
+    return TrustServer(registration_secrets={"": SECRET})
+
+
+@pytest.fixture
+def client(server):
+    return XKMSClient(server.handle_xml)
+
+
+def test_register_locate_validate(server, client, keypair):
+    result = client.register("studio-1", keypair.public_key(), SECRET)
+    assert result.result_major == RESULT_SUCCESS
+    assert client.locate("studio-1") == keypair.public_key()
+    assert client.validate("studio-1")
+    assert client.validate("studio-1", keypair.public_key())
+
+
+def test_locate_unknown(client):
+    assert client.locate("ghost") is None
+
+
+def test_register_wrong_secret_refused(server, client, keypair):
+    result = client.register("studio-2", keypair.public_key(), b"wrong")
+    assert result.result_major == RESULT_REFUSED
+    assert client.locate("studio-2") is None
+
+
+def test_revoke_flow(server, client, keypair):
+    client.register("studio-3", keypair.public_key(), SECRET)
+    assert client.validate("studio-3")
+    result = client.revoke("studio-3", SECRET)
+    assert result.result_major == RESULT_SUCCESS
+    assert not client.validate("studio-3")
+    # Locate still finds the binding; Validate reports it invalid.
+    assert client.locate("studio-3") == keypair.public_key()
+
+
+def test_revoke_needs_secret(server, client, keypair):
+    client.register("studio-4", keypair.public_key(), SECRET)
+    result = client.revoke("studio-4", b"wrong")
+    assert result.result_major == RESULT_REFUSED
+    assert client.validate("studio-4")
+
+
+def test_validate_mismatched_key_reported_invalid(server, client, keypair,
+                                                  rng):
+    client.register("studio-5", keypair.public_key(), SECRET)
+    other = generate_keypair(1024, rng)
+    assert not client.validate("studio-5", other.public_key())
+
+
+def test_prefix_scoped_secrets(keypair):
+    server = TrustServer(registration_secrets={"org.contoso.": SECRET})
+    client = XKMSClient(server.handle_xml)
+    ok = client.register("org.contoso.key1", keypair.public_key(), SECRET)
+    assert ok.result_major == RESULT_SUCCESS
+    refused = client.register("org.evil.key1", keypair.public_key(),
+                              SECRET)
+    assert refused.result_major == RESULT_REFUSED
+
+
+def test_audit_log(server, client, keypair):
+    client.register("k", keypair.public_key(), SECRET)
+    client.locate("k")
+    client.validate("k")
+    assert server.audit_log == ["Register:", "Locate:k", "Validate:k"]
+
+
+def test_request_xml_roundtrip(keypair):
+    request = XKMSRequest(
+        "Register",
+        binding=KeyBinding("name-1", keypair.public_key(),
+                           use="encryption"),
+        authentication=authentication_proof(SECRET, "name-1"),
+    )
+    again = XKMSRequest.from_xml(request.to_xml())
+    assert again.operation == "Register"
+    assert again.binding.key == keypair.public_key()
+    assert again.binding.use == "encryption"
+    assert again.authentication == request.authentication
+    assert again.request_id == request.request_id
+
+
+def test_result_xml_roundtrip(keypair):
+    result = XKMSResult(
+        "Locate", RESULT_SUCCESS,
+        [KeyBinding("n", keypair.public_key(), STATUS_VALID)],
+        request_id="req-9",
+    )
+    again = XKMSResult.from_xml(result.to_xml())
+    assert again.success
+    assert again.bindings[0].key == keypair.public_key()
+    assert again.request_id == "req-9"
+
+
+def test_result_id_mismatch_detected(server, keypair):
+    def evil_transport(request_xml: str) -> str:
+        # Answer with a response bound to a different request id
+        # (a classic substitution attack on the key service).
+        return XKMSResult("Locate", RESULT_NO_MATCH,
+                          request_id="someone-elses").to_xml()
+
+    client = XKMSClient(evil_transport)
+    with pytest.raises(XKMSError, match="does not answer"):
+        client.locate("any")
+
+
+def test_unknown_operation_rejected():
+    with pytest.raises(XKMSError):
+        XKMSRequest("Recover")
+
+
+def test_server_used_as_dsig_key_locator(server, client, keypair, pki,
+                                         manifest):
+    """The §7 integration: verifier resolves KeyName through XKMS."""
+    from repro.dsig import Signer, Verifier
+    client.register("studio-signing-key", keypair.public_key(), SECRET)
+    signer = Signer(keypair, key_name="studio-signing-key")
+    signature = signer.sign_enveloped(manifest)
+    verifier = Verifier(key_locator=client.locate)
+    assert verifier.verify(signature).valid

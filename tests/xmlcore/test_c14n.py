@@ -1,0 +1,178 @@
+"""Canonical XML 1.0 and Exclusive C14N behaviour.
+
+Includes the property the paper hinges on (Fig 6): syntactic variants
+of semantically equivalent markup canonicalize to identical octets.
+"""
+
+import pytest
+
+from repro.errors import CanonicalizationError
+from repro.xmlcore import (
+    C14N, C14N_WITH_COMMENTS, EXC_C14N, EXC_C14N_WITH_COMMENTS,
+    canonicalize, parse_document, parse_element,
+)
+from repro.xmlcore.tree import Element, Text
+
+
+def c14n(text, algorithm=C14N):
+    return canonicalize(parse_document(text), algorithm).decode()
+
+
+def test_attribute_order_normalized():
+    a = c14n('<r b="2" a="1" c="3"/>')
+    b = c14n('<r c="3" a="1" b="2"/>')
+    assert a == b == '<r a="1" b="2" c="3"></r>'
+
+
+def test_namespaced_attribute_sorting():
+    # Sort key is (namespace URI, local name); unqualified first.
+    out = c14n('<r xmlns:z="urn:a" xmlns:y="urn:b" z="0" y:k="b" z:k="a"/>')
+    assert out == (
+        '<r xmlns:y="urn:b" xmlns:z="urn:a" z="0" z:k="a" y:k="b"></r>'
+    )
+
+
+def test_namespace_declaration_sorting():
+    out = c14n('<r xmlns:b="urn:b" xmlns:a="urn:a" xmlns="urn:d"/>')
+    assert out == '<r xmlns="urn:d" xmlns:a="urn:a" xmlns:b="urn:b"></r>'
+
+
+def test_empty_element_expanded():
+    assert c14n("<r/>") == "<r></r>"
+
+
+def test_whitespace_in_tags_normalized():
+    assert c14n('<r  a = "1"   ></r  >') == '<r a="1"></r>'
+
+
+def test_quote_style_normalized():
+    assert c14n("<r a='1'/>") == c14n('<r a="1"/>')
+
+
+def test_entity_and_cdata_expansion():
+    assert c14n("<r>&#65;<![CDATA[<x>]]></r>") == "<r>A&lt;x&gt;</r>"
+
+
+def test_special_character_escaping():
+    out = c14n('<r a="&quot;&amp;&#9;">text &amp; <![CDATA[>]]>&#13;</r>')
+    assert out == '<r a="&quot;&amp;&#x9;">text &amp; &gt;&#xD;</r>'
+
+
+def test_redundant_ns_redeclaration_suppressed():
+    out = c14n('<r xmlns:a="urn:a"><c xmlns:a="urn:a"><a:d/></c></r>')
+    assert out == '<r xmlns:a="urn:a"><c><a:d></a:d></c></r>'
+
+
+def test_changed_ns_redeclaration_kept():
+    out = c14n('<r xmlns:a="urn:a"><c xmlns:a="urn:b"><a:d/></c></r>')
+    assert out == '<r xmlns:a="urn:a"><c xmlns:a="urn:b"><a:d></a:d></c></r>'
+
+
+def test_inclusive_renders_unused_inherited_namespaces():
+    # C14N 1.0 (unlike exclusive) renders all in-scope namespaces.
+    doc = parse_document('<r xmlns:u="urn:unused"><c/></r>')
+    sub = doc.root.child_elements()[0]
+    assert canonicalize(sub, C14N) == b'<c xmlns:u="urn:unused"></c>'
+    assert canonicalize(sub, EXC_C14N) == b"<c></c>"
+
+
+def test_default_ns_undeclaration():
+    out = c14n('<r xmlns="urn:d"><c xmlns=""><gc/></c></r>')
+    assert out == '<r xmlns="urn:d"><c xmlns=""><gc></gc></c></r>'
+
+
+def test_subtree_default_undeclaration_against_context():
+    doc = parse_document('<r xmlns="urn:d"><c xmlns=""><gc/></c></r>')
+    sub = doc.root.child_elements()[0]
+    # Standalone, the apex has no default ns in scope: nothing to undo.
+    assert canonicalize(sub, C14N) == b"<c><gc></gc></c>"
+
+
+def test_xml_attribute_inheritance_on_subtree():
+    doc = parse_document(
+        '<r xml:lang="fr" xml:space="preserve">'
+        '<c xml:lang="en"><gc a="1"/></c></r>'
+    )
+    inner = doc.root.find("gc")
+    out = canonicalize(inner, C14N).decode()
+    # Nearest xml:lang (en) and the root's xml:space are inherited.
+    assert out == '<gc a="1" xml:lang="en" xml:space="preserve"></gc>'
+
+
+def test_exclusive_does_not_inherit_xml_attributes():
+    doc = parse_document('<r xml:lang="fr"><c/></r>')
+    sub = doc.root.child_elements()[0]
+    assert canonicalize(sub, EXC_C14N) == b"<c></c>"
+
+
+def test_exclusive_inclusive_prefix_list():
+    doc = parse_document(
+        '<r xmlns:keep="urn:keep" xmlns:drop="urn:drop"><c/></r>'
+    )
+    sub = doc.root.child_elements()[0]
+    out = canonicalize(sub, EXC_C14N, inclusive_prefixes=("keep",))
+    assert out == b'<c xmlns:keep="urn:keep"></c>'
+
+
+def test_comments_variants():
+    text = "<!--a--><r><!--b--><c/></r><!--c-->"
+    without = c14n(text, C14N)
+    with_ = c14n(text, C14N_WITH_COMMENTS)
+    assert "<!--" not in without
+    assert with_ == "<!--a-->\n<r><!--b--><c></c></r>\n<!--c-->"
+
+
+def test_pi_newline_placement():
+    out = c14n("<?before b?><r/><?after a?>")
+    assert out == "<?before b?>\n<r></r>\n<?after a?>"
+
+
+def test_pi_without_data():
+    out = c14n("<r><?flag?></r>")
+    assert out == "<r><?flag?></r>"
+
+
+def test_syntactic_variants_identical():
+    """Fig 6's premise: variants hash identically only after C14N."""
+    variants = [
+        '<m a="1" b="2"><x>v</x></m>',
+        "<m b='2' a='1'><x>v</x></m>",
+        '<m  a="1"  b="2" ><x >v</x ></m >',
+        '<m a="1" b="2"><x>&#118;</x></m>',
+    ]
+    outputs = {c14n(v) for v in variants}
+    assert len(outputs) == 1
+    raw = {v.encode() for v in variants}
+    assert len(raw) == 4  # genuinely different bytes before C14N
+
+
+def test_unbound_prefix_raises():
+    node = Element("leaf", "urn:x", prefix="x")  # no declaration anywhere
+    with pytest.raises(CanonicalizationError):
+        canonicalize(node)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(CanonicalizationError):
+        canonicalize(Element("r"), "urn:not-a-c14n")
+
+
+def test_text_node_cannot_be_canonicalized():
+    with pytest.raises(CanonicalizationError):
+        canonicalize(Text("loose"))
+
+
+def test_idempotence_on_parse_of_canonical_output():
+    source = (
+        '<r xmlns="urn:d" xmlns:a="urn:a" a:k="v">'
+        "<c>text</c><a:c/><?pi d?></r>"
+    )
+    once = canonicalize(parse_document(source))
+    twice = canonicalize(parse_document(once))
+    assert once == twice
+
+
+def test_exclusive_with_comments():
+    text = "<r><!--keep--><c/></r>"
+    out = c14n(text, EXC_C14N_WITH_COMMENTS)
+    assert "<!--keep-->" in out

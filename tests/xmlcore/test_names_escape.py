@@ -1,0 +1,67 @@
+"""XML name classes, QName splitting, and escaping rules."""
+
+import pytest
+
+from repro.errors import NamespaceError
+from repro.xmlcore.escape import escape_attribute, escape_text
+from repro.xmlcore.names import (
+    is_name_char, is_name_start_char, is_valid_name, is_xml_char,
+    is_xml_whitespace, split_qname,
+)
+
+
+@pytest.mark.parametrize("name", ["a", "_x", "xml-ish", "a.b", "A1",
+                                  "héllo", "名前"])
+def test_valid_names(name):
+    assert is_valid_name(name)
+
+
+@pytest.mark.parametrize("name", ["", "1a", "-x", ".y", "a b", "a<b"])
+def test_invalid_names(name):
+    assert not is_valid_name(name)
+
+
+def test_name_start_vs_continue():
+    assert not is_name_start_char("1")
+    assert is_name_char("1")
+    assert not is_name_start_char("-")
+    assert is_name_char("-")
+    assert is_name_start_char("_")
+
+
+def test_whitespace_class():
+    for ch in " \t\r\n":
+        assert is_xml_whitespace(ch)
+    assert not is_xml_whitespace("x")
+
+
+def test_xml_char_validity():
+    assert is_xml_char("\t")
+    assert is_xml_char("A")
+    assert is_xml_char("\U0001F600")
+    assert not is_xml_char("\x00")
+    assert not is_xml_char("\x0b")
+    assert not is_xml_char("￾")
+
+
+def test_split_qname():
+    assert split_qname("local") == (None, "local")
+    assert split_qname("p:local") == ("p", "local")
+    for bad in [":x", "p:", "a:b:c"]:
+        with pytest.raises(NamespaceError):
+            split_qname(bad)
+
+
+def test_text_escaping():
+    assert escape_text("a&b<c>d\re") == "a&amp;b&lt;c&gt;d&#xD;e"
+    assert escape_text("plain") == "plain"
+    # Quotes and tabs are NOT escaped in text nodes (C14N §2.3).
+    assert escape_text('say "hi"\t') == 'say "hi"\t'
+
+
+def test_attribute_escaping():
+    assert escape_attribute('a&b<c"d') == "a&amp;b&lt;c&quot;d"
+    assert escape_attribute("tab\tlf\ncr\r") == \
+        "tab&#x9;lf&#xA;cr&#xD;"
+    # '>' is NOT escaped in attribute values (C14N §2.3).
+    assert escape_attribute("a>b") == "a>b"

@@ -1,0 +1,89 @@
+"""Property-based tests over randomly generated XML trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlcore import (
+    C14N, canonicalize, parse_document, parse_element, serialize,
+)
+from repro.xmlcore.tree import Document, Element, Text
+
+_names = st.sampled_from(
+    ["track", "manifest", "markup", "code", "script", "clip", "region"]
+)
+_attr_names = st.sampled_from(["Id", "type", "name", "dur", "lang"])
+_texts = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_categories=("Cs", "Cc"),
+    ),
+    max_size=20,
+)
+_attr_values = _texts
+
+
+@st.composite
+def elements(draw, depth=0):
+    node = Element(draw(_names))
+    for name in draw(st.lists(_attr_names, unique=True, max_size=3)):
+        node.set(name, draw(_attr_values))
+    if depth < 3:
+        for child in draw(
+            st.lists(elements(depth=depth + 1), max_size=3)
+        ):
+            node.append(child)
+    if draw(st.booleans()):
+        node.append(Text(draw(_texts)))
+    return node
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_serialize_parse_roundtrip_is_canonical_identity(root):
+    text = serialize(Document(root), xml_declaration=True)
+    reparsed = parse_document(text)
+    assert canonicalize(reparsed, C14N) == \
+        canonicalize(Document(root.copy()), C14N)
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_c14n_idempotent(root):
+    once = canonicalize(Document(root), C14N)
+    twice = canonicalize(parse_document(once), C14N)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_copy_is_deep_and_equal(root):
+    clone = root.copy()
+    assert clone is not root
+    assert canonicalize(clone) == canonicalize(root)
+    # Mutating the clone must not affect the original.
+    clone.set("Id", "mutated-sentinel")
+    assert canonicalize(clone) != canonicalize(root) or \
+        root.get("Id") == "mutated-sentinel"
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_parser_total_on_arbitrary_text(blob):
+    """Robustness: the parser either parses or raises XMLSyntaxError —
+    never any other exception (a player parses hostile downloads)."""
+    from repro.errors import XMLSyntaxError
+    from repro.xmlcore import parse_document
+    try:
+        parse_document(blob)
+    except XMLSyntaxError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=200))
+def test_parser_total_on_arbitrary_bytes(blob):
+    from repro.errors import XMLSyntaxError
+    from repro.xmlcore import parse_document
+    try:
+        parse_document(blob)
+    except XMLSyntaxError:
+        pass

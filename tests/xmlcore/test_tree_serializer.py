@@ -1,0 +1,154 @@
+"""Tree manipulation and plain serialization round trips."""
+
+import pytest
+
+from repro.errors import NamespaceError, XMLError
+from repro.xmlcore import (
+    C14N, canonicalize, element, parse_document, parse_element, serialize,
+    serialize_bytes,
+)
+from repro.xmlcore.tree import Comment, Document, Element, Text
+
+
+def test_element_builder():
+    node = element(
+        "app:manifest", "urn:app", nsmap={"app": "urn:app"},
+        attrs={"Id": "m1"}, text="body",
+    )
+    assert node.qname == "app:manifest"
+    assert node.get("Id") == "m1"
+    assert node.text_content() == "body"
+
+
+def test_append_reparents():
+    a = Element("a")
+    b = Element("b")
+    child = Element("c")
+    a.append(child)
+    b.append(child)
+    assert child.parent is b
+    assert not a.children
+
+
+def test_replace_and_insert():
+    root = parse_element("<r><a/><b/><c/></r>")
+    a, b, c = root.child_elements()
+    new = Element("x")
+    root.replace(b, new)
+    assert [e.local for e in root.child_elements()] == ["a", "x", "c"]
+    assert b.parent is None
+    root.insert(0, Element("first"))
+    assert root.child_elements()[0].local == "first"
+
+
+def test_attribute_name_forms():
+    root = parse_element('<r xmlns:p="urn:p" plain="1" p:scoped="2"/>')
+    assert root.get("plain") == "1"
+    assert root.get("p:scoped") == "2"
+    assert root.get("{urn:p}scoped") == "2"
+    assert root.get("missing") is None
+    assert root.get("missing", "dflt") == "dflt"
+    root.set("{urn:p}other", "3")
+    assert root.get("p:other") == "3"
+    assert root.delete_attr("plain")
+    assert not root.delete_attr("plain")
+
+
+def test_set_with_unbound_prefix_fails():
+    root = Element("r")
+    with pytest.raises(NamespaceError):
+        root.set("nope:attr", "x")
+
+
+def test_in_scope_namespaces_and_resolution():
+    root = parse_element(
+        '<r xmlns="urn:d" xmlns:a="urn:a"><c xmlns:b="urn:b"/></r>'
+    )
+    child = root.child_elements()[0]
+    scope = child.in_scope_namespaces()
+    assert scope[None] == "urn:d"
+    assert scope["a"] == "urn:a"
+    assert scope["b"] == "urn:b"
+    assert child.resolve_prefix("a") == "urn:a"
+    assert child.resolve_prefix("nope") is None
+    assert child.prefix_for("urn:b") == "b"
+
+
+def test_get_element_by_id():
+    root = parse_element('<r><a Id="one"/><b id="two"/><c ID="three"/></r>')
+    assert root.get_element_by_id("one").local == "a"
+    assert root.get_element_by_id("two").local == "b"
+    assert root.get_element_by_id("three").local == "c"
+    assert root.get_element_by_id("nope") is None
+
+
+def test_iter_and_find():
+    root = parse_element(
+        '<r xmlns:a="urn:a"><x/><a:x/><y><x/></y></r>'
+    )
+    assert len(root.findall("x")) == 3
+    assert len(root.findall("x", "urn:a")) == 1
+    assert root.first_child("y").local == "y"
+    assert root.first_child("nope") is None
+
+
+def test_detached_copy_pins_namespaces():
+    root = parse_element('<r xmlns:a="urn:a"><a:c><a:gc/></a:c></r>')
+    sub = root.child_elements()[0].detached_copy()
+    assert sub.parent is None
+    assert canonicalize(sub) == canonicalize(root.child_elements()[0])
+
+
+def test_document_constraints():
+    doc = Document(Element("root"))
+    with pytest.raises(XMLError):
+        doc.append(Element("second-root"))
+    with pytest.raises(XMLError):
+        doc.append(Text("loose text"))
+    doc.append(Comment("fine"))
+    assert doc.root.local == "root"
+    with pytest.raises(XMLError):
+        Document().root
+
+
+def test_serializer_roundtrip_preserves_canonical_form():
+    source = (
+        '<r xmlns="urn:d" xmlns:a="urn:a" a:x="1">'
+        "<c>text &amp; more</c><a:c attr='\"'/>"
+        "<!-- note --><?pi data?></r>"
+    )
+    root = parse_element(source)
+    again = parse_element(serialize(root))
+    assert canonicalize(again, C14N) == canonicalize(root, C14N)
+
+
+def test_serializer_auto_declares_missing_namespaces():
+    node = element("x:leaf", "urn:x")  # no nsmap declared
+    text = serialize(node)
+    assert 'xmlns:x="urn:x"' in text
+    assert parse_element(text).ns_uri == "urn:x"
+
+
+def test_serialize_bytes_has_declaration():
+    payload = serialize_bytes(Element("r"))
+    assert payload.startswith(b"<?xml")
+
+
+def test_pretty_print_reparses_equal():
+    root = parse_element(
+        "<cluster><track><playlist/></track><track/></cluster>"
+    )
+    pretty = serialize(root, pretty=True)
+    assert "\n" in pretty
+    reparsed = parse_element(pretty)
+    assert len(reparsed.findall("track")) == 2
+
+
+def test_cdata_preserved_by_serializer():
+    root = parse_element("<r><![CDATA[a < b]]></r>")
+    assert "<![CDATA[a < b]]>" in serialize(root)
+
+
+def test_text_content_concatenation():
+    root = parse_element("<r>a<b>b</b>c<d><e>d</e></d></r>")
+    assert root.text_content() == "abcd"

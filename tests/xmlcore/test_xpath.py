@@ -1,0 +1,102 @@
+"""XPath-lite evaluation."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlcore import find_all, find_first, parse_document
+
+DOC = parse_document("""\
+<cluster xmlns="urn:disc" xmlns:x="urn:ext">
+  <track Id="t1" type="av">
+    <playlist name="main"><item dur="10"/><item dur="20"/></playlist>
+  </track>
+  <track Id="t2" type="app">
+    <manifest Id="m1">
+      <markup><x:widget kind="menu"/></markup>
+      <code><script>go()</script></code>
+    </manifest>
+  </track>
+</cluster>
+""")
+
+
+def test_absolute_path():
+    tracks = find_all(DOC, "/cluster/track")
+    assert [t.get("Id") for t in tracks] == ["t1", "t2"]
+
+
+def test_descendant_axis():
+    assert find_first(DOC, "//manifest").get("Id") == "m1"
+    assert len(find_all(DOC, "//item")) == 2
+
+
+def test_attribute_selection():
+    assert find_all(DOC, "//playlist/@name") == ["main"]
+    assert find_all(DOC, "//item/@dur") == ["10", "20"]
+
+
+def test_positional_predicate():
+    assert find_all(DOC, "//item[2]/@dur") == ["20"]
+    assert find_all(DOC, "//item[9]") == []
+
+
+def test_attribute_predicates():
+    assert find_first(DOC, "//track[@type='app']").get("Id") == "t2"
+    assert len(find_all(DOC, "//track[@type]")) == 2
+    assert find_all(DOC, "//track[@type='game']") == []
+
+
+def test_child_text_predicate():
+    assert find_first(DOC, "//code[script='go()']") is not None
+    assert find_first(DOC, "//code[script='stop()']") is None
+
+
+def test_id_function():
+    assert find_first(DOC, "id('m1')").local == "manifest"
+    assert find_all(DOC, "id('nope')") == []
+    assert find_first(DOC, "id('t2')/manifest/markup") is not None
+
+
+def test_wildcard():
+    assert len(find_all(DOC, "/cluster/*")) == 2
+    assert len(find_all(DOC, "//manifest/*")) == 2
+
+
+def test_prefixed_name_requires_mapping():
+    hits = find_all(DOC, "//x:widget", {"x": "urn:ext"})
+    assert len(hits) == 1
+    with pytest.raises(XPathError):
+        find_all(DOC, "//x:widget")
+
+
+def test_unprefixed_matches_any_namespace():
+    # widget is in urn:ext but matches its local name.
+    assert find_first(DOC, "//widget") is not None
+
+
+def test_relative_from_element():
+    track = find_first(DOC, "//track[@Id='t2']")
+    assert find_first(track, "manifest/code/script") is not None
+    assert find_all(track, "playlist") == []
+
+
+def test_dot_and_parent():
+    manifest = find_first(DOC, "//manifest")
+    assert find_all(manifest, ".") == [manifest]
+    assert find_first(manifest, "..").get("Id") == "t2"
+
+
+def test_absolute_from_element_context():
+    script = find_first(DOC, "//script")
+    assert find_all(script, "/cluster/track") != []
+
+
+def test_malformed_expressions():
+    for bad in ["//[", "///x", "[1]"]:
+        with pytest.raises(XPathError):
+            find_all(DOC, bad)
+
+
+def test_unsupported_predicate():
+    with pytest.raises(XPathError):
+        find_all(DOC, "//track[position()>1]")
