@@ -1,0 +1,92 @@
+"""ABL-RES — Ablation: retry-path overhead on the happy path.
+
+The resilience layer (fault injection, `RetryPolicy`, `CircuitBreaker`)
+wraps every network round-trip.  A player spends almost all of its life
+on the *happy* path, so the policy machinery must cost essentially
+nothing when no fault fires.  This bench compares a plain
+`DownloadClient` fetch against the same fetch with a full retry policy
+and circuit breaker installed, and measures the recovery path (two
+injected drops, two simulated backoffs) for scale.
+"""
+
+import pytest
+
+from _workloads import report
+from repro.network import Channel, ContentServer, DownloadClient
+from repro.resilience import (
+    CircuitBreaker, DropFault, FaultSchedule, RetryPolicy, SimulatedClock,
+)
+
+PAYLOAD = bytes(range(256)) * 16   # 4 KiB resource
+PATH = "/apps/bonus.pkg"
+
+
+@pytest.fixture(scope="module")
+def server():
+    content = ContentServer()
+    content.publish(PATH, PAYLOAD)
+    return content
+
+
+def plain_client(server):
+    return DownloadClient(server, Channel())
+
+
+def resilient_client(server):
+    return DownloadClient(
+        server, Channel(),
+        retry_policy=RetryPolicy(max_attempts=3, seed=0,
+                                 clock=SimulatedClock()),
+        circuit_breaker=CircuitBreaker(failure_threshold=5,
+                                       clock=SimulatedClock()),
+    )
+
+
+def test_ablres_fetch_plain(benchmark, server):
+    client = plain_client(server)
+    data = benchmark(lambda: client.fetch(PATH, secure=False))
+    assert data == PAYLOAD
+
+
+def test_ablres_fetch_with_policy(benchmark, server):
+    client = resilient_client(server)
+    data = benchmark(lambda: client.fetch(PATH, secure=False))
+    assert data == PAYLOAD
+
+
+def test_ablres_fetch_with_recovery(benchmark, server):
+    """Fail twice, succeed third — the acceptance recovery scenario."""
+    def fetch_with_two_drops():
+        clock = SimulatedClock()
+        client = DownloadClient(
+            server,
+            Channel([DropFault(schedule=FaultSchedule.at(0, 2))]),
+            retry_policy=RetryPolicy(max_attempts=3, seed=0,
+                                     clock=clock),
+        )
+        data = client.fetch(PATH, secure=False)
+        assert len(clock.sleeps) == 2
+        return data
+
+    assert benchmark(fetch_with_two_drops) == PAYLOAD
+
+
+def test_ablres_report(benchmark, server):
+    """Summarize the policy overhead as a paper-style row."""
+    import time
+
+    def time_fetch(client, rounds=200):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            client.fetch(PATH, secure=False)
+        return (time.perf_counter() - start) / rounds
+
+    plain = time_fetch(plain_client(server))
+    resilient = time_fetch(resilient_client(server))
+    overhead = (resilient / plain - 1.0) * 100.0 if plain else 0.0
+    benchmark(lambda: resilient_client(server).fetch(PATH, secure=False))
+    report("ABL-RES retry-path overhead (happy path)", [
+        f"plain fetch          {plain * 1e6:9.1f} us",
+        f"policy+breaker fetch {resilient * 1e6:9.1f} us",
+        f"overhead             {overhead:9.1f} %",
+    ])

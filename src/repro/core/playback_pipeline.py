@@ -16,17 +16,21 @@ Order of operations on reception:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.certs.store import TrustStore
 from repro.core.package import PackageView, parse_package
 from repro.disc.manifest import ApplicationManifest
 from repro.dsig.verifier import VerificationReport, Verifier
-from repro.errors import ApplicationRejectedError, DiscFormatError
+from repro.errors import (
+    ApplicationRejectedError, DiscFormatError, NetworkError, XKMSError,
+)
 from repro.permissions.request_file import (
     GrantSet, PlatformPermissionPolicy,
 )
 from repro.primitives.keys import RSAPrivateKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
+from repro.resilience.degradation import DegradationEvent, DegradationLog
 from repro.xmlcore import DISC_NS
 from repro.xmlenc.decryptor import Decryptor
 
@@ -40,6 +44,12 @@ class VerifiedApplication:
     trusted: bool
     report: VerificationReport | None = None
     signer_subject: str | None = None
+    degradations: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when trust was downgraded by infrastructure failure."""
+        return bool(self.degradations)
 
 
 @dataclass
@@ -54,6 +64,14 @@ class PlaybackPipeline:
         permission_policy: platform stance on permission requests.
         require_signature: Fig 3 policy — bar applications that do not
             verify against a trusted root.
+        key_locator: optional ``key_name -> public key`` hook (an
+            :meth:`repro.xkms.XKMSClient.locate`) consulted for
+            ``ds:KeyName``-only signatures.  When the hook fails with a
+            network/XKMS error the pipeline *degrades* instead of
+            crashing: verification falls back to the local trust store
+            and — if the key still cannot be established — the
+            application runs with ``trusted=False`` and the reason
+            recorded, rather than aborting playback.
         now: simulation time for certificate checks.
     """
 
@@ -64,11 +82,34 @@ class PlaybackPipeline:
         default_factory=PlatformPermissionPolicy
     )
     require_signature: bool = True
+    key_locator: Callable | None = None
+    degradation: DegradationLog = field(default_factory=DegradationLog)
     provider: CryptoProvider | None = None
     now: float = 0.0
 
     def __post_init__(self):
         self.provider = self.provider or get_provider()
+
+    def _guarded_locator(self, events: list[DegradationEvent]):
+        """Wrap ``key_locator`` so infrastructure failures degrade.
+
+        A dead trust service answers "key not located" (``None``) and
+        the failure is recorded; a substituted or malformed answer
+        (``XKMSError`` from a live transport) still records but also
+        yields no key — the signature then fails closed to untrusted.
+        """
+        if self.key_locator is None:
+            return None
+
+        def locate(key_name: str):
+            try:
+                return self.key_locator(key_name)
+            except (NetworkError, XKMSError) as exc:
+                events.append(self.degradation.record(
+                    "xkms", key_name, exc,
+                ))
+                return None
+        return locate
 
     def _decryptor(self) -> Decryptor:
         decryptor = Decryptor(provider=self.provider)
@@ -106,10 +147,12 @@ class PlaybackPipeline:
         report: VerificationReport | None = None
         signer_subject: str | None = None
         trusted = False
+        infra_events: list[DegradationEvent] = []
 
         if view.signature_element is not None:
             verifier = Verifier(
                 trust_store=self.trust_store, require_trusted_key=True,
+                key_locator=self._guarded_locator(infra_events),
                 provider=self.provider, now=self.now,
             )
             report = verifier.verify(view.signature_element,
@@ -117,14 +160,24 @@ class PlaybackPipeline:
             trusted = report.valid
             signer_subject = report.signer_subject
             if self.require_signature and not trusted:
-                raise ApplicationRejectedError(
-                    "signature verification failed; application barred: "
-                    + "; ".join(
-                        [report.error] if report.error else []
-                        + [r.error for r in report.references
-                           if not r.valid]
-                    )
+                # Degrade, don't crash, when the *infrastructure* — not
+                # the signature — failed: the trust service was
+                # unreachable and nothing proved tampering (no reference
+                # digest mismatched).  The application runs untrusted
+                # with the reason recorded; trust-gated permissions stay
+                # denied.  Any positive evidence of tampering still bars.
+                evidence_of_tampering = any(
+                    not r.valid for r in report.references
                 )
+                if not (infra_events and not evidence_of_tampering):
+                    raise ApplicationRejectedError(
+                        "signature verification failed; application "
+                        "barred: " + "; ".join(
+                            [report.error] if report.error else []
+                            + [r.error for r in report.references
+                               if not r.valid]
+                        )
+                    )
         elif self.require_signature:
             raise ApplicationRejectedError(
                 "unsigned application barred by player policy"
@@ -145,6 +198,7 @@ class PlaybackPipeline:
         return VerifiedApplication(
             manifest=manifest, grants=grants, trusted=trusted,
             report=report, signer_subject=signer_subject,
+            degradations=infra_events,
         )
 
     def _grants(self, view: PackageView, trusted: bool) -> GrantSet:

@@ -165,21 +165,27 @@ class Verifier:
 
         verification_key = self._resolve_key(signature, key, report)
         if verification_key is None:
+            # No key, no signature check — but reference digests are
+            # key-independent, so still run them below: a mismatch is
+            # positive evidence of tampering that callers (e.g. the
+            # playback pipeline's degradation logic) must not lose just
+            # because the trust service was unreachable.
             if not report.error:
                 report.error = "no verification key available"
-            return report
-
-        # Core signature validation over canonical SignedInfo.
-        try:
-            octets = canonicalize(signed_info_el, signed_info.c14n_method,
-                                  signed_info.inclusive_prefixes)
-            report.signature_valid = algorithms.verify_signature(
-                signed_info.signature_method, verification_key, octets,
-                signature_value, self.provider,
-            )
-        except Exception as exc:
-            report.error = f"signature validation failed: {exc}"
-            return report
+        else:
+            # Core signature validation over canonical SignedInfo.
+            try:
+                octets = canonicalize(
+                    signed_info_el, signed_info.c14n_method,
+                    signed_info.inclusive_prefixes,
+                )
+                report.signature_valid = algorithms.verify_signature(
+                    signed_info.signature_method, verification_key, octets,
+                    signature_value, self.provider,
+                )
+            except Exception as exc:
+                report.error = f"signature validation failed: {exc}"
+                return report
 
         # Reference validation.
         context = ReferenceContext(

@@ -199,6 +199,55 @@ class ChannelSecurityError(NetworkError):
     """Raised when the TLS-like secure channel detects tampering."""
 
 
+class TimeoutError(NetworkError):  # noqa: A001 - deliberate shadow
+    """Raised when an operation exceeds its time budget.
+
+    Carries how many ``attempts`` were made and the simulated
+    ``elapsed`` seconds when the budget ran out.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1,
+                 elapsed: float = 0.0):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
+class ChannelClosedError(NetworkError):
+    """Raised when transferring over a closed (dead) channel."""
+
+
+class RetryExhaustedError(NetworkError):
+    """Raised when a :class:`repro.resilience.RetryPolicy` gives up.
+
+    Carries the number of ``attempts`` made, the simulated ``elapsed``
+    seconds, and the ``last_error`` that caused the final failure.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 elapsed: float = 0.0,
+                 last_error: BaseException | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last_error = last_error
+
+
+class CircuitOpenError(NetworkError):
+    """Raised when a :class:`repro.resilience.CircuitBreaker` is open.
+
+    Short-circuits calls without touching the wire.  Carries the
+    consecutive-failure count that tripped the breaker (``attempts``)
+    and ``retry_after`` — simulated seconds until the breaker half-opens.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 retry_after: float = 0.0):
+        super().__init__(message)
+        self.attempts = attempts
+        self.retry_after = retry_after
+
+
 class PlayerError(ReproError):
     """Base class for player engine errors."""
 

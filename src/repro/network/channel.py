@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import NetworkError
+from repro.errors import ChannelClosedError, NetworkError
 
 
 class Adversary:
@@ -96,13 +96,23 @@ class Channel:
         self.adversaries: list[Adversary] = list(adversaries or [])
         self.messages_transferred = 0
         self.bytes_transferred = 0
+        self.closed = False
 
     def attach(self, adversary: Adversary) -> Adversary:
         self.adversaries.append(adversary)
         return adversary
 
+    def close(self) -> None:
+        """Tear the link down; subsequent transfers fail permanently."""
+        self.closed = True
+
+    def reopen(self) -> None:
+        self.closed = False
+
     def transfer(self, message: bytes) -> bytes:
         """Carry one message across the channel."""
+        if self.closed:
+            raise ChannelClosedError("channel is closed")
         if not isinstance(message, (bytes, bytearray)):
             raise NetworkError("channel carries bytes only")
         self.messages_transferred += 1

@@ -187,15 +187,32 @@ class SecureClient:
 
 
 def establish(client: SecureClient, server: SecureServer,
-              channel: Channel) -> tuple[SecureSession, SecureSession]:
+              channel: Channel, *,
+              retry_policy=None) -> tuple[SecureSession, SecureSession]:
     """Run the handshake over *channel*.
 
     Returns ``(client_session, server_session)``.
+
+    With a *retry_policy* (:class:`repro.resilience.RetryPolicy`), a
+    handshake torn down by a transient fault — dropped flight,
+    truncated record, tampering detected in the Finished exchange — is
+    restarted from ClientHello under the policy's backoff/deadline
+    budget.  Nonces and keys are fresh on every attempt.
 
     Raises:
         ChannelSecurityError: when certificate validation fails or the
             transcript was tampered with in transit.
     """
+    if retry_policy is not None:
+        return retry_policy.execute(
+            lambda: _establish_once(client, server, channel),
+            describe="secure handshake",
+        )
+    return _establish_once(client, server, channel)
+
+
+def _establish_once(client: SecureClient, server: SecureServer,
+                    channel: Channel) -> tuple[SecureSession, SecureSession]:
     provider = client.provider
     transcript_client: list[bytes] = []
     transcript_server: list[bytes] = []

@@ -18,6 +18,7 @@ from repro.certs.authority import SigningIdentity
 from repro.certs.store import TrustStore
 from repro.network.channel import Channel
 from repro.network.secure import SecureClient, SecureServer, establish
+from repro.resilience.retry import CircuitBreaker, RetryPolicy
 
 _REQ = 0x10
 _RESP_OK = 0x20
@@ -41,6 +42,11 @@ def _decode(message: bytes) -> tuple[int, list[bytes]]:
             raise NetworkError("truncated message")
         (length,) = struct.unpack_from(">I", message, offset)
         offset += 4
+        if offset + length > len(message):
+            # A declared length past the end of the buffer means the
+            # message was cut short in transit; yielding the short
+            # slice would hand corrupted data to the caller.
+            raise NetworkError("truncated message")
         parts.append(message[offset:offset + length])
         offset += length
     return kind, parts
@@ -97,11 +103,28 @@ class DownloadClient:
     With a *trust_store* the client can open a secure (TLS-like)
     session; without one, transfers are cleartext and at the mercy of
     whatever adversary sits on the channel.
+
+    With a *retry_policy*, each fetch/call retries the full round trip
+    (including the secure handshake) on transient
+    :class:`NetworkError`\\ s; an optional *circuit_breaker* stops
+    hammering a dead server across calls.
     """
 
     server: ContentServer
     channel: Channel = field(default_factory=Channel)
     trust_store: TrustStore | None = None
+    retry_policy: RetryPolicy | None = None
+    circuit_breaker: CircuitBreaker | None = None
+
+    def _execute(self, operation, describe: str) -> bytes:
+        if self.retry_policy is not None:
+            return self.retry_policy.execute(
+                operation, breaker=self.circuit_breaker,
+                describe=describe,
+            )
+        if self.circuit_breaker is not None:
+            return self.circuit_breaker.call(operation)
+        return operation()
 
     def _roundtrip_plain(self, request: bytes) -> bytes:
         wire_request = self.channel.transfer(request)
@@ -131,11 +154,14 @@ class DownloadClient:
         raise NetworkError(f"server error: {detail}")
 
     def fetch(self, path: str, *, secure: bool = False) -> bytes:
-        """Download a resource."""
+        """Download a resource (retried under the installed policy)."""
         request = _encode(_REQ, path.encode("utf-8"))
         roundtrip = self._roundtrip_secure if secure \
             else self._roundtrip_plain
-        return self._parse_response(roundtrip(request))
+        return self._execute(
+            lambda: self._parse_response(roundtrip(request)),
+            describe=f"fetch {path}",
+        )
 
     def call(self, service: str, payload: str, *,
              secure: bool = False) -> str:
@@ -144,4 +170,7 @@ class DownloadClient:
                           payload.encode("utf-8"))
         roundtrip = self._roundtrip_secure if secure \
             else self._roundtrip_plain
-        return self._parse_response(roundtrip(request)).decode("utf-8")
+        return self._execute(
+            lambda: self._parse_response(roundtrip(request)),
+            describe=f"call {service}",
+        ).decode("utf-8")

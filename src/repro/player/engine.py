@@ -18,8 +18,10 @@ from dataclasses import dataclass, field
 from repro.core.playback_pipeline import PlaybackPipeline, VerifiedApplication
 from repro.disc.manifest import ApplicationManifest
 from repro.errors import (
-    ApplicationRejectedError, PermissionDeniedError, ScriptError,
+    ApplicationRejectedError, NetworkError, PermissionDeniedError,
+    ScriptError,
 )
+from repro.resilience.degradation import DegradationEvent, DegradationLog
 from repro.markup.script_interp import HostObject, Interpreter
 from repro.markup.smil import Presentation, ScheduledItem, parse_smil
 from repro.permissions.request_file import (
@@ -43,6 +45,7 @@ class ApplicationSession:
     storage_ops: list[str] = field(default_factory=list)
     network_ops: list[str] = field(default_factory=list)
     denied_ops: list[str] = field(default_factory=list)
+    degradations: list[DegradationEvent] = field(default_factory=list)
     _interpreter: Interpreter | None = None
 
     def dispatch(self, handler: str, *args):
@@ -81,6 +84,7 @@ class InteractiveApplicationEngine:
         self.clip_durations = dict(clip_durations or {})
         self.max_instructions = max_instructions
         self.model = model
+        self.degradation = DegradationLog()
 
     # -- loading ---------------------------------------------------------------------
 
@@ -118,6 +122,7 @@ class InteractiveApplicationEngine:
             app_name=manifest.name,
             trusted=application.trusted,
             grants=application.grants,
+            degradations=list(application.degradations),
         )
         presentation = self.build_presentation(manifest)
         missing = presentation.validate_regions()
@@ -219,8 +224,18 @@ class InteractiveApplicationEngine:
             if self.network_fetch is None:
                 raise PermissionDeniedError("player is offline")
             session.network_ops.append(f"get:{host}{path}")
-            return self.network_fetch(str(host),
-                                      str(path)).decode("utf-8")
+            try:
+                data = self.network_fetch(str(host), str(path))
+            except NetworkError as exc:
+                # Graceful degradation: a dead or exhausted link bars
+                # this one resource (the script sees null), it does not
+                # abort the application or the disc.
+                event = self.degradation.record(
+                    "network-api", f"{host}{path}", exc,
+                )
+                session.degradations.append(event)
+                return None
+            return data.decode("utf-8")
 
         player = HostObject("player", methods={
             "log": lambda message: session.console.append(

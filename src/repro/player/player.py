@@ -34,6 +34,7 @@ from repro.player.engine import ApplicationSession, InteractiveApplicationEngine
 from repro.player.localstorage import LocalStorage
 from repro.primitives.keys import RSAPrivateKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
+from repro.resilience.degradation import DegradationLog
 from repro.xmlcore import DISC_NS
 from repro.xmlenc.decryptor import Decryptor
 
@@ -91,6 +92,10 @@ class DiscPlayer:
         require_signed_downloads: Fig 3 policy for network content.
         allow_unauthenticated_disc_apps: whether apps from an
             unauthenticated disc may run (as untrusted).
+        key_locator: XKMS locate hook for ``ds:KeyName`` signatures;
+            when the trust service is unreachable the pipeline degrades
+            to untrusted execution instead of aborting (the reasons
+            land in :attr:`degradation`).
         now: simulation clock for certificate validity.
     """
 
@@ -103,6 +108,7 @@ class DiscPlayer:
                  storage: LocalStorage | None = None,
                  storage_key: SymmetricKey | None = None,
                  network_fetch=None,
+                 key_locator=None,
                  provider: CryptoProvider | None = None,
                  model: str = "RBD-1000",
                  now: float = 0.0):
@@ -116,11 +122,14 @@ class DiscPlayer:
         self.provider = provider or get_provider()
         self.now = now
         self.model = model
+        self.degradation = DegradationLog()
         self.pipeline = PlaybackPipeline(
             trust_store=trust_store, device_key=device_key,
             key_slots=self.key_slots,
             permission_policy=self.permission_policy,
             require_signature=require_signed_downloads,
+            key_locator=key_locator,
+            degradation=self.degradation,
             provider=self.provider, now=now,
         )
         self.engine = InteractiveApplicationEngine(
@@ -327,10 +336,44 @@ class DiscPlayer:
     # -- downloaded applications ------------------------------------------------------------
 
     def download_application(self, client: DownloadClient, path: str, *,
-                             secure: bool = True) -> VerifiedApplication:
-        """Fetch and verify an application package (Figs 1 and 3)."""
-        data = client.fetch(path, secure=secure)
-        return self.engine.load_package(data)
+                             secure: bool = True,
+                             optional: bool = False
+                             ) -> VerifiedApplication | None:
+        """Fetch and verify an application package (Figs 1 and 3).
+
+        With ``optional=True`` the download degrades gracefully: a
+        transport failure (the client's retry policy already did its
+        best) or a barred package records a degradation event and
+        returns ``None`` — the disc keeps playing with that bonus
+        application barred.  Mandatory downloads re-raise.
+        """
+        from repro.errors import NetworkError
+        try:
+            data = client.fetch(path, secure=secure)
+            return self.engine.load_package(data)
+        except (NetworkError, ApplicationRejectedError) as exc:
+            if not optional:
+                raise
+            self.degradation.record("download", path, exc)
+            return None
+
+    def download_bonus_content(self, client: DownloadClient,
+                               paths: list[str], *,
+                               secure: bool = True) -> dict[str, bytes]:
+        """Fetch optional bonus resources; failures bar, never abort.
+
+        Returns the resources that arrived intact.  Every failed path
+        is recorded in :attr:`degradation` with its failure-mode code
+        and playback continues without it.
+        """
+        from repro.errors import NetworkError
+        fetched: dict[str, bytes] = {}
+        for path in paths:
+            try:
+                fetched[path] = client.fetch(path, secure=secure)
+            except NetworkError as exc:
+                self.degradation.record("download", path, exc)
+        return fetched
 
     def run_application(self, application: VerifiedApplication, *,
                         events: list[tuple] | None = None

@@ -1,0 +1,42 @@
+"""Resilience layer: fault injection, retry/backoff, degradation.
+
+Three pieces, threaded through the network, XKMS and player layers:
+
+* :mod:`~repro.resilience.faults` — deterministic, composable fault
+  injectors for the simulated channel (drop, delay, duplicate,
+  truncate, reorder, flaky services), driven by seeded
+  :class:`FaultSchedule`\\ s so every failure is replayable;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy` (exponential
+  backoff + jitter + deadline budgets) and :class:`CircuitBreaker`;
+* :mod:`~repro.resilience.degradation` — the failure-mode taxonomy and
+  the :class:`DegradationLog` the player keeps when it bars a resource
+  or downgrades trust instead of aborting playback.
+"""
+
+from repro.resilience.clock import SimulatedClock, SystemClock
+from repro.resilience.degradation import (
+    REASON_CIRCUIT_OPEN, REASON_ERROR, REASON_INTEGRITY, REASON_REJECTED,
+    REASON_RETRY_EXHAUSTED, REASON_TIMEOUT, REASON_UNREACHABLE,
+    DegradationEvent, DegradationLog, classify_failure,
+)
+from repro.resilience.faults import (
+    DelayFault, DropFault, DuplicateFault, FaultInjector, FaultSchedule,
+    FlakyService, ReorderFault, TruncateFault, flaky_link,
+)
+from repro.resilience.retry import (
+    NON_RETRYABLE, STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
+    CircuitBreaker, RetryPolicy,
+)
+
+__all__ = [
+    "SimulatedClock", "SystemClock",
+    "FaultSchedule", "FaultInjector", "DropFault", "DelayFault",
+    "DuplicateFault", "TruncateFault", "ReorderFault", "FlakyService",
+    "flaky_link",
+    "RetryPolicy", "CircuitBreaker", "NON_RETRYABLE",
+    "STATE_CLOSED", "STATE_OPEN", "STATE_HALF_OPEN",
+    "DegradationEvent", "DegradationLog", "classify_failure",
+    "REASON_UNREACHABLE", "REASON_TIMEOUT", "REASON_RETRY_EXHAUSTED",
+    "REASON_CIRCUIT_OPEN", "REASON_INTEGRITY", "REASON_REJECTED",
+    "REASON_ERROR",
+]

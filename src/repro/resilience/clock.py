@@ -1,0 +1,53 @@
+"""Clocks for the resilience layer.
+
+Every time-dependent component (retry backoff, circuit-breaker
+cool-downs, injected latency) takes a clock object so tests and benches
+run on a :class:`SimulatedClock` — deterministic, instant, and shared
+between the fault injectors that *spend* time and the policies that
+*budget* it.  Production paths use :class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class SystemClock:
+    """Wall-clock time (monotonic) with real sleeping."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+@dataclass
+class SimulatedClock:
+    """A manually-advanced clock.
+
+    ``sleep`` advances simulated time instantly, so a retry schedule
+    with seconds of backoff executes in microseconds of real time while
+    deadline arithmetic stays exact.  Every sleep is recorded for
+    assertions on backoff schedules.
+    """
+
+    _now: float = 0.0
+    sleeps: list[float] = field(default_factory=list)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+        self.sleeps.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external delay)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds

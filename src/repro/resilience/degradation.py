@@ -1,0 +1,95 @@
+"""Graceful-degradation bookkeeping for the player.
+
+A real CE player must not let one dead server stop the disc: the
+failing *component* is barred or downgraded and playback continues.
+Every such decision is recorded as a :class:`DegradationEvent` in a
+:class:`DegradationLog` so tests (and the player UI) can see exactly
+what was lost and why, using a small failure-mode taxonomy (the
+``REASON_*`` codes; see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ChannelSecurityError, CircuitOpenError, NetworkError,
+    RetryExhaustedError, TimeoutError, VerificationError, XKMSError,
+)
+
+# Failure-mode taxonomy (DESIGN.md §7).
+REASON_UNREACHABLE = "unreachable"         # transport failed outright
+REASON_TIMEOUT = "timeout"                 # answer too late
+REASON_RETRY_EXHAUSTED = "retry-exhausted"  # policy gave up
+REASON_CIRCUIT_OPEN = "circuit-open"       # breaker short-circuited
+REASON_INTEGRITY = "integrity"             # tampering / MAC / digest
+REASON_REJECTED = "rejected"               # verification said no
+REASON_ERROR = "error"                     # anything else
+
+
+def classify_failure(error: BaseException) -> str:
+    """Map an exception to its failure-mode taxonomy code."""
+    if isinstance(error, CircuitOpenError):
+        return REASON_CIRCUIT_OPEN
+    if isinstance(error, RetryExhaustedError):
+        return REASON_RETRY_EXHAUSTED
+    if isinstance(error, TimeoutError):
+        return REASON_TIMEOUT
+    if isinstance(error, ChannelSecurityError):
+        return REASON_INTEGRITY
+    if isinstance(error, VerificationError):
+        return REASON_REJECTED
+    if isinstance(error, (NetworkError, XKMSError)):
+        return REASON_UNREACHABLE
+    return REASON_ERROR
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One degradation decision: what was barred/downgraded and why."""
+
+    component: str   # "xkms", "download", "network-api", ...
+    resource: str    # key name, path, service name
+    reason: str      # a REASON_* taxonomy code
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"{self.component}[{self.resource}] {self.reason}{suffix}"
+
+
+@dataclass
+class DegradationLog:
+    """Accumulates degradation events over a playback session."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(self, component: str, resource: str,
+               failure: BaseException | str, detail: str = ""
+               ) -> DegradationEvent:
+        """Record one event; *failure* is an exception or a reason code."""
+        if isinstance(failure, BaseException):
+            reason = classify_failure(failure)
+            detail = detail or str(failure)
+        else:
+            reason = failure
+        event = DegradationEvent(component, resource, reason, detail)
+        self.events.append(event)
+        return event
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    def reasons(self) -> list[str]:
+        return [event.reason for event in self.events]
+
+    def barred_resources(self) -> list[str]:
+        return [event.resource for event in self.events]
+
+    def for_component(self, component: str) -> list[DegradationEvent]:
+        return [event for event in self.events
+                if event.component == component]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,237 @@
+"""Composable, deterministic fault injection for the simulated network.
+
+The adversaries in :mod:`repro.network.channel` model *malice*; the
+injectors here model *unreliability* — the dropped, delayed, duplicated,
+truncated and reordered messages of a hostile consumer link (Fig 1's
+path between content server and player).  Each injector is an
+:class:`~repro.network.channel.Adversary`, so they stack on a
+:class:`~repro.network.channel.Channel` alongside wiretaps and
+tamperers, and each one fires according to a :class:`FaultSchedule` so
+failures are deterministic and replayable: the same schedule (or seed)
+always produces the same fault sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.network.channel import Adversary
+from repro.resilience.clock import SimulatedClock
+
+
+class FaultSchedule:
+    """Decides, per matching-message index (0-based), whether to fire."""
+
+    def __init__(self, fire: Callable[[int], bool]):
+        self._fire = fire
+
+    def fires(self, index: int) -> bool:
+        return bool(self._fire(index))
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def always(cls) -> "FaultSchedule":
+        """Fire on every message (a permanently dead/degraded link)."""
+        return cls(lambda index: True)
+
+    @classmethod
+    def never(cls) -> "FaultSchedule":
+        return cls(lambda index: False)
+
+    @classmethod
+    def at(cls, *indices: int) -> "FaultSchedule":
+        """Fire exactly on the given message indices."""
+        wanted = frozenset(indices)
+        return cls(lambda index: index in wanted)
+
+    @classmethod
+    def first(cls, count: int) -> "FaultSchedule":
+        """Fire on the first *count* messages, then recover (flaky link)."""
+        return cls(lambda index: index < count)
+
+    @classmethod
+    def after(cls, count: int) -> "FaultSchedule":
+        """Pass the first *count* messages, then fire forever (link dies)."""
+        return cls(lambda index: index >= count)
+
+    @classmethod
+    def every(cls, period: int, offset: int = 0) -> "FaultSchedule":
+        """Fire on every *period*-th message starting at *offset*."""
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        return cls(lambda index: index >= offset
+                   and (index - offset) % period == 0)
+
+    @classmethod
+    def probability(cls, p: float, seed: int = 0) -> "FaultSchedule":
+        """Fire with probability *p*, deterministically per (seed, index).
+
+        The decision for message *i* depends only on the seed and *i*,
+        never on call order, so replays reproduce the exact fault
+        pattern.
+        """
+        def fire(index: int) -> bool:
+            return random.Random(f"{seed}:{index}").random() < p
+        return cls(fire)
+
+
+@dataclass
+class FaultInjector(Adversary):
+    """Base injector: counts matching messages, fires per schedule.
+
+    Attributes:
+        schedule: when to fire (default: every matching message).
+        predicate: which messages the injector considers at all.
+        calls: matching messages seen.
+        fired: faults actually injected.
+    """
+
+    schedule: FaultSchedule = field(default_factory=FaultSchedule.always)
+    predicate: Callable[[bytes], bool] = lambda message: True
+    calls: int = 0
+    fired: int = 0
+
+    def process(self, message: bytes) -> bytes:
+        if not self.predicate(message):
+            return message
+        index = self.calls
+        self.calls += 1
+        if not self.schedule.fires(index):
+            return self.passthrough(message)
+        self.fired += 1
+        return self.inject(message)
+
+    def passthrough(self, message: bytes) -> bytes:
+        """Called for matching messages the schedule lets through."""
+        return message
+
+    def inject(self, message: bytes) -> bytes:
+        raise NotImplementedError
+
+
+@dataclass
+class DropFault(FaultInjector):
+    """Loses the message in transit (the receiver never sees it)."""
+
+    def inject(self, message: bytes) -> bytes:
+        raise NetworkError(
+            f"fault injected: message dropped (fault #{self.fired})"
+        )
+
+
+@dataclass
+class DelayFault(FaultInjector):
+    """Adds link latency on the shared simulated clock.
+
+    The message still arrives, but the clock that retry deadlines and
+    attempt timeouts are budgeted against has moved by *delay_s* — a
+    slow link spends the caller's time budget.
+    """
+
+    delay_s: float = 1.0
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+
+    def inject(self, message: bytes) -> bytes:
+        self.clock.advance(self.delay_s)
+        return message
+
+
+@dataclass
+class TruncateFault(FaultInjector):
+    """Cuts the message short (interrupted transfer).
+
+    Either a fixed *keep_bytes* prefix or a *keep_fraction* of the
+    original length survives.
+    """
+
+    keep_bytes: int | None = None
+    keep_fraction: float = 0.5
+
+    def inject(self, message: bytes) -> bytes:
+        if self.keep_bytes is not None:
+            keep = self.keep_bytes
+        else:
+            keep = int(len(message) * self.keep_fraction)
+        return message[:max(0, keep)]
+
+
+@dataclass
+class DuplicateFault(FaultInjector):
+    """Re-delivers a message: the next transfer repeats this one.
+
+    When the schedule fires on message *i*, a copy is stashed and
+    delivered *again* in place of message *i+1* (the retransmitted
+    stale copy crowds out the fresh message).  Sequence-numbered
+    protocols detect this as a replay.
+    """
+
+    _replay: bytes | None = field(default=None, repr=False)
+
+    def passthrough(self, message: bytes) -> bytes:
+        if self._replay is not None:
+            stale, self._replay = self._replay, None
+            return stale
+        return message
+
+    def inject(self, message: bytes) -> bytes:
+        self._replay = bytes(message)
+        return message
+
+
+@dataclass
+class ReorderFault(FaultInjector):
+    """Delivers the *previous* message in place of the current one.
+
+    Models out-of-order arrival on a synchronous pipe: the current
+    message is held (arrives late, i.e. replaces the next firing) and
+    the receiver sees its predecessor instead.  With no predecessor yet
+    the message passes unharmed.  Sequence-numbered protocols detect
+    this as reordering.
+    """
+
+    _previous: bytes | None = field(default=None, repr=False)
+
+    def passthrough(self, message: bytes) -> bytes:
+        self._previous = bytes(message)
+        return message
+
+    def inject(self, message: bytes) -> bytes:
+        if self._previous is None:
+            return message
+        stale = self._previous
+        self._previous = bytes(message)
+        return stale
+
+
+def flaky_link(failures: int) -> DropFault:
+    """A link that drops the first *failures* messages, then recovers."""
+    return DropFault(schedule=FaultSchedule.first(failures))
+
+
+@dataclass
+class FlakyService:
+    """Server-side flakiness: fail the first *failures* calls, then recover.
+
+    Wraps any callable (a :class:`~repro.network.server.ContentServer`
+    service handler, an XKMS transport) so the *service* — not the link
+    — is the unreliable party.  The content server converts the raised
+    :class:`NetworkError` into a 500 response, which the client's retry
+    policy treats as transient.
+    """
+
+    handler: Callable
+    failures: int = 1
+    calls: int = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise NetworkError(
+                f"fault injected: service unavailable "
+                f"(call {self.calls}/{self.failures} of outage)"
+            )
+        return self.handler(*args, **kwargs)

@@ -1,0 +1,206 @@
+"""Retry policies and circuit breaking for the download/XKMS paths.
+
+A :class:`RetryPolicy` re-runs an operation on transient
+:class:`~repro.errors.NetworkError`\\ s with exponential backoff and
+deterministic jitter, bounded by an attempt count and an optional
+total-time deadline; a :class:`CircuitBreaker` trips after consecutive
+failures so a dead service is short-circuited instead of hammered, and
+half-opens after a cool-down to probe for recovery.
+
+All timing runs on a pluggable clock (see
+:mod:`repro.resilience.clock`), so tests execute second-scale backoff
+schedules instantly and deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    CircuitOpenError, NetworkError, RetryExhaustedError, TimeoutError,
+)
+from repro.resilience.clock import SimulatedClock
+
+#: Control-flow errors a policy must never swallow and retry, even
+#: though they subclass NetworkError (a nested policy or breaker
+#: already gave up on the caller's behalf).
+NON_RETRYABLE = (RetryExhaustedError, CircuitOpenError)
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Trips open after *failure_threshold* consecutive failures.
+
+    While open, :meth:`before_call` raises
+    :class:`~repro.errors.CircuitOpenError` without touching the wire.
+    After *cooldown* simulated seconds the breaker half-opens: one
+    probe call is allowed through — success closes the circuit,
+    failure re-opens it for another cool-down.
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 30.0
+    clock: object = field(default_factory=SimulatedClock)
+    state: str = STATE_CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    times_opened: int = 0
+    short_circuits: int = 0
+
+    def before_call(self) -> None:
+        """Gate a call; raises :class:`CircuitOpenError` while open."""
+        if self.state != STATE_OPEN:
+            return
+        remaining = self.opened_at + self.cooldown - self.clock.now()
+        if remaining > 0:
+            self.short_circuits += 1
+            raise CircuitOpenError(
+                f"circuit open after {self.consecutive_failures} "
+                f"consecutive failures; half-opens in {remaining:g}s",
+                attempts=self.consecutive_failures,
+                retry_after=remaining,
+            )
+        self.state = STATE_HALF_OPEN
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN \
+                or self.consecutive_failures >= self.failure_threshold:
+            if self.state != STATE_OPEN:
+                self.times_opened += 1
+            self.state = STATE_OPEN
+            self.opened_at = self.clock.now()
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = STATE_CLOSED
+
+    def call(self, operation: Callable):
+        """Run one gated, recorded call (no retries)."""
+        self.before_call()
+        try:
+            result = operation()
+        except NetworkError:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and budgets.
+
+    Args:
+        max_attempts: total tries before giving up.
+        base_delay: backoff before the second attempt (seconds).
+        multiplier: backoff growth factor per attempt.
+        max_delay: backoff ceiling.
+        jitter: extra random fraction (0.1 = up to +10%) added to each
+            backoff; drawn from a PRNG seeded with *seed*, so schedules
+            are fully reproducible.
+        deadline: total simulated-time budget; exceeded →
+            :class:`RetryExhaustedError`.
+        attempt_timeout: per-attempt latency budget (measured on the
+            shared clock); a slower attempt is discarded and counted as
+            a :class:`TimeoutError` failure.
+        retryable: exception classes worth retrying.
+        clock: time source shared with fault injectors and breakers.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.1
+    deadline: float | None = None
+    attempt_timeout: float | None = None
+    retryable: tuple = (NetworkError,)
+    seed: int = 0
+    clock: object = field(default_factory=SimulatedClock)
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Backoff after failed *attempt* (1-based)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule this policy would use (for tests)."""
+        rng = random.Random(self.seed)
+        return [self.backoff(attempt, rng)
+                for attempt in range(1, self.max_attempts)]
+
+    def execute(self, operation: Callable, *,
+                breaker: CircuitBreaker | None = None,
+                describe: str = "operation"):
+        """Run *operation* under this policy.
+
+        Raises:
+            RetryExhaustedError: attempts or deadline exhausted; carries
+                the attempt count and the last underlying error.
+            CircuitOpenError: *breaker* is open (short-circuited).
+        """
+        rng = random.Random(self.seed)
+        start = self.clock.now()
+        attempts = 0
+        last_error: BaseException | None = None
+        while attempts < self.max_attempts:
+            if breaker is not None:
+                breaker.before_call()
+            attempts += 1
+            attempt_start = self.clock.now()
+            try:
+                result = operation()
+            except NON_RETRYABLE:
+                raise
+            except self.retryable as exc:
+                last_error = exc
+                if breaker is not None:
+                    breaker.record_failure()
+            else:
+                took = self.clock.now() - attempt_start
+                if self.attempt_timeout is not None \
+                        and took > self.attempt_timeout:
+                    # The caller would have hung up before the answer
+                    # arrived: discard it and count a timeout.
+                    last_error = TimeoutError(
+                        f"{describe}: attempt {attempts} took {took:g}s "
+                        f"(timeout {self.attempt_timeout:g}s)",
+                        attempts=attempts,
+                        elapsed=self.clock.now() - start,
+                    )
+                    if breaker is not None:
+                        breaker.record_failure()
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    return result
+            if attempts >= self.max_attempts:
+                break
+            delay = self.backoff(attempts, rng)
+            elapsed = self.clock.now() - start
+            if self.deadline is not None \
+                    and elapsed + delay > self.deadline:
+                raise RetryExhaustedError(
+                    f"{describe}: deadline of {self.deadline:g}s "
+                    f"exhausted after {attempts} attempt(s): {last_error}",
+                    attempts=attempts, elapsed=elapsed,
+                    last_error=last_error,
+                )
+            self.clock.sleep(delay)
+        elapsed = self.clock.now() - start
+        cause = f": {last_error}" if last_error is not None else ""
+        raise RetryExhaustedError(
+            f"{describe}: gave up after {attempts} attempt(s) "
+            f"in {elapsed:g}s{cause}",
+            attempts=attempts, elapsed=elapsed, last_error=last_error,
+        )

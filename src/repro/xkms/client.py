@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.errors import XKMSError
 from repro.primitives.keys import RSAPublicKey
+from repro.resilience.retry import CircuitBreaker, RetryPolicy
 from repro.xkms.messages import (
     STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
 )
@@ -22,13 +23,38 @@ Transport = Callable[[str], str]
 
 @dataclass
 class XKMSClient:
-    """Convenience wrapper over the XKMS request/result exchange."""
+    """Convenience wrapper over the XKMS request/result exchange.
+
+    With a *retry_policy*, transport failures are retried under its
+    backoff/deadline budget; a *circuit_breaker* short-circuits calls
+    to a trust service that keeps failing.
+    """
 
     transport: Transport
+    retry_policy: RetryPolicy | None = None
+    circuit_breaker: CircuitBreaker | None = None
+
+    def _transfer(self, request_xml: str, operation: str) -> str:
+        if self.retry_policy is not None:
+            return self.retry_policy.execute(
+                lambda: self.transport(request_xml),
+                breaker=self.circuit_breaker,
+                describe=f"XKMS {operation}",
+            )
+        if self.circuit_breaker is not None:
+            return self.circuit_breaker.call(
+                lambda: self.transport(request_xml)
+            )
+        return self.transport(request_xml)
 
     def _roundtrip(self, request: XKMSRequest) -> XKMSResult:
-        result = XKMSResult.from_xml(self.transport(request.to_xml()))
-        if result.request_id and result.request_id != request.request_id:
+        result = XKMSResult.from_xml(
+            self._transfer(request.to_xml(), request.operation)
+        )
+        # A result without a request id is as unanswerable as one with
+        # the wrong id — accepting it would let any stale or substituted
+        # response satisfy our request.
+        if result.request_id != request.request_id:
             raise XKMSError(
                 "XKMS result does not answer our request "
                 f"({result.request_id!r} != {request.request_id!r})"

@@ -62,6 +62,36 @@ def test_tamperer_flips_matching():
     assert tamperer.tampered_count == 1
 
 
+def test_tamperer_empty_message_passes_through():
+    tamperer = ActiveTamperer()
+    assert tamperer.process(b"") == b""
+    assert tamperer.tampered_count == 0
+
+
+def test_tamperer_offset_wraps_past_message_length():
+    tamperer = ActiveTamperer(offset=7)   # 7 % 3 == 1
+    assert tamperer.process(b"abc") == b"a\x63c"  # 'b' ^ 0x01
+    assert tamperer.tampered_count == 1
+
+
+def test_tamperer_disabled_passes_through():
+    tamperer = ActiveTamperer(enabled=False)
+    assert tamperer.process(b"payload") == b"payload"
+    assert tamperer.tampered_count == 0
+
+
+def test_decode_rejects_truncated_frame():
+    from repro.network.server import _decode, _encode
+
+    message = _encode(1, b"/some/path", b"payload")
+    with pytest.raises(NetworkError, match="truncated"):
+        _decode(message[:-3])
+    # An intact frame still decodes.
+    kind, parts = _decode(message)
+    assert kind == 1
+    assert parts == [b"/some/path", b"payload"]
+
+
 def test_replacer_and_dropper():
     channel = Channel([Replacer(replacement=b"spoofed",
                                 predicate=lambda m: m == b"original")])

@@ -1,0 +1,216 @@
+"""RetryPolicy backoff/budget behaviour and the CircuitBreaker state machine."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError, NetworkError, RetryExhaustedError, TimeoutError,
+)
+from repro.resilience import (
+    STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN, CircuitBreaker, RetryPolicy,
+    SimulatedClock,
+)
+
+
+def failing_then(succeed_on: int, result="ok"):
+    """An operation that fails with NetworkError until call *succeed_on*."""
+    calls = {"n": 0}
+
+    def operation():
+        calls["n"] += 1
+        if calls["n"] < succeed_on:
+            raise NetworkError(f"transient #{calls['n']}")
+        return result
+    operation.calls = calls
+    return operation
+
+
+# -- retry policy ----------------------------------------------------------------
+
+
+def test_happy_path_no_sleeps():
+    clock = SimulatedClock()
+    policy = RetryPolicy(clock=clock)
+    assert policy.execute(lambda: "value") == "value"
+    assert clock.sleeps == []
+
+
+def test_fails_twice_succeeds_third():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=3, base_delay=1.0, multiplier=2.0,
+                         jitter=0.1, seed=42, clock=clock)
+    operation = failing_then(3)
+    assert policy.execute(operation) == "ok"
+    assert operation.calls["n"] == 3
+    # Two backoffs, exponential with deterministic jitter.
+    assert clock.sleeps == policy.delays()[:2]
+    assert 1.0 <= clock.sleeps[0] <= 1.1
+    assert 2.0 <= clock.sleeps[1] <= 2.2
+
+
+def test_backoff_is_deterministic_per_seed():
+    a = RetryPolicy(max_attempts=5, seed=7).delays()
+    b = RetryPolicy(max_attempts=5, seed=7).delays()
+    c = RetryPolicy(max_attempts=5, seed=8).delays()
+    assert a == b
+    assert a != c
+
+
+def test_backoff_respects_max_delay():
+    policy = RetryPolicy(max_attempts=8, base_delay=1.0, multiplier=10.0,
+                         max_delay=5.0, jitter=0.0)
+    assert policy.delays()[-1] == 5.0
+
+
+def test_attempts_exhausted():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=3, clock=clock, seed=1)
+
+    def dead():
+        raise NetworkError("still down")
+
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        policy.execute(dead, describe="fetch /x")
+    error = excinfo.value
+    assert error.attempts == 3
+    assert isinstance(error.last_error, NetworkError)
+    assert "fetch /x" in str(error)
+    assert error.elapsed == clock.now()
+
+
+def test_deadline_budget_exhausted():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=10, base_delay=1.0, multiplier=2.0,
+                         jitter=0.0, deadline=5.0, clock=clock)
+
+    def dead():
+        raise NetworkError("down")
+
+    with pytest.raises(RetryExhaustedError, match="deadline") as excinfo:
+        policy.execute(dead)
+    # 1s + 2s backoffs fit the 5s budget; the 4s third backoff does not.
+    assert excinfo.value.attempts == 3
+    assert clock.now() <= 5.0
+
+
+def test_attempt_timeout_discards_slow_answer():
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=2, attempt_timeout=1.0,
+                         clock=clock, seed=0)
+
+    def slow():
+        clock.advance(3.0)  # a DelayFault on the link would do this
+        return "late answer"
+
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        policy.execute(slow)
+    assert isinstance(excinfo.value.last_error, TimeoutError)
+    assert excinfo.value.last_error.attempts == 2
+
+
+def test_fast_answer_beats_attempt_timeout():
+    clock = SimulatedClock()
+    policy = RetryPolicy(attempt_timeout=1.0, clock=clock)
+
+    def fast():
+        clock.advance(0.5)
+        return "in time"
+
+    assert policy.execute(fast) == "in time"
+
+
+def test_non_network_errors_propagate():
+    policy = RetryPolicy()
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise ValueError("logic bug")
+
+    with pytest.raises(ValueError):
+        policy.execute(broken)
+    assert calls["n"] == 1  # not retried
+
+
+def test_control_flow_errors_never_retried():
+    policy = RetryPolicy(max_attempts=5)
+    calls = {"n": 0}
+
+    def inner_gave_up():
+        calls["n"] += 1
+        raise RetryExhaustedError("inner policy done", attempts=3)
+
+    with pytest.raises(RetryExhaustedError):
+        policy.execute(inner_gave_up)
+    assert calls["n"] == 1
+
+
+# -- circuit breaker -------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold():
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                             clock=clock)
+    policy = RetryPolicy(max_attempts=2, clock=clock)
+
+    def dead():
+        raise NetworkError("down")
+
+    with pytest.raises(RetryExhaustedError):
+        policy.execute(dead, breaker=breaker)
+    assert breaker.state == STATE_OPEN
+
+    # Subsequent calls short-circuit without touching the operation.
+    calls = {"n": 0}
+
+    def counting():
+        calls["n"] += 1
+        return "x"
+
+    with pytest.raises(CircuitOpenError) as excinfo:
+        policy.execute(counting, breaker=breaker)
+    assert calls["n"] == 0
+    assert excinfo.value.retry_after > 0
+    assert excinfo.value.attempts == 2
+    assert breaker.short_circuits == 1
+
+
+def test_breaker_half_opens_and_closes_on_probe_success():
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    clock.advance(5.0)
+    breaker.before_call()  # cool-down elapsed: probe allowed
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0,
+                             clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    breaker.before_call()
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.record_failure()  # one failed probe re-opens immediately
+    assert breaker.state == STATE_OPEN
+    assert breaker.times_opened == 2
+    with pytest.raises(CircuitOpenError):
+        breaker.before_call()
+
+
+def test_breaker_call_helper_gates_and_records():
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+    assert breaker.call(lambda: "fine") == "fine"
+    with pytest.raises(NetworkError):
+        breaker.call(lambda: (_ for _ in ()).throw(NetworkError("x")))
+    assert breaker.state == STATE_OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "never runs")

@@ -127,6 +127,18 @@ def test_result_id_mismatch_detected(server, keypair):
         client.locate("any")
 
 
+def test_result_missing_request_id_rejected():
+    def evil_transport(request_xml: str) -> str:
+        # A response carrying no request id at all must be refused just
+        # like one bound to the wrong id — an empty id would otherwise
+        # let any canned response satisfy any request.
+        return XKMSResult("Locate", RESULT_NO_MATCH).to_xml()
+
+    client = XKMSClient(evil_transport)
+    with pytest.raises(XKMSError, match="does not answer"):
+        client.locate("any")
+
+
 def test_unknown_operation_rejected():
     with pytest.raises(XKMSError):
         XKMSRequest("Recover")
