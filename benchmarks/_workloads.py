@@ -8,6 +8,7 @@ repository root so EXPERIMENTS.md can be refreshed from a plain run.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 from repro.certs import CertificateAuthority, SigningIdentity, TrustStore
@@ -19,6 +20,38 @@ from repro.xmlcore import parse_element
 
 REPORT_PATH = os.path.join(os.path.dirname(__file__), "..",
                            "bench_report.txt")
+
+
+def measure(fn, *, warmup: int = 1, repeat: int = 5) -> float:
+    """Median wall-clock seconds of one ``fn()`` call.
+
+    Runs *warmup* throwaway calls (interpreter warm-up, cache priming
+    where that is the point of the bench) and then *repeat* timed
+    calls, returning the median — the robust summary all benches and
+    the regression gate share.  Callables that are not idempotent must
+    rebuild their state inside ``fn`` or pass ``warmup=0, repeat=1``.
+    """
+    for _ in range(max(0, warmup)):
+        fn()
+    samples = []
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def timed(fn) -> tuple[float, object]:
+    """``(seconds, result)`` of a single ``fn()`` call.
+
+    For one-shot stage timings (authoring, disc insert, decrypt in
+    place) where repetition would change semantics; sweeps should use
+    :func:`measure`.
+    """
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
 
 LAYOUT = (
     '<layout xmlns="urn:bda:bdmv:interactive-cluster">'

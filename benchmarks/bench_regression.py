@@ -1,0 +1,240 @@
+"""Benchmark-regression gate for CI.
+
+Runs a small, deterministic subset of the ABL benchmarks, writes the
+results to a JSON artifact (``BENCH_PR2.json`` by default) and fails —
+exit status 1 — when any tracked metric regresses more than the
+threshold (20% by default) against the committed
+``benchmarks/baseline.json``.
+
+Robustness against machine-speed differences between the committing
+machine and the CI runner: every absolute timing is divided by a
+*calibration* measurement (pure-Python SHA-256 over a fixed payload on
+the same interpreter), so tracked values are dimensionless multiples
+of the machine's own crypto throughput.  Ratio metrics (speedups, hit
+ratios) need no normalization at all.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py \
+        --output BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/bench_regression.py \
+        --update-baseline        # refresh benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _workloads import build_manifest, build_world, measure  # noqa: E402
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baseline.json",
+)
+
+#: metric name -> which direction counts as a regression.
+DIRECTIONS = {
+    # dimensionless multiples of the calibration time; lower is better
+    "verify_sequential_8_norm": "lower",
+    "verify_batch_warm_8_norm": "lower",
+    "c14n_manifest_norm": "lower",
+    "sign_detached_norm": "lower",
+    # pure ratios; higher is better
+    "batch_speedup": "higher",
+    "warm_digest_hit_ratio": "higher",
+}
+
+
+def calibrate() -> float:
+    """Median seconds of a fixed pure-Python SHA-256 workload."""
+    from repro.primitives.sha import sha256
+
+    payload = b"Z" * 65536
+    return measure(lambda: sha256(payload), warmup=1, repeat=5)
+
+
+def run_benchmarks() -> dict:
+    from repro.core import verify_signatures
+    from repro.dsig import Signer, Verifier
+    from repro.perf import BatchVerifier, C14NDigestCache, metrics
+    from repro.perf.cache import NullCache
+    from repro.xmlcore import canonicalize
+
+    calibration = calibrate()
+    world = build_world()
+    signer = Signer(world.studio.key, identity=world.studio)
+
+    def fat_manifest():
+        return build_manifest(
+            "bench-reg",
+            scripts=1,
+            script_lines=120,
+            submarkups=8,
+        ).to_element()
+
+    root = fat_manifest()
+    for target in root.iter("submarkup"):
+        signer.sign_detached(f"#{target.get('Id')}", parent=root)
+
+    sequential = Verifier(
+        trust_store=world.trust_store,
+        require_trusted_key=True,
+        cache=NullCache(),
+    )
+    seq_time = measure(
+        lambda: verify_signatures(root, sequential),
+        warmup=1,
+        repeat=5,
+    )
+
+    engine = BatchVerifier(
+        Verifier(
+            trust_store=world.trust_store,
+            require_trusted_key=True,
+            cache=C14NDigestCache(),
+        )
+    )
+    outcome = engine.verify_all(root)
+    if not outcome.all_valid:
+        raise SystemExit("bench workload failed to verify")
+    warm_time = measure(lambda: engine.verify_all(root), warmup=1, repeat=5)
+
+    registry = metrics.push_registry()
+    try:
+        engine.verify_all(root)
+        hits = registry.counter("perf.cache.digest.hit").value
+        misses = registry.counter("perf.cache.digest.miss").value
+    finally:
+        metrics.pop_registry()
+    total = hits + misses
+    hit_ratio = hits / total if total else 0.0
+
+    plain = fat_manifest()
+    c14n_time = measure(lambda: canonicalize(plain), warmup=1, repeat=5)
+
+    def sign_once():
+        target = build_manifest("bench-sign", submarkups=2).to_element()
+        sub = next(iter(target.iter("submarkup")))
+        signer.sign_detached(f"#{sub.get('Id')}", parent=target)
+
+    sign_time = measure(sign_once, warmup=1, repeat=5)
+
+    return {
+        "calibration_seconds": calibration,
+        "metrics": {
+            "verify_sequential_8_norm": seq_time / calibration,
+            "verify_batch_warm_8_norm": warm_time / calibration,
+            "batch_speedup": seq_time / warm_time,
+            "warm_digest_hit_ratio": hit_ratio,
+            "c14n_manifest_norm": c14n_time / calibration,
+            "sign_detached_norm": sign_time / calibration,
+        },
+        "raw_seconds": {
+            "verify_sequential_8": seq_time,
+            "verify_batch_warm_8": warm_time,
+            "c14n_manifest": c14n_time,
+            "sign_detached": sign_time,
+        },
+    }
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression messages (empty = within threshold)."""
+    problems = []
+    for name, value in current.items():
+        base = baseline.get(name)
+        direction = DIRECTIONS.get(name)
+        if base is None or direction is None or base == 0:
+            continue
+        drift = value / base - 1.0
+        if direction == "lower" and value > base * (1.0 + threshold):
+            message = (
+                f"{name}: {value:.3f} vs baseline {base:.3f} "
+                f"(+{drift * 100:.0f}%, limit +{threshold * 100:.0f}%)"
+            )
+            problems.append(message)
+        elif direction == "higher" and value < base * (1.0 - threshold):
+            message = (
+                f"{name}: {value:.3f} vs baseline {base:.3f} "
+                f"({drift * 100:.0f}%, limit -{threshold * 100:.0f}%)"
+            )
+            problems.append(message)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="BENCH_PR2.json",
+        help="result artifact path",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_PATH,
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed relative regression (0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks()
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, value in sorted(results["metrics"].items()):
+        print(f"  {name:28s} {value:10.3f}")
+
+    if args.update_baseline:
+        baseline_payload = {
+            "metrics": results["metrics"],
+            "threshold": args.threshold,
+        }
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        message = (
+            f"no baseline at {args.baseline}; "
+            "run with --update-baseline to create one"
+        )
+        print(message, file=sys.stderr)
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    problems = compare(
+        results["metrics"],
+        baseline.get("metrics", {}),
+        args.threshold,
+    )
+    if problems:
+        print("benchmark regressions detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    baseline_name = os.path.basename(args.baseline)
+    print(f"no benchmark regressions against {baseline_name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,8 +8,6 @@ without C14N, and the processing cost of C14N relative to plain
 serialization.
 """
 
-import pytest
-
 from _workloads import build_manifest, report
 from repro.primitives.sha import sha1
 from repro.xmlcore import (

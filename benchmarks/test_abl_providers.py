@@ -59,20 +59,20 @@ def test_ablprov_rsa_sign(world, benchmark, provider_name):
 
 
 def test_ablprov_summary(world, benchmark):
-    import time
+    from _workloads import measure
 
     def run():
         rows = {}
         for name in PROVIDERS:
             provider = get_provider(name)
-            t0 = time.perf_counter()
-            for _ in range(5):
-                provider.digest("sha256", PAYLOAD)
-            sha_time = (time.perf_counter() - t0) / 5
-            t0 = time.perf_counter()
-            for _ in range(5):
-                provider.aes_cbc_encrypt(KEY, IV, PAYLOAD)
-            aes_time = (time.perf_counter() - t0) / 5
+            sha_time = measure(
+                lambda: provider.digest("sha256", PAYLOAD),
+                warmup=1, repeat=5,
+            )
+            aes_time = measure(
+                lambda: provider.aes_cbc_encrypt(KEY, IV, PAYLOAD),
+                warmup=1, repeat=5,
+            )
             rows[name] = (sha_time, aes_time)
         return rows
 

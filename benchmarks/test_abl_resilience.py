@@ -73,13 +73,11 @@ def test_ablres_fetch_with_recovery(benchmark, server):
 
 def test_ablres_report(benchmark, server):
     """Summarize the policy overhead as a paper-style row."""
-    import time
+    from _workloads import measure
 
     def time_fetch(client, rounds=200):
-        start = time.perf_counter()
-        for _ in range(rounds):
-            client.fetch(PATH, secure=False)
-        return (time.perf_counter() - start) / rounds
+        return measure(lambda: client.fetch(PATH, secure=False),
+                       warmup=5, repeat=rounds)
 
     plain = time_fetch(plain_client(server))
     resilient = time_fetch(resilient_client(server))

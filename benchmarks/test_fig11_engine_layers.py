@@ -10,11 +10,9 @@ schedule, execute — i.e. where a CE player's launch budget actually
 goes.
 """
 
-import time
-
 import pytest
 
-from _workloads import build_manifest, report
+from _workloads import build_manifest, report, timed
 from repro.core import AuthoringPipeline, PlaybackPipeline, parse_package
 from repro.dsig import Verifier
 from repro.player import InteractiveApplicationEngine
@@ -79,25 +77,22 @@ def test_fig11_layer_breakdown(world, package, benchmark):
 
     def run():
         layers = {}
-        t0 = time.perf_counter()
-        root = parse_element(package.data)
-        layers["xml parse"] = time.perf_counter() - t0
-
+        layers["xml parse"], root = timed(
+            lambda: parse_element(package.data)
+        )
         view = parse_package(root)
         decryptor = Decryptor(rsa_keys=[world.device_key])
-        t0 = time.perf_counter()
-        assert verifier.verify(view.signature_element,
-                               decryptor=decryptor).valid
-        layers["verifier (XMLDSig)"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        decryptor.decrypt_in_place(view.root)
-        layers["decryptor (XMLEnc)"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        application = engine.load_package(package.data)
-        session = engine.execute(application)
-        layers["engine (full launch)"] = time.perf_counter() - t0
+        layers["verifier (XMLDSig)"], outcome = timed(
+            lambda: verifier.verify(view.signature_element,
+                                    decryptor=decryptor)
+        )
+        assert outcome.valid
+        layers["decryptor (XMLEnc)"], _ = timed(
+            lambda: decryptor.decrypt_in_place(view.root)
+        )
+        layers["engine (full launch)"], session = timed(
+            lambda: engine.execute(engine.load_package(package.data))
+        )
         assert session.trusted
         return layers
 

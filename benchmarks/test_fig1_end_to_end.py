@@ -9,9 +9,7 @@ sign, insert+authenticate, play, launch the disc app, and the
 download/verify/execute loop — demonstrating the whole model runs.
 """
 
-import pytest
-
-from _workloads import LAYOUT, TIMING, build_manifest, report
+from _workloads import build_manifest, report
 from repro.core import AuthoringPipeline, ProtectionLevel, sign_disc_image
 from repro.disc import DiscAuthor
 from repro.dsig import Signer
@@ -110,32 +108,34 @@ def test_fig1_whole_journey(world, benchmark):
     )
 
     def run():
-        import time
+        from _workloads import timed
         legs = {}
-        t0 = time.perf_counter()
-        image = author_image(world)
-        legs["studio: author+master+sign"] = time.perf_counter() - t0
+        legs["studio: author+master+sign"], image = timed(
+            lambda: author_image(world)
+        )
 
         player = DiscPlayer(world.trust_store,
                             device_key=world.device_key)
-        t0 = time.perf_counter()
-        session = player.insert_disc(image)
-        legs["player: insert+authenticate"] = time.perf_counter() - t0
+        legs["player: insert+authenticate"], session = timed(
+            lambda: player.insert_disc(image)
+        )
         assert session.authenticated
 
-        t0 = time.perf_counter()
-        player.play_title("main-feature")
-        player.launch_disc_application("menu")
-        legs["player: play+launch"] = time.perf_counter() - t0
+        def play_leg():
+            player.play_title("main-feature")
+            player.launch_disc_application("menu")
 
-        t0 = time.perf_counter()
-        client = DownloadClient(server, Channel(),
-                                trust_store=world.trust_store)
-        application = player.download_application(
-            client, "/apps/bonus.pkg", secure=True,
-        )
-        player.run_application(application)
-        legs["network: download+verify+run"] = time.perf_counter() - t0
+        legs["player: play+launch"], _ = timed(play_leg)
+
+        def download_leg():
+            client = DownloadClient(server, Channel(),
+                                    trust_store=world.trust_store)
+            application = player.download_application(
+                client, "/apps/bonus.pkg", secure=True,
+            )
+            player.run_application(application)
+
+        legs["network: download+verify+run"], _ = timed(download_leg)
         return legs
 
     legs = benchmark.pedantic(run, rounds=3, iterations=1)

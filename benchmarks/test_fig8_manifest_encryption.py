@@ -11,7 +11,6 @@ Regenerated series: whole-manifest vs element vs content encryption
 whole-manifest decryption.
 """
 
-import time
 
 import pytest
 
@@ -73,22 +72,21 @@ def test_fig8_partial_vs_whole_decryption(world, key, benchmark):
     decryptor = Decryptor(keys={"k": key})
 
     def run():
+        from _workloads import timed
         # Whole manifest encrypted → player must decrypt everything.
         whole = fresh_manifest()
         size = len(canonicalize(whole))
         enc_whole = encryptor.encrypt_element(whole, key, key_name="k",
                                               replace=False)
-        t0 = time.perf_counter()
-        decryptor.decrypt_nodes(enc_whole)
-        whole_time = time.perf_counter() - t0
+        whole_time, _ = timed(lambda: decryptor.decrypt_nodes(enc_whole))
 
         # Only one script encrypted → player decrypts just the script.
         partial = fresh_manifest()
         target = partial.find("script")
         encryptor.encrypt_element(target, key, key_name="k")
-        t0 = time.perf_counter()
-        decryptor.decrypt_in_place(partial)
-        partial_time = time.perf_counter() - t0
+        partial_time, _ = timed(
+            lambda: decryptor.decrypt_in_place(partial)
+        )
         return whole_time, partial_time, size
 
     whole_time, partial_time, size = benchmark.pedantic(

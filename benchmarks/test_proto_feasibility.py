@@ -13,7 +13,6 @@ crypto providers (pure-Python reference vs accelerated backend — the
 Java-vs-C++ library choice of §8.2 transposed).
 """
 
-import time
 
 import pytest
 
@@ -56,13 +55,14 @@ def test_proto_launch_latency(world, package, benchmark, provider_name):
 
 def test_proto_budget_check(world, package, benchmark):
     def run():
+        from _workloads import timed
         results = {}
         for name in ("pure", "accelerated"):
             if name not in available_providers():
                 continue
-            t0 = time.perf_counter()
-            session = _launch(world, package, name)
-            elapsed = time.perf_counter() - t0
+            elapsed, session = timed(
+                lambda name=name: _launch(world, package, name)
+            )
             assert session.trusted
             results[name] = elapsed
         return results

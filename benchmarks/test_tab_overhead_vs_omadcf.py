@@ -19,7 +19,6 @@ Shape expectations:
 * XML processing is slower than binary DCF processing.
 """
 
-import time
 
 import pytest
 
@@ -74,7 +73,6 @@ def _xml_open(world, packaged: bytes, key: SymmetricKey,
     report_ = verifier.verify(signature, key=verify_key)
     assert report_.valid
     decryptor = Decryptor(keys={"cek": key})
-    from repro.xmlenc import EncryptedData
     enc = root.find("EncryptedData")
     return decryptor.decrypt_to_bytes(enc)
 
@@ -90,25 +88,26 @@ def suite(world):
 
 
 def _measure(world, suite, size: int):
+    from _workloads import timed
     rng, key, mac_key, signer, verify_key = suite
     payload = _payload(world, size)
 
-    t0 = time.perf_counter()
-    xml_packaged = _xml_secure(world, payload, key, signer, rng)
-    xml_pack_time = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    recovered = _xml_open(world, xml_packaged, key, verify_key)
-    xml_open_time = time.perf_counter() - t0
+    xml_pack_time, xml_packaged = timed(
+        lambda: _xml_secure(world, payload, key, signer, rng)
+    )
+    xml_open_time, recovered = timed(
+        lambda: _xml_open(world, xml_packaged, key, verify_key)
+    )
     assert recovered == payload
 
-    t0 = time.perf_counter()
-    dcf_packaged = omadcf.package(payload, key.data, mac_key=mac_key,
-                                  rng=rng)
-    dcf_pack_time = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    dcf_recovered, _ = omadcf.unpack(dcf_packaged, key.data,
-                                     mac_key=mac_key)
-    dcf_open_time = time.perf_counter() - t0
+    dcf_pack_time, dcf_packaged = timed(
+        lambda: omadcf.package(payload, key.data, mac_key=mac_key,
+                               rng=rng)
+    )
+    dcf_open_time, unpacked = timed(
+        lambda: omadcf.unpack(dcf_packaged, key.data, mac_key=mac_key)
+    )
+    dcf_recovered, _ = unpacked
     assert dcf_recovered == payload
 
     return {

@@ -21,15 +21,23 @@ from repro.certs.certificate import Certificate
 
 @dataclass
 class RevocationList:
-    """A set of revoked (issuer, serial) pairs — a minimal CRL."""
+    """A set of revoked (issuer, serial) pairs — a minimal CRL.
+
+    ``generation`` increments on every revocation so memoized chain
+    validations (``repro.perf.cache``) are invalidated the moment the
+    list changes.
+    """
 
     revoked: set[tuple[str, int]] = field(default_factory=set)
+    generation: int = 0
 
     def revoke(self, certificate: Certificate) -> None:
         self.revoked.add((certificate.issuer, certificate.serial))
+        self.generation += 1
 
     def revoke_entry(self, issuer: str, serial: int) -> None:
         self.revoked.add((issuer, serial))
+        self.generation += 1
 
     def is_revoked(self, certificate: Certificate) -> bool:
         return (certificate.issuer, certificate.serial) in self.revoked
@@ -64,6 +72,7 @@ class TrustStore:
         self._intermediates: dict[str, list[Certificate]] = {}
         self._provider = provider or get_provider()
         self._crl = RevocationList()
+        self._generation = 0
         self.max_chain_length = max_chain_length
         for root in roots or []:
             self.add_root(root)
@@ -86,12 +95,21 @@ class TrustStore:
                 "trust anchor's self-signature does not verify"
             )
         self._roots[certificate.subject] = certificate
+        self._generation += 1
 
     def add_intermediate(self, certificate: Certificate) -> None:
         """Cache an intermediate for path building."""
         self._intermediates.setdefault(
             certificate.subject, []
         ).append(certificate)
+        self._generation += 1
+
+    @property
+    def generation(self) -> tuple[int, int]:
+        """Mutation stamp: changes whenever the anchors, intermediates
+        or the revocation list change, so memoized chain validations
+        can never outlive the trust state they were computed under."""
+        return (self._generation, self._crl.generation)
 
     @property
     def roots(self) -> list[Certificate]:

@@ -109,13 +109,25 @@ def sign_at_level(cluster_root: Element, level: ProtectionLevel,
 
 
 def verify_signatures(cluster_root: Element, verifier: Verifier, *,
-                      decryptor=None
+                      decryptor=None, batch: bool = False,
+                      max_workers: int | None = None
                       ) -> dict[str, VerificationReport]:
     """Verify every ds:Signature directly under *cluster_root*.
 
     Returns a map from the signature's first reference URI to its
     report (``""`` for whole-document signatures).
+
+    With ``batch=True`` the signatures go through the
+    :class:`repro.perf.BatchVerifier`: shared subtree digests are
+    deduplicated into the verifier's cache and the signatures are
+    checked across a worker pool.  The verdicts are identical to the
+    sequential path.
     """
+    if batch:
+        from repro.perf.batch import BatchVerifier
+        outcome = BatchVerifier(verifier, max_workers=max_workers) \
+            .verify_all(cluster_root, decryptor=decryptor)
+        return outcome.reports
     reports: dict[str, VerificationReport] = {}
     for child in list(cluster_root.child_elements()):
         if child.local != "Signature" or child.ns_uri != DSIG_NS:

@@ -25,6 +25,7 @@ from repro.dsig.verifier import VerificationReport, Verifier
 from repro.errors import (
     ApplicationRejectedError, DiscFormatError, NetworkError, XKMSError,
 )
+from repro.perf import metrics
 from repro.permissions.request_file import (
     GrantSet, PlatformPermissionPolicy,
 )
@@ -135,6 +136,15 @@ class PlaybackPipeline:
                 a require-signature policy (Fig 3: "the application is
                 barred from being executed").
         """
+        with metrics.timer("pipeline.open_package"):
+            metrics.counter("pipeline.packages_opened").increment()
+            return self._open_package(
+                data, execute_excepted=execute_excepted,
+            )
+
+    def _open_package(self, data: bytes | str,
+                      *, execute_excepted: bool = True
+                      ) -> VerifiedApplication:
         from repro.errors import XMLError
         try:
             view = parse_package(data)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 
 from repro.errors import DiscFormatError
+from repro.perf import metrics
 from repro.disc.clipinfo import ClipInfo
 from repro.disc.formats import BD_ROM, DiscFormat
 from repro.disc.hierarchy import InteractiveCluster
@@ -77,11 +78,14 @@ class DiscImage:
 
     def read(self, path: str) -> bytes:
         try:
-            return self._files[path]
+            data = self._files[path]
         except KeyError:
             raise DiscFormatError(
                 f"disc has no file {path!r}"
             ) from None
+        metrics.counter("disc.reads").increment()
+        metrics.counter("disc.read_bytes").increment(len(data))
+        return data
 
     def exists(self, path: str) -> bool:
         return path in self._files

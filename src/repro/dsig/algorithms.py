@@ -9,6 +9,7 @@ RFC 4051 (``xmldsig-more``).
 from __future__ import annotations
 
 from repro.errors import SignatureError, UnknownAlgorithmError
+from repro.perf import metrics
 from repro.primitives.hmac import constant_time_equal
 from repro.primitives.keys import RSAPrivateKey, RSAPublicKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
@@ -49,7 +50,10 @@ def compute_digest(algorithm: str, data: bytes,
                    provider: CryptoProvider | None = None) -> bytes:
     """Digest *data* under a DigestMethod URI."""
     provider = provider or get_provider()
-    return provider.digest(digest_name(algorithm), data)
+    metrics.counter("digest.ops").increment()
+    metrics.counter("digest.octets").increment(len(data))
+    with metrics.timer("digest.compute"):
+        return provider.digest(digest_name(algorithm), data)
 
 
 def signature_kind(algorithm: str) -> tuple[str, str]:

@@ -143,14 +143,19 @@ def validate_manifest_references(signature: Element, *,
                                  resolver=None, decryptor=None,
                                  provider: CryptoProvider | None = None,
                                  only_uris: tuple[str, ...] | None = None,
+                                 cache=None,
                                  ) -> ManifestValidation:
     """Application-level validation of a signature's ds:Manifest.
 
     Core validation (``Verifier.verify``) establishes that the manifest
     list is authentic; this function then checks the per-target digests
     — all of them, or just *only_uris* (the player checks what it is
-    about to use).
+    about to use).  Digests of pure-canonicalization same-document
+    targets are served from *cache* (the process-wide C14N/digest
+    cache by default), so selective checks repeated at playback time
+    do not re-canonicalize unchanged subtrees.
     """
+    from repro.perf.cache import get_default_cache
     provider = provider or get_provider()
     manifest_el = find_manifest(signature)
     if manifest_el is None:
@@ -158,6 +163,7 @@ def validate_manifest_references(signature: Element, *,
     context = ReferenceContext(
         root=_top(signature), signature=signature, resolver=resolver,
         decryptor=decryptor,
+        cache=cache if cache is not None else get_default_cache(),
     )
     validation = ManifestValidation()
     for reference_el in manifest_el.child_elements():

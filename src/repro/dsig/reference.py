@@ -13,13 +13,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ReferenceError_, SignatureError
+from repro.perf import metrics
+from repro.perf.cache import C14NDigestCache
 from repro.primitives.encoding import b64decode, b64encode
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import DSIG_NS, element
+from repro.xmlcore.c14n import ALL_C14N_ALGORITHMS, C14N, canonicalize
 from repro.xmlcore.tree import Element
 from repro.dsig import algorithms
 from repro.dsig.transforms import (
-    Transform, TransformContext, apply_transforms, node_at_path, node_path,
+    Transform, TransformContext, apply_transforms, node_path,
 )
 
 Resolver = Callable[[str], bytes]
@@ -109,6 +112,9 @@ class ReferenceContext:
         resolver: callable mapping external URIs to bytes.
         decryptor: decryptor for the decryption transform.
         namespaces: prefix map for XPath transforms.
+        cache: optional :class:`~repro.perf.cache.C14NDigestCache`;
+            when set, eligible same-document references take the cached
+            fast path (see :func:`compute_reference_digest`).
     """
 
     root: Element | None = None
@@ -116,6 +122,7 @@ class ReferenceContext:
     resolver: Resolver | None = None
     decryptor: object | None = None
     namespaces: dict[str, str] = field(default_factory=dict)
+    cache: C14NDigestCache | None = None
 
 
 def dereference(reference: Reference,
@@ -166,15 +173,79 @@ def dereference(reference: Reference,
         ) from exc
 
 
+def _fast_path_target(reference: Reference,
+                      context: ReferenceContext) -> Element | None:
+    """The live target element when the cached fast path applies.
+
+    The fast path is sound only when the transform chain cannot mutate
+    the document and produces exactly the canonical octets of the
+    dereferenced subtree — i.e. a same-document reference whose chain
+    is empty or a single canonicalization.  Everything else (enveloped
+    signature, decryption, XPath, base64, external URIs) takes the
+    general copy-and-transform path.
+    """
+    uri = reference.uri
+    if context.cache is None or context.root is None or uri is None:
+        return None
+    if context.root.parent is not None:
+        # The general path copies ``root`` (detaching it), so ancestor
+        # namespace context is NOT inherited; canonicalizing the live
+        # tree would inherit it.  Only a true top element is safe.
+        return None
+    if uri != "" and not uri.startswith("#"):
+        return None
+    transforms = reference.transforms
+    if len(transforms) > 1:
+        return None
+    if transforms and (
+        transforms[0].algorithm not in ALL_C14N_ALGORITHMS
+    ):
+        return None
+    if uri == "":
+        return context.root
+    return context.root.get_element_by_id(uri[1:])
+
+
 def compute_reference_digest(reference: Reference,
                              context: ReferenceContext,
                              provider: CryptoProvider | None = None) -> bytes:
-    """Dereference, transform and digest one reference."""
+    """Dereference, transform and digest one reference.
+
+    When the context carries a :class:`C14NDigestCache` and the
+    reference is a pure-canonicalization same-document reference, the
+    digest is served from (or computed into) the cache without copying
+    the document.  Cache keys include the tree root's revision stamp,
+    so any mutation anywhere in the document invalidates the entry —
+    a cached digest can never validate a tampered subtree.
+    """
     provider = provider or get_provider()
-    value, tcontext = dereference(reference, context)
-    octets = apply_transforms(value, reference.transforms, tcontext)
-    return algorithms.compute_digest(reference.digest_method, octets,
-                                     provider)
+    with metrics.timer("dsig.reference_digest"):
+        target = _fast_path_target(reference, context)
+        if target is not None:
+            cache = context.cache
+            assert cache is not None
+            transforms = reference.transforms
+            algorithm = transforms[0].algorithm if transforms else C14N
+            prefixes = (transforms[0].inclusive_prefixes
+                        if transforms else ())
+
+            def compute() -> bytes:
+                octets = cache.canonical_octets(
+                    context.root, target, algorithm, prefixes,
+                    lambda: canonicalize(target, algorithm, prefixes),
+                )
+                return algorithms.compute_digest(
+                    reference.digest_method, octets, provider,
+                )
+
+            return cache.reference_digest(
+                context.root, target, algorithm, prefixes,
+                reference.digest_method, compute,
+            )
+        value, tcontext = dereference(reference, context)
+        octets = apply_transforms(value, reference.transforms, tcontext)
+        return algorithms.compute_digest(reference.digest_method, octets,
+                                         provider)
 
 
 def validate_reference(reference: Reference, context: ReferenceContext,

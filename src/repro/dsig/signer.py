@@ -12,8 +12,9 @@ shapes of Fig 6.  The signing order follows XMLDSig core generation:
 from __future__ import annotations
 
 from repro.errors import SignatureError
+from repro.perf import metrics
 from repro.primitives.encoding import b64encode
-from repro.primitives.keys import RSAPrivateKey, SymmetricKey
+from repro.primitives.keys import RSAPrivateKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import C14N, DSIG_NS, canonicalize, element
 from repro.xmlcore.tree import Element, Text
@@ -198,6 +199,18 @@ class Signer:
                   document_root: Element | None,
                   resolver=None, decryptor=None,
                   namespaces: dict[str, str] | None = None) -> None:
+        with metrics.timer("dsig.sign"):
+            metrics.counter("dsig.sign.signatures").increment()
+            self._finalize_timed(
+                signature, document_root=document_root,
+                resolver=resolver, decryptor=decryptor,
+                namespaces=namespaces,
+            )
+
+    def _finalize_timed(self, signature: Element, *,
+                        document_root: Element | None,
+                        resolver=None, decryptor=None,
+                        namespaces: dict[str, str] | None = None) -> None:
         signed_info_el = signature.first_child("SignedInfo", DSIG_NS)
         assert signed_info_el is not None
         context = ReferenceContext(

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import (
-    ReferenceError_, ReproError, SignatureError, VerificationError,
+    ReproError, VerificationError,
 )
+from repro.perf import metrics
+from repro.perf.cache import C14NDigestCache, get_default_cache
 from repro.primitives.encoding import b64decode
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import DSIG_NS, canonicalize
@@ -103,6 +105,11 @@ class Verifier:
         key_locator: optional callable ``key_name -> public key`` (an
             XKMS locate hook).
         provider: crypto provider override.
+        cache: C14N/digest cache consulted for pure-canonicalization
+            same-document references; defaults to the process-wide
+            shared cache.  Pass a
+            :class:`~repro.perf.cache.NullCache` to force every digest
+            to be recomputed (the sequential baseline).
         now: simulation time for certificate validity checks.
     """
 
@@ -111,6 +118,7 @@ class Verifier:
                  resolver=None, key_locator=None,
                  provider: CryptoProvider | None = None,
                  max_references: int = 256,
+                 cache: C14NDigestCache | None = None,
                  now: float = 0.0):
         self.trust_store = trust_store
         self.require_trusted_key = require_trusted_key
@@ -121,6 +129,7 @@ class Verifier:
         # signature naming thousands of references would otherwise make
         # the player dereference and digest each one before rejecting.
         self.max_references = max_references
+        self.cache = cache if cache is not None else get_default_cache()
         self.now = now
 
     def verify(self, signature: Element, *, key=None,
@@ -138,6 +147,18 @@ class Verifier:
             decryptor: decryptor for decryption transforms.
             namespaces: prefix map for XPath transforms.
         """
+        with metrics.timer("dsig.verify"):
+            metrics.counter("dsig.verify.signatures").increment()
+            return self._verify(
+                signature, key=key, document_root=document_root,
+                decryptor=decryptor, namespaces=namespaces,
+            )
+
+    def _verify(self, signature: Element, *, key=None,
+                document_root: Element | None = None,
+                decryptor=None,
+                namespaces: dict[str, str] | None = None,
+                ) -> VerificationReport:
         report = VerificationReport()
         if signature.local != "Signature" or signature.ns_uri != DSIG_NS:
             report.error = "not a ds:Signature element"
@@ -173,15 +194,27 @@ class Verifier:
             if not report.error:
                 report.error = "no verification key available"
         else:
-            # Core signature validation over canonical SignedInfo.
+            # Core signature validation over canonical SignedInfo.  The
+            # canonical octets are cached against the *true* top of the
+            # tree, whose revision stamp changes on any mutation in
+            # scope of SignedInfo's inherited namespace context.
             try:
-                octets = canonicalize(
-                    signed_info_el, signed_info.c14n_method,
+                octets = self.cache.canonical_octets(
+                    _top_element(signed_info_el), signed_info_el,
+                    signed_info.c14n_method,
                     signed_info.inclusive_prefixes,
+                    lambda: canonicalize(
+                        signed_info_el, signed_info.c14n_method,
+                        signed_info.inclusive_prefixes,
+                    ),
                 )
-                report.signature_valid = algorithms.verify_signature(
-                    signed_info.signature_method, verification_key, octets,
-                    signature_value, self.provider,
+                report.signature_valid = self.cache.signature_verification(
+                    signed_info.signature_method, verification_key,
+                    octets, signature_value,
+                    lambda: algorithms.verify_signature(
+                        signed_info.signature_method, verification_key,
+                        octets, signature_value, self.provider,
+                    ),
                 )
             except Exception as exc:
                 report.error = f"signature validation failed: {exc}"
@@ -191,7 +224,7 @@ class Verifier:
         context = ReferenceContext(
             root=document_root, signature=signature,
             resolver=self.resolver, decryptor=decryptor,
-            namespaces=namespaces or {},
+            namespaces=namespaces or {}, cache=self.cache,
         )
         for reference in signed_info.references:
             report.references.append(
@@ -245,8 +278,12 @@ class Verifier:
             report.key_source = "certificate"
             if self.trust_store is not None:
                 report.certificate_validation = \
-                    self.trust_store.validate_chain(
-                        key_info.certificates, now=self.now,
+                    self.cache.chain_validation(
+                        self.trust_store, key_info.certificates,
+                        self.now, "digitalSignature",
+                        lambda: self.trust_store.validate_chain(
+                            key_info.certificates, now=self.now,
+                        ),
                     )
             elif self.require_trusted_key:
                 report.error = (

@@ -1,0 +1,274 @@
+"""Batch verification engine: dedup shared subtrees, fan out workers.
+
+``verify_signatures`` walks a cluster's signatures one by one; every
+``ds:Reference`` re-canonicalizes and re-digests its subtree from
+scratch, so player-side verify cost grows linearly with the number of
+signed sub-markups (the ABL-GRAN sweep).  The batch engine instead:
+
+1. collects every ``ds:Signature`` directly under a root (a cluster,
+   a track group, or a manifest-carrying element);
+2. **deduplicates** references that resolve to the same subtree with
+   the same canonicalization parameters and digest algorithm, and
+   pre-computes each unique digest exactly once into the shared
+   :class:`~repro.perf.cache.C14NDigestCache`;
+3. verifies the signatures across a ``concurrent.futures`` worker
+   pool (thread-backed by default, process-backed on request,
+   auto-sized to the machine) and fans the per-reference verdicts back
+   into ordinary :class:`~repro.dsig.verifier.VerificationReport`
+   objects.
+
+Results are byte-for-byte the same verdicts the sequential path
+produces — the cache's revision-stamp invariant guarantees a digest is
+never reused across a mutation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureError
+from repro.perf import metrics
+from repro.xmlcore import DSIG_NS
+from repro.xmlcore.tree import Element
+from repro.dsig.reference import (
+    ReferenceContext, _fast_path_target, compute_reference_digest,
+)
+from repro.dsig.signedinfo import SignedInfo
+from repro.dsig.verifier import VerificationReport, Verifier
+
+
+def auto_worker_count(jobs: int | None = None) -> int:
+    """Pool size: bounded by the CPU count and the number of jobs."""
+    workers = min(8, os.cpu_count() or 2)
+    if jobs is not None:
+        workers = min(workers, jobs)
+    return max(1, workers)
+
+
+@dataclass
+class BatchOutcome:
+    """Everything a batch run produced.
+
+    Attributes:
+        reports: per-signature reports keyed like
+            :func:`repro.core.granularity.verify_signatures` — the
+            signature's first reference URI (``""`` for
+            whole-document signatures).
+        total_references: references seen across all signatures.
+        deduplicated: references whose digest was shared with an
+            earlier identical reference instead of recomputed.
+        workers: pool size used.
+        mode: ``"thread"``, ``"process"`` or ``"sequential"``.
+    """
+
+    reports: dict[str, VerificationReport] = field(default_factory=dict)
+    total_references: int = 0
+    deduplicated: int = 0
+    workers: int = 1
+    mode: str = "thread"
+
+    @property
+    def all_valid(self) -> bool:
+        return bool(self.reports) and all(
+            report.valid for report in self.reports.values()
+        )
+
+
+class BatchVerifier:
+    """Verifies all signatures under a root through a worker pool.
+
+    Args:
+        verifier: the configured :class:`Verifier` whose policy (trust
+            store, key handling, cache) every worker applies.
+        max_workers: pool size; ``None`` auto-sizes to the machine.
+        mode: ``"thread"`` (default; shares the live tree and cache),
+            ``"process"`` (isolates workers in subprocesses — the tree
+            is re-serialized to each worker, so the cache does not
+            carry over, but CPU-bound verification escapes the GIL) or
+            ``"sequential"`` (no pool; dedup and cache still apply).
+    """
+
+    def __init__(self, verifier: Verifier, *,
+                 max_workers: int | None = None,
+                 mode: str = "thread"):
+        if mode not in ("thread", "process", "sequential"):
+            raise ValueError(f"unknown batch mode {mode!r}")
+        self.verifier = verifier
+        self.max_workers = max_workers
+        self.mode = mode
+
+    # -- public API -------------------------------------------------------------
+
+    def verify_all(self, root: Element, *, decryptor=None,
+                   namespaces: dict[str, str] | None = None
+                   ) -> BatchOutcome:
+        """Verify every ds:Signature directly under *root*."""
+        with metrics.timer("dsig.batch.verify_all"):
+            return self._verify_all(root, decryptor=decryptor,
+                                    namespaces=namespaces)
+
+    def _verify_all(self, root: Element, *, decryptor,
+                    namespaces) -> BatchOutcome:
+        signatures = [
+            child for child in root.child_elements()
+            if child.local == "Signature" and child.ns_uri == DSIG_NS
+        ]
+        outcome = BatchOutcome(mode=self.mode)
+        if not signatures:
+            return outcome
+
+        outcome.total_references, outcome.deduplicated = \
+            self._precompute_unique_digests(root, signatures)
+        metrics.counter("dsig.batch.references").increment(
+            outcome.total_references
+        )
+        metrics.counter("dsig.batch.deduplicated").increment(
+            outcome.deduplicated
+        )
+
+        if self.mode == "process":
+            reports = self._run_process(root, signatures)
+        elif self.mode == "thread" and len(signatures) > 1:
+            reports = self._run_threads(root, signatures, decryptor,
+                                        namespaces)
+        else:
+            reports = [
+                self.verifier.verify(signature, document_root=root,
+                                     decryptor=decryptor,
+                                     namespaces=namespaces)
+                for signature in signatures
+            ]
+            outcome.workers = 1
+
+        for signature, report in zip(signatures, reports):
+            outcome.reports[_first_reference_uri(signature)] = report
+        if self.mode != "sequential" and len(signatures) > 1:
+            outcome.workers = auto_worker_count(len(signatures)) \
+                if self.max_workers is None else self.max_workers
+        return outcome
+
+    # -- dedup pre-pass ----------------------------------------------------------
+
+    def _precompute_unique_digests(self, root: Element,
+                                   signatures: list[Element]
+                                   ) -> tuple[int, int]:
+        """Compute each unique cacheable reference digest exactly once.
+
+        Returns ``(total_references, deduplicated)``.  Only references
+        eligible for the cached fast path participate; the rest are
+        computed by their own signature's verification as usual.
+        """
+        cache = self.verifier.cache
+        context = ReferenceContext(root=root, cache=cache)
+        total = 0
+        unique = {}
+        for signature in signatures:
+            signed_info_el = signature.first_child("SignedInfo", DSIG_NS)
+            if signed_info_el is None:
+                continue
+            try:
+                signed_info = SignedInfo.from_element(signed_info_el)
+            except SignatureError:
+                continue  # the per-signature verify reports the error
+            for reference in signed_info.references:
+                total += 1
+                target = _fast_path_target(reference, context)
+                if target is None:
+                    continue
+                transforms = reference.transforms
+                algorithm = transforms[0].algorithm if transforms \
+                    else None
+                prefixes = transforms[0].inclusive_prefixes \
+                    if transforms else ()
+                key = (id(target), algorithm, prefixes,
+                       reference.digest_method)
+                unique.setdefault(key, reference)
+        duplicates = total - len(unique) if unique else 0
+
+        def warm(reference) -> None:
+            try:
+                compute_reference_digest(reference, context,
+                                         self.verifier.provider)
+            except Exception:
+                pass  # the owning signature's verify reports it
+
+        jobs = list(unique.values())
+        if self.mode == "thread" and len(jobs) > 1:
+            workers = self.max_workers or auto_worker_count(len(jobs))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(warm, jobs))
+        else:
+            for reference in jobs:
+                warm(reference)
+        return total, max(0, duplicates)
+
+    # -- execution backends -------------------------------------------------------
+
+    def _run_threads(self, root, signatures, decryptor,
+                     namespaces) -> list[VerificationReport]:
+        workers = self.max_workers or auto_worker_count(len(signatures))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self.verifier.verify, signature,
+                            document_root=root, decryptor=decryptor,
+                            namespaces=namespaces)
+                for signature in signatures
+            ]
+            return [future.result() for future in futures]
+
+    def _run_process(self, root, signatures) -> list[VerificationReport]:
+        """Subprocess-backed verification.
+
+        The tree is serialized once and re-parsed per worker, so this
+        only pays off for CPU-heavy verification of large clusters.
+        Resolver/decryptor/key-locator hooks are process-local and
+        unsupported here.
+        """
+        from repro.xmlcore import serialize_bytes
+        if self.verifier.resolver is not None \
+                or self.verifier.key_locator is not None:
+            raise SignatureError(
+                "process-backed batch verification does not support "
+                "resolver or key-locator hooks; use mode='thread'"
+            )
+        payload = serialize_bytes(root)
+        spec = {
+            "trust_store": self.verifier.trust_store,
+            "require_trusted_key": self.verifier.require_trusted_key,
+            "max_references": self.verifier.max_references,
+            "now": self.verifier.now,
+        }
+        workers = self.max_workers or auto_worker_count(len(signatures))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_process_verify_one, payload, index, spec)
+                for index in range(len(signatures))
+            ]
+            return [future.result() for future in futures]
+
+
+def _first_reference_uri(signature: Element) -> str:
+    reference = signature.find("Reference", DSIG_NS)
+    if reference is None:
+        return ""
+    return reference.get("URI") or ""
+
+
+def _process_verify_one(payload: bytes, index: int,
+                        spec: dict) -> VerificationReport:
+    """Worker entry point for process-backed batch verification."""
+    from repro.xmlcore import parse_element
+    root = parse_element(payload)
+    signatures = [
+        child for child in root.child_elements()
+        if child.local == "Signature" and child.ns_uri == DSIG_NS
+    ]
+    verifier = Verifier(
+        trust_store=spec["trust_store"],
+        require_trusted_key=spec["require_trusted_key"],
+        max_references=spec["max_references"],
+        now=spec["now"],
+    )
+    return verifier.verify(signatures[index], document_root=root)

@@ -1,0 +1,333 @@
+"""Perf counters and timers for the security stack's hot paths.
+
+The ROADMAP north-star asks for hot paths "as fast as the hardware
+allows"; you cannot optimize what you cannot see.  This module is the
+seeing part: a tiny, thread-safe registry of named counters and timers
+that c14n, digesting, signing, verification, encryption/decryption and
+the playback pipeline report into.
+
+Design constraints:
+
+* **Near-zero overhead** — a counter increment is one lock + one int
+  add; a timer is two ``perf_counter`` calls.  The instrumented
+  operations (canonicalizing a subtree, an RSA exponentiation) dwarf
+  both.
+* **No repro dependencies** — every layer may import this module
+  without cycles.
+* **Process-global by default** — instrumentation points use the
+  default registry; tests and the CLI may swap in a scoped one via
+  :func:`push_registry` / :func:`pop_registry`.
+
+Usage::
+
+    from repro.perf import metrics
+
+    metrics.counter("dsig.verify.calls").increment()
+    with metrics.timer("c14n.canonicalize"):
+        ...
+    print("\n".join(metrics.report_lines()))
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+@dataclass
+class TimerSummary:
+    """Histogram-style summary of one timer's samples."""
+
+    name: str
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+
+
+class Timer:
+    """Accumulates wall-clock samples for one named operation.
+
+    A bounded reservoir of the most recent samples backs the
+    percentile summary, so long-running processes keep constant
+    memory.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max",
+                 "_samples", "_max_samples", "_lock", "_t0")
+
+    def __init__(self, name: str, max_samples: int = 2048):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+
+    def record(self, elapsed_s: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += elapsed_s
+            if elapsed_s < self._min:
+                self._min = elapsed_s
+            if elapsed_s > self._max:
+                self._max = elapsed_s
+            if len(self._samples) >= self._max_samples:
+                # Drop the oldest half; recent samples matter most.
+                del self._samples[: self._max_samples // 2]
+            self._samples.append(elapsed_s)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.record(time.perf_counter() - self._t0)
+
+    def time(self) -> "_TimerContext":
+        """A re-entrant/thread-safe timing context for this timer."""
+        return _TimerContext(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total_s(self) -> float:
+        return self._total
+
+    def summary(self) -> TimerSummary:
+        with self._lock:
+            count = self._count
+            total = self._total
+            samples = sorted(self._samples)
+        if not count:
+            return TimerSummary(self.name, 0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                                0.0)
+
+        def percentile(q: float) -> float:
+            if not samples:
+                return 0.0
+            index = min(len(samples) - 1,
+                        int(round(q * (len(samples) - 1))))
+            return samples[index]
+
+        return TimerSummary(
+            name=self.name, count=count, total_s=total,
+            min_s=self._min if count else 0.0, max_s=self._max,
+            mean_s=total / count,
+            p50_s=percentile(0.50), p95_s=percentile(0.95),
+        )
+
+
+class _TimerContext:
+    """One timing span; safe for concurrent use of the same Timer."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.record(time.perf_counter() - self._t0)
+
+
+@dataclass
+class RatioSnapshot:
+    """A hit/miss style ratio derived from two counters."""
+
+    name: str
+    hits: int
+    misses: int
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def ratio(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+class PerfRegistry:
+    """A namespace of counters and timers.
+
+    Counters and timers are created on first use and live for the
+    registry's lifetime; lookups are lock-protected and cheap.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._lock = threading.Lock()
+
+    # -- access -----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            with self._lock:
+                timer = self._timers.setdefault(name, Timer(name))
+        return timer
+
+    def ratio(self, name: str) -> RatioSnapshot:
+        """The ``<name>.hit`` / ``<name>.miss`` counter pair as a ratio."""
+        return RatioSnapshot(
+            name,
+            hits=self.counter(name + ".hit").value,
+            misses=self.counter(name + ".miss").value,
+        )
+
+    # -- reporting --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All metrics as a plain JSON-serializable dict."""
+        counters = {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+        }
+        timers = {}
+        for name, timer in sorted(self._timers.items()):
+            summary = timer.summary()
+            timers[name] = {
+                "count": summary.count,
+                "total_ms": summary.total_s * 1e3,
+                "mean_ms": summary.mean_s * 1e3,
+                "min_ms": summary.min_s * 1e3,
+                "max_ms": summary.max_s * 1e3,
+                "p50_ms": summary.p50_s * 1e3,
+                "p95_ms": summary.p95_s * 1e3,
+            }
+        ratios = {}
+        seen = set()
+        for name in counters:
+            if name.endswith(".hit"):
+                base = name[: -len(".hit")]
+            elif name.endswith(".miss"):
+                base = name[: -len(".miss")]
+            else:
+                continue
+            if base in seen:
+                continue
+            seen.add(base)
+            ratios[base] = self.ratio(base).ratio
+        return {"counters": counters, "timers": timers, "ratios": ratios}
+
+    def report_lines(self) -> list[str]:
+        """Human-readable dump, one metric per line."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            lines.extend(
+                f"  {name:<42s} {value:>12d}"
+                for name, value in snap["counters"].items()
+            )
+        if snap["ratios"]:
+            lines.append("hit ratios:")
+            lines.extend(
+                f"  {name:<42s} {ratio:>11.1%}"
+                for name, ratio in snap["ratios"].items()
+            )
+        if snap["timers"]:
+            lines.append("timers (count / total / mean / p50 / p95 ms):")
+            for name, t in snap["timers"].items():
+                lines.append(
+                    f"  {name:<42s} {t['count']:>7d} "
+                    f"{t['total_ms']:>9.2f} {t['mean_ms']:>8.3f} "
+                    f"{t['p50_ms']:>8.3f} {t['p95_ms']:>8.3f}"
+                )
+        return lines or ["(no metrics recorded)"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+# -- default registry stack ----------------------------------------------------
+
+_registry_stack: list[PerfRegistry] = [PerfRegistry()]
+_stack_lock = threading.Lock()
+
+
+def get_registry() -> PerfRegistry:
+    """The active registry (top of the stack)."""
+    return _registry_stack[-1]
+
+
+def push_registry(registry: PerfRegistry | None = None) -> PerfRegistry:
+    """Activate a fresh (or given) registry; returns it."""
+    registry = registry or PerfRegistry()
+    with _stack_lock:
+        _registry_stack.append(registry)
+    return registry
+
+
+def pop_registry() -> PerfRegistry:
+    """Deactivate the top registry (the base registry always remains)."""
+    with _stack_lock:
+        if len(_registry_stack) <= 1:
+            raise RuntimeError("cannot pop the base perf registry")
+        return _registry_stack.pop()
+
+
+def counter(name: str) -> Counter:
+    return get_registry().counter(name)
+
+
+def timer(name: str) -> _TimerContext:
+    """A timing context on the active registry's timer *name*."""
+    return get_registry().timer(name).time()
+
+
+def ratio(name: str) -> RatioSnapshot:
+    return get_registry().ratio(name)
+
+
+def snapshot() -> dict:
+    return get_registry().snapshot()
+
+
+def report_lines() -> list[str]:
+    return get_registry().report_lines()
+
+
+def reset() -> None:
+    get_registry().reset()

@@ -141,7 +141,18 @@ class DiscPlayer:
     # -- disc handling ---------------------------------------------------------------
 
     def insert_disc(self, image: DiscImage) -> DiscSession:
-        """Load a disc and authenticate it (verify cluster signatures)."""
+        """Load a disc and authenticate it (verify cluster signatures).
+
+        Signature verification runs through the batch engine: shared
+        subtree digests across the cluster's signatures are
+        deduplicated into the C14N/digest cache, which later selective
+        per-track checks at playback time then hit.
+        """
+        from repro.perf import metrics
+        with metrics.timer("player.insert_disc"):
+            return self._insert_disc(image)
+
+    def _insert_disc(self, image: DiscImage) -> DiscSession:
         problems = image.validate_structure()
         if problems:
             raise DiscError(
@@ -155,6 +166,7 @@ class DiscPlayer:
         )
         reports = verify_signatures(
             cluster_element, verifier, decryptor=self._decryptor(),
+            batch=True,
         )
         authenticated = bool(reports) and all(
             report.valid for report in reports.values()

@@ -13,6 +13,8 @@ Commands:
 * ``decrypt``   — decrypt every EncryptedData in a document.
 * ``c14n``      — canonicalize a document (C14N 1.0 / exclusive).
 * ``inspect``   — summarize a document's security markup.
+* ``perf-report`` — run a representative sign/verify/encrypt workload
+  and dump the perf counters, timers and cache hit ratios.
 
 Every command reads/writes ordinary files; see ``--help`` per command.
 """
@@ -273,6 +275,79 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_perf_report(args) -> int:
+    """Exercise the stack and dump the perf-counter/metrics layer.
+
+    Runs a deterministic sign → batch-verify → encrypt → decrypt
+    workload (scaled by ``--submarkups`` and ``--repeat``) inside a
+    fresh metrics registry, then prints every counter, hit ratio and
+    timer summary.  ``--json`` additionally writes the raw snapshot.
+    """
+    import json
+
+    from repro.certs import CertificateAuthority, SigningIdentity
+    from repro.perf import C14NDigestCache, metrics
+    from repro.perf.batch import BatchVerifier
+    from repro.xmlenc import algorithms as xenc_algorithms
+
+    rng = DeterministicRandomSource(b"perf-report")
+    root_ca = CertificateAuthority.create_root("CN=Perf Root", rng=rng)
+    studio = SigningIdentity.create("CN=Perf Studio", root_ca, rng=rng)
+    trust_store = TrustStore(roots=[root_ca.certificate])
+
+    registry = metrics.push_registry()
+    try:
+        cache = C14NDigestCache()
+        cluster = parse_element(_perf_cluster_xml(args.submarkups))
+        signer = Signer(studio.key, identity=studio)
+        for index in range(args.submarkups):
+            signer.sign_detached(f"#sub-{index}", parent=cluster)
+        verifier = Verifier(trust_store=trust_store,
+                            require_trusted_key=True, cache=cache)
+        batch = BatchVerifier(verifier)
+        for _ in range(args.repeat):
+            outcome = batch.verify_all(cluster)
+            if not outcome.all_valid:
+                print("error: perf workload failed verification",
+                      file=sys.stderr)
+                return 2
+        key = SymmetricKey(rng.read(16))
+        for _ in range(args.repeat):
+            working = parse_element(_perf_cluster_xml(args.submarkups))
+            encryptor = Encryptor(rng=rng)
+            for target in list(working.iter("submarkup")):
+                encryptor.encrypt_element(
+                    target, key, algorithm=xenc_algorithms.AES128_CBC,
+                    key_name="perf-key",
+                )
+            Decryptor(keys={"perf-key": key}).decrypt_in_place(working)
+
+        lines = registry.report_lines()
+        print(f"perf-report: {args.submarkups} submarkup(s), "
+              f"{args.repeat} repeat(s)")
+        for line in lines:
+            print(line)
+        if args.json:
+            _write(args.json, json.dumps(registry.snapshot(), indent=2))
+            print(f"snapshot -> {args.json}")
+    finally:
+        metrics.pop_registry()
+    return 0
+
+
+def _perf_cluster_xml(submarkups: int) -> bytes:
+    parts = [
+        '<cluster xmlns="urn:bda:bdmv:interactive-cluster" Id="cluster">'
+    ]
+    for index in range(submarkups):
+        parts.append(
+            f'<submarkup Id="sub-{index}"><layout w="1920" h="1080"/>'
+            f'<item v="{index}"/><item v="{index + 1}"/></submarkup>'
+        )
+    parts.append("</cluster>")
+    return "".join(parts).encode()
+
+
 # -- argument parsing ------------------------------------------------------------
 
 
@@ -371,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="summarize security markup")
     p.add_argument("document")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "perf-report",
+        help="run a representative workload and dump perf metrics",
+    )
+    p.add_argument("--submarkups", type=int, default=8,
+                   help="signed sub-markups in the workload (default 8)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="verify/encrypt repetitions (default 3)")
+    p.add_argument("--json", help="also write the raw snapshot as JSON")
+    p.set_defaults(func=cmd_perf_report)
 
     return parser
 

@@ -21,6 +21,7 @@ the respective specs.
 from __future__ import annotations
 
 from repro.errors import CanonicalizationError
+from repro.perf import metrics
 from repro.xmlcore.escape import escape_attribute, escape_text
 from repro.xmlcore.names import XML_NS
 from repro.xmlcore.tree import (
@@ -56,17 +57,20 @@ def canonicalize(node: Node, algorithm: str = C14N,
         raise CanonicalizationError(f"unknown c14n algorithm {algorithm!r}")
     exclusive = algorithm in (EXC_C14N, EXC_C14N_WITH_COMMENTS)
     with_comments = algorithm in (C14N_WITH_COMMENTS, EXC_C14N_WITH_COMMENTS)
-    writer = _Canonicalizer(exclusive, with_comments,
-                            frozenset(inclusive_prefixes))
-    if isinstance(node, Document):
-        writer.write_document(node)
-    elif isinstance(node, Element):
-        writer.write_subtree(node)
-    else:
-        raise CanonicalizationError(
-            f"cannot canonicalize a {type(node).__name__} node"
-        )
-    return "".join(writer.out).encode("utf-8")
+    with metrics.timer("c14n.canonicalize"):
+        writer = _Canonicalizer(exclusive, with_comments,
+                                frozenset(inclusive_prefixes))
+        if isinstance(node, Document):
+            writer.write_document(node)
+        elif isinstance(node, Element):
+            writer.write_subtree(node)
+        else:
+            raise CanonicalizationError(
+                f"cannot canonicalize a {type(node).__name__} node"
+            )
+        octets = "".join(writer.out).encode("utf-8")
+    metrics.counter("c14n.octets").increment(len(octets))
+    return octets
 
 
 class _Canonicalizer:

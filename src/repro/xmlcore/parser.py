@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.errors import NamespaceError, XMLSyntaxError
 from repro.xmlcore.names import (
-    XML_NS, XMLNS_NS, is_name_char, is_name_start_char, is_xml_char,
+    XML_NS, is_name_char, is_name_start_char, is_xml_char,
     split_qname,
 )
 from repro.xmlcore.tree import (

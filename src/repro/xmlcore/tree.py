@@ -11,6 +11,7 @@ parents, which is exactly the shape Canonical XML needs.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.errors import NamespaceError, XMLError
@@ -18,14 +19,45 @@ from repro.xmlcore.names import XML_NS, is_valid_name, split_qname
 
 _ID_ATTRIBUTE_NAMES = ("Id", "ID", "id")
 
+# Global monotonic mutation stamps.  Every node carries the stamp of the
+# last mutation observed *in its subtree*: a mutation stamps the mutated
+# node and every ancestor up to the root.  Stamps are process-unique and
+# never reused, so a ``(node, revision)`` pair identifies one exact
+# subtree state — the invariant the C14N/digest cache
+# (:mod:`repro.perf.cache`) binds cached bytes to.  A cached digest can
+# therefore never validate a tampered subtree: any mutation anywhere in
+# the tree gives the root (and the mutated path) a fresh stamp.
+_mutation_stamps = itertools.count(1)
+
 
 class Node:
-    """Base class for all tree nodes."""
+    """Base class for all tree nodes.
+
+    Attributes:
+        revision: monotonic mutation stamp of this node's subtree; see
+            :data:`_mutation_stamps`.
+    """
 
     parent: "Element | Document | None"
+    revision: int
 
     def __init__(self):
         self.parent = None
+        self.revision = next(_mutation_stamps)
+
+    def mark_mutated(self) -> None:
+        """Stamp this node and every ancestor with a fresh revision.
+
+        Called by every mutating operation on the tree.  Callers that
+        mutate node state directly (rather than through the tree API)
+        must call this themselves, or revision-keyed caches will not
+        see the change.
+        """
+        stamp = next(_mutation_stamps)
+        node: Node | None = self
+        while node is not None:
+            node.revision = stamp
+            node = node.parent
 
     def root_document(self) -> "Document | None":
         """Walk to the owning :class:`Document`, if any."""
@@ -39,12 +71,28 @@ class Node:
         raise NotImplementedError
 
 
-class Text(Node):
+class _CharacterData(Node):
+    """Shared base for nodes whose payload is a mutable string."""
+
+    def __init__(self, data: str):
+        super().__init__()
+        self._data = data
+
+    @property
+    def data(self) -> str:
+        return self._data
+
+    @data.setter
+    def data(self, value: str) -> None:
+        self._data = value
+        self.mark_mutated()
+
+
+class Text(_CharacterData):
     """Character data.  ``is_cdata`` records CDATA origin for round trips."""
 
     def __init__(self, data: str, is_cdata: bool = False):
-        super().__init__()
-        self.data = data
+        super().__init__(data)
         self.is_cdata = is_cdata
 
     def copy(self) -> "Text":
@@ -54,12 +102,8 @@ class Text(Node):
         return f"Text({self.data!r})"
 
 
-class Comment(Node):
+class Comment(_CharacterData):
     """An XML comment."""
-
-    def __init__(self, data: str):
-        super().__init__()
-        self.data = data
 
     def copy(self) -> "Comment":
         return Comment(self.data)
@@ -68,13 +112,12 @@ class Comment(Node):
         return f"Comment({self.data!r})"
 
 
-class ProcessingInstruction(Node):
+class ProcessingInstruction(_CharacterData):
     """A processing instruction ``<?target data?>``."""
 
     def __init__(self, target: str, data: str = ""):
-        super().__init__()
+        super().__init__(data)
         self.target = target
-        self.data = data
 
     def copy(self) -> "ProcessingInstruction":
         return ProcessingInstruction(self.target, self.data)
@@ -146,6 +189,7 @@ class Element(Node):
             node.parent.remove(node)
         node.parent = self
         self.children.append(node)
+        node.mark_mutated()
         return node
 
     def extend(self, nodes) -> None:
@@ -157,11 +201,13 @@ class Element(Node):
             node.parent.remove(node)
         node.parent = self
         self.children.insert(index, node)
+        node.mark_mutated()
         return node
 
     def remove(self, node: Node) -> None:
         self.children.remove(node)
         node.parent = None
+        self.mark_mutated()
 
     def replace(self, old: Node, new: Node) -> None:
         """Replace child *old* with *new* in place."""
@@ -171,6 +217,7 @@ class Element(Node):
         self.children[index] = new
         new.parent = self
         old.parent = None
+        new.mark_mutated()
 
     def index(self, node: Node) -> int:
         return self.children.index(node)
@@ -221,11 +268,13 @@ class Element(Node):
         existing = self._match_attr(name)
         if existing is not None:
             existing.value = value
+            self.mark_mutated()
             return
         if name.startswith("{"):
             uri, _, local = name[1:].partition("}")
             prefix = self.prefix_for(uri)
             self.attrs.append(Attr(local, value, prefix, uri))
+            self.mark_mutated()
             return
         prefix, local = split_qname(name)
         if prefix is None:
@@ -237,6 +286,7 @@ class Element(Node):
                     f"prefix {prefix!r} is not bound in scope"
                 )
             self.attrs.append(Attr(local, value, prefix, uri))
+        self.mark_mutated()
 
     def delete_attr(self, name: str) -> bool:
         """Remove an attribute if present; returns whether it existed."""
@@ -244,6 +294,7 @@ class Element(Node):
         if attr is None:
             return False
         self.attrs.remove(attr)
+        self.mark_mutated()
         return True
 
     # -- namespaces -----------------------------------------------------------
@@ -253,6 +304,7 @@ class Element(Node):
         if prefix is not None and not is_valid_name(prefix):
             raise NamespaceError(f"invalid namespace prefix {prefix!r}")
         self.ns_decls[prefix] = uri
+        self.mark_mutated()
 
     def in_scope_namespaces(self) -> dict[str | None, str]:
         """All namespace bindings in scope at this element.
@@ -369,6 +421,7 @@ class Element(Node):
         del inherited["xml"]
         for prefix, uri in inherited.items():
             clone.ns_decls.setdefault(prefix, uri)
+        clone.mark_mutated()
         return clone
 
     def __repr__(self):
@@ -402,11 +455,13 @@ class Document(Node):
             node.parent.remove(node)
         node.parent = self
         self.children.append(node)
+        node.mark_mutated()
         return node
 
     def remove(self, node: Node) -> None:
         self.children.remove(node)
         node.parent = None
+        self.mark_mutated()
 
     def copy(self) -> "Document":
         doc = Document()

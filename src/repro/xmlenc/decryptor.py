@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import DecryptionError, EncryptedDataFormatError
+from repro.perf import metrics
 from repro.primitives.keys import RSAPrivateKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import XMLENC_NS, parse_element
@@ -196,20 +197,24 @@ class Decryptor:
         *except_ids* is left alone.  Returns the number of structures
         decrypted.
         """
-        count = 0
-        while True:
-            target = None
-            for candidate in root.iter("EncryptedData", XMLENC_NS):
-                if candidate is root:
-                    continue
-                if candidate.get("Id") in except_ids:
-                    continue
-                if candidate.get("Type") in (
-                    algorithms.TYPE_ELEMENT, algorithms.TYPE_CONTENT,
-                ):
-                    target = candidate
-                    break
-            if target is None:
-                return count
-            self.decrypt_element(target, key)
-            count += 1
+        with metrics.timer("xmlenc.decrypt_in_place"):
+            count = 0
+            while True:
+                target = None
+                for candidate in root.iter("EncryptedData", XMLENC_NS):
+                    if candidate is root:
+                        continue
+                    if candidate.get("Id") in except_ids:
+                        continue
+                    if candidate.get("Type") in (
+                        algorithms.TYPE_ELEMENT, algorithms.TYPE_CONTENT,
+                    ):
+                        target = candidate
+                        break
+                if target is None:
+                    metrics.counter(
+                        "xmlenc.decrypted_elements"
+                    ).increment(count)
+                    return count
+                self.decrypt_element(target, key)
+                count += 1

@@ -14,6 +14,7 @@ generated and wrapped for the recipient with ``kw-aes*`` or ``rsa-1_5``.
 
 from __future__ import annotations
 
+from repro.perf import metrics
 from repro.primitives.keys import RSAPublicKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.primitives.random import RandomSource, default_random
@@ -115,16 +116,18 @@ class Encryptor:
 
         Returns the EncryptedData element.
         """
-        plaintext = canonicalize(target.detached_copy())
-        data, _ = self.encrypt_bytes(
-            plaintext, key, algorithm=algorithm, key_name=key_name,
-            encrypted_key=encrypted_key, data_id=data_id,
-        )
-        data.data_type = algorithms.TYPE_ELEMENT
-        node = data.to_element()
-        if replace and isinstance(target.parent, Element):
-            target.parent.replace(target, node)
-        return node
+        with metrics.timer("xmlenc.encrypt_element"):
+            metrics.counter("xmlenc.encrypted_elements").increment()
+            plaintext = canonicalize(target.detached_copy())
+            data, _ = self.encrypt_bytes(
+                plaintext, key, algorithm=algorithm, key_name=key_name,
+                encrypted_key=encrypted_key, data_id=data_id,
+            )
+            data.data_type = algorithms.TYPE_ELEMENT
+            node = data.to_element()
+            if replace and isinstance(target.parent, Element):
+                target.parent.replace(target, node)
+            return node
 
     def encrypt_content(self, target: Element, key, *,
                         algorithm: str = algorithms.AES128_CBC,

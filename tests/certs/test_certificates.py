@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.certs import Certificate, CertificateAuthority, SigningIdentity
+from repro.certs import Certificate, CertificateAuthority
 from repro.errors import CertificateError
 from repro.primitives.rsa import generate_keypair
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import (
-    ALL_PROFILES, SIGNED_AND_ENCRYPTED, SIGNED_ONLY, SIGNED_TRACKS,
+    ALL_PROFILES, SIGNED_AND_ENCRYPTED, SIGNED_TRACKS,
     STUDIO_GRADE, UNPROTECTED, apply_profile_to_disc, count_encrypted,
 )
 from repro.disc import ApplicationManifest, DiscAuthor

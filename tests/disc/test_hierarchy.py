@@ -4,7 +4,7 @@ import pytest
 
 from repro.disc import (
     ApplicationManifest, ClipInfo, InteractiveCluster, PlayItem, Playlist,
-    Script, SubMarkup, Track, TRACK_APPLICATION, TRACK_AV,
+    SubMarkup, Track, TRACK_APPLICATION, TRACK_AV,
 )
 from repro.errors import DiscFormatError
 from repro.xmlcore import canonicalize, parse_element

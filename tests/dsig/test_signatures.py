@@ -5,11 +5,10 @@ import pytest
 from repro.dsig import (
     HMAC_SHA1, RSA_SHA256, Reference, SHA256, Signer, Transform, Verifier,
 )
-from repro.dsig.transforms import ENVELOPED_SIGNATURE
 from repro.errors import SignatureError, VerificationError
 from repro.primitives.keys import SymmetricKey
 from repro.xmlcore import (
-    C14N, DSIG_NS, EXC_C14N, canonicalize, parse_element, serialize,
+    C14N, DSIG_NS, EXC_C14N, parse_element, serialize,
 )
 
 

@@ -1,8 +1,7 @@
 """Key resolution policy and KeyInfo handling (Fig 3 execution policy)."""
 
-import pytest
 
-from repro.dsig import KeyInfo, Signer, Verifier
+from repro.dsig import Signer, Verifier
 from repro.dsig.keyinfo import KeyInfo as KeyInfoClass
 from repro.xmlcore import DSIG_NS, parse_element, serialize
 

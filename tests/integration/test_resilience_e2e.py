@@ -30,7 +30,7 @@ from repro.player import DiscPlayer, InteractiveApplicationEngine
 from repro.primitives.random import DeterministicRandomSource
 from repro.primitives.rsa import generate_keypair
 from repro.resilience import (
-    REASON_RETRY_EXHAUSTED, REASON_UNREACHABLE, CircuitBreaker, DropFault,
+    REASON_RETRY_EXHAUSTED, CircuitBreaker, DropFault,
     FaultSchedule, FlakyService, RetryPolicy, SimulatedClock,
     TruncateFault, flaky_link,
 )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import MarkupError
 from repro.markup import (
-    Layout, MediaItem, Presentation, Region, TimeContainer,
+    Layout, MediaItem, Region, TimeContainer,
     format_clock_value, parse_clock_value, parse_smil,
 )
 from repro.xmlcore import parse_element

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import CryptoError, DecryptionError
 from repro.omadcf import (
-    DCFPackage, ENC_AES_128_CBC, ENC_AES_128_CTR, ENC_NULL,
+    ENC_AES_128_CBC, ENC_AES_128_CTR, ENC_NULL,
     container_overhead, package, parse, unpack,
 )
 from repro.primitives.random import DeterministicRandomSource

@@ -1,0 +1,41 @@
+"""Fixtures for the perf subsystem tests.
+
+Every test here gets a *private* C14NDigestCache — never the
+process-wide default — so cache state cannot leak between tests, and a
+scoped metrics registry so counter assertions see only their own
+traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsig import Signer, Verifier
+from repro.perf import metrics
+from repro.perf.cache import C14NDigestCache
+
+
+@pytest.fixture
+def signer(pki):
+    return Signer(pki.studio.key, identity=pki.studio)
+
+
+@pytest.fixture
+def cache():
+    return C14NDigestCache()
+
+
+@pytest.fixture
+def verifier(pki, trust_store, cache):
+    return Verifier(trust_store=trust_store, require_trusted_key=True,
+                    cache=cache)
+
+
+@pytest.fixture
+def registry():
+    """A scoped perf registry active for the duration of the test."""
+    registry = metrics.push_registry()
+    try:
+        yield registry
+    finally:
+        metrics.pop_registry()

@@ -1,0 +1,252 @@
+"""Security tests: a cached result must never outlive a mutation.
+
+The attack being defended against: warm the verifier's cache with a
+valid signature, tamper with the signed subtree, and hope the player
+serves the stale digest so the tampered content still "verifies".
+Every test here follows that exact script — verify, mutate, verify
+again — and demands the second verdict be computed against the mutated
+tree.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.certs import TrustStore
+from repro.dsig import Verifier
+from repro.perf import metrics
+from repro.perf.cache import C14NDigestCache, NullCache
+from repro.primitives.keys import SymmetricKey
+from repro.xmlcore import parse_element
+from repro.xmlcore.tree import Element
+
+# Same convention as the resilience suites: a fixed seed, overridable
+# from the environment, so failures are replayable bit-for-bit.
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20050902"))
+ROUNDS = 12
+
+
+# -- digest/octet cache ---------------------------------------------------------
+
+
+def test_tamper_after_cache_fails_verification(signer, verifier,
+                                               manifest):
+    signature = signer.sign_enveloped(manifest)
+    assert verifier.verify(signature).valid          # warm the cache
+    assert verifier.verify(signature).valid          # served warm
+    manifest.find("script").children[0].data = "var score = 9999;"
+    report = verifier.verify(signature)
+    assert not report.valid
+    assert not report.references_valid
+
+
+# The full official mutation surface; each must invalidate warm entries.
+MUTATIONS = {
+    "set-attribute": lambda m: m.find("region").set("width", "640"),
+    "delete-attribute": lambda m: m.find("region").delete_attr("width"),
+    "text-data": lambda m: (
+        setattr(m.find("script").children[0], "data", "var hacked=1;")
+    ),
+    "append-child": lambda m: m.find("markup").append(Element("extra")),
+    "insert-child": lambda m: m.find("markup").insert(0, Element("pre")),
+    "remove-child": lambda m: m.find("markup").remove(
+        m.find("submarkup")
+    ),
+    "replace-child": lambda m: m.find("markup").replace(
+        m.find("submarkup"), Element("swapped")
+    ),
+    "append-text": lambda m: m.find("script").append_text("tail();"),
+    "ancestor-namespace": lambda m: m.declare_namespace(
+        "evil", "urn:evil"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_every_mutator_invalidates_warm_cache(signer, verifier,
+                                              manifest, name):
+    signature = signer.sign_enveloped(manifest)
+    assert verifier.verify(signature).valid
+    MUTATIONS[name](manifest)
+    assert not verifier.verify(signature).valid, name
+
+
+def test_randomized_tamper_rounds(signer, cache, trust_store,
+                                  manifest_xml):
+    """Fixed-seed fuzz: random mutation sequences against a warm cache.
+
+    One long-lived cache across every round — entries from earlier
+    rounds must never satisfy later, mutated trees.
+    """
+    rng = random.Random(SEED)
+    verifier = Verifier(trust_store=trust_store,
+                        require_trusted_key=True, cache=cache)
+    names = sorted(MUTATIONS)
+    for round_no in range(ROUNDS):
+        manifest = parse_element(manifest_xml)
+        signature = signer.sign_enveloped(manifest)
+        assert verifier.verify(signature).valid, round_no
+        for name in rng.sample(names, rng.randint(1, 3)):
+            try:
+                MUTATIONS[name](manifest)
+            except (ValueError, AttributeError):
+                continue  # earlier mutation already removed the target
+        report = verifier.verify(signature)
+        assert not report.valid, (round_no, SEED)
+
+
+def test_cached_digest_not_shared_across_identical_documents(
+        signer, verifier, manifest_xml):
+    """Two separate parses of the same bytes are distinct subtrees; the
+    cache must key on node identity, not content equality, so entries
+    cannot alias (and a hit on tree B can never reflect tree A's
+    pre-mutation state)."""
+    first = parse_element(manifest_xml)
+    second = parse_element(manifest_xml)
+    sig_first = signer.sign_enveloped(first)
+    sig_second = signer.sign_enveloped(second)
+    assert verifier.verify(sig_first).valid
+    first.find("region").set("width", "1")       # tamper only tree A
+    assert verifier.verify(sig_second).valid     # B still verifies
+    assert not verifier.verify(sig_first).valid
+
+
+def test_clear_and_len(cache, signer, verifier, manifest):
+    signature = signer.sign_enveloped(manifest)
+    assert verifier.verify(signature).valid
+    assert len(cache) > 0
+    cache.clear()
+    assert len(cache) == 0
+    assert verifier.verify(signature).valid      # recomputes fine
+
+
+def test_lru_bound_is_enforced(signer, trust_store, manifest_xml):
+    small = C14NDigestCache(max_entries=4)
+    verifier = Verifier(trust_store=trust_store,
+                        require_trusted_key=True, cache=small)
+    for _ in range(8):
+        manifest = parse_element(manifest_xml)
+        signature = signer.sign_enveloped(manifest)
+        assert verifier.verify(signature).valid
+    # Four tables, each individually bounded.
+    assert len(small) <= 4 * 4
+
+
+def test_null_cache_never_stores(signer, trust_store, manifest):
+    null = NullCache()
+    verifier = Verifier(trust_store=trust_store,
+                        require_trusted_key=True, cache=null)
+    signature = signer.sign_enveloped(manifest)
+    assert verifier.verify(signature).valid
+    assert verifier.verify(signature).valid
+    assert len(null) == 0
+
+
+def test_warm_verify_hits_digest_cache(registry, signer, verifier,
+                                       manifest):
+    # Detached pure-C14N reference: the digest fast path applies (the
+    # enveloped form's extra transform keeps it off the digest cache).
+    signature = signer.sign_detached("#markup-1", parent=manifest)
+    assert verifier.verify(signature).valid
+    assert verifier.verify(signature).valid
+    snap = metrics.ratio("perf.cache.digest")
+    assert snap.hits >= 1
+    assert metrics.ratio("perf.cache.sigverify").hits >= 1
+
+
+# -- chain-validation memo ------------------------------------------------------
+
+
+def test_revocation_invalidates_cached_chain(pki, signer, cache,
+                                             manifest):
+    store = TrustStore(roots=[pki.root.certificate])
+    verifier = Verifier(trust_store=store, require_trusted_key=True,
+                        cache=cache)
+    signature = signer.sign_enveloped(manifest)
+    assert verifier.verify(signature).valid      # chain memoized
+    store.revoke(pki.studio.certificate)
+    report = verifier.verify(signature)
+    assert not report.valid
+    assert not report.certificate_validation.valid
+
+
+def test_trust_store_generation_moves_on_every_mutation(pki):
+    store = TrustStore()
+    seen = {store.generation}
+    store.add_root(pki.root.certificate)
+    seen.add(store.generation)
+    store.add_intermediate(pki.intermediate.certificate)
+    seen.add(store.generation)
+    store.revoke(pki.attacker.certificate)
+    seen.add(store.generation)
+    assert len(seen) == 4
+
+
+def test_chain_memo_serves_warm_result(registry, pki, cache):
+    store = TrustStore(roots=[pki.root.certificate])
+    chain = [pki.studio.certificate, pki.intermediate.certificate]
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return store.validate_chain(chain, now=0.0)
+
+    first = cache.chain_validation(store, chain, 0.0,
+                                   "digitalSignature", compute)
+    second = cache.chain_validation(store, chain, 0.0,
+                                    "digitalSignature", compute)
+    assert first.valid and second.valid
+    assert len(calls) == 1
+    assert metrics.ratio("perf.cache.chain").hits == 1
+
+
+# -- signature-verification memo ------------------------------------------------
+
+
+def test_sigverify_memo_skips_recompute(registry, pki, cache):
+    key = pki.studio.key.public_key()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return True
+
+    for _ in range(3):
+        assert cache.signature_verification("alg", key, b"octets",
+                                            b"sig", compute)
+    assert len(calls) == 1
+    assert metrics.ratio("perf.cache.sigverify").hits == 2
+
+
+def test_sigverify_never_memoizes_secret_keys(registry, cache):
+    """HMAC verification must recompute every time: memoizing it would
+    put key-derived material into cache keys."""
+    key = SymmetricKey(b"\x01" * 16)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return True
+
+    for _ in range(3):
+        assert cache.signature_verification("hmac", key, b"octets",
+                                            b"sig", compute)
+    assert len(calls) == 3
+    assert metrics.ratio("perf.cache.sigverify").total == 0
+
+
+def test_sigverify_distinguishes_every_key_component(pki, cache):
+    key = pki.studio.key.public_key()
+    results = {
+        "base": cache.signature_verification(
+            "alg", key, b"octets", b"sig", lambda: True),
+        "other-octets": cache.signature_verification(
+            "alg", key, b"OTHER", b"sig", lambda: False),
+        "other-sig": cache.signature_verification(
+            "alg", key, b"octets", b"SIG2", lambda: False),
+        "other-alg": cache.signature_verification(
+            "alg2", key, b"octets", b"sig", lambda: False),
+    }
+    assert results == {"base": True, "other-octets": False,
+                       "other-sig": False, "other-alg": False}

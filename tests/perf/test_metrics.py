@@ -1,0 +1,133 @@
+"""Perf counter/timer registry semantics."""
+
+import threading
+
+import pytest
+
+from repro.perf import metrics
+
+
+def test_counter_increment(registry):
+    counter = metrics.counter("test.events")
+    counter.increment()
+    counter.increment(5)
+    assert counter.value == 6
+    # Same name resolves to the same counter object.
+    assert metrics.counter("test.events") is counter
+
+
+def test_counter_thread_safety(registry):
+    counter = metrics.counter("test.concurrent")
+
+    def bump():
+        for _ in range(1000):
+            counter.increment()
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 8000
+
+
+def test_timer_records_samples(registry):
+    with metrics.timer("test.op"):
+        pass
+    with metrics.timer("test.op"):
+        pass
+    summary = registry.timer("test.op").summary()
+    assert summary.count == 2
+    assert summary.total_s >= 0.0
+    assert summary.min_s <= summary.p50_s <= summary.max_s
+
+
+def test_timer_empty_summary(registry):
+    summary = registry.timer("test.never-used").summary()
+    assert summary.count == 0
+    assert summary.total_s == 0.0
+    assert summary.p95_s == 0.0
+
+
+def test_timer_reservoir_is_bounded(registry):
+    timer = registry.timer("test.bounded")
+    for _ in range(5000):
+        timer.record(0.001)
+    assert timer.count == 5000
+    assert len(timer._samples) <= timer._max_samples
+
+
+def test_ratio_from_hit_miss_counters(registry):
+    metrics.counter("test.cache.hit").increment(3)
+    metrics.counter("test.cache.miss").increment(1)
+    snap = metrics.ratio("test.cache")
+    assert snap.hits == 3
+    assert snap.misses == 1
+    assert snap.total == 4
+    assert snap.ratio == pytest.approx(0.75)
+
+
+def test_ratio_with_no_traffic(registry):
+    assert metrics.ratio("test.silent").ratio == 0.0
+
+
+def test_snapshot_shape(registry):
+    metrics.counter("a.hit").increment(2)
+    metrics.counter("a.miss").increment(2)
+    with metrics.timer("b.op"):
+        pass
+    snap = metrics.snapshot()
+    assert snap["counters"] == {"a.hit": 2, "a.miss": 2}
+    assert snap["ratios"] == {"a": 0.5}
+    assert snap["timers"]["b.op"]["count"] == 1
+
+
+def test_report_lines_mentions_every_metric(registry):
+    metrics.counter("dsig.verify.signatures").increment()
+    with metrics.timer("c14n.canonicalize"):
+        pass
+    text = "\n".join(metrics.report_lines())
+    assert "dsig.verify.signatures" in text
+    assert "c14n.canonicalize" in text
+
+
+def test_report_lines_when_empty(registry):
+    assert metrics.report_lines() == ["(no metrics recorded)"]
+
+
+def test_push_pop_registry_isolation(registry):
+    metrics.counter("outer").increment()
+    inner = metrics.push_registry()
+    try:
+        metrics.counter("inner").increment()
+        assert metrics.get_registry() is inner
+        assert inner.counter("outer").value == 0
+    finally:
+        metrics.pop_registry()
+    assert metrics.get_registry() is registry
+    assert registry.counter("inner").value == 0
+
+
+def test_base_registry_cannot_be_popped(registry):
+    metrics.pop_registry()  # pops the fixture's registry
+    try:
+        base_depth_error = None
+        try:
+            # Unwind to (but never past) the base registry.
+            while True:
+                metrics.pop_registry()
+        except RuntimeError as exc:
+            base_depth_error = exc
+        assert base_depth_error is not None
+    finally:
+        metrics.push_registry(registry)  # restore for fixture teardown
+
+
+def test_reset_clears_registry(registry):
+    metrics.counter("gone").increment()
+    with metrics.timer("also.gone"):
+        pass
+    metrics.reset()
+    assert metrics.snapshot() == {
+        "counters": {}, "timers": {}, "ratios": {},
+    }

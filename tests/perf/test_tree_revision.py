@@ -1,0 +1,73 @@
+"""Revision-stamp semantics the cache's soundness rests on."""
+
+from repro.xmlcore import parse_element
+from repro.xmlcore.tree import Element, Text
+
+DOC = """\
+<root xmlns="urn:x"><a Id="a"><b Id="b"><c Id="c">text</c></b></a>\
+<sibling Id="s"/></root>"""
+
+
+def build():
+    return parse_element(DOC)
+
+
+def test_fresh_nodes_have_unique_revisions():
+    one, two = Element("one"), Element("two")
+    assert one.revision != two.revision
+
+
+def test_mutation_stamps_node_and_all_ancestors():
+    root = build()
+    c = root.find("c")
+    b = root.find("b")
+    a = root.find("a")
+    before = {node: node.revision for node in (root, a, b, c)}
+    c.set("x", "1")
+    for node in (root, a, b, c):
+        assert node.revision != before[node]
+
+
+def test_mutation_does_not_stamp_siblings():
+    root = build()
+    sibling = root.find("sibling")
+    before = sibling.revision
+    root.find("c").set("x", "1")
+    assert sibling.revision == before
+
+
+def test_revisions_are_monotonic():
+    root = build()
+    seen = [root.revision]
+    for value in ("1", "2", "3"):
+        root.set("x", value)
+        seen.append(root.revision)
+    assert seen == sorted(seen)
+    assert len(set(seen)) == len(seen)
+
+
+def test_every_official_mutator_stamps_the_root():
+    mutators = [
+        lambda r: r.find("c").set("x", "1"),
+        lambda r: r.find("c").delete_attr("Id"),
+        lambda r: r.find("b").append(Element("new")),
+        lambda r: r.find("b").insert(0, Element("first")),
+        lambda r: r.find("a").remove(r.find("b")),
+        lambda r: r.find("a").replace(r.find("b"), Element("swap")),
+        lambda r: r.find("c").append_text("more"),
+        lambda r: r.find("a").declare_namespace("p", "urn:p"),
+    ]
+    for mutate in mutators:
+        root = build()
+        before = root.revision
+        mutate(root)
+        assert root.revision != before, mutate
+
+
+def test_text_data_assignment_stamps_ancestors():
+    root = build()
+    before = root.revision
+    text = root.find("c").children[0]
+    assert isinstance(text, Text)
+    text.data = "changed"
+    assert root.revision != before

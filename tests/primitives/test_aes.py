@@ -1,6 +1,5 @@
 """AES cross-validation against the ``cryptography`` package and FIPS 197."""
 
-import os
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -8,7 +8,7 @@ from cryptography.hazmat.primitives.keywrap import aes_key_wrap
 from repro.errors import CryptoError, DecryptionError, ProviderError
 from repro.primitives import keywrap
 from repro.primitives.provider import (
-    AcceleratedProvider, PurePythonProvider, available_providers,
+    PurePythonProvider, available_providers,
     get_provider, set_default_provider,
 )
 

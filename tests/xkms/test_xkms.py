@@ -6,7 +6,7 @@ from repro.errors import XKMSError
 from repro.primitives.rsa import generate_keypair
 from repro.xkms import (
     KeyBinding, RESULT_NO_MATCH, RESULT_REFUSED, RESULT_SUCCESS,
-    STATUS_INVALID, STATUS_VALID, TrustServer, XKMSClient, XKMSRequest,
+    STATUS_VALID, TrustServer, XKMSClient, XKMSRequest,
     XKMSResult, authentication_proof,
 )
 

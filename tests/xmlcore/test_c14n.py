@@ -9,7 +9,7 @@ import pytest
 from repro.errors import CanonicalizationError
 from repro.xmlcore import (
     C14N, C14N_WITH_COMMENTS, EXC_C14N, EXC_C14N_WITH_COMMENTS,
-    canonicalize, parse_document, parse_element,
+    canonicalize, parse_document,
 )
 from repro.xmlcore.tree import Element, Text
 

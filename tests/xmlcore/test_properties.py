@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.xmlcore import (
-    C14N, canonicalize, parse_document, parse_element, serialize,
+    C14N, canonicalize, parse_document, serialize,
 )
 from repro.xmlcore.tree import Document, Element, Text
 

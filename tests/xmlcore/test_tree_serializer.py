@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NamespaceError, XMLError
 from repro.xmlcore import (
-    C14N, canonicalize, element, parse_document, parse_element, serialize,
+    C14N, canonicalize, element, parse_element, serialize,
     serialize_bytes,
 )
 from repro.xmlcore.tree import Comment, Document, Element, Text

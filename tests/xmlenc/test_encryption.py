@@ -10,7 +10,7 @@ from repro.primitives.rsa import generate_keypair
 from repro.xmlcore import XMLENC_NS, canonicalize, parse_element, serialize
 from repro.xmlenc import (
     AES128_CBC, AES192_CBC, AES256_CBC, Decryptor, EncryptedData,
-    EncryptedKey, Encryptor, KW_AES256, TYPE_CONTENT, TYPE_ELEMENT,
+    EncryptedKey, Encryptor, KW_AES256, TYPE_ELEMENT,
 )
 
 
