@@ -44,6 +44,7 @@ DIRECTIONS = {
     "verify_batch_warm_8_norm": "lower",
     "c14n_manifest_norm": "lower",
     "sign_detached_norm": "lower",
+    "audit_8sig_norm": "lower",
     # pure ratios; higher is better
     "batch_speedup": "higher",
     "warm_digest_hit_ratio": "higher",
@@ -124,6 +125,17 @@ def run_benchmarks() -> dict:
 
     sign_time = measure(sign_once, warmup=1, repeat=5)
 
+    def audit_once():
+        from repro.analysis import ArtifactAuditor
+
+        auditor = ArtifactAuditor()
+        auditor.audit_element(root, "bench-audit")
+        return auditor.finish()
+
+    if len(audit_once().coverage) != 8:
+        raise SystemExit("audit bench workload lost its signatures")
+    audit_time = measure(audit_once, warmup=1, repeat=5)
+
     return {
         "calibration_seconds": calibration,
         "metrics": {
@@ -133,12 +145,14 @@ def run_benchmarks() -> dict:
             "warm_digest_hit_ratio": hit_ratio,
             "c14n_manifest_norm": c14n_time / calibration,
             "sign_detached_norm": sign_time / calibration,
+            "audit_8sig_norm": audit_time / calibration,
         },
         "raw_seconds": {
             "verify_sequential_8": seq_time,
             "verify_batch_warm_8": warm_time,
             "c14n_manifest": c14n_time,
             "sign_detached": sign_time,
+            "audit_8sig": audit_time,
         },
     }
 

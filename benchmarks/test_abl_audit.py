@@ -1,0 +1,92 @@
+"""ABL-AUDIT — static audit throughput on the ABL-GRAN workload.
+
+The auditor is meant to run at authoring/mastering time over whole
+discs, so its cost must stay a small multiple of a single verification
+pass.  Regenerated series: audit time over the 8-signature manifest of
+the granularity ablation (one detached signature per submarkup), plus
+the cost split between the reference/coverage pass and the Id scan.
+
+The normalized form of this workload (``audit_8sig_norm``) is tracked
+by the CI regression gate in ``bench_regression.py``.
+"""
+
+import pytest
+
+from _workloads import build_manifest, measure, report
+from repro.analysis import ArtifactAuditor
+from repro.dsig import Signer
+
+TOTAL_SUBMARKUPS = 8
+
+
+def fat_manifest():
+    return build_manifest("abl-audit", scripts=1, script_lines=120,
+                          submarkups=TOTAL_SUBMARKUPS).to_element()
+
+
+@pytest.fixture(scope="module")
+def signed_root(world):
+    root = fat_manifest()
+    signer = Signer(world.studio.key, identity=world.studio)
+    for target in root.iter("submarkup"):
+        signer.sign_detached(f"#{target.get('Id')}", parent=root)
+    return root
+
+
+def audit_once(root):
+    auditor = ArtifactAuditor()
+    auditor.audit_element(root, "abl-audit")
+    return auditor.finish()
+
+
+def test_ablaudit_signed_workload_profile(signed_root):
+    """The auditor's verdict on the ABL-GRAN workload is stable.
+
+    Detached-by-Id signatures are exactly the position-unbound shape
+    SEC002 warns about — one warning per signature — and the workload
+    uses the legacy SHA-1 suite, so SEC010/SEC011 fire too.  Partial
+    signing covers only the submarkups, so the script is flagged
+    unsigned (SEC020): the flexibility/performance trade-off of the
+    ablation, seen from the auditor's side.  No structural errors
+    (duplicate/dangling Ids, transform anomalies).
+    """
+    result = audit_once(signed_root)
+    by_rule = {rule: len(fs) for rule, fs in result.by_rule().items()}
+    assert by_rule.get("SEC002") == TOTAL_SUBMARKUPS
+    assert "SEC020" in by_rule
+    for absent in ("SEC001", "SEC003", "SEC004"):
+        assert absent not in by_rule
+    assert len(result.coverage) == TOTAL_SUBMARKUPS
+
+
+def test_ablaudit_throughput(world, benchmark, signed_root):
+    result = benchmark(lambda: audit_once(signed_root))
+    assert len(result.coverage) == TOTAL_SUBMARKUPS
+
+
+def test_ablaudit_scales_with_signatures(world, benchmark):
+    signer = Signer(world.studio.key, identity=world.studio)
+
+    def run():
+        series = {}
+        for count in (0, 2, 4, 8):
+            root = fat_manifest()
+            targets = [el for el in root.iter("submarkup")][:count]
+            for target in targets:
+                signer.sign_detached(f"#{target.get('Id')}",
+                                     parent=root)
+            series[count] = measure(lambda: audit_once(root),
+                                    warmup=1, repeat=5)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        f"signatures {count}/{TOTAL_SUBMARKUPS}: "
+        f"audit={t * 1e3:7.2f}ms"
+        for count, t in series.items()
+    ]
+    report("ABL-AUDIT audit cost vs. signature count", rows)
+    # The audit over 8 signatures must not blow up superlinearly
+    # against the unsigned document (allow generous headroom: the
+    # coverage pass is per-signature).
+    assert series[8] < series[0] * 40 + 1.0

@@ -1,0 +1,108 @@
+"""Regenerate the committed example artifacts under examples/artifacts/.
+
+The artifacts are the `repro audit` quickstart corpus: a cleanly
+signed application manifest (RSA-2048, SHA-256, enveloped) and a small
+disc-image directory whose cluster is signed and whose permission
+request file is matched by a shipped XACML policy.  CI audits them and
+expects zero findings, so keep this script deterministic (fixed seed)
+and re-run it whenever authoring defaults change:
+
+    PYTHONPATH=src python examples/make_artifacts.py
+"""
+
+import os
+
+from repro.certs import CertificateAuthority, SigningIdentity
+from repro.disc import ApplicationManifest
+from repro.disc.hierarchy import InteractiveCluster
+from repro.dsig import Signer, algorithms
+from repro.permissions import PermissionRequestFile
+from repro.primitives import DeterministicRandomSource
+from repro.xacml.model import (
+    ACTION, Effect, Match, Policy, RESOURCE, Rule, SUBJECT, Target,
+)
+from repro.xmlcore import parse_element, serialize
+
+ARTIFACTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "artifacts")
+
+LAYOUT = (
+    '<layout xmlns="urn:bda:bdmv:interactive-cluster">'
+    '<root-layout width="1920" height="1080"/>'
+    '<region regionName="main" width="1920" height="1080"/>'
+    "</layout>"
+)
+
+
+def strong_signer(rng) -> Signer:
+    """A signer the auditor has nothing to say about."""
+    root_ca = CertificateAuthority.create_root(
+        "CN=Example Root CA", key_bits=2048, rng=rng,
+    )
+    studio = SigningIdentity.create(
+        "CN=Example Studios", root_ca, key_bits=2048, rng=rng,
+    )
+    return Signer(
+        studio.key, identity=studio,
+        signature_method=algorithms.RSA_SHA256,
+        digest_method=algorithms.SHA256,
+    )
+
+
+def write(path: str, text: str) -> None:
+    full = os.path.join(ARTIFACTS, path)
+    os.makedirs(os.path.dirname(full), exist_ok=True)
+    with open(full, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {full}")
+
+
+def make_signed_manifest(signer: Signer) -> None:
+    manifest = ApplicationManifest("example-menu")
+    manifest.add_submarkup("layout", parse_element(LAYOUT))
+    manifest.add_script('player.log("hello from the example disc");')
+    root = manifest.to_element()
+    signer.sign_enveloped(root)
+    write("signed_manifest.xml", serialize(root, xml_declaration=True))
+
+
+def make_disc(signer: Signer) -> None:
+    manifest = ApplicationManifest("example-app")
+    manifest.add_submarkup("layout", parse_element(LAYOUT))
+    manifest.add_script("var state = 0;")
+    cluster = InteractiveCluster(title="Example Disc")
+    cluster.add_application_track(manifest)
+    cluster_el = cluster.to_element()
+    signer.sign_enveloped(cluster_el)
+    write("disc/BDMV/CLUSTER/cluster.xml",
+          serialize(cluster_el, xml_declaration=True))
+
+    request = PermissionRequestFile(app_id="example-app",
+                                    org_id="example-org")
+    request.request("network", hosts=("content.example",))
+    write("disc/BDMV/AUXDATA/permissions.xml", request.to_xml())
+
+    policy = Policy(
+        policy_id="example-disc-policy",
+        description="Grants the example application its network claim.",
+    )
+    policy.add_rule(Rule(
+        "permit-network", Effect.PERMIT,
+        target=Target(matches=[
+            Match(SUBJECT, "app-id", "example-app"),
+            Match(RESOURCE, "permission", "network"),
+            Match(ACTION, "action-id", "use"),
+        ]),
+    ))
+    write("disc/BDMV/AUXDATA/policy.xml", policy.to_xml())
+
+
+def main() -> None:
+    rng = DeterministicRandomSource(b"example-artifacts")
+    signer = strong_signer(rng)
+    make_signed_manifest(signer)
+    make_disc(signer)
+
+
+if __name__ == "__main__":
+    main()

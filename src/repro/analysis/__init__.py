@@ -1,0 +1,30 @@
+"""Static security analysis: artifact auditor + codebase linter.
+
+Two frontends over one rule engine (stable IDs, severities, baseline
+suppression, text/JSON reporters):
+
+* :mod:`repro.analysis.artifact` — audits signed/encrypted disc
+  artifacts *without key material*: signature-coverage maps, wrapping
+  susceptibility, weak algorithms, sign/encrypt ordering, permission
+  claims vs. XACML policy.
+* :mod:`repro.analysis.astlint` — enforces repo invariants over the
+  Python AST: revision-stamp propagation, no HMAC memoization,
+  constant-time comparisons, injected clocks, provider-only
+  primitives.
+
+CLI: ``python -m repro.tools audit ...`` and ``... lint ...``.
+"""
+
+from repro.analysis.artifact import ArtifactAuditor, audit_paths
+from repro.analysis.astlint import lint_paths, lint_source
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import Rule, all_rules, catalog_lines, get_rule
+from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.report import render_json, render_text, summary_line
+
+__all__ = [
+    "AnalysisResult", "ArtifactAuditor", "Baseline", "Finding", "Rule",
+    "Severity", "all_rules", "audit_paths", "catalog_lines", "get_rule",
+    "lint_paths", "lint_source", "render_json", "render_text",
+    "summary_line",
+]

@@ -1,0 +1,351 @@
+"""AST-based invariant linter for the repo's own code.
+
+Machine-checks the contracts the test suite can only spot-check:
+
+* ``LIN101`` — every mutator in the XML tree model propagates revision
+  stamps (the ``perf.cache`` safety contract: a cached digest must
+  never validate a tampered subtree).
+* ``LIN102`` — HMAC verdicts are never memoized (secret-keyed results
+  must not reach cache tables or ``lru_cache``).
+* ``LIN103`` — digest/signature comparisons in crypto paths use the
+  constant-time helper, not ``==``.
+* ``LIN104`` — resilience code uses the injected clock, never the wall
+  clock, so fault schedules stay deterministic.
+* ``LIN105`` — raw crypto primitives are reached only through
+  ``primitives.provider`` (so provider swaps cover every call site).
+
+Rules are heuristic by design: they pattern-match the shapes this
+codebase actually uses, and anything legitimately outside a rule goes
+in the committed baseline file rather than weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.engine import register
+from repro.analysis.findings import AnalysisResult, Severity, display_path
+
+LIN101 = register(
+    "LIN101", "tree mutator must bump revision stamps", Severity.ERROR,
+    "code",
+    "A method that mutates tree state (children/attrs/ns_decls/text "
+    "payload) never calls mark_mutated(); revision-keyed caches would "
+    "serve stale digests for the mutated subtree.",
+)
+LIN102 = register(
+    "LIN102", "HMAC verdict memoized", Severity.ERROR, "code",
+    "A function computing or checking an HMAC stores results in a "
+    "cache/memo structure or is wrapped in lru_cache; secret-keyed "
+    "verdicts must always be recomputed.",
+)
+LIN103 = register(
+    "LIN103", "non-constant-time digest comparison", Severity.ERROR,
+    "code",
+    "A digest/signature/MAC value is compared with ==/!= in a crypto "
+    "path; use primitives.hmac.constant_time_equal.",
+)
+LIN104 = register(
+    "LIN104", "wall clock in resilience code", Severity.ERROR, "code",
+    "Resilience code calls time.time/monotonic/sleep or datetime.now "
+    "directly instead of the injected clock object.",
+)
+LIN105 = register(
+    "LIN105", "raw primitive reached outside provider", Severity.ERROR,
+    "code",
+    "A module outside repro.primitives imports a raw primitive "
+    "(aes/des/rsa/sha/modes/keywrap/prime) instead of going through "
+    "primitives.provider.",
+)
+
+# LIN101: attributes whose direct mutation must be stamped.
+_TREE_STATE = ("children", "attrs", "ns_decls", "_data")
+_MUTATING_METHODS = ("append", "insert", "remove", "pop", "clear",
+                     "extend", "update", "setdefault")
+
+# LIN103: identifier-token heuristics.
+_SECRET_TOKENS = {"digest", "mac", "hmac", "signature", "sig", "tag"}
+_BENIGN_TOKENS = {"method", "methods", "name", "names", "algorithm",
+                  "algorithms", "uri", "id", "el", "size", "kind",
+                  "path", "local", "len"}
+
+# LIN104: forbidden wall-clock calls.
+_WALL_CLOCK = {("time", "time"), ("time", "monotonic"),
+               ("time", "perf_counter"), ("time", "sleep"),
+               ("datetime", "now"), ("datetime", "utcnow")}
+
+# LIN105: primitive modules only the provider may touch.  keys,
+# encoding, random, padding and the constant-time helper in hmac are
+# data-model/utility surfaces, not raw algorithms.
+_RAW_PRIMITIVES = {"aes", "des", "rsa", "sha", "modes", "keywrap",
+                   "prime"}
+
+
+def _name_hint(node: ast.expr) -> str:
+    """The identifier a comparison operand 'is about'."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _name_hint(node.func)
+    return ""
+
+
+def _tokens(identifier: str) -> set[str]:
+    return {t for t in identifier.lower().split("_") if t}
+
+
+def _is_secret_hint(node: ast.expr) -> bool:
+    hint = _name_hint(node)
+    if hint.isupper():
+        return False  # ALL_CAPS module constants (algorithm URIs etc.)
+    tokens = _tokens(hint)
+    return bool(tokens & _SECRET_TOKENS) and not (tokens & _BENIGN_TOKENS)
+
+
+def _mentions_hmac(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Name, ast.Attribute, ast.FunctionDef)):
+            hint = getattr(child, "id", None) or \
+                getattr(child, "attr", None) or \
+                getattr(child, "name", "")
+            if "hmac" in hint.lower():
+                return True
+    return False
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class _FileLint:
+    """All code rules over one parsed module."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        self.findings = []
+        normalized = path.replace(os.sep, "/")
+        self.in_primitives = "/primitives/" in normalized
+        self.in_resilience = ("/resilience/" in normalized
+                              and not normalized.endswith("clock.py"))
+        self.in_crypto_path = any(
+            part in normalized for part in
+            ("/dsig/", "/xmlenc/", "/primitives/", "/omadcf/")
+        )
+        # LIN101 applies to modules that define the revision protocol
+        # (the tree model and anything shaped like it).
+        self.defines_mark_mutated = any(
+            isinstance(n, ast.FunctionDef) and n.name == "mark_mutated"
+            for n in ast.walk(tree)
+        )
+
+    def run(self) -> list:
+        self._lint_imports()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self._lint_mutator(node, item)
+            if isinstance(node, ast.FunctionDef):
+                self._lint_hmac_memo(node)
+            if isinstance(node, ast.Compare):
+                self._lint_compare(node)
+            if isinstance(node, ast.Call):
+                self._lint_wall_clock(node)
+        return self.findings
+
+    # -- LIN101 ----------------------------------------------------------------
+
+    def _lint_mutator(self, cls: ast.ClassDef,
+                      func: ast.FunctionDef) -> None:
+        if not self.defines_mark_mutated:
+            return
+        if func.name in ("__init__", "mark_mutated"):
+            return
+        mutations = []
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if self._is_self_state(target):
+                        mutations.append(node)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATING_METHODS and \
+                    self._is_self_state(node.func.value):
+                mutations.append(node)
+        if not mutations:
+            return
+        calls_mark = any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "mark_mutated"
+            for n in ast.walk(func)
+        )
+        if not calls_mark:
+            self.findings.append(LIN101.finding(
+                self.path,
+                f"{cls.name}.{func.name} mutates tree state without "
+                "calling mark_mutated()",
+                line=mutations[0].lineno,
+            ))
+
+    @staticmethod
+    def _is_self_state(node: ast.expr) -> bool:
+        """``self.children`` / ``self.attrs[i]`` / ``self._data`` ..."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in _TREE_STATE)
+
+    # -- LIN102 ----------------------------------------------------------------
+
+    def _lint_hmac_memo(self, func: ast.FunctionDef) -> None:
+        if not _mentions_hmac(func):
+            return
+        for decorator in func.decorator_list:
+            name = _dotted(decorator.func
+                           if isinstance(decorator, ast.Call)
+                           else decorator)
+            if name.rsplit(".", 1)[-1] in ("lru_cache", "cache"):
+                self.findings.append(LIN102.finding(
+                    self.path,
+                    f"{func.name} touches HMAC material and is wrapped "
+                    f"in {name}",
+                    line=func.lineno,
+                ))
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        store = _dotted(target.value).lower()
+                        if "cache" in store or "memo" in store:
+                            self.findings.append(LIN102.finding(
+                                self.path,
+                                f"{func.name} stores an HMAC-derived "
+                                f"value into {_dotted(target.value)}",
+                                line=node.lineno,
+                            ))
+
+    # -- LIN103 ----------------------------------------------------------------
+
+    def _lint_compare(self, node: ast.Compare) -> None:
+        if not self.in_crypto_path:
+            return
+        if len(node.ops) != 1 or \
+                not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            return
+        left, right = node.left, node.comparators[0]
+        # Comparisons against literals/None are never secret-vs-secret.
+        if isinstance(left, ast.Constant) or \
+                isinstance(right, ast.Constant):
+            return
+        if _is_secret_hint(left) or _is_secret_hint(right):
+            self.findings.append(LIN103.finding(
+                self.path,
+                f"comparison of "
+                f"{_name_hint(left) or '<expr>'} and "
+                f"{_name_hint(right) or '<expr>'} with ==/!=; use "
+                "constant_time_equal",
+                line=node.lineno,
+            ))
+
+    # -- LIN104 ----------------------------------------------------------------
+
+    def _lint_wall_clock(self, node: ast.Call) -> None:
+        if not self.in_resilience:
+            return
+        dotted = _dotted(node.func)
+        if "." not in dotted:
+            return
+        base, _, attr = dotted.rpartition(".")
+        if (base.rsplit(".", 1)[-1], attr) in _WALL_CLOCK:
+            self.findings.append(LIN104.finding(
+                self.path,
+                f"wall-clock call {dotted}(); use the injected clock",
+                line=node.lineno,
+            ))
+
+    # -- LIN105 ----------------------------------------------------------------
+
+    def _lint_imports(self) -> None:
+        if self.in_primitives:
+            return
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                parts = node.module.split(".")
+                if parts[:2] == ["repro", "primitives"]:
+                    if len(parts) > 2 and parts[2] in _RAW_PRIMITIVES:
+                        self._raw_import(node, node.module)
+                    elif len(parts) == 2:
+                        for alias in node.names:
+                            if alias.name in _RAW_PRIMITIVES:
+                                self._raw_import(
+                                    node,
+                                    f"repro.primitives.{alias.name}",
+                                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if parts[:2] == ["repro", "primitives"] and \
+                            len(parts) > 2 and \
+                            parts[2] in _RAW_PRIMITIVES:
+                        self._raw_import(node, alias.name)
+
+    def _raw_import(self, node: ast.AST, module: str) -> None:
+        self.findings.append(LIN105.finding(
+            self.path,
+            f"imports raw primitive {module}; route through "
+            "primitives.provider",
+            line=node.lineno,
+        ))
+
+
+def lint_source(source: str, path: str = "<string>") -> list:
+    """Lint one source string; returns findings (for tests/snippets)."""
+    tree = ast.parse(source, filename=path)
+    return _FileLint(path, tree).run()
+
+
+def lint_paths(paths) -> AnalysisResult:
+    """Lint files and directory trees of ``.py`` files."""
+    result = AnalysisResult()
+    for target in _iter_py_files(paths):
+        target = display_path(target)
+        with open(target, "rb") as handle:
+            source = handle.read().decode("utf-8")
+        try:
+            findings = lint_source(source, target)
+        except SyntaxError as exc:
+            findings = [LIN101.finding(
+                target, f"file does not parse: {exc}", line=exc.lineno or 0,
+            )]
+        result.findings.extend(findings)
+        result.scanned += 1
+    return result
+
+
+def _iter_py_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path

@@ -1,0 +1,76 @@
+"""Baseline suppression: accept today's findings, gate tomorrow's.
+
+A baseline file is a JSON list of finding fingerprints (plus enough
+context to stay reviewable in a diff).  Runs subtract the baseline
+before computing their exit code, so pre-existing debt does not block
+CI while every *new* finding does.  ``--update-baseline`` rewrites the
+file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import AnalysisResult, Finding
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path!r}: unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        return cls(
+            fingerprints={
+                entry["fingerprint"] for entry in payload["findings"]
+            },
+            path=path,
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(fingerprints={f.fingerprint for f in findings})
+
+    def save(self, path: str, findings: list[Finding]) -> None:
+        """Write *findings* as the new accepted set (sorted, reviewable)."""
+        entries = sorted(
+            (
+                {
+                    "fingerprint": f.fingerprint,
+                    "rule_id": f.rule_id,
+                    "location": f.location,
+                    "message": f.message,
+                }
+                for f in findings
+            ),
+            key=lambda e: e["fingerprint"],
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": FORMAT_VERSION, "findings": entries},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def apply(self, result: AnalysisResult) -> AnalysisResult:
+        """Split findings into kept vs. suppressed, in place."""
+        kept, suppressed = [], []
+        for finding in result.findings:
+            if finding.fingerprint in self.fingerprints:
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        result.findings = kept
+        result.suppressed.extend(suppressed)
+        return result

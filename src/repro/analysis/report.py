@@ -1,0 +1,63 @@
+"""Reporters: render an :class:`AnalysisResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import get_rule
+from repro.analysis.findings import AnalysisResult, Severity
+
+
+def render_text(result: AnalysisResult, *, verbose: bool = False) -> str:
+    """Human-readable report, findings grouped by rule."""
+    lines: list[str] = []
+    for coverage in result.coverage:
+        lines.append(f"signature coverage — {coverage['artifact']}:")
+        for entry in coverage["references"]:
+            lines.append(
+                f"  {entry['uri'] or '(whole document)'} -> "
+                f"{entry['covers'] or '(nothing)'}"
+            )
+        unsigned = coverage.get("unsigned") or []
+        if unsigned:
+            lines.append(f"  unsigned nodes: {', '.join(unsigned)}")
+    for rule_id, findings in sorted(result.by_rule().items()):
+        rule = get_rule(rule_id)
+        lines.append(f"{rule_id} ({rule.severity.name.lower()}) — "
+                     f"{rule.title}: {len(findings)} finding(s)")
+        for finding in findings:
+            where = finding.location
+            if finding.line:
+                where = f"{where}:{finding.line}"
+            lines.append(f"  {where}: {finding.message}")
+            if verbose and finding.detail:
+                for detail_line in finding.detail.splitlines():
+                    lines.append(f"    | {detail_line}")
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def summary_line(result: AnalysisResult) -> str:
+    counts = {s: 0 for s in Severity}
+    for finding in result.findings:
+        counts[finding.severity] += 1
+    parts = [
+        f"{counts[s]} {s.name.lower()}" for s in
+        (Severity.ERROR, Severity.WARNING, Severity.INFO) if counts[s]
+    ]
+    body = ", ".join(parts) if parts else "no findings"
+    suffix = (f" ({len(result.suppressed)} baseline-suppressed)"
+              if result.suppressed else "")
+    return f"analysis: {body} in {result.scanned} target(s){suffix}"
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "coverage": result.coverage,
+        "scanned": result.scanned,
+        "worst": result.worst().name if result.worst() else None,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

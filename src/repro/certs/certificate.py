@@ -200,8 +200,8 @@ class Certificate:
 
     def fingerprint(self) -> str:
         """Hex SHA-256 over the canonical TBS region."""
-        from repro.primitives.sha import sha256
-        return sha256(self.tbs_bytes()).hex()[:40]
+        from repro.primitives.provider import get_provider
+        return get_provider().digest("sha256", self.tbs_bytes()).hex()[:40]
 
     def __repr__(self):
         return (

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from itertools import count
 
 from repro.errors import SignatureError
+from repro.primitives.hmac import constant_time_equal
 from repro.dsig.reference import (
     Reference, ReferenceContext, compute_reference_digest,
 )
@@ -116,9 +117,14 @@ def find_manifest(signature: Element) -> Element | None:
         if not uri.startswith("#"):
             continue
         root = _top(signature)
-        target = root.get_element_by_id(uri[1:])
-        if target is not None and target.local == "Manifest":
-            return target
+        matches = root.get_elements_by_id(uri[1:])
+        if len(matches) > 1:
+            raise SignatureError(
+                f"duplicate Id {uri[1:]!r}: ambiguous manifest reference "
+                "(wrapping defence)"
+            )
+        if matches and matches[0].local == "Manifest":
+            return matches[0]
     return None
 
 
@@ -185,8 +191,9 @@ def validate_manifest_references(signature: Element, *,
                 reference.uri, False, str(exc),
             ))
             continue
+        matched = constant_time_equal(actual, reference.digest_value)
         validation.results.append(ReferenceResult(
-            reference.uri, actual == reference.digest_value,
-            "" if actual == reference.digest_value else "digest mismatch",
+            reference.uri, matched,
+            "" if matched else "digest mismatch",
         ))
     return validation

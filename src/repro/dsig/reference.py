@@ -16,6 +16,7 @@ from repro.errors import ReferenceError_, SignatureError
 from repro.perf import metrics
 from repro.perf.cache import C14NDigestCache
 from repro.primitives.encoding import b64decode, b64encode
+from repro.primitives.hmac import constant_time_equal
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import DSIG_NS, element
 from repro.xmlcore.c14n import ALL_C14N_ALGORITHMS, C14N, canonicalize
@@ -153,12 +154,7 @@ def dereference(reference: Reference,
             tcontext.signature_path = node_path(context.signature)
         if uri == "":
             return working_root, tcontext
-        target = working_root.get_element_by_id(uri[1:])
-        if target is None:
-            raise ReferenceError_(
-                f"no element with Id {uri[1:]!r} in the document"
-            )
-        return target, tcontext
+        return _unique_element_by_id(working_root, uri[1:]), tcontext
     if context.resolver is None:
         raise ReferenceError_(
             f"external reference {uri!r} but no resolver configured"
@@ -171,6 +167,28 @@ def dereference(reference: Reference,
         raise ReferenceError_(
             f"resolver failed for {uri!r}: {exc}"
         ) from exc
+
+
+def _unique_element_by_id(root: Element, value: str) -> Element:
+    """Resolve ``#value`` to the *single* element carrying that Id.
+
+    Duplicate Id attributes are the XML signature wrapping vector: an
+    attacker plants a second element with the signed Id and hopes the
+    verifier digests one while the application executes the other.
+    Resolution therefore refuses ambiguous documents outright instead
+    of silently returning the first match in document order.
+    """
+    matches = root.get_elements_by_id(value, limit=2)
+    if not matches:
+        raise ReferenceError_(
+            f"no element with Id {value!r} in the document"
+        )
+    if len(matches) > 1:
+        raise ReferenceError_(
+            f"duplicate Id {value!r}: multiple elements carry it; "
+            "refusing ambiguous reference (wrapping defence)"
+        )
+    return matches[0]
 
 
 def _fast_path_target(reference: Reference,
@@ -203,7 +221,15 @@ def _fast_path_target(reference: Reference,
         return None
     if uri == "":
         return context.root
-    return context.root.get_element_by_id(uri[1:])
+    # Shares the duplicate-Id refusal with the general path: the fast
+    # path must never be more permissive than a full dereference.  The
+    # resolution is revision-keyed in the cache, so repeat batch runs
+    # over an unchanged tree skip the uniqueness scan.
+    root = context.root
+    return context.cache.element_by_id(
+        root, uri[1:],
+        lambda: _unique_element_by_id(root, uri[1:]),
+    )
 
 
 def compute_reference_digest(reference: Reference,
@@ -254,4 +280,4 @@ def validate_reference(reference: Reference, context: ReferenceContext,
     if reference.digest_value is None:
         return False
     actual = compute_reference_digest(reference, context, provider)
-    return actual == reference.digest_value
+    return constant_time_equal(actual, reference.digest_value)

@@ -17,6 +17,7 @@ from repro.errors import (
 from repro.perf import metrics
 from repro.perf.cache import C14NDigestCache, get_default_cache
 from repro.primitives.encoding import b64decode
+from repro.primitives.hmac import constant_time_equal
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import DSIG_NS, canonicalize
 from repro.xmlcore.tree import Element
@@ -253,7 +254,7 @@ class Verifier:
             # transform, undecryptable region (decryption transform
             # without the right key) — makes the reference invalid.
             return ReferenceResult(reference.uri, False, str(exc))
-        if actual != reference.digest_value:
+        if not constant_time_equal(actual, reference.digest_value):
             return ReferenceResult(reference.uri, False, "digest mismatch")
         return ReferenceResult(reference.uri, True)
 

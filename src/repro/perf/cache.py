@@ -67,6 +67,7 @@ class C14NDigestCache:
         self._octets: OrderedDict[tuple, tuple] = OrderedDict()
         self._chains: OrderedDict[tuple, tuple] = OrderedDict()
         self._sigchecks: OrderedDict[tuple, bool] = OrderedDict()
+        self._ids: OrderedDict[tuple, tuple] = OrderedDict()
         self._lock = threading.Lock()
 
     # -- generic keyed lookup ---------------------------------------------------
@@ -184,12 +185,46 @@ class C14NDigestCache:
                 self._sigchecks.popitem(last=False)
         return value
 
+    def element_by_id(self, root, value: str, compute):
+        """The unique element carrying Id *value* in *root*'s tree.
+
+        *compute* resolves the Id on a miss — including the duplicate
+        scan of the wrapping defence — and may raise; only successful
+        unique resolutions are cached.  Revision-keyed like everything
+        else: any mutation in the document re-runs the full scan, so a
+        cached resolution can never mask a freshly planted duplicate.
+        """
+        key = (id(root), root.revision, value)
+        with self._lock:
+            entry = self._ids.get(key)
+            if entry is not None:
+                root_ref, target_ref = entry
+                target = target_ref()
+                if root_ref() is root and target is not None:
+                    self._ids.move_to_end(key)
+                    metrics.counter("perf.cache.id.hit").increment()
+                    return target
+                del self._ids[key]
+            metrics.counter("perf.cache.id.miss").increment()
+        target = compute()
+        try:
+            entry = (weakref.ref(root), weakref.ref(target))
+        except TypeError:  # un-weakref-able stand-ins (tests)
+            return target
+        with self._lock:
+            self._ids[key] = entry
+            self._ids.move_to_end(key)
+            while len(self._ids) > self.max_entries:
+                self._ids.popitem(last=False)
+        return target
+
     # -- maintenance ------------------------------------------------------------
 
     def __len__(self) -> int:
         with self._lock:
             return (len(self._digests) + len(self._octets)
-                    + len(self._chains) + len(self._sigchecks))
+                    + len(self._chains) + len(self._sigchecks)
+                    + len(self._ids))
 
     def clear(self) -> None:
         with self._lock:
@@ -197,6 +232,7 @@ class C14NDigestCache:
             self._octets.clear()
             self._chains.clear()
             self._sigchecks.clear()
+            self._ids.clear()
 
 
 class NullCache(C14NDigestCache):
@@ -219,6 +255,9 @@ class NullCache(C14NDigestCache):
 
     def signature_verification(self, algorithm, key, octets,
                                signature_value, compute) -> bool:
+        return compute()
+
+    def element_by_id(self, root, value, compute):
         return compute()
 
 

@@ -15,6 +15,9 @@ Commands:
 * ``inspect``   — summarize a document's security markup.
 * ``perf-report`` — run a representative sign/verify/encrypt workload
   and dump the perf counters, timers and cache hit ratios.
+* ``audit``     — static security audit of signed/encrypted artifacts
+  (documents, disc images, directories) without key material.
+* ``lint``      — AST-based invariant linter over the repo's own code.
 
 Every command reads/writes ordinary files; see ``--help`` per command.
 """
@@ -348,6 +351,58 @@ def _perf_cluster_xml(submarkups: int) -> bytes:
     return "".join(parts).encode()
 
 
+def _finish_analysis(result, args) -> int:
+    """Shared baseline/report/exit-code handling for audit and lint."""
+    import os
+
+    from repro.analysis import (
+        Baseline, Severity, render_json, render_text,
+    )
+
+    raw_findings = list(result.findings)
+    if args.update_baseline:
+        Baseline().save(args.update_baseline, raw_findings)
+        print(f"baseline ({len(raw_findings)} finding(s)) -> "
+              f"{args.update_baseline}")
+        return 0
+    if args.baseline and os.path.exists(args.baseline):
+        Baseline.load(args.baseline).apply(result)
+    if args.json:
+        _write(args.json, render_json(result))
+    print(render_text(result, verbose=args.verbose))
+    threshold = Severity.parse(args.fail_on)
+    return 1 if result.exceeds(threshold) else 0
+
+
+def cmd_audit(args) -> int:
+    """Statically audit artifacts; non-zero exit on findings."""
+    from repro.analysis import audit_paths, catalog_lines
+
+    if args.rules:
+        for line in catalog_lines("artifact"):
+            print(line)
+        return 0
+    if not args.artifacts:
+        print("error: no artifacts given (paths or --rules)",
+              file=sys.stderr)
+        return 2
+    result = audit_paths(args.artifacts,
+                         min_rsa_bits=args.min_rsa_bits)
+    return _finish_analysis(result, args)
+
+
+def cmd_lint(args) -> int:
+    """Lint the codebase for invariant violations."""
+    from repro.analysis import catalog_lines, lint_paths
+
+    if args.rules:
+        for line in catalog_lines("code"):
+            print(line)
+        return 0
+    result = lint_paths(args.paths or ["src"])
+    return _finish_analysis(result, args)
+
+
 # -- argument parsing ------------------------------------------------------------
 
 
@@ -457,6 +512,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify/encrypt repetitions (default 3)")
     p.add_argument("--json", help="also write the raw snapshot as JSON")
     p.set_defaults(func=cmd_perf_report)
+
+    def add_analysis_options(p):
+        p.add_argument("--baseline",
+                       help="baseline file of accepted findings")
+        p.add_argument("--update-baseline", metavar="PATH",
+                       help="write current findings as the new baseline")
+        p.add_argument("--fail-on", default="warning",
+                       choices=("info", "warning", "error"),
+                       help="lowest severity that fails the run "
+                            "(default warning)")
+        p.add_argument("--json", help="also write a JSON report")
+        p.add_argument("-v", "--verbose", action="store_true",
+                       help="include finding details in the report")
+        p.add_argument("--rules", action="store_true",
+                       help="print the rule catalog and exit")
+
+    p = sub.add_parser(
+        "audit",
+        help="static security audit of disc artifacts (no keys needed)",
+    )
+    p.add_argument("artifacts", nargs="*",
+                   help="XML files, zipped disc images or directories")
+    p.add_argument("--min-rsa-bits", type=int, default=2048,
+                   help="RSA keys below this are flagged (default 2048)")
+    add_analysis_options(p)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter over the codebase",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src)")
+    add_analysis_options(p)
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -391,12 +391,48 @@ class Element(Node):
         return "".join(parts)
 
     def get_element_by_id(self, value: str) -> "Element | None":
-        """Find the descendant-or-self element whose Id/ID/id equals *value*."""
+        """Find the descendant-or-self element whose Id/ID/id equals *value*.
+
+        Returns the first match in document order.  Security-sensitive
+        callers (same-document signature references) must instead use
+        :meth:`get_elements_by_id` and treat multiple matches as an
+        error — silently taking the first match is the classic XML
+        signature wrapping vector.
+        """
         for element in self.iter():
             for attr in element.attrs:
                 if attr.local in _ID_ATTRIBUTE_NAMES and attr.value == value:
                     return element
         return None
+
+    def get_elements_by_id(self, value: str,
+                           limit: int = 0) -> list["Element"]:
+        """All descendant-or-self elements whose Id/ID/id equals *value*.
+
+        A well-formed signed document has at most one; more than one
+        means the Id landscape is ambiguous (wrapping attack surface).
+        With *limit* > 0, scanning stops once that many matches exist
+        (callers probing for ambiguity only need two).  Iterative walk:
+        this sits on the signature-verification fast path, where nested
+        generators are measurably too slow.
+        """
+        matches: list[Element] = []
+        stack: list[Element] = [self]
+        while stack:
+            node = stack.pop()
+            for attr in node.attrs:
+                if attr.local in _ID_ATTRIBUTE_NAMES and \
+                        attr.value == value:
+                    matches.append(node)
+                    if limit and len(matches) >= limit:
+                        return matches
+                    break
+            children = node.children
+            for index in range(len(children) - 1, -1, -1):
+                child = children[index]
+                if isinstance(child, Element):
+                    stack.append(child)
+        return matches
 
     # -- copying ---------------------------------------------------------------
 

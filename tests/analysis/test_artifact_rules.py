@@ -1,0 +1,123 @@
+"""Every artifact rule fires on its fixture — and only there."""
+
+import os
+
+import pytest
+
+from repro.analysis import ArtifactAuditor, Severity, audit_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def rule_ids(result) -> set:
+    return {finding.rule_id for finding in result.findings}
+
+
+# One failing fixture per artifact rule: (target, rules that must fire).
+CASES = [
+    ("wrapped_duplicate_id.xml", {"SEC001"}),
+    ("position_unbound.xml", {"SEC002"}),
+    ("enveloped_anomaly.xml", {"SEC003"}),
+    ("dangling_reference.xml", {"SEC004"}),
+    ("weak_algorithms.xml", {"SEC010", "SEC011"}),
+    ("short_rsa_key.xml", {"SEC012"}),
+    ("weak_cipher.xml", {"SEC013", "SEC014"}),
+    ("unsigned_script.xml", {"SEC020"}),
+    ("encrypted_then_signed.xml", {"SEC022"}),
+    ("permissions_mismatch", {"SEC030"}),
+    ("unsigned_cluster_disc", {"SEC040"}),
+    ("broken_disc", {"SEC041"}),
+]
+
+
+@pytest.mark.parametrize("name,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_fixture_triggers_rule(name, expected):
+    result = audit_paths([fixture(name)])
+    assert expected <= rule_ids(result), (
+        f"{name}: wanted {expected}, got {rule_ids(result)}"
+    )
+
+
+def test_clean_fixture_has_zero_findings():
+    result = audit_paths([fixture("clean.xml")])
+    assert result.findings == []
+    assert result.scanned == 1
+    assert result.coverage, "a signed document must produce a coverage map"
+
+
+def test_examples_corpus_is_clean():
+    """The committed quickstart artifacts must audit clean (CI gate)."""
+    artifacts = os.path.join(REPO_ROOT, "examples", "artifacts")
+    if not os.path.isdir(artifacts):
+        pytest.skip("examples/artifacts not present")
+    result = audit_paths([artifacts])
+    assert result.findings == [], [f.render() for f in result.findings]
+    assert result.scanned >= 2
+
+
+def test_wrapping_fixture_severity_is_error():
+    result = audit_paths([fixture("wrapped_duplicate_id.xml")])
+    assert result.worst() is not None
+    assert result.worst() >= Severity.ERROR
+    assert result.exceeds(Severity.WARNING)
+
+
+def test_clean_result_does_not_exceed_any_threshold():
+    result = audit_paths([fixture("clean.xml")])
+    assert not result.exceeds(Severity.INFO)
+
+
+def test_coverage_map_names_target():
+    result = audit_paths([fixture("clean.xml")])
+    entry = result.coverage[0]
+    refs = entry["references"]
+    assert len(refs) == 1
+    assert refs[0]["uri"] == ""
+    assert refs[0]["elements"] > 0
+
+
+def test_min_rsa_bits_is_tunable():
+    lax = audit_paths([fixture("short_rsa_key.xml")], min_rsa_bits=512)
+    assert "SEC012" not in rule_ids(lax)
+    strict = audit_paths([fixture("short_rsa_key.xml")],
+                         min_rsa_bits=4096)
+    assert "SEC012" in rule_ids(strict)
+
+
+def test_unparseable_artifact_is_a_finding(tmp_path):
+    bad = tmp_path / "garbage.xml"
+    bad.write_text("<unclosed>")
+    result = audit_paths([str(bad)])
+    assert rule_ids(result) == {"SEC041"}
+
+
+def test_auditor_accumulates_across_documents():
+    auditor = ArtifactAuditor()
+    auditor.audit_path(fixture("weak_algorithms.xml"))
+    auditor.audit_path(fixture("dangling_reference.xml"))
+    result = auditor.finish()
+    assert {"SEC004", "SEC010", "SEC011"} <= rule_ids(result)
+    assert result.scanned == 2
+
+
+def test_permission_grant_requires_matching_app_id(tmp_path):
+    """A Permit for another app must not satisfy this app's claim."""
+    src = fixture("permissions_mismatch")
+    for name in ("permissions.xml", "policy.xml"):
+        with open(os.path.join(src, name), encoding="utf-8") as handle:
+            text = handle.read()
+        if name == "policy.xml":
+            text = text.replace("greedy-app", "some-other-app")
+        (tmp_path / name).write_text(text)
+    result = audit_paths([str(tmp_path)])
+    findings = [f for f in result.findings if f.rule_id == "SEC030"]
+    # Both claims now fail: network (wrong subject) and local-storage.
+    assert len(findings) == 2

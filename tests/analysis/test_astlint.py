@@ -1,0 +1,236 @@
+"""One minimal violating snippet per AST rule, plus the clean-repo run."""
+
+import json
+import os
+import textwrap
+
+from repro.analysis import Baseline, lint_paths, lint_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def lint(snippet: str, path: str = "src/repro/dsig/example.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+def rule_ids(findings) -> set:
+    return {finding.rule_id for finding in findings}
+
+
+# -- LIN101: mutators must bump revision stamps -----------------------------
+
+
+SEEDED_MUTATOR_VIOLATION = """
+class Element:
+    def __init__(self):
+        self.children = []
+        self.revision = 0
+
+    def mark_mutated(self):
+        self.revision += 1
+
+    def append(self, child):
+        self.children.append(child)
+        self.mark_mutated()
+
+    def sneaky_remove(self, child):
+        # BUG under test: skips the revision bump.
+        self.children.remove(child)
+"""
+
+
+def test_lin101_catches_mutator_skipping_revision_bump():
+    findings = lint(SEEDED_MUTATOR_VIOLATION, "src/repro/xmlcore/x.py")
+    assert rule_ids(findings) == {"LIN101"}
+    (finding,) = findings
+    assert "sneaky_remove" in finding.message
+    assert finding.line > 0
+
+
+def test_lin101_clean_when_all_mutators_bump():
+    clean = SEEDED_MUTATOR_VIOLATION.replace(
+        "self.children.remove(child)",
+        "self.children.remove(child); self.mark_mutated()",
+    )
+    assert lint(clean, "src/repro/xmlcore/x.py") == []
+
+
+def test_lin101_ignores_modules_without_revision_protocol():
+    snippet = """
+    class Bag:
+        def add(self, item):
+            self.children.append(item)
+    """
+    assert lint(snippet, "src/repro/other/bag.py") == []
+
+
+def test_real_tree_module_passes_lin101():
+    tree = os.path.join(REPO_ROOT, "src", "repro", "xmlcore", "tree.py")
+    with open(tree, encoding="utf-8") as handle:
+        findings = lint_source(handle.read(), tree)
+    assert [f for f in findings if f.rule_id == "LIN101"] == []
+
+
+# -- LIN102: HMAC verdicts never memoized -----------------------------------
+
+
+def test_lin102_catches_lru_cached_hmac():
+    snippet = """
+    from functools import lru_cache
+
+    @lru_cache(maxsize=128)
+    def hmac_verify(key, data, tag):
+        return compute_hmac(key, data) == tag
+    """
+    assert "LIN102" in rule_ids(lint(snippet))
+
+
+def test_lin102_catches_hmac_stored_in_cache_table():
+    snippet = """
+    def check_hmac(key, data, tag):
+        verdict = slow_hmac(key, data, tag)
+        _verdict_cache[(id(key), data)] = verdict
+        return verdict
+    """
+    assert "LIN102" in rule_ids(lint(snippet))
+
+
+def test_lin102_allows_uncached_hmac():
+    snippet = """
+    def hmac_verify(key, data, tag):
+        return constant_time_equal(compute_hmac(key, data), tag)
+    """
+    assert lint(snippet) == []
+
+
+# -- LIN103: constant-time comparisons in crypto paths ----------------------
+
+
+def test_lin103_catches_digest_equality():
+    snippet = """
+    def check(reference, actual_digest):
+        return actual_digest == reference.digest_value
+    """
+    assert "LIN103" in rule_ids(lint(snippet))
+
+
+def test_lin103_ignores_non_crypto_paths():
+    snippet = """
+    def check(reference, actual_digest):
+        return actual_digest == reference.digest_value
+    """
+    assert lint(snippet, "src/repro/disc/example.py") == []
+
+
+def test_lin103_allows_algorithm_name_comparison():
+    snippet = """
+    def pick(signature_method):
+        if signature_method == RSA_SHA256:
+            return "rsa"
+    """
+    assert lint(snippet) == []
+
+
+def test_lin103_allows_literal_comparison():
+    snippet = """
+    def empty(sig):
+        return sig == b""
+    """
+    assert lint(snippet) == []
+
+
+# -- LIN104: injected clock in resilience code ------------------------------
+
+
+def test_lin104_catches_wall_clock():
+    snippet = """
+    import time
+
+    def backoff(attempt):
+        time.sleep(2 ** attempt)
+    """
+    findings = lint(snippet, "src/repro/resilience/retry_example.py")
+    assert "LIN104" in rule_ids(findings)
+
+
+def test_lin104_allows_injected_clock():
+    snippet = """
+    def backoff(clock, attempt):
+        clock.sleep(2 ** attempt)
+    """
+    path = "src/repro/resilience/retry_example.py"
+    assert lint(snippet, path) == []
+
+
+def test_lin104_does_not_apply_outside_resilience():
+    snippet = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+    assert lint(snippet, "src/repro/tools/example.py") == []
+
+
+# -- LIN105: raw primitives only via the provider ---------------------------
+
+
+def test_lin105_catches_raw_primitive_import():
+    snippet = """
+    from repro.primitives.rsa import rsa_sign
+    """
+    assert "LIN105" in rule_ids(lint(snippet))
+
+
+def test_lin105_catches_from_package_import():
+    snippet = """
+    from repro.primitives import aes
+    """
+    assert "LIN105" in rule_ids(lint(snippet))
+
+
+def test_lin105_allows_provider_and_utilities():
+    snippet = """
+    from repro.primitives.provider import get_provider
+    from repro.primitives.encoding import b64encode
+    from repro.primitives.hmac import constant_time_equal
+    from repro.primitives.keys import RSAPublicKey
+    """
+    assert lint(snippet) == []
+
+
+def test_lin105_exempts_provider_internals():
+    snippet = """
+    from repro.primitives.rsa import rsa_sign
+    """
+    assert lint(snippet, "src/repro/primitives/provider.py") == []
+
+
+# -- clean-repo run ----------------------------------------------------------
+
+
+def test_repo_lints_clean_modulo_baseline():
+    """`repro lint src` on this repo: zero findings after the baseline."""
+    src = os.path.join(REPO_ROOT, "src")
+    baseline_path = os.path.join(REPO_ROOT, "analysis-baseline.json")
+    result = lint_paths([src])
+    kept = Baseline.load(baseline_path).apply(result)
+    assert kept.findings == [], [f.render() for f in kept.findings]
+    assert kept.scanned > 100
+
+
+def test_baseline_file_is_wellformed():
+    with open(os.path.join(REPO_ROOT, "analysis-baseline.json"),
+              encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["version"] == 1
+    assert all("fingerprint" in entry for entry in payload["findings"])
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    result = lint_paths([str(bad)])
+    assert len(result.findings) == 1
+    assert "does not parse" in result.findings[0].message

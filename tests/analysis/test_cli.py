@@ -1,0 +1,102 @@
+"""The ``repro audit`` / ``repro lint`` command-line surface."""
+
+import json
+import os
+
+from repro.tools.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+# -- audit -------------------------------------------------------------------
+
+
+def test_audit_clean_exits_zero(capsys):
+    assert main(["audit", fixture("clean.xml")]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "signature coverage" in out
+
+
+def test_audit_wrapped_fixture_fails_with_rule_id(capsys):
+    code = main(["audit", fixture("wrapped_duplicate_id.xml")])
+    assert code == 1
+    assert "SEC001" in capsys.readouterr().out
+
+
+def test_audit_fail_on_threshold(capsys):
+    weak = fixture("weak_algorithms.xml")  # warnings only
+    assert main(["audit", weak]) == 1
+    assert main(["audit", "--fail-on", "error", weak]) == 0
+
+
+def test_audit_json_report(tmp_path, capsys):
+    out = str(tmp_path / "report.json")
+    code = main(["audit", "--json", out,
+                 fixture("wrapped_duplicate_id.xml")])
+    assert code == 1
+    capsys.readouterr()
+    with open(out, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert any(f["rule_id"] == "SEC001" for f in payload["findings"])
+
+
+def test_audit_rules_catalog(capsys):
+    assert main(["audit", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SEC001" in out and "SEC041" in out
+    assert "LIN101" not in out
+
+
+def test_audit_without_artifacts_is_usage_error(capsys):
+    assert main(["audit"]) == 2
+
+
+def test_audit_baseline_workflow(tmp_path, capsys):
+    """--update-baseline accepts today's findings; reruns pass."""
+    target = fixture("weak_algorithms.xml")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["audit", "--update-baseline", baseline, target]) == 0
+    assert main(["audit", "--baseline", baseline, target]) == 0
+    out = capsys.readouterr().out
+    assert "baseline-suppressed" in out
+    # A different finding is NOT covered by that baseline.
+    assert main(["audit", "--baseline", baseline,
+                 fixture("dangling_reference.xml")]) == 1
+
+
+# -- lint --------------------------------------------------------------------
+
+
+def test_lint_repo_passes_with_committed_baseline(capsys):
+    src = os.path.join(REPO_ROOT, "src")
+    baseline = os.path.join(REPO_ROOT, "analysis-baseline.json")
+    assert main(["lint", src, "--baseline", baseline]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_flags_seeded_violation(tmp_path, capsys):
+    bad = tmp_path / "badtree.py"
+    bad.write_text(
+        "class Node:\n"
+        "    def mark_mutated(self):\n"
+        "        pass\n"
+        "    def drop(self, child):\n"
+        "        self.children.remove(child)\n"
+    )
+    assert main(["lint", str(bad)]) == 1
+    assert "LIN101" in capsys.readouterr().out
+
+
+def test_lint_rules_catalog(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "LIN101" in out and "LIN105" in out
+    assert "SEC001" not in out

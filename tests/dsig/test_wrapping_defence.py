@@ -1,0 +1,71 @@
+"""Duplicate-Id resolution is a hard failure (wrapping defence).
+
+A signature over ``#id`` used to dereference the *first* element in
+document order carrying that Id — exactly the ambiguity a wrapping
+attacker exploits by planting a decoy before the signed original.
+Resolution now refuses ambiguous documents outright.
+"""
+
+import pytest
+
+from repro.dsig import Reference, Signer, Transform, Verifier
+from repro.dsig.reference import ReferenceContext, dereference
+from repro.errors import ReferenceError_
+from repro.xmlcore import C14N, DSIG_NS, parse_element, serialize
+
+
+@pytest.fixture
+def signer(pki):
+    return Signer(pki.studio.key, identity=pki.studio)
+
+
+@pytest.fixture
+def verifier(pki, trust_store):
+    return Verifier(trust_store=trust_store, require_trusted_key=True)
+
+
+def _dereference(root, uri):
+    reference = Reference(uri=uri, transforms=[Transform(C14N)])
+    return dereference(reference, ReferenceContext(root=root))
+
+
+def test_unique_id_still_resolves(manifest):
+    target, _ = _dereference(manifest, "#markup-1")
+    assert target.get("Id") == "markup-1"
+
+
+def test_missing_id_raises(manifest):
+    with pytest.raises(ReferenceError_, match="no element with Id"):
+        _dereference(manifest, "#nonexistent")
+
+
+def test_duplicate_id_refused(manifest):
+    decoy = parse_element(
+        '<markup xmlns="urn:bda:bdmv:interactive-cluster" Id="markup-1">'
+        "<submarkup kind='layout' Id='evil-1'/></markup>"
+    )
+    manifest.find("code").append(decoy)
+    with pytest.raises(ReferenceError_, match="duplicate Id"):
+        _dereference(manifest, "#markup-1")
+
+
+def test_wrapped_signature_does_not_verify(signer, verifier, manifest):
+    """End to end: planting a decoy Id invalidates the signature."""
+    signature = signer.sign_enveloped(manifest, uri="#manifest-1")
+    assert verifier.verify(signature).valid
+
+    wrapper = parse_element(
+        "<delivery>"
+        '<manifest xmlns="urn:bda:bdmv:interactive-cluster"'
+        ' Id="manifest-1"><code Id="evil-code">'
+        '<script Id="evil-script">grantEverything();</script>'
+        "</code></manifest></delivery>"
+    )
+    reparsed = parse_element(serialize(manifest))
+    wrapper.append(reparsed)
+    moved = reparsed.find("Signature", DSIG_NS)
+    report = verifier.verify(moved)
+    assert not report.valid
+    assert not report.references_valid
+    assert any("duplicate Id" in (r.error or "")
+               for r in report.references)
