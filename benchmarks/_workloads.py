@@ -42,6 +42,29 @@ def measure(fn, *, warmup: int = 1, repeat: int = 5) -> float:
     return samples[len(samples) // 2]
 
 
+def measure_pair(fn_a, fn_b, *, repeat: int = 25) -> tuple[float, float]:
+    """Median seconds of two callables, sampled *interleaved*.
+
+    For overhead ratios between two fast paths (e.g. guarded vs
+    unguarded warm batch verify): two back-to-back :func:`measure`
+    blocks let scheduler drift swamp a small real difference, while
+    alternating the callables makes any drift hit both sample sets
+    equally — the ratio of the medians then isolates the actual delta.
+    """
+    a_samples: list[float] = []
+    b_samples: list[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn_a()
+        a_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        b_samples.append(time.perf_counter() - start)
+    a_samples.sort()
+    b_samples.sort()
+    return a_samples[repeat // 2], b_samples[repeat // 2]
+
+
 def timed(fn) -> tuple[float, object]:
     """``(seconds, result)`` of a single ``fn()`` call.
 

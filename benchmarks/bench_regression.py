@@ -30,7 +30,12 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _workloads import build_manifest, build_world, measure  # noqa: E402
+from _workloads import (  # noqa: E402
+    build_manifest,
+    build_world,
+    measure,
+    measure_pair,
+)
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)),
@@ -48,6 +53,10 @@ DIRECTIONS = {
     # pure ratios; higher is better
     "batch_speedup": "higher",
     "warm_digest_hit_ratio": "higher",
+    # ABL-GUARD: guarded / unguarded warm batch verify; lower is better
+    # (1.0 = free; the acceptance envelope is <= 1.05 on the committing
+    # machine, gated here at baseline * (1 + threshold) for CI noise)
+    "guard_overhead_ratio": "lower",
 }
 
 
@@ -105,6 +114,32 @@ def run_benchmarks() -> dict:
         raise SystemExit("bench workload failed to verify")
     warm_time = measure(lambda: engine.verify_all(root), warmup=1, repeat=5)
 
+    # ABL-GUARD: the same warm batch-verify workload with a per-package
+    # ResourceGuard threaded through (the player's deployment shape).
+    # A fresh guard is minted per pass — quotas are per-package, and the
+    # mint cost is part of the honest overhead.
+    from repro.resilience import ResourceGuard
+
+    guarded_engine = BatchVerifier(
+        Verifier(
+            trust_store=world.trust_store,
+            require_trusted_key=True,
+            cache=C14NDigestCache(),
+            guard=ResourceGuard(),
+        )
+    )
+    if not guarded_engine.verify_all(root).all_valid:
+        raise SystemExit("guarded bench workload failed to verify")
+
+    def guarded_verify():
+        guarded_engine.verifier.guard = ResourceGuard()
+        return guarded_engine.verify_all(root)
+
+    plain_time, guarded_time = measure_pair(
+        lambda: engine.verify_all(root),
+        guarded_verify,
+    )
+
     registry = metrics.push_registry()
     try:
         engine.verify_all(root)
@@ -142,6 +177,7 @@ def run_benchmarks() -> dict:
             "verify_sequential_8_norm": seq_time / calibration,
             "verify_batch_warm_8_norm": warm_time / calibration,
             "batch_speedup": seq_time / warm_time,
+            "guard_overhead_ratio": guarded_time / plain_time,
             "warm_digest_hit_ratio": hit_ratio,
             "c14n_manifest_norm": c14n_time / calibration,
             "sign_detached_norm": sign_time / calibration,
@@ -150,6 +186,7 @@ def run_benchmarks() -> dict:
         "raw_seconds": {
             "verify_sequential_8": seq_time,
             "verify_batch_warm_8": warm_time,
+            "verify_batch_warm_8_guarded": guarded_time,
             "c14n_manifest": c14n_time,
             "sign_detached": sign_time,
             "audit_8sig": audit_time,

@@ -1,0 +1,105 @@
+"""ABL-GUARD — Ablation: ResourceGuard overhead on the hot paths.
+
+The quota layer (:mod:`repro.resilience.limits`) meters every
+untrusted-input entry point.  A CE player spends almost all of its
+life on *legitimate* input, so the meter must cost essentially nothing
+when no quota trips.  This bench compares the ABL-GRAN warm
+batch-verify workload (8/8 signed sub-markups, digest cache primed)
+with and without a per-package guard threaded through, and a guarded
+vs quota-free parse of the same package for scale.
+
+The regression gate tracks the verify ratio as
+``guard_overhead_ratio`` in ``benchmarks/baseline.json``; the
+acceptance envelope is <= 1.05 on the committing machine.
+"""
+
+import pytest
+
+from _workloads import build_manifest, measure_pair, report
+from repro.dsig import Signer, Verifier
+from repro.perf import BatchVerifier, C14NDigestCache
+from repro.resilience import ResourceGuard, ResourceLimits
+from repro.xmlcore import parse_element, serialize
+
+ACCEPTANCE_RATIO = 1.05
+#: headroom over the acceptance envelope for shared-CI scheduler noise
+#: (the committed gate in baseline.json is the authoritative check)
+NOISE_ALLOWANCE = 1.15
+
+
+@pytest.fixture(scope="module")
+def signed_root(world):
+    signer = Signer(world.studio.key, identity=world.studio)
+    root = build_manifest(
+        "abl-guard", scripts=1, script_lines=120, submarkups=8,
+    ).to_element()
+    for target in root.iter("submarkup"):
+        signer.sign_detached(f"#{target.get('Id')}", parent=root)
+    return root
+
+
+def warm_engine(world, guard):
+    engine = BatchVerifier(Verifier(
+        trust_store=world.trust_store, require_trusted_key=True,
+        cache=C14NDigestCache(), guard=guard,
+    ))
+    return engine
+
+
+def test_ablguard_warm_verify_plain(benchmark, world, signed_root):
+    engine = warm_engine(world, None)
+    assert engine.verify_all(signed_root).all_valid   # prime the cache
+    assert benchmark(lambda: engine.verify_all(signed_root)).all_valid
+
+
+def test_ablguard_warm_verify_guarded(benchmark, world, signed_root):
+    engine = warm_engine(world, ResourceGuard())
+    assert engine.verify_all(signed_root).all_valid   # prime the cache
+
+    def verify():
+        engine.verifier.guard = ResourceGuard()   # fresh per package
+        return engine.verify_all(signed_root)
+
+    assert benchmark(verify).all_valid
+
+
+def test_ablguard_parse_overhead(benchmark, signed_root):
+    """Parsing under the default quota vs with quotas disabled.
+
+    Even the unlimited guard runs every check (each one a no-op
+    comparison), so this bounds the *bookkeeping* cost on the parse
+    hot loop rather than the cost of any particular limit value.
+    """
+    xml = serialize(signed_root)
+    unlimited = ResourceGuard(ResourceLimits.unlimited())
+    defaulted, quota_free = measure_pair(
+        lambda: parse_element(xml, guard=ResourceGuard()),
+        lambda: parse_element(xml, guard=unlimited),
+    )
+    benchmark(lambda: parse_element(xml, guard=ResourceGuard()))
+    assert defaulted <= quota_free * NOISE_ALLOWANCE
+
+
+def test_ablguard_report(benchmark, world, signed_root):
+    """The paper-style row the regression gate pins down."""
+    plain_engine = warm_engine(world, None)
+    guarded_engine = warm_engine(world, ResourceGuard())
+    assert plain_engine.verify_all(signed_root).all_valid
+    assert guarded_engine.verify_all(signed_root).all_valid
+
+    def guarded_verify():
+        guarded_engine.verifier.guard = ResourceGuard()
+        return guarded_engine.verify_all(signed_root)
+
+    plain, guarded = measure_pair(
+        lambda: plain_engine.verify_all(signed_root), guarded_verify,
+    )
+    ratio = guarded / plain if plain else 1.0
+    benchmark(guarded_verify)
+    report("ABL-GUARD quota-meter overhead (warm batch verify, 8 sigs)", [
+        f"unguarded verify_all {plain * 1e6:9.1f} us",
+        f"guarded verify_all   {guarded * 1e6:9.1f} us",
+        f"overhead ratio       {ratio:9.3f} (acceptance <= "
+        f"{ACCEPTANCE_RATIO})",
+    ])
+    assert ratio <= ACCEPTANCE_RATIO * NOISE_ALLOWANCE

@@ -13,6 +13,10 @@ Machine-checks the contracts the test suite can only spot-check:
   clock, so fault schedules stay deterministic.
 * ``LIN105`` — raw crypto primitives are reached only through
   ``primitives.provider`` (so provider swaps cover every call site).
+* ``LIN106`` — untrusted-input modules never parse XML without an
+  explicit ``guard=`` resource quota (the DoS hardening contract:
+  hostile documents must hit a :class:`ResourceGuard`, and the call
+  site must say *which* one).
 
 Rules are heuristic by design: they pattern-match the shapes this
 codebase actually uses, and anything legitimately outside a rule goes
@@ -59,6 +63,16 @@ LIN105 = register(
     "primitives.provider.",
 )
 
+LIN106 = register(
+    "LIN106", "unguarded parse of untrusted input", Severity.WARNING,
+    "code",
+    "A module on an untrusted-input path (network, xkms, xmlenc, "
+    "player, package/pipeline/disc-image/batch entry points) calls "
+    "parse_document/parse_element without an explicit guard= keyword; "
+    "pass the session's ResourceGuard, or ResourceGuard.default() to "
+    "document that the CE-device default quota is intended.",
+)
+
 # LIN101: attributes whose direct mutation must be stamped.
 _TREE_STATE = ("children", "attrs", "ns_decls", "_data")
 _MUTATING_METHODS = ("append", "insert", "remove", "pop", "clear",
@@ -80,6 +94,12 @@ _WALL_CLOCK = {("time", "time"), ("time", "monotonic"),
 # data-model/utility surfaces, not raw algorithms.
 _RAW_PRIMITIVES = {"aes", "des", "rsa", "sha", "modes", "keywrap",
                    "prime"}
+
+# LIN106: where XML arrives from the other side of a trust boundary.
+_UNTRUSTED_DIRS = ("/network/", "/xkms/", "/xmlenc/", "/player/")
+_UNTRUSTED_FILES = ("core/package.py", "core/playback_pipeline.py",
+                    "disc/image.py", "perf/batch.py")
+_PARSE_ENTRY_POINTS = ("parse_document", "parse_element")
 
 
 def _name_hint(node: ast.expr) -> str:
@@ -142,6 +162,10 @@ class _FileLint:
             part in normalized for part in
             ("/dsig/", "/xmlenc/", "/primitives/", "/omadcf/")
         )
+        self.in_untrusted_input = (
+            any(part in normalized for part in _UNTRUSTED_DIRS)
+            or normalized.endswith(_UNTRUSTED_FILES)
+        )
         # LIN101 applies to modules that define the revision protocol
         # (the tree model and anything shaped like it).
         self.defines_mark_mutated = any(
@@ -162,6 +186,7 @@ class _FileLint:
                 self._lint_compare(node)
             if isinstance(node, ast.Call):
                 self._lint_wall_clock(node)
+                self._lint_unguarded_parse(node)
         return self.findings
 
     # -- LIN101 ----------------------------------------------------------------
@@ -279,6 +304,23 @@ class _FileLint:
                 f"wall-clock call {dotted}(); use the injected clock",
                 line=node.lineno,
             ))
+
+    # -- LIN106 ----------------------------------------------------------------
+
+    def _lint_unguarded_parse(self, node: ast.Call) -> None:
+        if not self.in_untrusted_input:
+            return
+        name = _dotted(node.func).rsplit(".", 1)[-1]
+        if name not in _PARSE_ENTRY_POINTS:
+            return
+        if any(kw.arg == "guard" for kw in node.keywords):
+            return
+        self.findings.append(LIN106.finding(
+            self.path,
+            f"{name}() on an untrusted-input path without an explicit "
+            "guard= resource quota",
+            line=node.lineno,
+        ))
 
     # -- LIN105 ----------------------------------------------------------------
 

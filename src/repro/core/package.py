@@ -56,9 +56,17 @@ class PackageView:
         return serialize_bytes(self.root)
 
 
-def parse_package(data: bytes | str | Element) -> PackageView:
-    """Parse package bytes (or an already-parsed root) into a view."""
-    root = data if isinstance(data, Element) else parse_element(data)
+def parse_package(data: bytes | str | Element, *,
+                  guard=None) -> PackageView:
+    """Parse package bytes (or an already-parsed root) into a view.
+
+    Downloaded packages are untrusted; *guard* meters the parse (and
+    is the guard the pipeline later reuses for decryption), so a
+    structural resource attack trips a typed limit here instead of
+    exhausting the player.
+    """
+    root = data if isinstance(data, Element) \
+        else parse_element(data, guard=guard)
     if root.local != "applicationPackage":
         raise DiscFormatError(
             f"expected applicationPackage, got {root.local!r}"

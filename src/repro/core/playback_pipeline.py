@@ -23,7 +23,8 @@ from repro.core.package import PackageView, parse_package
 from repro.disc.manifest import ApplicationManifest
 from repro.dsig.verifier import VerificationReport, Verifier
 from repro.errors import (
-    ApplicationRejectedError, DiscFormatError, NetworkError, XKMSError,
+    ApplicationRejectedError, DiscFormatError, NetworkError,
+    ResourceLimitExceeded, XKMSError,
 )
 from repro.perf import metrics
 from repro.permissions.request_file import (
@@ -32,6 +33,7 @@ from repro.permissions.request_file import (
 from repro.primitives.keys import RSAPrivateKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.resilience.degradation import DegradationEvent, DegradationLog
+from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.xmlcore import DISC_NS
 from repro.xmlenc.decryptor import Decryptor
 
@@ -73,6 +75,11 @@ class PlaybackPipeline:
             and — if the key still cannot be established — the
             application runs with ``trusted=False`` and the reason
             recorded, rather than aborting playback.
+        limits: resource quotas for untrusted package input; a fresh
+            :class:`ResourceGuard` is minted per ``open_package`` call
+            and threaded through parse → verify → decrypt, so a
+            resource attack is rejected (and recorded in the
+            degradation log) instead of exhausting the device.
         now: simulation time for certificate checks.
     """
 
@@ -86,6 +93,7 @@ class PlaybackPipeline:
     key_locator: Callable | None = None
     degradation: DegradationLog = field(default_factory=DegradationLog)
     provider: CryptoProvider | None = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
     now: float = 0.0
 
     def __post_init__(self):
@@ -112,8 +120,8 @@ class PlaybackPipeline:
                 return None
         return locate
 
-    def _decryptor(self) -> Decryptor:
-        decryptor = Decryptor(provider=self.provider)
+    def _decryptor(self, guard: ResourceGuard | None = None) -> Decryptor:
+        decryptor = Decryptor(provider=self.provider, guard=guard)
         for name, key in self.key_slots.items():
             decryptor.add_key(name, key)
         if self.device_key is not None:
@@ -146,14 +154,23 @@ class PlaybackPipeline:
                       *, execute_excepted: bool = True
                       ) -> VerifiedApplication:
         from repro.errors import XMLError
+        guard = ResourceGuard(self.limits)
         try:
-            view = parse_package(data)
+            view = parse_package(data, guard=guard)
+        except ResourceLimitExceeded as exc:
+            # A structural resource attack is not a transient failure:
+            # record the degradation and bar the package.
+            self.degradation.record("package", "open", exc)
+            raise ApplicationRejectedError(
+                f"package exceeds resource limits (hostile or "
+                f"corrupted): {exc}"
+            ) from None
         except XMLError as exc:
             raise ApplicationRejectedError(
                 f"package is not well-formed XML (corrupted or "
                 f"tampered): {exc}"
             ) from None
-        decryptor = self._decryptor()
+        decryptor = self._decryptor(guard)
         report: VerificationReport | None = None
         signer_subject: str | None = None
         trusted = False
@@ -163,7 +180,7 @@ class PlaybackPipeline:
             verifier = Verifier(
                 trust_store=self.trust_store, require_trusted_key=True,
                 key_locator=self._guarded_locator(infra_events),
-                provider=self.provider, now=self.now,
+                provider=self.provider, now=self.now, guard=guard,
             )
             report = verifier.verify(view.signature_element,
                                      decryptor=decryptor)
@@ -180,6 +197,13 @@ class PlaybackPipeline:
                     not r.valid for r in report.references
                 )
                 if not (infra_events and not evidence_of_tampering):
+                    if guard.trips:
+                        # The signature failed because a resource quota
+                        # fired mid-verification (e.g. a decrypt bomb
+                        # behind a Decryption Transform): put the real
+                        # reason on the log before barring.
+                        self.degradation.record("package", "verify",
+                                                guard.trips[-1])
                     raise ApplicationRejectedError(
                         "signature verification failed; application "
                         "barred: " + "; ".join(
@@ -193,8 +217,17 @@ class PlaybackPipeline:
                 "unsigned application barred by player policy"
             )
 
-        # Unlock for execution.
-        decryptor.decrypt_in_place(view.root)
+        # Unlock for execution.  A decrypt bomb (plaintext quota or
+        # expansion-ratio trip) bars the package like any other
+        # resource attack — with the decision on the degradation log.
+        try:
+            decryptor.decrypt_in_place(view.root)
+        except ResourceLimitExceeded as exc:
+            self.degradation.record("package", "decrypt", exc)
+            raise ApplicationRejectedError(
+                f"package decryption exceeds resource limits "
+                f"(decrypt bomb?): {exc}"
+            ) from None
         manifest_element = view.root.first_child("manifest", DISC_NS) \
             or view.root.find("manifest", DISC_NS) \
             or view.root.find("manifest")

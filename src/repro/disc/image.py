@@ -23,6 +23,7 @@ from repro.perf import metrics
 from repro.disc.clipinfo import ClipInfo
 from repro.disc.formats import BD_ROM, DiscFormat
 from repro.disc.hierarchy import InteractiveCluster
+from repro.resilience.limits import ResourceGuard
 from repro.xmlcore import parse_element
 
 CLUSTER_PATH = "BDMV/CLUSTER/cluster.xml"
@@ -106,14 +107,21 @@ class DiscImage:
         return self.layout.cluster_path()
 
     def cluster(self) -> InteractiveCluster:
-        """Parse the Interactive Cluster markup."""
+        """Parse the Interactive Cluster markup.
+
+        Disc markup is untrusted input (a hostile disc is the paper's
+        first threat vector), so the parse runs under default resource
+        quotas.
+        """
         return InteractiveCluster.from_element(
-            parse_element(self.read(self.layout.cluster_path()))
+            parse_element(self.read(self.layout.cluster_path()),
+                          guard=ResourceGuard.default())
         )
 
     def cluster_element(self):
         """The raw cluster element (for verification in context)."""
-        return parse_element(self.read(self.layout.cluster_path()))
+        return parse_element(self.read(self.layout.cluster_path()),
+                             guard=ResourceGuard.default())
 
     def clip_info(self, clip_id: str) -> ClipInfo:
         return ClipInfo.from_xml(

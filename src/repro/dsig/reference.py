@@ -116,6 +116,10 @@ class ReferenceContext:
         cache: optional :class:`~repro.perf.cache.C14NDigestCache`;
             when set, eligible same-document references take the cached
             fast path (see :func:`compute_reference_digest`).
+        guard: optional
+            :class:`~repro.resilience.limits.ResourceGuard` charged
+            with the canonical octets produced while digesting (cold
+            path only — cache hits produce no new octets).
     """
 
     root: Element | None = None
@@ -124,6 +128,7 @@ class ReferenceContext:
     decryptor: object | None = None
     namespaces: dict[str, str] = field(default_factory=dict)
     cache: C14NDigestCache | None = None
+    guard: object | None = None
 
 
 def dereference(reference: Reference,
@@ -258,7 +263,8 @@ def compute_reference_digest(reference: Reference,
             def compute() -> bytes:
                 octets = cache.canonical_octets(
                     context.root, target, algorithm, prefixes,
-                    lambda: canonicalize(target, algorithm, prefixes),
+                    lambda: canonicalize(target, algorithm, prefixes,
+                                         guard=context.guard),
                 )
                 return algorithms.compute_digest(
                     reference.digest_method, octets, provider,
@@ -270,6 +276,10 @@ def compute_reference_digest(reference: Reference,
             )
         value, tcontext = dereference(reference, context)
         octets = apply_transforms(value, reference.transforms, tcontext)
+        if context.guard is not None:
+            # Transform chains (c14n, XPath, decryption) materialize
+            # the whole octet stream; meter it like direct c14n output.
+            context.guard.charge_c14n_output(len(octets))
         return algorithms.compute_digest(reference.digest_method, octets,
                                          provider)
 

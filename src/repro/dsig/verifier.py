@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import (
-    ReproError, VerificationError,
+    ReproError, ResourceLimitExceeded, VerificationError,
 )
 from repro.perf import metrics
 from repro.perf.cache import C14NDigestCache, get_default_cache
@@ -112,6 +112,11 @@ class Verifier:
             :class:`~repro.perf.cache.NullCache` to force every digest
             to be recomputed (the sequential baseline).
         now: simulation time for certificate validity checks.
+        guard: optional :class:`~repro.resilience.limits.ResourceGuard`
+            enforcing per-signature reference/transform quotas, the
+            c14n output quota, and the wall-clock budget during
+            verification.  Quota trips surface as an invalid report
+            (reference- and signature-level), never an untyped crash.
     """
 
     def __init__(self, *, trust_store: TrustStore | None = None,
@@ -120,7 +125,8 @@ class Verifier:
                  provider: CryptoProvider | None = None,
                  max_references: int = 256,
                  cache: C14NDigestCache | None = None,
-                 now: float = 0.0):
+                 now: float = 0.0,
+                 guard=None):
         self.trust_store = trust_store
         self.require_trusted_key = require_trusted_key
         self.resolver = resolver
@@ -132,6 +138,7 @@ class Verifier:
         self.max_references = max_references
         self.cache = cache if cache is not None else get_default_cache()
         self.now = now
+        self.guard = guard
 
     def verify(self, signature: Element, *, key=None,
                document_root: Element | None = None,
@@ -184,6 +191,13 @@ class Verifier:
                 f"references (limit {self.max_references}); refusing"
             )
             return report
+        if self.guard is not None:
+            try:
+                self.guard.check_deadline()
+                self.guard.check_reference_count(len(signed_info.references))
+            except ResourceLimitExceeded as exc:
+                report.error = f"refusing signature: {exc}"
+                return report
 
         verification_key = self._resolve_key(signature, key, report)
         if verification_key is None:
@@ -226,6 +240,7 @@ class Verifier:
             root=document_root, signature=signature,
             resolver=self.resolver, decryptor=decryptor,
             namespaces=namespaces or {}, cache=self.cache,
+            guard=self.guard,
         )
         for reference in signed_info.references:
             report.references.append(
@@ -246,6 +261,12 @@ class Verifier:
                          context: ReferenceContext) -> ReferenceResult:
         if reference.digest_value is None:
             return ReferenceResult(reference.uri, False, "no digest value")
+        if self.guard is not None:
+            try:
+                self.guard.check_transform_count(len(reference.transforms))
+                self.guard.check_deadline()
+            except ResourceLimitExceeded as exc:
+                return ReferenceResult(reference.uri, False, str(exc))
         try:
             actual = compute_reference_digest(reference, context,
                                               self.provider)

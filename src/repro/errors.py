@@ -52,6 +52,38 @@ class CanonicalizationError(XMLError):
 
 
 # ---------------------------------------------------------------------------
+# Resource governance
+# ---------------------------------------------------------------------------
+
+class ResourceLimitExceeded(ReproError):
+    """Raised when untrusted input exceeds a :class:`ResourceGuard` quota.
+
+    This is the typed containment signal for resource-exhaustion
+    attacks (deep nesting, attribute floods, giant text nodes,
+    reference bombs, decompression blow-ups, oversized frames): the
+    pipeline converts what would otherwise be a ``RecursionError`` or
+    ``MemoryError`` into a catchable, classifiable failure.
+
+    Carries the ``limit_name`` (the :class:`ResourceLimits` field that
+    tripped), the configured ``limit`` and the offending ``actual``
+    value.
+    """
+
+    def __init__(self, limit_name: str, *, limit: float | None = None,
+                 actual: float | None = None, detail: str = ""):
+        message = f"resource limit {limit_name} exceeded"
+        if limit is not None and actual is not None:
+            message += f" ({actual:g} > {limit:g})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.limit_name = limit_name
+        self.limit = limit
+        self.actual = actual
+        self.detail = detail
+
+
+# ---------------------------------------------------------------------------
 # Cryptographic primitives
 # ---------------------------------------------------------------------------
 

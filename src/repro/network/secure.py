@@ -35,6 +35,7 @@ from repro.primitives.padding import pkcs7_pad, pkcs7_unpad
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.primitives.random import RandomSource, default_random
 from repro.network.channel import Channel
+from repro.resilience.limits import ResourceGuard
 from repro.xmlcore import element, parse_element, serialize_bytes
 
 _NONCE = 32
@@ -154,7 +155,9 @@ def _chain_to_xml(chain: list[Certificate]) -> bytes:
 
 
 def _chain_from_xml(payload: bytes) -> list[Certificate]:
-    holder = parse_element(payload)
+    # Handshake payloads arrive before any authentication, so the
+    # certificate chain XML is parsed under default resource quotas.
+    holder = parse_element(payload, guard=ResourceGuard.default())
     return [
         Certificate.from_element(child)
         for child in holder.child_elements()

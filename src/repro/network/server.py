@@ -13,11 +13,12 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, ResourceLimitExceeded
 from repro.certs.authority import SigningIdentity
 from repro.certs.store import TrustStore
 from repro.network.channel import Channel
 from repro.network.secure import SecureClient, SecureServer, establish
+from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.resilience.retry import CircuitBreaker, RetryPolicy
 
 _REQ = 0x10
@@ -31,9 +32,16 @@ def _encode(kind: int, *parts: bytes) -> bytes:
     return struct.pack(">B", kind) + body
 
 
-def _decode(message: bytes) -> tuple[int, list[bytes]]:
+def _decode(message: bytes, *,
+            max_bytes: int | None = None) -> tuple[int, list[bytes]]:
     if not message:
         raise NetworkError("empty message")
+    if max_bytes is not None and len(message) > max_bytes:
+        # Cap enforced before any part is materialized, so an
+        # oversized frame costs one length check, not a copy.
+        raise ResourceLimitExceeded(
+            "max_frame_bytes", limit=max_bytes, actual=len(message),
+        )
     kind = message[0]
     parts: list[bytes] = []
     offset = 1
@@ -58,12 +66,17 @@ class ContentServer:
 
     Args:
         identity: certificate identity for secure-channel serving.
+        limits: resource quotas for incoming frames; a frame larger
+            than ``limits.max_frame_bytes`` (or one that fails to
+            decode) is answered with a protocol error frame — the
+            server never raises at a hostile peer's behest.
     """
 
     identity: SigningIdentity | None = None
     resources: dict[str, bytes] = field(default_factory=dict)
     services: dict[str, Callable[[str], str]] = field(default_factory=dict)
     request_log: list[str] = field(default_factory=list)
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
 
     def publish(self, path: str, data: bytes) -> None:
         self.resources[path] = bytes(data)
@@ -73,23 +86,44 @@ class ContentServer:
         self.services[name] = handler
 
     def handle(self, message: bytes) -> bytes:
-        """Process one request message (already off the wire)."""
-        kind, parts = _decode(message)
+        """Process one request message (already off the wire).
+
+        Always returns a response frame: malformed, oversized or
+        undecodable requests get a ``400``/``413`` error frame instead
+        of an exception the transport would surface as a crash.
+        """
+        try:
+            kind, parts = _decode(
+                message, max_bytes=self.limits.max_frame_bytes,
+            )
+        except ResourceLimitExceeded as exc:
+            self.request_log.append("OVERSIZED")
+            return _encode(_RESP_ERR, f"413 frame too large: {exc}".encode())
+        except NetworkError as exc:
+            self.request_log.append("MALFORMED")
+            return _encode(_RESP_ERR, f"400 malformed frame: {exc}".encode())
         if kind == _REQ and len(parts) == 1:
-            path = parts[0].decode("utf-8")
+            try:
+                path = parts[0].decode("utf-8")
+            except UnicodeDecodeError:
+                return _encode(_RESP_ERR, b"400 bad path encoding")
             self.request_log.append(f"GET {path}")
             data = self.resources.get(path)
             if data is None:
                 return _encode(_RESP_ERR, f"404 {path}".encode())
             return _encode(_RESP_OK, data)
         if kind == _CALL and len(parts) == 2:
-            name = parts[0].decode("utf-8")
+            try:
+                name = parts[0].decode("utf-8")
+                payload = parts[1].decode("utf-8")
+            except UnicodeDecodeError:
+                return _encode(_RESP_ERR, b"400 bad request encoding")
             self.request_log.append(f"CALL {name}")
             service = self.services.get(name)
             if service is None:
                 return _encode(_RESP_ERR, f"404 service {name}".encode())
             try:
-                result = service(parts[1].decode("utf-8"))
+                result = service(payload)
             except Exception as exc:
                 return _encode(_RESP_ERR, f"500 {exc}".encode())
             return _encode(_RESP_OK, result.encode("utf-8"))
@@ -108,6 +142,11 @@ class DownloadClient:
     (including the secure handshake) on transient
     :class:`NetworkError`\\ s; an optional *circuit_breaker* stops
     hammering a dead server across calls.
+
+    Responses are untrusted input: a frame larger than
+    ``limits.max_frame_bytes`` is refused with a typed
+    :class:`~repro.errors.ResourceLimitExceeded` before any part of
+    it is decoded.
     """
 
     server: ContentServer
@@ -115,6 +154,7 @@ class DownloadClient:
     trust_store: TrustStore | None = None
     retry_policy: RetryPolicy | None = None
     circuit_breaker: CircuitBreaker | None = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
 
     def _execute(self, operation, describe: str) -> bytes:
         if self.retry_policy is not None:
@@ -147,6 +187,8 @@ class DownloadClient:
         return client_session.open(wire)
 
     def _parse_response(self, response: bytes) -> bytes:
+        guard = ResourceGuard(self.limits)
+        guard.check_frame_size(len(response))
         kind, parts = _decode(response)
         if kind == _RESP_OK and parts:
             return parts[0]

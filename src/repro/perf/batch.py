@@ -259,8 +259,9 @@ def _first_reference_uri(signature: Element) -> str:
 def _process_verify_one(payload: bytes, index: int,
                         spec: dict) -> VerificationReport:
     """Worker entry point for process-backed batch verification."""
+    from repro.resilience.limits import ResourceGuard
     from repro.xmlcore import parse_element
-    root = parse_element(payload)
+    root = parse_element(payload, guard=ResourceGuard.default())
     signatures = [
         child for child in root.child_elements()
         if child.local == "Signature" and child.ns_uri == DSIG_NS

@@ -359,11 +359,15 @@ class DiscPlayer:
         returns ``None`` — the disc keeps playing with that bonus
         application barred.  Mandatory downloads re-raise.
         """
-        from repro.errors import NetworkError
+        from repro.errors import NetworkError, ResourceLimitExceeded
         try:
             data = client.fetch(path, secure=secure)
             return self.engine.load_package(data)
-        except (NetworkError, ApplicationRejectedError) as exc:
+        except (NetworkError, ApplicationRejectedError,
+                ResourceLimitExceeded) as exc:
+            # ResourceLimitExceeded covers quota trips surfacing
+            # outside the pipeline's own handling (e.g. an oversized
+            # response frame refused by the download client).
             if not optional:
                 raise
             self.degradation.record("download", path, exc)
@@ -378,12 +382,12 @@ class DiscPlayer:
         is recorded in :attr:`degradation` with its failure-mode code
         and playback continues without it.
         """
-        from repro.errors import NetworkError
+        from repro.errors import NetworkError, ResourceLimitExceeded
         fetched: dict[str, bytes] = {}
         for path in paths:
             try:
                 fetched[path] = client.fetch(path, secure=secure)
-            except NetworkError as exc:
+            except (NetworkError, ResourceLimitExceeded) as exc:
                 self.degradation.record("download", path, exc)
         return fetched
 

@@ -10,15 +10,23 @@ Three pieces, threaded through the network, XKMS and player layers:
   backoff + jitter + deadline budgets) and :class:`CircuitBreaker`;
 * :mod:`~repro.resilience.degradation` — the failure-mode taxonomy and
   the :class:`DegradationLog` the player keeps when it bars a resource
-  or downgrades trust instead of aborting playback.
+  or downgrades trust instead of aborting playback;
+* :mod:`~repro.resilience.limits` — :class:`ResourceLimits` quotas and
+  the per-document :class:`ResourceGuard` meter that turn
+  resource-exhaustion attacks into typed
+  :class:`~repro.errors.ResourceLimitExceeded` failures;
+* :mod:`~repro.resilience.chaos` — the seeded adversarial chaos
+  harness that drives full pipelines under fault injection and a
+  resource-attack corpus, asserting containment invariants.
 """
 
 from repro.resilience.clock import SimulatedClock, SystemClock
 from repro.resilience.degradation import (
     REASON_CIRCUIT_OPEN, REASON_ERROR, REASON_INTEGRITY, REASON_REJECTED,
-    REASON_RETRY_EXHAUSTED, REASON_TIMEOUT, REASON_UNREACHABLE,
-    DegradationEvent, DegradationLog, classify_failure,
+    REASON_RESOURCE, REASON_RETRY_EXHAUSTED, REASON_TIMEOUT,
+    REASON_UNREACHABLE, DegradationEvent, DegradationLog, classify_failure,
 )
+from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.resilience.faults import (
     DelayFault, DropFault, DuplicateFault, FaultInjector, FaultSchedule,
     FlakyService, ReorderFault, TruncateFault, flaky_link,
@@ -38,5 +46,6 @@ __all__ = [
     "DegradationEvent", "DegradationLog", "classify_failure",
     "REASON_UNREACHABLE", "REASON_TIMEOUT", "REASON_RETRY_EXHAUSTED",
     "REASON_CIRCUIT_OPEN", "REASON_INTEGRITY", "REASON_REJECTED",
-    "REASON_ERROR",
+    "REASON_RESOURCE", "REASON_ERROR",
+    "ResourceGuard", "ResourceLimits",
 ]

@@ -14,21 +14,25 @@ from dataclasses import dataclass, field
 
 from repro.errors import (
     ChannelSecurityError, CircuitOpenError, NetworkError,
-    RetryExhaustedError, TimeoutError, VerificationError, XKMSError,
+    ResourceLimitExceeded, RetryExhaustedError, TimeoutError,
+    VerificationError, XKMSError,
 )
 
-# Failure-mode taxonomy (DESIGN.md §7).
+# Failure-mode taxonomy (DESIGN.md §7; §9 for resource limits).
 REASON_UNREACHABLE = "unreachable"         # transport failed outright
 REASON_TIMEOUT = "timeout"                 # answer too late
 REASON_RETRY_EXHAUSTED = "retry-exhausted"  # policy gave up
 REASON_CIRCUIT_OPEN = "circuit-open"       # breaker short-circuited
 REASON_INTEGRITY = "integrity"             # tampering / MAC / digest
 REASON_REJECTED = "rejected"               # verification said no
+REASON_RESOURCE = "resource-limit"         # quota guard fired
 REASON_ERROR = "error"                     # anything else
 
 
 def classify_failure(error: BaseException) -> str:
     """Map an exception to its failure-mode taxonomy code."""
+    if isinstance(error, ResourceLimitExceeded):
+        return REASON_RESOURCE
     if isinstance(error, CircuitOpenError):
         return REASON_CIRCUIT_OPEN
     if isinstance(error, RetryExhaustedError):

@@ -1,0 +1,229 @@
+"""Resource-exhaustion quotas for every untrusted-input entry point.
+
+The paper's STRIDE analysis lists Denial of Service against the CE
+player as a first-class threat: a hostile disc or network peer does
+not need to break a signature when it can crash the verifier with a
+100k-deep element tree, a million attributes, or an EncryptedData
+whose plaintext is 1000x its ciphertext.  This module gives the stack
+one vocabulary for bounding that work:
+
+* :class:`ResourceLimits` — a frozen bag of quotas (``None`` means
+  unlimited).  The defaults model a constrained CE device: single-digit
+  megabytes of input, a shallow element tree, bounded per-signature
+  reference fan-out.
+* :class:`ResourceGuard` — a stateful meter constructed per untrusted
+  document / session.  Entry points (parser, c14n, dsig verification,
+  xmlenc decryption, XKMS message handling, network frame decoding,
+  the playback pipeline) call its ``check_*``/``charge_*`` methods and
+  a violation raises the typed
+  :class:`~repro.errors.ResourceLimitExceeded`.
+
+Counters are charged check-before-commit, so a guard's recorded usage
+never exceeds its limits — the chaos harness asserts exactly that.
+Wall-clock budgets run on an injected clock (see
+:mod:`repro.resilience.clock`), so tests and the chaos harness can
+exercise deadline trips deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ResourceLimitExceeded
+from repro.resilience.clock import SystemClock
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Quota configuration; every field may be ``None`` (unlimited).
+
+    Sizes are octets of the *decoded* input (or output, for the
+    decrypt/c14n quotas).  Depth counts open elements, so a document
+    with a single root has depth 1.
+    """
+
+    #: Total size of one untrusted XML input (document or fragment).
+    max_input_bytes: int | None = 8 * 1024 * 1024
+    #: Open-element nesting depth; a policy decision now that the
+    #: parser is iterative, not a Python stack limit.
+    max_element_depth: int | None = 200
+    #: Total parsed nodes (elements, text, comments, PIs) per document.
+    max_node_count: int | None = 250_000
+    #: Attributes (incl. namespace declarations) on one start tag.
+    max_attributes_per_element: int | None = 256
+    #: Size of one text node, CDATA section or attribute value.
+    max_text_bytes: int | None = 1024 * 1024
+    #: ds:Reference elements in one ds:SignedInfo.
+    max_references_per_signature: int | None = 64
+    #: Transforms in one ds:Reference chain.
+    max_transforms_per_reference: int | None = 8
+    #: Total canonical octets produced for one guarded document.
+    max_c14n_output_bytes: int | None = 32 * 1024 * 1024
+    #: Total decrypted plaintext produced for one guarded document.
+    max_decrypt_output_bytes: int | None = 16 * 1024 * 1024
+    #: Plaintext may be at most this multiple of its ciphertext.
+    max_expansion_ratio: float | None = 100.0
+    #: One length-prefixed network frame (request or response).
+    max_frame_bytes: int | None = 4 * 1024 * 1024
+    #: Wall-clock budget in (injected-clock) seconds for one guarded
+    #: operation; ``None`` disables deadline checks entirely.
+    wall_clock_budget_s: float | None = None
+
+    @classmethod
+    def default(cls) -> "ResourceLimits":
+        """The documented CE-device envelope (see DESIGN.md §9)."""
+        return cls()
+
+    @classmethod
+    def unlimited(cls) -> "ResourceLimits":
+        """No quotas at all — for benchmarking the guard's overhead."""
+        return cls(**{f.name: None for f in fields(cls)})
+
+    def replace(self, **overrides) -> "ResourceLimits":
+        """A copy with some limits overridden."""
+        return replace(self, **overrides)
+
+
+class ResourceGuard:
+    """Stateful quota meter for one untrusted document or session.
+
+    A guard is cheap to construct; mint a fresh one per untrusted
+    input so cumulative quotas (nodes, decrypt output, c14n output)
+    meter that input alone.  Sharing one guard across inputs is
+    deliberate tightening — the quotas then bound the whole session.
+    """
+
+    def __init__(self, limits: ResourceLimits | None = None, *,
+                 clock: object | None = None):
+        self.limits = limits if limits is not None else ResourceLimits.default()
+        self.clock = clock if clock is not None else SystemClock()
+        self.node_count = 0
+        self.decrypt_output_bytes = 0
+        self.c14n_output_bytes = 0
+        self.trips: list[ResourceLimitExceeded] = []
+        self.started_at = (
+            self.clock.now()
+            if self.limits.wall_clock_budget_s is not None else None
+        )
+
+    @classmethod
+    def default(cls) -> "ResourceGuard":
+        """A fresh guard with the default CE-device limits."""
+        return cls()
+
+    @classmethod
+    def unlimited(cls) -> "ResourceGuard":
+        return cls(ResourceLimits.unlimited())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _trip(self, limit_name: str, limit: float, actual: float,
+              detail: str = "") -> None:
+        error = ResourceLimitExceeded(
+            limit_name, limit=limit, actual=actual, detail=detail,
+        )
+        self.trips.append(error)
+        raise error
+
+    # -- one-shot checks ----------------------------------------------------------
+
+    def check_input_size(self, size: int) -> None:
+        limit = self.limits.max_input_bytes
+        if limit is not None and size > limit:
+            self._trip("max_input_bytes", limit, size)
+
+    def check_depth(self, depth: int) -> None:
+        limit = self.limits.max_element_depth
+        if limit is not None and depth > limit:
+            self._trip("max_element_depth", limit, depth)
+
+    def check_attribute_count(self, count: int) -> None:
+        limit = self.limits.max_attributes_per_element
+        if limit is not None and count > limit:
+            self._trip("max_attributes_per_element", limit, count)
+
+    def check_text_size(self, size: int) -> None:
+        limit = self.limits.max_text_bytes
+        if limit is not None and size > limit:
+            self._trip("max_text_bytes", limit, size)
+
+    def check_reference_count(self, count: int) -> None:
+        limit = self.limits.max_references_per_signature
+        if limit is not None and count > limit:
+            self._trip("max_references_per_signature", limit, count)
+
+    def check_transform_count(self, count: int) -> None:
+        limit = self.limits.max_transforms_per_reference
+        if limit is not None and count > limit:
+            self._trip("max_transforms_per_reference", limit, count)
+
+    def check_frame_size(self, size: int) -> None:
+        limit = self.limits.max_frame_bytes
+        if limit is not None and size > limit:
+            self._trip("max_frame_bytes", limit, size)
+
+    def check_deadline(self) -> None:
+        budget = self.limits.wall_clock_budget_s
+        if budget is None or self.started_at is None:
+            return
+        elapsed = self.clock.now() - self.started_at
+        if elapsed > budget:
+            self._trip("wall_clock_budget_s", budget, elapsed)
+
+    # -- cumulative charges (check-before-commit) ---------------------------------
+
+    def charge_nodes(self, count: int = 1) -> None:
+        total = self.node_count + count
+        limit = self.limits.max_node_count
+        if limit is not None and total > limit:
+            self._trip("max_node_count", limit, total)
+        self.node_count = total
+
+    def charge_c14n_output(self, size: int) -> None:
+        total = self.c14n_output_bytes + size
+        limit = self.limits.max_c14n_output_bytes
+        if limit is not None and total > limit:
+            self._trip("max_c14n_output_bytes", limit, total)
+        self.c14n_output_bytes = total
+
+    def charge_decrypt_output(self, plaintext_size: int,
+                              ciphertext_size: int | None = None) -> None:
+        """Meter decrypted plaintext, with an expansion-ratio cap.
+
+        The ratio check catches per-item blow-ups (a tiny ciphertext
+        decompressing or super-encrypting into a huge plaintext) even
+        when the absolute quota still has headroom.
+        """
+        ratio_limit = self.limits.max_expansion_ratio
+        if (ratio_limit is not None and ciphertext_size is not None
+                and ciphertext_size > 0
+                and plaintext_size > ciphertext_size * ratio_limit):
+            self._trip(
+                "max_expansion_ratio", ratio_limit,
+                plaintext_size / ciphertext_size,
+                detail=f"{plaintext_size} plaintext octets from "
+                       f"{ciphertext_size} ciphertext octets",
+            )
+        total = self.decrypt_output_bytes + plaintext_size
+        limit = self.limits.max_decrypt_output_bytes
+        if limit is not None and total > limit:
+            self._trip("max_decrypt_output_bytes", limit, total)
+        self.decrypt_output_bytes = total
+
+    # -- introspection ------------------------------------------------------------
+
+    def within_limits(self) -> bool:
+        """True while every recorded counter respects its limit.
+
+        Charges are check-before-commit, so this holds even after a
+        trip — the chaos harness asserts it as an invariant.
+        """
+        limits = self.limits
+        checks = (
+            (self.node_count, limits.max_node_count),
+            (self.decrypt_output_bytes, limits.max_decrypt_output_bytes),
+            (self.c14n_output_bytes, limits.max_c14n_output_bytes),
+        )
+        return all(
+            limit is None or value <= limit for value, limit in checks
+        )

@@ -18,6 +18,10 @@ Commands:
 * ``audit``     — static security audit of signed/encrypted artifacts
   (documents, disc images, directories) without key material.
 * ``lint``      — AST-based invariant linter over the repo's own code.
+* ``chaos``     — seeded adversarial chaos harness: drive resource
+  attacks (nesting/attribute/text/node floods, reference and decrypt
+  bombs, hostile frames) through the real entry points and fail on
+  any containment violation.
 
 Every command reads/writes ordinary files; see ``--help`` per command.
 """
@@ -403,6 +407,25 @@ def cmd_lint(args) -> int:
     return _finish_analysis(result, args)
 
 
+def cmd_chaos(args) -> int:
+    """Run the seeded chaos harness; non-zero exit on any violation."""
+    from repro.resilience.chaos import run_chaos
+
+    seeds = args.seed or [20050902]
+    violations = 0
+    for seed in seeds:
+        report = run_chaos(seed, iterations=args.iterations)
+        for line in report.summary_lines(verbose=args.verbose):
+            print(line)
+        violations += len(report.violations)
+    if violations:
+        print(f"error: {violations} containment violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all attacks contained under {len(seeds)} seed(s)")
+    return 0
+
+
 # -- argument parsing ------------------------------------------------------------
 
 
@@ -547,6 +570,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories (default: src)")
     add_analysis_options(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded adversarial chaos harness (resource attacks)",
+    )
+    p.add_argument("--seed", type=int, action="append",
+                   help="chaos seed (repeatable; default 20050902)")
+    p.add_argument("--iterations", type=int, default=1,
+                   help="rounds of the full attack set per seed")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every attack outcome, not just violations")
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -7,11 +7,12 @@ network service, or a TLS-like secure channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import XKMSError
+from repro.errors import ResourceLimitExceeded, XKMSError, XMLError
 from repro.primitives.keys import RSAPublicKey
+from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.resilience.retry import CircuitBreaker, RetryPolicy
 from repro.xkms.messages import (
     STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
@@ -27,12 +28,17 @@ class XKMSClient:
 
     With a *retry_policy*, transport failures are retried under its
     backoff/deadline budget; a *circuit_breaker* short-circuits calls
-    to a trust service that keeps failing.
+    to a trust service that keeps failing.  Result XML coming back
+    over the wire is untrusted: it is parsed under *limits* (a fresh
+    :class:`ResourceGuard` per response) and any malformed or
+    oversized result surfaces as a typed :class:`XKMSError` —
+    callers' degradation paths already handle that.
     """
 
     transport: Transport
     retry_policy: RetryPolicy | None = None
     circuit_breaker: CircuitBreaker | None = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
 
     def _transfer(self, request_xml: str, operation: str) -> str:
         if self.retry_policy is not None:
@@ -48,9 +54,15 @@ class XKMSClient:
         return self.transport(request_xml)
 
     def _roundtrip(self, request: XKMSRequest) -> XKMSResult:
-        result = XKMSResult.from_xml(
-            self._transfer(request.to_xml(), request.operation)
-        )
+        response_xml = self._transfer(request.to_xml(), request.operation)
+        try:
+            result = XKMSResult.from_xml(
+                response_xml, guard=ResourceGuard(self.limits),
+            )
+        except (XMLError, ResourceLimitExceeded) as exc:
+            raise XKMSError(
+                f"XKMS {request.operation} result is unusable: {exc}"
+            ) from exc
         # A result without a request id is as unanswerable as one with
         # the wrong id — accepting it would let any stale or substituted
         # response satisfy our request.

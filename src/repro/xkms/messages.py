@@ -139,8 +139,9 @@ class XKMSRequest:
         )
 
     @classmethod
-    def from_xml(cls, text: str | bytes) -> "XKMSRequest":
-        return cls.from_element(parse_element(text))
+    def from_xml(cls, text: str | bytes, *, guard=None) -> "XKMSRequest":
+        """Parse a request off the wire, metered by *guard*."""
+        return cls.from_element(parse_element(text, guard=guard))
 
 
 @dataclass
@@ -188,5 +189,6 @@ class XKMSResult:
         )
 
     @classmethod
-    def from_xml(cls, text: str | bytes) -> "XKMSResult":
-        return cls.from_element(parse_element(text))
+    def from_xml(cls, text: str | bytes, *, guard=None) -> "XKMSResult":
+        """Parse a result off the wire, metered by *guard*."""
+        return cls.from_element(parse_element(text, guard=guard))

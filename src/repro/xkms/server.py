@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import XKMSError
+from repro.errors import ResourceLimitExceeded, XKMSError, XMLError
 from repro.primitives.hmac import constant_time_equal, hmac_sha256
 from repro.primitives.keys import RSAPublicKey
+from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.xkms.messages import (
-    RESULT_NO_MATCH, RESULT_REFUSED, RESULT_SENDER_FAULT, RESULT_SUCCESS,
-    STATUS_INVALID, STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
+    RESULT_NO_MATCH, RESULT_RECEIVER_FAULT, RESULT_REFUSED,
+    RESULT_SENDER_FAULT, RESULT_SUCCESS, STATUS_INVALID, STATUS_VALID,
+    KeyBinding, XKMSRequest, XKMSResult,
 )
 
 
@@ -31,11 +33,16 @@ class TrustServer:
     Args:
         registration_secrets: shared secrets authorized to register or
             revoke bindings, keyed by key-name prefix ("" = any name).
+        limits: resource quotas applied to each incoming request XML —
+            a fresh :class:`ResourceGuard` is minted per request so an
+            oversized or deeply nested message cannot exhaust the
+            responder.
     """
 
     registration_secrets: dict[str, bytes] = field(default_factory=dict)
     _bindings: dict[str, KeyBinding] = field(default_factory=dict)
     audit_log: list[str] = field(default_factory=list)
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
 
     # -- direct management (operator console) ---------------------------------------
 
@@ -71,9 +78,29 @@ class TrustServer:
         return handler(request)
 
     def handle_xml(self, request_xml: str | bytes) -> str:
-        """XML-in/XML-out entry point (what the network service wraps)."""
-        request = XKMSRequest.from_xml(request_xml)
-        return self.handle(request).to_xml()
+        """XML-in/XML-out entry point (what the network service wraps).
+
+        Never leaks a traceback to the peer: malformed, oversized or
+        otherwise hostile request XML comes back as a structured XKMS
+        failure result (``Sender`` fault), and internal failures as a
+        ``Receiver`` fault.
+        """
+        guard = ResourceGuard(self.limits)
+        try:
+            request = XKMSRequest.from_xml(request_xml, guard=guard)
+        except (XMLError, XKMSError, ResourceLimitExceeded) as exc:
+            self.audit_log.append(f"malformed-request:{exc}")
+            return XKMSResult(
+                "Status", RESULT_SENDER_FAULT,
+            ).to_xml()
+        try:
+            return self.handle(request).to_xml()
+        except XKMSError as exc:
+            self.audit_log.append(f"request-failed:{exc}")
+            return XKMSResult(
+                request.operation, RESULT_RECEIVER_FAULT,
+                request_id=request.request_id,
+            ).to_xml()
 
     # -- operations ---------------------------------------------------------------------
 

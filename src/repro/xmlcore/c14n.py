@@ -40,7 +40,8 @@ ALL_C14N_ALGORITHMS = (
 
 
 def canonicalize(node: Node, algorithm: str = C14N,
-                 inclusive_prefixes: tuple[str, ...] = ()) -> bytes:
+                 inclusive_prefixes: tuple[str, ...] = (),
+                 *, guard=None) -> bytes:
     """Render *node* (Document or Element subtree) canonically.
 
     Args:
@@ -49,12 +50,19 @@ def canonicalize(node: Node, algorithm: str = C14N,
         inclusive_prefixes: for exclusive C14N, the
             ``InclusiveNamespaces PrefixList`` entries (``"#default"``
             names the default namespace).
+        guard: optional :class:`~repro.resilience.limits.ResourceGuard`;
+            when set, the produced octets are charged against its
+            cumulative c14n-output quota and its deadline is checked,
+            so a hostile document cannot canonicalize into unbounded
+            memory during verification.
 
     Returns:
         The canonical octet sequence (UTF-8).
     """
     if algorithm not in ALL_C14N_ALGORITHMS:
         raise CanonicalizationError(f"unknown c14n algorithm {algorithm!r}")
+    if guard is not None:
+        guard.check_deadline()
     exclusive = algorithm in (EXC_C14N, EXC_C14N_WITH_COMMENTS)
     with_comments = algorithm in (C14N_WITH_COMMENTS, EXC_C14N_WITH_COMMENTS)
     with metrics.timer("c14n.canonicalize"):
@@ -70,6 +78,8 @@ def canonicalize(node: Node, algorithm: str = C14N,
             )
         octets = "".join(writer.out).encode("utf-8")
     metrics.counter("c14n.octets").increment(len(octets))
+    if guard is not None:
+        guard.charge_c14n_output(len(octets))
     return octets
 
 

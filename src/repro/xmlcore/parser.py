@@ -8,6 +8,16 @@ and DTD-defined entities are deliberately rejected — the classic XML
 security posture against entity-expansion attacks, which matters for a
 player that parses downloaded applications.
 
+Structural resource attacks are contained by a
+:class:`~repro.resilience.limits.ResourceGuard`: element descent runs
+on an explicit work stack (never the Python call stack), so nesting
+depth is a quota decision — exceeding it raises the typed
+:class:`~repro.errors.ResourceLimitExceeded` instead of
+``RecursionError`` — and input size, node count, attribute fan-out and
+text-node size are metered as the document streams through.  Callers
+on untrusted paths pass a guard explicitly (lint rule LIN106); the
+documented default is ``ResourceGuard.default()``.
+
 Errors carry 1-based line/column positions.
 """
 
@@ -25,6 +35,19 @@ from repro.xmlcore.tree import (
 _PREDEFINED_ENTITIES = {
     "amp": "&", "lt": "<", "gt": ">", "apos": "'", "quot": '"',
 }
+
+#: Sentinel for "no limit" in the hot parse loops (plain ``float``
+#: comparison instead of a ``None`` test per character).
+_UNLIMITED = float("inf")
+
+
+def _default_guard():
+    # Imported lazily: repro.resilience pulls in the network stack,
+    # which imports repro.xmlcore — a module-level import here would
+    # close that cycle while xmlcore is still initializing.
+    from repro.resilience.limits import ResourceGuard
+
+    return ResourceGuard.default()
 
 
 class _Scanner:
@@ -87,9 +110,17 @@ class _Scanner:
 
 
 class Parser:
-    """Parses a complete document or a standalone element fragment."""
+    """Parses a complete document or a standalone element fragment.
 
-    def __init__(self, source: str | bytes):
+    *guard* meters the input against resource quotas; when omitted,
+    a fresh :meth:`ResourceGuard.default` is used.  Pass an explicit
+    guard on untrusted paths so the policy decision is visible (and
+    so one guard can meter a whole session).
+    """
+
+    def __init__(self, source: str | bytes, *, guard=None):
+        self.guard = guard if guard is not None else _default_guard()
+        self.guard.check_input_size(len(source))
         if isinstance(source, bytes):
             source = self._decode(source)
         # Normalize line endings per XML 1.0 §2.11 before any processing.
@@ -180,8 +211,167 @@ class Parser:
 
     # -- element ------------------------------------------------------------------
 
-    def _parse_element(self, scope: list[dict[str | None, str | None]]) -> Element:
+    def _parse_element(
+        self, scope: list[dict[str | None, str | None]]
+    ) -> Element:
+        """Parse one element and its whole subtree, iteratively.
+
+        Descent runs on an explicit ``stack`` of
+        ``(element, start-tag qname)`` pairs rather than Python
+        recursion, so arbitrarily deep input can never overflow the
+        interpreter stack: the depth quota is enforced by the guard
+        and everything beyond it is a typed error.
+        """
         s = self._scanner
+        guard = self.guard
+        limits = guard.limits
+        max_depth = (limits.max_element_depth
+                     if limits.max_element_depth is not None else _UNLIMITED)
+        max_text = (limits.max_text_bytes
+                    if limits.max_text_bytes is not None else _UNLIMITED)
+        # Remaining node budget for this parse; committed to the guard
+        # once at the end (or at the moment it would be exceeded), so
+        # the hot loop pays one integer compare per node, not a call.
+        if limits.max_node_count is not None:
+            node_budget = limits.max_node_count - guard.node_count
+        else:
+            node_budget = _UNLIMITED
+        nodes = 0
+
+        root, root_qname, self_closing = self._parse_start_tag(scope)
+        nodes = 1
+        if nodes > node_budget:
+            guard.charge_nodes(nodes)
+        if self_closing:
+            scope.pop()
+            guard.charge_nodes(nodes)
+            return root
+
+        stack: list[tuple[Element, str]] = [(root, root_qname)]
+        if len(stack) > max_depth:
+            guard.check_depth(len(stack))
+        current = root
+        text_parts: list[str] = []
+        text_len = 0
+
+        while stack:
+            if s.eof():
+                raise s.error(
+                    f"unexpected end of input inside <{current.qname}>"
+                )
+            ch = s.source[s.pos]
+            if ch == "<":
+                if s.accept("</"):
+                    if text_parts:
+                        current.append(Text("".join(text_parts)))
+                        text_parts = []
+                        text_len = 0
+                        nodes += 1
+                        if nodes > node_budget:
+                            guard.charge_nodes(nodes)
+                    close_pos = s.pos
+                    end_name = s.read_name()
+                    open_qname = stack[-1][1]
+                    if end_name != open_qname:
+                        raise s.error(
+                            f"mismatched end tag </{end_name}> "
+                            f"for <{open_qname}>",
+                            close_pos,
+                        )
+                    s.skip_whitespace()
+                    s.expect(">")
+                    scope.pop()
+                    stack.pop()
+                    if stack:
+                        current = stack[-1][0]
+                elif s.accept("<!--"):
+                    if text_parts:
+                        current.append(Text("".join(text_parts)))
+                        text_parts = []
+                        text_len = 0
+                        nodes += 1
+                    current.append(Comment(self._finish_comment()))
+                    nodes += 1
+                    if nodes > node_budget:
+                        guard.charge_nodes(nodes)
+                elif s.accept("<![CDATA["):
+                    if text_parts:
+                        current.append(Text("".join(text_parts)))
+                        text_parts = []
+                        text_len = 0
+                        nodes += 1
+                    data = s.read_until("]]>", "CDATA section")
+                    if len(data) > max_text:
+                        guard.check_text_size(len(data))
+                    current.append(Text(data, is_cdata=True))
+                    nodes += 1
+                    if nodes > node_budget:
+                        guard.charge_nodes(nodes)
+                elif s.accept("<?"):
+                    if text_parts:
+                        current.append(Text("".join(text_parts)))
+                        text_parts = []
+                        text_len = 0
+                        nodes += 1
+                    current.append(self._finish_pi())
+                    nodes += 1
+                    if nodes > node_budget:
+                        guard.charge_nodes(nodes)
+                else:
+                    if text_parts:
+                        current.append(Text("".join(text_parts)))
+                        text_parts = []
+                        text_len = 0
+                        nodes += 1
+                    child, child_qname, child_closed = \
+                        self._parse_start_tag(scope)
+                    nodes += 1
+                    if nodes > node_budget:
+                        guard.charge_nodes(nodes)
+                    current.append(child)
+                    if child_closed:
+                        scope.pop()
+                    else:
+                        stack.append((child, child_qname))
+                        if len(stack) > max_depth:
+                            guard.check_depth(len(stack))
+                        current = child
+            elif ch == "&":
+                # References expand to exactly one character, so every
+                # entry in text_parts is a single char (the ']]>' check
+                # below relies on this).
+                text_parts.append(self._read_reference())
+                text_len += 1
+                if text_len > max_text:
+                    guard.check_text_size(text_len)
+            elif (ch == ">" and text_len >= 2
+                    and text_parts[-1] == "]" and text_parts[-2] == "]"):
+                raise s.error("']]>' is not allowed in character data")
+            else:
+                self._check_char(ch)
+                text_parts.append(ch)
+                text_len += 1
+                s.pos += 1
+                if text_len > max_text:
+                    guard.check_text_size(text_len)
+
+        guard.charge_nodes(nodes)
+        return root
+
+    def _parse_start_tag(
+        self, scope: list[dict[str | None, str | None]]
+    ) -> tuple[Element, str, bool]:
+        """Scan one start tag; returns ``(element, qname, self_closing)``.
+
+        Pushes the element's namespace bindings onto *scope* (via
+        :meth:`_build_element`); the caller pops them when the element
+        closes.
+        """
+        s = self._scanner
+        guard = self.guard
+        max_attrs = (guard.limits.max_attributes_per_element
+                     if guard.limits.max_attributes_per_element is not None
+                     else _UNLIMITED)
         s.expect("<")
         open_pos = s.pos
         qname = s.read_name()
@@ -204,22 +394,11 @@ class Parser:
             s.expect("=")
             s.skip_whitespace()
             raw_attrs.append((attr_name, self._read_attr_value(), attr_pos))
+            if len(raw_attrs) > max_attrs:
+                guard.check_attribute_count(len(raw_attrs))
 
         element = self._build_element(qname, raw_attrs, scope, open_pos)
-
-        if not self_closing:
-            self._parse_content(element, scope)
-            close_pos = s.pos
-            end_name = s.read_name()
-            if end_name != qname:
-                raise s.error(
-                    f"mismatched end tag </{end_name}> for <{qname}>",
-                    close_pos,
-                )
-            s.skip_whitespace()
-            s.expect(">")
-        scope.pop()
-        return element
+        return element, qname, self_closing
 
     def _build_element(self, qname: str,
                        raw_attrs: list[tuple[str, str, int]],
@@ -286,10 +465,14 @@ class Parser:
 
     def _read_attr_value(self) -> str:
         s = self._scanner
+        max_text = (self.guard.limits.max_text_bytes
+                    if self.guard.limits.max_text_bytes is not None
+                    else _UNLIMITED)
         quote = s.advance()
         if quote not in "'\"":
             raise s.error("attribute value must be quoted", s.pos - 1)
         parts: list[str] = []
+        value_len = 0
         while True:
             if s.eof():
                 raise s.error("unterminated attribute value")
@@ -309,49 +492,12 @@ class Parser:
                 self._check_char(ch)
                 parts.append(ch)
                 s.advance()
+            value_len += 1
+            if value_len > max_text:
+                self.guard.check_text_size(value_len)
         return "".join(parts)
 
-    # -- content --------------------------------------------------------------------
-
-    def _parse_content(self, element: Element,
-                       scope: list[dict[str | None, str | None]]) -> None:
-        s = self._scanner
-        text_parts: list[str] = []
-
-        def flush_text():
-            if text_parts:
-                element.append(Text("".join(text_parts)))
-                text_parts.clear()
-
-        while True:
-            if s.eof():
-                raise s.error(f"unexpected end of input inside <{element.qname}>")
-            ch = s.peek()
-            if ch == "<":
-                if s.accept("</"):
-                    flush_text()
-                    return
-                if s.accept("<!--"):
-                    flush_text()
-                    element.append(Comment(self._finish_comment()))
-                elif s.accept("<![CDATA["):
-                    flush_text()
-                    data = s.read_until("]]>", "CDATA section")
-                    element.append(Text(data, is_cdata=True))
-                elif s.accept("<?"):
-                    flush_text()
-                    element.append(self._finish_pi())
-                else:
-                    flush_text()
-                    element.append(self._parse_element(scope))
-            elif ch == "&":
-                text_parts.append(self._read_reference())
-            elif ch == ">" and "".join(text_parts).endswith("]]"):
-                raise s.error("']]>' is not allowed in character data")
-            else:
-                self._check_char(ch)
-                text_parts.append(ch)
-                s.advance()
+    # -- misc constructs ------------------------------------------------------------
 
     def _read_reference(self) -> str:
         s = self._scanner
@@ -416,11 +562,19 @@ class Parser:
             )
 
 
-def parse_document(source: str | bytes) -> Document:
-    """Parse *source* into a :class:`Document`."""
-    return Parser(source).parse_document()
+def parse_document(source: str | bytes, *, guard=None) -> Document:
+    """Parse *source* into a :class:`Document`.
+
+    *guard* is the :class:`ResourceGuard` metering this input; when
+    omitted a fresh default guard applies the documented CE-device
+    limits.
+    """
+    return Parser(source, guard=guard).parse_document()
 
 
-def parse_element(source: str | bytes) -> Element:
-    """Parse *source* and return its root :class:`Element`."""
-    return Parser(source).parse_fragment()
+def parse_element(source: str | bytes, *, guard=None) -> Element:
+    """Parse *source* and return its root :class:`Element`.
+
+    *guard* as for :func:`parse_document`.
+    """
+    return Parser(source, guard=guard).parse_fragment()

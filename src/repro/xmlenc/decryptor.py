@@ -33,18 +33,28 @@ class Decryptor:
             CEKs.
         resolver: URI → bytes for CipherReference (detached ciphertext).
         provider: crypto provider override.
+        guard: optional
+            :class:`~repro.resilience.limits.ResourceGuard`; every
+            decrypted plaintext is charged against its cumulative
+            decrypt-output quota and expansion-ratio cap, and the
+            recovered XML is re-parsed under the same guard — so a
+            decrypt bomb (tiny package, huge or deeply nested
+            plaintext) trips a typed limit instead of exhausting the
+            device.
     """
 
     def __init__(self, keys: dict[str, SymmetricKey | bytes] | None = None,
                  rsa_keys: list[RSAPrivateKey] | None = None,
                  resolver: Resolver | None = None,
-                 provider: CryptoProvider | None = None):
+                 provider: CryptoProvider | None = None,
+                 guard=None):
         self._keys: dict[str, SymmetricKey] = {}
         for name, key in (keys or {}).items():
             self.add_key(name, key)
         self._rsa_keys = list(rsa_keys or [])
         self._resolver = resolver
         self.provider = provider or get_provider()
+        self.guard = guard
 
     def add_key(self, name: str, key: SymmetricKey | bytes) -> None:
         """Register a named key slot."""
@@ -131,9 +141,15 @@ class Decryptor:
         if isinstance(data, Element):
             data = EncryptedData.from_element(data)
         cek = self.resolve_key(data, key)
-        return algorithms.decrypt_block_data(
-            data.algorithm, cek, self._ciphertext(data), self.provider,
+        ciphertext = self._ciphertext(data)
+        if self.guard is not None:
+            self.guard.check_deadline()
+        plaintext = algorithms.decrypt_block_data(
+            data.algorithm, cek, ciphertext, self.provider,
         )
+        if self.guard is not None:
+            self.guard.charge_decrypt_output(len(plaintext), len(ciphertext))
+        return plaintext
 
     def decrypt_nodes(self, node: Element, key=None) -> list[Node]:
         """Decrypt an EncryptedData *element* back into XML nodes.
@@ -150,7 +166,7 @@ class Decryptor:
         # decryption failure rather than a syntax error.
         if data.data_type == algorithms.TYPE_ELEMENT:
             try:
-                return [parse_element(plaintext)]
+                return [parse_element(plaintext, guard=self.guard)]
             except XMLError as exc:
                 raise DecryptionError(
                     f"decrypted plaintext is not well-formed XML "
@@ -158,7 +174,7 @@ class Decryptor:
                 ) from None
         if data.data_type == algorithms.TYPE_CONTENT:
             try:
-                wrapper = parse_element(plaintext)
+                wrapper = parse_element(plaintext, guard=self.guard)
             except XMLError as exc:
                 raise DecryptionError(
                     f"decrypted plaintext is not well-formed XML "

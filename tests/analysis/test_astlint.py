@@ -4,6 +4,8 @@ import json
 import os
 import textwrap
 
+import pytest
+
 from repro.analysis import Baseline, lint_paths, lint_source
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -205,6 +207,65 @@ def test_lin105_exempts_provider_internals():
     from repro.primitives.rsa import rsa_sign
     """
     assert lint(snippet, "src/repro/primitives/provider.py") == []
+
+
+# -- LIN106: untrusted parse calls carry an explicit guard ------------------
+
+
+def test_lin106_catches_unguarded_parse_on_untrusted_path():
+    snippet = """
+    from repro.xmlcore import parse_element
+
+    def handle(payload):
+        return parse_element(payload)
+    """
+    findings = lint(snippet, "src/repro/network/example.py")
+    assert rule_ids(findings) == {"LIN106"}
+    (finding,) = findings
+    assert "guard=" in finding.message
+    assert finding.line > 0
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/xkms/example.py",
+    "src/repro/xmlenc/example.py",
+    "src/repro/player/example.py",
+    "src/repro/core/package.py",
+    "src/repro/core/playback_pipeline.py",
+    "src/repro/disc/image.py",
+    "src/repro/perf/batch.py",
+])
+def test_lin106_covers_every_untrusted_surface(path):
+    snippet = """
+    from repro.xmlcore import parse_document
+
+    def handle(payload):
+        return parse_document(payload)
+    """
+    assert "LIN106" in rule_ids(lint(snippet, path))
+
+
+def test_lin106_clean_with_explicit_guard():
+    snippet = """
+    from repro.resilience.limits import ResourceGuard
+    from repro.xmlcore import parse_element
+
+    def handle(payload, guard):
+        parse_element(payload, guard=guard)
+        return parse_element(payload, guard=ResourceGuard.default())
+    """
+    assert lint(snippet, "src/repro/network/example.py") == []
+
+
+def test_lin106_does_not_apply_to_trusted_paths():
+    snippet = """
+    from repro.xmlcore import parse_element
+
+    def build():
+        return parse_element("<layout/>")
+    """
+    assert lint(snippet, "src/repro/disc/manifest.py") == []
+    assert lint(snippet, "src/repro/dsig/signer.py") == []
 
 
 # -- clean-repo run ----------------------------------------------------------

@@ -1,0 +1,117 @@
+"""Frame-size caps and protocol error frames (ISSUE 4 satellite).
+
+A hostile peer must not be able to crash either side of the wire
+protocol: the server answers oversized/malformed frames with
+``413``/``400`` error frames (it never raises at a peer's behest), and
+the client refuses an oversized response with a typed error before
+decoding a single part of it.
+"""
+
+import pytest
+
+from repro.errors import NetworkError, ResourceLimitExceeded
+from repro.network import Channel, ContentServer, DownloadClient
+from repro.network.server import (
+    _CALL, _REQ, _RESP_ERR, _RESP_OK, _decode, _encode,
+)
+from repro.resilience import ResourceLimits
+
+SMALL = ResourceLimits.default().replace(max_frame_bytes=1024)
+
+
+def error_text(response: bytes) -> str:
+    kind, parts = _decode(response)
+    assert kind == _RESP_ERR
+    return parts[0].decode()
+
+
+# -- _decode -----------------------------------------------------------------
+
+
+def test_decode_enforces_the_frame_cap():
+    frame = _encode(_REQ, b"/path")
+    assert _decode(frame, max_bytes=1024)[0] == _REQ
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        _decode(b"\x10" + b"A" * 2048, max_bytes=1024)
+    assert excinfo.value.limit_name == "max_frame_bytes"
+    assert excinfo.value.actual == 2049
+
+
+def test_decode_without_cap_is_unlimited():
+    big = _encode(_RESP_OK, b"A" * 4096)
+    kind, parts = _decode(big)
+    assert kind == _RESP_OK and len(parts[0]) == 4096
+
+
+# -- server side -------------------------------------------------------------
+
+
+def test_server_answers_oversized_frame_with_413():
+    server = ContentServer(limits=SMALL)
+    response = server.handle(b"\x10" + b"A" * 2048)
+    assert error_text(response).startswith("413 frame too large")
+    assert server.request_log == ["OVERSIZED"]
+
+
+def test_server_answers_malformed_frame_with_400():
+    server = ContentServer(limits=SMALL)
+    assert error_text(
+        server.handle(b"\x10\x00\x00\x00")      # truncated length field
+    ).startswith("400 malformed frame")
+    assert error_text(
+        server.handle(_encode(_REQ, b"/x")[:-1])  # body cut short
+    ).startswith("400 malformed frame")
+    assert server.request_log == ["MALFORMED", "MALFORMED"]
+
+
+def test_server_answers_undecodable_path_with_400():
+    server = ContentServer(limits=SMALL)
+    assert error_text(
+        server.handle(_encode(_REQ, b"\xff\xfe"))
+    ).startswith("400 bad path encoding")
+    assert error_text(
+        server.handle(_encode(_CALL, b"\xff", b"payload"))
+    ).startswith("400 bad request encoding")
+
+
+@pytest.mark.parametrize("hostile", [
+    b"",                       # handled as empty -> 400
+    b"\x10" + b"A" * 5000,     # oversized
+    b"\x99",                   # unknown kind, no parts
+    b"\x10\x00\x00\x00\x08hi",  # declared length past the end
+    bytes(range(256)),         # binary noise
+])
+def test_server_handle_never_raises(hostile):
+    server = ContentServer(limits=SMALL)
+    try:
+        response = server.handle(hostile)
+    except BaseException as exc:   # pragma: no cover - the regression
+        pytest.fail(f"server raised at a hostile peer: {exc!r}")
+    kind, _ = _decode(response)
+    assert kind == _RESP_ERR
+
+
+def test_good_requests_unaffected_by_the_cap():
+    server = ContentServer(limits=SMALL)
+    server.publish("/r", b"payload")
+    client = DownloadClient(server, Channel(), limits=SMALL)
+    assert client.fetch("/r") == b"payload"
+
+
+# -- client side -------------------------------------------------------------
+
+
+def test_client_refuses_oversized_response_frame():
+    server = ContentServer()
+    server.publish("/big", b"A" * 4096)   # server side has no cap here
+    client = DownloadClient(server, Channel(), limits=SMALL)
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        client.fetch("/big")
+    assert excinfo.value.limit_name == "max_frame_bytes"
+
+
+def test_client_surfaces_server_error_frames_as_network_errors():
+    server = ContentServer(limits=SMALL)
+    client = DownloadClient(server, Channel(), limits=SMALL)
+    with pytest.raises(NetworkError, match="404"):
+        client.fetch("/missing")

@@ -1,0 +1,150 @@
+"""Unit tests for the ResourceLimits/ResourceGuard quota layer."""
+
+import pytest
+
+from repro.errors import ReproError, ResourceLimitExceeded
+from repro.resilience import ResourceGuard, ResourceLimits
+from repro.resilience.clock import SimulatedClock
+
+
+# -- ResourceLimits ----------------------------------------------------------
+
+
+def test_defaults_model_a_bounded_ce_device():
+    limits = ResourceLimits.default()
+    assert limits.max_input_bytes == 8 * 1024 * 1024
+    assert limits.max_element_depth == 200
+    assert limits.max_node_count == 250_000
+    assert limits.max_references_per_signature == 64
+    # Deadlines are opt-in: nothing injects a clock by default.
+    assert limits.wall_clock_budget_s is None
+
+
+def test_unlimited_disables_every_quota():
+    limits = ResourceLimits.unlimited()
+    guard = ResourceGuard(limits)
+    guard.check_input_size(10**12)
+    guard.check_depth(10**6)
+    guard.charge_nodes(10**9)
+    guard.charge_decrypt_output(10**9, 1)
+    assert guard.within_limits()
+
+
+def test_replace_overrides_single_quota():
+    limits = ResourceLimits.default().replace(max_element_depth=7)
+    assert limits.max_element_depth == 7
+    assert limits.max_input_bytes == ResourceLimits.default().max_input_bytes
+
+
+# -- one-shot checks ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("method,limit_name,limit", [
+    ("check_input_size", "max_input_bytes", 8 * 1024 * 1024),
+    ("check_depth", "max_element_depth", 200),
+    ("check_attribute_count", "max_attributes_per_element", 256),
+    ("check_text_size", "max_text_bytes", 1024 * 1024),
+    ("check_reference_count", "max_references_per_signature", 64),
+    ("check_transform_count", "max_transforms_per_reference", 8),
+    ("check_frame_size", "max_frame_bytes", 4 * 1024 * 1024),
+])
+def test_one_shot_checks_trip_past_their_limit(method, limit_name, limit):
+    guard = ResourceGuard()
+    getattr(guard, method)(limit)          # at the limit: fine
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        getattr(guard, method)(limit + 1)
+    assert excinfo.value.limit_name == limit_name
+    assert excinfo.value.limit == limit
+    assert excinfo.value.actual == limit + 1
+    assert guard.trips == [excinfo.value]
+
+
+def test_error_is_typed_and_carries_context():
+    guard = ResourceGuard(ResourceLimits(max_element_depth=3))
+    with pytest.raises(ReproError, match="max_element_depth"):
+        guard.check_depth(10)
+
+
+# -- cumulative charges (check-before-commit) --------------------------------
+
+
+def test_charge_nodes_accumulates_and_trips():
+    guard = ResourceGuard(ResourceLimits(max_node_count=10))
+    guard.charge_nodes(6)
+    guard.charge_nodes(4)
+    assert guard.node_count == 10
+    with pytest.raises(ResourceLimitExceeded):
+        guard.charge_nodes(1)
+
+
+def test_tripped_guard_never_commits_the_overrun():
+    """The chaos invariant: counters stay within quota even after a
+    trip, because charges check before they commit."""
+    guard = ResourceGuard(ResourceLimits(max_node_count=10,
+                                         max_decrypt_output_bytes=100))
+    guard.charge_nodes(8)
+    with pytest.raises(ResourceLimitExceeded):
+        guard.charge_nodes(5)
+    assert guard.node_count == 8
+    with pytest.raises(ResourceLimitExceeded):
+        guard.charge_decrypt_output(200, None)
+    assert guard.decrypt_output_bytes == 0
+    assert guard.within_limits()
+    assert len(guard.trips) == 2
+
+
+def test_expansion_ratio_trips_before_absolute_quota():
+    guard = ResourceGuard(ResourceLimits(max_decrypt_output_bytes=10**6,
+                                         max_expansion_ratio=10.0))
+    guard.charge_decrypt_output(100, 100)        # ratio 1: fine
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        guard.charge_decrypt_output(5000, 10)    # ratio 500
+    assert excinfo.value.limit_name == "max_expansion_ratio"
+    assert "plaintext octets" in str(excinfo.value)
+
+
+def test_decrypt_quota_without_ciphertext_size_still_meters():
+    guard = ResourceGuard(ResourceLimits(max_decrypt_output_bytes=50))
+    guard.charge_decrypt_output(40, None)
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        guard.charge_decrypt_output(20, None)
+    assert excinfo.value.limit_name == "max_decrypt_output_bytes"
+
+
+# -- deadlines on the injected clock -----------------------------------------
+
+
+def test_deadline_runs_on_the_injected_clock():
+    clock = SimulatedClock()
+    guard = ResourceGuard(
+        ResourceLimits(wall_clock_budget_s=2.0), clock=clock,
+    )
+    guard.check_deadline()
+    clock.advance(1.9)
+    guard.check_deadline()
+    clock.advance(0.2)
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        guard.check_deadline()
+    assert excinfo.value.limit_name == "wall_clock_budget_s"
+
+
+def test_no_budget_means_no_deadline_bookkeeping():
+    guard = ResourceGuard(ResourceLimits.default())
+    assert guard.started_at is None
+    guard.check_deadline()   # a no-op, never trips
+
+
+# -- construction ergonomics -------------------------------------------------
+
+
+def test_default_classmethod_is_a_fresh_default_guard():
+    one, two = ResourceGuard.default(), ResourceGuard.default()
+    assert one is not two
+    assert one.limits == ResourceLimits.default()
+
+
+def test_guard_importable_from_resilience_package():
+    import repro.resilience as resilience
+    assert resilience.ResourceGuard is ResourceGuard
+    assert resilience.ResourceLimits is ResourceLimits
+    assert resilience.REASON_RESOURCE == "resource-limit"

@@ -1,0 +1,107 @@
+"""TrustServer.handle_xml returns structured faults, never tracebacks.
+
+ISSUE 4 satellite: hostile request XML — malformed, oversized, deeply
+nested — must come back as a parseable XKMS ``Sender``-fault result,
+internal failures as a ``Receiver`` fault, and the client must wrap an
+unusable *response* into a typed XKMSError.
+"""
+
+import pytest
+
+from repro.certs import SigningIdentity
+from repro.errors import XKMSError
+from repro.primitives.random import DeterministicRandomSource
+from repro.resilience import ResourceLimits
+from repro.xkms import TrustServer, XKMSClient
+from repro.xkms.messages import (
+    RESULT_RECEIVER_FAULT, RESULT_SENDER_FAULT, RESULT_SUCCESS,
+    XKMSRequest, XKMSResult,
+)
+
+SMALL = ResourceLimits.default().replace(max_element_depth=20,
+                                         max_input_bytes=4096)
+
+HOSTILE_PAYLOADS = [
+    "complete garbage, not XML",
+    "<unterminated",
+    "<wrong-root/>",
+    ("<a>" * 100) + ("</a>" * 100),                 # depth bomb
+    "<LocateRequest>" + "x" * 8192 + "</LocateRequest>",  # oversized
+]
+
+
+@pytest.fixture()
+def studio_key(pki):
+    return SigningIdentity.create(
+        "CN=Hardening Studio", pki.root,
+        rng=DeterministicRandomSource(b"xkms-hardening"),
+    ).key
+
+
+@pytest.mark.parametrize("payload", HOSTILE_PAYLOADS)
+def test_hostile_request_xml_yields_sender_fault(payload):
+    server = TrustServer(limits=SMALL)
+    try:
+        response = server.handle_xml(payload)
+    except BaseException as exc:  # pragma: no cover - the regression
+        pytest.fail(f"handle_xml raised at a hostile peer: {exc!r}")
+    result = XKMSResult.from_xml(response)   # structured, parseable
+    assert result.result_major == RESULT_SENDER_FAULT
+    assert not result.success
+    assert server.audit_log[-1].startswith("malformed-request:")
+
+
+def test_internal_failure_yields_receiver_fault(monkeypatch):
+    server = TrustServer()
+
+    def broken_locate(request):
+        raise XKMSError("binding store corrupted")
+
+    monkeypatch.setattr(server, "_locate", broken_locate)
+    request = XKMSRequest("Locate", key_name="any-key")
+    response = server.handle_xml(request.to_xml())
+    result = XKMSResult.from_xml(response)
+    assert result.result_major == RESULT_RECEIVER_FAULT
+    assert result.request_id == request.request_id
+    assert server.audit_log[-1].startswith("request-failed:")
+
+
+def test_wellformed_requests_still_succeed(studio_key):
+    server = TrustServer(limits=SMALL)
+    server.register_binding("studio-key", studio_key.public_key())
+    request = XKMSRequest("Locate", key_name="studio-key")
+    result = XKMSResult.from_xml(server.handle_xml(request.to_xml()))
+    assert result.result_major == RESULT_SUCCESS
+    assert result.bindings[0].key_name == "studio-key"
+
+
+def test_client_locate_survives_a_hostile_server(studio_key):
+    """End to end: the responder answers garbage with a structured
+    fault, which the client surfaces as a typed XKMSError."""
+    server = TrustServer(limits=SMALL)
+    server.register_binding("studio-key", studio_key.public_key())
+    client = XKMSClient(server.handle_xml)
+    assert client.locate("studio-key") is not None
+
+    # A fault result is an XKMS-level failure, not a crash.
+    evil = XKMSClient(lambda xml: TrustServer(limits=SMALL).handle_xml(
+        "garbage"
+    ))
+    with pytest.raises(XKMSError):
+        evil.locate("studio-key")
+
+
+def test_client_wraps_unusable_response_into_xkms_error():
+    client = XKMSClient(lambda xml: "<<< not xml >>>")
+    with pytest.raises(XKMSError, match="unusable"):
+        client.locate("any")
+
+
+def test_client_refuses_resource_bomb_response():
+    bomb = ("<a>" * 100) + ("</a>" * 100)
+    client = XKMSClient(
+        lambda xml: bomb,
+        limits=ResourceLimits.default().replace(max_element_depth=20),
+    )
+    with pytest.raises(XKMSError, match="unusable"):
+        client.locate("any")

@@ -1,0 +1,144 @@
+"""The iterative parser under resource quotas.
+
+The satellite bugfix behind the tentpole: the old recursive-descent
+element parser hit Python's recursion limit (a raw RecursionError — an
+untyped crash) on ~1000-deep documents.  The parser now runs on an
+explicit work stack, so depth is a *policy* decision enforced by the
+ResourceGuard, and a 10k-deep document parses fine when the quota
+allows it.
+"""
+
+import pytest
+
+from repro.errors import ResourceLimitExceeded, XMLSyntaxError
+from repro.resilience import ResourceGuard, ResourceLimits
+from repro.xmlcore import parse_element, serialize
+
+
+def nested(depth: int, payload: str = "") -> str:
+    return ("<a>" * depth) + payload + ("</a>" * depth)
+
+
+# -- the RecursionError regression -------------------------------------------
+
+
+def test_10k_deep_document_is_refused_typed_not_recursion_error():
+    """Default quotas refuse it with a typed error — and the refusal
+    must not itself blow the Python stack."""
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        parse_element(nested(10_000))
+    assert excinfo.value.limit_name == "max_element_depth"
+
+
+def test_10k_deep_document_parses_under_a_raised_quota():
+    """Depth is now policy, not a Python-stack limit: the same
+    document parses when the guard allows it (the old recursive
+    parser died with RecursionError around depth ~1000)."""
+    guard = ResourceGuard(ResourceLimits(max_element_depth=20_000))
+    root = parse_element(nested(10_000, "x"), guard=guard)
+    depth = 0
+    node = root
+    while node.child_elements():
+        node = node.child_elements()[0]
+        depth += 1
+    assert depth == 10_000 - 1
+    assert node.text_content() == "x"
+    assert guard.node_count >= 10_000
+
+
+def test_deep_document_round_trips():
+    """Past the default quota but within what the (recursive)
+    serializer handles: the depth policy lives in the guard, and an
+    accepted tree still round-trips."""
+    guard = ResourceGuard(ResourceLimits(max_element_depth=500))
+    root = parse_element(nested(400, "payload"), guard=guard)
+    text = serialize(root)
+    reparsed = parse_element(
+        text, guard=ResourceGuard(ResourceLimits(max_element_depth=500))
+    )
+    assert serialize(reparsed) == text
+
+
+def test_depth_at_exactly_the_quota_is_allowed():
+    guard = ResourceGuard(ResourceLimits(max_element_depth=50))
+    parse_element(nested(50), guard=guard)
+    with pytest.raises(ResourceLimitExceeded):
+        parse_element(nested(51),
+                      guard=ResourceGuard(ResourceLimits(
+                          max_element_depth=50)))
+
+
+# -- the other parser quotas -------------------------------------------------
+
+
+def test_attribute_flood_refused():
+    attrs = " ".join(f'a{i}="v"' for i in range(300))
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        parse_element(f"<doc {attrs}/>")
+    assert excinfo.value.limit_name == "max_attributes_per_element"
+
+
+def test_giant_text_node_refused():
+    guard = ResourceGuard(ResourceLimits(max_text_bytes=100))
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        parse_element(f"<doc>{'x' * 101}</doc>", guard=guard)
+    assert excinfo.value.limit_name == "max_text_bytes"
+
+
+def test_giant_attribute_value_refused():
+    guard = ResourceGuard(ResourceLimits(max_text_bytes=100))
+    with pytest.raises(ResourceLimitExceeded):
+        parse_element(f'<doc a="{"x" * 101}"/>', guard=guard)
+
+
+def test_giant_cdata_refused():
+    guard = ResourceGuard(ResourceLimits(max_text_bytes=100))
+    with pytest.raises(ResourceLimitExceeded):
+        parse_element(f"<doc><![CDATA[{'x' * 101}]]></doc>",
+                      guard=guard)
+
+
+def test_node_flood_refused_and_counted():
+    guard = ResourceGuard(ResourceLimits(max_node_count=100))
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        parse_element("<doc>" + "<i/>" * 200 + "</doc>", guard=guard)
+    assert excinfo.value.limit_name == "max_node_count"
+    assert guard.within_limits()
+
+
+def test_oversized_input_refused_before_parsing():
+    guard = ResourceGuard(ResourceLimits(max_input_bytes=64))
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        parse_element("<doc>" + "x" * 200 + "</doc>", guard=guard)
+    assert excinfo.value.limit_name == "max_input_bytes"
+
+
+def test_successful_parse_charges_the_node_budget():
+    guard = ResourceGuard()
+    parse_element("<doc><a/>text<b><c/></b></doc>", guard=guard)
+    # doc, a, text, b, c
+    assert guard.node_count == 5
+
+
+def test_parse_without_guard_applies_the_default_quota():
+    """Entry points without an explicit guard still get the documented
+    CE-device default (LIN106's 'documented default')."""
+    with pytest.raises(ResourceLimitExceeded):
+        parse_element(nested(500))
+
+
+def test_unlimited_guard_switches_quotas_off():
+    root = parse_element(nested(500, "x"),
+                         guard=ResourceGuard.unlimited())
+    assert root.local == "a"
+
+
+def test_malformed_xml_still_raises_syntax_errors():
+    """Quota enforcement must not mask well-formedness checking."""
+    guard = ResourceGuard()
+    with pytest.raises(XMLSyntaxError):
+        parse_element("<a><b></a></b>", guard=guard)
+    with pytest.raises(XMLSyntaxError):
+        parse_element("<a>", guard=guard)
+    with pytest.raises(XMLSyntaxError):
+        parse_element("<a>]]></a>", guard=guard)
