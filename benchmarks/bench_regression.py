@@ -57,6 +57,11 @@ DIRECTIONS = {
     # (1.0 = free; the acceptance envelope is <= 1.05 on the committing
     # machine, gated here at baseline * (1 + threshold) for CI noise)
     "guard_overhead_ratio": "lower",
+    # ABL-TAINT: whole-repo taint analysis; the warm ratio is the whole
+    # point of the content-hash cache (an unchanged tree must be
+    # near-free), so a ratio drift is a cache regression
+    "taint_cold_norm": "lower",
+    "taint_warm_ratio": "lower",
 }
 
 
@@ -171,6 +176,37 @@ def run_benchmarks() -> dict:
         raise SystemExit("audit bench workload lost its signatures")
     audit_time = measure(audit_once, warmup=1, repeat=5)
 
+    # ABL-TAINT: whole-repo taint analysis, cold vs. content-hash warm.
+    import shutil
+    import tempfile
+
+    from repro.analysis import TaintCache, analyze_paths
+
+    src_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    cache_dir = tempfile.mkdtemp(prefix="taint-bench-")
+    cache_path = os.path.join(cache_dir, "cache.json")
+    try:
+        def taint_cold():
+            if os.path.exists(cache_path):
+                os.remove(cache_path)
+            return analyze_paths([src_root],
+                                 cache=TaintCache(cache_path))
+
+        if taint_cold().scanned < 100:
+            raise SystemExit("taint bench workload lost its modules")
+        taint_cold_time = measure(taint_cold, warmup=0, repeat=3)
+        taint_cold()  # leave a populated cache behind for the warm runs
+        taint_warm_time = measure(
+            lambda: analyze_paths([src_root],
+                                  cache=TaintCache(cache_path)),
+            warmup=1, repeat=3,
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
     return {
         "calibration_seconds": calibration,
         "metrics": {
@@ -182,6 +218,8 @@ def run_benchmarks() -> dict:
             "c14n_manifest_norm": c14n_time / calibration,
             "sign_detached_norm": sign_time / calibration,
             "audit_8sig_norm": audit_time / calibration,
+            "taint_cold_norm": taint_cold_time / calibration,
+            "taint_warm_ratio": taint_warm_time / taint_cold_time,
         },
         "raw_seconds": {
             "verify_sequential_8": seq_time,
@@ -190,6 +228,8 @@ def run_benchmarks() -> dict:
             "c14n_manifest": c14n_time,
             "sign_detached": sign_time,
             "audit_8sig": audit_time,
+            "taint_cold": taint_cold_time,
+            "taint_warm": taint_warm_time,
         },
     }
 

@@ -10,9 +10,14 @@ suppression, text/JSON reporters):
 * :mod:`repro.analysis.astlint` — enforces repo invariants over the
   Python AST: revision-stamp propagation, no HMAC memoization,
   constant-time comparisons, injected clocks, provider-only
-  primitives.
+  primitives, typed-errors-only on untrusted paths.
+* :mod:`repro.analysis.taint` — interprocedural taint-flow analysis
+  over the call graph: untrusted bytes must not reach script
+  execution/playback/network unverified, and key material must not
+  reach logs, ``repr`` output, exception text or cache keys
+  (TNT2xx rules), with content-hash-keyed incremental caching.
 
-CLI: ``python -m repro.tools audit ...`` and ``... lint ...``.
+CLI: ``python -m repro.tools audit|lint|taint ...``.
 """
 
 from repro.analysis.artifact import ArtifactAuditor, audit_paths
@@ -21,10 +26,15 @@ from repro.analysis.baseline import Baseline
 from repro.analysis.engine import Rule, all_rules, catalog_lines, get_rule
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.report import render_json, render_text, summary_line
+from repro.analysis.taint import (
+    analyze_modules, analyze_paths, analyze_source,
+)
+from repro.analysis.taintcache import TaintCache
 
 __all__ = [
     "AnalysisResult", "ArtifactAuditor", "Baseline", "Finding", "Rule",
-    "Severity", "all_rules", "audit_paths", "catalog_lines", "get_rule",
-    "lint_paths", "lint_source", "render_json", "render_text",
-    "summary_line",
+    "Severity", "TaintCache", "all_rules", "analyze_modules",
+    "analyze_paths", "analyze_source", "audit_paths", "catalog_lines",
+    "get_rule", "lint_paths", "lint_source", "render_json",
+    "render_text", "summary_line",
 ]

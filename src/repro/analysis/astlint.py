@@ -17,6 +17,10 @@ Machine-checks the contracts the test suite can only spot-check:
   explicit ``guard=`` resource quota (the DoS hardening contract:
   hostile documents must hit a :class:`ResourceGuard`, and the call
   site must say *which* one).
+* ``LIN107`` — untrusted-input modules only let *typed* errors from
+  :mod:`repro.errors` escape; a builtin exception raised at a trust
+  boundary leaks implementation detail and dodges the containment
+  contract callers rely on.
 
 Rules are heuristic by design: they pattern-match the shapes this
 codebase actually uses, and anything legitimately outside a rule goes
@@ -26,6 +30,7 @@ in the committed baseline file rather than weakening the rule.
 from __future__ import annotations
 
 import ast
+import builtins as _builtins
 import os
 
 from repro.analysis.engine import register
@@ -72,6 +77,16 @@ LIN106 = register(
     "pass the session's ResourceGuard, or ResourceGuard.default() to "
     "document that the CE-device default quota is intended.",
 )
+LIN107 = register(
+    "LIN107", "builtin exception escapes an untrusted-input module",
+    Severity.ERROR, "code",
+    "A module that receives bytes from the other side of a trust "
+    "boundary raises a builtin exception that is not caught in the "
+    "same module; failures on untrusted paths must be typed errors "
+    "from repro.errors so callers catch the contract, not the "
+    "implementation (raises converted inside an enclosing try are "
+    "fine).",
+)
 
 # LIN101: attributes whose direct mutation must be stamped.
 _TREE_STATE = ("children", "attrs", "ns_decls", "_data")
@@ -100,6 +115,14 @@ _UNTRUSTED_DIRS = ("/network/", "/xkms/", "/xmlenc/", "/player/")
 _UNTRUSTED_FILES = ("core/package.py", "core/playback_pipeline.py",
                     "disc/image.py", "perf/batch.py")
 _PARSE_ENTRY_POINTS = ("parse_document", "parse_element")
+
+# LIN107: builtin exception types (anything importable without an
+# import is "builtin"); NotImplementedError is the protocol-stub idiom
+# and deliberately exempt.
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name, obj in vars(_builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+) - {"NotImplementedError"}
 
 
 def _name_hint(node: ast.expr) -> str:
@@ -166,6 +189,10 @@ class _FileLint:
             any(part in normalized for part in _UNTRUSTED_DIRS)
             or normalized.endswith(_UNTRUSTED_FILES)
         )
+        # LIN107 also covers markup handling: its input is parsed
+        # content that originated on a disc or the network.
+        self.in_typed_raise_scope = (self.in_untrusted_input
+                                     or "/markup/" in normalized)
         # LIN101 applies to modules that define the revision protocol
         # (the tree model and anything shaped like it).
         self.defines_mark_mutated = any(
@@ -175,6 +202,7 @@ class _FileLint:
 
     def run(self) -> list:
         self._lint_imports()
+        self._lint_typed_raises()
         for node in ast.walk(self.tree):
             if isinstance(node, ast.ClassDef):
                 for item in node.body:
@@ -321,6 +349,38 @@ class _FileLint:
             "guard= resource quota",
             line=node.lineno,
         ))
+
+    # -- LIN107 ----------------------------------------------------------------
+
+    def _lint_typed_raises(self) -> None:
+        if not self.in_typed_raise_scope:
+            return
+        # Raises lexically inside a try that has except handlers are
+        # treated as converted-on-the-spot (the timing-parser idiom:
+        # raise ValueError in a helper, catch and re-raise typed).
+        handled: set[int] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Try) and node.handlers:
+                for stmt in node.body + node.orelse:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Raise):
+                            handled.add(id(sub))
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Raise) or id(node) in handled:
+                continue
+            exc = node.exc
+            if exc is None:
+                continue  # bare re-raise keeps the active (typed) error
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = _dotted(exc).rsplit(".", 1)[-1]
+            if name in _BUILTIN_EXCEPTIONS:
+                self.findings.append(LIN107.finding(
+                    self.path,
+                    f"raises builtin {name} on an untrusted-input "
+                    "path; raise a typed error from repro.errors",
+                    line=node.lineno,
+                ))
 
     # -- LIN105 ----------------------------------------------------------------
 

@@ -1,0 +1,536 @@
+"""Program model for whole-repo dataflow: modules, functions, calls.
+
+The taint engine needs three things the per-file AST linter never did:
+
+* a **module graph** — which file is which dotted module, and what each
+  module's imports resolve to (chasing package ``__init__`` re-exports);
+* a **function table** — every function and method under a stable
+  qualified name (``repro.xkms.server:TrustServer.handle_xml``);
+* a **compact IR** per function — assignments, calls, returns and
+  raises in source order, with expressions reduced to the few shapes
+  taint propagation cares about.
+
+The IR is deliberately JSON-serializable (nested lists of strings and
+ints) so :mod:`repro.analysis.taintcache` can persist it keyed by
+content hash and warm runs skip ``ast`` entirely.
+
+IR expression forms::
+
+    ["name", ident]
+    ["const"]
+    ["attr", expr, attrname]
+    ["sub", expr, key_expr]
+    ["many", [expr, ...]]              # unions: tuples, f-strings, binops
+    ["call", dotted, recv_expr|None, [args], [[kw, expr], ...], line]
+
+IR op forms::
+
+    ["assign", [target, ...], expr, line]    # targets incl. "self.x"
+    ["storesub", recv_hint, key_expr, value_expr, line]
+    ["expr", expr, line]
+    ["return", expr, line]
+    ["raise", dotted, [arg exprs], line, in_handler_for]
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+IR_VERSION = 2
+
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BufferError", "EOFError", "Exception", "IOError", "IndexError",
+    "KeyError", "LookupError", "MemoryError", "OSError", "OverflowError",
+    "RecursionError", "RuntimeError", "StopIteration", "SystemError",
+    "TypeError", "UnicodeDecodeError", "ValueError", "ZeroDivisionError",
+}
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path (``src/`` layout aware)."""
+    normalized = path.replace(os.sep, "/")
+    parts = [p for p in normalized.split("/") if p and p != "."]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<anonymous>"
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` otherwise."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# -- expression lowering ------------------------------------------------------
+
+
+def _expr(node: ast.expr | None):
+    if node is None:
+        return ["const"]
+    if isinstance(node, ast.Name):
+        return ["name", node.id]
+    if isinstance(node, ast.Constant):
+        return ["const"]
+    if isinstance(node, ast.Attribute):
+        return ["attr", _expr(node.value), node.attr]
+    if isinstance(node, ast.Subscript):
+        return ["sub", _expr(node.value), _expr(node.slice)]
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        recv = (_expr(node.func.value)
+                if isinstance(node.func, ast.Attribute) else None)
+        args = [_expr(a) for a in node.args]
+        kwargs = [[kw.arg or "**", _expr(kw.value)] for kw in node.keywords]
+        return ["call", dotted, recv, args, kwargs, node.lineno]
+    if isinstance(node, ast.JoinedStr):
+        parts = [_expr(v.value) for v in node.values
+                 if isinstance(v, ast.FormattedValue)]
+        return ["many", parts]
+    if isinstance(node, ast.BinOp):
+        return ["many", [_expr(node.left), _expr(node.right)]]
+    if isinstance(node, ast.BoolOp):
+        return ["many", [_expr(v) for v in node.values]]
+    if isinstance(node, ast.Compare):
+        return ["const"]  # comparisons yield booleans, not data
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return ["many", [_expr(e) for e in node.elts]]
+    if isinstance(node, ast.Dict):
+        parts = [_expr(k) for k in node.keys if k is not None]
+        parts += [_expr(v) for v in node.values]
+        return ["many", parts]
+    if isinstance(node, ast.IfExp):
+        return ["many", [_expr(node.body), _expr(node.orelse)]]
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        parts = [_expr(node.elt)]
+        parts += [_expr(gen.iter) for gen in node.generators]
+        return ["many", parts]
+    if isinstance(node, ast.DictComp):
+        parts = [_expr(node.key), _expr(node.value)]
+        parts += [_expr(gen.iter) for gen in node.generators]
+        return ["many", parts]
+    if isinstance(node, ast.Starred):
+        return _expr(node.value)
+    if isinstance(node, (ast.Await, ast.YieldFrom)):
+        return _expr(node.value)
+    if isinstance(node, ast.Yield):
+        return _expr(node.value) if node.value else ["const"]
+    if isinstance(node, ast.NamedExpr):
+        return _expr(node.value)
+    if isinstance(node, ast.Lambda):
+        return ["const"]
+    return ["const"]
+
+
+def _target_names(node: ast.expr) -> list[str]:
+    """Assignment targets as flat variable names (``x``, ``self.x``)."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        dotted = dotted_name(node)
+        return [dotted] if dotted.count(".") == 1 else []
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in node.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(node, ast.Starred):
+        return _target_names(node.value)
+    return []
+
+
+# -- statement lowering -------------------------------------------------------
+
+
+class _OpLowerer:
+    """Flatten one function body into the op list (source order)."""
+
+    def __init__(self):
+        self.ops: list = []
+        # Builtin exception names caught by an enclosing ``try`` —
+        # raising those is internal control flow, not an escape.
+        self._caught: list[set[str]] = []
+
+    def lower_body(self, body: list[ast.stmt]) -> list:
+        for stmt in body:
+            self._stmt(stmt)
+        return self.ops
+
+    def _stmt(self, node: ast.stmt) -> None:
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Assign):
+            targets: list[str] = []
+            subs: list[ast.Subscript] = []
+            for target in node.targets:
+                targets.extend(_target_names(target))
+                if isinstance(target, ast.Subscript):
+                    subs.append(target)
+            if targets:
+                self.ops.append(["assign", targets, _expr(node.value), line])
+            for sub in subs:
+                self.ops.append([
+                    "storesub", dotted_name(sub.value),
+                    _expr(sub.slice), _expr(node.value), line,
+                ])
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = _target_names(node.target)
+            if targets:
+                self.ops.append(["assign", targets, _expr(node.value), line])
+        elif isinstance(node, ast.AugAssign):
+            targets = _target_names(node.target)
+            if targets:
+                union = ["many", [_expr(node.target), _expr(node.value)]]
+                self.ops.append(["assign", targets, union, line])
+        elif isinstance(node, ast.Return):
+            self.ops.append(["return", _expr(node.value), line])
+        elif isinstance(node, ast.Raise):
+            self._raise(node, line)
+        elif isinstance(node, ast.Expr):
+            self.ops.append(["expr", _expr(node.value), line])
+        elif isinstance(node, (ast.If,)):
+            self.lower_body(node.body)
+            self.lower_body(node.orelse)
+        elif isinstance(node, (ast.While,)):
+            self.lower_body(node.body)
+            self.lower_body(node.orelse)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = _target_names(node.target)
+            if targets:
+                self.ops.append([
+                    "assign", targets, ["many", [_expr(node.iter)]], line,
+                ])
+            else:
+                self.ops.append(["expr", _expr(node.iter), line])
+            self.lower_body(node.body)
+            self.lower_body(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    targets = _target_names(item.optional_vars)
+                    if targets:
+                        self.ops.append([
+                            "assign", targets,
+                            _expr(item.context_expr), line,
+                        ])
+                        continue
+                self.ops.append(["expr", _expr(item.context_expr), line])
+            self.lower_body(node.body)
+        elif isinstance(node, ast.Try):
+            caught: set[str] = set()
+            for handler in node.handlers:
+                caught.update(self._handler_names(handler.type))
+            self._caught.append(caught)
+            self.lower_body(node.body)
+            self._caught.pop()
+            for handler in node.handlers:
+                if handler.name:
+                    # The caught object's payload is opaque to us.
+                    self.ops.append([
+                        "assign", [handler.name], ["const"],
+                        handler.lineno,
+                    ])
+                self.lower_body(handler.body)
+            self.lower_body(node.orelse)
+            self.lower_body(node.finalbody)
+        elif isinstance(node, ast.Match):
+            for case in node.cases:
+                self.lower_body(case.body)
+        # Nested defs/classes are lowered as their own functions by the
+        # module extractor; pass/import/global/etc. carry no dataflow.
+
+    @staticmethod
+    def _handler_names(node: ast.expr | None) -> set[str]:
+        if node is None:
+            return set(_BUILTIN_EXCEPTIONS)  # bare except catches all
+        names = set()
+        for part in (node.elts if isinstance(node, ast.Tuple) else [node]):
+            dotted = dotted_name(part)
+            if dotted:
+                names.add(dotted.rsplit(".", 1)[-1])
+        return names
+
+    def _raise(self, node: ast.Raise, line: int) -> None:
+        if node.exc is None:
+            return  # bare re-raise
+        exc = node.exc
+        dotted = ""
+        args: list = []
+        if isinstance(exc, ast.Call):
+            dotted = dotted_name(exc.func)
+            args = [_expr(a) for a in exc.args]
+            args += [_expr(kw.value) for kw in exc.keywords]
+        else:
+            dotted = dotted_name(exc)
+        short = dotted.rsplit(".", 1)[-1]
+        handled = any(short in caught or "Exception" in caught
+                      or "BaseException" in caught
+                      for caught in self._caught)
+        self.ops.append(["raise", dotted, args, line, handled])
+
+
+# -- module extraction --------------------------------------------------------
+
+
+def _function_ir(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 module: str, cls: str | None) -> dict:
+    params = [a.arg for a in (func.args.posonlyargs + func.args.args)]
+    qname = (f"{module}:{cls}.{func.name}" if cls
+             else f"{module}:{func.name}")
+    return {
+        "qname": qname,
+        "module": module,
+        "cls": cls,
+        "name": func.name,
+        "params": params,
+        "line": func.lineno,
+        "ops": _OpLowerer().lower_body(func.body),
+    }
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = (decorator.func if isinstance(decorator, ast.Call)
+                  else decorator)
+        if dotted_name(target).rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _plain_repr_fields(node: ast.ClassDef) -> list:
+    """Dataclass fields that participate in the generated ``__repr__``.
+
+    A field escapes the repr only via ``field(repr=False)``; everything
+    else (plain annotation, default value, ``field(...)`` without
+    ``repr=False``) is listed with its line number.
+    """
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or \
+                not isinstance(stmt.target, ast.Name):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call) and \
+                dotted_name(value.func).rsplit(".", 1)[-1] == "field":
+            if any(kw.arg == "repr"
+                   and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is False
+                   for kw in value.keywords):
+                continue
+        fields.append([stmt.target.id, stmt.lineno])
+    return fields
+
+
+def extract_module(source: str, path: str) -> dict:
+    """Parse one module into its cacheable program-model entry."""
+    tree = ast.parse(source, filename=path)
+    module = module_name_for_path(path)
+    imports: dict[str, str] = {}
+    functions: list[dict] = []
+    classes: dict[str, dict] = {}
+
+    # Imports anywhere in the file (function-local ones included —
+    # scoping is flattened, which only ever *adds* resolvable names).
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(_function_ir(node, module, None))
+            _extract_nested(node, module, None, functions)
+        elif isinstance(node, ast.ClassDef):
+            methods = []
+            defines_repr = False
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    methods.append(item.name)
+                    if item.name in ("__repr__", "__str__"):
+                        defines_repr = True
+                    functions.append(_function_ir(item, module, node.name))
+                    _extract_nested(item, module, node.name, functions)
+            classes[node.name] = {
+                "methods": methods,
+                "line": node.lineno,
+                "dataclass": _is_dataclass_decorated(node),
+                "defines_repr": defines_repr,
+                "plain_repr_fields": _plain_repr_fields(node)
+                if _is_dataclass_decorated(node) else [],
+            }
+
+    return {
+        "ir_version": IR_VERSION,
+        "path": path,
+        "module": module,
+        "imports": imports,
+        "functions": functions,
+        "classes": classes,
+    }
+
+
+def _extract_nested(func, module: str, cls: str | None,
+                    out: list[dict]) -> None:
+    """Nested defs become standalone functions (closures are opaque)."""
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(_function_ir(node, module, cls))
+
+
+# -- the resolved program -----------------------------------------------------
+
+
+class Program:
+    """All extracted modules plus name-resolution over them."""
+
+    def __init__(self, modules: list[dict]):
+        self.modules = {m["module"]: m for m in modules}
+        self.functions: dict[str, dict] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+        for info in modules:
+            for func in info["functions"]:
+                self.functions[func["qname"]] = func
+                self.methods_by_name.setdefault(
+                    func["name"], []).append(func["qname"])
+
+    def class_info(self, module: str, cls: str) -> dict | None:
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info["classes"].get(cls)
+
+    def _chase(self, dotted: str, depth: int = 0) -> str:
+        """Follow package re-exports (``repro.xmlcore.parse_element`` →
+        ``repro.xmlcore.parser.parse_element``)."""
+        if depth > 4:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        info = self.modules.get(head)
+        if info is not None and tail in info["imports"]:
+            return self._chase(info["imports"][tail], depth + 1)
+        return dotted
+
+    def resolve(self, module: str, dotted: str,
+                var_types: dict[str, tuple] | None = None,
+                current_class: str | None = None) -> str | None:
+        """Resolve a call's dotted name to a function qname, if we can."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        var_types = var_types or {}
+
+        if head in ("self", "cls") and current_class and len(rest) == 1:
+            return self._method(module, current_class, rest[0])
+        if head in var_types and len(rest) == 1:
+            type_module, type_class = var_types[head]
+            return self._method(type_module, type_class, rest[0])
+
+        info = self.modules.get(module)
+        full = None
+        if info is not None and head in info["imports"]:
+            full = self._chase(".".join([info["imports"][head]] + rest))
+        elif info is not None and (
+                f"{module}:{head}" in self.functions
+                or head in info["classes"]):
+            full = ".".join([module, head])
+            if rest:
+                full += "." + ".".join(rest)
+        if full is None:
+            return None
+
+        # Longest module prefix wins: "repro.xmlcore.parser.parse_element"
+        # splits into module + (Class.)?callable.
+        segments = full.split(".")
+        for cut in range(len(segments) - 1, 0, -1):
+            candidate_module = ".".join(segments[:cut])
+            if candidate_module not in self.modules:
+                continue
+            remainder = segments[cut:]
+            if len(remainder) == 1:
+                qname = f"{candidate_module}:{remainder[0]}"
+                if qname in self.functions or \
+                        remainder[0] in self.modules[
+                            candidate_module]["classes"]:
+                    return self._constructor_or_function(
+                        candidate_module, remainder[0])
+            elif len(remainder) == 2:
+                resolved = self._method(candidate_module, remainder[0],
+                                        remainder[1])
+                if resolved:
+                    return resolved
+        return None
+
+    def _constructor_or_function(self, module: str, name: str) -> str:
+        """A class name resolves to its ``__init__`` qname if present,
+        else a synthetic constructor qname ``module:Class``."""
+        info = self.modules[module]
+        if name in info["classes"]:
+            return f"{module}:{name}"
+        return f"{module}:{name}"
+
+    def _method(self, module: str, cls: str, name: str) -> str | None:
+        info = self.class_info(module, cls)
+        if info is not None and name in info["methods"]:
+            return f"{module}:{cls}.{name}"
+        return None
+
+    def unique_method(self, name: str) -> str | None:
+        """The only definition of *name* across the program, if unique."""
+        qnames = self.methods_by_name.get(name, [])
+        return qnames[0] if len(qnames) == 1 else None
+
+    def class_of_constructor(self, module: str, dotted: str
+                             ) -> tuple | None:
+        """(module, class) when *dotted* names a program class."""
+        if not dotted or "." in dotted:
+            resolved = None
+            info = self.modules.get(module)
+            if info is not None and dotted and \
+                    dotted.split(".")[0] in info["imports"]:
+                resolved = self._chase(
+                    info["imports"][dotted.split(".")[0]]
+                    + dotted[len(dotted.split(".")[0]):])
+            if resolved is None:
+                return None
+            head, _, tail = resolved.rpartition(".")
+            if head in self.modules and tail in \
+                    self.modules[head]["classes"]:
+                return (head, tail)
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if dotted in info["classes"]:
+            return (module, dotted)
+        if dotted in info["imports"]:
+            chased = self._chase(info["imports"][dotted])
+            head, _, tail = chased.rpartition(".")
+            if head in self.modules and tail in \
+                    self.modules[head]["classes"]:
+                return (head, tail)
+        return None

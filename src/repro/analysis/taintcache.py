@@ -1,0 +1,141 @@
+"""Content-hash-keyed persistence for the taint analyzer.
+
+Two cache levels, one JSON file:
+
+* **module level** — the extracted IR of every module, keyed by the
+  SHA-256 of its source bytes.  An edited file misses; everything else
+  skips ``ast`` parsing and IR lowering on the next run.
+* **run level** — the full findings list, keyed by a digest over the
+  sorted ``(path, hash)`` set plus the spec/IR format versions.  A
+  completely unchanged tree returns memoized findings without running
+  the fixpoint at all — this is what makes the warm CI/pre-commit path
+  near-free.
+
+The file is an implementation detail (gitignored); deleting it only
+costs one cold run.  Version bumps in the IR or the taint spec
+invalidate everything at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.callgraph import IR_VERSION
+from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.taintspec import SPEC_VERSION
+
+CACHE_FORMAT = 1
+DEFAULT_CACHE_PATH = ".taint-cache.json"
+_MAX_RUNS = 8  # keep the file bounded across branch switches
+
+
+def content_hash(data: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
+class TaintCache:
+    """One on-disk cache instance (load once, save once)."""
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self.run_hit = False
+        self._modules: dict[str, dict] = {}
+        self._runs: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if payload.get("format") != CACHE_FORMAT or \
+                payload.get("ir_version") != IR_VERSION or \
+                payload.get("spec_version") != SPEC_VERSION:
+            return
+        self._modules = payload.get("modules", {})
+        self._runs = payload.get("runs", {})
+
+    def save(self) -> None:
+        runs = dict(sorted(self._runs.items(),
+                           key=lambda kv: kv[1].get("stamp", 0))
+                    [-_MAX_RUNS:])
+        payload = {
+            "format": CACHE_FORMAT,
+            "ir_version": IR_VERSION,
+            "spec_version": SPEC_VERSION,
+            "modules": self._modules,
+            "runs": runs,
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp, self.path)
+
+    # -- module level ---------------------------------------------------------
+
+    def module_info(self, path: str, digest: str) -> dict | None:
+        entry = self._modules.get(path)
+        if entry is not None and entry.get("hash") == digest:
+            self.hits += 1
+            return entry["info"]
+        self.misses += 1
+        return None
+
+    def store_module(self, path: str, digest: str, info: dict) -> None:
+        self._modules[path] = {"hash": digest, "info": info}
+
+    # -- run level ------------------------------------------------------------
+
+    @staticmethod
+    def _run_key(entries) -> str:
+        material = json.dumps(
+            sorted((path, digest) for path, digest, _ in entries)
+        )
+        return content_hash(
+            f"{IR_VERSION}|{SPEC_VERSION}|{material}".encode()
+        )
+
+    def run_result(self, entries) -> AnalysisResult | None:
+        entry = self._runs.get(self._run_key(entries))
+        if entry is None:
+            return None
+        self.run_hit = True
+        self.hits += len(entries)
+        result = AnalysisResult()
+        result.scanned = entry["scanned"]
+        result.findings = [
+            Finding(
+                rule_id=item["rule_id"],
+                severity=Severity[item["severity"]],
+                location=item["location"],
+                message=item["message"],
+                line=item["line"],
+                detail=item["detail"],
+            )
+            for item in entry["findings"]
+        ]
+        return result
+
+    def store_run(self, entries, result: AnalysisResult) -> None:
+        stamps = [run.get("stamp", 0) for run in self._runs.values()]
+        self._runs[self._run_key(entries)] = {
+            "scanned": result.scanned,
+            "stamp": max(stamps, default=0) + 1,
+            "findings": [
+                {
+                    "rule_id": f.rule_id,
+                    "severity": f.severity.name,
+                    "location": f.location,
+                    "message": f.message,
+                    "line": f.line,
+                    "detail": f.detail,
+                }
+                for f in result.findings
+            ],
+        }

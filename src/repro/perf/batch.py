@@ -28,7 +28,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import SignatureError
+from repro.errors import ReproError, SignatureError
 from repro.perf import metrics
 from repro.xmlcore import DSIG_NS
 from repro.xmlcore.tree import Element
@@ -94,7 +94,7 @@ class BatchVerifier:
                  max_workers: int | None = None,
                  mode: str = "thread"):
         if mode not in ("thread", "process", "sequential"):
-            raise ValueError(f"unknown batch mode {mode!r}")
+            raise ReproError(f"unknown batch mode {mode!r}")
         self.verifier = verifier
         self.max_workers = max_workers
         self.mode = mode

@@ -108,8 +108,11 @@ def int_to_bytes(value: int, length: int | None = None) -> bytes:
     try:
         return value.to_bytes(length, "big")
     except OverflowError:
+        # Deliberately value-free: the requested width can be derived
+        # from key material (modulus size, CRT components) and must not
+        # appear in exception text (TNT203).
         raise CryptoError(
-            f"integer does not fit in {length} bytes"
+            "integer does not fit in the requested length"
         ) from None
 
 

@@ -31,6 +31,12 @@ class HMAC:
     def digest_size(self) -> int:
         return self._hash_cls.digest_size
 
+    def __repr__(self) -> str:
+        # Never expose the (derived) key blocks held in _outer_key /
+        # _inner state.
+        return (f"HMAC({self._hash_cls.__name__.lower()}, "
+                "<key redacted>)")
+
     def update(self, data: bytes) -> None:
         """Feed *data* into the MAC."""
         self._inner.update(data)

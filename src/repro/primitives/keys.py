@@ -61,9 +61,9 @@ class RSAPrivateKey:
 
     n: int
     e: int
-    d: int
-    p: int = 0
-    q: int = 0
+    d: int = field(repr=False)
+    p: int = field(default=0, repr=False)
+    q: int = field(default=0, repr=False)
 
     @property
     def bit_length(self) -> int:
@@ -76,6 +76,14 @@ class RSAPrivateKey:
     def public_key(self) -> RSAPublicKey:
         """Return the matching public key."""
         return RSAPublicKey(n=self.n, e=self.e)
+
+    def fingerprint(self) -> str:
+        """Stable identifier of the *public* half — safe to log."""
+        return self.public_key().fingerprint()
+
+    def __repr__(self) -> str:
+        return (f"RSAPrivateKey({self.bit_length}-bit, "
+                f"fingerprint={self.fingerprint()}, <redacted>)")
 
 
 @dataclass(frozen=True)
@@ -101,3 +109,7 @@ class SymmetricKey:
         """Stable identifier (hex SHA-256 prefix) — safe to log."""
         from repro.primitives.sha import sha256
         return sha256(self.data).hex()[:32]
+
+    def __repr__(self) -> str:
+        return (f"SymmetricKey({self.algorithm}, {self.bit_length}-bit, "
+                f"fingerprint={self.fingerprint()}, <redacted>)")

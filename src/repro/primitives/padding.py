@@ -35,7 +35,10 @@ def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
         raise PaddingError("padded data length is not a whole block count")
     pad_len = data[-1]
     if not 1 <= pad_len <= block_size:
-        raise PaddingError(f"invalid pad length {pad_len}")
+        # The observed pad byte is a function of the decryption key and
+        # the ciphertext; echoing it in the error would hand a padding
+        # oracle to whoever reads the fault text (TNT203).
+        raise PaddingError("invalid pad length")
     if data[-pad_len:] != bytes([pad_len]) * pad_len:
         raise PaddingError("inconsistent PKCS#7 pad bytes")
     return data[:-pad_len]
@@ -55,5 +58,8 @@ def xmlenc_unpad(data: bytes, block_size: int = 16) -> bytes:
         raise PaddingError("padded data length is not a whole block count")
     pad_len = data[-1]
     if not 1 <= pad_len <= block_size:
-        raise PaddingError(f"invalid pad length {pad_len}")
+        # The observed pad byte is a function of the decryption key and
+        # the ciphertext; echoing it in the error would hand a padding
+        # oracle to whoever reads the fault text (TNT203).
+        raise PaddingError("invalid pad length")
     return data[:-pad_len]

@@ -407,6 +407,24 @@ def cmd_lint(args) -> int:
     return _finish_analysis(result, args)
 
 
+def cmd_taint(args) -> int:
+    """Interprocedural taint-flow analysis over the codebase."""
+    from repro.analysis import analyze_paths, catalog_lines
+    from repro.analysis.taintcache import TaintCache
+
+    if args.rules:
+        for line in catalog_lines("code"):
+            print(line)
+        return 0
+    cache = None if args.no_cache else TaintCache(args.cache)
+    result = analyze_paths(args.paths or ["src"], cache=cache)
+    if args.verbose and cache is not None:
+        state = "warm (memoized run)" if cache.run_hit else \
+            f"{cache.hits} module hit(s), {cache.misses} miss(es)"
+        print(f"cache: {state}")
+    return _finish_analysis(result, args)
+
+
 def cmd_chaos(args) -> int:
     """Run the seeded chaos harness; non-zero exit on any violation."""
     from repro.resilience.chaos import run_chaos
@@ -570,6 +588,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories (default: src)")
     add_analysis_options(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "taint",
+        help="interprocedural taint-flow analysis (TNT2xx rules)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src)")
+    p.add_argument("--cache", default=".taint-cache.json",
+                   help="incremental cache file "
+                        "(default .taint-cache.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the cache")
+    add_analysis_options(p)
+    p.set_defaults(func=cmd_taint)
 
     p = sub.add_parser(
         "chaos",

@@ -89,14 +89,20 @@ class TrustServer:
         try:
             request = XKMSRequest.from_xml(request_xml, guard=guard)
         except (XMLError, XKMSError, ResourceLimitExceeded) as exc:
-            self.audit_log.append(f"malformed-request:{exc}")
+            # Audit the exception *type* only: the message text can
+            # quote attacker bytes or (for crypto failures) values
+            # derived from key material, and the audit log is readable
+            # by operators outside the crypto layer (TNT203).
+            self.audit_log.append(
+                f"malformed-request:{type(exc).__name__}"
+            )
             return XKMSResult(
                 "Status", RESULT_SENDER_FAULT,
             ).to_xml()
         try:
             return self.handle(request).to_xml()
         except XKMSError as exc:
-            self.audit_log.append(f"request-failed:{exc}")
+            self.audit_log.append(f"request-failed:{type(exc).__name__}")
             return XKMSResult(
                 request.operation, RESULT_RECEIVER_FAULT,
                 request_id=request.request_id,

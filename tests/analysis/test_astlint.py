@@ -268,6 +268,76 @@ def test_lin106_does_not_apply_to_trusted_paths():
     assert lint(snippet, "src/repro/dsig/signer.py") == []
 
 
+# -- LIN107: only typed errors escape untrusted-input modules ---------------
+
+
+def test_lin107_catches_builtin_raise_on_untrusted_path():
+    snippet = """
+    def handle(payload):
+        if not payload:
+            raise ValueError("empty request payload")
+        return payload
+    """
+    findings = lint(snippet, "src/repro/xkms/example.py")
+    assert rule_ids(findings) == {"LIN107"}
+    (finding,) = findings
+    assert "ValueError" in finding.message
+
+
+def test_lin107_clean_with_typed_error():
+    snippet = """
+    from repro.errors import XKMSError
+
+    def handle(payload):
+        if not payload:
+            raise XKMSError("empty request payload")
+        return payload
+    """
+    assert lint(snippet, "src/repro/xkms/example.py") == []
+
+
+def test_lin107_allows_internally_converted_raises():
+    # The timing-parser idiom: a helper raises ValueError inside a try
+    # whose handler converts it to the typed error.
+    snippet = """
+    from repro.errors import MarkupError
+
+    def parse_clock(value):
+        try:
+            if ":" not in value:
+                raise ValueError("not a clock value")
+            return value.split(":")
+        except ValueError as exc:
+            raise MarkupError(f"bad clock value: {exc}") from exc
+    """
+    assert lint(snippet, "src/repro/markup/example.py") == []
+
+
+def test_lin107_allows_bare_reraise_and_stub_idiom():
+    snippet = """
+    from repro.errors import NetworkError
+
+    def relay(frame):
+        try:
+            return frame.decode()
+        except NetworkError:
+            raise
+
+    def protocol_hook(self):
+        raise NotImplementedError
+    """
+    assert lint(snippet, "src/repro/network/example.py") == []
+
+
+def test_lin107_does_not_apply_to_trusted_paths():
+    snippet = """
+    def check(mode):
+        if mode not in ("a", "b"):
+            raise ValueError(f"unknown mode {mode!r}")
+    """
+    assert lint(snippet, "src/repro/dsig/signer.py") == []
+
+
 # -- clean-repo run ----------------------------------------------------------
 
 

@@ -100,3 +100,38 @@ def test_lint_rules_catalog(capsys):
     out = capsys.readouterr().out
     assert "LIN101" in out and "LIN105" in out
     assert "SEC001" not in out
+
+
+# -- taint -------------------------------------------------------------------
+
+
+def test_taint_repo_passes_with_committed_baseline(tmp_path, capsys):
+    src = os.path.join(REPO_ROOT, "src")
+    baseline = os.path.join(REPO_ROOT, "taint-baseline.json")
+    cache = str(tmp_path / "cache.json")
+    assert main(["taint", src, "--baseline", baseline,
+                 "--cache", cache]) == 0
+    assert "no findings" in capsys.readouterr().out
+    # Second invocation hits the run-level cache and agrees.
+    assert main(["taint", src, "--baseline", baseline,
+                 "--cache", cache, "-v"]) == 0
+    assert "warm" in capsys.readouterr().out
+
+
+def test_taint_flags_seeded_flow(tmp_path, capsys):
+    bad = tmp_path / "untrusted" / "relay.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "from repro.xmlcore.parser import parse_element\n"
+        "def handle(client, interp):\n"
+        "    interp.run(parse_element(client.fetch('x')))\n"
+    )
+    assert main(["taint", str(bad.parent), "--no-cache"]) == 1
+    assert "TNT201" in capsys.readouterr().out
+
+
+def test_taint_rules_catalog(capsys):
+    assert main(["taint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "TNT201" in out and "TNT204" in out
+    assert "SEC001" not in out

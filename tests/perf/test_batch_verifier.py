@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import verify_signatures
 from repro.dsig import Verifier
-from repro.errors import SignatureError
+from repro.errors import ReproError, SignatureError
 from repro.perf import metrics
 from repro.perf.batch import (
     BatchVerifier, auto_worker_count,
@@ -43,7 +43,7 @@ def test_auto_worker_count_bounds():
 
 
 def test_unknown_mode_rejected(verifier):
-    with pytest.raises(ValueError):
+    with pytest.raises(ReproError):
         BatchVerifier(verifier, mode="fibers")
 
 

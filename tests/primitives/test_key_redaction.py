@@ -1,0 +1,106 @@
+"""No key bytes in any repr, log line or raised message.
+
+ISSUE 5 satellite: the TNT203 rule is only as good as the surfaces it
+guards, so this suite pins the redaction behaviour directly — key
+component integers/bytes must never appear in ``repr``/``str`` output,
+in the XKMS audit log, or in exception text raised by the primitives.
+"""
+
+import pytest
+
+from repro.errors import CryptoError, PaddingError
+from repro.primitives.encoding import int_to_bytes
+from repro.primitives.hmac import HMAC
+from repro.primitives.keys import RSAPrivateKey, SymmetricKey
+from repro.primitives.padding import pkcs7_unpad, xmlenc_unpad
+
+KEY = RSAPrivateKey(
+    n=0xC0FFEE1234567890ABCDEF,
+    e=65537,
+    d=0xDEADBEEFCAFE42421337,
+    p=0xF00DFACE99,
+    q=0xBAADF00D77,
+)
+
+SECRET_BYTES = b"\x13\x37super-secret-key-material\x42"
+
+
+def leaks(text: str) -> bool:
+    """True if any private component shows up in *text* in any of the
+    encodings a lazy format string would produce."""
+    candidates = []
+    for component in (KEY.d, KEY.p, KEY.q):
+        candidates += [str(component), hex(component),
+                       repr(int_to_bytes(component))]
+    candidates += [repr(SECRET_BYTES), SECRET_BYTES.hex()]
+    return any(candidate in text for candidate in candidates)
+
+
+# -- reprs -------------------------------------------------------------------
+
+
+def test_private_key_repr_redacts_components():
+    for text in (repr(KEY), str(KEY), f"{KEY}"):
+        assert not leaks(text)
+        assert "redacted" in text
+    # The public half stays useful for debugging.
+    assert str(KEY.bit_length) in repr(KEY)
+    assert KEY.fingerprint() in repr(KEY)
+
+
+def test_symmetric_key_repr_redacts_data():
+    key = SymmetricKey(SECRET_BYTES, algorithm="hmac")
+    for text in (repr(key), str(key), f"{key}"):
+        assert not leaks(text)
+    assert key.fingerprint() in repr(key)
+
+
+def test_hmac_repr_redacts_key_blocks():
+    mac = HMAC(SECRET_BYTES, "sha256", b"payload")
+    text = repr(mac)
+    assert not leaks(text)
+    assert "redacted" in text
+    assert "sha256" in text
+
+
+def test_fingerprints_do_not_invert():
+    assert not leaks(KEY.fingerprint())
+    assert not leaks(SymmetricKey(SECRET_BYTES).fingerprint())
+
+
+# -- exception text ----------------------------------------------------------
+
+
+def test_int_to_bytes_overflow_error_is_value_free():
+    with pytest.raises(CryptoError) as excinfo:
+        int_to_bytes(KEY.d, 2)
+    assert not leaks(str(excinfo.value))
+    assert str((KEY.d.bit_length() + 7) // 8) not in str(excinfo.value)
+
+
+@pytest.mark.parametrize("unpad", [pkcs7_unpad, xmlenc_unpad])
+def test_unpad_error_does_not_echo_pad_byte(unpad):
+    block = SECRET_BYTES[:15] + b"\xfe"  # invalid pad length 0xfe
+    with pytest.raises(PaddingError) as excinfo:
+        unpad(block, 16)
+    text = str(excinfo.value)
+    assert "254" not in text and "0xfe" not in text
+
+
+# -- XKMS audit log ----------------------------------------------------------
+
+
+def test_xkms_audit_log_records_fault_types_not_payloads():
+    from repro.xkms import TrustServer
+
+    server = TrustServer()
+    hostile = "<Evil>" + SECRET_BYTES.hex() + "</Evil>"
+    server.handle_xml(hostile)
+    server.handle_xml("not xml at all \x13\x37")
+    assert server.audit_log, "faults must still be audited"
+    for line in server.audit_log:
+        assert not leaks(line)
+        assert "Evil" not in line and "not xml" not in line
+        # the entry still names the failure class for the operator
+        assert line.startswith("malformed-request:")
+        assert line.split(":", 1)[1].isidentifier()
