@@ -62,6 +62,11 @@ DIRECTIONS = {
     # near-free), so a ratio drift is a cache regression
     "taint_cold_norm": "lower",
     "taint_warm_ratio": "lower",
+    # ABL-DUR: journaled commits and recovery replay on the in-memory
+    # crash-model filesystem (CPU-bound, so the ratios are stable;
+    # real fsync latency would just measure the runner's disk)
+    "journal_commit_norm": "lower",
+    "recovery_norm": "lower",
 }
 
 
@@ -207,6 +212,31 @@ def run_benchmarks() -> dict:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    # ABL-DUR: journaled commits + recovery replay.  Runs against the
+    # in-memory CrashableFilesystem so the workload is pure CPU
+    # (framing, checksums, replay) and the SHA-256 normalization
+    # holds; an OsFilesystem run would mostly measure fsync latency.
+    from repro.resilience.crashfs import CrashableFilesystem
+    from repro.resilience.durable import DurableStore
+
+    def commit_batch() -> CrashableFilesystem:
+        fs = CrashableFilesystem(seed=0)
+        store = DurableStore("/bench/state", fs=fs)
+        for index in range(50):
+            store.set("slots", f"key-{index:03d}", b"V" * 100)
+            store.commit()
+        return fs
+
+    journal_fs = commit_batch()
+    journal_commit_time = measure(commit_batch, warmup=1, repeat=5)
+
+    def recover_once() -> DurableStore:
+        return DurableStore("/bench/state", fs=journal_fs)
+
+    if len(recover_once().keys("slots")) != 50:
+        raise SystemExit("durable bench workload lost its records")
+    recovery_time = measure(recover_once, warmup=1, repeat=5)
+
     return {
         "calibration_seconds": calibration,
         "metrics": {
@@ -220,6 +250,8 @@ def run_benchmarks() -> dict:
             "audit_8sig_norm": audit_time / calibration,
             "taint_cold_norm": taint_cold_time / calibration,
             "taint_warm_ratio": taint_warm_time / taint_cold_time,
+            "journal_commit_norm": journal_commit_time / calibration,
+            "recovery_norm": recovery_time / calibration,
         },
         "raw_seconds": {
             "verify_sequential_8": seq_time,
@@ -230,6 +262,8 @@ def run_benchmarks() -> dict:
             "audit_8sig": audit_time,
             "taint_cold": taint_cold_time,
             "taint_warm": taint_warm_time,
+            "journal_commit_50": journal_commit_time,
+            "recovery_50": recovery_time,
         },
     }
 

@@ -1,0 +1,96 @@
+"""ABL-DUR — Ablation: durable-journal commit and recovery cost.
+
+The durable layer (:mod:`repro.resilience.durable`) routes every
+security-state mutation through a checksummed write-ahead journal, so
+each acknowledged commit pays for frame encoding, a digest over the
+payload, and an fsync.  A CE player commits on every settings write,
+so the per-commit cost has to stay small — and recovery (replaying
+the journal after power loss) has to be fast enough to hide inside
+boot.
+
+Runs against the in-memory :class:`CrashableFilesystem` so the
+workload is pure CPU (framing, checksums, replay) and comparable
+across machines; an ``OsFilesystem`` run would mostly measure the
+host's fsync latency.  The regression gate tracks
+``journal_commit_norm`` and ``recovery_norm`` in
+``benchmarks/baseline.json``.
+"""
+
+from _workloads import measure, report
+from repro.resilience.crashfs import CrashableFilesystem, SimulatedCrash
+from repro.resilience.durable import DurableStore
+
+RECORDS = 50
+VALUE = b"V" * 100
+DIRECTORY = "/bench/state"
+
+
+def populate(fs: CrashableFilesystem) -> DurableStore:
+    store = DurableStore(DIRECTORY, fs=fs)
+    for index in range(RECORDS):
+        store.set("slots", f"key-{index:03d}", VALUE)
+        store.commit()
+    return store
+
+
+def test_abldur_commit_batch(benchmark):
+    def commit_batch():
+        return populate(CrashableFilesystem(seed=0))
+
+    store = benchmark(commit_batch)
+    assert len(store.keys("slots")) == RECORDS
+
+
+def test_abldur_recovery(benchmark):
+    fs = CrashableFilesystem(seed=0)
+    populate(fs)
+
+    store = benchmark(lambda: DurableStore(DIRECTORY, fs=fs))
+    assert len(store.keys("slots")) == RECORDS
+    assert store.recovery.clean
+
+
+def test_abldur_recovery_after_compaction(benchmark):
+    """Post-compaction recovery reads the snapshot, not the journal."""
+    fs = CrashableFilesystem(seed=0)
+    populate(fs).compact()
+
+    store = benchmark(lambda: DurableStore(DIRECTORY, fs=fs))
+    assert len(store.keys("slots")) == RECORDS
+    assert store.recovery.clean
+
+
+def test_abldur_torn_tail_recovery(benchmark):
+    """Recovery over a crash-torn journal tail (the power-loss shape)."""
+    probe = CrashableFilesystem(seed=7)
+    populate(probe)
+    # Kill the run at its very last injection point — the final
+    # commit's fsync — so the tail frame may be torn.
+    fs = CrashableFilesystem(seed=7, crash_at=probe.op_count - 1)
+    try:
+        populate(fs)
+    except SimulatedCrash:
+        fs.crash()
+
+    store = benchmark(lambda: DurableStore(DIRECTORY, fs=fs))
+    # Every *acknowledged* commit survives; only the unacked final
+    # write may be missing.
+    assert len(store.keys("slots")) >= RECORDS - 1
+
+
+def test_abldur_report(benchmark):
+    """The paper-style rows the regression gate pins down."""
+    commit_time = measure(
+        lambda: populate(CrashableFilesystem(seed=0)), warmup=1, repeat=5,
+    )
+    fs = CrashableFilesystem(seed=0)
+    populate(fs)
+    recovery_time = measure(
+        lambda: DurableStore(DIRECTORY, fs=fs), warmup=1, repeat=5,
+    )
+    benchmark(lambda: DurableStore(DIRECTORY, fs=fs))
+    report(f"ABL-DUR durable journal ({RECORDS} committed records)", [
+        f"commit batch   {commit_time * 1e6:9.1f} us "
+        f"({commit_time / RECORDS * 1e6:.1f} us/commit)",
+        f"recovery       {recovery_time * 1e6:9.1f} us",
+    ])

@@ -21,6 +21,10 @@ Machine-checks the contracts the test suite can only spot-check:
   :mod:`repro.errors` escape; a builtin exception raised at a trust
   boundary leaks implementation detail and dodges the containment
   contract callers rely on.
+* ``LIN108`` — persistence modules never write files with a bare
+  ``open(..., "w"/"wb")``: a power cut mid-write leaves a torn file.
+  Durable bytes go through the durable layer's ``atomic_write`` (or a
+  :class:`DurableStore`), which the rule exempts.
 
 Rules are heuristic by design: they pattern-match the shapes this
 codebase actually uses, and anything legitimately outside a rule goes
@@ -68,6 +72,15 @@ LIN105 = register(
     "primitives.provider.",
 )
 
+LIN108 = register(
+    "LIN108", "torn-write hazard in a persistence module",
+    Severity.ERROR, "code",
+    "A module that persists security state opens a file for writing "
+    "directly; a crash mid-write leaves a torn file that recovery "
+    "cannot distinguish from tampering.  Route the bytes through "
+    "repro.resilience.durable.atomic_write or a DurableStore.",
+)
+
 LIN106 = register(
     "LIN106", "unguarded parse of untrusted input", Severity.WARNING,
     "code",
@@ -113,8 +126,19 @@ _RAW_PRIMITIVES = {"aes", "des", "rsa", "sha", "modes", "keywrap",
 # LIN106: where XML arrives from the other side of a trust boundary.
 _UNTRUSTED_DIRS = ("/network/", "/xkms/", "/xmlenc/", "/player/")
 _UNTRUSTED_FILES = ("core/package.py", "core/playback_pipeline.py",
-                    "disc/image.py", "perf/batch.py")
+                    "disc/image.py", "perf/batch.py",
+                    # flash contents are attacker-reachable input
+                    "resilience/durable.py")
 _PARSE_ENTRY_POINTS = ("parse_document", "parse_element")
+
+# LIN108: modules that put security state on disk.  The durable layer
+# itself is the sanctioned implementation (its Filesystem abstraction
+# and atomic_write are *how* everyone else avoids torn writes), so it
+# is exempt by construction.
+_PERSISTENCE_FILES = ("player/localstorage.py", "certs/store.py",
+                      "xkms/server.py")
+_DURABLE_LAYER_FILES = ("resilience/durable.py", "resilience/crashfs.py")
+_WRITE_MODE_CHARS = ("w", "a", "x", "+")
 
 # LIN107: builtin exception types (anything importable without an
 # import is "builtin"); NotImplementedError is the protocol-stub idiom
@@ -193,6 +217,13 @@ class _FileLint:
         # content that originated on a disc or the network.
         self.in_typed_raise_scope = (self.in_untrusted_input
                                      or "/markup/" in normalized)
+        # LIN108 applies to modules that persist security state, plus
+        # all of /resilience/ except the durable layer itself.
+        self.in_persistence = (
+            normalized.endswith(_PERSISTENCE_FILES)
+            or ("/resilience/" in normalized
+                and not normalized.endswith(_DURABLE_LAYER_FILES))
+        )
         # LIN101 applies to modules that define the revision protocol
         # (the tree model and anything shaped like it).
         self.defines_mark_mutated = any(
@@ -215,6 +246,7 @@ class _FileLint:
             if isinstance(node, ast.Call):
                 self._lint_wall_clock(node)
                 self._lint_unguarded_parse(node)
+                self._lint_torn_write(node)
         return self.findings
 
     # -- LIN101 ----------------------------------------------------------------
@@ -349,6 +381,32 @@ class _FileLint:
             "guard= resource quota",
             line=node.lineno,
         ))
+
+    # -- LIN108 ----------------------------------------------------------------
+
+    def _lint_torn_write(self, node: ast.Call) -> None:
+        if not self.in_persistence:
+            return
+        if not (isinstance(node.func, ast.Name)
+                and node.func.id == "open"):
+            return
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if not (isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)):
+            return  # default mode "r" / dynamic mode: not a write
+        if any(ch in mode.value for ch in _WRITE_MODE_CHARS):
+            self.findings.append(LIN108.finding(
+                self.path,
+                f"open(..., {mode.value!r}) in a persistence module; "
+                "a crash here leaves a torn file — use "
+                "repro.resilience.durable.atomic_write",
+                line=node.lineno,
+            ))
 
     # -- LIN107 ----------------------------------------------------------------
 

@@ -5,18 +5,33 @@ certificates leading to a trusted root certificate within the player."
 The store holds the trusted roots a manufacturer bakes into the device,
 plus an updatable revocation list; :meth:`TrustStore.validate_chain`
 performs path building and validation.
+
+Revocations are the one piece of trust state that must survive power
+cycles — a revoked certificate that silently un-revokes across a
+reboot re-opens the exact hole the CRL closed.  Attaching a
+:class:`~repro.resilience.durable.DurableStore`
+(:meth:`TrustStore.attach_durable`) journals every revocation before
+it takes effect and replays the acknowledged set on restart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.errors import (
     CertificateExpiredError, CertificateRevokedError,
-    CertificateVerificationError, UntrustedRootError,
+    CertificateVerificationError, DurableStateError, UntrustedRootError,
 )
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.certs.certificate import Certificate
+
+if TYPE_CHECKING:  # avoid the certs → resilience → network → certs cycle
+    from repro.resilience.durable import DurableStore
+
+#: durable-store namespace CRL entries live in (key ``"serial:issuer"``).
+CRL_NAMESPACE = "crl"
 
 
 @dataclass
@@ -30,12 +45,18 @@ class RevocationList:
 
     revoked: set[tuple[str, int]] = field(default_factory=set)
     generation: int = 0
+    _durable: DurableStore | None = field(default=None, repr=False)
 
     def revoke(self, certificate: Certificate) -> None:
-        self.revoked.add((certificate.issuer, certificate.serial))
-        self.generation += 1
+        self.revoke_entry(certificate.issuer, certificate.serial)
 
     def revoke_entry(self, issuer: str, serial: int) -> None:
+        if self._durable is not None:
+            # Journal-then-apply: the revocation is only acknowledged
+            # once the commit's fsync returns, so it can never be
+            # observed in memory and then lost to a power cut.
+            self._durable.set(CRL_NAMESPACE, f"{serial}:{issuer}", b"")
+            self._durable.commit()
         self.revoked.add((issuer, serial))
         self.generation += 1
 
@@ -121,6 +142,28 @@ class TrustStore:
 
     def revoke(self, certificate: Certificate) -> None:
         self._crl.revoke(certificate)
+
+    def attach_durable(self, store: DurableStore) -> None:
+        """Replay acknowledged revocations from *store*, then journal
+        every future revocation through it.
+
+        Raises:
+            DurableStateError: when a persisted CRL entry does not
+                decode as a ``serial:issuer`` pair.
+        """
+        replayed = 0
+        for entry in store.keys(CRL_NAMESPACE):
+            serial_text, sep, issuer = entry.partition(":")
+            if not sep or not serial_text.isdigit():
+                raise DurableStateError(
+                    "persisted CRL entry does not decode",
+                    kind="tamper",
+                )
+            self._crl.revoked.add((issuer, int(serial_text)))
+            replayed += 1
+        if replayed:
+            self._crl.generation += 1
+        self._crl._durable = store
 
     # -- validation ----------------------------------------------------------------
 

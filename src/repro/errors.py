@@ -290,3 +290,30 @@ class ApplicationRejectedError(PlayerError):
 
 class LocalStorageError(PlayerError):
     """Raised for player local-storage failures (quota, missing slot)."""
+
+
+# ---------------------------------------------------------------------------
+# Durable state (crash-safe persistence)
+# ---------------------------------------------------------------------------
+
+class DurableStateError(ReproError):
+    """Raised when persisted security state fails its integrity checks.
+
+    The durable layer distinguishes *torn* tails (power loss mid-write
+    — silently truncated back to the last acknowledged commit) from
+    everything it must refuse to repair.  ``kind`` classifies the
+    refusal:
+
+    * ``"tamper"`` — a complete journal frame or snapshot whose
+      checksum/HMAC does not verify, a sequence regression, or a
+      record that does not decode: acknowledged history has been
+      altered.
+    * ``"format"`` — the file is not a journal/snapshot at all
+      (foreign header).
+    * ``"protocol"`` — the caller misused the store API (e.g.
+      compacting with uncommitted mutations).
+    """
+
+    def __init__(self, message: str, *, kind: str = "tamper"):
+        super().__init__(message)
+        self.kind = kind

@@ -8,16 +8,29 @@ permission grant.  Values can be stored encrypted — the paper's game
 high-scores scenario (§4): "a Player can encrypt and store the high
 scores of a game in local storage while keeping the general
 application markup unencrypted."
+
+Two persistence backends exist.  The legacy one-file-per-slot layout
+(:meth:`LocalStorage.save_to_directory`) writes each slot through the
+durable layer's :func:`~repro.resilience.durable.atomic_write`, so a
+power cut leaves whole old values or whole new values, never torn
+ones.  The journaled backend (:meth:`LocalStorage.open_durable`)
+attaches a :class:`~repro.resilience.durable.DurableStore`: every
+mutation is committed to the checksummed write-ahead journal before it
+is acknowledged, and reopening after a crash recovers exactly the
+acknowledged slots.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import LocalStorageError
+from repro.errors import DecryptionError, LocalStorageError, PaddingError
 from repro.primitives.keys import SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.primitives.random import RandomSource, default_random
+from repro.resilience.crashfs import Filesystem
+from repro.resilience.degradation import DegradationLog
+from repro.resilience.durable import DurableStore, atomic_write
 from repro.xmlenc import algorithms as xenc_algorithms
 
 
@@ -29,6 +42,8 @@ class LocalStorage:
     _data: dict[str, dict[str, bytes]] = field(default_factory=dict)
     provider: CryptoProvider | None = None
     rng: RandomSource | None = None
+    #: journaled backend; ``None`` means in-memory / legacy directory.
+    _durable: DurableStore | None = field(default=None, repr=False)
 
     def __post_init__(self):
         self.provider = self.provider or get_provider()
@@ -50,6 +65,11 @@ class LocalStorage:
                 f"quota exceeded for {app_id!r}: {projected} > "
                 f"{self.quota_bytes} bytes"
             )
+        if self._durable is not None:
+            # Journal first: the commit's fsync is the acknowledgement,
+            # and the in-memory view only changes once it returns.
+            self._durable.set(app_id, key, bytes(value))
+            self._durable.commit()
         space[key] = bytes(value)
 
     def read(self, app_id: str, key: str) -> bytes:
@@ -63,21 +83,58 @@ class LocalStorage:
 
     def delete(self, app_id: str, key: str) -> bool:
         space = self._data.get(app_id, {})
-        return space.pop(key, None) is not None
+        if key not in space:
+            return False
+        if self._durable is not None:
+            self._durable.delete(app_id, key)
+            self._durable.commit()
+        del space[key]
+        return True
 
     def keys(self, app_id: str) -> list[str]:
         return sorted(self._data.get(app_id, {}))
 
     def wipe(self, app_id: str) -> None:
+        if self._durable is not None and app_id in self._data:
+            self._durable.wipe(app_id)
+            self._durable.commit()
         self._data.pop(app_id, None)
 
     # -- persistence (the player's flash survives power cycles) ---------------------------
 
     def save_to_directory(self, directory: str) -> None:
-        """Persist all slots under *directory* (one file per slot)."""
+        """Persist all slots under *directory* (one file per slot).
+
+        Slots deleted since the last save are removed from disk too —
+        a stale file left behind would resurrect the deleted value on
+        the next :meth:`load_from_directory`.  Each slot file is
+        written through :func:`~repro.resilience.durable.atomic_write`,
+        so power loss mid-save never leaves a torn value.
+        """
         import os
         from repro.primitives.encoding import hexencode
+        os.makedirs(directory, exist_ok=True)
+        live_apps = {hexencode(app_id.encode("utf-8")): app_id
+                     for app_id, space in self._data.items() if space}
+        for entry in os.listdir(directory):
+            app_dir = os.path.join(directory, entry)
+            if not os.path.isdir(app_dir):
+                continue
+            if entry not in live_apps:
+                for name in os.listdir(app_dir):
+                    os.remove(os.path.join(app_dir, name))
+                os.rmdir(app_dir)
+                continue
+            live_keys = {
+                hexencode(key.encode("utf-8"))
+                for key in self._data[live_apps[entry]]
+            }
+            for name in os.listdir(app_dir):
+                if name not in live_keys:
+                    os.remove(os.path.join(app_dir, name))
         for app_id, space in self._data.items():
+            if not space:
+                continue
             app_dir = os.path.join(directory, hexencode(
                 app_id.encode("utf-8")
             ))
@@ -86,14 +143,23 @@ class LocalStorage:
                 path = os.path.join(app_dir, hexencode(
                     key.encode("utf-8")
                 ))
-                with open(path, "wb") as handle:
-                    handle.write(value)
+                atomic_write(path, value)
 
     @classmethod
     def load_from_directory(cls, directory: str,
                             quota_bytes: int = 1 << 20) -> "LocalStorage":
         """Restore storage previously saved with
-        :meth:`save_to_directory`."""
+        :meth:`save_to_directory`.
+
+        The quota is enforced on load as well as on write: flash
+        contents are attacker-reachable state, and restoring an
+        over-quota application would let a crafted image bypass the
+        per-application budget entirely.
+
+        Raises:
+            LocalStorageError: when a restored application exceeds
+                *quota_bytes*.
+        """
         import os
         from repro.primitives.encoding import hexdecode
         storage = cls(quota_bytes=quota_bytes)
@@ -104,12 +170,80 @@ class LocalStorage:
             if not os.path.isdir(app_dir):
                 continue
             app_id = hexdecode(app_hex).decode("utf-8")
+            used = 0
             for key_hex in os.listdir(app_dir):
+                if key_hex.endswith(".tmp"):
+                    continue  # torn atomic_write leftovers
                 key = hexdecode(key_hex).decode("utf-8")
                 with open(os.path.join(app_dir, key_hex), "rb") as handle:
-                    storage._data.setdefault(app_id, {})[key] = \
-                        handle.read()
+                    value = handle.read()
+                used += len(key.encode()) + len(value)
+                if used > quota_bytes:
+                    raise LocalStorageError(
+                        f"stored data for {app_id!r} exceeds the "
+                        f"{quota_bytes}-byte quota on load"
+                    )
+                storage._data.setdefault(app_id, {})[key] = value
         return storage
+
+    # -- journaled backend (crash-safe, acknowledged commits) ----------------------------
+
+    @classmethod
+    def open_durable(cls, directory: str, quota_bytes: int = 1 << 20, *,
+                     fs: Filesystem | None = None,
+                     integrity_key: bytes | None = None,
+                     provider: CryptoProvider | None = None,
+                     rng: RandomSource | None = None,
+                     degradation: DegradationLog | None = None,
+                     ) -> "LocalStorage":
+        """Open storage backed by a crash-safe
+        :class:`~repro.resilience.durable.DurableStore`.
+
+        Recovery runs here: torn journal tails are truncated back to
+        the last acknowledged commit (reported on *degradation* under
+        the ``recovery`` code), interior tampering raises a typed
+        :class:`~repro.errors.DurableStateError`.  Every subsequent
+        :meth:`write`/:meth:`delete`/:meth:`wipe` is journaled and
+        fsynced before it returns.
+
+        Raises:
+            DurableStateError: when acknowledged journal history or
+                the snapshot fails its integrity checks.
+            LocalStorageError: when a recovered application exceeds
+                *quota_bytes*.
+        """
+        store = DurableStore(
+            directory, fs=fs, integrity_key=integrity_key,
+            provider=provider, degradation=degradation,
+        )
+        storage = cls(quota_bytes=quota_bytes, provider=provider,
+                      rng=rng)
+        for app_id in store.namespaces():
+            space = dict(store.items(app_id))
+            used = sum(len(k.encode()) + len(v)
+                       for k, v in space.items())
+            if used > quota_bytes:
+                raise LocalStorageError(
+                    f"recovered data for {app_id!r} exceeds the "
+                    f"{quota_bytes}-byte quota"
+                )
+            storage._data[app_id] = space
+        storage._durable = store
+        return storage
+
+    @property
+    def durable(self) -> DurableStore | None:
+        """The attached journaled backend, if any."""
+        return self._durable
+
+    def compact(self) -> int:
+        """Fold the journal into a snapshot (journaled backend only)."""
+        if self._durable is None:
+            raise LocalStorageError(
+                "compact() requires the journaled backend; open the "
+                "storage with open_durable()"
+            )
+        return self._durable.compact()
 
     # -- encrypted storage (the high-scores scenario) ------------------------------------
 
@@ -129,10 +263,19 @@ class LocalStorage:
             raise LocalStorageError(
                 f"{key!r} is not an encrypted slot"
             )
-        return xenc_algorithms.decrypt_block_data(
-            xenc_algorithms.AES128_CBC, storage_key, blob[4:],
-            self.provider,
-        )
+        try:
+            return xenc_algorithms.decrypt_block_data(
+                xenc_algorithms.AES128_CBC, storage_key, blob[4:],
+                self.provider,
+            )
+        except (PaddingError, DecryptionError) as error:
+            # A torn flash write or tampered blob must surface as the
+            # storage layer's typed failure, never a raw crypto
+            # traceback from inside the slot format.
+            raise LocalStorageError(
+                f"encrypted slot {key!r} failed to decrypt (torn "
+                "write, tampering, or wrong storage key)"
+            ) from error
 
     def is_encrypted(self, app_id: str, key: str) -> bool:
         return self.read(app_id, key).startswith(b"ENC1")

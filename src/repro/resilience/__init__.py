@@ -17,14 +17,33 @@ Three pieces, threaded through the network, XKMS and player layers:
   :class:`~repro.errors.ResourceLimitExceeded` failures;
 * :mod:`~repro.resilience.chaos` — the seeded adversarial chaos
   harness that drives full pipelines under fault injection and a
-  resource-attack corpus, asserting containment invariants.
+  resource-attack corpus, asserting containment invariants;
+* :mod:`~repro.resilience.crashfs` — the :class:`Filesystem`
+  abstraction plus the seeded :class:`CrashableFilesystem` power-loss
+  adversary (torn writes, dropped un-fsynced data, re-ordered
+  directory operations);
+* :mod:`~repro.resilience.durable` — the crash-safe persistence layer:
+  checksummed write-ahead :class:`Journal`, snapshot + compaction, and
+  the :class:`DurableStore` that localstorage, the XKMS server and the
+  trust-store CRL persist through;
+* :mod:`~repro.resilience.durablechaos` — crash-recovery chaos: a kill
+  scheduled at every filesystem injection point across full
+  store→crash→recover→verify cycles.
 """
 
 from repro.resilience.clock import SimulatedClock, SystemClock
+from repro.resilience.crashfs import (
+    CrashableFilesystem, Filesystem, OsFilesystem, SimulatedCrash,
+)
 from repro.resilience.degradation import (
-    REASON_CIRCUIT_OPEN, REASON_ERROR, REASON_INTEGRITY, REASON_REJECTED,
-    REASON_RESOURCE, REASON_RETRY_EXHAUSTED, REASON_TIMEOUT,
-    REASON_UNREACHABLE, DegradationEvent, DegradationLog, classify_failure,
+    REASON_CIRCUIT_OPEN, REASON_ERROR, REASON_INTEGRITY, REASON_RECOVERY,
+    REASON_REJECTED, REASON_RESOURCE, REASON_RETRY_EXHAUSTED,
+    REASON_TIMEOUT, REASON_UNREACHABLE, DegradationEvent, DegradationLog,
+    classify_failure,
+)
+from repro.resilience.durable import (
+    DurableInspection, DurableStore, Journal, RecoveryReport,
+    atomic_write, verify_directory,
 )
 from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.resilience.faults import (
@@ -46,6 +65,9 @@ __all__ = [
     "DegradationEvent", "DegradationLog", "classify_failure",
     "REASON_UNREACHABLE", "REASON_TIMEOUT", "REASON_RETRY_EXHAUSTED",
     "REASON_CIRCUIT_OPEN", "REASON_INTEGRITY", "REASON_REJECTED",
-    "REASON_RESOURCE", "REASON_ERROR",
+    "REASON_RESOURCE", "REASON_RECOVERY", "REASON_ERROR",
     "ResourceGuard", "ResourceLimits",
+    "Filesystem", "OsFilesystem", "CrashableFilesystem", "SimulatedCrash",
+    "Journal", "DurableStore", "DurableInspection", "RecoveryReport",
+    "atomic_write", "verify_directory",
 ]

@@ -1,0 +1,331 @@
+"""Filesystem abstraction + power-loss fault adversary for durable state.
+
+The durable layer (:mod:`repro.resilience.durable`) never touches
+``os``/``open`` directly — every byte goes through a
+:class:`Filesystem`, so the same journal code runs against the real
+flash (:class:`OsFilesystem`) and against the deterministic, seeded
+:class:`CrashableFilesystem` that models what a consumer player's
+flash actually does under power loss:
+
+* buffered writes are *visible* immediately but become *durable* only
+  on ``fsync`` — pulling the plug drops everything un-synced;
+* a crash can cut an in-flight flush at byte *k* (a torn write), so a
+  journal tail may end mid-frame;
+* directory operations (rename, remove) are themselves buffered until
+  ``fsync_dir`` and may be re-ordered or dropped by a crash.
+
+Crash scheduling composes with the PR 1/PR 4 injector idiom: every
+mutating operation is one numbered *injection point*, and a harness
+schedules a kill at op *k* by constructing the filesystem with
+``crash_at=k`` — the op raises :class:`SimulatedCrash` *before* taking
+effect (an ``fsync`` interrupted by the crash flushes only a seeded
+torn prefix).  The same ``(seed, crash_at)`` pair always reproduces
+the same post-crash flash image.
+
+One deliberate modelling choice keeps the recovery contract testable:
+the final byte of an un-synced delta is never durable.  A write the
+caller was never acknowledged for can therefore survive only as a
+*torn prefix*, which the journal's frame checksums detect — so
+"acknowledged commits are durable, unacknowledged commits vanish" is
+an exact invariant, not a probabilistic one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+
+class SimulatedCrash(Exception):
+    """Power loss injected by :class:`CrashableFilesystem`.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a crash is
+    not an error the stack should catch and degrade on — it kills the
+    process.  Only the chaos harness catches it, at the top of a run.
+    """
+
+
+class Filesystem:
+    """The byte-level surface the durable layer is written against."""
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def read(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def write(self, path: str, data: bytes) -> None:
+        """Create/truncate *path* with *data* (buffered)."""
+        raise NotImplementedError
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append *data* to *path* (buffered), creating it if absent."""
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> None:
+        """Cut *path* down to *size* bytes (buffered)."""
+        raise NotImplementedError
+
+    def fsync(self, path: str) -> None:
+        """Make *path*'s current content durable."""
+        raise NotImplementedError
+
+    def replace(self, source: str, destination: str) -> None:
+        """Atomically rename *source* over *destination* (buffered
+        until the parent directory is synced)."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        raise NotImplementedError
+
+    def fsync_dir(self, path: str) -> None:
+        """Make pending directory operations under *path* durable."""
+        raise NotImplementedError
+
+    def makedirs(self, path: str) -> None:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> list[str]:
+        raise NotImplementedError
+
+
+class OsFilesystem(Filesystem):
+    """The real thing: ``os``-level calls with explicit fsyncs."""
+
+    def exists(self, path):
+        return os.path.exists(path)
+
+    def read(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write(self, path, data):
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def append(self, path, data):
+        with open(path, "ab") as handle:
+            handle.write(data)
+
+    def truncate(self, path, size):
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+
+    def fsync(self, path):
+        fd = os.open(path, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, source, destination):
+        os.replace(source, destination)
+
+    def remove(self, path):
+        os.remove(path)
+
+    def fsync_dir(self, path):
+        # Windows cannot open directories; directory durability is
+        # best-effort there, which matches its rename semantics.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def makedirs(self, path):
+        os.makedirs(path, exist_ok=True)
+
+    def listdir(self, path):
+        return sorted(os.listdir(path)) if os.path.isdir(path) else []
+
+
+class CrashableFilesystem(Filesystem):
+    """In-memory flash model with seeded power-loss injection.
+
+    Attributes:
+        op_count: mutating operations performed so far — the number of
+            injection points a completed run exposes.
+        crash_at: 0-based op index at which to raise
+            :class:`SimulatedCrash` (``None`` = never).
+        crashed: set once a scheduled or explicit crash has happened.
+    """
+
+    def __init__(self, *, seed: int = 0, crash_at: int | None = None):
+        self._visible: dict[str, bytes] = {}
+        self._durable: dict[str, bytes] = {}
+        self._dirs: set[str] = {""}
+        self._synced: set[str] = set()
+        self._pending_dir_ops: list[tuple[str, str, str | None]] = []
+        self._rng = random.Random(f"crashfs:{seed}")
+        self.op_count = 0
+        self.crash_at = crash_at
+        self.crashed = False
+        self.op_labels: list[str] = []
+
+    # -- crash machinery ---------------------------------------------------------
+
+    def _injection_point(self, label: str) -> None:
+        """One numbered injection point; fires the scheduled crash
+        *before* the operation takes effect."""
+        index = self.op_count
+        self.op_count += 1
+        self.op_labels.append(label)
+        if self.crash_at is not None and index == self.crash_at:
+            raise SimulatedCrash(f"power loss at op {index} ({label})")
+
+    def crash(self) -> None:
+        """Simulate the power cut: un-synced data is torn or dropped.
+
+        For every file whose visible content has un-synced bytes, a
+        seeded torn prefix of the delta (never the final byte) becomes
+        durable.  Pending directory operations are shuffled and only a
+        seeded prefix of them survives — the re-ordering adversary.
+        Afterwards the filesystem presents the durable state, as a
+        rebooted player would see it.
+        """
+        survivors: dict[str, bytes] = {}
+        # Files touched by a pending rename/remove are governed by the
+        # directory-op lottery below, not the torn-write logic: a
+        # rename is atomic, so its destination either reverts to its
+        # old durable content or receives the source's durable bytes —
+        # never a torn mixture of the two.
+        pending_paths = set()
+        for _kind, source, destination in self._pending_dir_ops:
+            pending_paths.add(source)
+            if destination is not None:
+                pending_paths.add(destination)
+        for path, visible in self._visible.items():
+            if path in pending_paths:
+                continue
+            durable = self._durable.get(path)
+            if durable is not None and visible.startswith(durable):
+                delta = visible[len(durable):]
+                if delta:
+                    keep = self._rng.randrange(len(delta))
+                    survivors[path] = durable + delta[:keep]
+                else:
+                    survivors[path] = durable
+            elif durable is not None:
+                # Rewritten in place (write/truncate): the old durable
+                # content survives; the un-synced rewrite is lost.
+                survivors[path] = durable
+            else:
+                # Never synced at all: at most a torn prefix survives.
+                if visible and self._rng.random() < 0.5:
+                    keep = self._rng.randrange(len(visible))
+                    if keep:
+                        survivors[path] = visible[:keep]
+        for path, durable in self._durable.items():
+            survivors.setdefault(path, durable)
+        ops = list(self._pending_dir_ops)
+        self._rng.shuffle(ops)
+        kept = ops[:self._rng.randint(0, len(ops))] if ops else []
+        for kind, source, destination in kept:
+            if kind == "replace":
+                if source in survivors:
+                    survivors[destination] = survivors.pop(source)
+            elif kind == "remove" and source in survivors:
+                del survivors[source]
+        self._durable = dict(survivors)
+        self._visible = dict(survivors)
+        self._synced = set(survivors)
+        self._pending_dir_ops.clear()
+        self.crashed = True
+        self.crash_at = None
+
+    # -- filesystem surface ------------------------------------------------------
+
+    def exists(self, path):
+        return path in self._visible
+
+    def read(self, path):
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        return self._visible[path]
+
+    def write(self, path, data):
+        self._injection_point(f"write:{path}")
+        self._visible[path] = bytes(data)
+
+    def append(self, path, data):
+        self._injection_point(f"append:{path}")
+        self._visible[path] = self._visible.get(path, b"") + bytes(data)
+
+    def truncate(self, path, size):
+        self._injection_point(f"truncate:{path}")
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        self._visible[path] = self._visible[path][:size]
+
+    def fsync(self, path):
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        visible = self._visible[path]
+        durable = self._durable.get(path)
+        try:
+            self._injection_point(f"fsync:{path}")
+        except SimulatedCrash:
+            # The interrupted flush got a torn prefix of the new bytes
+            # out — but never all of them (see the module contract).
+            if durable is not None and visible.startswith(durable):
+                delta = visible[len(durable):]
+                if delta:
+                    keep = self._rng.randrange(len(delta))
+                    self._durable[path] = durable + delta[:keep]
+            elif durable is None and visible:
+                keep = self._rng.randrange(len(visible))
+                if keep:
+                    self._durable[path] = visible[:keep]
+            raise
+        self._durable[path] = visible
+        self._synced.add(path)
+
+    def replace(self, source, destination):
+        if source not in self._visible:
+            raise FileNotFoundError(source)
+        self._injection_point(f"replace:{source}->{destination}")
+        self._visible[destination] = self._visible.pop(source)
+        self._pending_dir_ops.append(("replace", source, destination))
+
+    def remove(self, path):
+        if path not in self._visible:
+            raise FileNotFoundError(path)
+        self._injection_point(f"remove:{path}")
+        del self._visible[path]
+        self._pending_dir_ops.append(("remove", path, None))
+
+    def fsync_dir(self, path):
+        self._injection_point(f"fsync_dir:{path}")
+        prefix = path.rstrip("/")
+        remaining: list[tuple[str, str, str | None]] = []
+        for kind, source, destination in self._pending_dir_ops:
+            target_dir = os.path.dirname(destination or source)
+            if target_dir.rstrip("/") != prefix:
+                remaining.append((kind, source, destination))
+                continue
+            if kind == "replace":
+                if source in self._durable:
+                    self._durable[destination] = self._durable.pop(source)
+                elif destination in self._visible:
+                    # Source was never synced; the rename itself is
+                    # durable but carries whatever bytes were flushed.
+                    self._durable[destination] = \
+                        self._durable.get(destination, b"")
+            elif kind == "remove" and source in self._durable:
+                del self._durable[source]
+        self._pending_dir_ops = remaining
+
+    def makedirs(self, path):
+        self._dirs.add(path.rstrip("/"))
+
+    def listdir(self, path):
+        prefix = path.rstrip("/") + "/"
+        names = {
+            p[len(prefix):].split("/", 1)[0]
+            for p in self._visible if p.startswith(prefix)
+        }
+        return sorted(names)

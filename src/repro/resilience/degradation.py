@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import (
-    ChannelSecurityError, CircuitOpenError, NetworkError,
-    ResourceLimitExceeded, RetryExhaustedError, TimeoutError,
-    VerificationError, XKMSError,
+    ChannelSecurityError, CircuitOpenError, DurableStateError,
+    NetworkError, ResourceLimitExceeded, RetryExhaustedError,
+    TimeoutError, VerificationError, XKMSError,
 )
 
 # Failure-mode taxonomy (DESIGN.md §7; §9 for resource limits).
@@ -26,11 +26,14 @@ REASON_CIRCUIT_OPEN = "circuit-open"       # breaker short-circuited
 REASON_INTEGRITY = "integrity"             # tampering / MAC / digest
 REASON_REJECTED = "rejected"               # verification said no
 REASON_RESOURCE = "resource-limit"         # quota guard fired
+REASON_RECOVERY = "recovery"               # durable state repaired on open
 REASON_ERROR = "error"                     # anything else
 
 
 def classify_failure(error: BaseException) -> str:
     """Map an exception to its failure-mode taxonomy code."""
+    if isinstance(error, DurableStateError):
+        return REASON_INTEGRITY
     if isinstance(error, ResourceLimitExceeded):
         return REASON_RESOURCE
     if isinstance(error, CircuitOpenError):

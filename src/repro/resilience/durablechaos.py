@@ -1,0 +1,366 @@
+"""Crash-recovery chaos: a kill at every filesystem injection point.
+
+The durable layer's contract is exact, so the harness checks it
+exactly.  For each scenario — localstorage slots, XKMS registration
+state, the trust-store CRL — a deterministic workload of mutations
+runs against a seeded :class:`CrashableFilesystem`, first uninterrupted
+(the *probe* run, which counts the filesystem's injection points),
+then once per injection point with power loss scheduled there.  After
+every crash the scenario recovers from the surviving flash image and
+the harness asserts:
+
+* **acked-exact**: the recovered state equals precisely the state at
+  the last acknowledged commit — acknowledged mutations are durable,
+  unacknowledged ones vanish atomically (no torn values, no partial
+  batches);
+* **idempotent**: recovering a second time changes nothing and has
+  nothing left to repair;
+* **reported**: whenever recovery repaired a torn tail, the event is
+  on the :class:`DegradationLog` under the ``recovery`` taxonomy code;
+* **alive**: the recovered store still accepts and persists new
+  commits, still enforces its quota, and encrypted (ENC1) slots still
+  decrypt through the typed storage API.
+
+A violation at injection point *k* under seed *s* replays bit-for-bit
+with ``python -m repro.tools chaos --crash --seed s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.certs.authority import CertificateAuthority
+from repro.certs.store import TrustStore
+from repro.errors import LocalStorageError
+from repro.player.localstorage import LocalStorage
+from repro.primitives.keys import SymmetricKey
+from repro.primitives.random import DeterministicRandomSource
+from repro.resilience.crashfs import CrashableFilesystem, SimulatedCrash
+from repro.resilience.degradation import REASON_RECOVERY, DegradationLog
+from repro.resilience.durable import DurableStore
+from repro.xkms.server import TrustServer
+
+LS_DIR = "/flash/localstorage"
+XKMS_DIR = "/flash/xkms"
+CRL_DIR = "/flash/crl"
+
+LS_QUOTA = 4096
+STORAGE_KEY = SymmetricKey(b"durable-chaos-k!")
+XKMS_SECRET = b"durable-chaos-registration-secret"
+
+
+# -- the deterministic world -------------------------------------------------------
+
+_keys_cache: list | None = None
+
+
+def _binding_keys() -> list:
+    """Two RSA public keys for the XKMS scenario (cached: keygen is
+    the expensive part, and the keys never vary with the seed)."""
+    global _keys_cache
+    if _keys_cache is None:
+        rng = DeterministicRandomSource(b"durable-chaos-keys")
+        _keys_cache = [
+            CertificateAuthority.create_root(
+                f"CN=Durable Chaos {i}", key_bits=512, rng=rng,
+            ).certificate.public_key
+            for i in range(2)
+        ]
+    return _keys_cache
+
+
+# -- outcome bookkeeping -----------------------------------------------------------
+
+
+@dataclass
+class CrashOutcome:
+    """One (scenario, injection point) verdict."""
+
+    scenario: str
+    crash_at: int | None     # None = the uninterrupted probe run
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        where = "probe" if self.crash_at is None else f"op {self.crash_at}"
+        status = "ok" if self.ok else "VIOLATION"
+        return f"{self.scenario}@{where}: {status} — {self.detail}"
+
+
+@dataclass
+class CrashChaosReport:
+    """Everything one seeded crash-chaos run produced."""
+
+    seed: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+    injection_points: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> list[CrashOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_lines(self, verbose: bool = False) -> list[str]:
+        points = sum(self.injection_points.values())
+        lines = [
+            f"crash-chaos seed={self.seed}: {points} injection point(s) "
+            f"across {len(self.injection_points)} scenario(s), "
+            f"{len(self.violations)} violation(s)"
+        ]
+        for scenario, count in sorted(self.injection_points.items()):
+            lines.append(f"  {scenario}: {count} injection point(s)")
+        for outcome in self.outcomes:
+            if verbose or not outcome.ok:
+                lines.append(f"  {outcome}")
+        return lines
+
+
+class _Tracker:
+    """The acknowledged-state oracle a workload maintains.
+
+    Workloads call :meth:`ack` with the expected observable state
+    *after* each acknowledged commit returns — so when a scheduled
+    crash aborts the workload mid-operation, ``acked`` still holds
+    exactly what recovery must reproduce.
+    """
+
+    def __init__(self):
+        self.acked = None
+
+    def ack(self, state) -> None:
+        self.acked = state
+
+
+# -- scenarios ---------------------------------------------------------------------
+#
+# Each scenario is (workload, observe, liveness):
+#   workload(fs, tracker) — run the mutation sequence, acking after
+#       every acknowledged commit; a scheduled crash aborts it with
+#       SimulatedCrash.
+#   observe(fs, degradation) — recover from the flash image and return
+#       the observable state (compared against tracker.acked).
+#   liveness(fs) — post-recovery probe: the store must still commit,
+#       still enforce its contracts.
+
+
+def _ls_state(storage: LocalStorage) -> dict:
+    return {app: dict(space) for app, space in storage._data.items()
+            if space}
+
+
+def ls_workload(fs: CrashableFilesystem, tracker: _Tracker) -> None:
+    rng = DeterministicRandomSource(b"durable-chaos-ls")
+    storage = LocalStorage.open_durable(LS_DIR, LS_QUOTA, fs=fs, rng=rng)
+    tracker.ack(_ls_state(storage))
+    storage.write("game", "hs", b"120")
+    tracker.ack(_ls_state(storage))
+    storage.write_encrypted("game", "secret", b"top-score",
+                            STORAGE_KEY)
+    tracker.ack(_ls_state(storage))
+    storage.write("menu", "lang", b"en")
+    tracker.ack(_ls_state(storage))
+    storage.delete("game", "hs")
+    tracker.ack(_ls_state(storage))
+    storage.compact()
+    tracker.ack(_ls_state(storage))
+    storage.write("game", "hs", b"200")
+    tracker.ack(_ls_state(storage))
+    storage.wipe("menu")
+    tracker.ack(_ls_state(storage))
+
+
+def ls_observe(fs: CrashableFilesystem,
+               degradation: DegradationLog) -> dict:
+    storage = LocalStorage.open_durable(LS_DIR, LS_QUOTA, fs=fs,
+                                        degradation=degradation)
+    state = _ls_state(storage)
+    # ENC1 framing must hold post-recovery: a recovered encrypted slot
+    # decrypts cleanly — a torn blob would have been truncated away
+    # with its uncommitted batch, never replayed.
+    if state.get("game", {}).get("secret") is not None:
+        assert storage.read_encrypted(
+            "game", "secret", STORAGE_KEY
+        ) == b"top-score", "recovered encrypted slot corrupted"
+    for app in state:
+        assert storage.used_bytes(app) <= LS_QUOTA, \
+            "recovered state exceeds the quota"
+    return state
+
+
+def ls_liveness(fs: CrashableFilesystem) -> None:
+    storage = LocalStorage.open_durable(LS_DIR, LS_QUOTA, fs=fs)
+    storage.write("probe", "alive", b"yes")
+    try:
+        storage.write("probe", "bomb", b"A" * (LS_QUOTA + 1))
+        raise AssertionError("post-recovery quota not enforced")
+    except LocalStorageError:
+        pass
+    reopened = LocalStorage.open_durable(LS_DIR, LS_QUOTA, fs=fs)
+    assert reopened.read("probe", "alive") == b"yes", \
+        "post-recovery commit did not persist"
+    assert "bomb" not in reopened.keys("probe"), \
+        "over-quota write persisted"
+
+
+def xkms_state(server: TrustServer) -> dict:
+    return {name: binding.status
+            for name, binding in server._bindings.items()}
+
+
+def _xkms_server(fs: CrashableFilesystem,
+                 degradation: DegradationLog | None = None) -> TrustServer:
+    server = TrustServer(registration_secrets={"": XKMS_SECRET})
+    server.attach_durable(DurableStore(XKMS_DIR, fs=fs,
+                                       degradation=degradation))
+    return server
+
+
+def xkms_workload(fs: CrashableFilesystem, tracker: _Tracker) -> None:
+    key_a, key_b = _binding_keys()
+    server = _xkms_server(fs)
+    tracker.ack(xkms_state(server))
+    server.register_binding("disc-signing", key_a)
+    tracker.ack(xkms_state(server))
+    server.register_binding("app-update", key_b)
+    tracker.ack(xkms_state(server))
+    server.revoke_binding("disc-signing")
+    tracker.ack(xkms_state(server))
+    server._durable.compact()
+    tracker.ack(xkms_state(server))
+    server.register_binding("disc-signing", key_a)   # re-key after revoke
+    tracker.ack(xkms_state(server))
+
+
+def xkms_observe(fs: CrashableFilesystem,
+                 degradation: DegradationLog) -> dict:
+    return xkms_state(_xkms_server(fs, degradation))
+
+
+def xkms_liveness(fs: CrashableFilesystem) -> None:
+    key_a, _ = _binding_keys()
+    server = _xkms_server(fs)
+    server.register_binding("liveness-probe", key_a)
+    reopened = _xkms_server(fs)
+    binding = reopened.binding("liveness-probe")
+    assert binding is not None, "post-recovery registration lost"
+
+
+def _crl_store(fs: CrashableFilesystem,
+               degradation: DegradationLog | None = None) -> TrustStore:
+    store = TrustStore()
+    store.attach_durable(DurableStore(CRL_DIR, fs=fs,
+                                      degradation=degradation))
+    return store
+
+
+def crl_workload(fs: CrashableFilesystem, tracker: _Tracker) -> None:
+    store = _crl_store(fs)
+    tracker.ack(frozenset(store.crl.revoked))
+    store.crl.revoke_entry("CN=Compromised Studio", 11)
+    tracker.ack(frozenset(store.crl.revoked))
+    store.crl.revoke_entry("CN=Compromised Studio", 12)
+    tracker.ack(frozenset(store.crl.revoked))
+    store.crl._durable.compact()
+    tracker.ack(frozenset(store.crl.revoked))
+    store.crl.revoke_entry("CN=Leaked Device Key", 3)
+    tracker.ack(frozenset(store.crl.revoked))
+
+
+def crl_observe(fs: CrashableFilesystem,
+                degradation: DegradationLog) -> frozenset:
+    return frozenset(_crl_store(fs, degradation).crl.revoked)
+
+
+def crl_liveness(fs: CrashableFilesystem) -> None:
+    store = _crl_store(fs)
+    store.crl.revoke_entry("CN=Liveness Probe", 99)
+    reopened = _crl_store(fs)
+    assert ("CN=Liveness Probe", 99) in reopened.crl.revoked, \
+        "post-recovery revocation lost"
+
+
+SCENARIOS = {
+    "localstorage": (ls_workload, ls_observe, ls_liveness),
+    "xkms-bindings": (xkms_workload, xkms_observe, xkms_liveness),
+    "crl": (crl_workload, crl_observe, crl_liveness),
+}
+
+
+# -- the harness -------------------------------------------------------------------
+
+
+def _check_recovery(scenario: str, crash_at: int | None,
+                    fs: CrashableFilesystem, expected, observe,
+                    liveness) -> CrashOutcome:
+    """Recover twice, assert the four invariants, classify."""
+    try:
+        first_log = DegradationLog()
+        observed = observe(fs, first_log)
+        assert observed == expected, (
+            "recovered state differs from the last acknowledged "
+            "commit"
+        )
+        repaired = [e for e in first_log.events
+                    if e.reason == REASON_RECOVERY]
+        second_log = DegradationLog()
+        again = observe(fs, second_log)
+        assert again == observed, "recovery is not idempotent"
+        assert not second_log.degraded, \
+            "second recovery still had something to repair"
+        liveness(fs)
+        detail = "recovered clean" if not repaired else \
+            f"repaired ({repaired[0].detail})"
+        return CrashOutcome(scenario, crash_at, True, detail)
+    except AssertionError as exc:
+        return CrashOutcome(scenario, crash_at, False,
+                            f"invariant violated: {exc}")
+    except BaseException as exc:
+        return CrashOutcome(
+            scenario, crash_at, False,
+            f"recovery raised {type(exc).__name__}: {exc}",
+        )
+
+
+def run_crash_chaos(seed: int, *,
+                    scenarios: dict | None = None) -> CrashChaosReport:
+    """Kill each scenario at every injection point; verify recovery."""
+    chosen = scenarios if scenarios is not None else SCENARIOS
+    report = CrashChaosReport(seed=seed)
+    for name, (workload, observe, liveness) in chosen.items():
+        # Probe run: no crash, count the injection points.
+        fs = CrashableFilesystem(seed=seed)
+        tracker = _Tracker()
+        try:
+            workload(fs, tracker)
+        except BaseException as exc:
+            report.outcomes.append(CrashOutcome(
+                name, None, False,
+                f"probe workload raised {type(exc).__name__}: {exc}",
+            ))
+            continue
+        points = fs.op_count
+        report.injection_points[name] = points
+        report.outcomes.append(_check_recovery(
+            name, None, fs, tracker.acked, observe, liveness,
+        ))
+        # One run per injection point, power loss scheduled there.
+        for crash_at in range(points):
+            fs = CrashableFilesystem(seed=seed, crash_at=crash_at)
+            tracker = _Tracker()
+            try:
+                workload(fs, tracker)
+            except SimulatedCrash:
+                fs.crash()
+            except BaseException as exc:
+                report.outcomes.append(CrashOutcome(
+                    name, crash_at, False,
+                    f"workload raised {type(exc).__name__}: {exc}",
+                ))
+                continue
+            report.outcomes.append(_check_recovery(
+                name, crash_at, fs, tracker.acked, observe, liveness,
+            ))
+    return report

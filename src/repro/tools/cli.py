@@ -21,7 +21,11 @@ Commands:
 * ``chaos``     — seeded adversarial chaos harness: drive resource
   attacks (nesting/attribute/text/node floods, reference and decrypt
   bombs, hostile frames) through the real entry points and fail on
-  any containment violation.
+  any containment violation.  With ``--crash``, run the crash-recovery
+  sweep instead: kill each durable-state scenario at every filesystem
+  injection point and verify exact recovery.
+* ``durable``   — inspect, verify or compact a crash-safe durable
+  state directory (journal + snapshot).
 
 Every command reads/writes ordinary files; see ``--help`` per command.
 """
@@ -428,20 +432,61 @@ def cmd_taint(args) -> int:
 def cmd_chaos(args) -> int:
     """Run the seeded chaos harness; non-zero exit on any violation."""
     from repro.resilience.chaos import run_chaos
+    from repro.resilience.durablechaos import run_crash_chaos
 
     seeds = args.seed or [20050902]
     violations = 0
     for seed in seeds:
-        report = run_chaos(seed, iterations=args.iterations)
+        if args.crash:
+            report = run_crash_chaos(seed)
+        else:
+            report = run_chaos(seed, iterations=args.iterations)
         for line in report.summary_lines(verbose=args.verbose):
             print(line)
         violations += len(report.violations)
     if violations:
-        print(f"error: {violations} containment violation(s)",
+        kind = "recovery" if args.crash else "containment"
+        print(f"error: {violations} {kind} violation(s)",
               file=sys.stderr)
         return 1
-    print(f"all attacks contained under {len(seeds)} seed(s)")
+    if args.crash:
+        print(f"all crash recoveries verified under {len(seeds)} seed(s)")
+    else:
+        print(f"all attacks contained under {len(seeds)} seed(s)")
     return 0
+
+
+def cmd_durable(args) -> int:
+    """Inspect/verify/compact a durable state directory."""
+    from repro.resilience.durable import DurableStore, verify_directory
+
+    key = hexdecode(args.integrity_key_hex) \
+        if args.integrity_key_hex else None
+    if args.action == "compact":
+        store = DurableStore(args.directory, integrity_key=key)
+        if not store.recovery.clean:
+            print(f"recovery repaired the journal first: "
+                  f"{store.recovery.truncated_bytes} torn byte(s), "
+                  f"{store.recovery.dropped_records} "
+                  f"unacknowledged record(s) dropped")
+        seq = store.compact()
+        print(f"compacted {args.directory} at sequence {seq}")
+        return 0
+    inspection = verify_directory(args.directory, integrity_key=key)
+    print(f"directory: {inspection.directory}")
+    print(f"snapshot sequence: {inspection.snapshot_seq}")
+    print(f"journal: {inspection.journal_bytes} byte(s), "
+          f"{inspection.committed_records} committed record(s) past "
+          "the snapshot")
+    for namespace, count in sorted(inspection.namespaces.items()):
+        print(f"  namespace {namespace!r}: {count} key(s)")
+    if inspection.clean_tail:
+        print("tail: clean")
+        return 0
+    print(f"tail: {inspection.tail_torn_bytes} torn byte(s), "
+          f"{inspection.tail_uncommitted_records} unacknowledged "
+          "record(s) — recovery will truncate them")
+    return 1 if args.action == "verify" else 0
 
 
 # -- argument parsing ------------------------------------------------------------
@@ -611,9 +656,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chaos seed (repeatable; default 20050902)")
     p.add_argument("--iterations", type=int, default=1,
                    help="rounds of the full attack set per seed")
+    p.add_argument("--crash", action="store_true",
+                   help="run the crash-recovery sweep (power loss at "
+                        "every filesystem injection point) instead")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every attack outcome, not just violations")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "durable",
+        help="inspect/verify/compact a durable state directory",
+    )
+    p.add_argument("action", choices=("inspect", "verify", "compact"))
+    p.add_argument("directory")
+    p.add_argument("--integrity-key-hex",
+                   help="HMAC key the journal/snapshot were written "
+                        "under (hex)")
+    p.set_defaults(func=cmd_durable)
 
     return parser
 

@@ -4,21 +4,33 @@ Holds registered key bindings, answers Locate/Validate queries, and
 accepts Register/Revoke operations authenticated by a shared secret
 (X-KRSS's authentication key).  Validation consults an optional
 certificate trust store so a binding's status reflects revocation.
+
+Registration state can be made crash-safe by attaching a
+:class:`~repro.resilience.durable.DurableStore`
+(:meth:`TrustServer.attach_durable`): every registration and
+revocation is journaled and fsynced before the operation is
+acknowledged, and a restarted server replays exactly the acknowledged
+bindings — a revocation the client was told about can never quietly
+un-happen across a power cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ResourceLimitExceeded, XKMSError, XMLError
+from repro.errors import (
+    DurableStateError, ResourceLimitExceeded, XKMSError, XMLError,
+)
 from repro.primitives.hmac import constant_time_equal, hmac_sha256
 from repro.primitives.keys import RSAPublicKey
+from repro.resilience.durable import DurableStore
 from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.xkms.messages import (
     RESULT_NO_MATCH, RESULT_RECEIVER_FAULT, RESULT_REFUSED,
     RESULT_SENDER_FAULT, RESULT_SUCCESS, STATUS_INVALID, STATUS_VALID,
     KeyBinding, XKMSRequest, XKMSResult,
 )
+from repro.xmlcore import parse_element, serialize
 
 
 def authentication_proof(secret: bytes, key_name: str) -> str:
@@ -43,12 +55,59 @@ class TrustServer:
     _bindings: dict[str, KeyBinding] = field(default_factory=dict)
     audit_log: list[str] = field(default_factory=list)
     limits: ResourceLimits = field(default_factory=ResourceLimits.default)
+    _durable: DurableStore | None = field(default=None, repr=False)
+
+    #: durable-store namespace the binding records live in.
+    DURABLE_NAMESPACE = "xkms-bindings"
+
+    # -- durable registration state --------------------------------------------------
+
+    def attach_durable(self, store: DurableStore) -> None:
+        """Replay persisted bindings from *store*, then journal every
+        future registration/revocation through it.
+
+        Each record is the binding's XML serialization; replay parses
+        it under this server's own resource limits — flash is
+        attacker-reachable input, not trusted memory.
+
+        Raises:
+            DurableStateError: when a persisted record does not parse
+                back into a key binding.
+        """
+        for key_name in store.keys(self.DURABLE_NAMESPACE):
+            raw = store.get(self.DURABLE_NAMESPACE, key_name)
+            try:
+                node = parse_element(raw,
+                                     guard=ResourceGuard(self.limits))
+                binding = KeyBinding.from_element(node)
+            except (XMLError, XKMSError, ResourceLimitExceeded) as exc:
+                raise DurableStateError(
+                    "persisted key binding does not parse "
+                    f"({type(exc).__name__})", kind="tamper",
+                ) from exc
+            self._bindings[binding.key_name] = binding
+        self._durable = store
+        self.audit_log.append(
+            f"durable-attach:{len(self._bindings)}"
+        )
+
+    def _persist_binding(self, binding: KeyBinding) -> None:
+        """Journal *binding* and fsync; the commit is what makes the
+        operation acknowledgeable."""
+        if self._durable is None:
+            return
+        self._durable.set(
+            self.DURABLE_NAMESPACE, binding.key_name,
+            serialize(binding.to_element()).encode("utf-8"),
+        )
+        self._durable.commit()
 
     # -- direct management (operator console) ---------------------------------------
 
     def register_binding(self, key_name: str, key: RSAPublicKey,
                          use: str = "signature") -> KeyBinding:
         binding = KeyBinding(key_name, key, STATUS_VALID, use)
+        self._persist_binding(binding)
         self._bindings[key_name] = binding
         return binding
 
@@ -56,6 +115,9 @@ class TrustServer:
         binding = self._bindings.get(key_name)
         if binding is None:
             raise XKMSError(f"no binding named {key_name!r}")
+        revoked = KeyBinding(binding.key_name, binding.key,
+                             STATUS_INVALID, binding.use)
+        self._persist_binding(revoked)
         binding.status = STATUS_INVALID
 
     def binding(self, key_name: str) -> KeyBinding | None:
@@ -165,6 +227,7 @@ class TrustServer:
             request.binding.key_name, request.binding.key,
             STATUS_VALID, request.binding.use,
         )
+        self._persist_binding(binding)
         self._bindings[binding.key_name] = binding
         return XKMSResult("Register", RESULT_SUCCESS, [binding],
                           request_id=request.request_id)
@@ -177,6 +240,9 @@ class TrustServer:
         if binding is None:
             return XKMSResult("Revoke", RESULT_NO_MATCH,
                               request_id=request.request_id)
+        revoked = KeyBinding(binding.key_name, binding.key,
+                             STATUS_INVALID, binding.use)
+        self._persist_binding(revoked)
         binding.status = STATUS_INVALID
         return XKMSResult("Revoke", RESULT_SUCCESS, [binding],
                           request_id=request.request_id)

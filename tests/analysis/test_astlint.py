@@ -338,6 +338,88 @@ def test_lin107_does_not_apply_to_trusted_paths():
     assert lint(snippet, "src/repro/dsig/signer.py") == []
 
 
+# -- LIN108: persistence modules never bare-open for writing ----------------
+
+
+TORN_WRITE_VIOLATION = """
+def save(path, payload):
+    with open(path, "wb") as handle:
+        handle.write(payload)
+"""
+
+
+def test_lin108_catches_bare_write_open_in_persistence_modules():
+    for path in ("src/repro/player/localstorage.py",
+                 "src/repro/certs/store.py",
+                 "src/repro/xkms/server.py",
+                 "src/repro/resilience/degradation.py"):
+        findings = lint(TORN_WRITE_VIOLATION, path)
+        assert "LIN108" in rule_ids(findings), path
+
+
+def test_lin108_catches_every_write_mode():
+    for mode in ("w", "a", "x", "r+", "wb", "ab", "w+b"):
+        snippet = TORN_WRITE_VIOLATION.replace('"wb"', f'"{mode}"')
+        findings = lint(snippet, "src/repro/certs/store.py")
+        assert "LIN108" in rule_ids(findings), mode
+
+
+def test_lin108_catches_mode_keyword():
+    snippet = """
+    def save(path, payload):
+        with open(path, mode="w") as handle:
+            handle.write(payload)
+    """
+    findings = lint(snippet, "src/repro/player/localstorage.py")
+    assert "LIN108" in rule_ids(findings)
+
+
+def test_lin108_ignores_read_opens():
+    snippet = """
+    def load(path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def load_default(path):
+        with open(path) as handle:
+            return handle.read()
+    """
+    assert lint(snippet, "src/repro/player/localstorage.py") == []
+
+
+def test_lin108_exempts_the_durable_layer_itself():
+    assert lint(TORN_WRITE_VIOLATION,
+                "src/repro/resilience/durable.py") == []
+    assert lint(TORN_WRITE_VIOLATION,
+                "src/repro/resilience/crashfs.py") == []
+
+
+def test_lin108_does_not_apply_outside_persistence_modules():
+    assert lint(TORN_WRITE_VIOLATION, "src/repro/tools/cli.py") == []
+    assert lint(TORN_WRITE_VIOLATION, "src/repro/dsig/signer.py") == []
+
+
+def test_lin108_skips_dynamic_modes():
+    """Only constant string modes are judged — a variable mode can't
+    be proven to write, and a false positive here would push authors
+    toward silencing the rule wholesale."""
+    snippet = """
+    def save(path, payload, mode):
+        with open(path, mode) as handle:
+            handle.write(payload)
+    """
+    assert lint(snippet, "src/repro/certs/store.py") == []
+
+
+def test_real_persistence_modules_pass_lin108():
+    for name in ("player/localstorage.py", "certs/store.py",
+                 "xkms/server.py"):
+        module = os.path.join(REPO_ROOT, "src", "repro", *name.split("/"))
+        with open(module, encoding="utf-8") as handle:
+            findings = lint_source(handle.read(), module)
+        assert [f for f in findings if f.rule_id == "LIN108"] == [], name
+
+
 # -- clean-repo run ----------------------------------------------------------
 
 

@@ -1,0 +1,73 @@
+"""Revocation state on the durable backend: acknowledged revocations
+survive power cycles and invalidate memoized validations on replay."""
+
+import pytest
+
+from repro.certs.store import CRL_NAMESPACE, TrustStore
+from repro.errors import DurableStateError
+from repro.resilience.crashfs import CrashableFilesystem
+from repro.resilience.durable import DurableStore
+
+DIR = "/flash/crl"
+
+
+def make_store(fs):
+    store = TrustStore()
+    store.attach_durable(DurableStore(DIR, fs=fs))
+    return store
+
+
+def test_revocations_survive_reopen():
+    fs = CrashableFilesystem(seed=0)
+    store = make_store(fs)
+    store.crl.revoke_entry("CN=Compromised Studio", 11)
+    store.crl.revoke_entry("CN=Leaked Device Key", 3)
+    reopened = make_store(fs)
+    assert ("CN=Compromised Studio", 11) in reopened.crl.revoked
+    assert ("CN=Leaked Device Key", 3) in reopened.crl.revoked
+
+
+def test_issuer_names_with_colons_roundtrip():
+    """The serial:issuer encoding splits on the FIRST colon, so issuer
+    names containing colons must survive the round trip intact."""
+    fs = CrashableFilesystem(seed=0)
+    issuer = "CN=Root: Production, O=Studio"
+    make_store(fs).crl.revoke_entry(issuer, 7)
+    reopened = make_store(fs)
+    assert (issuer, 7) in reopened.crl.revoked
+
+
+def test_replay_bumps_the_generation_stamp():
+    """Memoized chain validations key on the trust generation; a
+    replayed CRL must not leave the stamp where an empty list had it."""
+    fs = CrashableFilesystem(seed=0)
+    make_store(fs).crl.revoke_entry("CN=Compromised", 1)
+    empty = TrustStore()
+    reopened = make_store(fs)
+    assert reopened.generation != empty.generation
+
+
+def test_attach_to_empty_store_does_not_bump_generation():
+    fs = CrashableFilesystem(seed=0)
+    assert make_store(fs).generation == TrustStore().generation
+
+
+def test_compaction_preserves_revocations():
+    fs = CrashableFilesystem(seed=0)
+    store = make_store(fs)
+    store.crl.revoke_entry("CN=Compromised", 1)
+    store.crl._durable.compact()
+    store.crl.revoke_entry("CN=Also Compromised", 2)
+    reopened = make_store(fs)
+    assert ("CN=Compromised", 1) in reopened.crl.revoked
+    assert ("CN=Also Compromised", 2) in reopened.crl.revoked
+
+
+def test_malformed_persisted_entry_fails_typed():
+    fs = CrashableFilesystem(seed=0)
+    durable = DurableStore(DIR, fs=fs)
+    durable.set(CRL_NAMESPACE, "not-a-serial:CN=X", b"")
+    durable.commit()
+    with pytest.raises(DurableStateError) as excinfo:
+        make_store(fs)
+    assert excinfo.value.kind == "tamper"

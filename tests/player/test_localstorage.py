@@ -66,15 +66,17 @@ def test_encrypted_slots(rng):
 def test_encrypted_slot_wrong_key(rng):
     # XMLEnc padding inspects only the final octet, so wrong-key
     # garbage occasionally "unpads" without an error — either outcome
-    # is acceptable as long as the value is not recovered.
-    from repro.errors import PaddingError, DecryptionError
+    # is acceptable as long as the value is not recovered.  When it
+    # does fail, the failure is the storage layer's typed error, not a
+    # raw crypto traceback.
+    from repro.errors import LocalStorageError
     storage = LocalStorage()
     key = SymmetricKey(rng.read(16))
     wrong = SymmetricKey(rng.read(16))
     storage.write_encrypted("game", "hs", b"120", key)
     try:
         recovered = storage.read_encrypted("game", "hs", wrong)
-    except (PaddingError, DecryptionError):
+    except LocalStorageError:
         return
     assert recovered != b"120"
 

@@ -1,0 +1,184 @@
+"""The power-loss fault adversary: visible vs durable, torn writes,
+seeded determinism, numbered injection points."""
+
+import pytest
+
+from repro.resilience.crashfs import (
+    CrashableFilesystem, OsFilesystem, SimulatedCrash,
+)
+
+
+# -- visible vs durable ------------------------------------------------------
+
+
+def test_unsynced_write_is_visible_but_not_durable():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/f", b"hello")
+    assert fs.read("/f") == b"hello"
+    fs.crash()
+    assert not fs.exists("/f") or fs.read("/f") != b"hello"
+
+
+def test_fsync_makes_content_durable():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/f", b"hello")
+    fs.fsync("/f")
+    fs.crash()
+    assert fs.read("/f") == b"hello"
+
+
+def test_unsynced_append_survives_only_as_torn_prefix():
+    fs = CrashableFilesystem(seed=3)
+    fs.write("/f", b"base")
+    fs.fsync("/f")
+    fs.append("/f", b"XYZ")
+    fs.crash()
+    data = fs.read("/f")
+    assert data.startswith(b"base")
+    # The final byte of an un-synced delta is never durable.
+    assert data != b"baseXYZ"
+    assert b"baseXYZ".startswith(data)
+
+
+def test_final_byte_of_delta_never_durable_any_seed():
+    for seed in range(20):
+        fs = CrashableFilesystem(seed=seed)
+        fs.write("/f", b"durable")
+        fs.fsync("/f")
+        fs.append("/f", b"\x01")
+        fs.crash()
+        assert fs.read("/f") == b"durable"
+
+
+def test_unsynced_rewrite_reverts_to_old_durable_content():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/f", b"old")
+    fs.fsync("/f")
+    fs.write("/f", b"completely different")
+    fs.crash()
+    assert fs.read("/f") == b"old"
+
+
+# -- directory operations ----------------------------------------------------
+
+
+def test_replace_is_buffered_until_fsync_dir():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/d/a", b"A")
+    fs.fsync("/d/a")
+    fs.write("/d/b", b"B")
+    fs.fsync("/d/b")
+    fs.replace("/d/a", "/d/b")
+    assert fs.read("/d/b") == b"A"     # visible immediately
+    fs.fsync_dir("/d")
+    fs.crash()
+    assert fs.read("/d/b") == b"A"     # durable after the dirsync
+    assert not fs.exists("/d/a")
+
+
+def test_unsynced_replace_never_yields_torn_destination():
+    """A rename is atomic: after a crash the destination is either the
+    old durable content or the source's durable bytes, never a torn
+    mixture of the two."""
+    for seed in range(20):
+        fs = CrashableFilesystem(seed=seed)
+        fs.write("/d/dst", b"OLDOLDOLD")
+        fs.fsync("/d/dst")
+        fs.write("/d/src", b"NEWNEWNEW")
+        fs.fsync("/d/src")
+        fs.replace("/d/src", "/d/dst")
+        fs.crash()                      # dirsync never happened
+        assert fs.read("/d/dst") in (b"OLDOLDOLD", b"NEWNEWNEW")
+
+
+def test_remove_is_buffered_until_fsync_dir():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/d/a", b"A")
+    fs.fsync("/d/a")
+    fs.remove("/d/a")
+    assert not fs.exists("/d/a")
+    fs.fsync_dir("/d")
+    fs.crash()
+    assert not fs.exists("/d/a")
+
+
+# -- injection points --------------------------------------------------------
+
+
+def test_ops_are_numbered_and_crash_fires_before_effect():
+    fs = CrashableFilesystem(seed=0, crash_at=1)
+    fs.write("/a", b"A")               # op 0
+    with pytest.raises(SimulatedCrash):
+        fs.write("/b", b"B")           # op 1: dies before writing
+    assert not fs.exists("/b")
+    assert fs.op_labels == ["write:/a", "write:/b"]
+
+
+def test_interrupted_fsync_flushes_at_most_a_torn_prefix():
+    for seed in range(20):
+        fs = CrashableFilesystem(seed=seed, crash_at=1)
+        fs.write("/f", b"0123456789")  # op 0
+        with pytest.raises(SimulatedCrash):
+            fs.fsync("/f")             # op 1: torn flush
+        fs.crash()
+        data = fs.read("/f") if fs.exists("/f") else b""
+        assert b"0123456789".startswith(data)
+        assert data != b"0123456789"
+
+
+def test_same_seed_and_crash_point_reproduce_the_same_image():
+    def run(seed, crash_at):
+        fs = CrashableFilesystem(seed=seed, crash_at=crash_at)
+        try:
+            fs.write("/f", b"base")
+            fs.fsync("/f")
+            fs.append("/f", b"ABCDEFGH")
+            fs.fsync("/f")
+        except SimulatedCrash:
+            fs.crash()
+        return dict(fs._durable)
+
+    assert run(42, 3) == run(42, 3)
+
+
+def test_op_count_counts_every_mutating_operation():
+    fs = CrashableFilesystem(seed=0)
+    fs.write("/f", b"x")
+    fs.append("/f", b"y")
+    fs.fsync("/f")
+    fs.truncate("/f", 1)
+    fs.replace("/f", "/g")
+    fs.fsync_dir("/")
+    assert fs.op_count == 6
+
+
+# -- listdir / makedirs ------------------------------------------------------
+
+
+def test_listdir_shows_visible_entries():
+    fs = CrashableFilesystem(seed=0)
+    fs.makedirs("/d")
+    fs.write("/d/a", b"")
+    fs.write("/d/b", b"")
+    fs.write("/other/c", b"")
+    assert fs.listdir("/d") == ["a", "b"]
+
+
+# -- the real filesystem -----------------------------------------------------
+
+
+def test_os_filesystem_roundtrip(tmp_path):
+    fs = OsFilesystem()
+    root = str(tmp_path)
+    fs.makedirs(root + "/sub")
+    fs.write(root + "/sub/f", b"hello")
+    fs.append(root + "/sub/f", b" world")
+    fs.fsync(root + "/sub/f")
+    assert fs.read(root + "/sub/f") == b"hello world"
+    fs.truncate(root + "/sub/f", 5)
+    assert fs.read(root + "/sub/f") == b"hello"
+    fs.replace(root + "/sub/f", root + "/sub/g")
+    fs.fsync_dir(root + "/sub")
+    assert fs.listdir(root + "/sub") == ["g"]
+    fs.remove(root + "/sub/g")
+    assert not fs.exists(root + "/sub/g")

@@ -1,0 +1,321 @@
+"""The durable layer: journal framing, recovery semantics, compaction.
+
+The contract under test is the one the chaos harness checks
+exhaustively: acknowledged commits are durable, unacknowledged ones
+vanish atomically, torn tails are truncated, and interior tampering
+fails hard with a typed error.
+"""
+
+import pytest
+
+from repro.errors import DurableStateError
+from repro.resilience.crashfs import CrashableFilesystem, SimulatedCrash
+from repro.resilience.degradation import REASON_RECOVERY, DegradationLog
+from repro.resilience.durable import (
+    JOURNAL_MAGIC, DurableStore, Journal, atomic_write, decode_op,
+    encode_op, verify_directory,
+)
+
+DIR = "/flash/state"
+
+
+def open_store(fs, **kwargs):
+    return DurableStore(DIR, fs=fs, **kwargs)
+
+
+def populated(fs, **kwargs):
+    store = open_store(fs, **kwargs)
+    store.set("ns", "a", b"1")
+    store.set("ns", "b", b"2")
+    store.commit()
+    return store
+
+
+# -- commit / acknowledgement ------------------------------------------------
+
+
+def test_committed_records_survive_reopen():
+    fs = CrashableFilesystem(seed=0)
+    populated(fs)
+    store = open_store(fs)
+    assert store.get("ns", "a") == b"1"
+    assert store.get("ns", "b") == b"2"
+    assert store.recovery.clean
+
+
+def test_staged_mutations_invisible_until_commit():
+    fs = CrashableFilesystem(seed=0)
+    store = open_store(fs)
+    store.set("ns", "a", b"1")
+    assert store.get("ns", "a") is None
+    store.commit()
+    assert store.get("ns", "a") == b"1"
+
+
+def test_uncommitted_mutations_vanish_on_crash():
+    fs = CrashableFilesystem(seed=0)
+    store = populated(fs)
+    store.set("ns", "c", b"3")          # staged, never committed
+    fs.crash()
+    reopened = open_store(fs)
+    assert reopened.get("ns", "c") is None
+    assert reopened.get("ns", "a") == b"1"
+
+
+def test_batch_commits_are_atomic_across_crash():
+    """A multi-record batch either fully survives or fully vanishes."""
+    probe = CrashableFilesystem(seed=5)
+    store = populated(probe)
+    start = probe.op_count
+    store.set("ns", "x", b"X")
+    store.set("ns", "y", b"Y")
+    store.commit()
+    for crash_at in range(start, probe.op_count):
+        fs = CrashableFilesystem(seed=5, crash_at=crash_at)
+        store = populated(fs)
+        store.set("ns", "x", b"X")
+        store.set("ns", "y", b"Y")
+        try:
+            store.commit()
+        except SimulatedCrash:
+            fs.crash()
+        reopened = open_store(fs)
+        got = (reopened.get("ns", "x"), reopened.get("ns", "y"))
+        assert got in ((None, None), (b"X", b"Y"))
+
+
+def test_delete_and_wipe_replay():
+    fs = CrashableFilesystem(seed=0)
+    store = populated(fs)
+    store.set("other", "k", b"v")
+    store.delete("ns", "a")
+    store.wipe("other")
+    store.commit()
+    reopened = open_store(fs)
+    assert reopened.keys("ns") == ["b"]
+    assert reopened.namespaces() == ["ns"]
+
+
+# -- torn tails vs tampering -------------------------------------------------
+
+
+def journal_path():
+    return f"{DIR}/{DurableStore.JOURNAL_NAME}"
+
+
+def test_torn_tail_is_truncated_and_reported():
+    fs = CrashableFilesystem(seed=0)
+    populated(fs)
+    data = fs.read(journal_path())
+    fs.write(journal_path(), data + b"\x40\x00\x00\x00partial")
+    fs.fsync(journal_path())
+    log = DegradationLog()
+    store = open_store(fs, degradation=log)
+    assert store.get("ns", "a") == b"1"
+    assert not store.recovery.clean
+    assert store.recovery.truncated_bytes > 0
+    assert any(e.reason == REASON_RECOVERY for e in log.events)
+    # Idempotent: the repair leaves nothing for a second recovery.
+    again = open_store(fs)
+    assert again.recovery.clean
+
+
+def test_interior_corruption_is_tampering_not_repair():
+    fs = CrashableFilesystem(seed=0)
+    populated(fs)
+    data = bytearray(fs.read(journal_path()))
+    mid = len(JOURNAL_MAGIC) + 8        # inside the first frame
+    data[mid] ^= 0xFF
+    fs.write(journal_path(), bytes(data))
+    fs.fsync(journal_path())
+    with pytest.raises(DurableStateError) as excinfo:
+        open_store(fs)
+    assert excinfo.value.kind == "tamper"
+
+
+def test_foreign_journal_header_is_a_format_error():
+    fs = CrashableFilesystem(seed=0)
+    fs.makedirs(DIR)
+    fs.write(journal_path(), b"GARBAGE-HEADER\n plus junk")
+    fs.fsync(journal_path())
+    with pytest.raises(DurableStateError) as excinfo:
+        open_store(fs)
+    assert excinfo.value.kind == "format"
+
+
+def test_torn_header_recovers_to_empty():
+    fs = CrashableFilesystem(seed=0)
+    fs.makedirs(DIR)
+    fs.write(journal_path(), JOURNAL_MAGIC[:3])
+    fs.fsync(journal_path())
+    store = open_store(fs)
+    assert store.namespaces() == []
+    assert not store.recovery.clean
+
+
+def test_absurd_length_prefix_is_tampering():
+    fs = CrashableFilesystem(seed=0)
+    fs.makedirs(DIR)
+    fs.write(journal_path(),
+             JOURNAL_MAGIC + b"\xff\xff\xff\xff" + b"\x00" * 64)
+    fs.fsync(journal_path())
+    with pytest.raises(DurableStateError) as excinfo:
+        open_store(fs)
+    assert excinfo.value.kind == "tamper"
+
+
+def test_integrity_key_detects_journal_substitution():
+    """A journal forged without the key fails under HMAC framing."""
+    plain_fs = CrashableFilesystem(seed=0)
+    populated(plain_fs)                  # digest-only journal
+    forged = plain_fs.read(journal_path())
+    fs = CrashableFilesystem(seed=0)
+    fs.makedirs(DIR)
+    fs.write(journal_path(), forged)
+    fs.fsync(journal_path())
+    with pytest.raises(DurableStateError) as excinfo:
+        open_store(fs, integrity_key=b"device-unique-key")
+    assert excinfo.value.kind == "tamper"
+
+
+def test_snapshot_tampering_fails_hard():
+    fs = CrashableFilesystem(seed=0)
+    populated(fs).compact()
+    path = f"{DIR}/{DurableStore.SNAPSHOT_NAME}"
+    data = bytearray(fs.read(path))
+    data[-1] ^= 0x01
+    fs.write(path, bytes(data))
+    fs.fsync(path)
+    with pytest.raises(DurableStateError) as excinfo:
+        open_store(fs)
+    assert excinfo.value.kind == "tamper"
+
+
+# -- compaction --------------------------------------------------------------
+
+
+def test_compaction_preserves_state_and_shrinks_journal():
+    fs = CrashableFilesystem(seed=0)
+    store = open_store(fs)
+    for i in range(20):
+        store.set("ns", f"k{i}", b"v" * 50)
+        store.commit()
+    before = len(fs.read(journal_path()))
+    store.compact()
+    after = len(fs.read(journal_path()))
+    assert after < before
+    reopened = open_store(fs)
+    assert len(reopened.keys("ns")) == 20
+    assert reopened.recovery.snapshot_seq > 0
+
+
+def test_commits_after_compaction_survive_reopen():
+    """The sequence-floor regression: post-compaction records must not
+    reuse snapshotted sequence numbers (replay would skip them)."""
+    fs = CrashableFilesystem(seed=0)
+    store = populated(fs)
+    store.compact()
+    reopened = open_store(fs)            # journal empty, snapshot full
+    reopened.set("ns", "post", b"alive")
+    reopened.commit()
+    final = open_store(fs)
+    assert final.get("ns", "post") == b"alive"
+
+
+def test_compact_with_staged_mutations_is_a_protocol_error():
+    fs = CrashableFilesystem(seed=0)
+    store = populated(fs)
+    store.set("ns", "pending", b"?")
+    with pytest.raises(DurableStateError) as excinfo:
+        store.compact()
+    assert excinfo.value.kind == "protocol"
+
+
+def test_crash_between_snapshot_and_journal_reset_recovers():
+    """Every injection point inside compact() recovers to the same
+    committed state — the snapshot/reset ordering under test."""
+    probe = CrashableFilesystem(seed=9)
+    store = populated(probe)
+    start = probe.op_count
+    store.compact()
+    for crash_at in range(start, probe.op_count):
+        fs = CrashableFilesystem(seed=9, crash_at=crash_at)
+        store = populated(fs)
+        try:
+            store.compact()
+        except SimulatedCrash:
+            fs.crash()
+        reopened = open_store(fs)
+        assert reopened.get("ns", "a") == b"1"
+        assert reopened.get("ns", "b") == b"2"
+
+
+# -- op encoding -------------------------------------------------------------
+
+
+def test_op_roundtrip():
+    body = encode_op(0x53, "ns", "key", b"value")
+    assert decode_op(body) == (0x53, "ns", "key", b"value")
+
+
+def test_malformed_op_is_tampering():
+    for body in (b"", b"\x53", b"\x00\x01\x02", encode_op(
+            0x53, "ns", "key", b"value")[:-1]):
+        with pytest.raises(DurableStateError) as excinfo:
+            decode_op(body)
+        assert excinfo.value.kind == "tamper"
+
+
+# -- atomic_write ------------------------------------------------------------
+
+
+def test_atomic_write_never_leaves_a_torn_file():
+    for crash_at in range(6):
+        fs = CrashableFilesystem(seed=1)
+        fs.write("/d/f", b"OLD")
+        fs.fsync("/d/f")
+        fs.fsync_dir("/d")
+        fs.crash_at = fs.op_count + crash_at
+        try:
+            atomic_write("/d/f", b"NEW", fs=fs)
+        except SimulatedCrash:
+            fs.crash()
+        assert fs.read("/d/f") in (b"OLD", b"NEW")
+
+
+# -- inspection --------------------------------------------------------------
+
+
+def test_verify_directory_reports_without_repairing():
+    fs = CrashableFilesystem(seed=0)
+    populated(fs)
+    data = fs.read(journal_path())
+    fs.write(journal_path(), data + b"\x10\x00\x00\x00torn")
+    fs.fsync(journal_path())
+    size_before = len(fs.read(journal_path()))
+    inspection = verify_directory(DIR, fs=fs)
+    assert not inspection.clean_tail
+    assert inspection.tail_torn_bytes > 0
+    assert inspection.namespaces == {"ns": 2}
+    assert len(fs.read(journal_path())) == size_before   # untouched
+
+
+def test_inspect_summarizes_committed_state():
+    fs = CrashableFilesystem(seed=0)
+    store = populated(fs)
+    inspection = store.inspect()
+    assert inspection.namespaces == {"ns": 2}
+    assert inspection.clean_tail
+    assert inspection.journal_bytes > len(JOURNAL_MAGIC)
+
+
+def test_journal_pending_and_committed_seq():
+    fs = CrashableFilesystem(seed=0)
+    journal = Journal(fs, "/j")
+    assert journal.committed_seq == 0
+    journal.append(b"one")
+    assert journal.pending == 1
+    acked = journal.commit()
+    assert journal.pending == 0
+    assert acked == journal.committed_seq == 1
+    assert journal.commit() == 1         # empty commit is a no-op

@@ -1,0 +1,94 @@
+"""The ``durable`` CLI subcommand and the ``chaos --crash`` sweep."""
+
+import pytest
+
+from repro.resilience.durable import DurableStore
+from repro.tools import main
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    """A real on-disk durable directory with committed records."""
+    directory = str(tmp_path / "state")
+    store = DurableStore(directory)
+    store.set("licenses", "disc-1", b"license-blob")
+    store.set("licenses", "disc-2", b"other-blob")
+    store.set("scores", "game", b"120")
+    store.commit()
+    return directory
+
+
+def test_inspect_clean_directory(state_dir, capsys):
+    assert main(["durable", "inspect", state_dir]) == 0
+    out = capsys.readouterr().out
+    assert "'licenses': 2 key(s)" in out
+    assert "'scores': 1 key(s)" in out
+    assert "tail: clean" in out
+
+
+def test_verify_clean_directory(state_dir):
+    assert main(["durable", "verify", state_dir]) == 0
+
+
+def test_verify_fails_on_torn_tail(state_dir, capsys):
+    journal = f"{state_dir}/{DurableStore.JOURNAL_NAME}"
+    with open(journal, "ab") as handle:
+        handle.write(b"\x40\x00\x00\x00torn-frame")
+    assert main(["durable", "verify", state_dir]) == 1
+    assert "torn byte(s)" in capsys.readouterr().out
+    # inspect reports the same tail but stays exit 0 (read-only look).
+    assert main(["durable", "inspect", state_dir]) == 0
+
+
+def test_verify_does_not_repair(state_dir):
+    journal = f"{state_dir}/{DurableStore.JOURNAL_NAME}"
+    with open(journal, "ab") as handle:
+        handle.write(b"\x40\x00\x00\x00torn-frame")
+    with open(journal, "rb") as handle:
+        before = handle.read()
+    main(["durable", "verify", state_dir])
+    with open(journal, "rb") as handle:
+        assert handle.read() == before
+
+
+def test_compact_shrinks_and_preserves(state_dir, capsys):
+    store = DurableStore(state_dir)
+    for i in range(10):
+        store.set("scores", "game", str(i).encode())
+        store.commit()
+    assert main(["durable", "compact", state_dir]) == 0
+    assert "compacted" in capsys.readouterr().out
+    reopened = DurableStore(state_dir)
+    assert reopened.get("scores", "game") == b"9"
+    assert reopened.get("licenses", "disc-1") == b"license-blob"
+    assert reopened.recovery.snapshot_seq > 0
+
+
+def test_compact_repairs_torn_tail_first(state_dir, capsys):
+    journal = f"{state_dir}/{DurableStore.JOURNAL_NAME}"
+    with open(journal, "ab") as handle:
+        handle.write(b"\x40\x00\x00\x00torn-frame")
+    assert main(["durable", "compact", state_dir]) == 0
+    assert "repaired" in capsys.readouterr().out
+    assert main(["durable", "verify", state_dir]) == 0
+
+
+def test_integrity_key_roundtrip(tmp_path, capsys):
+    directory = str(tmp_path / "keyed")
+    key = b"\x01\x02" * 16
+    store = DurableStore(directory, integrity_key=key)
+    store.set("ns", "k", b"v")
+    store.commit()
+    hexkey = key.hex()
+    assert main(["durable", "verify", directory,
+                 "--integrity-key-hex", hexkey]) == 0
+    # Without the key the checksums read as tampering (typed error,
+    # surfaced by main() as a failure exit).
+    assert main(["durable", "verify", directory]) != 0
+
+
+def test_chaos_crash_sweep(capsys):
+    assert main(["chaos", "--crash", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "crash-chaos seed=7" in out
+    assert "all crash recoveries verified" in out
