@@ -50,6 +50,13 @@ DIRECTIONS = {
     "c14n_manifest_norm": "lower",
     "sign_detached_norm": "lower",
     "audit_8sig_norm": "lower",
+    # accelerated-provider legs (PR 7): the hardware-crypto deployment
+    # shape must stay >= 5x faster than the pure baseline was
+    "sign_detached_accel_norm": "lower",
+    "verify_sequential_8_accel_norm": "lower",
+    # streaming C14N vs whole-tree canonicalization on the same
+    # manifest; ~1.0 means chunked emission is free
+    "c14n_stream_ratio": "lower",
     # pure ratios; higher is better
     "batch_speedup": "higher",
     "warm_digest_hit_ratio": "higher",
@@ -163,12 +170,58 @@ def run_benchmarks() -> dict:
     plain = fat_manifest()
     c14n_time = measure(lambda: canonicalize(plain), warmup=1, repeat=5)
 
+    # ABL-STREAM: chunked canonical emission vs building the whole
+    # octet string; the ratio gates streaming-serializer overhead.
+    from repro.xmlcore.c14n import canonicalize_into
+
+    def c14n_stream():
+        return canonicalize_into(plain, lambda chunk: None)
+
+    c14n_stream_time = measure(c14n_stream, warmup=1, repeat=5)
+
     def sign_once():
         target = build_manifest("bench-sign", submarkups=2).to_element()
         sub = next(iter(target.iter("submarkup")))
         signer.sign_detached(f"#{sub.get('Id')}", parent=target)
 
     sign_time = measure(sign_once, warmup=1, repeat=5)
+
+    # Accelerated-provider legs: the same sign / sequential-verify
+    # workloads with the hashlib/cryptography-backed provider selected,
+    # normalized against the *same* pure-SHA calibration so the metric
+    # captures the provider speedup, not machine speed.
+    from repro.primitives.provider import (
+        available_providers, get_provider, set_default_provider,
+    )
+
+    accel_metrics = {}
+    if "accelerated" in available_providers():
+        previous = get_provider().name
+        set_default_provider("accelerated")
+        try:
+            accel_root = fat_manifest()
+            for target in accel_root.iter("submarkup"):
+                signer.sign_detached(
+                    f"#{target.get('Id')}", parent=accel_root
+                )
+            accel_seq = Verifier(
+                trust_store=world.trust_store,
+                require_trusted_key=True,
+                cache=NullCache(),
+            )
+            accel_seq_time = measure(
+                lambda: verify_signatures(accel_root, accel_seq),
+                warmup=1, repeat=5,
+            )
+            accel_sign_time = measure(sign_once, warmup=1, repeat=5)
+            accel_metrics = {
+                "verify_sequential_8_accel_norm":
+                    accel_seq_time / calibration,
+                "sign_detached_accel_norm":
+                    accel_sign_time / calibration,
+            }
+        finally:
+            set_default_provider(previous)
 
     def audit_once():
         from repro.analysis import ArtifactAuditor
@@ -239,7 +292,12 @@ def run_benchmarks() -> dict:
 
     return {
         "calibration_seconds": calibration,
+        "provider_legs": ["pure"] + (
+            ["accelerated"] if accel_metrics else []
+        ),
         "metrics": {
+            **accel_metrics,
+            "c14n_stream_ratio": c14n_stream_time / c14n_time,
             "verify_sequential_8_norm": seq_time / calibration,
             "verify_batch_warm_8_norm": warm_time / calibration,
             "batch_speedup": seq_time / warm_time,
@@ -292,12 +350,47 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     return problems
 
 
+def write_summary(handle, results: dict, baseline: dict,
+                  threshold: float) -> None:
+    """Write a markdown drift table (for ``$GITHUB_STEP_SUMMARY``)."""
+    legs = ", ".join(results.get("provider_legs", ["pure"]))
+    handle.write("## Benchmark drift\n\n")
+    handle.write(f"Provider legs: {legs}\n\n")
+    handle.write("| metric | current | baseline | drift | gate |\n")
+    handle.write("|---|---:|---:|---:|---|\n")
+    base_metrics = baseline.get("metrics", {})
+    for name, value in sorted(results["metrics"].items()):
+        base = base_metrics.get(name)
+        direction = DIRECTIONS.get(name)
+        if base is None or direction is None or base == 0:
+            handle.write(
+                f"| {name} | {value:.4f} | — | — | untracked |\n"
+            )
+            continue
+        drift = value / base - 1.0
+        if direction == "lower":
+            bad = value > base * (1.0 + threshold)
+        else:
+            bad = value < base * (1.0 - threshold)
+        verdict = "REGRESSED" if bad else "ok"
+        handle.write(
+            f"| {name} | {value:.4f} | {base:.4f} "
+            f"| {drift * 100:+.1f}% | {verdict} |\n"
+        )
+    handle.write("\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default="BENCH_PR2.json",
+        default="BENCH_PR7.json",
         help="result artifact path",
+    )
+    parser.add_argument(
+        "--summary",
+        help="also write a markdown drift table to this path "
+             "(defaults to $GITHUB_STEP_SUMMARY when set)",
     )
     parser.add_argument(
         "--baseline",
@@ -345,6 +438,12 @@ def main(argv=None) -> int:
         return 1
     with open(args.baseline) as handle:
         baseline = json.load(handle)
+
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            write_summary(handle, results, baseline, args.threshold)
+        print(f"drift table appended to {summary_path}")
 
     problems = compare(
         results["metrics"],

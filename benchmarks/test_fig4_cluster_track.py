@@ -132,18 +132,29 @@ def test_fig4_manifest_mode_single_signature(world, benchmark):
         # NullCache: this row compares *uncached* per-track digest
         # costs; with the shared cache the full pass would serve the
         # selectively-checked track for free and invert the comparison.
-        selective_time, selective = timed(
+        # Median-of-5: the streamed digest path is fast enough that a
+        # single sample sits at the scheduler-noise floor.
+        from _workloads import measure
+
+        selective = validate_manifest_references(
+            signature, only_uris=(f"#{tracks[-1].get('Id')}",),
+            cache=NullCache(),
+        )
+        assert selective.all_valid
+        selective_time = measure(
             lambda: validate_manifest_references(
                 signature, only_uris=(f"#{tracks[-1].get('Id')}",),
                 cache=NullCache(),
-            )
+            ),
+            warmup=0, repeat=5,
         )
-        assert selective.all_valid
-        full_time, full = timed(
-            lambda: validate_manifest_references(signature,
-                                                 cache=NullCache())
-        )
+        full = validate_manifest_references(signature, cache=NullCache())
         assert full.all_valid
+        full_time = measure(
+            lambda: validate_manifest_references(signature,
+                                                 cache=NullCache()),
+            warmup=0, repeat=5,
+        )
         return core_time, selective_time, full_time
 
     core_time, selective_time, full_time = benchmark.pedantic(

@@ -98,9 +98,30 @@ class Certificate:
         tbs.append(usage)
         return tbs
 
+    def _tbs_key(self) -> tuple:
+        return (
+            self.subject, self.issuer, self.serial,
+            self.public_key.n, self.public_key.e,
+            self.not_before, self.not_after,
+            self.is_ca, self.key_usage,
+        )
+
     def tbs_bytes(self) -> bytes:
-        """Canonical octets of the TBS region (the signed content)."""
-        return canonicalize(self.tbs_element())
+        """Canonical octets of the TBS region (the signed content).
+
+        Memoized on the value of every TBS field: chain validation
+        digests the same certificates over and over, and rebuilding +
+        canonicalizing the TBS element dominates that path.  A tampered
+        field changes the key, so the memo can never serve stale
+        octets.
+        """
+        key = self._tbs_key()
+        memo = getattr(self, "_tbs_memo", None)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        octets = canonicalize(self.tbs_element())
+        self._tbs_memo = (key, octets)
+        return octets
 
     def to_element(self) -> Element:
         """Full certificate as an XML element."""

@@ -91,12 +91,20 @@ class TrustStore:
                  max_chain_length: int = 8):
         self._roots: dict[str, Certificate] = {}
         self._intermediates: dict[str, list[Certificate]] = {}
-        self._provider = provider or get_provider()
+        # Resolved lazily: a store built before a provider switch
+        # (REPRO_PROVIDER / set_default_provider) must not pin chain
+        # validation to the provider active at construction time.
+        self._provider = provider
         self._crl = RevocationList()
         self._generation = 0
         self.max_chain_length = max_chain_length
         for root in roots or []:
             self.add_root(root)
+
+    @property
+    def provider(self) -> CryptoProvider:
+        """The pinned provider, or the current process default."""
+        return self._provider or get_provider()
 
     # -- store management ---------------------------------------------------------
 
@@ -111,7 +119,7 @@ class TrustStore:
                 "trust anchors must be self-signed"
             )
         if not certificate.check_signature(certificate.public_key,
-                                           self._provider):
+                                           self.provider):
             raise CertificateVerificationError(
                 "trust anchor's self-signature does not verify"
             )
@@ -210,7 +218,7 @@ class TrustStore:
                 root = self._roots.get(current.issuer)
                 if root is not None:
                     if not current.check_signature(root.public_key,
-                                                   self._provider):
+                                                   self.provider):
                         raise CertificateVerificationError(
                             f"signature on {current.subject!r} does not "
                             f"verify under root {root.subject!r}"
@@ -236,7 +244,7 @@ class TrustStore:
                         "certificates"
                     )
                 if not current.check_signature(issuer_cert.public_key,
-                                               self._provider):
+                                               self.provider):
                     raise CertificateVerificationError(
                         f"signature on {current.subject!r} does not verify "
                         f"under {issuer_cert.subject!r}"

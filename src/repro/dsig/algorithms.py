@@ -13,6 +13,8 @@ from repro.perf import metrics
 from repro.primitives.hmac import constant_time_equal
 from repro.primitives.keys import RSAPrivateKey, RSAPublicKey, SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
+from repro.xmlcore.c14n import C14N, canonicalize_into
+from repro.xmlcore.tree import Node
 
 # Digest methods.
 SHA1 = "http://www.w3.org/2000/09/xmldsig#sha1"
@@ -56,6 +58,30 @@ def compute_digest(algorithm: str, data: bytes,
         return provider.digest(digest_name(algorithm), data)
 
 
+def compute_digest_canonical(algorithm: str, node: Node,
+                             c14n_algorithm: str = C14N,
+                             inclusive_prefixes: tuple[str, ...] = (),
+                             provider: CryptoProvider | None = None,
+                             *, guard=None) -> bytes:
+    """Digest the canonical form of *node* without materialising it.
+
+    The streaming counterpart of ``compute_digest(algorithm,
+    canonicalize(node, ...))``: canonical chunks feed an incremental
+    hash context from the provider, so only one chunk is ever held.
+    """
+    provider = provider or get_provider()
+    metrics.counter("digest.ops").increment()
+    with metrics.timer("digest.compute"):
+        context = provider.hash_context(digest_name(algorithm))
+        total = canonicalize_into(
+            node, context.update, c14n_algorithm, inclusive_prefixes,
+            guard=guard,
+        )
+        digest = context.digest()
+    metrics.counter("digest.octets").increment(total)
+    return digest
+
+
 def signature_kind(algorithm: str) -> tuple[str, str]:
     """Return ``(family, digest)`` for a SignatureMethod URI."""
     try:
@@ -89,6 +115,41 @@ def compute_signature(algorithm: str, key, data: bytes,
     if not isinstance(mac_key, bytes):
         raise SignatureError(f"{algorithm} needs key bytes")
     return provider.hmac(digest, mac_key, data)
+
+
+def compute_signature_canonical(algorithm: str, key, node: Node,
+                                c14n_algorithm: str = C14N,
+                                inclusive_prefixes: tuple[str, ...] = (),
+                                provider: CryptoProvider | None = None,
+                                ) -> bytes:
+    """Sign the canonical form of *node* under a SignatureMethod URI.
+
+    Streams the canonical octets of *node* (typically ds:SignedInfo)
+    straight into an incremental hash/HMAC context, then applies the
+    key operation — the signing-side twin of
+    :func:`compute_digest_canonical`.
+    """
+    provider = provider or get_provider()
+    family, digest = signature_kind(algorithm)
+    if family == "rsa":
+        if not isinstance(key, RSAPrivateKey):
+            raise SignatureError(
+                f"{algorithm} needs an RSA private key, got "
+                f"{type(key).__name__}"
+            )
+        context = provider.hash_context(digest)
+        canonicalize_into(
+            node, context.update, c14n_algorithm, inclusive_prefixes,
+        )
+        return provider.rsa_sign_digest(key, context.digest(), digest)
+    mac_key = key.data if isinstance(key, SymmetricKey) else key
+    if not isinstance(mac_key, bytes):
+        raise SignatureError(f"{algorithm} needs key bytes")
+    context = provider.hmac_context(digest, mac_key)
+    canonicalize_into(
+        node, context.update, c14n_algorithm, inclusive_prefixes,
+    )
+    return context.digest()
 
 
 def verify_signature(algorithm: str, key, data: bytes, signature: bytes,

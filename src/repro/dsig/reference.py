@@ -19,11 +19,11 @@ from repro.primitives.encoding import b64decode, b64encode
 from repro.primitives.hmac import constant_time_equal
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.xmlcore import DSIG_NS, element
-from repro.xmlcore.c14n import ALL_C14N_ALGORITHMS, C14N, canonicalize
+from repro.xmlcore.c14n import ALL_C14N_ALGORITHMS, C14N
 from repro.xmlcore.tree import Element
 from repro.dsig import algorithms
 from repro.dsig.transforms import (
-    Transform, TransformContext, apply_transforms, node_path,
+    Transform, TransformContext, node_path, stream_transform_octets,
 )
 
 Resolver = Callable[[str], bytes]
@@ -198,7 +198,7 @@ def _unique_element_by_id(root: Element, value: str) -> Element:
 
 def _fast_path_target(reference: Reference,
                       context: ReferenceContext) -> Element | None:
-    """The live target element when the cached fast path applies.
+    """The live target element when the no-copy fast path applies.
 
     The fast path is sound only when the transform chain cannot mutate
     the document and produces exactly the canonical octets of the
@@ -208,7 +208,7 @@ def _fast_path_target(reference: Reference,
     general copy-and-transform path.
     """
     uri = reference.uri
-    if context.cache is None or context.root is None or uri is None:
+    if context.root is None or uri is None:
         return None
     if context.root.parent is not None:
         # The general path copies ``root`` (detaching it), so ancestor
@@ -231,6 +231,8 @@ def _fast_path_target(reference: Reference,
     # resolution is revision-keyed in the cache, so repeat batch runs
     # over an unchanged tree skip the uniqueness scan.
     root = context.root
+    if context.cache is None:
+        return _unique_element_by_id(root, uri[1:])
     return context.cache.element_by_id(
         root, uri[1:],
         lambda: _unique_element_by_id(root, uri[1:]),
@@ -248,26 +250,41 @@ def compute_reference_digest(reference: Reference,
     the document.  Cache keys include the tree root's revision stamp,
     so any mutation anywhere in the document invalidates the entry —
     a cached digest can never validate a tampered subtree.
+
+    Cold-path digests stream: canonical chunks feed the provider's
+    incremental hash context (already-cached canonical octets are
+    digested directly), so the full canonical string is never
+    materialised just to be hashed.
     """
     provider = provider or get_provider()
     with metrics.timer("dsig.reference_digest"):
         target = _fast_path_target(reference, context)
         if target is not None:
             cache = context.cache
-            assert cache is not None
             transforms = reference.transforms
             algorithm = transforms[0].algorithm if transforms else C14N
             prefixes = (transforms[0].inclusive_prefixes
                         if transforms else ())
+            if cache is None:
+                # Zero-copy streaming: a pure-canonicalization chain
+                # cannot mutate the document, so the live subtree is
+                # digested directly — no working copy, no cache.
+                return algorithms.compute_digest_canonical(
+                    reference.digest_method, target, algorithm,
+                    prefixes, provider, guard=context.guard,
+                )
 
             def compute() -> bytes:
-                octets = cache.canonical_octets(
+                octets = cache.peek_canonical_octets(
                     context.root, target, algorithm, prefixes,
-                    lambda: canonicalize(target, algorithm, prefixes,
-                                         guard=context.guard),
                 )
-                return algorithms.compute_digest(
-                    reference.digest_method, octets, provider,
+                if octets is not None:
+                    return algorithms.compute_digest(
+                        reference.digest_method, octets, provider,
+                    )
+                return algorithms.compute_digest_canonical(
+                    reference.digest_method, target, algorithm,
+                    prefixes, provider, guard=context.guard,
                 )
 
             return cache.reference_digest(
@@ -275,13 +292,22 @@ def compute_reference_digest(reference: Reference,
                 reference.digest_method, compute,
             )
         value, tcontext = dereference(reference, context)
-        octets = apply_transforms(value, reference.transforms, tcontext)
-        if context.guard is not None:
-            # Transform chains (c14n, XPath, decryption) materialize
-            # the whole octet stream; meter it like direct c14n output.
-            context.guard.charge_c14n_output(len(octets))
-        return algorithms.compute_digest(reference.digest_method, octets,
-                                         provider)
+        digest_context = provider.hash_context(
+            algorithms.digest_name(reference.digest_method)
+        )
+        metrics.counter("digest.ops").increment()
+        with metrics.timer("digest.compute"):
+            # The terminal canonicalization streams straight into the
+            # hash context; the guard meters each emitted chunk, so the
+            # transform output stays quota-bound without ever being
+            # materialised here.
+            total = stream_transform_octets(
+                value, reference.transforms, tcontext,
+                digest_context.update, guard=context.guard,
+            )
+            digest = digest_context.digest()
+        metrics.counter("digest.octets").increment(total)
+        return digest
 
 
 def validate_reference(reference: Reference, context: ReferenceContext,

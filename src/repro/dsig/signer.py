@@ -16,7 +16,7 @@ from repro.perf import metrics
 from repro.primitives.encoding import b64encode
 from repro.primitives.keys import RSAPrivateKey
 from repro.primitives.provider import CryptoProvider, get_provider
-from repro.xmlcore import C14N, DSIG_NS, canonicalize, element
+from repro.xmlcore import C14N, DSIG_NS, element
 from repro.xmlcore.tree import Element, Text
 from repro.certs.authority import SigningIdentity
 from repro.dsig import algorithms
@@ -47,7 +47,10 @@ class Signer:
         include_key_value: embed the bare public key in KeyInfo
             (useful without a PKI; the player may refuse such keys).
         key_name: optional ds:KeyName (XKMS lookup handle).
-        provider: crypto provider override.
+        provider: crypto provider override; when omitted the
+            process-wide default is resolved *per signing operation*,
+            so a ``set_default_provider``/``REPRO_PROVIDER`` switch
+            takes effect on existing signers too.
     """
 
     def __init__(self, key, *,
@@ -65,12 +68,21 @@ class Signer:
         self.c14n_method = c14n_method
         self.include_key_value = include_key_value
         self.key_name = key_name
-        self.provider = provider or get_provider()
+        self._provider = provider
         family, _ = algorithms.signature_kind(signature_method)
         if family == "rsa" and not isinstance(key, RSAPrivateKey):
             raise SignatureError(
                 f"{signature_method} requires an RSA private key"
             )
+
+    @property
+    def provider(self) -> CryptoProvider:
+        """The pinned provider, or the current process default."""
+        return self._provider or get_provider()
+
+    @provider.setter
+    def provider(self, value: CryptoProvider | None) -> None:
+        self._provider = value
 
     # -- public signing forms ------------------------------------------------------
 
@@ -199,7 +211,9 @@ class Signer:
                   document_root: Element | None,
                   resolver=None, decryptor=None,
                   namespaces: dict[str, str] | None = None) -> None:
-        with metrics.timer("dsig.sign"):
+        provider = self.provider
+        with metrics.timer("dsig.sign"), \
+                metrics.timer(f"dsig.sign.{provider.name}"):
             metrics.counter("dsig.sign.signatures").increment()
             self._finalize_timed(
                 signature, document_root=document_root,
@@ -211,6 +225,7 @@ class Signer:
                         document_root: Element | None,
                         resolver=None, decryptor=None,
                         namespaces: dict[str, str] | None = None) -> None:
+        provider = self.provider
         signed_info_el = signature.first_child("SignedInfo", DSIG_NS)
         assert signed_info_el is not None
         context = ReferenceContext(
@@ -225,17 +240,18 @@ class Signer:
         for reference_el in reference_els:
             reference = Reference.from_element(reference_el)
             digest = compute_reference_digest(reference, context,
-                                              self.provider)
+                                              provider)
             value_el = reference_el.first_child("DigestValue", DSIG_NS)
             assert value_el is not None
             value_el.children.clear()
             value_el.append(Text(b64encode(digest)))
-        # Canonicalize SignedInfo in its final context and sign.
+        # Stream SignedInfo's canonical form, in its final context,
+        # straight into the signature primitive's hash/HMAC context.
         signed_info = SignedInfo.from_element(signed_info_el)
-        octets = canonicalize(signed_info_el, signed_info.c14n_method,
-                              signed_info.inclusive_prefixes)
-        signature_value = algorithms.compute_signature(
-            self.signature_method, self.key, octets, self.provider,
+        signature_value = algorithms.compute_signature_canonical(
+            self.signature_method, self.key, signed_info_el,
+            signed_info.c14n_method, signed_info.inclusive_prefixes,
+            provider,
         )
         value_el = signature.first_child("SignatureValue", DSIG_NS)
         assert value_el is not None

@@ -29,6 +29,7 @@ from repro.xmlcore import (
     C14N, C14N_WITH_COMMENTS, DSIG_NS, EXC_C14N, EXC_C14N_WITH_COMMENTS,
     canonicalize, element, find_all,
 )
+from repro.xmlcore.c14n import canonicalize_into
 from repro.xmlcore.tree import Element, Node
 from repro.primitives.encoding import b64decode
 
@@ -157,6 +158,54 @@ def apply_transforms(value, transforms: list[Transform],
     for transform in transforms:
         value = _apply_one(value, transform, context)
     return _to_octets(value)
+
+
+def stream_transform_octets(value, transforms: list[Transform],
+                            context: TransformContext, write,
+                            *, guard=None) -> int:
+    """Run the pipeline and stream the final octets into *write*.
+
+    The zero-copy twin of :func:`apply_transforms`: subtree-selecting
+    transforms still pass nodes down the chain, but the terminal
+    canonicalization (explicit trailing c14n transform, or the implicit
+    node-set-to-octets step) streams chunked UTF-8 straight into the
+    sink instead of materialising the canonical string.  *guard* is
+    charged per emitted chunk.  Returns the octet count.
+    """
+    if transforms and transforms[-1].algorithm in _C14N_ALGORITHMS:
+        last = transforms[-1]
+        for transform in transforms[:-1]:
+            value = _apply_one(value, transform, context)
+        if isinstance(value, list):
+            return sum(
+                canonicalize_into(
+                    node, write, last.algorithm,
+                    last.inclusive_prefixes, guard=guard,
+                )
+                for node in value
+            )
+        node = _require_node(value, last.algorithm)
+        return canonicalize_into(
+            node, write, last.algorithm, last.inclusive_prefixes,
+            guard=guard,
+        )
+    for transform in transforms:
+        value = _apply_one(value, transform, context)
+    if isinstance(value, bytes):
+        if guard is not None:
+            guard.charge_c14n_output(len(value))
+        write(value)
+        return len(value)
+    if isinstance(value, Element):
+        return canonicalize_into(value, write, C14N, guard=guard)
+    if isinstance(value, list):
+        return sum(
+            canonicalize_into(node, write, C14N, guard=guard)
+            for node in value
+        )
+    raise SignatureError(
+        f"cannot convert {type(value).__name__} to octets"
+    )
 
 
 def _to_octets(value) -> bytes:

@@ -131,7 +131,7 @@ class Verifier:
         self.require_trusted_key = require_trusted_key
         self.resolver = resolver
         self.key_locator = key_locator
-        self.provider = provider or get_provider()
+        self._provider = provider
         # Defence against reference-flood DoS in hostile downloads: a
         # signature naming thousands of references would otherwise make
         # the player dereference and digest each one before rejecting.
@@ -139,6 +139,15 @@ class Verifier:
         self.cache = cache if cache is not None else get_default_cache()
         self.now = now
         self.guard = guard
+
+    @property
+    def provider(self) -> CryptoProvider:
+        """The pinned provider, or the current process default."""
+        return self._provider or get_provider()
+
+    @provider.setter
+    def provider(self, value: CryptoProvider | None) -> None:
+        self._provider = value
 
     def verify(self, signature: Element, *, key=None,
                document_root: Element | None = None,
@@ -155,7 +164,8 @@ class Verifier:
             decryptor: decryptor for decryption transforms.
             namespaces: prefix map for XPath transforms.
         """
-        with metrics.timer("dsig.verify"):
+        with metrics.timer("dsig.verify"), \
+                metrics.timer(f"dsig.verify.{self.provider.name}"):
             metrics.counter("dsig.verify.signatures").increment()
             return self._verify(
                 signature, key=key, document_root=document_root,

@@ -123,6 +123,24 @@ class C14NDigestCache:
             self._put(self._octets, key, root, target, value)
         return value
 
+    def peek_canonical_octets(self, root, target, algorithm: str,
+                              inclusive_prefixes: tuple[str, ...],
+                              ) -> bytes | None:
+        """Already-cached canonical octets, or ``None`` — never computes.
+
+        The streaming reference path digests cached octets when a warm
+        entry exists (same key shape as :meth:`canonical_octets`, so
+        warm-path behaviour is unchanged) and otherwise streams the
+        digest without materialising — which is exactly why it must
+        not force octets into existence here.
+        """
+        if not self.cache_octets:
+            return None
+        key = _subtree_key(root, target) + (
+            algorithm, inclusive_prefixes,
+        )
+        return self._get(self._octets, key, root, target, "c14n")
+
     def reference_digest(self, root, target, algorithm: str,
                          inclusive_prefixes: tuple[str, ...],
                          digest_method: str, compute) -> bytes:

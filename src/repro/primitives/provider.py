@@ -12,15 +12,26 @@ Two providers ship with the library:
   implementations in this package.  The default, and the reference
   semantics.
 * ``"accelerated"`` — :class:`AcceleratedProvider`, which delegates
-  digests/HMAC to :mod:`hashlib` and AES to the ``cryptography`` package
-  when importable.  RSA stays pure (Python's :func:`pow` is already
-  C-speed).  Registered only when its backends import cleanly.
+  digests/HMAC to :mod:`hashlib` and AES plus the RSA sign/verify
+  primitives to the ``cryptography`` package when importable (RSA
+  encrypt/decrypt stay pure: those paths take an injected RNG for
+  deterministic tests).  Registered only when its backends import
+  cleanly.
+
+Selection is threaded end-to-end: the ``REPRO_PROVIDER`` environment
+variable picks the process-wide default at import time (``pure``,
+``accelerated``, or ``auto`` for best-available), and
+:func:`set_default_provider` / :func:`detect_best_provider` switch it
+at run time.  Signer, verifier, batch verifier and XMLEnc all resolve
+the default lazily, so a switch takes effect everywhere at once.
 
 The PROTO feasibility benchmark ablates the two providers against the
 paper's CE startup budget.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.errors import ProviderError, UnknownAlgorithmError
 from repro.primitives import hmac as hmac_mod
@@ -47,6 +58,19 @@ class CryptoProvider:
         raise NotImplementedError
 
     def hmac(self, algorithm: str, key: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def hash_context(self, algorithm: str):
+        """Return an incremental hash context (``update``/``digest``).
+
+        The streaming C14N digest path feeds canonical chunks into the
+        returned context, so whole canonical strings never need to be
+        materialised just to be hashed.
+        """
+        raise NotImplementedError
+
+    def hmac_context(self, algorithm: str, key: bytes):
+        """Return an incremental HMAC context (``update``/``digest``)."""
         raise NotImplementedError
 
     # -- AES -----------------------------------------------------------------
@@ -111,6 +135,16 @@ class PurePythonProvider(CryptoProvider):
             raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
         return hmac_mod.HMAC(key, algorithm, data).digest()
 
+    def hash_context(self, algorithm):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return sha.new(algorithm)
+
+    def hmac_context(self, algorithm, key):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return hmac_mod.HMAC(key, algorithm)
+
     def aes_cbc_encrypt(self, key, iv, padded_plaintext):
         return modes.cbc_encrypt(AES(key), padded_plaintext, iv)
 
@@ -148,10 +182,15 @@ class PurePythonProvider(CryptoProvider):
 
 
 class AcceleratedProvider(PurePythonProvider):
-    """Native-backed digests and AES; pure-Python RSA.
+    """Native-backed digests, AES and RSA sign/verify.
 
-    Raises :class:`ProviderError` at construction when the native
-    backends are unavailable, so the registry can skip registration.
+    Digests and HMAC ride :mod:`hashlib`; AES and the RSA signature
+    primitives ride ``cryptography`` (PKCS#1 v1.5 with ``Prehashed``,
+    bit-identical to the pure encoding).  RSA encrypt/decrypt stay
+    pure so the injected-RNG determinism of the XMLEnc tests holds
+    under every provider.  Raises :class:`ProviderError` at
+    construction when the native backends are unavailable, so the
+    registry can skip registration.
     """
 
     name = "accelerated"
@@ -160,6 +199,11 @@ class AcceleratedProvider(PurePythonProvider):
         try:
             import hashlib
             import hmac as std_hmac
+            from cryptography.exceptions import InvalidSignature
+            from cryptography.hazmat.primitives import hashes
+            from cryptography.hazmat.primitives.asymmetric import (
+                padding as c_padding, rsa as c_rsa, utils as c_utils,
+            )
             from cryptography.hazmat.primitives.ciphers import (
                 Cipher, algorithms, modes as c_modes,
             )
@@ -172,6 +216,16 @@ class AcceleratedProvider(PurePythonProvider):
         self._cipher_cls = Cipher
         self._algorithms = algorithms
         self._modes = c_modes
+        self._c_rsa = c_rsa
+        self._pkcs1v15 = c_padding.PKCS1v15()
+        self._prehashed = c_utils.Prehashed
+        self._invalid_signature = InvalidSignature
+        self._hash_algs = {"sha1": hashes.SHA1(), "sha256": hashes.SHA256()}
+        # Converted-key memos: the frozen key dataclasses hash by value,
+        # so repeated sign/verify calls with the same key skip the
+        # (validated, expensive) numbers->native-key construction.
+        self._private_keys: dict[RSAPrivateKey, object] = {}
+        self._public_keys: dict[RSAPublicKey, object] = {}
 
     def digest(self, algorithm, data):
         if algorithm not in _DIGEST_NAMES:
@@ -182,6 +236,79 @@ class AcceleratedProvider(PurePythonProvider):
         if algorithm not in _DIGEST_NAMES:
             raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
         return self._std_hmac.new(key, data, algorithm).digest()
+
+    def hash_context(self, algorithm):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return self._hashlib.new(algorithm)
+
+    def hmac_context(self, algorithm, key):
+        if algorithm not in _DIGEST_NAMES:
+            raise UnknownAlgorithmError(f"unknown digest {algorithm!r}")
+        return self._std_hmac.new(key, digestmod=algorithm)
+
+    # -- RSA (cryptography-backed sign/verify) --------------------------------
+
+    def _native_private_key(self, key: RSAPrivateKey):
+        """Convert (and memoize) *key*; ``None`` if CRT parts missing."""
+        native = self._private_keys.get(key)
+        if native is None:
+            if not key.p or not key.q:
+                return None
+            public = self._c_rsa.RSAPublicNumbers(key.e, key.n)
+            numbers = self._c_rsa.RSAPrivateNumbers(
+                p=key.p,
+                q=key.q,
+                d=key.d,
+                dmp1=key.d % (key.p - 1),
+                dmq1=key.d % (key.q - 1),
+                iqmp=pow(key.q, -1, key.p),
+                public_numbers=public,
+            )
+            native = numbers.private_key()
+            if len(self._private_keys) >= 64:
+                self._private_keys.clear()
+            self._private_keys[key] = native
+        return native
+
+    def _native_public_key(self, key: RSAPublicKey):
+        native = self._public_keys.get(key)
+        if native is None:
+            native = self._c_rsa.RSAPublicNumbers(key.e, key.n).public_key()
+            if len(self._public_keys) >= 256:
+                self._public_keys.clear()
+            self._public_keys[key] = native
+        return native
+
+    def rsa_sign_digest(self, key, digest, digest_name):
+        hash_alg = self._hash_algs.get(digest_name)
+        if hash_alg is None or len(digest) != hash_alg.digest_size:
+            # Unknown DigestInfo family or truncated digest: defer to the
+            # pure encoder, which owns those error semantics.
+            return rsa.sign_digest(key, digest, digest_name)
+        native = self._native_private_key(key)
+        if native is None:
+            return rsa.sign_digest(key, digest, digest_name)
+        return native.sign(
+            digest, self._pkcs1v15, self._prehashed(hash_alg)
+        )
+
+    def rsa_verify_digest(self, key, digest, signature, digest_name):
+        hash_alg = self._hash_algs.get(digest_name)
+        if hash_alg is None or len(digest) != hash_alg.digest_size:
+            return rsa.verify_digest(key, digest, signature, digest_name)
+        if len(signature) != key.byte_length:
+            # The pure re-encode comparison treats a wrong-length
+            # signature as a plain mismatch; mirror that.
+            return rsa.verify_digest(key, digest, signature, digest_name)
+        native = self._native_public_key(key)
+        try:
+            native.verify(
+                signature, digest, self._pkcs1v15, self._prehashed(hash_alg)
+            )
+        except (self._invalid_signature, ValueError):
+            return False
+        return True
 
     def _cipher(self, key, mode):
         return self._cipher_cls(self._algorithms.AES(key), mode)
@@ -233,8 +360,29 @@ def set_default_provider(name: str) -> str:
     return previous
 
 
+def detect_best_provider() -> str:
+    """Name of the fastest registered provider (``accelerated`` if up)."""
+    return "accelerated" if "accelerated" in _providers else "pure"
+
+
+def _apply_env_override() -> None:
+    """Honour ``REPRO_PROVIDER`` (a name, or ``auto``) at import time.
+
+    An unknown name fails loudly: silently falling back to the pure
+    provider would make a mistyped CI matrix leg measure the wrong
+    implementation while appearing green.
+    """
+    name = os.environ.get("REPRO_PROVIDER", "").strip()
+    if not name:
+        return
+    if name == "auto":
+        name = detect_best_provider()
+    set_default_provider(name)
+
+
 register_provider(PurePythonProvider())
 try:
     register_provider(AcceleratedProvider())
 except ProviderError:  # pragma: no cover - env dependent
     pass
+_apply_env_override()

@@ -40,6 +40,9 @@ from repro.dsig import Signer, Verifier
 from repro.errors import ReproError
 from repro.primitives.encoding import hexdecode
 from repro.primitives.keys import SymmetricKey
+from repro.primitives.provider import (
+    available_providers, get_provider, set_default_provider,
+)
 from repro.primitives.random import (
     DeterministicRandomSource, SystemRandomSource,
 )
@@ -489,6 +492,15 @@ def cmd_durable(args) -> int:
     return 1 if args.action == "verify" else 0
 
 
+def cmd_providers(args) -> int:
+    """List registered crypto providers and the process default."""
+    default = get_provider().name
+    for name in available_providers():
+        marker = " (default)" if name == default else ""
+        print(f"{name}{marker}")
+    return 0
+
+
 # -- argument parsing ------------------------------------------------------------
 
 
@@ -498,7 +510,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.tools",
         description="XML security tools for disc applications",
     )
+    parser.add_argument(
+        "--provider",
+        choices=("pure", "accelerated", "auto"),
+        help="crypto provider for this invocation (overrides "
+             "REPRO_PROVIDER; 'auto' picks the best available)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("providers",
+                       help="list registered crypto providers")
+    p.set_defaults(func=cmd_providers)
 
     p = sub.add_parser("keygen", help="generate an RSA key pair")
     p.add_argument("--bits", type=int, default=1024)
@@ -682,6 +704,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.provider:
+            name = args.provider
+            if name == "auto":
+                from repro.primitives.provider import detect_best_provider
+                name = detect_best_provider()
+            set_default_provider(name)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

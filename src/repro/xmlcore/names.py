@@ -6,6 +6,8 @@ the XMLDSig, XMLEnc, XKMS and XACML vocabularies the paper builds on.
 
 from __future__ import annotations
 
+import re
+
 from repro.errors import NamespaceError
 
 # Well-known namespace URIs.
@@ -24,6 +26,12 @@ MHP_PERMISSION_NS = "urn:dvb:mhp:2003:permissions"
 
 _NAME_START_EXTRA = "_:"
 _NAME_EXTRA = "_:-."
+
+#: For pure-ASCII input this is exactly the Name production implemented
+#: by the character classes below; non-ASCII names take the per-char
+#: path because ``str.isalpha``/``str.isdigit`` accept characters the
+#: regex cannot enumerate cheaply.
+_ASCII_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*\Z")
 
 
 def is_name_start_char(ch: str) -> bool:
@@ -53,6 +61,8 @@ def is_valid_name(name: str) -> bool:
     """True if *name* is a syntactically valid XML Name."""
     if not name:
         return False
+    if name.isascii():
+        return _ASCII_NAME_RE.match(name) is not None
     if not is_name_start_char(name[0]):
         return False
     return all(is_name_char(c) for c in name[1:])

@@ -23,6 +23,8 @@ Errors carry 1-based line/column positions.
 
 from __future__ import annotations
 
+import re
+
 from repro.errors import NamespaceError, XMLSyntaxError
 from repro.xmlcore.names import (
     XML_NS, is_name_char, is_name_start_char, is_xml_char,
@@ -39,6 +41,32 @@ _PREDEFINED_ENTITIES = {
 #: Sentinel for "no limit" in the hot parse loops (plain ``float``
 #: comparison instead of a ``None`` test per character).
 _UNLIMITED = float("inf")
+
+#: ASCII prefix of an XML Name.  For pure-ASCII names this is the whole
+#: Name production; a non-ASCII continuation falls back to the exact
+#: per-character classes (``is_name_char`` accepts more than any cheap
+#: regex can enumerate).
+_ASCII_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*")
+
+#: Characters that are NOT legal XML 1.0 chars — the regex negation of
+#: :func:`repro.xmlcore.names.is_xml_char`, used to vet whole runs of
+#: text at once instead of per character.
+_ILLEGAL_XML_RE = re.compile(
+    "[^\t\n\r\u0020-\ud7ff\ue000-\ufffd\U00010000-\U0010ffff]"
+)
+
+#: A run of attribute-value characters needing no special handling:
+#: everything up to the closing quote, ``<``, ``&`` or whitespace
+#: normalization.  (Runs are still vetted with ``_ILLEGAL_XML_RE``.)
+_ATTR_PLAIN_RE = {
+    '"': re.compile('[^"<&\t\n]+'),
+    "'": re.compile("[^'<&\t\n]+"),
+}
+
+#: A run of character-data characters needing no special handling.
+#: ``>`` is excluded only so the ``]]>`` prohibition check keeps seeing
+#: every ``>`` individually.
+_TEXT_PLAIN_RE = re.compile("[^<&>]+")
 
 
 def _default_guard():
@@ -86,19 +114,36 @@ class _Scanner:
             raise self.error(f"expected {literal!r}")
 
     def skip_whitespace(self) -> int:
-        start = self.pos
-        while not self.eof() and self.source[self.pos] in " \t\r\n":
-            self.pos += 1
-        return self.pos - start
+        source = self.source
+        pos = start = self.pos
+        size = len(source)
+        while pos < size and source[pos] in " \t\r\n":
+            pos += 1
+        self.pos = pos
+        return pos - start
 
     def read_name(self) -> str:
-        if self.eof() or not is_name_start_char(self.source[self.pos]):
+        source = self.source
+        match = _ASCII_NAME_RE.match(source, self.pos)
+        if match is not None:
+            start, end = self.pos, match.end()
+            if end < len(source) and source[end] > "\x7f":
+                # Rare: the name continues with non-ASCII characters —
+                # finish with the exact per-character classes.
+                self.pos = end
+                while not self.eof() and is_name_char(source[self.pos]):
+                    self.pos += 1
+                end = self.pos
+            else:
+                self.pos = end
+            return source[start:end]
+        if self.eof() or not is_name_start_char(source[self.pos]):
             raise self.error("expected an XML name")
         start = self.pos
         self.pos += 1
-        while not self.eof() and is_name_char(self.source[self.pos]):
+        while not self.eof() and is_name_char(source[self.pos]):
             self.pos += 1
-        return self.source[start:self.pos]
+        return source[start:self.pos]
 
     def read_until(self, terminator: str, what: str) -> str:
         end = self.source.find(terminator, self.pos)
@@ -337,21 +382,40 @@ class Parser:
                             guard.check_depth(len(stack))
                         current = child
             elif ch == "&":
-                # References expand to exactly one character, so every
-                # entry in text_parts is a single char (the ']]>' check
-                # below relies on this).
                 text_parts.append(self._read_reference())
                 text_len += 1
                 if text_len > max_text:
                     guard.check_text_size(text_len)
-            elif (ch == ">" and text_len >= 2
-                    and text_parts[-1] == "]" and text_parts[-2] == "]"):
-                raise s.error("']]>' is not allowed in character data")
-            else:
-                self._check_char(ch)
-                text_parts.append(ch)
+            elif ch == ">":
+                # The ']]>' prohibition applies to the *expanded* text
+                # of the current text node; entries in text_parts are
+                # runs or single reference expansions, so the last two
+                # characters may straddle an entry boundary.
+                last = text_parts[-1] if text_parts else ""
+                if last.endswith("]") and (
+                    (len(last) >= 2 and last[-2] == "]")
+                    or (len(last) == 1 and len(text_parts) >= 2
+                        and text_parts[-2].endswith("]"))
+                ):
+                    raise s.error(
+                        "']]>' is not allowed in character data"
+                    )
+                text_parts.append(">")
                 text_len += 1
                 s.pos += 1
+                if text_len > max_text:
+                    guard.check_text_size(text_len)
+            else:
+                # A whole run of ordinary characters at once; '>' stays
+                # out of runs so the ']]>' check above sees each one.
+                run = _TEXT_PLAIN_RE.match(s.source, s.pos).group()
+                bad = _ILLEGAL_XML_RE.search(run)
+                if bad is not None:
+                    s.pos += bad.start()
+                    self._check_char(s.source[s.pos])
+                text_parts.append(run)
+                text_len += len(run)
+                s.pos += len(run)
                 if text_len > max_text:
                     guard.check_text_size(text_len)
 
@@ -375,16 +439,20 @@ class Parser:
         s.expect("<")
         open_pos = s.pos
         qname = s.read_name()
+        source = s.source
         raw_attrs: list[tuple[str, str, int]] = []
         while True:
             had_space = s.skip_whitespace() > 0
-            if s.accept("/>"):
-                self_closing = True
-                break
-            if s.accept(">"):
+            ch = source[s.pos:s.pos + 1]
+            if ch == ">":
+                s.pos += 1
                 self_closing = False
                 break
-            if s.eof():
+            if ch == "/" and source.startswith("/>", s.pos):
+                s.pos += 2
+                self_closing = True
+                break
+            if not ch:
                 raise s.error("unterminated start tag")
             if not had_space:
                 raise s.error("whitespace required before attribute")
@@ -465,33 +533,46 @@ class Parser:
 
     def _read_attr_value(self) -> str:
         s = self._scanner
+        source = s.source
         max_text = (self.guard.limits.max_text_bytes
                     if self.guard.limits.max_text_bytes is not None
                     else _UNLIMITED)
         quote = s.advance()
         if quote not in "'\"":
             raise s.error("attribute value must be quoted", s.pos - 1)
+        plain = _ATTR_PLAIN_RE[quote]
         parts: list[str] = []
         value_len = 0
         while True:
+            # Consume a whole run of ordinary characters at once; the
+            # loop below only ever sees the closing quote, '<', '&',
+            # or whitespace needing normalization.
+            match = plain.match(source, s.pos)
+            if match is not None:
+                run = match.group()
+                bad = _ILLEGAL_XML_RE.search(run)
+                if bad is not None:
+                    s.pos += bad.start()
+                    self._check_char(source[s.pos])
+                s.pos = match.end()
+                parts.append(run)
+                value_len += len(run)
+                if value_len > max_text:
+                    self.guard.check_text_size(value_len)
             if s.eof():
                 raise s.error("unterminated attribute value")
-            ch = s.peek()
+            ch = source[s.pos]
             if ch == quote:
-                s.advance()
+                s.pos += 1
                 break
             if ch == "<":
                 raise s.error("'<' is not allowed in attribute values")
             if ch == "&":
                 parts.append(self._read_reference())
-            elif ch in "\t\n":
+            else:
                 # Attribute-value normalization (XML 1.0 §3.3.3).
                 parts.append(" ")
-                s.advance()
-            else:
-                self._check_char(ch)
-                parts.append(ch)
-                s.advance()
+                s.pos += 1
             value_len += 1
             if value_len > max_text:
                 self.guard.check_text_size(value_len)

@@ -399,11 +399,8 @@ class Element(Node):
         error — silently taking the first match is the classic XML
         signature wrapping vector.
         """
-        for element in self.iter():
-            for attr in element.attrs:
-                if attr.local in _ID_ATTRIBUTE_NAMES and attr.value == value:
-                    return element
-        return None
+        matches = self._id_index().get(value)
+        return matches[0] if matches else None
 
     def get_elements_by_id(self, value: str,
                            limit: int = 0) -> list["Element"]:
@@ -411,28 +408,55 @@ class Element(Node):
 
         A well-formed signed document has at most one; more than one
         means the Id landscape is ambiguous (wrapping attack surface).
-        With *limit* > 0, scanning stops once that many matches exist
-        (callers probing for ambiguity only need two).  Iterative walk:
-        this sits on the signature-verification fast path, where nested
-        generators are measurably too slow.
+        With *limit* > 0, at most that many matches are returned
+        (callers probing for ambiguity only need two).  Lookups ride a
+        revision-stamped full-subtree Id index cached on this element:
+        a signature with N references costs one scan instead of N, and
+        any mutation in the subtree stamps this element a fresh
+        revision, dropping the index — a stale map can never resolve an
+        Id in a tampered tree.
         """
-        matches: list[Element] = []
+        matches = self._id_index().get(value, ())
+        if limit and len(matches) > limit:
+            return list(matches[:limit])
+        return list(matches)
+
+    def _id_index(self) -> dict[str, tuple["Element", ...]]:
+        """Id → elements (document order) for this subtree, memoized.
+
+        The memo is keyed on this element's revision stamp, which every
+        mutation in the subtree refreshes (``mark_mutated`` stamps all
+        ancestors), so the index is rebuilt the moment the subtree
+        changes in any way.
+        """
+        cached = self.__dict__.get("_id_index_memo")
+        if cached is not None and cached[0] == self.revision:
+            return cached[1]
+        index: dict[str, list[Element]] = {}
         stack: list[Element] = [self]
         while stack:
             node = stack.pop()
+            node_ids = None
             for attr in node.attrs:
-                if attr.local in _ID_ATTRIBUTE_NAMES and \
-                        attr.value == value:
-                    matches.append(node)
-                    if limit and len(matches) >= limit:
-                        return matches
-                    break
+                if attr.local in _ID_ATTRIBUTE_NAMES:
+                    value = attr.value
+                    if node_ids is None:
+                        node_ids = [value]
+                    elif value in node_ids:
+                        # One element never matches twice for one value
+                        # (the pre-index scan broke after a match).
+                        continue
+                    else:
+                        node_ids.append(value)
+                    index.setdefault(value, []).append(node)
             children = node.children
-            for index in range(len(children) - 1, -1, -1):
-                child = children[index]
+            for i in range(len(children) - 1, -1, -1):
+                child = children[i]
                 if isinstance(child, Element):
                     stack.append(child)
-        return matches
+        frozen = {value: tuple(nodes) for value, nodes in index.items()}
+        self._id_index_memo = (self.revision, frozen)
+        return frozen
 
     # -- copying ---------------------------------------------------------------
 

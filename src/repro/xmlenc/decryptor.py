@@ -53,8 +53,19 @@ class Decryptor:
             self.add_key(name, key)
         self._rsa_keys = list(rsa_keys or [])
         self._resolver = resolver
-        self.provider = provider or get_provider()
+        # Resolved lazily so a provider switch (REPRO_PROVIDER /
+        # set_default_provider) takes effect on existing decryptors.
+        self._provider = provider
         self.guard = guard
+
+    @property
+    def provider(self) -> CryptoProvider:
+        """The pinned provider, or the current process default."""
+        return self._provider or get_provider()
+
+    @provider.setter
+    def provider(self, value: CryptoProvider | None) -> None:
+        self._provider = value
 
     def add_key(self, name: str, key: SymmetricKey | bytes) -> None:
         """Register a named key slot."""

@@ -39,8 +39,19 @@ class Encryptor:
 
     def __init__(self, provider: CryptoProvider | None = None,
                  rng: RandomSource | None = None):
-        self.provider = provider or get_provider()
+        # Resolved lazily so a provider switch (REPRO_PROVIDER /
+        # set_default_provider) takes effect on existing encryptors.
+        self._provider = provider
         self.rng = rng or default_random()
+
+    @property
+    def provider(self) -> CryptoProvider:
+        """The pinned provider, or the current process default."""
+        return self._provider or get_provider()
+
+    @provider.setter
+    def provider(self, value: CryptoProvider | None) -> None:
+        self._provider = value
 
     # -- key material -----------------------------------------------------------
 

@@ -1,0 +1,158 @@
+"""Streaming C14N differential fuzz: chunked output must be
+byte-identical to the whole-tree canonicalization.
+
+The streaming serializer (``canonicalize_into`` / ``digest_canonical``)
+is the hot path for reference digests, so any divergence from
+``canonicalize()`` would silently produce wrong digests.  These tests
+drive both implementations over fixed-seed random documents covering
+every algorithm, inclusive-prefix lists, namespace shenanigans and the
+guard-tripped truncation behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ResourceLimitExceeded
+from repro.resilience.limits import ResourceGuard, ResourceLimits
+from repro.xmlcore import (
+    C14N, C14N_WITH_COMMENTS, EXC_C14N, EXC_C14N_WITH_COMMENTS,
+    canonicalize, parse_document,
+)
+from repro.xmlcore.c14n import canonicalize_into, digest_canonical
+from repro.primitives.provider import get_provider
+
+ALGORITHMS = (C14N, C14N_WITH_COMMENTS, EXC_C14N, EXC_C14N_WITH_COMMENTS)
+
+_TEXT_POOL = (
+    "plain", "with <angle>", "amp & semi;", "tab\tnewline\n",
+    "café 日本語", "]] almost", "x" * 200, "",
+)
+_URI_POOL = ("urn:a", "urn:b", "urn:c", "http://example.org/x", "")
+_PREFIX_POOL = (None, "p", "q", "r")
+
+
+def _random_element(rng: random.Random, depth: int) -> str:
+    """Render one random element (as markup text) with *depth* levels."""
+    prefix = rng.choice(_PREFIX_POOL)
+    name = rng.choice(("node", "item", "data", "sub"))
+    qname = f"{prefix}:{name}" if prefix else name
+    attrs = []
+    for index in range(rng.randrange(0, 4)):
+        attrs.append(f'a{index}="{rng.randrange(100)}"')
+    decls: dict[str | None, str] = {}
+    for _ in range(rng.randrange(0, 3)):
+        decl_prefix = rng.choice(_PREFIX_POOL)
+        uri = rng.choice(_URI_POOL)
+        if decl_prefix is None or uri:
+            decls[decl_prefix] = uri
+    # Ensure any prefix used by the tag itself is declared here.
+    if prefix:
+        decls[prefix] = f"urn:tag-{prefix}"
+    for decl_prefix, uri in decls.items():
+        if decl_prefix is None:
+            attrs.append(f'xmlns="{uri}"')
+        else:
+            attrs.append(f'xmlns:{decl_prefix}="{uri}"')
+    head = " ".join([qname] + sorted(attrs))
+    if depth <= 0 or rng.random() < 0.25:
+        return f"<{head}>{rng.choice(_TEXT_POOL)}</{qname}>"
+    children = "".join(
+        _random_element(rng, depth - 1)
+        for _ in range(rng.randrange(1, 4))
+    )
+    comment = "<!-- c -->" if rng.random() < 0.3 else ""
+    pi = "<?pi data?>" if rng.random() < 0.2 else ""
+    return f"<{head}>{comment}{children}{pi}</{qname}>"
+
+
+def _random_document(seed: int):
+    rng = random.Random(seed)
+    markup = _random_element(rng, depth=4)
+    return parse_document(
+        "<!-- head -->" + markup.replace("&", "&amp;").replace(
+            "<angle>", "&lt;angle&gt;"
+        ) + "<?tail pi?>"
+    )
+
+
+def _collect(node, algorithm, prefixes=(), guard=None) -> bytes:
+    chunks: list[bytes] = []
+    canonicalize_into(node, chunks.append, algorithm, prefixes,
+                      guard=guard)
+    return b"".join(chunks)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("seed", range(12))
+def test_stream_identical_to_whole_tree(seed, algorithm):
+    document = _random_document(seed)
+    assert _collect(document, algorithm) == canonicalize(
+        document, algorithm
+    )
+
+
+@pytest.mark.parametrize("algorithm", (EXC_C14N, EXC_C14N_WITH_COMMENTS))
+@pytest.mark.parametrize("prefixes", [("p",), ("p", "q"), ("r", "#default")])
+@pytest.mark.parametrize("seed", range(6))
+def test_stream_identical_with_inclusive_prefixes(seed, algorithm,
+                                                  prefixes):
+    document = _random_document(seed)
+    assert _collect(document, algorithm, prefixes) == canonicalize(
+        document, algorithm, prefixes
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_stream_subtree_identical(seed):
+    document = _random_document(seed)
+    # Canonicalize an interior element (namespace context inherited).
+    target = document.root
+    descendants = list(target.iter())
+    rng = random.Random(seed * 7 + 1)
+    node = rng.choice(descendants)
+    for algorithm in ALGORITHMS:
+        assert _collect(node, algorithm) == canonicalize(node, algorithm)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_streamed_digest_matches_whole_tree_digest(seed):
+    document = _random_document(seed)
+    provider = get_provider()
+    for algorithm in ALGORITHMS:
+        expected = provider.digest(
+            "sha256", canonicalize(document, algorithm)
+        )
+        assert digest_canonical(
+            document, "sha256", algorithm
+        ) == expected
+
+
+@pytest.mark.parametrize("limit", [1, 7, 64, 301, 1000])
+def test_guard_trip_yields_strict_prefix(limit):
+    document = _random_document(99)
+    full = canonicalize(document)
+    if len(full) <= limit:
+        pytest.skip("document smaller than the quota under test")
+    guard = ResourceGuard(
+        ResourceLimits.default().replace(max_c14n_output_bytes=limit)
+    )
+    chunks: list[bytes] = []
+    with pytest.raises(ResourceLimitExceeded) as excinfo:
+        canonicalize_into(document, chunks.append, C14N, guard=guard)
+    assert excinfo.value.limit_name == "max_c14n_output_bytes"
+    emitted = b"".join(chunks)
+    # Check-before-commit: everything already handed to the sink is a
+    # strict prefix of the true canonical form, and the guard only
+    # accounted for what was actually emitted.
+    assert full.startswith(emitted)
+    assert len(emitted) < len(full)
+    assert guard.c14n_output_bytes == len(emitted)
+
+
+def test_stream_returns_octet_count():
+    document = _random_document(3)
+    chunks: list[bytes] = []
+    total = canonicalize_into(document, chunks.append)
+    assert total == sum(len(c) for c in chunks)
+    assert total == len(canonicalize(document))
