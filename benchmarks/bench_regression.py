@@ -69,6 +69,11 @@ DIRECTIONS = {
     # near-free), so a ratio drift is a cache regression
     "taint_cold_norm": "lower",
     "taint_warm_ratio": "lower",
+    # ABL-CONC: whole-repo concurrency analysis (the CON3xx CI gate);
+    # same shape as the taint gate — the warm ratio guards the
+    # content-hash cache
+    "conc_cold_norm": "lower",
+    "conc_warm_ratio": "lower",
     # ABL-DUR: journaled commits and recovery replay on the in-memory
     # crash-model filesystem (CPU-bound, so the ratios are stable;
     # real fsync latency would just measure the runner's disk)
@@ -265,6 +270,32 @@ def run_benchmarks() -> dict:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    # ABL-CONC: whole-repo concurrency analysis, cold vs. warm.
+    from repro.analysis import ConcurrencyCache
+    from repro.analysis.concurrency import analyze_paths as conc_paths
+
+    conc_cache_dir = tempfile.mkdtemp(prefix="conc-bench-")
+    conc_cache_path = os.path.join(conc_cache_dir, "cache.json")
+    try:
+        def conc_cold():
+            if os.path.exists(conc_cache_path):
+                os.remove(conc_cache_path)
+            cache = ConcurrencyCache(conc_cache_path)
+            return conc_paths([src_root], cache=cache)
+
+        if conc_cold().scanned < 100:
+            raise SystemExit("conc bench workload lost its modules")
+        conc_cold_time = measure(conc_cold, warmup=0, repeat=3)
+        conc_cold()  # leave a populated cache for the warm runs
+
+        def conc_warm():
+            cache = ConcurrencyCache(conc_cache_path)
+            return conc_paths([src_root], cache=cache)
+
+        conc_warm_time = measure(conc_warm, warmup=1, repeat=3)
+    finally:
+        shutil.rmtree(conc_cache_dir, ignore_errors=True)
+
     # ABL-DUR: journaled commits + recovery replay.  Runs against the
     # in-memory CrashableFilesystem so the workload is pure CPU
     # (framing, checksums, replay) and the SHA-256 normalization
@@ -308,6 +339,8 @@ def run_benchmarks() -> dict:
             "audit_8sig_norm": audit_time / calibration,
             "taint_cold_norm": taint_cold_time / calibration,
             "taint_warm_ratio": taint_warm_time / taint_cold_time,
+            "conc_cold_norm": conc_cold_time / calibration,
+            "conc_warm_ratio": conc_warm_time / conc_cold_time,
             "journal_commit_norm": journal_commit_time / calibration,
             "recovery_norm": recovery_time / calibration,
         },
@@ -320,6 +353,8 @@ def run_benchmarks() -> dict:
             "audit_8sig": audit_time,
             "taint_cold": taint_cold_time,
             "taint_warm": taint_warm_time,
+            "conc_cold": conc_cold_time,
+            "conc_warm": conc_warm_time,
             "journal_commit_50": journal_commit_time,
             "recovery_50": recovery_time,
         },

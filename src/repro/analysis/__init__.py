@@ -16,13 +16,25 @@ suppression, text/JSON reporters):
   execution/playback/network unverified, and key material must not
   reach logs, ``repr`` output, exception text or cache keys
   (TNT2xx rules), with content-hash-keyed incremental caching.
+* :mod:`repro.analysis.concurrency` — interprocedural concurrency
+  safety over the same call graph: guarded-by inference for the shared
+  security state (TrustStore, caches, provider registry, breaker/
+  degradation state), check-then-act atomicity, lock discipline, and
+  the asyncio-readiness gate (CON3xx rules), with its own incremental
+  cache.
 
-CLI: ``python -m repro.tools audit|lint|taint ...``.
+CLI: ``python -m repro.tools audit|lint|taint|concurrency ...``.
 """
 
 from repro.analysis.artifact import ArtifactAuditor, audit_paths
 from repro.analysis.astlint import lint_paths, lint_source
 from repro.analysis.baseline import Baseline
+from repro.analysis.concurrency import (
+    analyze_modules as analyze_concurrency_modules,
+    analyze_paths as analyze_concurrency_paths,
+    analyze_source as analyze_concurrency_source,
+)
+from repro.analysis.conccache import ConcurrencyCache
 from repro.analysis.engine import Rule, all_rules, catalog_lines, get_rule
 from repro.analysis.findings import AnalysisResult, Finding, Severity
 from repro.analysis.report import render_json, render_text, summary_line
@@ -32,9 +44,11 @@ from repro.analysis.taint import (
 from repro.analysis.taintcache import TaintCache
 
 __all__ = [
-    "AnalysisResult", "ArtifactAuditor", "Baseline", "Finding", "Rule",
-    "Severity", "TaintCache", "all_rules", "analyze_modules",
-    "analyze_paths", "analyze_source", "audit_paths", "catalog_lines",
-    "get_rule", "lint_paths", "lint_source", "render_json",
-    "render_text", "summary_line",
+    "AnalysisResult", "ArtifactAuditor", "Baseline", "ConcurrencyCache",
+    "Finding", "Rule", "Severity", "TaintCache", "all_rules",
+    "analyze_concurrency_modules", "analyze_concurrency_paths",
+    "analyze_concurrency_source", "analyze_modules", "analyze_paths",
+    "analyze_source", "audit_paths", "catalog_lines", "get_rule",
+    "lint_paths", "lint_source", "render_json", "render_text",
+    "summary_line",
 ]

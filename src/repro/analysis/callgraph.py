@@ -30,6 +30,12 @@ IR op forms::
     ["expr", expr, line]
     ["return", expr, line]
     ["raise", dotted, [arg exprs], line, in_handler_for]
+    ["test", expr, line]                     # if/while condition reads
+    ["lockenter", dotted, line]              # ``with <dotted>:`` region
+    ["lockexit", dotted, line]
+
+Analyses ignore op kinds they don't know, so the v3 additions (branch
+tests, with-region markers) are invisible to the taint engine.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from __future__ import annotations
 import ast
 import os
 
-IR_VERSION = 2
+IR_VERSION = 3
 
 _BUILTIN_EXCEPTIONS = {
     "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
@@ -136,6 +142,24 @@ def _expr(node: ast.expr | None):
     return ["const"]
 
 
+def _test_expr(node: ast.expr):
+    """Lower a branch condition with its *reads* kept visible.
+
+    ``_expr`` folds comparisons to ``["const"]`` — their value is a
+    boolean, not data, which is the right call for taint propagation.
+    Check-then-act detection needs the operand reads instead, so
+    ``test`` ops unwrap comparisons and boolean structure.
+    """
+    if isinstance(node, ast.Compare):
+        parts = [node.left] + list(node.comparators)
+        return ["many", [_test_expr(p) for p in parts]]
+    if isinstance(node, ast.BoolOp):
+        return ["many", [_test_expr(v) for v in node.values]]
+    if isinstance(node, ast.UnaryOp):
+        return _test_expr(node.operand)
+    return _expr(node)
+
+
 def _target_names(node: ast.expr) -> list[str]:
     """Assignment targets as flat variable names (``x``, ``self.x``)."""
     if isinstance(node, ast.Name):
@@ -201,10 +225,8 @@ class _OpLowerer:
             self._raise(node, line)
         elif isinstance(node, ast.Expr):
             self.ops.append(["expr", _expr(node.value), line])
-        elif isinstance(node, (ast.If,)):
-            self.lower_body(node.body)
-            self.lower_body(node.orelse)
-        elif isinstance(node, (ast.While,)):
+        elif isinstance(node, (ast.If, ast.While)):
+            self.ops.append(["test", _test_expr(node.test), line])
             self.lower_body(node.body)
             self.lower_body(node.orelse)
         elif isinstance(node, (ast.For, ast.AsyncFor)):
@@ -218,7 +240,9 @@ class _OpLowerer:
             self.lower_body(node.body)
             self.lower_body(node.orelse)
         elif isinstance(node, (ast.With, ast.AsyncWith)):
+            entered: list[str] = []
             for item in node.items:
+                lowered = False
                 if item.optional_vars is not None:
                     targets = _target_names(item.optional_vars)
                     if targets:
@@ -226,9 +250,16 @@ class _OpLowerer:
                             "assign", targets,
                             _expr(item.context_expr), line,
                         ])
-                        continue
-                self.ops.append(["expr", _expr(item.context_expr), line])
+                        lowered = True
+                if not lowered:
+                    self.ops.append(
+                        ["expr", _expr(item.context_expr), line])
+                dotted = dotted_name(item.context_expr)
+                self.ops.append(["lockenter", dotted, line])
+                entered.append(dotted)
             self.lower_body(node.body)
+            for dotted in reversed(entered):
+                self.ops.append(["lockexit", dotted, line])
         elif isinstance(node, ast.Try):
             caught: set[str] = set()
             for handler in node.handlers:
@@ -290,6 +321,10 @@ def _function_ir(func: ast.FunctionDef | ast.AsyncFunctionDef,
     params = [a.arg for a in (func.args.posonlyargs + func.args.args)]
     qname = (f"{module}:{cls}.{func.name}" if cls
              else f"{module}:{func.name}")
+    declared_global = sorted({
+        name for node in ast.walk(func)
+        if isinstance(node, ast.Global) for name in node.names
+    })
     return {
         "qname": qname,
         "module": module,
@@ -297,6 +332,8 @@ def _function_ir(func: ast.FunctionDef | ast.AsyncFunctionDef,
         "name": func.name,
         "params": params,
         "line": func.lineno,
+        "is_async": isinstance(func, ast.AsyncFunctionDef),
+        "globals": declared_global,
         "ops": _OpLowerer().lower_body(func.body),
     }
 
@@ -357,6 +394,16 @@ def extract_module(source: str, path: str) -> dict:
                 imports[alias.asname or alias.name.split(".")[0]] = \
                     alias.name if alias.asname else alias.name.split(".")[0]
 
+    module_vars: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                module_vars.update(
+                    n for n in _target_names(target) if "." not in n)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            module_vars.update(
+                n for n in _target_names(node.target) if "." not in n)
+
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             functions.append(_function_ir(node, module, None))
@@ -386,6 +433,7 @@ def extract_module(source: str, path: str) -> dict:
         "path": path,
         "module": module,
         "imports": imports,
+        "module_vars": sorted(module_vars),
         "functions": functions,
         "classes": classes,
     }

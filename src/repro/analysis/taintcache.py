@@ -1,4 +1,4 @@
-"""Content-hash-keyed persistence for the taint analyzer.
+"""Content-hash-keyed persistence for the whole-program analyzers.
 
 Two cache levels, one JSON file:
 
@@ -12,8 +12,13 @@ Two cache levels, one JSON file:
   near-free.
 
 The file is an implementation detail (gitignored); deleting it only
-costs one cold run.  Version bumps in the IR or the taint spec
+costs one cold run.  Version bumps in the IR or the analyzer's spec
 invalidate everything at load time.
+
+:class:`AnalysisCache` is the shared machinery; each analyzer pins its
+own file and spec version in a subclass (:class:`TaintCache` here,
+``ConcurrencyCache`` in :mod:`repro.analysis.conccache`) so the two
+never cross-invalidate.
 """
 
 from __future__ import annotations
@@ -36,11 +41,14 @@ def content_hash(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-class TaintCache:
+class AnalysisCache:
     """One on-disk cache instance (load once, save once)."""
 
-    def __init__(self, path: str = DEFAULT_CACHE_PATH):
-        self.path = path
+    default_path: str = DEFAULT_CACHE_PATH
+    spec_version: int = SPEC_VERSION
+
+    def __init__(self, path: str | None = None):
+        self.path = path or self.default_path
         self.hits = 0
         self.misses = 0
         self.run_hit = False
@@ -56,7 +64,7 @@ class TaintCache:
             return
         if payload.get("format") != CACHE_FORMAT or \
                 payload.get("ir_version") != IR_VERSION or \
-                payload.get("spec_version") != SPEC_VERSION:
+                payload.get("spec_version") != self.spec_version:
             return
         self._modules = payload.get("modules", {})
         self._runs = payload.get("runs", {})
@@ -68,7 +76,7 @@ class TaintCache:
         payload = {
             "format": CACHE_FORMAT,
             "ir_version": IR_VERSION,
-            "spec_version": SPEC_VERSION,
+            "spec_version": self.spec_version,
             "modules": self._modules,
             "runs": runs,
         }
@@ -92,13 +100,12 @@ class TaintCache:
 
     # -- run level ------------------------------------------------------------
 
-    @staticmethod
-    def _run_key(entries) -> str:
+    def _run_key(self, entries) -> str:
         material = json.dumps(
             sorted((path, digest) for path, digest, _ in entries)
         )
         return content_hash(
-            f"{IR_VERSION}|{SPEC_VERSION}|{material}".encode()
+            f"{IR_VERSION}|{self.spec_version}|{material}".encode()
         )
 
     def run_result(self, entries) -> AnalysisResult | None:
@@ -139,3 +146,10 @@ class TaintCache:
                 for f in result.findings
             ],
         }
+
+
+class TaintCache(AnalysisCache):
+    """The taint analyzer's cache (``.taint-cache.json``)."""
+
+    default_path = DEFAULT_CACHE_PATH
+    spec_version = SPEC_VERSION

@@ -16,6 +16,7 @@ it takes effect and replays the acknowledged set on restart.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -46,6 +47,13 @@ class RevocationList:
     revoked: set[tuple[str, int]] = field(default_factory=set)
     generation: int = 0
     _durable: DurableStore | None = field(default=None, repr=False)
+    # Revocations arrive from any session while verifiers read the
+    # set; the add + generation bump must be atomic or a concurrent
+    # bump is lost and a memoized validation outlives the CRL change.
+    # The durable journal write stays *outside* the lock — fsync must
+    # never run with the revocation lock held.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     def revoke(self, certificate: Certificate) -> None:
         self.revoke_entry(certificate.issuer, certificate.serial)
@@ -57,8 +65,32 @@ class RevocationList:
             # observed in memory and then lost to a power cut.
             self._durable.set(CRL_NAMESPACE, f"{serial}:{issuer}", b"")
             self._durable.commit()
-        self.revoked.add((issuer, serial))
-        self.generation += 1
+        with self._lock:
+            self.revoked.add((issuer, serial))
+            self.generation += 1
+
+    def attach_durable(self, store: DurableStore) -> None:
+        """Replay acknowledged revocations from *store*, then journal
+        every future revocation through it.
+
+        Raises:
+            DurableStateError: when a persisted CRL entry does not
+                decode as a ``serial:issuer`` pair.
+        """
+        replayed: list[tuple[str, int]] = []
+        for entry in store.keys(CRL_NAMESPACE):
+            serial_text, sep, issuer = entry.partition(":")
+            if not sep or not serial_text.isdigit():
+                raise DurableStateError(
+                    "persisted CRL entry does not decode",
+                    kind="tamper",
+                )
+            replayed.append((issuer, int(serial_text)))
+        with self._lock:
+            self.revoked.update(replayed)
+            if replayed:
+                self.generation += 1
+            self._durable = store
 
     def is_revoked(self, certificate: Certificate) -> bool:
         return (certificate.issuer, certificate.serial) in self.revoked
@@ -98,6 +130,9 @@ class TrustStore:
         self._crl = RevocationList()
         self._generation = 0
         self.max_chain_length = max_chain_length
+        # Guards anchor/intermediate tables and the generation stamp;
+        # signature checks always run outside it.
+        self._lock = threading.Lock()
         for root in roots or []:
             self.add_root(root)
 
@@ -105,6 +140,11 @@ class TrustStore:
     def provider(self) -> CryptoProvider:
         """The pinned provider, or the current process default."""
         return self._provider or get_provider()
+
+    @provider.setter
+    def provider(self, value: CryptoProvider | None) -> None:
+        with self._lock:
+            self._provider = value
 
     # -- store management ---------------------------------------------------------
 
@@ -123,22 +163,25 @@ class TrustStore:
             raise CertificateVerificationError(
                 "trust anchor's self-signature does not verify"
             )
-        self._roots[certificate.subject] = certificate
-        self._generation += 1
+        with self._lock:
+            self._roots[certificate.subject] = certificate
+            self._generation += 1
 
     def add_intermediate(self, certificate: Certificate) -> None:
         """Cache an intermediate for path building."""
-        self._intermediates.setdefault(
-            certificate.subject, []
-        ).append(certificate)
-        self._generation += 1
+        with self._lock:
+            self._intermediates.setdefault(
+                certificate.subject, []
+            ).append(certificate)
+            self._generation += 1
 
     @property
     def generation(self) -> tuple[int, int]:
         """Mutation stamp: changes whenever the anchors, intermediates
         or the revocation list change, so memoized chain validations
         can never outlive the trust state they were computed under."""
-        return (self._generation, self._crl.generation)
+        with self._lock:
+            return (self._generation, self._crl.generation)
 
     @property
     def roots(self) -> list[Certificate]:
@@ -153,25 +196,9 @@ class TrustStore:
 
     def attach_durable(self, store: DurableStore) -> None:
         """Replay acknowledged revocations from *store*, then journal
-        every future revocation through it.
-
-        Raises:
-            DurableStateError: when a persisted CRL entry does not
-                decode as a ``serial:issuer`` pair.
-        """
-        replayed = 0
-        for entry in store.keys(CRL_NAMESPACE):
-            serial_text, sep, issuer = entry.partition(":")
-            if not sep or not serial_text.isdigit():
-                raise DurableStateError(
-                    "persisted CRL entry does not decode",
-                    kind="tamper",
-                )
-            self._crl.revoked.add((issuer, int(serial_text)))
-            replayed += 1
-        if replayed:
-            self._crl.generation += 1
-        self._crl._durable = store
+        every future revocation through it (see
+        :meth:`RevocationList.attach_durable`)."""
+        self._crl.attach_durable(store)
 
     # -- validation ----------------------------------------------------------------
 
@@ -190,6 +217,9 @@ class TrustStore:
         """
         if not chain:
             return ValidationResult(False, [], "empty certificate chain")
+        # One provider snapshot per validation: a concurrent provider
+        # swap must not split a chain between two implementations.
+        provider = self.provider
         supplied = {
             (c.subject, c.serial): c for c in chain
         }
@@ -218,7 +248,7 @@ class TrustStore:
                 root = self._roots.get(current.issuer)
                 if root is not None:
                     if not current.check_signature(root.public_key,
-                                                   self.provider):
+                                                   provider):
                         raise CertificateVerificationError(
                             f"signature on {current.subject!r} does not "
                             f"verify under root {root.subject!r}"
@@ -244,7 +274,7 @@ class TrustStore:
                         "certificates"
                     )
                 if not current.check_signature(issuer_cert.public_key,
-                                               self.provider):
+                                               provider):
                     raise CertificateVerificationError(
                         f"signature on {current.subject!r} does not verify "
                         f"under {issuer_cert.subject!r}"

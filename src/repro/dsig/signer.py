@@ -11,6 +11,8 @@ shapes of Fig 6.  The signing order follows XMLDSig core generation:
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import SignatureError
 from repro.perf import metrics
 from repro.primitives.encoding import b64encode
@@ -69,6 +71,9 @@ class Signer:
         self.include_key_value = include_key_value
         self.key_name = key_name
         self._provider = provider
+        # Signing methods snapshot ``self.provider`` once per call; the
+        # setter locks so a late-bound swap publishes atomically.
+        self._provider_lock = threading.Lock()
         family, _ = algorithms.signature_kind(signature_method)
         if family == "rsa" and not isinstance(key, RSAPrivateKey):
             raise SignatureError(
@@ -82,7 +87,8 @@ class Signer:
 
     @provider.setter
     def provider(self, value: CryptoProvider | None) -> None:
-        self._provider = value
+        with self._provider_lock:
+            self._provider = value
 
     # -- public signing forms ------------------------------------------------------
 

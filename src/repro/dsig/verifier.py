@@ -9,6 +9,7 @@ and unverifiable applications are barred (Fig 3).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -132,6 +133,10 @@ class Verifier:
         self.resolver = resolver
         self.key_locator = key_locator
         self._provider = provider
+        # One verifier serves every BatchVerifier worker; a late-bound
+        # provider swap must be atomic and each verification must run
+        # against a single snapshot (never half old, half new provider).
+        self._provider_lock = threading.Lock()
         # Defence against reference-flood DoS in hostile downloads: a
         # signature naming thousands of references would otherwise make
         # the player dereference and digest each one before rejecting.
@@ -147,7 +152,8 @@ class Verifier:
 
     @provider.setter
     def provider(self, value: CryptoProvider | None) -> None:
-        self._provider = value
+        with self._provider_lock:
+            self._provider = value
 
     def verify(self, signature: Element, *, key=None,
                document_root: Element | None = None,
@@ -164,19 +170,27 @@ class Verifier:
             decryptor: decryptor for decryption transforms.
             namespaces: prefix map for XPath transforms.
         """
+        # One provider snapshot per verification: a concurrent swap
+        # must not split the signature check and the reference digests
+        # between two implementations.
+        provider = self.provider
         with metrics.timer("dsig.verify"), \
-                metrics.timer(f"dsig.verify.{self.provider.name}"):
+                metrics.timer(f"dsig.verify.{provider.name}"):
             metrics.counter("dsig.verify.signatures").increment()
             return self._verify(
                 signature, key=key, document_root=document_root,
                 decryptor=decryptor, namespaces=namespaces,
+                provider=provider,
             )
 
     def _verify(self, signature: Element, *, key=None,
                 document_root: Element | None = None,
                 decryptor=None,
                 namespaces: dict[str, str] | None = None,
+                provider: CryptoProvider | None = None,
                 ) -> VerificationReport:
+        if provider is None:
+            provider = self.provider
         report = VerificationReport()
         if signature.local != "Signature" or signature.ns_uri != DSIG_NS:
             report.error = "not a ds:Signature element"
@@ -238,7 +252,7 @@ class Verifier:
                     octets, signature_value,
                     lambda: algorithms.verify_signature(
                         signed_info.signature_method, verification_key,
-                        octets, signature_value, self.provider,
+                        octets, signature_value, provider,
                     ),
                 )
             except Exception as exc:
@@ -254,7 +268,7 @@ class Verifier:
         )
         for reference in signed_info.references:
             report.references.append(
-                self._check_reference(reference, context)
+                self._check_reference(reference, context, provider)
             )
         return report
 
@@ -268,7 +282,11 @@ class Verifier:
     # -- internals -------------------------------------------------------------------
 
     def _check_reference(self, reference: Reference,
-                         context: ReferenceContext) -> ReferenceResult:
+                         context: ReferenceContext,
+                         provider: CryptoProvider | None = None,
+                         ) -> ReferenceResult:
+        if provider is None:
+            provider = self.provider
         if reference.digest_value is None:
             return ReferenceResult(reference.uri, False, "no digest value")
         if self.guard is not None:
@@ -279,7 +297,7 @@ class Verifier:
                 return ReferenceResult(reference.uri, False, str(exc))
         try:
             actual = compute_reference_digest(reference, context,
-                                              self.provider)
+                                              provider)
         except ReproError as exc:
             # Any processing failure — unresolvable URI, unsupported
             # transform, undecryptable region (decryption transform

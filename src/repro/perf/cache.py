@@ -69,6 +69,10 @@ class C14NDigestCache:
         self._sigchecks: OrderedDict[tuple, bool] = OrderedDict()
         self._ids: OrderedDict[tuple, tuple] = OrderedDict()
         self._lock = threading.Lock()
+        # Single-flight ledger: memo key -> Event set by the context
+        # currently computing that key, so concurrent misses wait for
+        # one RSA verification instead of all redoing it.
+        self._inflight: dict[tuple, threading.Event] = {}
 
     # -- generic keyed lookup ---------------------------------------------------
 
@@ -189,19 +193,45 @@ class C14NDigestCache:
         if modulus is None or exponent is None:
             return compute()
         memo_key = (algorithm, modulus, exponent, octets, signature_value)
-        with self._lock:
-            if memo_key in self._sigchecks:
+        waited = False
+        while True:
+            with self._lock:
+                if memo_key in self._sigchecks:
+                    self._sigchecks.move_to_end(memo_key)
+                    metrics.counter("perf.cache.sigverify.hit").increment()
+                    if waited:
+                        metrics.counter(
+                            "perf.cache.singleflight.dedup"
+                        ).increment()
+                    return self._sigchecks[memo_key]
+                leader = self._inflight.get(memo_key)
+                if leader is None:
+                    # This context computes; everyone else waits on the
+                    # event and re-fetches.
+                    done = threading.Event()
+                    self._inflight[memo_key] = done
+                    metrics.counter("perf.cache.sigverify.miss").increment()
+                    break
+            leader.wait()
+            # Re-fetch under the lock: normally a hit now.  If the
+            # leader's compute raised, the entry is absent and this
+            # context takes over as the new leader.
+            waited = True
+        try:
+            value = bool(compute())
+            with self._lock:
+                self._sigchecks[memo_key] = value
                 self._sigchecks.move_to_end(memo_key)
-                metrics.counter("perf.cache.sigverify.hit").increment()
-                return self._sigchecks[memo_key]
-            metrics.counter("perf.cache.sigverify.miss").increment()
-        value = bool(compute())
-        with self._lock:
-            self._sigchecks[memo_key] = value
-            self._sigchecks.move_to_end(memo_key)
-            while len(self._sigchecks) > self.max_entries:
-                self._sigchecks.popitem(last=False)
-        return value
+                while len(self._sigchecks) > self.max_entries:
+                    self._sigchecks.popitem(last=False)
+            return value
+        finally:
+            # Store-then-release ordering: followers woken by set()
+            # must observe the stored value (or its absence, on error)
+            # with no window where neither is true.
+            with self._lock:
+                self._inflight.pop(memo_key, None)
+            done.set()
 
     def element_by_id(self, root, value: str, compute):
         """The unique element carrying Id *value* in *root*'s tree.

@@ -32,6 +32,7 @@ paper's CE startup budget.
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.errors import ProviderError, UnknownAlgorithmError
 from repro.primitives import hmac as hmac_mod
@@ -329,11 +330,16 @@ class AcceleratedProvider(PurePythonProvider):
 
 _providers: dict[str, CryptoProvider] = {}
 _default_name = "pure"
+# Guards registry writes; lookups stay lock-free (a dict read of a
+# published provider is atomic under the GIL, and swaps only ever
+# replace whole entries).
+_registry_lock = threading.Lock()
 
 
 def register_provider(provider: CryptoProvider) -> None:
     """Add *provider* to the registry (replacing any same-named one)."""
-    _providers[provider.name] = provider
+    with _registry_lock:
+        _providers[provider.name] = provider
 
 
 def get_provider(name: str | None = None) -> CryptoProvider:
@@ -353,10 +359,11 @@ def available_providers() -> list[str]:
 def set_default_provider(name: str) -> str:
     """Make *name* the default provider; returns the previous default."""
     global _default_name
-    if name not in _providers:
-        raise ProviderError(f"no crypto provider named {name!r}")
-    previous = _default_name
-    _default_name = name
+    with _registry_lock:
+        if name not in _providers:
+            raise ProviderError(f"no crypto provider named {name!r}")
+        previous = _default_name
+        _default_name = name
     return previous
 
 

@@ -10,6 +10,7 @@ what was lost and why, using a small failure-mode taxonomy (the
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -70,6 +71,11 @@ class DegradationLog:
     """Accumulates degradation events over a playback session."""
 
     events: list[DegradationEvent] = field(default_factory=list)
+    # One log is shared by every component of a playback session;
+    # concurrent sessions (batch verify, chaos interleavings) record
+    # into it, so appends must not race.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     def record(self, component: str, resource: str,
                failure: BaseException | str, detail: str = ""
@@ -81,7 +87,8 @@ class DegradationLog:
         else:
             reason = failure
         event = DegradationEvent(component, resource, reason, detail)
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
         return event
 
     @property
@@ -99,4 +106,5 @@ class DegradationLog:
                 if event.component == component]
 
     def clear(self) -> None:
-        self.events.clear()
+        with self._lock:
+            self.events.clear()

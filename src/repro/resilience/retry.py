@@ -15,6 +15,7 @@ schedules instantly and deterministically.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -52,34 +53,44 @@ class CircuitBreaker:
     opened_at: float = 0.0
     times_opened: int = 0
     short_circuits: int = 0
+    # One breaker gates calls from every in-flight session; state
+    # transitions must be atomic or concurrent failures lose counts
+    # and the open/half-open step tears (CON301/CON302).
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     def before_call(self) -> None:
         """Gate a call; raises :class:`CircuitOpenError` while open."""
-        if self.state != STATE_OPEN:
-            return
-        remaining = self.opened_at + self.cooldown - self.clock.now()
-        if remaining > 0:
-            self.short_circuits += 1
-            raise CircuitOpenError(
-                f"circuit open after {self.consecutive_failures} "
-                f"consecutive failures; half-opens in {remaining:g}s",
-                attempts=self.consecutive_failures,
-                retry_after=remaining,
-            )
-        self.state = STATE_HALF_OPEN
+        with self._lock:
+            if self.state != STATE_OPEN:
+                return
+            remaining = self.opened_at + self.cooldown \
+                - self.clock.now()
+            if remaining > 0:
+                self.short_circuits += 1
+                raise CircuitOpenError(
+                    f"circuit open after {self.consecutive_failures} "
+                    f"consecutive failures; half-opens in "
+                    f"{remaining:g}s",
+                    attempts=self.consecutive_failures,
+                    retry_after=remaining,
+                )
+            self.state = STATE_HALF_OPEN
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == STATE_HALF_OPEN \
-                or self.consecutive_failures >= self.failure_threshold:
-            if self.state != STATE_OPEN:
-                self.times_opened += 1
-            self.state = STATE_OPEN
-            self.opened_at = self.clock.now()
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == STATE_HALF_OPEN or \
+                    self.consecutive_failures >= self.failure_threshold:
+                if self.state != STATE_OPEN:
+                    self.times_opened += 1
+                self.state = STATE_OPEN
+                self.opened_at = self.clock.now()
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        self.state = STATE_CLOSED
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = STATE_CLOSED
 
     def call(self, operation: Callable):
         """Run one gated, recorded call (no retries)."""

@@ -18,6 +18,10 @@ Commands:
 * ``audit``     — static security audit of signed/encrypted artifacts
   (documents, disc images, directories) without key material.
 * ``lint``      — AST-based invariant linter over the repo's own code.
+* ``taint``     — interprocedural taint-flow analysis (TNT2xx rules).
+* ``concurrency`` — interprocedural concurrency-safety analysis
+  (CON3xx rules): shared-state writes outside locks, check-then-act
+  races, lock-discipline violations, blocking calls under async roots.
 * ``chaos``     — seeded adversarial chaos harness: drive resource
   attacks (nesting/attribute/text/node floods, reference and decrypt
   bombs, hostile frames) through the real entry points and fail on
@@ -432,6 +436,24 @@ def cmd_taint(args) -> int:
     return _finish_analysis(result, args)
 
 
+def cmd_concurrency(args) -> int:
+    """Interprocedural concurrency-safety analysis over the codebase."""
+    from repro.analysis import analyze_concurrency_paths, catalog_lines
+    from repro.analysis.conccache import ConcurrencyCache
+
+    if args.rules:
+        for line in catalog_lines("code"):
+            print(line)
+        return 0
+    cache = None if args.no_cache else ConcurrencyCache(args.cache)
+    result = analyze_concurrency_paths(args.paths or ["src"], cache=cache)
+    if args.verbose and cache is not None:
+        state = "warm (memoized run)" if cache.run_hit else \
+            f"{cache.hits} module hit(s), {cache.misses} miss(es)"
+        print(f"cache: {state}")
+    return _finish_analysis(result, args)
+
+
 def cmd_chaos(args) -> int:
     """Run the seeded chaos harness; non-zero exit on any violation."""
     from repro.resilience.chaos import run_chaos
@@ -669,6 +691,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore and do not write the cache")
     add_analysis_options(p)
     p.set_defaults(func=cmd_taint)
+
+    p = sub.add_parser(
+        "concurrency",
+        help="interprocedural concurrency-safety analysis (CON3xx rules)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src)")
+    p.add_argument("--cache", default=".concurrency-cache.json",
+                   help="incremental cache file "
+                        "(default .concurrency-cache.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the cache")
+    add_analysis_options(p)
+    p.set_defaults(func=cmd_concurrency)
 
     p = sub.add_parser(
         "chaos",

@@ -16,6 +16,7 @@ un-happen across a power cycle.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -56,6 +57,12 @@ class TrustServer:
     audit_log: list[str] = field(default_factory=list)
     limits: ResourceLimits = field(default_factory=ResourceLimits.default)
     _durable: DurableStore | None = field(default=None, repr=False)
+    # One responder serves every in-flight session (and the ROADMAP's
+    # async service multiplies them): binding-table and audit writes
+    # must be atomic.  Durable journaling (fsync) and XML parsing
+    # always run *outside* this lock.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     #: durable-store namespace the binding records live in.
     DURABLE_NAMESPACE = "xkms-bindings"
@@ -74,6 +81,7 @@ class TrustServer:
             DurableStateError: when a persisted record does not parse
                 back into a key binding.
         """
+        replayed: dict[str, KeyBinding] = {}
         for key_name in store.keys(self.DURABLE_NAMESPACE):
             raw = store.get(self.DURABLE_NAMESPACE, key_name)
             try:
@@ -85,11 +93,13 @@ class TrustServer:
                     "persisted key binding does not parse "
                     f"({type(exc).__name__})", kind="tamper",
                 ) from exc
-            self._bindings[binding.key_name] = binding
-        self._durable = store
-        self.audit_log.append(
-            f"durable-attach:{len(self._bindings)}"
-        )
+            replayed[binding.key_name] = binding
+        with self._lock:
+            self._bindings.update(replayed)
+            self._durable = store
+            self.audit_log.append(
+                f"durable-attach:{len(self._bindings)}"
+            )
 
     def _persist_binding(self, binding: KeyBinding) -> None:
         """Journal *binding* and fsync; the commit is what makes the
@@ -108,7 +118,8 @@ class TrustServer:
                          use: str = "signature") -> KeyBinding:
         binding = KeyBinding(key_name, key, STATUS_VALID, use)
         self._persist_binding(binding)
-        self._bindings[key_name] = binding
+        with self._lock:
+            self._bindings[key_name] = binding
         return binding
 
     def revoke_binding(self, key_name: str) -> None:
@@ -127,7 +138,10 @@ class TrustServer:
 
     def handle(self, request: XKMSRequest) -> XKMSResult:
         """Process one XKMS request."""
-        self.audit_log.append(f"{request.operation}:{request.key_name}")
+        with self._lock:
+            self.audit_log.append(
+                f"{request.operation}:{request.key_name}"
+            )
         handler = {
             "Locate": self._locate,
             "Validate": self._validate,
@@ -155,16 +169,20 @@ class TrustServer:
             # quote attacker bytes or (for crypto failures) values
             # derived from key material, and the audit log is readable
             # by operators outside the crypto layer (TNT203).
-            self.audit_log.append(
-                f"malformed-request:{type(exc).__name__}"
-            )
+            with self._lock:
+                self.audit_log.append(
+                    f"malformed-request:{type(exc).__name__}"
+                )
             return XKMSResult(
                 "Status", RESULT_SENDER_FAULT,
             ).to_xml()
         try:
             return self.handle(request).to_xml()
         except XKMSError as exc:
-            self.audit_log.append(f"request-failed:{type(exc).__name__}")
+            with self._lock:
+                self.audit_log.append(
+                    f"request-failed:{type(exc).__name__}"
+                )
             return XKMSResult(
                 request.operation, RESULT_RECEIVER_FAULT,
                 request_id=request.request_id,
@@ -228,7 +246,8 @@ class TrustServer:
             STATUS_VALID, request.binding.use,
         )
         self._persist_binding(binding)
-        self._bindings[binding.key_name] = binding
+        with self._lock:
+            self._bindings[binding.key_name] = binding
         return XKMSResult("Register", RESULT_SUCCESS, [binding],
                           request_id=request.request_id)
 

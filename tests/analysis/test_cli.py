@@ -135,3 +135,40 @@ def test_taint_rules_catalog(capsys):
     out = capsys.readouterr().out
     assert "TNT201" in out and "TNT204" in out
     assert "SEC001" not in out
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+def test_concurrency_repo_passes_with_committed_baseline(tmp_path,
+                                                         capsys):
+    src = os.path.join(REPO_ROOT, "src")
+    baseline = os.path.join(REPO_ROOT, "concurrency-baseline.json")
+    cache = str(tmp_path / "cache.json")
+    assert main(["concurrency", src, "--baseline", baseline,
+                 "--cache", cache]) == 0
+    assert "no findings" in capsys.readouterr().out
+    # Second invocation hits the run-level cache and agrees.
+    assert main(["concurrency", src, "--baseline", baseline,
+                 "--cache", cache, "-v"]) == 0
+    assert "warm" in capsys.readouterr().out
+
+
+def test_concurrency_flags_seeded_async_blocker(tmp_path, capsys):
+    bad = tmp_path / "asyncsvc" / "service.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "import time\n"
+        "async def serve(request):\n"
+        "    time.sleep(1.0)\n"
+        "    return request\n"
+    )
+    assert main(["concurrency", str(bad.parent), "--no-cache"]) == 1
+    assert "CON304" in capsys.readouterr().out
+
+
+def test_concurrency_rules_catalog(capsys):
+    assert main(["concurrency", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "CON301" in out and "CON304" in out
+    assert "SEC001" not in out
