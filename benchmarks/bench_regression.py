@@ -79,6 +79,17 @@ DIRECTIONS = {
     # real fsync latency would just measure the runner's disk)
     "journal_commit_norm": "lower",
     "recovery_norm": "lower",
+    # ABL-ASYNC: fleet load against the async XKMS service.  These are
+    # *virtual-time* quantities (the whole fleet runs on the injected
+    # clock), so they are pure functions of the pinned FleetConfig —
+    # no machine normalization needed, and drift means a behavioural
+    # change, not a slow runner.
+    "xkms_p99_norm": "lower",
+    "xkms_throughput_norm": "higher",
+    # The overload invariant: every shed answered with a structured
+    # fault.  Gated with the "exact" direction — 1.0 means 1.0; any
+    # deviation in either direction is a silent-drop regression.
+    "shed_structured_ratio": "exact",
 }
 
 
@@ -321,6 +332,17 @@ def run_benchmarks() -> dict:
         raise SystemExit("durable bench workload lost its records")
     recovery_time = measure(recover_once, warmup=1, repeat=5)
 
+    # ABL-ASYNC: one pinned fleet run on the virtual clock.  The
+    # summary is deterministic, so one run is the measurement.
+    from repro.loadgen import FleetConfig, run_fleet
+
+    fleet = run_fleet(FleetConfig(
+        sessions=800, connections=8, ops_per_session=2,
+        seed=20050902, start_window_s=8.0,
+    ))
+    if fleet.outcomes.get("untyped", 0):
+        raise SystemExit("fleet bench produced untyped failures")
+
     return {
         "calibration_seconds": calibration,
         "provider_legs": ["pure"] + (
@@ -343,6 +365,9 @@ def run_benchmarks() -> dict:
             "conc_warm_ratio": conc_warm_time / conc_cold_time,
             "journal_commit_norm": journal_commit_time / calibration,
             "recovery_norm": recovery_time / calibration,
+            "xkms_p99_norm": fleet.p99,
+            "xkms_throughput_norm": fleet.throughput,
+            "shed_structured_ratio": fleet.shed_structured_ratio,
         },
         "raw_seconds": {
             "verify_sequential_8": seq_time,
@@ -358,6 +383,7 @@ def run_benchmarks() -> dict:
             "journal_commit_50": journal_commit_time,
             "recovery_50": recovery_time,
         },
+        "fleet_summary": fleet.summary(),
     }
 
 
@@ -370,7 +396,13 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
         if base is None or direction is None or base == 0:
             continue
         drift = value / base - 1.0
-        if direction == "lower" and value > base * (1.0 + threshold):
+        if direction == "exact" and value != base:
+            message = (
+                f"{name}: {value!r} != pinned baseline {base!r} "
+                "(exact gate; any drift is a regression)"
+            )
+            problems.append(message)
+        elif direction == "lower" and value > base * (1.0 + threshold):
             message = (
                 f"{name}: {value:.3f} vs baseline {base:.3f} "
                 f"(+{drift * 100:.0f}%, limit +{threshold * 100:.0f}%)"
@@ -403,7 +435,9 @@ def write_summary(handle, results: dict, baseline: dict,
             )
             continue
         drift = value / base - 1.0
-        if direction == "lower":
+        if direction == "exact":
+            bad = value != base
+        elif direction == "lower":
             bad = value > base * (1.0 + threshold)
         else:
             bad = value < base * (1.0 - threshold)
@@ -419,7 +453,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default="BENCH_PR7.json",
+        default="BENCH_PR9.json",
         help="result artifact path",
     )
     parser.add_argument(

@@ -1,0 +1,91 @@
+"""ABL-ASYNC — Ablation: the overload-safe async XKMS service under
+fleet load.
+
+The fleet harness drives thousands of seeded sessions against the
+sharded async trust service behind the full overload shield, entirely
+in virtual time.  Every reported number — latency percentiles,
+throughput, shed counts — is a pure function of the pinned
+:class:`FleetConfig`, so this bench is *exactly* reproducible across
+machines: CI gates the metrics byte-for-byte via
+``bench_regression.py`` (the ``shed_structured_ratio`` gate uses the
+``exact`` direction — the overload invariant is 1.0, not "about 1.0").
+
+Two legs:
+
+* **cruise** — a fleet the service absorbs comfortably; p50/p99 and
+  throughput characterize the happy path.
+* **crush**  — 4x the arrival rate into a quarter of the capacity;
+  the interesting numbers are the shed census and the invariants
+  (every shed answered structurally, zero untyped failures).
+"""
+
+import pytest
+
+from _workloads import report
+from repro.loadgen import FleetConfig, run_fleet
+
+#: pinned cruise leg — also the config bench_regression.py gates.
+CRUISE = FleetConfig(sessions=800, connections=8, ops_per_session=2,
+                     seed=20050902, start_window_s=8.0)
+
+#: pinned crush leg: tight bulkheads, slow service, impatient fleet.
+CRUSH = FleetConfig(sessions=800, connections=4, ops_per_session=1,
+                    seed=20050903, start_window_s=1.0, timeout_s=1.5,
+                    max_concurrent=4, max_queued=4,
+                    base_service_s=0.08, retry_attempts=2,
+                    breaker_threshold=12, breaker_cooldown_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def cruise():
+    return run_fleet(CRUISE)
+
+
+@pytest.fixture(scope="module")
+def crush():
+    return run_fleet(CRUSH)
+
+
+def test_ablasync_cruise_latency_and_throughput(cruise):
+    s = cruise.summary()
+    report("ABL-ASYNC cruise (absorbed load)", [
+        f"sessions: {s['sessions']}  ops: {s['ops']}  "
+        f"makespan: {s['makespan_s']:g}s (virtual)",
+        f"throughput: {s['throughput']:g} ok-ops/s",
+        f"latency p50: {s['latency_p50_s']:g}s   "
+        f"p99: {s['latency_p99_s']:g}s",
+        f"validate cache: {s['cache']['hits']} hits / "
+        f"{s['cache']['misses']} misses",
+    ])
+    assert s["outcomes"]["ok"] == s["ops"]
+    assert s["outcomes"]["untyped"] == 0
+    assert 0 < s["latency_p50_s"] <= s["latency_p99_s"]
+    assert s["throughput"] > 0
+
+
+def test_ablasync_crush_invariants_hold_under_overload(crush):
+    s = crush.summary()
+    failed = s["ops"] - s["outcomes"]["ok"]
+    report("ABL-ASYNC crush (4x arrival into 1/4 capacity)", [
+        f"sessions: {s['sessions']}  ops: {s['ops']}  "
+        f"ok: {s['outcomes']['ok']}  failed(typed): {failed}",
+        "outcomes: " + "  ".join(
+            f"{k}={v}" for k, v in s["outcomes"].items() if v),
+        f"sheds: {s['shed_total']} "
+        f"(answered: {s['shed_answered']}, "
+        f"ratio {s['shed_structured_ratio']:g})",
+        f"degradation events: {s['degradation_events']} "
+        f"(consistent: {s['degradation_consistent']})",
+    ])
+    # The crush leg genuinely overloads the service...
+    assert s["shed_total"] > 0
+    assert failed > 0
+    # ...and the PR's overload invariants hold at the extremes:
+    assert s["outcomes"]["untyped"] == 0
+    assert s["shed_structured_ratio"] == 1.0
+    assert s["degradation_consistent"] is True
+
+
+def test_ablasync_summary_is_reproducible(cruise):
+    again = run_fleet(CRUISE)
+    assert again.summary_json() == cruise.summary_json()

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from repro.analysis.engine import register
 from repro.analysis.findings import Severity
 
-SPEC_VERSION = 1
+SPEC_VERSION = 2
 
 # -- rules --------------------------------------------------------------------
 
@@ -79,6 +79,21 @@ MAP_NAMES = frozenset({"map"})
 
 #: constructors whose ``target=`` callable runs on its own thread.
 THREAD_CONSTRUCTORS = frozenset({"Thread", "Timer"})
+
+#: event-loop spawns: the coroutine handed to
+#: ``asyncio.create_task(fn(...))`` / ``ensure_future(fn(...))`` runs
+#: as its own concurrent task — a concurrency root like a thread,
+#: just cooperatively scheduled.
+TASK_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+
+#: task-group spawns (``tg.start_soon(fn)`` / ``tg.create_task`` is
+#: covered above): the callable argument becomes a concurrent task.
+GROUP_SPAWN_NAMES = frozenset({"start_soon"})
+
+#: ``loop.run_in_executor(executor, fn, *args)``: *fn* runs on an
+#: executor thread while the loop keeps going — a thread root whose
+#: shared-state writes race against every coroutine.
+EXECUTOR_RUN_NAMES = frozenset({"run_in_executor"})
 
 #: declared concurrency drivers: harnesses that interleave whole
 #: pipelines, so everything they reach executes under contention in

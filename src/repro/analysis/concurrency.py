@@ -298,9 +298,23 @@ class _FunctionScan:
             for kw, value in kwargs:
                 if kw == "target":
                     target = value
+        elif short in spec.TASK_SPAWN_NAMES and args:
+            target = args[0]
+        elif short in spec.GROUP_SPAWN_NAMES and args:
+            target = args[0]
+        elif short in spec.EXECUTOR_RUN_NAMES and len(args) >= 2:
+            # run_in_executor(executor, fn, *args): the callable is the
+            # second argument, and it runs on a *thread*.
+            target = args[1]
         if target is None:
             return
-        qname = self._resolve(_expr_dotted(target))
+        # asyncio spawns usually wrap a call — create_task(self._f())
+        # — so the spawned callee is the call's own dotted name.
+        if target[0] == "call":
+            dotted = target[1]
+        else:
+            dotted = _expr_dotted(target)
+        qname = self._resolve(dotted)
         if qname is not None:
             self.submitted.append(qname)
 

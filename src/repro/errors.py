@@ -280,6 +280,24 @@ class CircuitOpenError(NetworkError):
         self.retry_after = retry_after
 
 
+class ServiceOverloadError(NetworkError):
+    """Raised when a service sheds load instead of serving a request.
+
+    The structured-busy signal of the overload-protection layer
+    (admission queues full, bulkhead saturated, concurrency limiter
+    refusing): the request was *answered*, not dropped.  ``reason``
+    names the shedding mechanism (``"queue-full"``, ``"bulkhead"``,
+    ``"limiter"``, ``"busy-fault"``); ``tenant`` the admission class it
+    was accounted against.
+    """
+
+    def __init__(self, message: str, *, reason: str = "busy",
+                 tenant: str = ""):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+
+
 class PlayerError(ReproError):
     """Base class for player engine errors."""
 

@@ -1,0 +1,11 @@
+"""Deterministic fleet load harness for the async service stack."""
+
+from repro.loadgen.fleet import (
+    OUTCOMES, FleetConfig, FleetReport, classify_outcome, run_fleet,
+    verify_determinism,
+)
+
+__all__ = [
+    "FleetConfig", "FleetReport", "run_fleet", "verify_determinism",
+    "classify_outcome", "OUTCOMES",
+]

@@ -1,0 +1,372 @@
+"""Deterministic fleet load harness for the async XKMS service.
+
+Drives tens of thousands of simulated player sessions — each a seeded
+generator of Locate/Validate traffic — against a sharded
+:class:`~repro.xkms.service.AsyncTrustService` behind the full
+overload shield, entirely on the injected
+:class:`~repro.resilience.vclock.VirtualClock`.  No wall time is read
+anywhere: latency percentiles, throughput and shed counts are
+virtual-time quantities, so a run's summary is a pure function of its
+:class:`FleetConfig` — the same config produces byte-identical summary
+JSON on any machine, which is what lets CI gate p99 and throughput as
+exact regression metrics (ABL-ASYNC).
+
+Every session outcome is classified by its *typed* failure; an
+exception outside the :class:`~repro.errors.ReproError` taxonomy
+lands in the ``untyped`` bucket, which the overload invariant pins at
+zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ChannelClosedError, CircuitOpenError, ReproError,
+    RetryExhaustedError, ServiceOverloadError, TimeoutError, XKMSError,
+)
+from repro.network.channel import AsyncChannel
+from repro.network.server import AsyncServiceClient, AsyncServiceServer
+from repro.primitives import generate_keypair
+from repro.primitives.random import DeterministicRandomSource
+from repro.resilience.degradation import DegradationLog
+from repro.resilience.retry import CircuitBreaker, RetryPolicy
+from repro.resilience.service import (
+    AdmissionController, AIMDLimiter, OverloadShield, TenantPolicy,
+)
+from repro.resilience.vclock import VirtualClock
+from repro.xkms.client import AsyncXKMSClient, MuxXKMSTransport
+from repro.xkms.messages import reset_request_ids
+from repro.xkms.service import AsyncTrustService, busy_fault_payload
+
+#: One small RSA key shared by every registered binding: key material
+#: is irrelevant to load behaviour and keygen is the only expensive
+#: primitive in the harness.
+_FLEET_KEY = None
+
+
+def _fleet_key():
+    global _FLEET_KEY
+    if _FLEET_KEY is None:
+        _FLEET_KEY = generate_keypair(
+            512, DeterministicRandomSource(b"loadgen-fleet-key"),
+        ).public_key()
+    return _FLEET_KEY
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a fleet run depends on (the summary is a function
+    of this and nothing else)."""
+
+    sessions: int = 1000
+    connections: int = 8
+    ops_per_session: int = 2
+    seed: int = 20050902
+    tenants: tuple[str, ...] = ("player", "kiosk", "authoring")
+    key_names: int = 32
+    shards: int = 4
+    timeout_s: float = 5.0
+    start_window_s: float = 2.0
+    think_s: float = 0.5
+    max_concurrent: int = 16
+    max_queued: int = 32
+    target_latency_s: float = 0.25
+    base_service_s: float = 0.02
+    retry_attempts: int = 2
+    breaker_threshold: int = 16
+    breaker_cooldown_s: float = 2.0
+
+
+#: Outcome buckets, in summary order.
+OUTCOMES = ("ok", "shed", "timeout", "circuit", "exhausted",
+            "fault", "closed", "error", "untyped")
+
+
+def classify_outcome(error: BaseException | None) -> str:
+    if error is None:
+        return "ok"
+    if isinstance(error, ServiceOverloadError):
+        return "shed"
+    if isinstance(error, TimeoutError):
+        return "timeout"
+    if isinstance(error, CircuitOpenError):
+        return "circuit"
+    if isinstance(error, RetryExhaustedError):
+        return "exhausted"
+    if isinstance(error, XKMSError):
+        return "fault"
+    if isinstance(error, ChannelClosedError):
+        return "closed"
+    if isinstance(error, ReproError):
+        return "error"
+    return "untyped"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+@dataclass
+class FleetReport:
+    """Aggregated results of one fleet run."""
+
+    config: FleetConfig
+    outcomes: dict = field(default_factory=dict)
+    latencies: list = field(default_factory=list, repr=False)
+    makespan_s: float = 0.0
+    shed_total: int = 0
+    shed_answered: int = 0
+    degradation_events: int = 0
+    admission: dict = field(default_factory=dict)
+    limiter: dict = field(default_factory=dict)
+    server: dict = field(default_factory=dict)
+    client: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def ops(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.outcomes.get("ok", 0) / self.makespan_s
+
+    @property
+    def p50(self) -> float:
+        return _percentile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return _percentile(self.latencies, 0.99)
+
+    @property
+    def shed_structured_ratio(self) -> float:
+        """Fraction of sheds answered with a structured fault frame.
+
+        The overload invariant demands exactly 1.0: a shed the peer
+        never heard about is a silent drop.
+        """
+        if self.shed_total == 0:
+            return 1.0
+        return self.shed_answered / self.shed_total
+
+    @property
+    def degradation_consistent(self) -> bool:
+        """Every shed left exactly one degradation-log event."""
+        return self.degradation_events == self.shed_total
+
+    def summary(self) -> dict:
+        round9 = lambda value: round(float(value), 9)  # noqa: E731
+        return {
+            "sessions": self.config.sessions,
+            "connections": self.config.connections,
+            "seed": self.config.seed,
+            "ops": self.ops,
+            "outcomes": {k: self.outcomes.get(k, 0) for k in OUTCOMES},
+            "makespan_s": round9(self.makespan_s),
+            "throughput": round9(self.throughput),
+            "latency_p50_s": round9(self.p50),
+            "latency_p99_s": round9(self.p99),
+            "shed_total": self.shed_total,
+            "shed_answered": self.shed_answered,
+            "shed_structured_ratio": round9(self.shed_structured_ratio),
+            "degradation_events": self.degradation_events,
+            "degradation_consistent": self.degradation_consistent,
+            "admission": self.admission,
+            "limiter": self.limiter,
+            "server": self.server,
+            "client": self.client,
+            "cache": self.cache,
+        }
+
+    def summary_json(self) -> str:
+        """Canonical JSON: the byte-identity surface for determinism
+        checks (sorted keys, fixed separators, rounded floats)."""
+        return json.dumps(self.summary(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def summary_lines(self) -> list[str]:
+        s = self.summary()
+        lines = [
+            f"fleet: {s['sessions']} sessions x "
+            f"{self.config.ops_per_session} ops over "
+            f"{s['connections']} connection(s), seed {s['seed']}",
+            f"virtual makespan: {s['makespan_s']:g}s   "
+            f"throughput: {s['throughput']:g} ok-ops/s",
+            f"latency: p50 {s['latency_p50_s']:g}s   "
+            f"p99 {s['latency_p99_s']:g}s",
+            "outcomes: " + "  ".join(
+                f"{k}={v}" for k, v in s["outcomes"].items() if v),
+            f"sheds: {s['shed_total']} "
+            f"(answered structured: {s['shed_answered']}, "
+            f"ratio {s['shed_structured_ratio']:g})",
+            f"degradation log: {s['degradation_events']} event(s), "
+            f"consistent: {s['degradation_consistent']}",
+        ]
+        return lines
+
+
+def _service_delay(config: FleetConfig, payload: bytes) -> float:
+    """Functional per-request service time (no RNG, no wall clock)."""
+    spread = zlib.crc32(payload) % 16
+    return config.base_service_s * (1.0 + spread / 8.0)
+
+
+async def _session(index: int, config: FleetConfig,
+                   client: AsyncXKMSClient, clock: VirtualClock,
+                   outcomes: dict, latencies: list) -> None:
+    rng = random.Random(f"{config.seed}:{index}")
+    await clock.asleep(rng.uniform(0.0, config.start_window_s))
+    key = _fleet_key()
+    for _ in range(config.ops_per_session):
+        name = f"key-{rng.randrange(config.key_names)}"
+        validate = rng.random() < 0.5
+        started = clock.now()
+        error: BaseException | None = None
+        try:
+            if validate:
+                await client.validate(name, key,
+                                      timeout_s=config.timeout_s)
+            else:
+                await client.locate(name, timeout_s=config.timeout_s)
+        except ReproError as exc:
+            error = exc
+        except Exception as exc:  # noqa: BLE001 - counted as untyped
+            error = exc
+        outcome = classify_outcome(error)
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        if outcome == "ok":
+            latencies.append(clock.now() - started)
+        await clock.asleep(rng.uniform(0.0, config.think_s))
+
+
+def run_fleet(config: FleetConfig) -> FleetReport:
+    """Run one deterministic fleet load against a fresh service."""
+    reset_request_ids()
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        config.shards, clock=clock,
+        registration_secrets={"": b"loadgen-secret"},
+    )
+    key = _fleet_key()
+    for k in range(config.key_names):
+        service.register_binding(f"key-{k}", key)
+
+    degradation = DegradationLog()
+    shield = OverloadShield(
+        clock,
+        admission=AdmissionController(
+            clock, TenantPolicy(config.max_concurrent,
+                                config.max_queued)),
+        limiter=AIMDLimiter(target_latency_s=config.target_latency_s),
+        degradation=degradation,
+        component="xkms-fleet",
+    )
+
+    async def handler(payload, context):
+        await clock.asleep(_service_delay(config, payload))
+        return await service.handle_request(payload, context)
+
+    server = AsyncServiceServer(
+        handler, clock=clock, shield=shield,
+        fault_encoder=busy_fault_payload,
+    )
+    channels = [AsyncChannel(clock=clock)
+                for _ in range(config.connections)]
+    retry = RetryPolicy(max_attempts=config.retry_attempts,
+                        clock=clock, seed=config.seed)
+    # One mux client and one breaker per connection: a connection that
+    # keeps meeting a busy service trips its own breaker, and every
+    # session it carries fast-fails instead of piling on.
+    muxes = [AsyncServiceClient(channel, clock=clock)
+             for channel in channels]
+    breakers = [CircuitBreaker(
+        failure_threshold=config.breaker_threshold,
+        cooldown=config.breaker_cooldown_s,
+        clock=clock) for _ in channels]
+
+    outcomes: dict = {}
+    latencies: list = []
+
+    async def main():
+        serving = [asyncio.ensure_future(server.serve(channel))
+                   for channel in channels]
+        clock.bump()
+        sessions = []
+        for i in range(config.sessions):
+            connection = i % config.connections
+            tenant = config.tenants[i % len(config.tenants)]
+            # Sessions of a tenant share that tenant's bulkhead no
+            # matter which connection carries them.
+            client = AsyncXKMSClient(
+                MuxXKMSTransport(muxes[connection], tenant=tenant),
+                clock=clock,
+                retry_policy=retry,
+                circuit_breaker=breakers[connection],
+                default_timeout_s=config.timeout_s,
+            )
+            sessions.append(_session(i, config, client, clock,
+                                     outcomes, latencies))
+        await asyncio.gather(*sessions)
+        for channel in channels:
+            channel.close()
+        for mux in muxes:
+            await mux.aclose()
+        await asyncio.gather(*serving)
+
+    clock.run(main())
+
+    report = FleetReport(config=config)
+    report.outcomes = outcomes
+    report.latencies = sorted(latencies)
+    report.makespan_s = clock.now()
+    report.shed_total = shield.stats.sheds
+    report.shed_answered = server.stats.sheds_answered
+    report.degradation_events = len(
+        degradation.for_component("xkms-fleet"))
+    report.admission = {
+        "admitted": shield.admission.stats.admitted,
+        "queued": shield.admission.stats.queued,
+        "shed_queue_full": shield.admission.stats.shed_queue_full,
+        "queue_timeouts": shield.admission.stats.queue_timeouts,
+    }
+    report.limiter = {
+        "final_limit": round(shield.limiter.limit, 9),
+        "rejections": shield.limiter.rejections,
+        "decreases": shield.limiter.decreases,
+    }
+    report.server = {
+        "requests": server.stats.requests,
+        "responses": server.stats.responses,
+        "faults_answered": server.stats.faults_answered,
+        "protocol_errors": server.stats.protocol_errors,
+        "internal_errors": server.stats.internal_errors,
+    }
+    report.client = {
+        "calls": sum(mux.stats.calls for mux in muxes),
+        "timeouts": sum(mux.stats.timeouts for mux in muxes),
+        "faults": sum(mux.stats.faults for mux in muxes),
+    }
+    report.cache = {
+        "hits": service.cache_stats.hits,
+        "misses": service.cache_stats.misses,
+    }
+    return report
+
+
+def verify_determinism(config: FleetConfig) -> tuple[bool, str, str]:
+    """Run the fleet twice; byte-compare the canonical summaries."""
+    first = run_fleet(config).summary_json()
+    second = run_fleet(config).summary_json()
+    return first == second, first, second

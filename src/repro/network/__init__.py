@@ -5,17 +5,26 @@ from repro.network.broadcast import (
     broadcast_until_received,
 )
 from repro.network.channel import (
-    ActiveTamperer, Adversary, Channel, Dropper, PassiveWiretap, Replacer,
+    ActiveTamperer, Adversary, AsyncChannel, AsyncEndpoint, Channel,
+    Dropper, PassiveWiretap, Replacer,
 )
 from repro.network.secure import (
-    SecureClient, SecureServer, SecureSession, establish, secure_transfer,
+    SecureClient, SecureServer, SecureSession, establish,
+    establish_async, secure_transfer,
 )
-from repro.network.server import ContentServer, DownloadClient
+from repro.network.server import (
+    MUX_ERR, MUX_FAULT, MUX_REQ, MUX_RESP,
+    AsyncServiceClient, AsyncServiceServer, ContentServer,
+    DownloadClient, MuxFrame, RequestContext, decode_mux,
+)
 
 __all__ = [
     "Channel", "Adversary", "PassiveWiretap", "ActiveTamperer", "Replacer",
     "Dropper", "SecureClient", "SecureServer", "SecureSession",
     "establish", "secure_transfer", "ContentServer", "DownloadClient",
+    "AsyncChannel", "AsyncEndpoint", "AsyncServiceServer",
+    "AsyncServiceClient", "MuxFrame", "RequestContext", "decode_mux",
+    "MUX_REQ", "MUX_RESP", "MUX_FAULT", "MUX_ERR", "establish_async",
     "Carousel", "CarouselReceiver", "CarouselObject", "Section",
     "broadcast_until_received",
 ]

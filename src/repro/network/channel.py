@@ -23,6 +23,16 @@ class Adversary:
     def process(self, message: bytes) -> bytes:
         return message
 
+    async def aprocess(self, message: bytes) -> bytes:
+        """Async-aware injection point for :class:`AsyncChannel`.
+
+        The default defers to :meth:`process`, so every synchronous
+        adversary (wiretaps, tamperers, PR 1 fault injectors) composes
+        with the async transport unchanged; injectors that *spend time*
+        override this to await the virtual clock instead of jumping it.
+        """
+        return self.process(message)
+
 
 @dataclass
 class PassiveWiretap(Adversary):
@@ -121,3 +131,81 @@ class Channel:
         for adversary in self.adversaries:
             out = adversary.process(out)
         return out
+
+
+class AsyncEndpoint:
+    """One side of an :class:`AsyncChannel` (send/recv half-pair)."""
+
+    def __init__(self, channel: "AsyncChannel", outbound, inbound):
+        self._channel = channel
+        self._outbound = outbound
+        self._inbound = inbound
+
+    async def send(self, message: bytes) -> None:
+        await self._channel._deliver(message, self._outbound)
+
+    async def recv(self) -> bytes:
+        """Next inbound message; :class:`ChannelClosedError` when the
+        channel is torn down."""
+        return await self._inbound.get()
+
+
+class AsyncChannel:
+    """A full-duplex message pipe for the asyncio transport.
+
+    Unlike the synchronous :class:`Channel` (one blocking transfer at
+    a time), both directions carry any number of in-flight messages,
+    which is what lets one connection multiplex many request streams.
+    The same adversary stack applies to every message in either
+    direction via :meth:`Adversary.aprocess`.
+
+    Fault semantics differ from the sync pipe in one deliberate way: a
+    dropped message (an adversary raising :class:`NetworkError`)
+    vanishes from the wire instead of raising at the sender — real
+    networks do not tell the sender about the drop.  Deadline
+    propagation upstairs converts the silence into a typed timeout.
+    """
+
+    def __init__(self, adversaries: list[Adversary] | None = None, *,
+                 clock=None):
+        from repro.resilience.vclock import VirtualClock, VQueue
+        self.clock = clock if clock is not None else VirtualClock()
+        self.adversaries: list[Adversary] = list(adversaries or [])
+        self.messages_transferred = 0
+        self.bytes_transferred = 0
+        self.dropped = 0
+        self.closed = False
+        self._c2s = VQueue(self.clock)
+        self._s2c = VQueue(self.clock)
+        self.client = AsyncEndpoint(self, self._c2s, self._s2c)
+        self.server = AsyncEndpoint(self, self._s2c, self._c2s)
+
+    def attach(self, adversary: Adversary) -> Adversary:
+        self.adversaries.append(adversary)
+        return adversary
+
+    def close(self) -> None:
+        """Tear the link down; receivers fail, senders fail."""
+        self.closed = True
+        self._c2s.close()
+        self._s2c.close()
+
+    async def _deliver(self, message: bytes, queue) -> None:
+        if self.closed:
+            raise ChannelClosedError("channel is closed")
+        if not isinstance(message, (bytes, bytearray)):
+            raise NetworkError("channel carries bytes only")
+        self.messages_transferred += 1
+        self.bytes_transferred += len(message)
+        out = bytes(message)
+        try:
+            for adversary in self.adversaries:
+                out = await adversary.aprocess(out)
+        except ChannelClosedError:
+            raise
+        except NetworkError:
+            # Lost in transit: the receiver never sees it and the
+            # sender is none the wiser (deadlines notice upstairs).
+            self.dropped += 1
+            return
+        queue.put_nowait(out)

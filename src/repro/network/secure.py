@@ -22,10 +22,11 @@ tests that show TLS-delivered content carries no protection at rest.
 
 from __future__ import annotations
 
+import asyncio
 import struct
 from dataclasses import dataclass
 
-from repro.errors import ChannelSecurityError
+from repro.errors import ChannelSecurityError, TimeoutError
 from repro.certs.authority import SigningIdentity
 from repro.certs.certificate import Certificate
 from repro.certs.store import TrustStore
@@ -319,3 +320,155 @@ def secure_transfer(client: SecureClient, server: SecureServer,
     client_session, server_session = establish(client, server, channel)
     wire = channel.transfer(client_session.seal(payload))
     return server_session.open(wire)
+
+
+# -- async handshake ------------------------------------------------------------
+
+
+async def _flight(sender, receiver, message: bytes, at: float, clock):
+    """One handshake flight over an async channel, with a deadline.
+
+    The async pipe swallows dropped messages instead of raising at the
+    sender, so a lockstep handshake needs its own clock: a flight whose
+    answer never arrives surfaces as a typed
+    :class:`~repro.errors.TimeoutError` (retryable) rather than a hang.
+    """
+    await sender.send(message)
+    arrival = asyncio.ensure_future(receiver.recv())
+    try:
+        return await clock.wait_until(arrival, at)
+    except TimeoutError:
+        arrival.cancel()
+        raise
+
+
+async def establish_async(client: SecureClient, server: SecureServer,
+                          channel, *, timeout_s: float = 30.0,
+                          retry_policy=None):
+    """:func:`establish` over an :class:`~repro.network.channel.AsyncChannel`.
+
+    Same five-flight transcript and the same
+    :class:`ChannelSecurityError` tamper guarantees; each flight is
+    bounded by *timeout_s* on the channel's virtual clock so injected
+    drops degrade into typed timeouts.  With a *retry_policy*, torn
+    handshakes restart from ClientHello (fresh nonces every attempt)
+    under the policy's backoff/deadline budget.
+    """
+    if retry_policy is not None:
+        return await retry_policy.execute_async(
+            lambda: _establish_once_async(client, server, channel,
+                                          timeout_s),
+            describe="secure handshake",
+        )
+    return await _establish_once_async(client, server, channel,
+                                       timeout_s)
+
+
+async def _establish_once_async(client: SecureClient,
+                                server: SecureServer, channel,
+                                timeout_s: float):
+    provider = client.provider
+    clock = channel.clock
+    deadline_at = clock.now() + timeout_s
+    transcript_client: list[bytes] = []
+    transcript_server: list[bytes] = []
+    to_server = (channel.client, channel.server)
+    to_client = (channel.server, channel.client)
+
+    # 1. ClientHello --------------------------------------------------------------
+    client_nonce = client.rng.read(_NONCE)
+    m1 = _frame(MSG_CLIENT_HELLO, client_nonce)
+    transcript_client.append(m1)
+    m1_wire = await _flight(*to_server, m1, deadline_at, clock)
+    transcript_server.append(m1_wire)
+    server_view_client_nonce = _unframe(m1_wire, MSG_CLIENT_HELLO)
+
+    # 2. ServerHello with certificate chain ----------------------------------------
+    server_nonce = server.rng.read(_NONCE)
+    chain_xml = _chain_to_xml(server.identity.chain)
+    m2 = _frame(MSG_SERVER_HELLO,
+                server_nonce + struct.pack(">I", len(chain_xml)) +
+                chain_xml)
+    transcript_server.append(m2)
+    m2_wire = await _flight(*to_client, m2, deadline_at, clock)
+    transcript_client.append(m2_wire)
+    payload = _unframe(m2_wire, MSG_SERVER_HELLO)
+    client_view_server_nonce = payload[:_NONCE]
+    (chain_len,) = struct.unpack_from(">I", payload, _NONCE)
+    try:
+        chain = _chain_from_xml(
+            payload[_NONCE + 4:_NONCE + 4 + chain_len])
+    except Exception as exc:
+        raise ChannelSecurityError(
+            f"server certificate chain unreadable: {exc}"
+        ) from exc
+
+    # 3. Chain validation (player refuses untrusted servers) -------------------------
+    validation = client.trust_store.validate_chain(chain, now=client.now)
+    if not validation.valid:
+        raise ChannelSecurityError(
+            f"server certificate rejected: {validation.reason}"
+        )
+    server_certificate = chain[0]
+
+    # 4. Key exchange ---------------------------------------------------------------
+    premaster = client.rng.read(_PREMASTER)
+    encrypted = rsa.encrypt(server_certificate.public_key, premaster,
+                            client.rng)
+    m3 = _frame(MSG_KEY_EXCHANGE, encrypted)
+    transcript_client.append(m3)
+    m3_wire = await _flight(*to_server, m3, deadline_at, clock)
+    transcript_server.append(m3_wire)
+    try:
+        server_premaster = rsa.decrypt(
+            server.identity.key, _unframe(m3_wire, MSG_KEY_EXCHANGE),
+        )
+    except Exception as exc:
+        raise ChannelSecurityError(
+            f"key exchange failed: {exc}"
+        ) from exc
+
+    # 5. Key derivation (both sides, from their own view) ------------------------------
+    client_c2s, client_s2c = _kdf(provider, premaster, client_nonce,
+                                  client_view_server_nonce)
+    server_c2s, server_s2c = _kdf(provider, server_premaster,
+                                  server_view_client_nonce, server_nonce)
+
+    client_session = SecureSession(client_c2s, client_s2c, provider,
+                                   client.rng,
+                                   peer_certificate=server_certificate)
+    server_session = SecureSession(server_s2c, server_c2s,
+                                   server.provider, server.rng)
+
+    # 6. Finished exchange: MAC the transcript both ways --------------------------------
+    client_fin = provider.hmac(
+        "sha256", premaster, b"finished:" + b"".join(transcript_client),
+    )
+    fin_wire = await _flight(*to_server, client_session.seal(client_fin),
+                             deadline_at, clock)
+    server_expected = server.provider.hmac(
+        "sha256", server_premaster,
+        b"finished:" + b"".join(transcript_server),
+    )
+    if not constant_time_equal(server_session.open(fin_wire),
+                               server_expected):
+        raise ChannelSecurityError(
+            "handshake transcript mismatch: tampering detected"
+        )
+    server_fin = server.provider.hmac(
+        "sha256", server_premaster,
+        b"server-finished:" + b"".join(transcript_server),
+    )
+    fin2_wire = await _flight(*to_client,
+                              server_session.seal(server_fin),
+                              deadline_at, clock)
+    client_expected = provider.hmac(
+        "sha256", premaster,
+        b"server-finished:" + b"".join(transcript_client),
+    )
+    if not constant_time_equal(client_session.open(fin2_wire),
+                               client_expected):
+        raise ChannelSecurityError(
+            "handshake transcript mismatch: tampering detected"
+        )
+    return client_session, server_session

@@ -204,7 +204,7 @@ class InteractiveApplicationEngine:
                 blob = self.storage.read(app_id, str(key))
             except Exception:
                 return None
-            if blob.startswith(b"ENC1"):
+            if blob.startswith((b"ENC1", b"ENC2")):
                 if self.storage_key is None:
                     return None
                 blob = self.storage.read_encrypted(

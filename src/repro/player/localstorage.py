@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import DecryptionError, LocalStorageError, PaddingError
+from repro.primitives.hmac import constant_time_equal
 from repro.primitives.keys import SymmetricKey
 from repro.primitives.provider import CryptoProvider, get_provider
 from repro.primitives.random import RandomSource, default_random
@@ -247,25 +248,52 @@ class LocalStorage:
 
     # -- encrypted storage (the high-scores scenario) ------------------------------------
 
+    def _slot_mac(self, storage_key: SymmetricKey,
+                  ciphertext: bytes) -> bytes:
+        # The MAC key is derived from the storage key under a fixed
+        # label, so the CBC key is never used directly for both jobs.
+        mac_key = self.provider.hmac(
+            "sha256", storage_key.data, b"localstorage-slot-mac")
+        return self.provider.hmac("sha256", mac_key, ciphertext)
+
     def write_encrypted(self, app_id: str, key: str, value: bytes,
                         storage_key: SymmetricKey) -> None:
-        """Encrypt *value* under the player's storage key, then store."""
+        """Encrypt *value* under the player's storage key, then store.
+
+        Slots are written encrypt-then-MAC (``ENC2``): a 32-byte
+        HMAC-SHA256 tag over the ciphertext precedes it, so a torn
+        write, tampered blob, or wrong storage key is *deterministic*
+        — never dependent on whether garbage happens to unpad.
+        """
         ciphertext = xenc_algorithms.encrypt_block_data(
             xenc_algorithms.AES128_CBC, storage_key, value,
             self.provider, self.rng,
         )
-        self.write(app_id, key, b"ENC1" + ciphertext)
+        tag = self._slot_mac(storage_key, ciphertext)
+        self.write(app_id, key, b"ENC2" + tag + ciphertext)
 
     def read_encrypted(self, app_id: str, key: str,
                        storage_key: SymmetricKey) -> bytes:
         blob = self.read(app_id, key)
-        if not blob.startswith(b"ENC1"):
+        if blob.startswith(b"ENC2"):
+            tag, ciphertext = blob[4:36], blob[36:]
+            if not constant_time_equal(
+                    tag, self._slot_mac(storage_key, ciphertext)):
+                raise LocalStorageError(
+                    f"encrypted slot {key!r} failed to decrypt (torn "
+                    "write, tampering, or wrong storage key)"
+                )
+        elif blob.startswith(b"ENC1"):
+            # Legacy unauthenticated slot: decrypt best-effort, with
+            # padding failure as the only tamper signal.
+            ciphertext = blob[4:]
+        else:
             raise LocalStorageError(
                 f"{key!r} is not an encrypted slot"
             )
         try:
             return xenc_algorithms.decrypt_block_data(
-                xenc_algorithms.AES128_CBC, storage_key, blob[4:],
+                xenc_algorithms.AES128_CBC, storage_key, ciphertext,
                 self.provider,
             )
         except (PaddingError, DecryptionError) as error:
@@ -278,4 +306,4 @@ class LocalStorage:
             ) from error
 
     def is_encrypted(self, app_id: str, key: str) -> bool:
-        return self.read(app_id, key).startswith(b"ENC1")
+        return self.read(app_id, key).startswith((b"ENC1", b"ENC2"))

@@ -54,9 +54,17 @@ from repro.resilience.retry import (
     NON_RETRYABLE, STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
     CircuitBreaker, RetryPolicy,
 )
+from repro.resilience.service import (
+    AdmissionController, AIMDLimiter, Deadline, OverloadShield,
+    TenantPolicy,
+)
+from repro.resilience.vclock import NO_DEADLINE, VirtualClock, VQueue
 
 __all__ = [
     "SimulatedClock", "SystemClock",
+    "VirtualClock", "VQueue", "NO_DEADLINE",
+    "Deadline", "TenantPolicy", "AdmissionController", "AIMDLimiter",
+    "OverloadShield",
     "FaultSchedule", "FaultInjector", "DropFault", "DelayFault",
     "DuplicateFault", "TruncateFault", "ReorderFault", "FlakyService",
     "flaky_link",

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.errors import (
     ChannelSecurityError, CircuitOpenError, DurableStateError,
     NetworkError, ResourceLimitExceeded, RetryExhaustedError,
-    TimeoutError, VerificationError, XKMSError,
+    ServiceOverloadError, TimeoutError, VerificationError, XKMSError,
 )
 
 # Failure-mode taxonomy (DESIGN.md §7; §9 for resource limits).
@@ -27,6 +27,7 @@ REASON_CIRCUIT_OPEN = "circuit-open"       # breaker short-circuited
 REASON_INTEGRITY = "integrity"             # tampering / MAC / digest
 REASON_REJECTED = "rejected"               # verification said no
 REASON_RESOURCE = "resource-limit"         # quota guard fired
+REASON_OVERLOAD = "overload"               # load shed with a busy fault
 REASON_RECOVERY = "recovery"               # durable state repaired on open
 REASON_ERROR = "error"                     # anything else
 
@@ -37,6 +38,8 @@ def classify_failure(error: BaseException) -> str:
         return REASON_INTEGRITY
     if isinstance(error, ResourceLimitExceeded):
         return REASON_RESOURCE
+    if isinstance(error, ServiceOverloadError):
+        return REASON_OVERLOAD
     if isinstance(error, CircuitOpenError):
         return REASON_CIRCUIT_OPEN
     if isinstance(error, RetryExhaustedError):

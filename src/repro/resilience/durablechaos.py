@@ -18,8 +18,8 @@ the harness asserts:
 * **reported**: whenever recovery repaired a torn tail, the event is
   on the :class:`DegradationLog` under the ``recovery`` taxonomy code;
 * **alive**: the recovered store still accepts and persists new
-  commits, still enforces its quota, and encrypted (ENC1) slots still
-  decrypt through the typed storage API.
+  commits, still enforces its quota, and encrypted slots still
+  authenticate and decrypt through the typed storage API.
 
 A violation at injection point *k* under seed *s* replays bit-for-bit
 with ``python -m repro.tools chaos --crash --seed s``.
@@ -177,9 +177,9 @@ def ls_observe(fs: CrashableFilesystem,
     storage = LocalStorage.open_durable(LS_DIR, LS_QUOTA, fs=fs,
                                         degradation=degradation)
     state = _ls_state(storage)
-    # ENC1 framing must hold post-recovery: a recovered encrypted slot
-    # decrypts cleanly — a torn blob would have been truncated away
-    # with its uncommitted batch, never replayed.
+    # Encrypted-slot framing must hold post-recovery: a recovered slot
+    # authenticates and decrypts cleanly — a torn blob would have been
+    # truncated away with its uncommitted batch, never replayed.
     if state.get("game", {}).get("secret") is not None:
         assert storage.read_encrypted(
             "game", "secret", STORAGE_KEY

@@ -105,12 +105,34 @@ class FaultInjector(Adversary):
         self.fired += 1
         return self.inject(message)
 
+    async def aprocess(self, message: bytes) -> bytes:
+        """Async injection point: same schedule, awaitable faults.
+
+        Bookkeeping is identical to :meth:`process` (one shared
+        ``calls`` index, so a schedule fires the same pattern whichever
+        transport carries the message); the fault itself goes through
+        :meth:`ainject` so time-spending injectors can await the
+        virtual clock instead of jumping it.
+        """
+        if not self.predicate(message):
+            return message
+        index = self.calls
+        self.calls += 1
+        if not self.schedule.fires(index):
+            return self.passthrough(message)
+        self.fired += 1
+        return await self.ainject(message)
+
     def passthrough(self, message: bytes) -> bytes:
         """Called for matching messages the schedule lets through."""
         return message
 
     def inject(self, message: bytes) -> bytes:
         raise NotImplementedError
+
+    async def ainject(self, message: bytes) -> bytes:
+        """Async fault application; defaults to the sync :meth:`inject`."""
+        return self.inject(message)
 
 
 @dataclass
@@ -137,6 +159,18 @@ class DelayFault(FaultInjector):
 
     def inject(self, message: bytes) -> bytes:
         self.clock.advance(self.delay_s)
+        return message
+
+    async def ainject(self, message: bytes) -> bytes:
+        """On the async transport the latency is *awaited*: only this
+        message is late, concurrent streams keep flowing — which is
+        exactly what lets slow-peer attacks meet admission control
+        instead of stalling the loop."""
+        asleep = getattr(self.clock, "asleep", None)
+        if asleep is not None:
+            await asleep(self.delay_s)
+        else:
+            self.clock.advance(self.delay_s)
         return message
 
 

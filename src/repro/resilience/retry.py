@@ -53,6 +53,7 @@ class CircuitBreaker:
     opened_at: float = 0.0
     times_opened: int = 0
     short_circuits: int = 0
+    probes: int = 0
     # One breaker gates calls from every in-flight session; state
     # transitions must be atomic or concurrent failures lose counts
     # and the open/half-open step tears (CON301/CON302).
@@ -60,10 +61,28 @@ class CircuitBreaker:
         default_factory=threading.Lock, repr=False, compare=False)
 
     def before_call(self) -> None:
-        """Gate a call; raises :class:`CircuitOpenError` while open."""
+        """Gate a call; raises :class:`CircuitOpenError` while open.
+
+        The open→half-open transition admits **exactly one** probe: the
+        caller that performs the transition owns it.  Every other caller
+        — including a barrier-start stampede arriving in the same
+        instant the cooldown elapses — stays on the fast-fail path until
+        the probe's outcome (:meth:`record_success`,
+        :meth:`record_failure` or :meth:`abandon_probe`) resolves the
+        state, so a recovering service sees one request, not a herd.
+        """
         with self._lock:
-            if self.state != STATE_OPEN:
+            if self.state == STATE_CLOSED:
                 return
+            if self.state == STATE_HALF_OPEN:
+                # A probe is already in flight; joining it would turn
+                # the half-open state back into a thundering herd.
+                self.short_circuits += 1
+                raise CircuitOpenError(
+                    "circuit half-open: recovery probe in flight",
+                    attempts=self.consecutive_failures,
+                    retry_after=0.0,
+                )
             remaining = self.opened_at + self.cooldown \
                 - self.clock.now()
             if remaining > 0:
@@ -76,6 +95,7 @@ class CircuitBreaker:
                     retry_after=remaining,
                 )
             self.state = STATE_HALF_OPEN
+            self.probes += 1
 
     def record_failure(self) -> None:
         with self._lock:
@@ -92,6 +112,19 @@ class CircuitBreaker:
             self.consecutive_failures = 0
             self.state = STATE_CLOSED
 
+    def abandon_probe(self) -> None:
+        """Release a half-open probe whose outcome never arrived.
+
+        A probe that dies to a non-network exception (or a cancelled
+        caller) said nothing about the service's health; without this
+        release the half-open state — and its fast-fail path — would
+        stick forever.  The breaker re-opens with its original
+        ``opened_at``, so the remaining cooldown is not restarted.
+        """
+        with self._lock:
+            if self.state == STATE_HALF_OPEN:
+                self.state = STATE_OPEN
+
     def call(self, operation: Callable):
         """Run one gated, recorded call (no retries)."""
         self.before_call()
@@ -99,6 +132,9 @@ class CircuitBreaker:
             result = operation()
         except NetworkError:
             self.record_failure()
+            raise
+        except BaseException:
+            self.abandon_probe()
             raise
         self.record_success()
         return result
@@ -150,14 +186,90 @@ class RetryPolicy:
         return [self.backoff(attempt, rng)
                 for attempt in range(1, self.max_attempts)]
 
+    def _check_entry(self, until: float | None, attempts: int,
+                     start: float, describe: str) -> None:
+        """An attempt must not start past the propagated deadline."""
+        if until is not None and self.clock.now() >= until:
+            raise TimeoutError(
+                f"{describe}: deadline expired before attempt "
+                f"{attempts + 1}",
+                attempts=attempts,
+                elapsed=self.clock.now() - start,
+            )
+
+    def _settle_attempt(self, breaker: CircuitBreaker | None,
+                        attempts: int, start: float, describe: str,
+                        attempt_start: float):
+        """Post-success bookkeeping: ``(keep_result, timeout_error)``."""
+        took = self.clock.now() - attempt_start
+        if self.attempt_timeout is not None \
+                and took > self.attempt_timeout:
+            # The caller would have hung up before the answer
+            # arrived: discard it and count a timeout.
+            error = TimeoutError(
+                f"{describe}: attempt {attempts} took {took:g}s "
+                f"(timeout {self.attempt_timeout:g}s)",
+                attempts=attempts,
+                elapsed=self.clock.now() - start,
+            )
+            if breaker is not None:
+                breaker.record_failure()
+            return False, error
+        if breaker is not None:
+            breaker.record_success()
+        return True, None
+
+    def _next_delay(self, attempts: int, rng: random.Random,
+                    start: float, until: float | None, describe: str,
+                    last_error: BaseException | None) -> float:
+        """The next backoff, clipped against every remaining budget.
+
+        A backoff that would sleep the remaining deadline dry buys
+        nothing — there is no room left for the attempt it precedes —
+        so the policy fails *before* sleeping instead of waking up at
+        (or past) the deadline just to fail then.
+        """
+        delay = self.backoff(attempts, rng)
+        now = self.clock.now()
+        budgets = []
+        if self.deadline is not None:
+            budgets.append(start + self.deadline - now)
+        if until is not None:
+            budgets.append(until - now)
+        if budgets and delay >= min(budgets):
+            raise RetryExhaustedError(
+                f"{describe}: retry deadline exhausted after "
+                f"{attempts} attempt(s): {last_error}",
+                attempts=attempts, elapsed=now - start,
+                last_error=last_error,
+            )
+        return delay
+
+    def _exhausted(self, attempts: int, start: float, describe: str,
+                   last_error: BaseException | None) -> RetryExhaustedError:
+        elapsed = self.clock.now() - start
+        cause = f": {last_error}" if last_error is not None else ""
+        return RetryExhaustedError(
+            f"{describe}: gave up after {attempts} attempt(s) "
+            f"in {elapsed:g}s{cause}",
+            attempts=attempts, elapsed=elapsed, last_error=last_error,
+        )
+
     def execute(self, operation: Callable, *,
                 breaker: CircuitBreaker | None = None,
-                describe: str = "operation"):
+                describe: str = "operation",
+                until: float | None = None):
         """Run *operation* under this policy.
+
+        Args:
+            until: absolute clock instant (a propagated request
+                deadline) past which no attempt starts and no backoff
+                sleeps.
 
         Raises:
             RetryExhaustedError: attempts or deadline exhausted; carries
                 the attempt count and the last underlying error.
+            TimeoutError: *until* passed before an attempt could start.
             CircuitOpenError: *breaker* is open (short-circuited).
         """
         rng = random.Random(self.seed)
@@ -165,6 +277,7 @@ class RetryPolicy:
         attempts = 0
         last_error: BaseException | None = None
         while attempts < self.max_attempts:
+            self._check_entry(until, attempts, start, describe)
             if breaker is not None:
                 breaker.before_call()
             attempts += 1
@@ -172,46 +285,83 @@ class RetryPolicy:
             try:
                 result = operation()
             except NON_RETRYABLE:
+                if breaker is not None:
+                    breaker.abandon_probe()
                 raise
             except self.retryable as exc:
                 last_error = exc
                 if breaker is not None:
                     breaker.record_failure()
+            except BaseException:
+                # Not a service-health signal: a half-open probe that
+                # dies here must not leave the breaker stuck.
+                if breaker is not None:
+                    breaker.abandon_probe()
+                raise
             else:
-                took = self.clock.now() - attempt_start
-                if self.attempt_timeout is not None \
-                        and took > self.attempt_timeout:
-                    # The caller would have hung up before the answer
-                    # arrived: discard it and count a timeout.
-                    last_error = TimeoutError(
-                        f"{describe}: attempt {attempts} took {took:g}s "
-                        f"(timeout {self.attempt_timeout:g}s)",
-                        attempts=attempts,
-                        elapsed=self.clock.now() - start,
-                    )
-                    if breaker is not None:
-                        breaker.record_failure()
-                else:
-                    if breaker is not None:
-                        breaker.record_success()
+                keep, timeout = self._settle_attempt(
+                    breaker, attempts, start, describe, attempt_start)
+                if keep:
                     return result
+                last_error = timeout
             if attempts >= self.max_attempts:
                 break
-            delay = self.backoff(attempts, rng)
-            elapsed = self.clock.now() - start
-            if self.deadline is not None \
-                    and elapsed + delay > self.deadline:
-                raise RetryExhaustedError(
-                    f"{describe}: deadline of {self.deadline:g}s "
-                    f"exhausted after {attempts} attempt(s): {last_error}",
-                    attempts=attempts, elapsed=elapsed,
-                    last_error=last_error,
-                )
+            delay = self._next_delay(attempts, rng, start, until,
+                                     describe, last_error)
             self.clock.sleep(delay)
-        elapsed = self.clock.now() - start
-        cause = f": {last_error}" if last_error is not None else ""
-        raise RetryExhaustedError(
-            f"{describe}: gave up after {attempts} attempt(s) "
-            f"in {elapsed:g}s{cause}",
-            attempts=attempts, elapsed=elapsed, last_error=last_error,
-        )
+        raise self._exhausted(attempts, start, describe, last_error)
+
+    async def _asleep(self, seconds: float) -> None:
+        asleep = getattr(self.clock, "asleep", None)
+        if asleep is not None:
+            await asleep(seconds)
+        else:
+            self.clock.sleep(seconds)
+
+    async def execute_async(self, operation: Callable, *,
+                            breaker: CircuitBreaker | None = None,
+                            describe: str = "operation",
+                            until: float | None = None):
+        """:meth:`execute` for coroutine operations.
+
+        Identical semantics; backoff awaits the clock's ``asleep`` (a
+        :class:`~repro.resilience.vclock.VirtualClock`) so other
+        sessions on the event loop keep running while this one backs
+        off.
+        """
+        rng = random.Random(self.seed)
+        start = self.clock.now()
+        attempts = 0
+        last_error: BaseException | None = None
+        while attempts < self.max_attempts:
+            self._check_entry(until, attempts, start, describe)
+            if breaker is not None:
+                breaker.before_call()
+            attempts += 1
+            attempt_start = self.clock.now()
+            try:
+                result = await operation()
+            except NON_RETRYABLE:
+                if breaker is not None:
+                    breaker.abandon_probe()
+                raise
+            except self.retryable as exc:
+                last_error = exc
+                if breaker is not None:
+                    breaker.record_failure()
+            except BaseException:
+                if breaker is not None:
+                    breaker.abandon_probe()
+                raise
+            else:
+                keep, timeout = self._settle_attempt(
+                    breaker, attempts, start, describe, attempt_start)
+                if keep:
+                    return result
+                last_error = timeout
+            if attempts >= self.max_attempts:
+                break
+            delay = self._next_delay(attempts, rng, start, until,
+                                     describe, last_error)
+            await self._asleep(delay)
+        raise self._exhausted(attempts, start, describe, last_error)

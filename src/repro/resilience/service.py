@@ -1,0 +1,310 @@
+"""Overload protection for the async service stack (DESIGN §14).
+
+The paper's deployment shape — many players hitting one XKMS/license
+service — fails in practice not by returning wrong answers but by
+falling over under load.  This module is the explicit overload model
+wrapped around every async handler:
+
+* :class:`Deadline` — a per-request budget as an *absolute* instant on
+  the injected clock, carried in the frame header and checked at every
+  await point.  Client and server share the clock, so propagation is a
+  number, not a negotiation.
+* :class:`AdmissionController` — per-tenant bulkheads (concurrent
+  slots) with bounded FIFO wait queues.  A full queue sheds *now*;
+  nobody waits on a line that cannot be served.
+* :class:`AIMDLimiter` — an adaptive global concurrency limit:
+  additive increase while observed latency meets the target,
+  multiplicative decrease when it does not (the TCP congestion-control
+  shape applied to a request pipeline).
+* :class:`OverloadShield` — the composition, in rejection-cheapness
+  order: deadline → admission → limiter → handler.  Every shed raises
+  a typed :class:`~repro.errors.ServiceOverloadError` (or
+  :class:`~repro.errors.TimeoutError`) which the transport answers
+  with a *structured* busy fault — never a silent drop — and records
+  on the degradation log.
+
+All state here is event-loop-confined: one loop owns a shield and its
+controllers, so (unlike the cross-thread shared surface of DESIGN §13)
+mutations between await points need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceOverloadError, TimeoutError
+from repro.resilience.degradation import DegradationLog, classify_failure
+from repro.resilience.vclock import NO_DEADLINE
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute give-up instant on the shared injected clock."""
+
+    at: float
+    clock: object
+
+    @classmethod
+    def after(cls, clock, seconds: float) -> "Deadline":
+        return cls(at=clock.now() + seconds, clock=clock)
+
+    @classmethod
+    def none(cls, clock) -> "Deadline":
+        return cls(at=NO_DEADLINE, clock=clock)
+
+    def remaining(self) -> float:
+        return self.at - self.clock.now()
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now() >= self.at
+
+    def check(self, what: str = "request") -> None:
+        """Raise a typed :class:`TimeoutError` once the budget is gone."""
+        if self.expired:
+            raise TimeoutError(
+                f"{what}: deadline exceeded "
+                f"(t={self.clock.now():g}s past {self.at:g}s)",
+                elapsed=self.clock.now(),
+            )
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission envelope for one tenant class.
+
+    ``max_concurrent`` is the bulkhead (slots actually executing);
+    ``max_queued`` bounds the FIFO behind it.  Beyond both, requests
+    shed immediately.
+    """
+
+    max_concurrent: int = 8
+    max_queued: int = 16
+
+
+class _TenantState:
+    __slots__ = ("active", "waiters")
+
+    def __init__(self):
+        self.active = 0
+        self.waiters: list = []
+
+
+@dataclass
+class AdmissionStats:
+    admitted: int = 0
+    queued: int = 0
+    shed_queue_full: int = 0
+    queue_timeouts: int = 0
+
+
+class AdmissionController:
+    """Per-tenant bulkheads with bounded wait queues."""
+
+    def __init__(self, clock, policy: TenantPolicy | None = None,
+                 per_tenant: dict | None = None):
+        self._clock = clock
+        self._policy = policy or TenantPolicy()
+        self._per_tenant = dict(per_tenant or {})
+        self._tenants: dict = {}
+        self.stats = AdmissionStats()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._per_tenant.get(tenant, self._policy)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    async def admit(self, tenant: str, deadline: Deadline) -> None:
+        """Take a slot for *tenant*, waiting in line when the bulkhead
+        is full.
+
+        Raises:
+            ServiceOverloadError: the wait queue is also full.
+            TimeoutError: the deadline passed while queued (the slot is
+                relinquished; nobody inherits a dead request's place).
+        """
+        policy = self.policy_for(tenant)
+        state = self._state(tenant)
+        if state.active < policy.max_concurrent:
+            state.active += 1
+            self.stats.admitted += 1
+            return
+        live = [w for w in state.waiters if not w.done()]
+        if len(live) >= policy.max_queued:
+            self.stats.shed_queue_full += 1
+            raise ServiceOverloadError(
+                f"admission queue full for tenant {tenant!r} "
+                f"({policy.max_concurrent} active, "
+                f"{policy.max_queued} queued)",
+                reason="queue-full", tenant=tenant,
+            )
+        waiter = asyncio.get_running_loop().create_future()
+        state.waiters.append(waiter)
+        self.stats.queued += 1
+        self._clock.bump()
+        try:
+            await self._clock.wait_until(waiter, deadline.at)
+        except TimeoutError:
+            self.stats.queue_timeouts += 1
+            if not waiter.done():
+                waiter.cancel()
+            elif not self._wake_next(state):
+                # The slot arrived in the same instant the deadline
+                # fired and nobody else is in line: give it back.
+                state.active = max(0, state.active - 1)
+            raise
+        self.stats.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        state = self._state(tenant)
+        if not self._wake_next(state):
+            state.active = max(0, state.active - 1)
+
+    def _wake_next(self, state: _TenantState) -> bool:
+        """Pass the released slot to the first live waiter."""
+        while state.waiters:
+            waiter = state.waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(None)
+                self._clock.bump()
+                return True
+        return False
+
+    def active(self, tenant: str) -> int:
+        return self._state(tenant).active
+
+
+@dataclass
+class AIMDLimiter:
+    """Adaptive concurrency limit: AIMD on observed latency.
+
+    Completions under ``target_latency_s`` grow the limit additively
+    (``increase / limit`` per completion ≈ +1 per limit-worth of good
+    requests); a completion over target cuts it multiplicatively by
+    ``backoff``.  The limit floats in ``[min_limit, max_limit]``.
+    """
+
+    target_latency_s: float = 0.5
+    initial_limit: float = 16.0
+    min_limit: float = 1.0
+    max_limit: float = 1024.0
+    increase: float = 1.0
+    backoff: float = 0.5
+    limit: float = field(init=False)
+    inflight: int = field(init=False, default=0)
+    rejections: int = field(init=False, default=0)
+    decreases: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        self.limit = float(self.initial_limit)
+
+    def try_acquire(self) -> bool:
+        if self.inflight >= int(self.limit):
+            self.rejections += 1
+            return False
+        self.inflight += 1
+        return True
+
+    def release(self, latency_s: float) -> None:
+        self.inflight = max(0, self.inflight - 1)
+        if latency_s > self.target_latency_s:
+            self.limit = max(self.min_limit, self.limit * self.backoff)
+            self.decreases += 1
+        else:
+            self.limit = min(self.max_limit,
+                             self.limit + self.increase / max(
+                                 self.limit, 1.0))
+
+
+@dataclass
+class ShieldStats:
+    """Outcome accounting the load harness and the gates read."""
+
+    completed: int = 0
+    shed_deadline: int = 0
+    shed_queue_full: int = 0
+    shed_limiter: int = 0
+    shed_queue_timeout: int = 0
+    late_completions: int = 0
+
+    @property
+    def sheds(self) -> int:
+        return (self.shed_deadline + self.shed_queue_full +
+                self.shed_limiter + self.shed_queue_timeout)
+
+
+class OverloadShield:
+    """Deadline → admission → limiter → handler, cheapest check first."""
+
+    def __init__(self, clock, *,
+                 admission: AdmissionController | None = None,
+                 limiter: AIMDLimiter | None = None,
+                 degradation: DegradationLog | None = None,
+                 component: str = "service"):
+        self._clock = clock
+        self.admission = admission or AdmissionController(clock)
+        self.limiter = limiter
+        self.degradation = degradation
+        self.component = component
+        self.stats = ShieldStats()
+
+    def _degrade(self, tenant: str, error: BaseException) -> None:
+        if self.degradation is not None:
+            self.degradation.record(
+                self.component, tenant, classify_failure(error),
+                detail=type(error).__name__,
+            )
+
+    async def run(self, tenant: str, deadline: Deadline, operation):
+        """Run async *operation* under the full overload model.
+
+        Every rejection path raises typed: the transport above answers
+        each with a structured busy fault, so a shed is always an
+        *answer*, never a dropped request.
+        """
+        try:
+            deadline.check("admission")
+        except TimeoutError:
+            self.stats.shed_deadline += 1
+            self._degrade(tenant, TimeoutError("deadline"))
+            raise
+        try:
+            await self.admission.admit(tenant, deadline)
+        except ServiceOverloadError as exc:
+            self.stats.shed_queue_full += 1
+            self._degrade(tenant, exc)
+            raise
+        except TimeoutError as exc:
+            self.stats.shed_queue_timeout += 1
+            self._degrade(tenant, exc)
+            raise
+        try:
+            if self.limiter is not None and \
+                    not self.limiter.try_acquire():
+                error = ServiceOverloadError(
+                    f"concurrency limit {self.limiter.limit:g} "
+                    f"reached ({self.limiter.inflight} in flight)",
+                    reason="limiter", tenant=tenant,
+                )
+                self.stats.shed_limiter += 1
+                self._degrade(tenant, error)
+                raise error
+            started = self._clock.now()
+            try:
+                result = await operation()
+            finally:
+                if self.limiter is not None:
+                    self.limiter.release(self._clock.now() - started)
+        finally:
+            self.admission.release(tenant)
+        self.stats.completed += 1
+        if deadline.expired:
+            # The answer is late but still an answer; the client's own
+            # deadline decides whether anyone is listening.
+            self.stats.late_completions += 1
+        return result

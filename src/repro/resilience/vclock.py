@@ -1,0 +1,241 @@
+"""Deterministic virtual time for asyncio: the fleet's clock.
+
+The async XKMS service and the load harness run *tens of thousands* of
+concurrent sessions whose think times, backoff schedules and deadlines
+span simulated hours — and the whole run must be replayable
+byte-for-byte from a seed.  Real ``asyncio.sleep`` would make wall
+time part of the schedule; :class:`VirtualClock` removes it:
+
+* coroutines suspend with :meth:`VirtualClock.asleep`, which registers
+  a timer in a heap and parks the task on a future;
+* the driver (:meth:`VirtualClock.run`) lets the event loop run until
+  it is *quiescent* — no instrumented primitive has fired since the
+  last full pass — and only then advances virtual time to the earliest
+  pending timer and wakes its waiters.
+
+Quiescence is observed through an activity counter: every primitive
+that can make another task runnable (timer registration, queue
+handoffs in :class:`VQueue`, explicit :meth:`bump` calls at future
+resolutions) increments it.  On a single-threaded loop with FIFO
+ready-queue semantics this makes the interleaving — and therefore
+every latency percentile the load harness reports — a pure function
+of the seeds.
+
+A loop where nothing is runnable and no timer is pending is a genuine
+deadlock; the driver raises a typed
+:class:`~repro.errors.TimeoutError` instead of hanging, which is the
+"zero hangs" guarantee the overload chaos suite leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ChannelClosedError, TimeoutError
+from repro.resilience.clock import SimulatedClock
+
+#: deadline value meaning "none" (comparisons and struct packing both
+#: behave, unlike None).
+NO_DEADLINE = float("inf")
+
+
+@dataclass
+class VirtualClock(SimulatedClock):
+    """A :class:`SimulatedClock` that coroutines can await.
+
+    The synchronous API (``now``/``sleep``/``advance``) is unchanged,
+    so retry policies, fault injectors and guards built on
+    :class:`SimulatedClock` compose with async code on the same
+    timeline.
+    """
+
+    _timers: list = field(default_factory=list, repr=False)
+    _seq: itertools.count = field(
+        default_factory=itertools.count, repr=False)
+    _activity: int = 0
+
+    def bump(self) -> None:
+        """Mark loop activity (a task was or will be made runnable)."""
+        self._activity += 1
+
+    def schedule_at(self, when: float) -> asyncio.Future:
+        """A future resolved when virtual time reaches *when*."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        heapq.heappush(self._timers, (when, next(self._seq), future))
+        self.bump()
+        return future
+
+    async def asleep(self, seconds: float) -> None:
+        """Suspend the calling task for *seconds* of virtual time."""
+        if seconds <= 0:
+            self.bump()
+            await asyncio.sleep(0)
+            return
+        await self.schedule_at(self._now + seconds)
+        self.sleeps.append(seconds)
+
+    async def wait_until(self, future: asyncio.Future, at: float):
+        """Await *future*, failing at virtual instant *at*.
+
+        Returns the future's result (or re-raises its exception); when
+        the timer wins, raises a typed
+        :class:`~repro.errors.TimeoutError` and leaves *future* for
+        the caller to clean up.
+        """
+        if future.done():
+            return future.result()
+        if at == NO_DEADLINE:
+            return await future
+        loop = asyncio.get_running_loop()
+        gate = loop.create_future()
+
+        def _settled(_f) -> None:
+            if not gate.done():
+                gate.set_result(None)
+            self.bump()
+
+        timer = self.schedule_at(at)
+        future.add_done_callback(_settled)
+        timer.add_done_callback(_settled)
+        try:
+            await gate
+        finally:
+            future.remove_done_callback(_settled)
+            if not timer.done():
+                timer.cancel()
+        if future.done():
+            return future.result()
+        raise TimeoutError(
+            f"deadline reached at t={at:g}s while awaiting a response",
+            elapsed=self.now(),
+        )
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self, coro):
+        """``asyncio.run`` *coro* with this clock driving virtual time."""
+        return asyncio.run(self.drive(coro))
+
+    async def drive(self, coro):
+        """Await *coro*, advancing virtual time whenever the loop idles."""
+        task = asyncio.ensure_future(coro)
+        self.bump()
+        while not task.done():
+            await self._quiesce()
+            if task.done():
+                break
+            if not self._fire_next_timer():
+                # A task finishing wakes its awaiters through plain
+                # callbacks, which the activity counter cannot see: the
+                # continuation may still be sitting in the ready queue.
+                # Settle such completion chains before calling it a
+                # deadlock — anything they do next (a new timer, a
+                # queue handoff, finishing *task*) is observable.
+                before = self._activity
+                for _ in range(4):
+                    await asyncio.sleep(0)
+                if task.done() or self._timers \
+                        or self._activity != before:
+                    continue
+                task.cancel()
+                # Give the cancellation a chance to unwind, then report
+                # the stall as a typed error rather than hanging.
+                for _ in range(3):
+                    await asyncio.sleep(0)
+                raise TimeoutError(
+                    "event loop deadlocked at virtual "
+                    f"t={self.now():g}s: no runnable task and no "
+                    "pending timer",
+                    elapsed=self.now(),
+                )
+        return task.result()
+
+    async def _quiesce(self) -> None:
+        """Yield until no instrumented primitive fires for a full pass."""
+        last = -1
+        while last != self._activity:
+            last = self._activity
+            # Two yields per pass: the first lets tasks scheduled ahead
+            # of the driver run, the second catches tasks *they* made
+            # runnable, so a task spawned late in the FIFO ready queue
+            # still runs before time advances.
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+
+    def _fire_next_timer(self) -> bool:
+        """Advance to the earliest pending timer; False when none left."""
+        while self._timers and self._timers[0][2].done():
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return False
+        when = self._timers[0][0]
+        if when > self._now:
+            self.advance(when - self._now)
+        woken = 0
+        while self._timers and self._timers[0][0] <= self._now:
+            _, _, future = heapq.heappop(self._timers)
+            if not future.done():
+                future.set_result(None)
+                woken += 1
+        self.bump()
+        return True
+
+
+class VQueue:
+    """A single-loop FIFO whose handoffs register as clock activity.
+
+    ``asyncio.Queue`` would work functionally, but its wakeups are
+    invisible to the :class:`VirtualClock` quiescence check — the
+    driver could advance time while a consumer it just woke is still
+    queued to run.  Every ``put``/``get`` here bumps the clock, which
+    closes that window.
+    """
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put_nowait(self, item) -> None:
+        if self.closed:
+            raise ChannelClosedError("queue is closed")
+        self._clock.bump()
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.done():
+                getter.set_result(item)
+                return
+        self._items.append(item)
+
+    async def get(self):
+        """Next item; raises :class:`ChannelClosedError` once drained."""
+        self._clock.bump()
+        if self._items:
+            return self._items.popleft()
+        if self.closed:
+            raise ChannelClosedError("queue is closed")
+        loop = asyncio.get_running_loop()
+        getter = loop.create_future()
+        self._getters.append(getter)
+        return await getter
+
+    def close(self) -> None:
+        """Close the queue: waiting getters fail, queued items survive."""
+        if self.closed:
+            return
+        self.closed = True
+        self._clock.bump()
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.done():
+                getter.set_exception(
+                    ChannelClosedError("queue closed while waiting"))

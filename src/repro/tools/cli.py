@@ -30,6 +30,10 @@ Commands:
   injection point and verify exact recovery.
 * ``durable``   — inspect, verify or compact a crash-safe durable
   state directory (journal + snapshot).
+* ``loadgen``   — deterministic fleet load harness: drive thousands of
+  simulated player sessions against the async XKMS service on the
+  virtual clock and report latency percentiles, throughput and shed
+  accounting (byte-identical across runs for a given seed).
 
 Every command reads/writes ordinary files; see ``--help`` per command.
 """
@@ -514,6 +518,44 @@ def cmd_durable(args) -> int:
     return 1 if args.action == "verify" else 0
 
 
+def cmd_loadgen(args) -> int:
+    """Run the deterministic fleet load harness and print the summary."""
+    from repro.loadgen import FleetConfig, run_fleet, verify_determinism
+
+    config = FleetConfig(
+        sessions=args.sessions,
+        connections=args.connections,
+        ops_per_session=args.ops,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        start_window_s=args.start_window,
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+    )
+    if args.verify_determinism:
+        identical, first, _ = verify_determinism(config)
+        if not identical:
+            print("error: two runs of the same config produced "
+                  "different summaries", file=sys.stderr)
+            return 1
+        print("determinism: two runs byte-identical")
+        if args.json:
+            _write(args.json, first)
+        return 0
+    report = run_fleet(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        _write(args.json, report.summary_json())
+    untyped = report.outcomes.get("untyped", 0)
+    if untyped or report.shed_structured_ratio != 1.0:
+        print(f"error: overload invariant violated "
+              f"({untyped} untyped failure(s), shed ratio "
+              f"{report.shed_structured_ratio:g})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_providers(args) -> int:
     """List registered crypto providers and the process default."""
     default = get_provider().name
@@ -720,6 +762,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every attack outcome, not just violations")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="deterministic fleet load harness for the async XKMS "
+             "service",
+    )
+    p.add_argument("--sessions", type=int, default=1000,
+                   help="simulated player sessions (default 1000)")
+    p.add_argument("--connections", type=int, default=8,
+                   help="multiplexed connections (default 8)")
+    p.add_argument("--ops", type=int, default=2,
+                   help="XKMS operations per session (default 2)")
+    p.add_argument("--seed", type=int, default=20050902,
+                   help="fleet seed (default 20050902)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-operation deadline, virtual seconds")
+    p.add_argument("--start-window", type=float, default=2.0,
+                   help="session arrival window, virtual seconds")
+    p.add_argument("--max-concurrent", type=int, default=16,
+                   help="per-tenant bulkhead slots (default 16)")
+    p.add_argument("--max-queued", type=int, default=32,
+                   help="per-tenant admission queue (default 32)")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run twice and require byte-identical "
+                        "summaries")
+    p.add_argument("--json", help="write the canonical summary JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "durable",

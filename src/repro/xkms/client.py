@@ -10,16 +10,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ResourceLimitExceeded, XKMSError, XMLError
+from repro.errors import (
+    NetworkError, ResourceLimitExceeded, ServiceOverloadError,
+    XKMSError, XMLError,
+)
 from repro.primitives.keys import RSAPublicKey
 from repro.resilience.limits import ResourceGuard, ResourceLimits
 from repro.resilience.retry import CircuitBreaker, RetryPolicy
+from repro.resilience.service import Deadline
 from repro.xkms.messages import (
     STATUS_VALID, KeyBinding, XKMSRequest, XKMSResult,
 )
 from repro.xkms.server import authentication_proof
 
 Transport = Callable[[str], str]
+
+#: Async transport: ``(request_xml, deadline) -> result_xml``.  The
+#: deadline travels with the request so the far side can stop working
+#: on it the moment the caller stops caring.
+AsyncTransport = Callable[..., object]
 
 
 @dataclass
@@ -111,3 +120,164 @@ class XKMSClient:
             authentication=authentication_proof(secret, key_name),
         )
         return self._roundtrip(request)
+
+
+class MuxXKMSTransport:
+    """Adapts an :class:`~repro.network.server.AsyncServiceClient` to
+    the async XML transport.
+
+    The service's structured busy answers (``MUX_FAULT`` frames) come
+    back as typed :class:`~repro.errors.ServiceOverloadError`, so the
+    caller's retry policy backs off and its circuit breaker counts the
+    overload as a failure — a busy trust service trips the breaker
+    before the fleet can pile on.
+    """
+
+    def __init__(self, client, *, tenant: str | None = None):
+        self._client = client
+        self._tenant = tenant
+
+    async def __call__(self, request_xml: str,
+                       deadline: Deadline) -> str:
+        from repro.network.server import MUX_RESP
+
+        reply = await self._client.call(
+            request_xml.encode("utf-8"),
+            tenant=self._tenant, deadline=deadline,
+        )
+        if reply.kind != MUX_RESP:
+            raise ServiceOverloadError(
+                "trust service answered busy "
+                f"(fault frame 0x{reply.kind:02x})",
+                reason="busy",
+                tenant=self._tenant or self._client.tenant,
+            )
+        return reply.payload.decode("utf-8")
+
+
+@dataclass
+class AsyncXKMSClient:
+    """:class:`XKMSClient` for the async transport, deadline first.
+
+    Every operation runs under an absolute :class:`Deadline` on the
+    shared injected clock: it bounds retry backoff (via ``until``), is
+    enforced locally while awaiting the wire, and propagates to the
+    service so both sides give up at the same instant.  Failure
+    surfaces are all typed: overload as
+    :class:`~repro.errors.ServiceOverloadError`, expiry as
+    :class:`~repro.errors.TimeoutError`, a tripped breaker as
+    :class:`~repro.errors.CircuitOpenError`, unusable result XML as
+    :class:`~repro.errors.XKMSError`.
+    """
+
+    transport: AsyncTransport
+    clock: object
+    retry_policy: RetryPolicy | None = None
+    circuit_breaker: CircuitBreaker | None = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits.default)
+    default_timeout_s: float = 30.0
+
+    def deadline(self, timeout_s: float | None = None) -> Deadline:
+        budget = (timeout_s if timeout_s is not None
+                  else self.default_timeout_s)
+        return Deadline.after(self.clock, budget)
+
+    def _attempt_deadline(self, deadline: Deadline) -> Deadline:
+        """Cap one attempt's wire wait at the policy's attempt budget.
+
+        A silently dropped frame otherwise blocks the await until the
+        *call* deadline — by which point retrying is pointless.  With
+        ``attempt_timeout`` set, each attempt gives up early enough to
+        leave budget for the next one (never past the call deadline).
+        """
+        budget = (self.retry_policy.attempt_timeout
+                  if self.retry_policy is not None else None)
+        if budget is None:
+            return deadline
+        capped = self.clock.now() + budget
+        if capped >= deadline.at:
+            return deadline
+        return Deadline(capped, self.clock)
+
+    async def _transfer(self, request_xml: str, operation: str,
+                        deadline: Deadline) -> str:
+        if self.retry_policy is not None:
+            return await self.retry_policy.execute_async(
+                lambda: self.transport(
+                    request_xml, self._attempt_deadline(deadline)),
+                breaker=self.circuit_breaker,
+                describe=f"XKMS {operation}",
+                until=deadline.at,
+            )
+        breaker = self.circuit_breaker
+        if breaker is not None:
+            breaker.before_call()
+            try:
+                result = await self.transport(request_xml, deadline)
+            except NetworkError:
+                breaker.record_failure()
+                raise
+            except BaseException:
+                breaker.abandon_probe()
+                raise
+            breaker.record_success()
+            return result
+        return await self.transport(request_xml, deadline)
+
+    async def _roundtrip(self, request: XKMSRequest,
+                         deadline: Deadline) -> XKMSResult:
+        response_xml = await self._transfer(
+            request.to_xml(), request.operation, deadline)
+        try:
+            result = XKMSResult.from_xml(
+                response_xml, guard=ResourceGuard(self.limits),
+            )
+        except (XMLError, ResourceLimitExceeded) as exc:
+            raise XKMSError(
+                f"XKMS {request.operation} result is unusable: {exc}"
+            ) from exc
+        if result.request_id != request.request_id:
+            raise XKMSError(
+                "XKMS result does not answer our request "
+                f"({result.request_id!r} != {request.request_id!r})"
+            )
+        return result
+
+    async def locate(self, key_name: str, *,
+                     timeout_s: float | None = None):
+        result = await self._roundtrip(
+            XKMSRequest("Locate", key_name=key_name),
+            self.deadline(timeout_s),
+        )
+        if not result.success or not result.bindings:
+            return None
+        return result.bindings[0].key
+
+    async def validate(self, key_name: str,
+                       key: RSAPublicKey | None = None, *,
+                       timeout_s: float | None = None) -> bool:
+        binding = (KeyBinding(key_name, key) if key is not None else None)
+        result = await self._roundtrip(XKMSRequest(
+            "Validate", key_name=key_name, binding=binding,
+        ), self.deadline(timeout_s))
+        if not result.success or not result.bindings:
+            return False
+        return result.bindings[0].status == STATUS_VALID
+
+    async def register(self, key_name: str, key: RSAPublicKey,
+                       secret: bytes, use: str = "signature", *,
+                       timeout_s: float | None = None) -> XKMSResult:
+        request = XKMSRequest(
+            "Register",
+            binding=KeyBinding(key_name, key, use=use),
+            authentication=authentication_proof(secret, key_name),
+        )
+        return await self._roundtrip(request, self.deadline(timeout_s))
+
+    async def revoke(self, key_name: str, secret: bytes, *,
+                     timeout_s: float | None = None) -> XKMSResult:
+        request = XKMSRequest(
+            "Revoke", key_name=key_name,
+            authentication=authentication_proof(secret, key_name),
+        )
+        return await self._roundtrip(request, self.deadline(timeout_s))

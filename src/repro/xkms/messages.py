@@ -39,6 +39,16 @@ def _next_request_id() -> str:
     return f"xkms-req-{next(_request_ids)}"
 
 
+def reset_request_ids() -> None:
+    """Restart the request-id sequence (deterministic harnesses only).
+
+    Request ids are process-global; a reproducible load run resets the
+    sequence first so two runs emit byte-identical wire traffic.
+    """
+    global _request_ids
+    _request_ids = count(1)
+
+
 @dataclass
 class KeyBinding:
     """A name ↔ key binding with a validity status."""

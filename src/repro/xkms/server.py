@@ -55,6 +55,11 @@ class TrustServer:
     registration_secrets: dict[str, bytes] = field(default_factory=dict)
     _bindings: dict[str, KeyBinding] = field(default_factory=dict)
     audit_log: list[str] = field(default_factory=list)
+    #: Monotonic binding-table version, bumped under ``_lock`` on every
+    #: mutation (register, revoke, durable replay).  Caches key their
+    #: entries on it, so a revocation invalidates every cached answer
+    #: about this shard without enumerating them.
+    generation: int = 0
     limits: ResourceLimits = field(default_factory=ResourceLimits.default)
     _durable: DurableStore | None = field(default=None, repr=False)
     # One responder serves every in-flight session (and the ROADMAP's
@@ -97,6 +102,7 @@ class TrustServer:
         with self._lock:
             self._bindings.update(replayed)
             self._durable = store
+            self.generation += 1
             self.audit_log.append(
                 f"durable-attach:{len(self._bindings)}"
             )
@@ -120,6 +126,7 @@ class TrustServer:
         self._persist_binding(binding)
         with self._lock:
             self._bindings[key_name] = binding
+            self.generation += 1
         return binding
 
     def revoke_binding(self, key_name: str) -> None:
@@ -129,7 +136,9 @@ class TrustServer:
         revoked = KeyBinding(binding.key_name, binding.key,
                              STATUS_INVALID, binding.use)
         self._persist_binding(revoked)
-        binding.status = STATUS_INVALID
+        with self._lock:
+            binding.status = STATUS_INVALID
+            self.generation += 1
 
     def binding(self, key_name: str) -> KeyBinding | None:
         return self._bindings.get(key_name)
@@ -248,6 +257,7 @@ class TrustServer:
         self._persist_binding(binding)
         with self._lock:
             self._bindings[binding.key_name] = binding
+            self.generation += 1
         return XKMSResult("Register", RESULT_SUCCESS, [binding],
                           request_id=request.request_id)
 
@@ -262,6 +272,8 @@ class TrustServer:
         revoked = KeyBinding(binding.key_name, binding.key,
                              STATUS_INVALID, binding.use)
         self._persist_binding(revoked)
-        binding.status = STATUS_INVALID
+        with self._lock:
+            binding.status = STATUS_INVALID
+            self.generation += 1
         return XKMSResult("Revoke", RESULT_SUCCESS, [binding],
                           request_id=request.request_id)

@@ -1,0 +1,1 @@
+"""Deterministic fleet load harness tests."""

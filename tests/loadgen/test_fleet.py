@@ -1,0 +1,132 @@
+"""Fleet load harness: outcome classification, summary correctness,
+the overload invariant under saturation, byte-identical determinism at
+10k sessions, and the ``loadgen`` CLI gate."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ChannelClosedError, CircuitOpenError, ReproError,
+    RetryExhaustedError, ServiceOverloadError, TimeoutError, XKMSError,
+)
+from repro.loadgen import (
+    OUTCOMES, FleetConfig, classify_outcome, run_fleet,
+    verify_determinism,
+)
+
+#: small fleet shared by the correctness tests (one run, sliced many
+#: ways) — module-scoped so the suite pays for it once.
+SMALL = FleetConfig(sessions=120, connections=4, ops_per_session=2,
+                    seed=97, start_window_s=4.0)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_fleet(SMALL)
+
+
+def test_classify_outcome_taxonomy():
+    assert classify_outcome(None) == "ok"
+    assert classify_outcome(
+        ServiceOverloadError("busy", reason="limiter")) == "shed"
+    assert classify_outcome(TimeoutError("late")) == "timeout"
+    assert classify_outcome(CircuitOpenError("open")) == "circuit"
+    assert classify_outcome(
+        RetryExhaustedError("gave up", attempts=2)) == "exhausted"
+    assert classify_outcome(XKMSError("bad result")) == "fault"
+    assert classify_outcome(ChannelClosedError("gone")) == "closed"
+    assert classify_outcome(ReproError("typed")) == "error"
+    assert classify_outcome(ValueError("boom")) == "untyped"
+
+
+def test_small_fleet_accounts_for_every_operation(small_report):
+    report = small_report
+    assert report.ops == SMALL.sessions * SMALL.ops_per_session
+    assert report.outcomes.get("untyped", 0) == 0
+    assert report.outcomes.get("ok", 0) > 0
+    assert report.makespan_s > 0
+    assert 0 < report.p50 <= report.p99
+    assert report.shed_structured_ratio == 1.0
+    assert report.degradation_consistent
+
+
+def test_summary_is_canonical_json(small_report):
+    text = small_report.summary_json()
+    parsed = json.loads(text)
+    assert json.dumps(parsed, sort_keys=True,
+                      separators=(",", ":")) == text
+    assert set(parsed["outcomes"]) == set(OUTCOMES)
+    assert parsed["ops"] == sum(parsed["outcomes"].values())
+    lines = small_report.summary_lines()
+    assert any("throughput" in line for line in lines)
+
+
+def test_saturated_fleet_sheds_structurally():
+    config = FleetConfig(
+        sessions=400, connections=2, ops_per_session=1, seed=11,
+        start_window_s=0.5, timeout_s=1.0, max_concurrent=2,
+        max_queued=2, base_service_s=0.2, retry_attempts=1,
+        breaker_threshold=8, breaker_cooldown_s=5.0)
+    report = run_fleet(config)
+    failed = report.ops - report.outcomes.get("ok", 0)
+    # The squeeze actually overloaded the service...
+    assert report.shed_total > 0
+    assert failed > 0
+    # ...and every shed was answered + logged, nothing untyped.
+    assert report.outcomes.get("untyped", 0) == 0
+    assert report.shed_structured_ratio == 1.0
+    assert report.degradation_consistent
+    assert report.shed_answered == report.shed_total
+
+
+def test_fleet_runs_ten_thousand_sessions_deterministically():
+    """The acceptance bar: >= 10k concurrent sessions on pinned seeds
+    reproduce byte-identical summary statistics."""
+    config = FleetConfig(sessions=10_000, connections=8,
+                         ops_per_session=1, seed=20050902,
+                         start_window_s=20.0)
+    identical, first, second = verify_determinism(config)
+    assert identical, "summaries diverged between identical runs"
+    summary = json.loads(first)
+    assert summary["sessions"] == 10_000
+    assert summary["ops"] == 10_000
+    assert summary["outcomes"]["untyped"] == 0
+    assert summary["shed_structured_ratio"] == 1.0
+    assert summary["degradation_consistent"] is True
+
+
+def test_different_seed_changes_the_schedule():
+    base = FleetConfig(sessions=60, connections=2, ops_per_session=1,
+                       seed=1, start_window_s=2.0)
+    a = run_fleet(base).summary_json()
+    b = run_fleet(FleetConfig(**{**base.__dict__, "seed": 2}))
+    assert b.summary_json() != a
+
+
+def test_loadgen_cli_smoke(tmp_path, capsys):
+    from repro.tools import main
+
+    out = tmp_path / "fleet.json"
+    code = main([
+        "loadgen", "--sessions", "40", "--connections", "2",
+        "--ops", "1", "--seed", "5", "--start-window", "2.0",
+        "--json", str(out),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "fleet: 40 sessions" in captured.out
+    summary = json.loads(out.read_text())
+    assert summary["seed"] == 5
+    assert summary["outcomes"]["untyped"] == 0
+
+
+def test_loadgen_cli_verify_determinism(capsys):
+    from repro.tools import main
+
+    code = main([
+        "loadgen", "--sessions", "30", "--connections", "2",
+        "--ops", "1", "--seed", "9", "--verify-determinism",
+    ])
+    assert code == 0
+    assert "byte-identical" in capsys.readouterr().out

@@ -1,0 +1,262 @@
+"""Async multiplexed transport: stream-id matched round trips, typed
+failure for every hostile input, PR 1 fault adversaries composing with
+the async channel, structured shed answers, and the async secure
+handshake."""
+
+import asyncio
+
+import pytest
+
+from repro.certs import SigningIdentity
+from repro.errors import ChannelClosedError, TimeoutError
+from repro.network import (
+    MUX_ERR, MUX_FAULT, MUX_RESP, AsyncChannel, AsyncServiceClient,
+    AsyncServiceServer, MuxFrame, SecureClient, SecureServer,
+    establish_async,
+)
+from repro.network.server import MUX_REQ, decode_mux
+from repro.resilience import (
+    AIMDLimiter, Deadline, DelayFault, DropFault, FaultSchedule,
+    OverloadShield, RetryPolicy, VirtualClock,
+)
+from repro.resilience.vclock import NO_DEADLINE
+
+
+async def echo_handler(payload, context):
+    return b"echo:" + payload
+
+
+def serve_on(server, channel):
+    return asyncio.ensure_future(server.serve(channel))
+
+
+async def teardown(channel, client, serving):
+    await client.aclose()
+    channel.close()
+    await asyncio.gather(serving, return_exceptions=True)
+
+
+def test_mux_roundtrip_matches_streams():
+    clock = VirtualClock()
+    channel = AsyncChannel(clock=clock)
+    server = AsyncServiceServer(echo_handler, clock=clock)
+    client = AsyncServiceClient(channel, tenant="player")
+
+    async def main():
+        serving = serve_on(server, channel)
+        replies = await asyncio.gather(*[
+            client.call(b"m%d" % i) for i in range(8)
+        ])
+        await teardown(channel, client, serving)
+        return replies
+
+    replies = clock.run(main())
+    assert [r.payload for r in replies] == [
+        b"echo:m%d" % i for i in range(8)
+    ]
+    assert all(r.kind == MUX_RESP for r in replies)
+    # Stream ids are unique: every reply matched its own call.
+    assert len({r.stream_id for r in replies}) == 8
+    assert server.stats.responses == 8
+    assert client.stats.responses == 8
+
+
+def test_malformed_frame_answered_not_crashed():
+    clock = VirtualClock()
+    channel = AsyncChannel(clock=clock)
+    server = AsyncServiceServer(echo_handler, clock=clock)
+
+    async def main():
+        serving = serve_on(server, channel)
+        await channel.client.send(b"\xff\xfegarbage")
+        answer = await channel.client.recv()
+        channel.close()
+        await asyncio.gather(serving, return_exceptions=True)
+        return decode_mux(answer)
+
+    reply = clock.run(main())
+    assert reply.kind == MUX_ERR
+    assert b"400" in reply.payload
+    assert server.stats.protocol_errors == 1
+    assert server.stats.responses == 0
+
+
+def test_handler_bug_becomes_fault_frame():
+    clock = VirtualClock()
+
+    async def broken(payload, context):
+        raise ValueError("handler bug")
+
+    channel = AsyncChannel(clock=clock)
+    server = AsyncServiceServer(broken, clock=clock)
+    client = AsyncServiceClient(channel)
+
+    async def main():
+        serving = serve_on(server, channel)
+        reply = await client.call(b"boom")
+        await teardown(channel, client, serving)
+        return reply
+
+    reply = clock.run(main())
+    assert reply.kind == MUX_FAULT
+    assert server.stats.internal_errors == 1
+    assert client.stats.faults == 1
+
+
+def test_dropped_response_times_out_typed():
+    clock = VirtualClock()
+    # Drop the server's answer (the second message on the wire).
+    drop = DropFault(schedule=FaultSchedule.at(1))
+    channel = AsyncChannel([drop], clock=clock)
+    server = AsyncServiceServer(echo_handler, clock=clock)
+    client = AsyncServiceClient(channel)
+
+    async def main():
+        serving = serve_on(server, channel)
+        with pytest.raises(TimeoutError):
+            await client.call(
+                b"lost", deadline=Deadline.after(clock, 2.0))
+        await teardown(channel, client, serving)
+
+    clock.run(main())
+    assert channel.dropped == 1
+    assert clock.now() == 2.0
+    assert client.stats.timeouts == 1
+
+
+def test_delay_fault_awaits_only_the_slow_stream():
+    clock = VirtualClock()
+    # Delay the first request; every other message flows untouched.
+    slow = DelayFault(schedule=FaultSchedule.at(0), delay_s=5.0,
+                      clock=clock)
+    channel = AsyncChannel([slow], clock=clock)
+    server = AsyncServiceServer(echo_handler, clock=clock)
+    client = AsyncServiceClient(channel)
+    finished = []
+
+    async def call(tag):
+        reply = await client.call(tag)
+        finished.append((tag, clock.now()))
+        return reply
+
+    async def main():
+        serving = serve_on(server, channel)
+        await asyncio.gather(call(b"slow"), call(b"fast"))
+        await teardown(channel, client, serving)
+
+    clock.run(main())
+    # The fast stream completed at t=0: the delayed one did not stall
+    # the loop, it just arrived late.
+    assert finished[0] == (b"fast", 0.0)
+    assert finished[1] == (b"slow", 5.0)
+
+
+def test_overload_shed_is_a_structured_answer():
+    clock = VirtualClock()
+    shield = OverloadShield(
+        clock, limiter=AIMDLimiter(initial_limit=1.0),
+        component="svc")
+
+    async def slow(payload, context):
+        await clock.asleep(10.0)
+        return b"done"
+
+    channel = AsyncChannel(clock=clock)
+    server = AsyncServiceServer(slow, clock=clock, shield=shield)
+    client = AsyncServiceClient(channel)
+
+    async def main():
+        serving = serve_on(server, channel)
+        first = asyncio.ensure_future(client.call(b"a"))
+        await clock.asleep(1.0)
+        reply = await client.call(b"b")
+        await first
+        await teardown(channel, client, serving)
+        return reply
+
+    reply = clock.run(main())
+    # The shed request was *answered* with a fault frame, not dropped.
+    assert reply.kind == MUX_FAULT
+    assert server.stats.sheds_answered == 1
+    assert shield.stats.shed_limiter == 1
+
+
+def test_channel_close_fails_pending_calls_typed():
+    clock = VirtualClock()
+    channel = AsyncChannel(clock=clock)
+
+    async def never(payload, context):
+        await clock.asleep(1e9)
+        return b"never"
+
+    server = AsyncServiceServer(never, clock=clock)
+    client = AsyncServiceClient(channel)
+
+    async def main():
+        serving = serve_on(server, channel)
+        call = asyncio.ensure_future(client.call(b"x"))
+        await clock.asleep(1.0)
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            await call
+        await client.aclose()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    clock.run(main())
+
+
+def test_frame_header_carries_deadline_and_tenant():
+    frame = MuxFrame(MUX_REQ, 7, 12.5, "kiosk", b"payload")
+    decoded = decode_mux(frame.encode())
+    assert decoded == frame
+    infinite = MuxFrame(MUX_REQ, 8, NO_DEADLINE, "", b"")
+    assert decode_mux(infinite.encode()).deadline_at == NO_DEADLINE
+
+
+# -- async secure handshake -------------------------------------------------
+
+
+@pytest.fixture
+def server_identity(pki):
+    from repro.primitives.random import DeterministicRandomSource
+    return SigningIdentity.create(
+        "CN=license.studio.example", pki.root,
+        rng=DeterministicRandomSource(b"aio-server-ident"),
+    )
+
+
+def test_establish_async_seals_and_opens(pki, trust_store,
+                                         server_identity):
+    clock = VirtualClock()
+    channel = AsyncChannel(clock=clock)
+
+    async def main():
+        client_session, server_session = await establish_async(
+            SecureClient(trust_store), SecureServer(server_identity),
+            channel)
+        wire = client_session.seal(b"license request")
+        return server_session.open(wire)
+
+    assert clock.run(main()) == b"license request"
+
+
+def test_establish_async_dropped_flight_times_out_then_retries(
+        pki, trust_store, server_identity):
+    clock = VirtualClock()
+    # First flight vanishes; the retry restarts from ClientHello.
+    channel = AsyncChannel([DropFault(schedule=FaultSchedule.first(1))],
+                           clock=clock)
+    policy = RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.0,
+                         clock=clock)
+
+    async def main():
+        client_session, server_session = await establish_async(
+            SecureClient(trust_store), SecureServer(server_identity),
+            channel, timeout_s=2.0, retry_policy=policy)
+        wire = client_session.seal(b"after retry")
+        return server_session.open(wire)
+
+    assert clock.run(main()) == b"after retry"
+    assert channel.dropped == 1
+    # One timeout at t=2 plus the 0.5s backoff before the retry.
+    assert clock.now() >= 2.5

@@ -64,21 +64,31 @@ def test_encrypted_slots(rng):
 
 
 def test_encrypted_slot_wrong_key(rng):
-    # XMLEnc padding inspects only the final octet, so wrong-key
-    # garbage occasionally "unpads" without an error — either outcome
-    # is acceptable as long as the value is not recovered.  When it
-    # does fail, the failure is the storage layer's typed error, not a
-    # raw crypto traceback.
+    # ENC2 slots are encrypt-then-MAC: a wrong key fails the tag check
+    # *deterministically* (the legacy ENC1 format only caught it when
+    # garbage happened not to unpad), and the failure is the storage
+    # layer's typed error, not a raw crypto traceback.
     from repro.errors import LocalStorageError
     storage = LocalStorage()
     key = SymmetricKey(rng.read(16))
     wrong = SymmetricKey(rng.read(16))
     storage.write_encrypted("game", "hs", b"120", key)
-    try:
-        recovered = storage.read_encrypted("game", "hs", wrong)
-    except LocalStorageError:
-        return
-    assert recovered != b"120"
+    with pytest.raises(LocalStorageError, match="failed to decrypt"):
+        storage.read_encrypted("game", "hs", wrong)
+
+
+def test_legacy_enc1_slot_still_reads(rng):
+    # Blobs written before encrypt-then-MAC landed carry no tag; they
+    # must keep decrypting through the same API.
+    from repro.xmlenc import algorithms as xenc_algorithms
+    storage = LocalStorage()
+    key = SymmetricKey(rng.read(16))
+    ciphertext = xenc_algorithms.encrypt_block_data(
+        xenc_algorithms.AES128_CBC, key, b"old-score",
+        storage.provider, storage.rng)
+    storage.write("game", "hs", b"ENC1" + ciphertext)
+    assert storage.is_encrypted("game", "hs")
+    assert storage.read_encrypted("game", "hs", key) == b"old-score"
 
 
 def test_read_encrypted_on_plain_slot(rng):

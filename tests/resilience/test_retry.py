@@ -7,7 +7,7 @@ from repro.errors import (
 )
 from repro.resilience import (
     STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN, CircuitBreaker, RetryPolicy,
-    SimulatedClock,
+    SimulatedClock, VirtualClock,
 )
 
 
@@ -214,3 +214,152 @@ def test_breaker_call_helper_gates_and_records():
     assert breaker.state == STATE_OPEN
     with pytest.raises(CircuitOpenError):
         breaker.call(lambda: "never runs")
+
+
+# -- deadline-clipped backoff (async overload PR) --------------------------------
+
+
+def test_backoff_never_sleeps_past_propagated_deadline():
+    """S1 regression: a backoff that would sleep the remaining budget
+    dry fails *before* sleeping — the injected clock never advances to
+    (or past) ``until``."""
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=5, base_delay=4.0, multiplier=2.0,
+                         jitter=0.0, clock=clock)
+
+    def dead():
+        clock.advance(1.0)  # each attempt costs one simulated second
+        raise NetworkError("down")
+
+    until = clock.now() + 6.0
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        policy.execute(dead, until=until)
+    # Attempt 1 at t=0 (ends t=1), backoff 4.0 fits the 5s remaining,
+    # attempt 2 at t=5 (ends t=6); the next 8.0s backoff would cross
+    # the deadline, so the policy stops *now* instead of sleeping.
+    assert excinfo.value.attempts == 2
+    assert "deadline exhausted" in str(excinfo.value)
+    assert clock.now() <= until
+    assert clock.sleeps == [4.0]
+
+
+def test_backoff_clipping_identical_on_virtual_clock():
+    """The async path clips exactly like the sync one: same attempts,
+    same sleeps, same final clock reading, driven on a VirtualClock."""
+    sync_clock = SimulatedClock()
+    sync_policy = RetryPolicy(max_attempts=5, base_delay=4.0,
+                              multiplier=2.0, jitter=0.0,
+                              clock=sync_clock)
+
+    def sync_dead():
+        sync_clock.advance(1.0)
+        raise NetworkError("down")
+
+    with pytest.raises(RetryExhaustedError) as sync_exc:
+        sync_policy.execute(sync_dead, until=6.0)
+
+    vclock = VirtualClock()
+    policy = RetryPolicy(max_attempts=5, base_delay=4.0, multiplier=2.0,
+                         jitter=0.0, clock=vclock)
+
+    async def async_dead():
+        vclock.advance(1.0)
+        raise NetworkError("down")
+
+    async def main():
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            await policy.execute_async(async_dead, until=6.0)
+        return excinfo.value
+
+    async_error = vclock.run(main())
+    assert async_error.attempts == sync_exc.value.attempts == 2
+    assert vclock.now() == sync_clock.now()
+    assert list(vclock.sleeps) == list(sync_clock.sleeps)
+
+
+# -- half-open single probe under a stampede -------------------------------------
+
+
+def test_half_open_admits_exactly_one_probe_from_a_stampede():
+    """S2 stress: N callers hit a cooled-down breaker at the *same*
+    instant (barrier start).  Exactly one becomes the probe; everyone
+    else fast-fails with the half-open CircuitOpenError."""
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+
+    probes, fast_fails = 0, 0
+    for _ in range(64):
+        try:
+            breaker.before_call()
+            probes += 1
+        except CircuitOpenError as error:
+            fast_fails += 1
+            assert "probe in flight" in str(error)
+    assert probes == 1
+    assert fast_fails == 63
+    assert breaker.probes == 1
+    assert breaker.short_circuits == 63
+    # The probe's success resolves the state for everyone.
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    breaker.before_call()
+
+
+def test_half_open_stampede_on_threads_still_single_probe():
+    """Same stampede, real threads: the breaker lock keeps the
+    open->half-open step atomic, so a concurrent barrier start still
+    yields exactly one probe."""
+    import threading
+
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+
+    barrier = threading.Barrier(16)
+    outcomes = []
+    outcomes_lock = threading.Lock()
+
+    def caller():
+        barrier.wait()
+        try:
+            breaker.before_call()
+            with outcomes_lock:
+                outcomes.append("probe")
+        except CircuitOpenError:
+            with outcomes_lock:
+                outcomes.append("fast-fail")
+
+    threads = [threading.Thread(target=caller) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count("probe") == 1
+    assert outcomes.count("fast-fail") == 15
+    assert breaker.probes == 1
+
+
+def test_abandoned_probe_keeps_original_cooldown():
+    clock = SimulatedClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0,
+                             clock=clock)
+    breaker.record_failure()
+    opened = breaker.opened_at
+    clock.advance(10.0)
+    breaker.before_call()
+    assert breaker.state == STATE_HALF_OPEN
+    # The probe dies to a non-network error: release without restarting
+    # the cooldown window.
+    breaker.abandon_probe()
+    assert breaker.state == STATE_OPEN
+    assert breaker.opened_at == opened
+    # Cooldown already elapsed relative to the original opened_at, so
+    # the very next caller becomes the new probe.
+    breaker.before_call()
+    assert breaker.state == STATE_HALF_OPEN
+    assert breaker.probes == 2

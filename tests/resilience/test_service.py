@@ -1,0 +1,282 @@
+"""Overload model unit behaviour: Deadline propagation, per-tenant
+admission (bulkhead + bounded queue), the AIMD limiter, and the
+OverloadShield composition with degradation-log accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceOverloadError, TimeoutError
+from repro.resilience import (
+    AdmissionController, AIMDLimiter, Deadline, DegradationLog,
+    OverloadShield, SimulatedClock, TenantPolicy, VirtualClock,
+)
+from repro.resilience.degradation import REASON_OVERLOAD, REASON_TIMEOUT
+
+
+# -- Deadline ---------------------------------------------------------------
+
+
+def test_deadline_after_and_check():
+    clock = SimulatedClock()
+    deadline = Deadline.after(clock, 5.0)
+    assert deadline.remaining() == 5.0
+    assert not deadline.expired
+    deadline.check("xkms validate")
+    clock.advance(5.0)
+    assert deadline.expired
+    with pytest.raises(TimeoutError) as excinfo:
+        deadline.check("xkms validate")
+    assert "xkms validate" in str(excinfo.value)
+
+
+def test_deadline_none_never_expires():
+    clock = SimulatedClock()
+    deadline = Deadline.none(clock)
+    clock.advance(1e9)
+    assert not deadline.expired
+    deadline.check()
+
+
+# -- AdmissionController ----------------------------------------------------
+
+
+def test_bulkhead_admits_up_to_max_concurrent():
+    clock = VirtualClock()
+    admission = AdmissionController(
+        clock, TenantPolicy(max_concurrent=2, max_queued=1))
+
+    async def main():
+        deadline = Deadline.after(clock, 10.0)
+        await admission.admit("player", deadline)
+        await admission.admit("player", deadline)
+        return admission.active("player")
+
+    assert clock.run(main()) == 2
+    assert admission.stats.admitted == 2
+    assert admission.stats.queued == 0
+
+
+def test_queue_full_sheds_typed():
+    clock = VirtualClock()
+    admission = AdmissionController(
+        clock, TenantPolicy(max_concurrent=1, max_queued=0))
+
+    async def main():
+        deadline = Deadline.after(clock, 10.0)
+        await admission.admit("player", deadline)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            await admission.admit("player", deadline)
+        return excinfo.value
+
+    error = clock.run(main())
+    assert error.reason == "queue-full"
+    assert error.tenant == "player"
+    assert admission.stats.shed_queue_full == 1
+
+
+def test_release_hands_slot_to_first_waiter_in_fifo_order():
+    clock = VirtualClock()
+    admission = AdmissionController(
+        clock, TenantPolicy(max_concurrent=1, max_queued=4))
+    order = []
+
+    async def worker(name):
+        await admission.admit("player", Deadline.after(clock, 60.0))
+        order.append(name)
+        await clock.asleep(1.0)
+        admission.release("player")
+
+    async def main():
+        await asyncio.gather(worker("a"), worker("b"), worker("c"))
+
+    clock.run(main())
+    assert order == ["a", "b", "c"]
+    # Slot transfers keep active at the bulkhead, never above.
+    assert admission.active("player") == 0
+
+
+def test_queue_timeout_raises_typed_and_keeps_accounting():
+    clock = VirtualClock()
+    admission = AdmissionController(
+        clock, TenantPolicy(max_concurrent=1, max_queued=4))
+
+    async def holder():
+        await admission.admit("player", Deadline.after(clock, 60.0))
+        await clock.asleep(10.0)
+        admission.release("player")
+
+    async def late():
+        with pytest.raises(TimeoutError):
+            await admission.admit("player", Deadline.after(clock, 2.0))
+
+    async def main():
+        await asyncio.gather(holder(), late())
+
+    clock.run(main())
+    assert admission.stats.queue_timeouts == 1
+    # The holder's release found no live waiter; the slot came back.
+    assert admission.active("player") == 0
+
+
+def test_per_tenant_policies_isolate_bulkheads():
+    clock = VirtualClock()
+    admission = AdmissionController(
+        clock, TenantPolicy(max_concurrent=1, max_queued=0),
+        per_tenant={"kiosk": TenantPolicy(max_concurrent=4,
+                                          max_queued=0)})
+
+    async def main():
+        deadline = Deadline.after(clock, 10.0)
+        await admission.admit("player", deadline)
+        with pytest.raises(ServiceOverloadError):
+            await admission.admit("player", deadline)
+        # The kiosk tenant's wider bulkhead is unaffected.
+        for _ in range(4):
+            await admission.admit("kiosk", deadline)
+        return admission.active("kiosk")
+
+    assert clock.run(main()) == 4
+
+
+# -- AIMDLimiter ------------------------------------------------------------
+
+
+def test_limiter_rejects_at_limit():
+    limiter = AIMDLimiter(initial_limit=2.0)
+    assert limiter.try_acquire()
+    assert limiter.try_acquire()
+    assert not limiter.try_acquire()
+    assert limiter.rejections == 1
+
+
+def test_limiter_additive_increase_under_target():
+    limiter = AIMDLimiter(initial_limit=4.0, target_latency_s=1.0)
+    assert limiter.try_acquire()
+    limiter.release(0.1)
+    assert limiter.limit == pytest.approx(4.25)
+    assert limiter.decreases == 0
+
+
+def test_limiter_multiplicative_decrease_over_target():
+    limiter = AIMDLimiter(initial_limit=8.0, target_latency_s=0.5,
+                          backoff=0.5)
+    assert limiter.try_acquire()
+    limiter.release(2.0)
+    assert limiter.limit == pytest.approx(4.0)
+    assert limiter.decreases == 1
+
+
+def test_limiter_floors_at_min_limit():
+    limiter = AIMDLimiter(initial_limit=2.0, min_limit=1.0,
+                          target_latency_s=0.1)
+    for _ in range(10):
+        limiter.try_acquire()
+        limiter.release(5.0)
+    assert limiter.limit == 1.0
+    # One request still always fits.
+    assert limiter.try_acquire()
+
+
+# -- OverloadShield ---------------------------------------------------------
+
+
+def test_shield_happy_path_counts_completed():
+    clock = VirtualClock()
+    shield = OverloadShield(clock, limiter=AIMDLimiter())
+
+    async def operation():
+        await clock.asleep(0.1)
+        return "ok"
+
+    async def main():
+        return await shield.run(
+            "player", Deadline.after(clock, 5.0), operation)
+
+    assert clock.run(main()) == "ok"
+    assert shield.stats.completed == 1
+    assert shield.stats.sheds == 0
+
+
+def test_shield_expired_deadline_sheds_before_admission():
+    clock = VirtualClock()
+    log = DegradationLog()
+    shield = OverloadShield(clock, degradation=log, component="xkms")
+
+    async def main():
+        deadline = Deadline.after(clock, 1.0)
+        await clock.asleep(2.0)
+        with pytest.raises(TimeoutError):
+            await shield.run("player", deadline, _never_called)
+
+    async def _never_called():
+        raise AssertionError("handler ran past its deadline")
+
+    clock.run(main())
+    assert shield.stats.shed_deadline == 1
+    assert log.reasons() == [REASON_TIMEOUT]
+
+
+def test_shield_limiter_shed_is_typed_and_logged():
+    clock = VirtualClock()
+    log = DegradationLog()
+    limiter = AIMDLimiter(initial_limit=1.0)
+    shield = OverloadShield(clock, limiter=limiter, degradation=log,
+                            component="xkms")
+
+    async def slow():
+        await clock.asleep(5.0)
+        return "slow"
+
+    async def fast():
+        return "fast"
+
+    async def main():
+        first = asyncio.ensure_future(shield.run(
+            "player", Deadline.after(clock, 60.0), slow))
+        await clock.asleep(1.0)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            await shield.run(
+                "player", Deadline.after(clock, 60.0), fast)
+        assert excinfo.value.reason == "limiter"
+        return await first
+
+    assert clock.run(main()) == "slow"
+    assert shield.stats.shed_limiter == 1
+    assert shield.stats.completed == 1
+    assert log.reasons() == [REASON_OVERLOAD]
+
+
+def test_shield_releases_admission_when_operation_raises():
+    clock = VirtualClock()
+    shield = OverloadShield(clock)
+
+    async def boom():
+        raise ValueError("handler bug")
+
+    async def main():
+        with pytest.raises(ValueError):
+            await shield.run(
+                "player", Deadline.after(clock, 5.0), boom)
+        return shield.admission.active("player")
+
+    assert clock.run(main()) == 0
+
+
+def test_shield_late_completion_is_still_an_answer():
+    clock = VirtualClock()
+    shield = OverloadShield(clock)
+
+    async def slow():
+        await clock.asleep(3.0)
+        return "late"
+
+    async def main():
+        return await shield.run(
+            "player", Deadline.after(clock, 1.0), slow)
+
+    # The deadline passed mid-flight: the shield does not cancel, it
+    # counts a late completion and returns the answer.
+    assert clock.run(main()) == "late"
+    assert shield.stats.late_completions == 1
+    assert shield.stats.completed == 1

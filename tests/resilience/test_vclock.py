@@ -1,0 +1,191 @@
+"""VirtualClock driver semantics: deterministic wakeup order, typed
+deadline/deadlock failures instead of hangs, and VQueue handoffs that
+stay visible to the quiescence check."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ChannelClosedError, TimeoutError
+from repro.resilience import NO_DEADLINE, VirtualClock, VQueue
+
+
+def test_asleep_advances_virtual_time_only():
+    clock = VirtualClock()
+
+    async def main():
+        await clock.asleep(120.0)
+        return clock.now()
+
+    assert clock.run(main()) == 120.0
+
+
+def test_sleepers_wake_in_deadline_order():
+    clock = VirtualClock()
+    order = []
+
+    async def sleeper(name, seconds):
+        await clock.asleep(seconds)
+        order.append((name, clock.now()))
+
+    async def main():
+        await asyncio.gather(
+            sleeper("slow", 3.0), sleeper("fast", 1.0),
+            sleeper("mid", 2.0),
+        )
+
+    clock.run(main())
+    assert order == [("fast", 1.0), ("mid", 2.0), ("slow", 3.0)]
+
+
+def test_zero_sleep_yields_without_advancing():
+    clock = VirtualClock()
+
+    async def main():
+        await clock.asleep(0)
+        return clock.now()
+
+    assert clock.run(main()) == 0.0
+
+
+def test_wait_until_returns_early_result():
+    clock = VirtualClock()
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        async def resolver():
+            await clock.asleep(1.0)
+            future.set_result("answer")
+            clock.bump()
+
+        task = asyncio.ensure_future(resolver())
+        result = await clock.wait_until(future, at=10.0)
+        await task
+        return result, clock.now()
+
+    assert clock.run(main()) == ("answer", 1.0)
+
+
+def test_wait_until_times_out_typed():
+    clock = VirtualClock()
+
+    async def main():
+        future = asyncio.get_running_loop().create_future()
+        with pytest.raises(TimeoutError) as excinfo:
+            await clock.wait_until(future, at=5.0)
+        return clock.now(), str(excinfo.value)
+
+    now, message = clock.run(main())
+    assert now == 5.0
+    assert "deadline" in message
+
+
+def test_wait_until_no_deadline_waits_for_result():
+    clock = VirtualClock()
+
+    async def main():
+        future = asyncio.get_running_loop().create_future()
+
+        async def resolver():
+            await clock.asleep(2.0)
+            future.set_result(7)
+            clock.bump()
+
+        task = asyncio.ensure_future(resolver())
+        result = await clock.wait_until(future, NO_DEADLINE)
+        await task
+        return result
+
+    assert clock.run(main()) == 7
+
+
+def test_deadlock_raises_typed_instead_of_hanging():
+    clock = VirtualClock()
+
+    async def main():
+        # Nobody will ever resolve this future and no timer is pending:
+        # a genuine deadlock the driver must surface, not sit on.
+        await asyncio.get_running_loop().create_future()
+
+    with pytest.raises(TimeoutError) as excinfo:
+        clock.run(main())
+    assert "deadlock" in str(excinfo.value)
+
+
+def test_completion_chains_settle_before_deadlock_verdict():
+    # Regression: a gather over tasks whose last act is *finishing*
+    # (waking the gather through plain done-callbacks the activity
+    # counter cannot see) must complete, not be misread as a deadlock.
+    clock = VirtualClock()
+
+    async def child(seconds):
+        await clock.asleep(seconds)
+        return seconds
+
+    async def main():
+        return await asyncio.gather(*[
+            child(0.1 * (i + 1)) for i in range(32)
+        ])
+
+    results = clock.run(main())
+    assert len(results) == 32
+    assert clock.now() == pytest.approx(3.2)
+
+
+def test_vqueue_fifo_and_handoff():
+    clock = VirtualClock()
+
+    async def main():
+        queue = VQueue(clock)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        first = await queue.get()
+
+        async def consumer():
+            return await queue.get(), await queue.get()
+
+        task = asyncio.ensure_future(consumer())
+        await clock.asleep(1.0)
+        # "c" hands off directly to the parked consumer.
+        queue.put_nowait("c")
+        rest = await task
+        return first, rest
+
+    assert clock.run(main()) == ("a", ("b", "c"))
+
+
+def test_vqueue_close_fails_waiting_getters():
+    clock = VirtualClock()
+
+    async def main():
+        queue = VQueue(clock)
+
+        async def consumer():
+            await queue.get()
+
+        task = asyncio.ensure_future(consumer())
+        await clock.asleep(0.5)
+        queue.close()
+        with pytest.raises(ChannelClosedError):
+            await task
+        with pytest.raises(ChannelClosedError):
+            queue.put_nowait("late")
+
+    clock.run(main())
+
+
+def test_vqueue_queued_items_survive_close():
+    clock = VirtualClock()
+
+    async def main():
+        queue = VQueue(clock)
+        queue.put_nowait("kept")
+        queue.close()
+        item = await queue.get()
+        with pytest.raises(ChannelClosedError):
+            await queue.get()
+        return item
+
+    assert clock.run(main()) == "kept"

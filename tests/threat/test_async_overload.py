@@ -1,0 +1,246 @@
+"""Overload + network chaos over the async XKMS transport (S4).
+
+The composed adversary run: a fleet of seeded sessions drives a tight
+overload shield while drop/delay/truncation faults chew on the wire.
+The invariants under attack are exactly the PR's acceptance criteria:
+
+* every operation ends in a *typed* ``ReproError`` outcome or success
+  — zero untyped exceptions, zero tracebacks;
+* zero hangs — the virtual-clock driver turns a stall into a typed
+  deadlock error, so mere completion of ``clock.run`` proves liveness;
+* every shed is *answered* with a structured fault frame (never a
+  silent drop) and leaves exactly one degradation-log event;
+* the same seeds replay to the identical outcome census.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ReproError, ServiceOverloadError, TimeoutError
+from repro.network import AsyncChannel, AsyncServiceClient, AsyncServiceServer
+from repro.resilience import (
+    AdmissionController, AIMDLimiter, CircuitBreaker, DegradationLog,
+    DelayFault, DropFault, FaultSchedule, OverloadShield, RetryPolicy,
+    TenantPolicy, TruncateFault, VirtualClock,
+)
+from repro.primitives import generate_keypair
+from repro.primitives.random import DeterministicRandomSource
+from repro.xkms import AsyncTrustService, AsyncXKMSClient, busy_fault_payload
+from repro.xkms.client import MuxXKMSTransport
+from repro.xkms.messages import reset_request_ids
+
+SECRET = b"chaos-secret"
+SESSIONS = 48
+OPS = 2
+
+
+@pytest.fixture(scope="module")
+def fleet_key():
+    return generate_keypair(
+        512, DeterministicRandomSource(b"overload-chaos")).public_key()
+
+
+def chaos_run(seed: int, fleet_key):
+    """One seeded chaos fleet; returns (census, probes) for invariants."""
+    reset_request_ids()
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        2, clock=clock, registration_secrets={"": SECRET})
+    for k in range(8):
+        service.register_binding(f"key-{k}", fleet_key)
+
+    degradation = DegradationLog()
+    shield = OverloadShield(
+        clock,
+        admission=AdmissionController(
+            clock, TenantPolicy(max_concurrent=4, max_queued=4)),
+        limiter=AIMDLimiter(initial_limit=8.0, target_latency_s=0.2),
+        degradation=degradation,
+        component="xkms-chaos",
+    )
+
+    async def handler(payload, context):
+        await clock.asleep(0.05)
+        return await service.handle_request(payload, context)
+
+    server = AsyncServiceServer(
+        handler, clock=clock, shield=shield,
+        fault_encoder=busy_fault_payload)
+    adversaries = [
+        DropFault(schedule=FaultSchedule.probability(0.08, seed=seed)),
+        DelayFault(schedule=FaultSchedule.probability(0.15,
+                                                      seed=seed + 1),
+                   delay_s=0.4, clock=clock),
+        TruncateFault(schedule=FaultSchedule.every(37, offset=11)),
+    ]
+    channel = AsyncChannel(adversaries, clock=clock)
+    mux = AsyncServiceClient(channel, clock=clock)
+    retry = RetryPolicy(max_attempts=2, base_delay=0.2, clock=clock,
+                        seed=seed)
+    breaker = CircuitBreaker(failure_threshold=12, cooldown=1.0,
+                             clock=clock)
+
+    outcomes: list[tuple[int, int, str]] = []
+
+    async def session(index: int):
+        rng = random.Random(f"{seed}:{index}")
+        client = AsyncXKMSClient(
+            MuxXKMSTransport(mux, tenant=("player", "kiosk")[index % 2]),
+            clock=clock, retry_policy=retry, circuit_breaker=breaker,
+            default_timeout_s=2.0)
+        await clock.asleep(rng.uniform(0.0, 1.0))
+        for op in range(OPS):
+            name = f"key-{rng.randrange(8)}"
+            try:
+                if rng.random() < 0.5:
+                    await client.validate(name, fleet_key)
+                else:
+                    await client.locate(name)
+            except ReproError as exc:
+                outcomes.append((index, op, type(exc).__name__))
+            except BaseException as exc:  # noqa: BLE001 - the invariant
+                outcomes.append((index, op, f"UNTYPED:{type(exc).__name__}"))
+            else:
+                outcomes.append((index, op, "ok"))
+            await clock.asleep(rng.uniform(0.0, 0.2))
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        await asyncio.gather(*[session(i) for i in range(SESSIONS)])
+        channel.close()
+        await mux.aclose()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    clock.run(main())  # completing at all proves zero hangs
+    return {
+        "outcomes": sorted(outcomes),
+        "sheds": shield.stats.sheds,
+        "sheds_answered": server.stats.sheds_answered,
+        "degradation_events": len(
+            degradation.for_component("xkms-chaos")),
+        "dropped": channel.dropped,
+        "internal_errors": server.stats.internal_errors,
+        "garbage_frames": mux.stats.garbage_frames,
+        "timeouts": mux.stats.timeouts,
+        "makespan": clock.now(),
+    }
+
+
+def test_chaos_only_typed_outcomes_and_structured_sheds(fleet_key):
+    probe = chaos_run(1337, fleet_key)
+    census = [kind for _, _, kind in probe["outcomes"]]
+    assert len(census) == SESSIONS * OPS
+    # Invariant 1: zero untyped escapes.
+    assert not [k for k in census if k.startswith("UNTYPED:")]
+    # The chaos actually bit: faults fired and some requests failed.
+    assert probe["dropped"] > 0
+    assert any(kind != "ok" for kind in census)
+    assert any(kind == "ok" for kind in census)
+    # Invariant 2: a shed is an answered fault frame, not a silence.
+    assert probe["sheds_answered"] == probe["sheds"]
+    # Invariant 3: each shed logged exactly one degradation event.
+    assert probe["degradation_events"] == probe["sheds"]
+    # Handler bugs would be counted (and answered); there were none.
+    assert probe["internal_errors"] == 0
+
+
+def test_chaos_census_is_seed_deterministic(fleet_key):
+    first = chaos_run(7, fleet_key)
+    second = chaos_run(7, fleet_key)
+    assert first == second
+    different = chaos_run(8, fleet_key)
+    assert different["outcomes"] != first["outcomes"]
+
+
+def test_truncated_answers_degrade_to_typed_timeouts(fleet_key):
+    """A truncated response matches no stream: the caller's deadline
+    turns the loss into a typed TimeoutError, never a hang."""
+    reset_request_ids()
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        1, clock=clock, registration_secrets={"": SECRET})
+    service.register_binding("key-0", fleet_key)
+
+    async def handler(payload, context):
+        return await service.handle_request(payload, context)
+
+    server = AsyncServiceServer(handler, clock=clock,
+                                fault_encoder=busy_fault_payload)
+    # Truncate every server->client answer (odd messages on the wire).
+    channel = AsyncChannel(
+        [TruncateFault(schedule=FaultSchedule.every(2, offset=1),
+                       keep_bytes=4)],
+        clock=clock)
+    mux = AsyncServiceClient(channel, clock=clock)
+    client = AsyncXKMSClient(
+        MuxXKMSTransport(mux, tenant="player"), clock=clock,
+        default_timeout_s=1.0)
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        with pytest.raises(TimeoutError):
+            await client.locate("key-0")
+        channel.close()
+        await mux.aclose()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    clock.run(main())
+    assert mux.stats.garbage_frames == 1
+    assert mux.stats.timeouts == 1
+    assert clock.now() == 1.0
+
+
+def test_overload_with_faults_still_answers_every_shed(fleet_key):
+    """Saturate a one-slot service through a lossy link: every shed
+    that the server decides still goes out as a structured fault."""
+    reset_request_ids()
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        1, clock=clock, registration_secrets={"": SECRET})
+    service.register_binding("key-0", fleet_key)
+    degradation = DegradationLog()
+    shield = OverloadShield(
+        clock,
+        admission=AdmissionController(
+            clock, TenantPolicy(max_concurrent=1, max_queued=1)),
+        degradation=degradation, component="xkms-chaos")
+
+    async def handler(payload, context):
+        await clock.asleep(0.5)
+        return await service.handle_request(payload, context)
+
+    server = AsyncServiceServer(handler, clock=clock, shield=shield,
+                                fault_encoder=busy_fault_payload)
+    channel = AsyncChannel(
+        [DropFault(schedule=FaultSchedule.probability(0.2, seed=5))],
+        clock=clock)
+    mux = AsyncServiceClient(channel, clock=clock)
+
+    results = []
+
+    async def burst(index: int):
+        client = AsyncXKMSClient(
+            MuxXKMSTransport(mux, tenant="player"), clock=clock,
+            default_timeout_s=2.0)
+        try:
+            await client.locate("key-0")
+        except (ServiceOverloadError, TimeoutError) as exc:
+            results.append(type(exc).__name__)
+        else:
+            results.append("ok")
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        await asyncio.gather(*[burst(i) for i in range(12)])
+        channel.close()
+        await mux.aclose()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    clock.run(main())
+    assert len(results) == 12
+    assert server.stats.sheds_answered == shield.stats.sheds
+    assert len(degradation.for_component("xkms-chaos")) == \
+        shield.stats.sheds
+    assert results.count("ok") >= 1

@@ -1,0 +1,355 @@
+"""The sharded async trust service and its deadline-first client:
+key-name routing, generation-keyed validation caching, structured
+Sender/Receiver faults, busy answers as typed overload errors, and the
+client-side circuit breaker."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceOverloadError, TimeoutError, XKMSError
+from repro.network import (
+    AsyncChannel, AsyncServiceClient, AsyncServiceServer,
+)
+from repro.resilience import (
+    AIMDLimiter, CircuitBreaker, Deadline, OverloadShield, RetryPolicy,
+    VirtualClock,
+)
+from repro.network.server import RequestContext
+from repro.primitives.rsa import generate_keypair
+from repro.xkms import (
+    RESULT_RECEIVER_FAULT, RESULT_SENDER_FAULT, AsyncTrustService,
+    AsyncXKMSClient, MuxXKMSTransport, XKMSResult, busy_fault_payload,
+)
+
+SECRET = b"registration-secret"
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    from repro.primitives.random import DeterministicRandomSource
+    return generate_keypair(1024, DeterministicRandomSource(b"aio-xkms"))
+
+
+def make_stack(clock, *, shards=3, breaker=None, retry=None,
+               shield=None, cache_capacity=256):
+    service = AsyncTrustService(
+        shards, clock=clock, registration_secrets={"": SECRET},
+        cache_capacity=cache_capacity)
+    channel = AsyncChannel(clock=clock)
+    server = AsyncServiceServer(
+        service.handle_request, clock=clock, shield=shield,
+        fault_encoder=busy_fault_payload)
+    mux = AsyncServiceClient(channel)
+    client = AsyncXKMSClient(
+        transport=MuxXKMSTransport(mux, tenant="player"), clock=clock,
+        retry_policy=retry, circuit_breaker=breaker)
+    return service, channel, server, mux, client
+
+
+async def shutdown(channel, mux, serving):
+    await mux.aclose()
+    channel.close()
+    await asyncio.gather(serving, return_exceptions=True)
+
+
+def test_end_to_end_register_locate_validate_revoke(keypair):
+    clock = VirtualClock()
+    service, channel, server, mux, client = make_stack(clock)
+    key = keypair.public_key()
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        register = await client.register("studio-1", key, SECRET)
+        located = await client.locate("studio-1")
+        valid_before = await client.validate("studio-1", key)
+        await client.revoke("studio-1", SECRET)
+        valid_after = await client.validate("studio-1", key)
+        await shutdown(channel, mux, serving)
+        return register.success, located, valid_before, valid_after
+
+    success, located, valid_before, valid_after = clock.run(main())
+    assert success
+    assert located == key
+    assert valid_before is True
+    assert valid_after is False
+
+
+def test_bindings_route_to_owning_shard(keypair):
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        4, clock=clock, registration_secrets={"": SECRET})
+    key = keypair.public_key()
+    names = [f"key-{i}" for i in range(16)]
+    for name in names:
+        service.register_binding(name, key)
+    for name in names:
+        index = service.shard_index(name)
+        assert service.shards[index].binding(name) is not None
+        for other, shard in enumerate(service.shards):
+            if other != index:
+                assert shard.binding(name) is None
+    # All four shards got some share of 16 names.
+    assert {service.shard_index(name) for name in names} == {0, 1, 2, 3}
+
+
+def test_validate_cache_hit_and_generation_invalidation(keypair):
+    clock = VirtualClock()
+    service, channel, server, mux, client = make_stack(clock)
+    key = keypair.public_key()
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        await client.register("studio-1", key, SECRET)
+        first = await client.validate("studio-1", key)
+        second = await client.validate("studio-1", key)
+        hits_before_revoke = service.cache_stats.hits
+        # Revocation bumps the shard generation: the cached Valid
+        # answer is orphaned, never served.
+        await client.revoke("studio-1", SECRET)
+        after = await client.validate("studio-1", key)
+        await shutdown(channel, mux, serving)
+        return first, second, hits_before_revoke, after
+
+    first, second, hits, after = clock.run(main())
+    assert first is True and second is True
+    assert hits == 1
+    assert after is False
+
+
+def test_cached_answer_echoes_fresh_request_id(keypair):
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        1, clock=clock, registration_secrets={"": SECRET})
+    service.register_binding("studio-1", keypair.public_key())
+    from repro.xkms.messages import KeyBinding, XKMSRequest
+
+    def validate_request():
+        return XKMSRequest(
+            "Validate", key_name="studio-1",
+            binding=KeyBinding("studio-1", keypair.public_key()))
+
+    context = RequestContext(
+        "player", Deadline.none(clock), stream_id=1)
+
+    async def main():
+        one = XKMSResult.from_xml(
+            (await service.handle_request(
+                validate_request().to_xml().encode("utf-8"),
+                context)).decode("utf-8"))
+        request = validate_request()
+        two = XKMSResult.from_xml(
+            (await service.handle_request(
+                request.to_xml().encode("utf-8"),
+                context)).decode("utf-8"))
+        return one, two, request
+
+    one, two, request = clock.run(main())
+    assert service.cache_stats.hits == 1
+    # The memoized answer is re-minted for *this* request, not replayed
+    # with the original correlation id.
+    assert two.request_id == request.request_id
+    assert two.request_id != one.request_id
+
+
+def test_malformed_request_is_a_sender_fault(keypair):
+    clock = VirtualClock()
+    service = AsyncTrustService(2, clock=clock)
+    context = RequestContext(
+        "player", Deadline.none(clock), stream_id=1)
+
+    async def main():
+        return await service.handle_request(
+            b"<not-xkms||garbage", context)
+
+    result = XKMSResult.from_xml(clock.run(main()).decode("utf-8"))
+    assert result.result_major == RESULT_SENDER_FAULT
+    assert any(entry.startswith("malformed-request:")
+               for entry in service.audit_log)
+
+
+def test_expired_deadline_stops_work_at_checkpoint(keypair):
+    clock = VirtualClock()
+    service = AsyncTrustService(
+        1, clock=clock, registration_secrets={"": SECRET})
+    service.register_binding("studio-1", keypair.public_key())
+    from repro.xkms.messages import XKMSRequest
+
+    async def main():
+        deadline = Deadline.after(clock, 1.0)
+        context = RequestContext("player", deadline, stream_id=1)
+        clock.advance(2.0)
+        payload = XKMSRequest(
+            "Locate", key_name="studio-1").to_xml().encode("utf-8")
+        with pytest.raises(TimeoutError) as excinfo:
+            await service.handle_request(payload, context)
+        return str(excinfo.value)
+
+    message = clock.run(main())
+    assert "xkms route" in message
+
+
+def test_busy_fault_surfaces_as_typed_overload(keypair):
+    clock = VirtualClock()
+    shield = OverloadShield(
+        clock, limiter=AIMDLimiter(initial_limit=1.0),
+        component="xkms")
+    service, channel, server, mux, client = make_stack(
+        clock, shield=shield)
+    service.register_binding("studio-1", keypair.public_key())
+
+    async def slow_handler(payload, context):
+        await clock.asleep(10.0)
+        return await service.handle_request(payload, context)
+
+    server.handler = slow_handler
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        hog = asyncio.ensure_future(client.locate("studio-1"))
+        await clock.asleep(1.0)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            await client.locate("studio-1")
+        await hog
+        await shutdown(channel, mux, serving)
+        return excinfo.value
+
+    error = clock.run(main())
+    assert error.reason == "busy"
+    assert error.tenant == "player"
+    assert server.stats.sheds_answered == 1
+
+
+def test_receiver_fault_payload_is_wellformed_xkms():
+    payload = busy_fault_payload(
+        ServiceOverloadError("busy", reason="limiter"), frame=None)
+    result = XKMSResult.from_xml(payload.decode("utf-8"))
+    assert result.result_major == RESULT_RECEIVER_FAULT
+
+
+def test_breaker_trips_after_repeated_busy_answers(keypair):
+    clock = VirtualClock()
+    shield = OverloadShield(
+        clock, limiter=AIMDLimiter(initial_limit=1.0, min_limit=1.0),
+        component="xkms")
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=30.0,
+                             clock=clock)
+    service, channel, server, mux, client = make_stack(
+        clock, shield=shield, breaker=breaker)
+    service.register_binding("studio-1", keypair.public_key())
+
+    async def never_done(payload, context):
+        await clock.asleep(1e6)
+        return b""
+
+    server.handler = never_done
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        hog = asyncio.ensure_future(
+            mux.call(b"<x/>", deadline=Deadline.none(clock)))
+        await clock.asleep(1.0)
+        for _ in range(2):
+            with pytest.raises(ServiceOverloadError):
+                await client.locate("studio-1")
+        # The breaker is open now: the next call fails fast without
+        # touching the wire.
+        calls_before = mux.stats.calls
+        from repro.errors import CircuitOpenError
+        with pytest.raises(CircuitOpenError):
+            await client.locate("studio-1")
+        hog.cancel()
+        await shutdown(channel, mux, serving)
+        return calls_before
+
+    calls_before = clock.run(main())
+    assert breaker.state == "open"
+    assert mux.stats.calls == calls_before
+
+
+def test_retry_policy_rides_out_a_transient_busy(keypair):
+    clock = VirtualClock()
+    shield = OverloadShield(
+        clock, limiter=AIMDLimiter(initial_limit=1.0),
+        component="xkms")
+    retry = RetryPolicy(max_attempts=3, base_delay=2.0, jitter=0.0,
+                        clock=clock)
+    service, channel, server, mux, client = make_stack(
+        clock, shield=shield, retry=retry)
+    service.register_binding("studio-1", keypair.public_key())
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        hog = asyncio.ensure_future(
+            mux.call(b"hog", deadline=Deadline.none(clock)))
+
+        async def hog_handler(payload, context):
+            if payload == b"hog":
+                await clock.asleep(1.5)
+                return b"hogged"
+            return await service.handle_request(payload, context)
+
+        server.handler = hog_handler
+        await clock.asleep(0.5)
+        # First attempt sheds (the hog holds the only slot); the 2s
+        # backoff outlives the hog, so the retry succeeds.
+        key = await client.locate("studio-1", timeout_s=30.0)
+        await hog
+        await shutdown(channel, mux, serving)
+        return key
+
+    assert clock.run(main()) == keypair.public_key()
+    assert server.stats.sheds_answered == 1
+    assert server.stats.responses >= 1
+
+
+def test_attempt_timeout_retries_through_a_silent_drop(keypair):
+    """A dropped request frame is silent — without a per-attempt
+    budget the await would block until the *call* deadline, making
+    retry useless against loss.  With ``attempt_timeout`` set the
+    first attempt gives up early and the retry lands."""
+    from repro.resilience import DropFault, FaultSchedule
+
+    clock = VirtualClock()
+    retry = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0,
+                        attempt_timeout=1.0, clock=clock)
+    service = AsyncTrustService(
+        1, clock=clock, registration_secrets={"": SECRET})
+    service.register_binding("studio-1", keypair.public_key())
+    channel = AsyncChannel(
+        [DropFault(schedule=FaultSchedule.first(1))], clock=clock)
+    server = AsyncServiceServer(
+        service.handle_request, clock=clock,
+        fault_encoder=busy_fault_payload)
+    mux = AsyncServiceClient(channel)
+    client = AsyncXKMSClient(
+        transport=MuxXKMSTransport(mux, tenant="player"), clock=clock,
+        retry_policy=retry, default_timeout_s=30.0)
+
+    async def main():
+        serving = asyncio.ensure_future(server.serve(channel))
+        key = await client.locate("studio-1")
+        await shutdown(channel, mux, serving)
+        return key
+
+    assert clock.run(main()) == keypair.public_key()
+    assert channel.dropped == 1
+    # Attempt 1 timed out at 1.0s, backed off 0.5s, attempt 2 landed —
+    # nowhere near the 30s call deadline.
+    assert 1.5 <= clock.now() < 3.0
+
+
+def test_unusable_result_xml_is_typed_xkms_error(keypair):
+    clock = VirtualClock()
+
+    async def junk_transport(request_xml, deadline):
+        return "<<<not xml"
+
+    client = AsyncXKMSClient(transport=junk_transport, clock=clock)
+
+    async def main():
+        with pytest.raises(XKMSError) as excinfo:
+            await client.locate("studio-1")
+        return str(excinfo.value)
+
+    assert "unusable" in clock.run(main())
