@@ -74,6 +74,10 @@ DIRECTIONS = {
     # content-hash cache
     "conc_cold_norm": "lower",
     "conc_warm_ratio": "lower",
+    # ABL-LIFE: whole-repo async-lifecycle analysis (the LIF4xx CI
+    # gate); same cold/warm shape over the v4 IR
+    "lif_cold_norm": "lower",
+    "lif_warm_ratio": "lower",
     # ABL-DUR: journaled commits and recovery replay on the in-memory
     # crash-model filesystem (CPU-bound, so the ratios are stable;
     # real fsync latency would just measure the runner's disk)
@@ -307,6 +311,32 @@ def run_benchmarks() -> dict:
     finally:
         shutil.rmtree(conc_cache_dir, ignore_errors=True)
 
+    # ABL-LIFE: whole-repo async-lifecycle analysis, cold vs. warm.
+    from repro.analysis import LifecycleCache
+    from repro.analysis.lifecycle import analyze_paths as life_paths
+
+    life_cache_dir = tempfile.mkdtemp(prefix="life-bench-")
+    life_cache_path = os.path.join(life_cache_dir, "cache.json")
+    try:
+        def life_cold():
+            if os.path.exists(life_cache_path):
+                os.remove(life_cache_path)
+            cache = LifecycleCache(life_cache_path)
+            return life_paths([src_root], cache=cache)
+
+        if life_cold().scanned < 100:
+            raise SystemExit("lifecycle bench workload lost its modules")
+        life_cold_time = measure(life_cold, warmup=0, repeat=3)
+        life_cold()  # leave a populated cache for the warm runs
+
+        def life_warm():
+            cache = LifecycleCache(life_cache_path)
+            return life_paths([src_root], cache=cache)
+
+        life_warm_time = measure(life_warm, warmup=1, repeat=3)
+    finally:
+        shutil.rmtree(life_cache_dir, ignore_errors=True)
+
     # ABL-DUR: journaled commits + recovery replay.  Runs against the
     # in-memory CrashableFilesystem so the workload is pure CPU
     # (framing, checksums, replay) and the SHA-256 normalization
@@ -363,6 +393,8 @@ def run_benchmarks() -> dict:
             "taint_warm_ratio": taint_warm_time / taint_cold_time,
             "conc_cold_norm": conc_cold_time / calibration,
             "conc_warm_ratio": conc_warm_time / conc_cold_time,
+            "lif_cold_norm": life_cold_time / calibration,
+            "lif_warm_ratio": life_warm_time / life_cold_time,
             "journal_commit_norm": journal_commit_time / calibration,
             "recovery_norm": recovery_time / calibration,
             "xkms_p99_norm": fleet.p99,
@@ -380,6 +412,8 @@ def run_benchmarks() -> dict:
             "taint_warm": taint_warm_time,
             "conc_cold": conc_cold_time,
             "conc_warm": conc_warm_time,
+            "lif_cold": life_cold_time,
+            "lif_warm": life_warm_time,
             "journal_commit_50": journal_commit_time,
             "recovery_50": recovery_time,
         },

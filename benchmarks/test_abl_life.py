@@ -1,0 +1,58 @@
+"""ABL-LIFE — lifecycle-analyzer throughput, cold vs. warm.
+
+The LIF4xx analyzer joins the taint and concurrency analyzers as a
+blocking CI gate over the whole tree, so the same two costs matter:
+the cold pass (every module lowered to v4 IR, per-function scans, the
+waits closure, deadline-flow demands) and the warm path, where the
+content-hash cache must make an unchanged tree near-free.  The
+regression gate in ``bench_regression.py`` tracks the normalized cold
+time (``lif_cold_norm``) and the warm/cold ratio (``lif_warm_ratio``).
+"""
+
+import os
+
+from _workloads import measure, report
+from repro.analysis import LifecycleCache
+from repro.analysis.lifecycle import analyze_paths
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def test_abl_life(tmp_path):
+    cache_path = str(tmp_path / "lifecycle-cache.json")
+
+    def cold():
+        if os.path.exists(cache_path):
+            os.remove(cache_path)
+        return analyze_paths([SRC], cache=LifecycleCache(cache_path))
+
+    result = cold()
+    assert result.scanned > 100, "workload lost its modules"
+    cold_time = measure(cold, warmup=0, repeat=3)
+
+    cold()  # leave a populated cache behind for the warm series
+    warm_hits = []
+
+    def warm():
+        cache = LifecycleCache(cache_path)
+        out = analyze_paths([SRC], cache=cache)
+        warm_hits.append(cache.run_hit)
+        return out
+
+    warm_time = measure(warm, warmup=1, repeat=5)
+    assert all(warm_hits), "warm run missed the run-level cache"
+
+    ratio = warm_time / cold_time
+    assert ratio < 0.5, (
+        f"warm lifecycle run is not measurably faster than cold "
+        f"(ratio {ratio:.2f})"
+    )
+
+    report("ABL-LIFE", [
+        f"modules analyzed: {result.scanned}",
+        f"cold walk: {cold_time * 1000:.1f} ms",
+        f"warm (run-level cache hit): {warm_time * 1000:.1f} ms",
+        f"warm/cold ratio: {ratio:.3f}",
+    ])

@@ -22,8 +22,14 @@ suppression, text/JSON reporters):
   degradation state), check-then-act atomicity, lock discipline, and
   the asyncio-readiness gate (CON3xx rules), with its own incremental
   cache.
+* :mod:`repro.analysis.lifecycle` — interprocedural async lifecycle
+  and exception-flow analysis over the v4 call graph: orphaned task
+  handles, broad excepts swallowing ``CancelledError``, awaits under
+  threading locks, deadline-propagation proofs along the async service
+  chain, and exception-unsafe resource/slot releases (LIF4xx rules),
+  with its own incremental cache.
 
-CLI: ``python -m repro.tools audit|lint|taint|concurrency ...``.
+CLI: ``python -m repro.tools audit|lint|taint|concurrency|lifecycle``.
 """
 
 from repro.analysis.artifact import ArtifactAuditor, audit_paths
@@ -37,6 +43,12 @@ from repro.analysis.concurrency import (
 from repro.analysis.conccache import ConcurrencyCache
 from repro.analysis.engine import Rule, all_rules, catalog_lines, get_rule
 from repro.analysis.findings import AnalysisResult, Finding, Severity
+from repro.analysis.lifecycle import (
+    analyze_modules as analyze_lifecycle_modules,
+    analyze_paths as analyze_lifecycle_paths,
+    analyze_source as analyze_lifecycle_source,
+)
+from repro.analysis.lifecache import LifecycleCache
 from repro.analysis.report import render_json, render_text, summary_line
 from repro.analysis.taint import (
     analyze_modules, analyze_paths, analyze_source,
@@ -45,9 +57,11 @@ from repro.analysis.taintcache import TaintCache
 
 __all__ = [
     "AnalysisResult", "ArtifactAuditor", "Baseline", "ConcurrencyCache",
-    "Finding", "Rule", "Severity", "TaintCache", "all_rules",
-    "analyze_concurrency_modules", "analyze_concurrency_paths",
-    "analyze_concurrency_source", "analyze_modules", "analyze_paths",
+    "Finding", "LifecycleCache", "Rule", "Severity", "TaintCache",
+    "all_rules", "analyze_concurrency_modules",
+    "analyze_concurrency_paths", "analyze_concurrency_source",
+    "analyze_lifecycle_modules", "analyze_lifecycle_paths",
+    "analyze_lifecycle_source", "analyze_modules", "analyze_paths",
     "analyze_source", "audit_paths", "catalog_lines", "get_rule",
     "lint_paths", "lint_source", "render_json", "render_text",
     "summary_line",

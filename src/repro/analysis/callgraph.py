@@ -33,9 +33,25 @@ IR op forms::
     ["test", expr, line]                     # if/while condition reads
     ["lockenter", dotted, line]              # ``with <dotted>:`` region
     ["lockexit", dotted, line]
+    ["alockenter", dotted, line]             # ``async with`` region
+    ["alockexit", dotted, line]
+    ["awaitpoint", line]                     # this statement awaits
+    ["spawn", dotted, [target, ...], awaited, line]
+    ["tryenter", [handler_meta, ...], has_finally, line]
+    ["tryexit", line]                        # end of protected body
+    ["finallyenter", line]
+    ["finallyexit", line]
+
+where ``handler_meta`` is ``[[caught names], bare_reraise, line]``
+(``["*"]`` for a bare ``except``).  ``spawn`` marks task-spawn calls
+(``create_task``/``ensure_future``/``gather``/``start_soon``) with the
+assignment targets that retain the handle; it precedes the statement's
+own ops.
 
 Analyses ignore op kinds they don't know, so the v3 additions (branch
-tests, with-region markers) are invisible to the taint engine.
+tests, with-region markers) were invisible to the taint engine and the
+v4 additions (try/finally regions, await points, async-with regions,
+spawn edges) are invisible to both taint and concurrency.
 """
 
 from __future__ import annotations
@@ -43,7 +59,12 @@ from __future__ import annotations
 import ast
 import os
 
-IR_VERSION = 3
+IR_VERSION = 4
+
+#: Calls that put a coroutine in flight as a separate task.
+SPAWN_CALL_NAMES = frozenset({
+    "create_task", "ensure_future", "gather", "start_soon",
+})
 
 _BUILTIN_EXCEPTIONS = {
     "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
@@ -177,6 +198,92 @@ def _target_names(node: ast.expr) -> list[str]:
     return []
 
 
+def _awaits_in(node: ast.AST | None) -> bool:
+    """Does *node* itself await?  Nested defs are separate functions
+    (extracted on their own) and do not count."""
+    if node is None:
+        return False
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Await):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _collect_spawns(node: ast.AST | None, out: list,
+                    under_await: bool = False) -> None:
+    """Append ``(spawn_dotted, awaited)`` for task-spawn calls in *node*."""
+    if node is None or isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    if isinstance(node, ast.Await):
+        _collect_spawns(node.value, out, True)
+        return
+    if isinstance(node, ast.Starred):
+        _collect_spawns(node.value, out, under_await)
+        return
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted.rsplit(".", 1)[-1] in SPAWN_CALL_NAMES:
+            out.append((dotted, under_await))
+    for child in ast.iter_child_nodes(node):
+        _collect_spawns(child, out)
+
+
+def _reraises(body: list[ast.stmt]) -> bool:
+    """Does the handler body re-raise via a bare ``raise``?"""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Raise) and current.exc is None:
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _stmt_header(node: ast.stmt) -> tuple[list, list]:
+    """A statement's own expressions (not nested statements) plus the
+    names that retain values produced by them."""
+    if isinstance(node, ast.Assign):
+        targets: list[str] = []
+        for target in node.targets:
+            targets.extend(_target_names(target))
+        return [node.value], targets
+    if isinstance(node, ast.AnnAssign):
+        headers = [node.value] if node.value is not None else []
+        return headers, _target_names(node.target)
+    if isinstance(node, ast.AugAssign):
+        return [node.value], _target_names(node.target)
+    if isinstance(node, ast.Return):
+        headers = [node.value] if node.value is not None else []
+        return headers, ["<return>"]
+    if isinstance(node, ast.Expr):
+        return [node.value], []
+    if isinstance(node, ast.Raise):
+        return [e for e in (node.exc, node.cause) if e is not None], []
+    if isinstance(node, (ast.If, ast.While)):
+        return [node.test], []
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter], _target_names(node.target)
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        targets: list[str] = []
+        for item in node.items:
+            if item.optional_vars is not None:
+                targets.extend(_target_names(item.optional_vars))
+        return [item.context_expr for item in node.items], targets
+    if isinstance(node, ast.Assert):
+        return [node.test], []
+    return [], []
+
+
 # -- statement lowering -------------------------------------------------------
 
 
@@ -196,6 +303,16 @@ class _OpLowerer:
 
     def _stmt(self, node: ast.stmt) -> None:
         line = getattr(node, "lineno", 0)
+        headers, retainers = _stmt_header(node)
+        if isinstance(node, (ast.AsyncFor, ast.AsyncWith)) or \
+                any(_awaits_in(header) for header in headers):
+            self.ops.append(["awaitpoint", line])
+        spawns: list = []
+        for header in headers:
+            _collect_spawns(header, spawns)
+        for spawn_dotted, awaited in spawns:
+            self.ops.append(
+                ["spawn", spawn_dotted, retainers, awaited, line])
         if isinstance(node, ast.Assign):
             targets: list[str] = []
             subs: list[ast.Subscript] = []
@@ -240,6 +357,9 @@ class _OpLowerer:
             self.lower_body(node.body)
             self.lower_body(node.orelse)
         elif isinstance(node, (ast.With, ast.AsyncWith)):
+            is_async = isinstance(node, ast.AsyncWith)
+            enter = "alockenter" if is_async else "lockenter"
+            leave = "alockexit" if is_async else "lockexit"
             entered: list[str] = []
             for item in node.items:
                 lowered = False
@@ -255,18 +375,24 @@ class _OpLowerer:
                     self.ops.append(
                         ["expr", _expr(item.context_expr), line])
                 dotted = dotted_name(item.context_expr)
-                self.ops.append(["lockenter", dotted, line])
+                self.ops.append([enter, dotted, line])
                 entered.append(dotted)
             self.lower_body(node.body)
             for dotted in reversed(entered):
-                self.ops.append(["lockexit", dotted, line])
+                self.ops.append([leave, dotted, line])
         elif isinstance(node, ast.Try):
             caught: set[str] = set()
             for handler in node.handlers:
                 caught.update(self._handler_names(handler.type))
+            self.ops.append([
+                "tryenter",
+                [self._handler_meta(h) for h in node.handlers],
+                bool(node.finalbody), line,
+            ])
             self._caught.append(caught)
             self.lower_body(node.body)
             self._caught.pop()
+            self.ops.append(["tryexit", line])
             for handler in node.handlers:
                 if handler.name:
                     # The caught object's payload is opaque to us.
@@ -276,12 +402,28 @@ class _OpLowerer:
                     ])
                 self.lower_body(handler.body)
             self.lower_body(node.orelse)
-            self.lower_body(node.finalbody)
+            if node.finalbody:
+                self.ops.append(["finallyenter", line])
+                self.lower_body(node.finalbody)
+                self.ops.append(["finallyexit", line])
         elif isinstance(node, ast.Match):
             for case in node.cases:
                 self.lower_body(case.body)
         # Nested defs/classes are lowered as their own functions by the
         # module extractor; pass/import/global/etc. carry no dataflow.
+
+    @staticmethod
+    def _handler_meta(handler: ast.ExceptHandler) -> list:
+        """``[[caught names], bare_reraise, line]`` for a handler."""
+        if handler.type is None:
+            names = ["*"]
+        else:
+            parts = (handler.type.elts
+                     if isinstance(handler.type, ast.Tuple)
+                     else [handler.type])
+            names = sorted({dotted_name(p).rsplit(".", 1)[-1]
+                            for p in parts if dotted_name(p)})
+        return [names, _reraises(handler.body), handler.lineno]
 
     @staticmethod
     def _handler_names(node: ast.expr | None) -> set[str]:
@@ -316,9 +458,40 @@ class _OpLowerer:
 # -- module extraction --------------------------------------------------------
 
 
+def _annotation_name(node: ast.expr | None) -> str:
+    """Best-effort dotted class name of a parameter/field annotation.
+
+    ``X``, ``mod.X`` and the optional forms ``X | None`` /
+    ``Optional[X]`` reduce to ``X``; anything fancier is opaque.
+    """
+    if node is None:
+        return ""
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = dotted_name(node)
+        return "" if dotted == "None" else dotted
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_name(node.left) or _annotation_name(node.right)
+    if isinstance(node, ast.Subscript):
+        if dotted_name(node.value).rsplit(".", 1)[-1] == "Optional":
+            return _annotation_name(node.slice)
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value  # string annotation, verbatim
+    return ""
+
+
 def _function_ir(func: ast.FunctionDef | ast.AsyncFunctionDef,
                  module: str, cls: str | None) -> dict:
-    params = [a.arg for a in (func.args.posonlyargs + func.args.args)]
+    # Keyword-only params come after the positional ones, so positional
+    # argument-to-param mapping by index is unaffected.
+    arg_nodes = (func.args.posonlyargs + func.args.args
+                 + func.args.kwonlyargs)
+    params = [a.arg for a in arg_nodes]
+    annotations = {}
+    for arg in arg_nodes:
+        ann = _annotation_name(arg.annotation)
+        if ann:
+            annotations[arg.arg] = ann
     qname = (f"{module}:{cls}.{func.name}" if cls
              else f"{module}:{func.name}")
     declared_global = sorted({
@@ -331,6 +504,7 @@ def _function_ir(func: ast.FunctionDef | ast.AsyncFunctionDef,
         "cls": cls,
         "name": func.name,
         "params": params,
+        "param_annotations": annotations,
         "line": func.lineno,
         "is_async": isinstance(func, ast.AsyncFunctionDef),
         "globals": declared_global,
@@ -369,6 +543,19 @@ def _plain_repr_fields(node: ast.ClassDef) -> list:
                 continue
         fields.append([stmt.target.id, stmt.lineno])
     return fields
+
+
+def _field_types(node: ast.ClassDef) -> list:
+    """Dataclass field annotations as ``[name, dotted_type]`` pairs."""
+    out = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or \
+                not isinstance(stmt.target, ast.Name):
+            continue
+        ann = _annotation_name(stmt.annotation)
+        if ann:
+            out.append([stmt.target.id, ann])
+    return out
 
 
 def extract_module(source: str, path: str) -> dict:
@@ -419,13 +606,16 @@ def extract_module(source: str, path: str) -> dict:
                         defines_repr = True
                     functions.append(_function_ir(item, module, node.name))
                     _extract_nested(item, module, node.name, functions)
+            is_dataclass = _is_dataclass_decorated(node)
             classes[node.name] = {
                 "methods": methods,
                 "line": node.lineno,
-                "dataclass": _is_dataclass_decorated(node),
+                "dataclass": is_dataclass,
                 "defines_repr": defines_repr,
                 "plain_repr_fields": _plain_repr_fields(node)
-                if _is_dataclass_decorated(node) else [],
+                if is_dataclass else [],
+                "field_types": _field_types(node)
+                if is_dataclass else [],
             }
 
     return {

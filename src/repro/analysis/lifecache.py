@@ -1,0 +1,21 @@
+"""Incremental cache for the lifecycle analyzer.
+
+Same two-level machinery as the taint cache (module IR keyed by source
+hash, whole-run findings memo keyed by the (path, hash) set plus
+versions) — see :mod:`repro.analysis.taintcache` — but with its own
+file and spec version so the analyzers never cross-invalidate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lifespec import SPEC_VERSION
+from repro.analysis.taintcache import AnalysisCache
+
+DEFAULT_CACHE_PATH = ".lifecycle-cache.json"
+
+
+class LifecycleCache(AnalysisCache):
+    """The lifecycle analyzer's cache (``.lifecycle-cache.json``)."""
+
+    default_path = DEFAULT_CACHE_PATH
+    spec_version = SPEC_VERSION

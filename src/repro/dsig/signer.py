@@ -76,8 +76,11 @@ class Signer:
         self._provider_lock = threading.Lock()
         family, _ = algorithms.signature_kind(signature_method)
         if family == "rsa" and not isinstance(key, RSAPrivateKey):
+            # Static text only: the method URI rides on an object that
+            # also carries the private key, and error text must never
+            # interpolate anything reachable from key material (TNT203).
             raise SignatureError(
-                f"{signature_method} requires an RSA private key"
+                "RSA signature methods require an RSA private key"
             )
 
     @property

@@ -240,6 +240,10 @@ async def _session(index: int, config: FleetConfig,
                                       timeout_s=config.timeout_s)
             else:
                 await client.locate(name, timeout_s=config.timeout_s)
+        except asyncio.CancelledError:
+            # A cancelled session must stop, not book the cancellation
+            # as one more "untyped" outcome and keep sending.
+            raise
         except ReproError as exc:
             error = exc
         except Exception as exc:  # noqa: BLE001 - counted as untyped

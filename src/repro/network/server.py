@@ -355,6 +355,20 @@ class AsyncServiceServer:
             return None
         return frame
 
+    async def aclose(self) -> None:
+        """Cancel and await every in-flight dispatch task.
+
+        ``serve`` parks each admitted request's task on ``_tasks``;
+        shutdown must not return with work still in flight, or
+        exceptions from the strays vanish after the server is gone.
+        """
+        tasks = [task for task in self._tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._tasks.clear()
+
     async def _answer_protocol_error(self, endpoint) -> None:
         reply = MuxFrame(MUX_ERR, 0, NO_DEADLINE, "",
                          b"400 malformed frame")
@@ -376,6 +390,11 @@ class AsyncServiceServer:
             else:
                 payload = await self.handler(frame.payload, context)
             kind = MUX_RESP
+        except asyncio.CancelledError:
+            # Cancellation (server shutdown) must propagate — turning
+            # it into a MUX_FAULT answer would leave the canceller
+            # waiting on a task that "handled" its own cancellation.
+            raise
         except (ServiceOverloadError, TimeoutError) as exc:
             payload = self.fault_encoder(exc, frame)
             kind = MUX_FAULT

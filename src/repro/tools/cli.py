@@ -22,6 +22,10 @@ Commands:
 * ``concurrency`` — interprocedural concurrency-safety analysis
   (CON3xx rules): shared-state writes outside locks, check-then-act
   races, lock-discipline violations, blocking calls under async roots.
+* ``lifecycle`` — interprocedural async lifecycle & exception-flow
+  analysis (LIF4xx rules): orphaned task handles, broad excepts
+  swallowing CancelledError, awaits under threading locks, dropped
+  Deadline propagation, exception-unsafe resource releases.
 * ``chaos``     — seeded adversarial chaos harness: drive resource
   attacks (nesting/attribute/text/node floods, reference and decrypt
   bombs, hostile frames) through the real entry points and fail on
@@ -458,6 +462,24 @@ def cmd_concurrency(args) -> int:
     return _finish_analysis(result, args)
 
 
+def cmd_lifecycle(args) -> int:
+    """Interprocedural async lifecycle analysis over the codebase."""
+    from repro.analysis import analyze_lifecycle_paths, catalog_lines
+    from repro.analysis.lifecache import LifecycleCache
+
+    if args.rules:
+        for line in catalog_lines("code"):
+            print(line)
+        return 0
+    cache = None if args.no_cache else LifecycleCache(args.cache)
+    result = analyze_lifecycle_paths(args.paths or ["src"], cache=cache)
+    if args.verbose and cache is not None:
+        state = "warm (memoized run)" if cache.run_hit else \
+            f"{cache.hits} module hit(s), {cache.misses} miss(es)"
+        print(f"cache: {state}")
+    return _finish_analysis(result, args)
+
+
 def cmd_chaos(args) -> int:
     """Run the seeded chaos harness; non-zero exit on any violation."""
     from repro.resilience.chaos import run_chaos
@@ -747,6 +769,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore and do not write the cache")
     add_analysis_options(p)
     p.set_defaults(func=cmd_concurrency)
+
+    p = sub.add_parser(
+        "lifecycle",
+        help="interprocedural async lifecycle analysis (LIF4xx rules)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src)")
+    p.add_argument("--cache", default=".lifecycle-cache.json",
+                   help="incremental cache file "
+                        "(default .lifecycle-cache.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the cache")
+    add_analysis_options(p)
+    p.set_defaults(func=cmd_lifecycle)
 
     p = sub.add_parser(
         "chaos",

@@ -172,3 +172,53 @@ def test_concurrency_rules_catalog(capsys):
     out = capsys.readouterr().out
     assert "CON301" in out and "CON304" in out
     assert "SEC001" not in out
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_lifecycle_repo_passes_with_committed_baseline(tmp_path,
+                                                       capsys):
+    src = os.path.join(REPO_ROOT, "src")
+    baseline = os.path.join(REPO_ROOT, "lifecycle-baseline.json")
+    cache = str(tmp_path / "cache.json")
+    assert main(["lifecycle", src, "--baseline", baseline,
+                 "--cache", cache]) == 0
+    assert "no findings" in capsys.readouterr().out
+    # Second invocation hits the run-level cache and agrees.
+    assert main(["lifecycle", src, "--baseline", baseline,
+                 "--cache", cache, "-v"]) == 0
+    assert "warm" in capsys.readouterr().out
+
+
+def test_lifecycle_flags_seeded_orphan_task(tmp_path, capsys):
+    bad = tmp_path / "asyncsvc" / "spawner.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "import asyncio\n"
+        "async def serve(work):\n"
+        "    asyncio.create_task(work())\n"
+    )
+    assert main(["lifecycle", str(bad.parent), "--no-cache"]) == 1
+    assert "LIF401" in capsys.readouterr().out
+
+
+def test_lifecycle_flags_seeded_deadline_drop(tmp_path, capsys):
+    bad = tmp_path / "asyncsvc" / "chain.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "async def fetch(channel, deadline):\n"
+        "    await exchange(channel)\n"
+        "async def exchange(channel, deadline=None):\n"
+        "    await channel.clock.wait_until(channel.future,\n"
+        "                                   deadline.at)\n"
+    )
+    assert main(["lifecycle", str(bad.parent), "--no-cache"]) == 1
+    assert "LIF404" in capsys.readouterr().out
+
+
+def test_lifecycle_rules_catalog(capsys):
+    assert main(["lifecycle", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "LIF401" in out and "LIF405" in out
+    assert "SEC001" not in out

@@ -130,3 +130,40 @@ def test_loadgen_cli_verify_determinism(capsys):
     ])
     assert code == 0
     assert "byte-identical" in capsys.readouterr().out
+
+
+def test_session_cancellation_propagates_not_booked_as_outcome():
+    """Cancelling a session must stop it (CancelledError re-raised),
+    not book the cancellation as one more 'untyped' outcome and keep
+    sending requests."""
+    import asyncio
+
+    from repro.loadgen.fleet import FleetConfig, _session
+    from repro.resilience.vclock import VirtualClock
+
+    clock = VirtualClock()
+    config = FleetConfig(ops_per_session=4)
+    outcomes: dict = {}
+    latencies: list = []
+
+    class StuckClient:
+        async def validate(self, name, key, timeout_s=None):
+            await clock.asleep(1e6)
+
+        async def locate(self, name, timeout_s=None):
+            await clock.asleep(1e6)
+
+    async def main():
+        session = asyncio.ensure_future(_session(
+            0, config, StuckClient(), clock, outcomes, latencies))
+        # Past the start window: the session is inside its first call.
+        await clock.asleep(config.start_window_s + 0.5)
+        assert not session.done()
+        session.cancel()
+        await asyncio.gather(session, return_exceptions=True)
+        return session
+
+    session = clock.run(main())
+    assert session.cancelled()
+    assert outcomes == {}
+    assert latencies == []

@@ -260,3 +260,50 @@ def test_establish_async_dropped_flight_times_out_then_retries(
     assert channel.dropped == 1
     # One timeout at t=2 plus the 0.5s backoff before the retry.
     assert clock.now() >= 2.5
+
+
+def test_server_aclose_cancels_inflight_dispatches():
+    """Shutdown contract: ``aclose`` cancels and awaits every parked
+    dispatch task, cancellation propagates out of ``_dispatch`` (no
+    MUX_FAULT answer, no internal-error count), and the loop ends
+    with zero pending tasks."""
+    clock = VirtualClock()
+    channel = AsyncChannel(clock=clock)
+    entered = []
+
+    async def stuck(payload, context):
+        entered.append(payload)
+        # Far beyond the test horizon: only cancellation can
+        # realistically release this handler.
+        await clock.asleep(1e6)
+
+    server = AsyncServiceServer(stuck, clock=clock)
+
+    async def main():
+        serving = serve_on(server, channel)
+        frame = MuxFrame(MUX_REQ, 1, NO_DEADLINE, "player", b"hang")
+        await channel.client.send(frame.encode())
+        while not entered:
+            await clock.asleep(0.001)
+        inflight = list(server._tasks)
+        assert inflight
+
+        await server.aclose()
+        assert all(task.done() for task in inflight)
+        assert all(task.cancelled() for task in inflight)
+        assert not server._tasks
+
+        channel.close()
+        await asyncio.gather(serving, return_exceptions=True)
+        current = asyncio.current_task()
+        return [task for task in asyncio.all_tasks()
+                if task is not current and not task.done()
+                and task.get_coro().__qualname__ !=
+                "VirtualClock.drive"]
+
+    pending = clock.run(main())
+    assert pending == []
+    # The cancelled dispatch never became a fault answer.
+    assert server.stats.internal_errors == 0
+    assert server.stats.faults_answered == 0
+    assert server.stats.responses == 0

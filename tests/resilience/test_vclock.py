@@ -189,3 +189,23 @@ def test_vqueue_queued_items_survive_close():
         return item
 
     assert clock.run(main()) == "kept"
+
+
+def test_wait_until_cancellation_propagates():
+    """The deadline-wait primitive has no broad handler: cancelling a
+    waiter unwinds it (timer cleaned up), it does not 'time out'."""
+    clock = VirtualClock()
+
+    async def main():
+        future = asyncio.get_running_loop().create_future()
+        waiter = asyncio.ensure_future(clock.wait_until(future, 50.0))
+        await clock.asleep(1.0)
+        assert not waiter.done()
+        waiter.cancel()
+        await asyncio.gather(waiter, return_exceptions=True)
+        return waiter
+
+    waiter = clock.run(main())
+    assert waiter.cancelled()
+    # The abandoned deadline timer did not leak into the schedule.
+    assert clock.now() < 50.0

@@ -353,3 +353,52 @@ def test_unusable_result_xml_is_typed_xkms_error(keypair):
         return str(excinfo.value)
 
     assert "unusable" in clock.run(main())
+
+
+def test_async_transfer_cancellation_propagates_and_releases_probe():
+    """The breaker path around the async wire bare-raises on
+    cancellation: the probe slot is released (abandon_probe) and the
+    CancelledError is NOT recorded as a service failure."""
+    import asyncio
+
+    from repro.resilience.retry import CircuitBreaker
+
+    clock = VirtualClock()
+
+    class CountingBreaker(CircuitBreaker):
+        def __init__(self):
+            super().__init__(clock=clock)
+            self.abandoned = 0
+            self.failures_recorded = 0
+
+        def abandon_probe(self):
+            self.abandoned += 1
+            super().abandon_probe()
+
+        def record_failure(self):
+            self.failures_recorded += 1
+            super().record_failure()
+
+    async def stuck_transport(request_xml, deadline):
+        await clock.asleep(1e6)
+        return request_xml
+
+    breaker = CountingBreaker()
+    client = AsyncXKMSClient(
+        transport=stuck_transport, clock=clock,
+        circuit_breaker=breaker,
+    )
+
+    async def main():
+        transfer = asyncio.ensure_future(client._transfer(
+            "<x/>", "locate", client.deadline(100.0)))
+        await clock.asleep(1.0)
+        assert not transfer.done()
+        transfer.cancel()
+        await asyncio.gather(transfer, return_exceptions=True)
+        return transfer
+
+    transfer = clock.run(main())
+    assert transfer.cancelled()
+    assert breaker.abandoned == 1
+    assert breaker.failures_recorded == 0
